@@ -1,0 +1,277 @@
+//! Provenance circuits — the comparison point of Section 5 ([28], Deutch
+//! et al., "Circuits for Datalog Provenance", ICDT 2014; Example 7 of the
+//! paper).
+//!
+//! The circuit engine evaluates the program bottom-up (semi-naive), but
+//! represents every derived fact's provenance as a *circuit gate*: an OR
+//! node over the AND nodes of its rule instantiations, whose inputs are
+//! the gates of the premise facts (Example 7's `X`/`Y` nodes). The
+//! crucial difference from LTGs (discussed at the end of Section 5) is
+//! that the collapsing is **non-adaptive**: an OR gate is introduced for
+//! *every* derived fact, always — even when the fact has a single
+//! derivation — and the circuit spans the entire model rather than a
+//! single trigger-graph node.
+//!
+//! The gates are stored in an [`ltg_lineage::Forest`] (OR/AND labels);
+//! round-stratified gates keep the circuit acyclic, and termination uses
+//! the same minimized-DNF equivalence as `TcP` (the original construction
+//! terminates on a fixpoint of a cyclic circuit; the stratified variant
+//! trades that for acyclicity — documented in DESIGN.md).
+
+use crate::common::{BaselineConfig, BaselineStats, BottomUpState, ProbEngine};
+use ltg_core::EngineError;
+use ltg_datalog::fxhash::{FxHashMap, FxHashSet};
+use ltg_datalog::Program;
+use ltg_lineage::extract::DnfCache;
+use ltg_lineage::{tree_dnf, Dnf, Forest, Label, TreeId};
+use ltg_storage::{Database, FactId, ResourceMeter};
+use std::time::Instant;
+
+/// The provenance-circuit engine.
+pub struct CircuitEngine {
+    program: Program,
+    state: BottomUpState,
+    forest: Forest,
+    /// Current output gate per fact.
+    gate: FxHashMap<FactId, TreeId>,
+    /// Minimized lineage per fact (for the equivalence-based termination).
+    lineage: FxHashMap<FactId, Dnf>,
+    /// DNF extraction cache (valid forever: the forest is append-only).
+    cache: DnfCache,
+    delta: Vec<FactId>,
+    config: BaselineConfig,
+    finished: bool,
+}
+
+impl CircuitEngine {
+    /// Engine with default configuration and no resource limits.
+    pub fn new(program: &Program) -> Self {
+        Self::with_config(program, BaselineConfig::default(), ResourceMeter::unlimited())
+    }
+
+    /// Engine with explicit configuration and meter.
+    pub fn with_config(program: &Program, config: BaselineConfig, meter: ResourceMeter) -> Self {
+        let state = BottomUpState::new(program, meter);
+        let mut forest = Forest::new();
+        let mut gate = FxHashMap::default();
+        let mut lineage = FxHashMap::default();
+        let mut delta = Vec::new();
+        for f in state.db.store.iter().collect::<Vec<_>>() {
+            gate.insert(f, forest.leaf(f));
+            lineage.insert(f, Dnf::var(f));
+            delta.push(f);
+        }
+        CircuitEngine {
+            program: program.clone(),
+            state,
+            forest,
+            gate,
+            lineage,
+            cache: DnfCache::default(),
+            delta,
+            config,
+            finished: false,
+        }
+    }
+
+    /// Total circuit gates created (Section 5 comparison metric).
+    pub fn gate_count(&self) -> usize {
+        self.forest.len()
+    }
+
+    fn refresh_meter(&self) {
+        self.state.meter.set_used(
+            self.state.estimated_bytes()
+                + self.forest.estimated_bytes()
+                + BottomUpState::lineage_bytes(&self.lineage),
+        );
+    }
+
+    fn round(&mut self) -> Result<bool, EngineError> {
+        let prev_gate = self.gate.clone();
+        self.state.set_delta(&self.delta);
+
+        // AND gates per instantiation (inputs: previous-round gates).
+        let mut new_ands: FxHashMap<FactId, Vec<TreeId>> = FxHashMap::default();
+        let mut seen: FxHashSet<(u32, Box<[FactId]>)> = FxHashSet::default();
+        let rules = self.program.rules.clone();
+        let mut rows = Vec::new();
+        let mut fresh_facts = Vec::new();
+        for (ri, rule) in rules.iter().enumerate() {
+            for pos in 0..rule.body.len() {
+                rows.clear();
+                self.state.join_rule(rule, Some(pos), &mut rows)?;
+                for row in &rows {
+                    if !seen.insert((ri as u32, row.body_facts.clone())) {
+                        continue;
+                    }
+                    let (head, fresh) =
+                        self.state.db.intern_derived(rule.head.pred, &row.head_args);
+                    let inputs: Vec<TreeId> = row
+                        .body_facts
+                        .iter()
+                        .map(|f| prev_gate[f])
+                        .collect();
+                    let and_gate = self.forest.node(Label::And, head, &inputs);
+                    new_ands.entry(head).or_default().push(and_gate);
+                    self.state.stats.derivations += 1;
+                    if fresh {
+                        fresh_facts.push(head);
+                    }
+                }
+            }
+        }
+        for f in fresh_facts {
+            self.state.register(f);
+        }
+
+        // OR gates: always collapse (the non-adaptive policy), then the
+        // equivalence-based termination check.
+        let mut next_delta = Vec::new();
+        let t0 = Instant::now();
+        let cap = self.config.lineage_cap;
+        let mut heads: Vec<(FactId, Vec<TreeId>)> = new_ands.into_iter().collect();
+        heads.sort_unstable_by_key(|(f, _)| *f);
+        for (fact, mut ands) in heads {
+            if let Some(&old_gate) = prev_gate.get(&fact) {
+                ands.insert(0, old_gate);
+            }
+            ands.sort_unstable();
+            ands.dedup();
+            let or_gate = if ands.len() == 1 {
+                ands[0]
+            } else {
+                self.forest.node(Label::Or, fact, &ands)
+            };
+            let mut new = tree_dnf(&self.forest, or_gate, &mut self.cache, cap)?;
+            new.minimize();
+            let old = self.lineage.get(&fact).cloned().unwrap_or_else(Dnf::ff);
+            if new != old {
+                self.gate.insert(fact, or_gate);
+                self.lineage.insert(fact, new);
+                next_delta.push(fact);
+            }
+        }
+        self.state.stats.comparison_time += t0.elapsed();
+
+        self.delta = next_delta;
+        self.state.stats.rounds += 1;
+        self.refresh_meter();
+        self.state.stats.peak_bytes = self.state.meter.peak();
+        self.state.meter.check()?;
+        Ok(!self.delta.is_empty())
+    }
+}
+
+impl ProbEngine for CircuitEngine {
+    fn name(&self) -> String {
+        "circuit".to_string()
+    }
+
+    fn run(&mut self) -> Result<(), EngineError> {
+        if self.finished {
+            return Ok(());
+        }
+        let t0 = Instant::now();
+        loop {
+            let changed = self.round()?;
+            let depth_hit = self
+                .config
+                .max_depth
+                .is_some_and(|d| self.state.stats.rounds >= d);
+            if !changed || depth_hit {
+                break;
+            }
+        }
+        self.state.stats.reasoning_time += t0.elapsed();
+        self.finished = true;
+        Ok(())
+    }
+
+    fn lineage_of(&self, fact: FactId) -> Option<Dnf> {
+        self.lineage.get(&fact).cloned()
+    }
+
+    fn db(&self) -> &Database {
+        &self.state.db
+    }
+
+    fn stats(&self) -> &BaselineStats {
+        &self.state.stats
+    }
+
+    fn facts(&self) -> Vec<FactId> {
+        let mut v: Vec<FactId> = self.lineage.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tcp::TcpEngine;
+    use ltg_datalog::parse_program;
+    use ltg_wmc::{NaiveWmc, WmcSolver};
+
+    const EXAMPLE1: &str = "
+        0.5 :: e(a, b). 0.6 :: e(b, c). 0.7 :: e(a, c). 0.8 :: e(c, b).
+        p(X, Y) :- e(X, Y).
+        p(X, Y) :- p(X, Z), p(Z, Y).
+    ";
+
+    #[test]
+    fn agrees_with_tcp() {
+        let p = parse_program(EXAMPLE1).unwrap();
+        let mut tcp = TcpEngine::new(&p);
+        tcp.run().unwrap();
+        let mut circuit = CircuitEngine::new(&p);
+        circuit.run().unwrap();
+        assert_eq!(tcp.facts(), circuit.facts());
+        for f in tcp.facts() {
+            let a = tcp.lineage_of(f).unwrap();
+            let b = circuit.lineage_of(f).unwrap();
+            assert!(a.equivalent(&b), "fact {f:?}");
+        }
+    }
+
+    #[test]
+    fn example1_probability() {
+        let p = parse_program(EXAMPLE1).unwrap();
+        let mut engine = CircuitEngine::new(&p);
+        engine.run().unwrap();
+        let pp = p.preds.lookup("p", 2).unwrap();
+        let a = p.symbols.lookup("a").unwrap();
+        let b = p.symbols.lookup("b").unwrap();
+        let f = engine.db().store.lookup(pp, &[a, b]).unwrap();
+        let d = engine.lineage_of(f).unwrap();
+        let prob = NaiveWmc::default()
+            .probability(&d, &engine.db().weights())
+            .unwrap();
+        assert!((prob - 0.78).abs() < 1e-12);
+    }
+
+    #[test]
+    fn example5_gates_are_always_created() {
+        // Example 7: the circuit creates OR gates per derived fact even
+        // when collapsing is not beneficial.
+        let mut src = String::new();
+        for i in 0..4 {
+            src.push_str(&format!("0.5 :: q(a, b{i}).\n"));
+        }
+        src.push_str("0.5 :: s(a, b0).\n");
+        src.push_str("r(X, Y) :- q(X, Y).\n");
+        src.push_str("t(X) :- r(X, Y).\n");
+        src.push_str("r(X, Y) :- t(X), s(X, Y).\n");
+        let p = parse_program(&src).unwrap();
+        let mut engine = CircuitEngine::new(&p);
+        engine.run().unwrap();
+        // t(a) lineage: any of the q facts.
+        let t = p.preds.lookup("t", 1).unwrap();
+        let a = p.symbols.lookup("a").unwrap();
+        let f = engine.db().store.lookup(t, &[a]).unwrap();
+        let d = engine.lineage_of(f).unwrap();
+        assert_eq!(d.len(), 4);
+        assert!(engine.gate_count() > 9);
+    }
+}

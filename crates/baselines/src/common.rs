@@ -1,0 +1,285 @@
+//! Shared substrate of the bottom-up baseline engines.
+
+use ltg_core::join::{binding_masks, join, join_limited, JoinRow};
+use ltg_core::EngineError;
+use ltg_datalog::fxhash::FxHashMap;
+use ltg_datalog::{Atom, Program, Rule, Substitution};
+use ltg_lineage::Dnf;
+use ltg_storage::{Database, FactId, Relation, ResourceMeter};
+use std::time::Duration;
+
+/// Counters shared by the baseline engines (mirrors
+/// `ltg_core::ReasonStats` where meaningful).
+#[derive(Clone, Debug, Default)]
+pub struct BaselineStats {
+    /// Completed rounds.
+    pub rounds: u32,
+    /// Rule instantiations that produced a formula (the paper's "#DR").
+    pub derivations: u64,
+    /// Time spent in Boolean-formula comparisons (the L1 overhead the
+    /// paper measures at up to 96% of total runtime).
+    pub comparison_time: Duration,
+    /// Total reasoning wall-clock time.
+    pub reasoning_time: Duration,
+    /// Peak estimated bytes.
+    pub peak_bytes: usize,
+}
+
+/// Configuration shared by the baselines.
+#[derive(Clone, Debug)]
+pub struct BaselineConfig {
+    /// Maximum reasoning rounds; `None` = run to fixpoint.
+    pub max_depth: Option<u32>,
+    /// Conjunct cap for any intermediate formula.
+    pub lineage_cap: usize,
+}
+
+impl Default for BaselineConfig {
+    fn default() -> Self {
+        BaselineConfig {
+            max_depth: None,
+            lineage_cap: 1_000_000,
+        }
+    }
+}
+
+/// The interface the benchmark harness drives. Exact engines return the
+/// collected lineage; the top-k engine returns its approximation.
+pub trait ProbEngine {
+    /// Engine name for tables ("P", "vP", "S(k)", ...).
+    fn name(&self) -> String;
+
+    /// Runs reasoning to completion (idempotent).
+    fn run(&mut self) -> Result<(), EngineError>;
+
+    /// Lineage of a fact (possibly approximate), `None` if underivable.
+    fn lineage_of(&self, fact: FactId) -> Option<Dnf>;
+
+    /// The database (fact arena + π).
+    fn db(&self) -> &Database;
+
+    /// Statistics of the run.
+    fn stats(&self) -> &BaselineStats;
+
+    /// All facts with a lineage, sorted.
+    fn facts(&self) -> Vec<FactId>;
+
+    /// Answers a query atom: matching facts with their lineage.
+    fn answer(&self, query: &Atom) -> Vec<(FactId, Dnf)> {
+        let n_vars = query.vars().map(|v| v.index() + 1).max().unwrap_or(0);
+        let mut out = Vec::new();
+        for f in self.facts() {
+            if self.db().store.pred(f) != query.pred {
+                continue;
+            }
+            let args = self.db().store.args(f);
+            if args.len() != query.terms.len() {
+                continue;
+            }
+            let mut subst = Substitution::new(n_vars);
+            if !query.match_tuple(args, &mut subst) {
+                continue;
+            }
+            if let Some(d) = self.lineage_of(f) {
+                out.push((f, d));
+            }
+        }
+        out
+    }
+}
+
+/// Database + per-predicate relations + delta relations + metering: the
+/// working state of every bottom-up engine.
+pub struct BottomUpState {
+    /// The fact arena and π.
+    pub db: Database,
+    /// All facts currently carrying a formula, per predicate.
+    rels: Vec<Relation>,
+    /// Facts whose formula changed in the previous round, per predicate.
+    delta: Vec<Relation>,
+    /// Resource accounting.
+    pub meter: ResourceMeter,
+    /// Shared counters.
+    pub stats: BaselineStats,
+}
+
+impl BottomUpState {
+    /// Initializes from a program: every extensional fact is registered.
+    pub fn new(program: &Program, meter: ResourceMeter) -> Self {
+        let db = Database::from_program(program);
+        let n = program.preds.len();
+        let mut state = BottomUpState {
+            db,
+            rels: (0..n).map(|_| Relation::new()).collect(),
+            delta: (0..n).map(|_| Relation::new()).collect(),
+            meter,
+            stats: BaselineStats::default(),
+        };
+        for f in state.db.store.iter().collect::<Vec<_>>() {
+            state.register(f);
+        }
+        state
+    }
+
+    /// Registers a fact as carrying a formula (join-visible from now on).
+    pub fn register(&mut self, f: FactId) {
+        let pred = self.db.store.pred(f).index();
+        if pred >= self.rels.len() {
+            self.rels.resize_with(pred + 1, Relation::new);
+            self.delta.resize_with(pred + 1, Relation::new);
+        }
+        self.rels[pred].push(f);
+    }
+
+    /// Replaces the delta relations with `facts` (call at round start).
+    pub fn set_delta(&mut self, facts: &[FactId]) {
+        for r in &mut self.delta {
+            *r = Relation::new();
+        }
+        for &f in facts {
+            let pred = self.db.store.pred(f).index();
+            if pred >= self.delta.len() {
+                self.delta.resize_with(pred + 1, Relation::new);
+            }
+            self.delta[pred].push(f);
+        }
+    }
+
+    /// All registered facts of a predicate.
+    pub fn facts_of(&self, pred: usize) -> &[FactId] {
+        self.rels.get(pred).map_or(&[], |r| r.facts())
+    }
+
+    /// Joins `rule` over the registered facts. With `delta_pos = Some(j)`
+    /// premise position `j` ranges over the delta relation instead (the
+    /// semi-naive restriction).
+    pub fn join_rule(
+        &mut self,
+        rule: &Rule,
+        delta_pos: Option<usize>,
+        out: &mut Vec<JoinRow>,
+    ) -> Result<(), EngineError> {
+        let masks = binding_masks(rule);
+        for (j, atom) in rule.body.iter().enumerate() {
+            let pred = atom.pred.index();
+            if pred >= self.rels.len() {
+                self.rels.resize_with(pred + 1, Relation::new);
+                self.delta.resize_with(pred + 1, Relation::new);
+            }
+            if delta_pos == Some(j) {
+                self.delta[pred].ensure_index(masks[j], &self.db.store);
+            } else {
+                self.rels[pred].ensure_index(masks[j], &self.db.store);
+            }
+        }
+        let rels: Vec<&Relation> = rule
+            .body
+            .iter()
+            .enumerate()
+            .map(|(j, atom)| {
+                if delta_pos == Some(j) {
+                    &self.delta[atom.pred.index()]
+                } else {
+                    &self.rels[atom.pred.index()]
+                }
+            })
+            .collect();
+        join(rule, &masks, &rels, &self.db.store, &self.meter, out)
+    }
+
+    /// Like [`BottomUpState::join_rule`] but stops after `max_rows`
+    /// instantiations (sampling).
+    pub fn join_rule_limited(
+        &mut self,
+        rule: &Rule,
+        out: &mut Vec<JoinRow>,
+        max_rows: usize,
+    ) -> Result<(), EngineError> {
+        let masks = binding_masks(rule);
+        for (j, atom) in rule.body.iter().enumerate() {
+            let pred = atom.pred.index();
+            if pred >= self.rels.len() {
+                self.rels.resize_with(pred + 1, Relation::new);
+                self.delta.resize_with(pred + 1, Relation::new);
+            }
+            self.rels[pred].ensure_index(masks[j], &self.db.store);
+        }
+        let rels: Vec<&Relation> = rule
+            .body
+            .iter()
+            .map(|atom| &self.rels[atom.pred.index()])
+            .collect();
+        join_limited(rule, &masks, &rels, &self.db.store, &self.meter, out, max_rows)
+    }
+
+    /// Estimated live bytes of the state (excluding engine-specific
+    /// formula stores).
+    pub fn estimated_bytes(&self) -> usize {
+        self.db.estimated_bytes()
+            + self
+                .rels
+                .iter()
+                .chain(self.delta.iter())
+                .map(Relation::estimated_bytes)
+                .sum::<usize>()
+    }
+
+    /// Estimated bytes of a formula map (utility shared by engines).
+    pub fn lineage_bytes(map: &FxHashMap<FactId, Dnf>) -> usize {
+        map.len() * 48 + map.values().map(Dnf::estimated_bytes).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltg_datalog::parse_program;
+
+    #[test]
+    fn initializes_with_edb_facts() {
+        let p = parse_program("0.5 :: e(a,b). 0.5 :: e(b,c). q(X,Y) :- e(X,Y).").unwrap();
+        let state = BottomUpState::new(&p, ResourceMeter::unlimited());
+        let e = p.preds.lookup("e", 2).unwrap();
+        assert_eq!(state.facts_of(e.index()).len(), 2);
+    }
+
+    #[test]
+    fn join_rule_full_and_delta() {
+        let p = parse_program(
+            "e(a,b). e(b,c).
+             q(X,Y) :- e(X,Z), e(Z,Y).",
+        )
+        .unwrap();
+        let mut state = BottomUpState::new(&p, ResourceMeter::unlimited());
+        let rule = p.rules[0].clone();
+        let mut out = Vec::new();
+        state.join_rule(&rule, None, &mut out).unwrap();
+        assert_eq!(out.len(), 1); // a→b→c
+
+        // Delta at position 0 with only e(b,c): no match (no (c,·) edge).
+        let e = p.preds.lookup("e", 2).unwrap();
+        let ebc = state.facts_of(e.index())[1];
+        state.set_delta(&[ebc]);
+        let mut out = Vec::new();
+        state.join_rule(&rule, Some(0), &mut out).unwrap();
+        assert!(out.is_empty());
+        // Delta at position 1 with e(b,c): matches the one path.
+        let mut out = Vec::new();
+        state.join_rule(&rule, Some(1), &mut out).unwrap();
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn register_makes_fact_joinable() {
+        let p = parse_program("e(a,b). q(X,Y) :- d(X,Y).").unwrap();
+        let mut state = BottomUpState::new(&p, ResourceMeter::unlimited());
+        let d = p.preds.lookup("d", 2).unwrap();
+        let a = p.symbols.lookup("a").unwrap();
+        let (f, _) = state.db.intern_derived(d, &[a, a]);
+        state.register(f);
+        let rule = p.rules[0].clone();
+        let mut out = Vec::new();
+        state.join_rule(&rule, None, &mut out).unwrap();
+        assert_eq!(out.len(), 1);
+    }
+}

@@ -1,0 +1,268 @@
+//! `ΔTcP` — the vProbLog baseline [78].
+//!
+//! Extends `TcP` with the semi-naive restriction: round `k` only computes
+//! rule instantiations in which at least one premise atom's formula was
+//! updated in round `k − 1`. The restriction is implemented — as in the
+//! declarative formulation of [78] — by executing each rule once per
+//! premise position with that position ranging over the *delta* relation
+//! (limitation **L3**: the extra semi-joins and the bookkeeping of delta
+//! structures are real work here). Termination still performs the
+//! equivalence comparisons of `TcP` (limitation **L1**), and the previous
+//! round's formulas are kept live (**L2**).
+
+use crate::common::{BaselineConfig, BaselineStats, BottomUpState, ProbEngine};
+use ltg_core::EngineError;
+use ltg_datalog::fxhash::{FxHashMap, FxHashSet};
+use ltg_datalog::Program;
+use ltg_lineage::Dnf;
+use ltg_storage::{Database, FactId, ResourceMeter};
+use std::time::Instant;
+
+/// The `ΔTcP` engine.
+pub struct DeltaTcpEngine {
+    program: Program,
+    state: BottomUpState,
+    lineage: FxHashMap<FactId, Dnf>,
+    prev: FxHashMap<FactId, Dnf>,
+    /// Facts whose formula changed in the previous round.
+    delta: Vec<FactId>,
+    config: BaselineConfig,
+    finished: bool,
+}
+
+impl DeltaTcpEngine {
+    /// Engine with default configuration and no resource limits.
+    pub fn new(program: &Program) -> Self {
+        Self::with_config(program, BaselineConfig::default(), ResourceMeter::unlimited())
+    }
+
+    /// Engine with explicit configuration and meter.
+    pub fn with_config(program: &Program, config: BaselineConfig, meter: ResourceMeter) -> Self {
+        let state = BottomUpState::new(program, meter);
+        let mut lineage = FxHashMap::default();
+        let mut delta = Vec::new();
+        for f in state.db.store.iter() {
+            lineage.insert(f, Dnf::var(f));
+            delta.push(f);
+        }
+        DeltaTcpEngine {
+            program: program.clone(),
+            state,
+            lineage,
+            prev: FxHashMap::default(),
+            delta,
+            config,
+            finished: false,
+        }
+    }
+
+    fn refresh_meter(&self) {
+        let bytes = self.state.estimated_bytes()
+            + BottomUpState::lineage_bytes(&self.lineage)
+            + BottomUpState::lineage_bytes(&self.prev)
+            + self.delta.len() * 4;
+        self.state.meter.set_used(bytes);
+    }
+
+    fn round(&mut self) -> Result<bool, EngineError> {
+        self.prev = self.lineage.clone();
+        let cap = self.config.lineage_cap;
+        self.state.set_delta(&self.delta);
+
+        // DE restricted to instantiations touching the delta: one join per
+        // premise position, deduplicated per (rule, body facts).
+        let mut mu: FxHashMap<FactId, Dnf> = FxHashMap::default();
+        let mut seen: FxHashSet<(u32, Box<[FactId]>)> = FxHashSet::default();
+        let rules = self.program.rules.clone();
+        let mut rows = Vec::new();
+        let mut fresh_facts: Vec<FactId> = Vec::new();
+        for (ri, rule) in rules.iter().enumerate() {
+            for pos in 0..rule.body.len() {
+                rows.clear();
+                self.state.join_rule(rule, Some(pos), &mut rows)?;
+                for row in &rows {
+                    if !seen.insert((ri as u32, row.body_facts.clone())) {
+                        continue;
+                    }
+                    let (head, fresh) =
+                        self.state.db.intern_derived(rule.head.pred, &row.head_args);
+                    let mut formula = Dnf::tt();
+                    for f in row.body_facts.iter() {
+                        let lam = self.prev.get(f).expect("joined fact has a formula");
+                        formula = formula.and(lam, cap)?;
+                    }
+                    self.state.stats.derivations += 1;
+                    mu.entry(head).or_insert_with(Dnf::ff).or_with(&formula);
+                    if fresh {
+                        fresh_facts.push(head);
+                    }
+                }
+            }
+        }
+        for f in fresh_facts {
+            self.state.register(f);
+        }
+
+        // FU with equivalence comparisons (L1); the changed facts become
+        // the next delta.
+        let mut next_delta = Vec::new();
+        let t0 = Instant::now();
+        for (fact, m) in mu {
+            let old = self.prev.get(&fact).cloned().unwrap_or_else(Dnf::ff);
+            let mut new = old.clone();
+            new.or_with(&m);
+            new.minimize();
+            if !new.equivalent(&old) {
+                next_delta.push(fact);
+                self.lineage.insert(fact, new);
+            }
+        }
+        self.state.stats.comparison_time += t0.elapsed();
+
+        self.delta = next_delta;
+        self.state.stats.rounds += 1;
+        self.refresh_meter();
+        self.state.stats.peak_bytes = self.state.meter.peak();
+        self.state.meter.check()?;
+        Ok(!self.delta.is_empty())
+    }
+}
+
+impl ProbEngine for DeltaTcpEngine {
+    fn name(&self) -> String {
+        "vP".to_string()
+    }
+
+    fn run(&mut self) -> Result<(), EngineError> {
+        if self.finished {
+            return Ok(());
+        }
+        let t0 = Instant::now();
+        loop {
+            let changed = self.round()?;
+            let depth_hit = self
+                .config
+                .max_depth
+                .is_some_and(|d| self.state.stats.rounds >= d);
+            if !changed || depth_hit {
+                break;
+            }
+        }
+        self.state.stats.reasoning_time += t0.elapsed();
+        self.finished = true;
+        Ok(())
+    }
+
+    fn lineage_of(&self, fact: FactId) -> Option<Dnf> {
+        self.lineage.get(&fact).cloned()
+    }
+
+    fn db(&self) -> &Database {
+        &self.state.db
+    }
+
+    fn stats(&self) -> &BaselineStats {
+        &self.state.stats
+    }
+
+    fn facts(&self) -> Vec<FactId> {
+        let mut v: Vec<FactId> = self.lineage.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tcp::TcpEngine;
+    use ltg_datalog::parse_program;
+    use ltg_wmc::{NaiveWmc, WmcSolver};
+
+    const EXAMPLE1: &str = "
+        0.5 :: e(a, b). 0.6 :: e(b, c). 0.7 :: e(a, c). 0.8 :: e(c, b).
+        p(X, Y) :- e(X, Y).
+        p(X, Y) :- p(X, Z), p(Z, Y).
+    ";
+
+    #[test]
+    fn agrees_with_tcp_on_example1() {
+        let p = parse_program(EXAMPLE1).unwrap();
+        let mut tcp = TcpEngine::new(&p);
+        tcp.run().unwrap();
+        let mut delta = DeltaTcpEngine::new(&p);
+        delta.run().unwrap();
+        assert_eq!(tcp.facts(), delta.facts());
+        for f in tcp.facts() {
+            let a = tcp.lineage_of(f).unwrap();
+            let b = delta.lineage_of(f).unwrap();
+            assert!(a.equivalent(&b), "fact {f:?}");
+        }
+    }
+
+    #[test]
+    fn delta_does_less_work_than_tcp() {
+        // Linear chain: TcP re-derives everything each round; ΔTcP only
+        // the frontier.
+        let mut src = String::new();
+        for i in 0..12 {
+            src.push_str(&format!("0.9 :: e(n{i}, n{}).\n", i + 1));
+        }
+        src.push_str("p(X,Y) :- e(X,Y).\np(X,Y) :- p(X,Z), e(Z,Y).\n");
+        let p = parse_program(&src).unwrap();
+        let mut tcp = TcpEngine::new(&p);
+        tcp.run().unwrap();
+        let mut delta = DeltaTcpEngine::new(&p);
+        delta.run().unwrap();
+        assert!(
+            delta.stats().derivations < tcp.stats().derivations,
+            "delta {} !< tcp {}",
+            delta.stats().derivations,
+            tcp.stats().derivations
+        );
+        // Same probabilities on a spot-check fact.
+        let pp = p.preds.lookup("p", 2).unwrap();
+        let n0 = p.symbols.lookup("n0").unwrap();
+        let n5 = p.symbols.lookup("n5").unwrap();
+        let f = tcp.db().store.lookup(pp, &[n0, n5]).unwrap();
+        let pa = NaiveWmc::default()
+            .probability(&tcp.lineage_of(f).unwrap(), &tcp.db().weights())
+            .unwrap();
+        let f2 = delta.db().store.lookup(pp, &[n0, n5]).unwrap();
+        let pb = NaiveWmc::default()
+            .probability(&delta.lineage_of(f2).unwrap(), &delta.db().weights())
+            .unwrap();
+        assert!((pa - pb).abs() < 1e-12);
+    }
+
+    #[test]
+    fn example1_probability() {
+        let p = parse_program(EXAMPLE1).unwrap();
+        let mut engine = DeltaTcpEngine::new(&p);
+        engine.run().unwrap();
+        let pp = p.preds.lookup("p", 2).unwrap();
+        let a = p.symbols.lookup("a").unwrap();
+        let b = p.symbols.lookup("b").unwrap();
+        let f = engine.db().store.lookup(pp, &[a, b]).unwrap();
+        let d = engine.lineage_of(f).unwrap();
+        let prob = NaiveWmc::default()
+            .probability(&d, &engine.db().weights())
+            .unwrap();
+        assert!((prob - 0.78).abs() < 1e-12);
+    }
+
+    #[test]
+    fn depth_cap_respected() {
+        let p = parse_program(EXAMPLE1).unwrap();
+        let mut engine = DeltaTcpEngine::with_config(
+            &p,
+            BaselineConfig {
+                max_depth: Some(1),
+                ..BaselineConfig::default()
+            },
+            ResourceMeter::unlimited(),
+        );
+        engine.run().unwrap();
+        assert_eq!(engine.stats().rounds, 1);
+    }
+}

@@ -1,0 +1,34 @@
+//! `ltg-baselines` — the competitor engines of the paper's evaluation,
+//! rebuilt from scratch.
+//!
+//! | engine | stands in for | technique |
+//! |---|---|---|
+//! | [`TcpEngine`] | ProbLog2's `TcP` [86] | full re-instantiation per round, formula aggregation, equivalence-based termination (limitation L1 is real: minimized-DNF comparisons) |
+//! | [`DeltaTcpEngine`] | vProbLog's `ΔTcP` [78] | semi-naive restriction (≥ 1 fresh premise atom) with per-position delta joins (the L3 overhead), same L1 termination |
+//! | [`TopKEngine`] | Scallop [49] | `ΔTcP`-style evaluation keeping only the `k` most probable explanations per fact |
+//! | [`CircuitEngine`] | provenance circuits [28] | per-fact OR-gates (non-adaptive, always-collapsed circuit — the Section 5 comparison point) |
+//! | [`seminaive`] | — | non-probabilistic semi-naive Datalog evaluation (ground truth for derivability; used by QueryGen) |
+//!
+//! All engines share the [`common::BottomUpState`] substrate (database,
+//! per-predicate relations, joins, resource metering) and expose the
+//! [`common::ProbEngine`] interface consumed by the benchmark harness.
+
+// Paper-style citation brackets ([77], [41], …) are used throughout the
+// doc comments; they are not intra-doc links.
+#![allow(rustdoc::broken_intra_doc_links)]
+
+pub mod circuit;
+pub mod common;
+pub mod delta_tcp;
+pub mod seminaive;
+pub mod sld;
+pub mod tcp;
+pub mod topk;
+
+pub use circuit::CircuitEngine;
+pub use common::{BaselineConfig, BaselineStats, ProbEngine};
+pub use delta_tcp::DeltaTcpEngine;
+pub use seminaive::{least_model, LeastModel};
+pub use sld::{DeepeningStep, SldConfig, SldEngine, SldResult};
+pub use tcp::TcpEngine;
+pub use topk::TopKEngine;

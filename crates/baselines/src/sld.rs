@@ -1,0 +1,724 @@
+//! Top-down SLD explanation search — the ProbLog-1 family of
+//! approximations ([25], [47]).
+//!
+//! The paper's related-work section situates LTGs against the original
+//! ProbLog engine, which proves queries *top-down* by SLD resolution and
+//! approximates: iterative deepening with anytime lower/upper bounds
+//! [25], and `k`-best, which keeps only the `k` most probable
+//! explanations [47]. This module rebuilds that engine:
+//!
+//! * [`SldEngine::prove`] enumerates explanations of a query atom by
+//!   depth-bounded SLD resolution (proper unification with
+//!   standardization-apart, so non-ground recursive rules work);
+//! * incomplete branches cut by the depth bound are recorded as *stubs*
+//!   — their EDB prefixes give the classic upper bound
+//!   `P(found ∨ stubs)` of [25];
+//! * [`SldConfig::k`] switches on `k`-best: for ground queries a true
+//!   branch-and-bound prune (extending an explanation only lowers its
+//!   probability), for open queries a per-answer post-filter;
+//! * [`SldEngine::iterative_deepening`] doubles the depth until the
+//!   bound gap closes below ε or the budget is exhausted.
+//!
+//! Bottom-up engines ground everything reachable; SLD explores only
+//! goal-connected derivations, which is why ProbLog could answer some
+//! queries without magic sets. The agreement tests pit both styles
+//! against each other on the same programs.
+
+use crate::common::BaselineStats;
+use ltg_core::EngineError;
+use ltg_datalog::fxhash::FxHashMap;
+use ltg_datalog::{Atom, Program, Sym, Term, Var};
+use ltg_lineage::Dnf;
+use ltg_storage::{Database, FactId, ResourceMeter, ResourceError};
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+/// Configuration of the SLD search.
+#[derive(Clone, Debug)]
+pub struct SldConfig {
+    /// Proof-tree depth bound (rule applications along a branch).
+    pub max_depth: u32,
+    /// Resolution-step budget; exhausting it aborts with a timeout.
+    pub step_budget: u64,
+    /// `Some(k)`: keep only the `k` most probable explanations.
+    pub k: Option<usize>,
+}
+
+impl Default for SldConfig {
+    fn default() -> Self {
+        SldConfig {
+            max_depth: 8,
+            step_budget: 50_000_000,
+            k: None,
+        }
+    }
+}
+
+/// Outcome of one depth-bounded proof.
+pub struct SldResult {
+    /// Per grounded answer tuple: the DNF of found explanations.
+    pub answers: Vec<(FactId, Dnf)>,
+    /// EDB prefixes of branches cut by the depth bound. Empty ⇒ the
+    /// search was exhaustive and every answer lineage is complete.
+    pub stubs: Dnf,
+    /// True when no branch was cut (no approximation happened).
+    pub complete: bool,
+}
+
+/// One step of [`SldEngine::iterative_deepening`].
+#[derive(Clone, Debug)]
+pub struct DeepeningStep {
+    /// Depth bound used.
+    pub depth: u32,
+    /// Guaranteed lower bound on the query probability.
+    pub lower: f64,
+    /// Guaranteed upper bound.
+    pub upper: f64,
+    /// True when this step proved the query exhaustively.
+    pub complete: bool,
+}
+
+/// Variable bindings over a global variable space, with a trail for
+/// backtracking. Bindings map a variable to a [`Term`] (constant or
+/// another variable), so var–var aliasing from head unification works.
+struct Bindings {
+    slots: Vec<Option<Term>>,
+    trail: Vec<u32>,
+}
+
+impl Bindings {
+    fn new() -> Self {
+        Bindings {
+            slots: Vec::new(),
+            trail: Vec::new(),
+        }
+    }
+
+    fn fresh(&mut self, n: usize) -> u32 {
+        let base = self.slots.len() as u32;
+        self.slots.resize(self.slots.len() + n, None);
+        base
+    }
+
+    fn walk(&self, mut t: Term) -> Term {
+        while let Term::Var(v) = t {
+            match self.slots[v.index()] {
+                Some(next) => t = next,
+                None => break,
+            }
+        }
+        t
+    }
+
+    fn mark(&self) -> usize {
+        self.trail.len()
+    }
+
+    fn rollback(&mut self, mark: usize) {
+        while self.trail.len() > mark {
+            let v = self.trail.pop().unwrap();
+            self.slots[v as usize] = None;
+        }
+    }
+
+    fn bind(&mut self, v: Var, t: Term) {
+        debug_assert!(self.slots[v.index()].is_none());
+        self.slots[v.index()] = Some(t);
+        self.trail.push(v.0);
+    }
+
+    fn unify(&mut self, a: Term, b: Term) -> bool {
+        let (a, b) = (self.walk(a), self.walk(b));
+        match (a, b) {
+            (Term::Var(x), Term::Var(y)) if x == y => true,
+            (Term::Var(x), other) => {
+                self.bind(x, other);
+                true
+            }
+            (other, Term::Var(y)) => {
+                self.bind(y, other);
+                true
+            }
+            (Term::Const(x), Term::Const(y)) => x == y,
+        }
+    }
+}
+
+/// A pending goal: an atom over global variables, its remaining
+/// rule-application depth, and its parent in the *proof tree* (an index
+/// into [`Search::ancestors`] — not the search stack, which interleaves
+/// siblings).
+#[derive(Clone)]
+struct Goal {
+    atom: Atom,
+    depth: u32,
+    parent: Option<usize>,
+}
+
+/// The top-down engine.
+pub struct SldEngine {
+    program: Program,
+    db: Database,
+    config: SldConfig,
+    meter: ResourceMeter,
+    stats: BaselineStats,
+    /// Rules grouped by head predicate.
+    rules_by_head: FxHashMap<u32, Vec<usize>>,
+}
+
+impl SldEngine {
+    /// Engine with the default configuration and no resource limits.
+    pub fn new(program: &Program) -> Self {
+        Self::with_config(program, SldConfig::default(), ResourceMeter::unlimited())
+    }
+
+    /// Engine with an explicit configuration and meter.
+    pub fn with_config(program: &Program, config: SldConfig, meter: ResourceMeter) -> Self {
+        let db = Database::from_program(program);
+        let mut rules_by_head: FxHashMap<u32, Vec<usize>> = FxHashMap::default();
+        for (i, r) in program.rules.iter().enumerate() {
+            rules_by_head.entry(r.head.pred.0).or_default().push(i);
+        }
+        SldEngine {
+            program: program.clone(),
+            db,
+            config,
+            meter,
+            stats: BaselineStats::default(),
+            rules_by_head,
+        }
+    }
+
+    /// The database (fact arena + π).
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// Search statistics (`derivations` counts resolution steps,
+    /// `rounds` the deepest bound used).
+    pub fn stats(&self) -> &BaselineStats {
+        &self.stats
+    }
+
+    /// Proves `query` under the configured depth bound.
+    pub fn prove(&mut self, query: &Atom) -> Result<SldResult, EngineError> {
+        self.prove_at_depth(query, self.config.max_depth)
+    }
+
+    /// Proves `query` under an explicit depth bound.
+    pub fn prove_at_depth(&mut self, query: &Atom, depth: u32) -> Result<SldResult, EngineError> {
+        let t0 = Instant::now();
+        self.meter.check()?;
+        self.stats.rounds = self.stats.rounds.max(depth);
+        let mut search = Search {
+            engine: self,
+            explanations: FxHashMap::default(),
+            stubs: BTreeSet::new(),
+            steps_left: 0,
+            best: Vec::new(),
+            ancestors: Vec::new(),
+        };
+        search.steps_left = search.engine.config.step_budget;
+
+        // Map the query onto the global variable space.
+        let mut bindings = Bindings::new();
+        let n_qvars = query.vars().map(|v| v.index() + 1).max().unwrap_or(0);
+        let base = bindings.fresh(n_qvars);
+        debug_assert_eq!(base, 0);
+        let goal = Goal {
+            atom: query.clone(),
+            depth,
+            parent: None,
+        };
+        let ground_query = query.is_ground();
+        let mut expl: Vec<FactId> = Vec::new();
+        search.solve(
+            &mut vec![goal],
+            &mut bindings,
+            &mut expl,
+            1.0,
+            query,
+            ground_query,
+        )?;
+
+        // Assemble per-answer DNFs (top-k filtered when configured).
+        let k = search.engine.config.k;
+        let mut answers: Vec<(FactId, Dnf)> = Vec::new();
+        let groups: Vec<(Vec<Sym>, BTreeSet<Vec<FactId>>)> =
+            search.explanations.drain().collect();
+        let stubs = std::mem::take(&mut search.stubs);
+        for (args, exps) in groups {
+            let mut list: Vec<Vec<FactId>> = exps.into_iter().collect();
+            if let Some(k) = k {
+                list.sort_by(|a, b| {
+                    let pa: f64 = a.iter().map(|f| self.db.prob(*f).unwrap_or(1.0)).product();
+                    let pb: f64 = b.iter().map(|f| self.db.prob(*f).unwrap_or(1.0)).product();
+                    pb.partial_cmp(&pa).unwrap_or(std::cmp::Ordering::Equal)
+                });
+                list.truncate(k);
+            }
+            let mut dnf = Dnf::ff();
+            for e in list {
+                dnf.push(e);
+            }
+            dnf.minimize();
+            let (fact, _) = self.db.intern_derived(query.pred, &args);
+            answers.push((fact, dnf));
+        }
+        answers.sort_unstable_by_key(|(f, _)| *f);
+        let mut stub_dnf = Dnf::ff();
+        for s in &stubs {
+            stub_dnf.push(s.clone());
+        }
+        stub_dnf.minimize();
+        self.stats.reasoning_time += t0.elapsed();
+        Ok(SldResult {
+            complete: stubs.is_empty(),
+            answers,
+            stubs: stub_dnf,
+        })
+    }
+
+    /// Iterative deepening [25] on a **ground** query: doubles the depth
+    /// until `upper − lower ≤ epsilon`, the proof is exhaustive, or
+    /// `max_depth` is reached. `prob` computes `P(DNF)` (pass a WMC
+    /// solver closure). Returns one entry per tried depth.
+    pub fn iterative_deepening(
+        &mut self,
+        query: &Atom,
+        epsilon: f64,
+        max_depth: u32,
+        mut prob: impl FnMut(&Dnf) -> f64,
+    ) -> Result<Vec<DeepeningStep>, EngineError> {
+        assert!(query.is_ground(), "iterative deepening needs a ground query");
+        let mut out = Vec::new();
+        let mut depth = 1u32;
+        loop {
+            let res = self.prove_at_depth(query, depth)?;
+            let found = res
+                .answers
+                .first()
+                .map(|(_, d)| d.clone())
+                .unwrap_or_else(Dnf::ff);
+            let lower = prob(&found);
+            let upper = if res.complete {
+                lower
+            } else {
+                let mut both = found.clone();
+                both.or_with(&res.stubs);
+                both.minimize();
+                prob(&both)
+            };
+            let step = DeepeningStep {
+                depth,
+                lower,
+                upper,
+                complete: res.complete,
+            };
+            let done = step.complete || step.upper - step.lower <= epsilon || depth >= max_depth;
+            out.push(step);
+            if done {
+                return Ok(out);
+            }
+            depth = (depth * 2).min(max_depth);
+        }
+    }
+}
+
+/// One proof search (borrows the engine; collects explanations).
+struct Search<'a> {
+    engine: &'a mut SldEngine,
+    /// Grounded answer tuple → set of explanations (sorted fact lists).
+    explanations: FxHashMap<Vec<Sym>, BTreeSet<Vec<FactId>>>,
+    /// EDB prefixes of depth-cut branches.
+    stubs: BTreeSet<Vec<FactId>>,
+    steps_left: u64,
+    /// Probabilities of the best explanations found so far (ground-query
+    /// k-best pruning).
+    best: Vec<f64>,
+    /// Proof-tree ancestor arena: `(goal atom, parent index)`. Chains are
+    /// at most `max_depth` long.
+    ancestors: Vec<(Atom, Option<usize>)>,
+}
+
+impl Search<'_> {
+    fn tick(&mut self) -> Result<(), EngineError> {
+        if self.steps_left == 0 {
+            return Err(EngineError::Resource(ResourceError::Timeout));
+        }
+        self.steps_left -= 1;
+        if self.steps_left % 4096 == 0 {
+            self.engine.meter.check()?;
+        }
+        Ok(())
+    }
+
+    /// True when a branch with probability `product` can still beat the
+    /// current k-th best explanation (ground-query k-best only).
+    fn viable(&self, product: f64, ground_query: bool) -> bool {
+        match self.engine.config.k {
+            Some(k) if ground_query && self.best.len() >= k => {
+                product > self.best[k - 1] + 1e-15
+            }
+            _ => true,
+        }
+    }
+
+    fn record_best(&mut self, product: f64) {
+        if let Some(k) = self.engine.config.k {
+            let pos = self
+                .best
+                .binary_search_by(|p| p.partial_cmp(&product).unwrap().reverse())
+                .unwrap_or_else(|e| e);
+            self.best.insert(pos, product);
+            self.best.truncate(k);
+        }
+    }
+
+    fn solve(
+        &mut self,
+        goals: &mut Vec<Goal>,
+        bindings: &mut Bindings,
+        expl: &mut Vec<FactId>,
+        product: f64,
+        query: &Atom,
+        ground_query: bool,
+    ) -> Result<(), EngineError> {
+        self.tick()?;
+        if !self.viable(product, ground_query) {
+            return Ok(());
+        }
+        let Some(goal) = goals.pop() else {
+            // Branch closed: the query tuple is ground (range-restricted
+            // rules bind every variable through facts).
+            let args: Vec<Sym> = query
+                .terms
+                .iter()
+                .map(|&t| match bindings.walk(t) {
+                    Term::Const(c) => c,
+                    Term::Var(_) => unreachable!("completed proof left the query open"),
+                })
+                .collect();
+            let mut e = expl.clone();
+            e.sort_unstable();
+            e.dedup();
+            self.record_best(product);
+            self.explanations.entry(args).or_default().insert(e);
+            return Ok(());
+        };
+
+        // Resolve the walked goal atom.
+        let walked = Atom::new(
+            goal.atom.pred,
+            goal.atom.terms.iter().map(|&t| bindings.walk(t)).collect(),
+        );
+
+        // Case 1: match against database facts (any predicate may have
+        // facts — mixed EDB/IDB predicates are allowed top-down).
+        let candidates: Vec<FactId> = self.engine.db.edb_facts(walked.pred).to_vec();
+        for f in candidates {
+            self.tick()?;
+            let tuple = self.engine.db.store.args(f).to_vec();
+            let mark = bindings.mark();
+            let ok = walked
+                .terms
+                .iter()
+                .zip(tuple.iter())
+                .all(|(&t, &c)| bindings.unify(t, Term::Const(c)));
+            if ok {
+                let p = self.engine.db.prob(f).unwrap_or(1.0);
+                expl.push(f);
+                self.solve(goals, bindings, expl, product * p, query, ground_query)?;
+                expl.pop();
+            }
+            bindings.rollback(mark);
+        }
+
+        // Case 2: resolve against rules with a matching head.
+        let rule_ids = self
+            .engine
+            .rules_by_head
+            .get(&walked.pred.0)
+            .cloned()
+            .unwrap_or_default();
+        if !rule_ids.is_empty() {
+            // Loop cut — the top-down analogue of Proposition 1: a proof
+            // in which a ground goal re-occurs below itself only produces
+            // explanations that absorption would discard (substituting
+            // the inner sub-proof for the outer one gives a subset).
+            if walked.is_ground() && self.has_ground_ancestor(goal.parent, &walked, bindings) {
+                goals.push(goal);
+                return Ok(());
+            }
+            if goal.depth == 0 {
+                // Depth-cut: the EDB prefix of this branch upper-bounds
+                // every completion (ProbLog's bounded approximation).
+                let mut s = expl.clone();
+                s.sort_unstable();
+                s.dedup();
+                self.stubs.insert(s);
+                goals.push(goal);
+                return Ok(());
+            }
+        }
+        if !rule_ids.is_empty() {
+            let anc = self.ancestors.len();
+            self.ancestors.push((goal.atom.clone(), goal.parent));
+            for rid in rule_ids {
+                self.tick()?;
+                self.engine.stats.derivations += 1;
+                let rule = self.engine.program.rules[rid].clone();
+                let base = bindings.fresh(rule.n_vars);
+                let rename = |t: Term| match t {
+                    Term::Var(v) => Term::Var(Var(base + v.0)),
+                    c => c,
+                };
+                let mark = bindings.mark();
+                let ok = walked
+                    .terms
+                    .iter()
+                    .zip(rule.head.terms.iter())
+                    .all(|(&g, &h)| bindings.unify(g, rename(h)));
+                if ok {
+                    let before = goals.len();
+                    // Push body goals in reverse: they resolve left-to-right.
+                    for atom in rule.body.iter().rev() {
+                        goals.push(Goal {
+                            atom: Atom::new(
+                                atom.pred,
+                                atom.terms.iter().map(|&t| rename(t)).collect(),
+                            ),
+                            depth: goal.depth - 1,
+                            parent: Some(anc),
+                        });
+                    }
+                    self.solve(goals, bindings, expl, product, query, ground_query)?;
+                    goals.truncate(before);
+                }
+                bindings.rollback(mark);
+            }
+        }
+
+        goals.push(goal);
+        Ok(())
+    }
+
+    /// True when the walked, ground `goal` re-occurs among its proof-tree
+    /// ancestors (compared under the *current* bindings).
+    fn has_ground_ancestor(
+        &self,
+        mut parent: Option<usize>,
+        walked: &Atom,
+        bindings: &Bindings,
+    ) -> bool {
+        while let Some(i) = parent {
+            let (atom, up) = &self.ancestors[i];
+            if atom.pred == walked.pred
+                && atom
+                    .terms
+                    .iter()
+                    .zip(walked.terms.iter())
+                    .all(|(&a, &w)| bindings.walk(a) == w)
+            {
+                return true;
+            }
+            parent = *up;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltg_datalog::parse_program;
+
+    const EXAMPLE1: &str = "0.5 :: e(a, b). 0.6 :: e(b, c). 0.7 :: e(a, c). 0.8 :: e(c, b).
+         p(X, Y) :- e(X, Y).
+         p(X, Y) :- p(X, Z), p(Z, Y).
+         query p(a, b).";
+
+    fn dnf_prob(d: &Dnf, weights: &[f64]) -> f64 {
+        // Inclusion–exclusion over ≤ 20 variables (test-only).
+        let vars = d.variables();
+        assert!(vars.len() <= 20);
+        let mut total = 0.0;
+        for m in 0u32..(1 << vars.len()) {
+            let world: ltg_datalog::fxhash::FxHashSet<FactId> = vars
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| m & (1 << i) != 0)
+                .map(|(_, f)| *f)
+                .collect();
+            if d.eval(&world) {
+                let mut p = 1.0;
+                for (i, f) in vars.iter().enumerate() {
+                    let w = weights[f.index()];
+                    p *= if m & (1 << i) != 0 { w } else { 1.0 - w };
+                }
+                total += p;
+            }
+        }
+        total
+    }
+
+    #[test]
+    fn finds_both_explanations() {
+        let p = parse_program(EXAMPLE1).unwrap();
+        let mut sld = SldEngine::new(&p);
+        let res = sld.prove_at_depth(&p.queries[0], 4).unwrap();
+        assert_eq!(res.answers.len(), 1);
+        let dnf = &res.answers[0].1;
+        // e(a,b) ∨ e(a,c) ∧ e(c,b).
+        assert_eq!(dnf.len(), 2);
+        let w = sld.db().weights();
+        assert!((dnf_prob(dnf, &w) - 0.78).abs() < 1e-9);
+    }
+
+    #[test]
+    fn open_query_enumerates_answers() {
+        let p = parse_program(
+            "0.5 :: e(a, b). 0.6 :: e(b, c).
+             p(X, Y) :- e(X, Y).
+             p(X, Y) :- p(X, Z), p(Z, Y).
+             query p(a, Y).",
+        )
+        .unwrap();
+        let mut sld = SldEngine::new(&p);
+        let res = sld.prove_at_depth(&p.queries[0], 4).unwrap();
+        // p(a,b) and p(a,c).
+        assert_eq!(res.answers.len(), 2);
+    }
+
+    #[test]
+    fn depth_bound_cuts_and_stubs_appear() {
+        let p = parse_program(EXAMPLE1).unwrap();
+        let mut sld = SldEngine::new(&p);
+        let res = sld.prove_at_depth(&p.queries[0], 1).unwrap();
+        // Depth 1 reaches only the base rule: single explanation, and
+        // the recursive rule is cut.
+        assert_eq!(res.answers.len(), 1);
+        assert_eq!(res.answers[0].1.len(), 1);
+        assert!(!res.complete);
+        assert!(!res.stubs.is_empty());
+    }
+
+    #[test]
+    fn k_best_keeps_most_probable() {
+        let p = parse_program(EXAMPLE1).unwrap();
+        let mut sld = SldEngine::with_config(
+            &p,
+            SldConfig {
+                k: Some(1),
+                max_depth: 4,
+                ..SldConfig::default()
+            },
+            ResourceMeter::unlimited(),
+        );
+        let res = sld.prove(&p.queries[0]).unwrap();
+        let dnf = &res.answers[0].1;
+        assert_eq!(dnf.len(), 1);
+        // Best explanation of p(a,b): e(a,c)∧e(c,b) has 0.56 > 0.5.
+        assert_eq!(dnf.conjuncts().next().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn iterative_deepening_converges_on_right_linear_program() {
+        // Diamond a→{b,c}→d with right-linear transitive closure: the
+        // search is acyclic, so some depth closes every branch and the
+        // bounds collapse onto the exact probability
+        // P(e(a,b)e(b,d) ∨ e(a,c)e(c,d)) = 0.3 + 0.56 − 0.168 = 0.692.
+        let p = parse_program(
+            "0.5 :: e(a, b). 0.6 :: e(b, d). 0.7 :: e(a, c). 0.8 :: e(c, d).
+             t(X, Y) :- e(X, Y).
+             t(X, Y) :- e(X, Z), t(Z, Y).
+             query t(a, d).",
+        )
+        .unwrap();
+        let exact = 0.692;
+        let mut sld = SldEngine::new(&p);
+        let w = sld.db().weights();
+        let steps = sld
+            .iterative_deepening(&p.queries[0], 1e-9, 16, |d| dnf_prob(d, &w))
+            .unwrap();
+        let last = steps.last().unwrap();
+        // The gap may close before the search is exhaustive (stub
+        // prefixes absorbed by found explanations) — that early stop is
+        // the point of the anytime loop.
+        assert!(last.upper - last.lower <= 1e-9);
+        assert!((last.lower - exact).abs() < 1e-9);
+        // A deep enough direct proof is exhaustive on this acyclic graph.
+        assert!(sld.prove_at_depth(&p.queries[0], 5).unwrap().complete);
+        // Bounds are sound at every step and lower bounds are monotone.
+        for s in &steps {
+            assert!(s.lower <= exact + 1e-9, "lower {} at depth {}", s.lower, s.depth);
+            assert!(s.upper >= exact - 1e-9, "upper {} at depth {}", s.upper, s.depth);
+        }
+        for pair in steps.windows(2) {
+            assert!(pair[1].lower >= pair[0].lower - 1e-12);
+        }
+    }
+
+    #[test]
+    fn iterative_deepening_on_cyclic_program_gives_sound_lower_bounds() {
+        // The doubly-recursive Example 1 program never completes
+        // top-down (the left subgoal regresses over fresh variables, the
+        // historical weakness of ProbLog-1's deepening): upper bounds may
+        // stay at 1, but lower bounds must be sound and monotone.
+        let p = parse_program(EXAMPLE1).unwrap();
+        let mut sld = SldEngine::new(&p);
+        let w = sld.db().weights();
+        let steps = sld
+            .iterative_deepening(&p.queries[0], 1e-3, 4, |d| dnf_prob(d, &w))
+            .unwrap();
+        for s in &steps {
+            assert!(s.lower <= 0.78 + 1e-9);
+            assert!(s.upper >= 0.78 - 1e-9);
+        }
+        assert!((steps.last().unwrap().lower - 0.78).abs() < 1e-9);
+    }
+
+    #[test]
+    fn smokers_like_recursion_terminates() {
+        let p = parse_program(
+            "0.3 :: stress(ann). 0.2 :: influences(ann, bob). 0.2 :: influences(bob, ann).
+             smokes(X) :- stress(X).
+             smokes(X) :- influences(Y, X), smokes(Y).
+             query smokes(bob).",
+        )
+        .unwrap();
+        let mut sld = SldEngine::new(&p);
+        let res = sld.prove_at_depth(&p.queries[0], 4).unwrap();
+        assert_eq!(res.answers.len(), 1);
+        // smokes(bob) ⇐ influences(ann,bob) ∧ stress(ann).
+        assert_eq!(res.answers[0].1.conjuncts().next().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn step_budget_aborts() {
+        let p = parse_program(EXAMPLE1).unwrap();
+        let mut sld = SldEngine::with_config(
+            &p,
+            SldConfig {
+                step_budget: 5,
+                ..SldConfig::default()
+            },
+            ResourceMeter::unlimited(),
+        );
+        assert!(sld.prove(&p.queries[0]).is_err());
+    }
+
+    #[test]
+    fn no_proof_no_answers() {
+        let p = parse_program(
+            "0.5 :: e(a, b).
+             p(X, Y) :- e(X, Y).
+             query p(b, a).",
+        )
+        .unwrap();
+        let mut sld = SldEngine::new(&p);
+        let res = sld.prove(&p.queries[0]).unwrap();
+        assert!(res.answers.is_empty());
+        assert!(res.complete);
+    }
+}

@@ -1,0 +1,257 @@
+//! `TcP` — the ProbLog2-style baseline [86] (Algorithm 3 of the paper's
+//! appendix).
+//!
+//! Every round executes three steps over the *entire* instance:
+//!
+//! * **DE**: instantiate every rule over all atoms with a formula,
+//!   conjoining the premise formulas of the *previous* round;
+//! * **AG**: disjoin the formulas produced for the same head atom;
+//! * **FU**: `λᵏ = μᵏ ∨ λᵏ⁻¹`, keeping `λᵏ⁻¹` when nothing changed.
+//!
+//! Termination requires logical-equivalence comparisons of the formulas
+//! (limitation **L1** — implemented faithfully as minimized-DNF equality,
+//! which is sound for the monotone formulas of Datalog). The previous
+//! round's formulas are kept alongside the current ones (limitation
+//! **L2**), and no semi-naive restriction is applied, so every round
+//! recomputes every instantiation.
+
+use crate::common::{BaselineConfig, BaselineStats, BottomUpState, ProbEngine};
+use ltg_core::EngineError;
+use ltg_datalog::fxhash::FxHashMap;
+use ltg_datalog::Program;
+use ltg_lineage::Dnf;
+use ltg_storage::{Database, FactId, ResourceMeter};
+use std::time::Instant;
+
+/// The `TcP` engine.
+pub struct TcpEngine {
+    program: Program,
+    state: BottomUpState,
+    /// Current λ per fact.
+    lineage: FxHashMap<FactId, Dnf>,
+    /// Previous round's λ (kept live — L2).
+    prev: FxHashMap<FactId, Dnf>,
+    config: BaselineConfig,
+    finished: bool,
+}
+
+impl TcpEngine {
+    /// Engine with default configuration and no resource limits.
+    pub fn new(program: &Program) -> Self {
+        Self::with_config(program, BaselineConfig::default(), ResourceMeter::unlimited())
+    }
+
+    /// Engine with explicit configuration and meter.
+    pub fn with_config(program: &Program, config: BaselineConfig, meter: ResourceMeter) -> Self {
+        let state = BottomUpState::new(program, meter);
+        let mut lineage = FxHashMap::default();
+        for f in state.db.store.iter() {
+            lineage.insert(f, Dnf::var(f));
+        }
+        TcpEngine {
+            program: program.clone(),
+            state,
+            lineage,
+            prev: FxHashMap::default(),
+            config,
+            finished: false,
+        }
+    }
+
+    fn refresh_meter(&self) {
+        let bytes = self.state.estimated_bytes()
+            + BottomUpState::lineage_bytes(&self.lineage)
+            + BottomUpState::lineage_bytes(&self.prev);
+        self.state.meter.set_used(bytes);
+    }
+
+    fn round(&mut self) -> Result<bool, EngineError> {
+        // Snapshot λᵏ⁻¹ (a live copy: the L2 memory duplication).
+        self.prev = self.lineage.clone();
+        let cap = self.config.lineage_cap;
+
+        // DE + AG: μ per head atom. Fresh facts are registered only after
+        // the step — TcP instantiates over the instance of the previous
+        // round.
+        let mut mu: FxHashMap<FactId, Dnf> = FxHashMap::default();
+        let rules = self.program.rules.clone();
+        let mut rows = Vec::new();
+        let mut fresh_facts: Vec<FactId> = Vec::new();
+        for rule in &rules {
+            rows.clear();
+            self.state.join_rule(rule, None, &mut rows)?;
+            for row in &rows {
+                let (head, fresh) = self.state.db.intern_derived(rule.head.pred, &row.head_args);
+                // Conjunction of the premise formulas (previous round).
+                let mut formula = Dnf::tt();
+                for f in row.body_facts.iter() {
+                    let lam = self.prev.get(f).expect("joined fact has a formula");
+                    formula = formula.and(lam, cap)?;
+                }
+                self.state.stats.derivations += 1;
+                mu.entry(head).or_insert_with(Dnf::ff).or_with(&formula);
+                if fresh {
+                    fresh_facts.push(head);
+                }
+            }
+        }
+        for f in fresh_facts {
+            self.state.register(f);
+        }
+
+        // FU: λᵏ = μᵏ ∨ λᵏ⁻¹, with equivalence comparisons (L1).
+        let mut changed = false;
+        let t0 = Instant::now();
+        for (fact, m) in mu {
+            let old = self.prev.get(&fact).cloned().unwrap_or_else(Dnf::ff);
+            let mut new = old.clone();
+            new.or_with(&m);
+            new.minimize();
+            if !new.equivalent(&old) {
+                changed = true;
+                self.lineage.insert(fact, new);
+            }
+        }
+        self.state.stats.comparison_time += t0.elapsed();
+
+        self.state.stats.rounds += 1;
+        self.refresh_meter();
+        self.state.stats.peak_bytes = self.state.meter.peak();
+        self.state.meter.check()?;
+        Ok(changed)
+    }
+}
+
+impl ProbEngine for TcpEngine {
+    fn name(&self) -> String {
+        "P".to_string()
+    }
+
+    fn run(&mut self) -> Result<(), EngineError> {
+        if self.finished {
+            return Ok(());
+        }
+        let t0 = Instant::now();
+        loop {
+            let changed = self.round()?;
+            let depth_hit = self
+                .config
+                .max_depth
+                .is_some_and(|d| self.state.stats.rounds >= d);
+            if !changed || depth_hit {
+                break;
+            }
+        }
+        self.state.stats.reasoning_time += t0.elapsed();
+        self.finished = true;
+        Ok(())
+    }
+
+    fn lineage_of(&self, fact: FactId) -> Option<Dnf> {
+        self.lineage.get(&fact).cloned()
+    }
+
+    fn db(&self) -> &Database {
+        &self.state.db
+    }
+
+    fn stats(&self) -> &BaselineStats {
+        &self.state.stats
+    }
+
+    fn facts(&self) -> Vec<FactId> {
+        let mut v: Vec<FactId> = self.lineage.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltg_datalog::parse_program;
+    use ltg_wmc::{NaiveWmc, WmcSolver};
+
+    const EXAMPLE1: &str = "
+        0.5 :: e(a, b). 0.6 :: e(b, c). 0.7 :: e(a, c). 0.8 :: e(c, b).
+        p(X, Y) :- e(X, Y).
+        p(X, Y) :- p(X, Z), p(Z, Y).
+    ";
+
+    #[test]
+    fn example2_fixpoint_in_three_rounds() {
+        // TcP terminates at round 3 (all formulas equivalent to round 2).
+        let p = parse_program(EXAMPLE1).unwrap();
+        let mut engine = TcpEngine::new(&p);
+        engine.run().unwrap();
+        assert_eq!(engine.stats().rounds, 3);
+    }
+
+    #[test]
+    fn example1_probability() {
+        let p = parse_program(EXAMPLE1).unwrap();
+        let mut engine = TcpEngine::new(&p);
+        engine.run().unwrap();
+        let pp = p.preds.lookup("p", 2).unwrap();
+        let a = p.symbols.lookup("a").unwrap();
+        let b = p.symbols.lookup("b").unwrap();
+        let f = engine.db().store.lookup(pp, &[a, b]).unwrap();
+        let d = engine.lineage_of(f).unwrap();
+        let prob = NaiveWmc::default()
+            .probability(&d, &engine.db().weights())
+            .unwrap();
+        assert!((prob - 0.78).abs() < 1e-12);
+    }
+
+    #[test]
+    fn comparison_time_is_tracked() {
+        let p = parse_program(EXAMPLE1).unwrap();
+        let mut engine = TcpEngine::new(&p);
+        engine.run().unwrap();
+        // L1 exists: some time was spent comparing formulas.
+        assert!(engine.stats().comparison_time.as_nanos() > 0);
+    }
+
+    #[test]
+    fn run_is_idempotent() {
+        let p = parse_program(EXAMPLE1).unwrap();
+        let mut engine = TcpEngine::new(&p);
+        engine.run().unwrap();
+        let r = engine.stats().rounds;
+        engine.run().unwrap();
+        assert_eq!(engine.stats().rounds, r);
+    }
+
+    #[test]
+    fn depth_cap_respected() {
+        let p = parse_program(
+            "0.9 :: e(n0,n1). 0.9 :: e(n1,n2). 0.9 :: e(n2,n3). 0.9 :: e(n3,n4).
+             p(X,Y) :- e(X,Y).
+             p(X,Y) :- p(X,Z), e(Z,Y).",
+        )
+        .unwrap();
+        let mut engine = TcpEngine::with_config(
+            &p,
+            BaselineConfig {
+                max_depth: Some(2),
+                ..BaselineConfig::default()
+            },
+            ResourceMeter::unlimited(),
+        );
+        engine.run().unwrap();
+        assert_eq!(engine.stats().rounds, 2);
+        let pp = p.preds.lookup("p", 2).unwrap();
+        let n0 = p.symbols.lookup("n0").unwrap();
+        let n3 = p.symbols.lookup("n3").unwrap();
+        assert!(engine.db().store.lookup(pp, &[n0, n3]).is_none());
+    }
+
+    #[test]
+    fn answers_via_trait() {
+        let p = parse_program(&format!("{EXAMPLE1} query p(a, X).")).unwrap();
+        let mut engine = TcpEngine::new(&p);
+        engine.run().unwrap();
+        let answers = engine.answer(&p.queries[0]);
+        assert_eq!(answers.len(), 2); // p(a,b), p(a,c)
+    }
+}

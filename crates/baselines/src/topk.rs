@@ -1,0 +1,395 @@
+//! Top-k approximate reasoning — the Scallop stand-in [49].
+//!
+//! Scallop evaluates probabilistic Datalog keeping, per derived fact, only
+//! the `k` most probable explanations (proofs). This engine mirrors that:
+//! the `ΔTcP` skeleton with formulas replaced by [`KBest`] sets — lists of
+//! at most `k` conjuncts ordered by probability. Probabilities computed
+//! from a `KBest` lineage are **lower bounds** of the exact ones, and the
+//! relative error shrinks as `k` grows (Figure 7 of the paper).
+
+use crate::common::{BaselineConfig, BaselineStats, BottomUpState, ProbEngine};
+use ltg_core::EngineError;
+use ltg_datalog::fxhash::{FxHashMap, FxHashSet};
+use ltg_datalog::Program;
+use ltg_lineage::Dnf;
+use ltg_storage::{Database, FactId, ResourceMeter};
+use std::time::Instant;
+
+/// A set of at most `k` explanations, ordered by decreasing probability.
+#[derive(Clone, Debug, PartialEq)]
+pub struct KBest {
+    items: Vec<(f64, Box<[FactId]>)>,
+}
+
+impl KBest {
+    /// The single-fact explanation set.
+    pub fn var(fact: FactId, weights: &[f64]) -> Self {
+        KBest {
+            items: vec![(weights[fact.index()], Box::from([fact]))],
+        }
+    }
+
+    /// No explanations.
+    pub fn none() -> Self {
+        KBest { items: Vec::new() }
+    }
+
+    /// Number of kept explanations.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when no explanation is kept.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    fn normalize(&mut self, k: usize) {
+        // Sort by probability (desc), tie-break on the conjunct for
+        // determinism; dedup identical conjuncts; truncate to k.
+        self.items.sort_by(|a, b| {
+            b.0.partial_cmp(&a.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.1.cmp(&b.1))
+        });
+        let mut seen: FxHashSet<Box<[FactId]>> = FxHashSet::default();
+        self.items.retain(|(_, c)| seen.insert(c.clone()));
+        self.items.truncate(k);
+    }
+
+    /// Union of explanation sets, keeping the `k` best.
+    pub fn or(&self, other: &KBest, k: usize) -> KBest {
+        let mut out = KBest {
+            items: self
+                .items
+                .iter()
+                .chain(other.items.iter())
+                .cloned()
+                .collect(),
+        };
+        out.normalize(k);
+        out
+    }
+
+    /// Pairwise conjunction of explanations, keeping the `k` best.
+    /// Probabilities are recomputed from the merged fact sets (shared
+    /// facts count once).
+    pub fn and(&self, other: &KBest, k: usize, weights: &[f64]) -> KBest {
+        let mut items = Vec::with_capacity(self.items.len() * other.items.len());
+        for (_, a) in &self.items {
+            for (_, b) in &other.items {
+                let mut merged: Vec<FactId> = a.iter().chain(b.iter()).copied().collect();
+                merged.sort_unstable();
+                merged.dedup();
+                let prob: f64 = merged.iter().map(|f| weights[f.index()]).product();
+                items.push((prob, merged.into_boxed_slice()));
+            }
+        }
+        let mut out = KBest { items };
+        out.normalize(k);
+        out
+    }
+
+    /// Do both sets keep the same explanations? (Termination check —
+    /// probabilities are determined by the conjuncts.)
+    pub fn same_explanations(&self, other: &KBest) -> bool {
+        self.items.len() == other.items.len()
+            && self
+                .items
+                .iter()
+                .zip(other.items.iter())
+                .all(|((_, a), (_, b))| a == b)
+    }
+
+    /// The kept explanations as a DNF (exact WMC over it yields the
+    /// Scallop-style approximate probability).
+    pub fn to_dnf(&self) -> Dnf {
+        let mut d = Dnf::ff();
+        for (_, c) in &self.items {
+            d.push(c.to_vec());
+        }
+        d
+    }
+
+    /// Estimated live bytes.
+    pub fn estimated_bytes(&self) -> usize {
+        self.items.len() * 24 + self.items.iter().map(|(_, c)| c.len() * 4).sum::<usize>()
+    }
+}
+
+/// The top-k engine.
+pub struct TopKEngine {
+    program: Program,
+    state: BottomUpState,
+    k: usize,
+    lineage: FxHashMap<FactId, KBest>,
+    prev: FxHashMap<FactId, KBest>,
+    delta: Vec<FactId>,
+    weights: Vec<f64>,
+    config: BaselineConfig,
+    finished: bool,
+}
+
+impl TopKEngine {
+    /// Engine keeping the `k` most probable explanations per fact.
+    pub fn new(program: &Program, k: usize) -> Self {
+        Self::with_config(
+            program,
+            k,
+            BaselineConfig::default(),
+            ResourceMeter::unlimited(),
+        )
+    }
+
+    /// Engine with explicit configuration and meter.
+    pub fn with_config(
+        program: &Program,
+        k: usize,
+        config: BaselineConfig,
+        meter: ResourceMeter,
+    ) -> Self {
+        let state = BottomUpState::new(program, meter);
+        let weights = state.db.weights();
+        let mut lineage = FxHashMap::default();
+        let mut delta = Vec::new();
+        for f in state.db.store.iter() {
+            lineage.insert(f, KBest::var(f, &weights));
+            delta.push(f);
+        }
+        TopKEngine {
+            program: program.clone(),
+            state,
+            k,
+            lineage,
+            prev: FxHashMap::default(),
+            delta,
+            weights,
+            config,
+            finished: false,
+        }
+    }
+
+    /// The configured `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    fn refresh_meter(&self) {
+        let kbytes: usize = self.lineage.values().map(KBest::estimated_bytes).sum();
+        let pbytes: usize = self.prev.values().map(KBest::estimated_bytes).sum();
+        self.state
+            .meter
+            .set_used(self.state.estimated_bytes() + kbytes + pbytes);
+    }
+
+    fn round(&mut self) -> Result<bool, EngineError> {
+        self.prev = self.lineage.clone();
+        self.state.set_delta(&self.delta);
+        // Weights can grow as new facts are interned.
+        self.weights = self.state.db.weights();
+
+        let mut mu: FxHashMap<FactId, KBest> = FxHashMap::default();
+        let mut seen: FxHashSet<(u32, Box<[FactId]>)> = FxHashSet::default();
+        let rules = self.program.rules.clone();
+        let mut rows = Vec::new();
+        let mut fresh_facts = Vec::new();
+        for (ri, rule) in rules.iter().enumerate() {
+            for pos in 0..rule.body.len() {
+                rows.clear();
+                self.state.join_rule(rule, Some(pos), &mut rows)?;
+                for row in &rows {
+                    if !seen.insert((ri as u32, row.body_facts.clone())) {
+                        continue;
+                    }
+                    let (head, fresh) =
+                        self.state.db.intern_derived(rule.head.pred, &row.head_args);
+                    let mut formula: Option<KBest> = None;
+                    for f in row.body_facts.iter() {
+                        let lam = self.prev.get(f).expect("joined fact has explanations");
+                        formula = Some(match formula {
+                            None => lam.clone(),
+                            Some(acc) => acc.and(lam, self.k, &self.weights),
+                        });
+                    }
+                    let formula = formula.expect("non-empty premise");
+                    self.state.stats.derivations += 1;
+                    let entry = mu.entry(head).or_insert_with(KBest::none);
+                    *entry = entry.or(&formula, self.k);
+                    if fresh {
+                        fresh_facts.push(head);
+                    }
+                }
+            }
+        }
+        for f in fresh_facts {
+            self.state.register(f);
+        }
+
+        let mut next_delta = Vec::new();
+        let t0 = Instant::now();
+        for (fact, m) in mu {
+            let old = self.prev.get(&fact).cloned().unwrap_or_else(KBest::none);
+            let new = old.or(&m, self.k);
+            if !new.same_explanations(&old) {
+                next_delta.push(fact);
+                self.lineage.insert(fact, new);
+            }
+        }
+        self.state.stats.comparison_time += t0.elapsed();
+
+        self.delta = next_delta;
+        self.state.stats.rounds += 1;
+        self.refresh_meter();
+        self.state.stats.peak_bytes = self.state.meter.peak();
+        self.state.meter.check()?;
+        Ok(!self.delta.is_empty())
+    }
+}
+
+impl ProbEngine for TopKEngine {
+    fn name(&self) -> String {
+        format!("S({})", self.k)
+    }
+
+    fn run(&mut self) -> Result<(), EngineError> {
+        if self.finished {
+            return Ok(());
+        }
+        let t0 = Instant::now();
+        loop {
+            let changed = self.round()?;
+            let depth_hit = self
+                .config
+                .max_depth
+                .is_some_and(|d| self.state.stats.rounds >= d);
+            if !changed || depth_hit {
+                break;
+            }
+        }
+        self.state.stats.reasoning_time += t0.elapsed();
+        self.finished = true;
+        Ok(())
+    }
+
+    fn lineage_of(&self, fact: FactId) -> Option<Dnf> {
+        self.lineage.get(&fact).map(KBest::to_dnf)
+    }
+
+    fn db(&self) -> &Database {
+        &self.state.db
+    }
+
+    fn stats(&self) -> &BaselineStats {
+        &self.state.stats
+    }
+
+    fn facts(&self) -> Vec<FactId> {
+        let mut v: Vec<FactId> = self.lineage.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tcp::TcpEngine;
+    use ltg_datalog::parse_program;
+    use ltg_wmc::{NaiveWmc, WmcSolver};
+
+    const EXAMPLE1: &str = "
+        0.5 :: e(a, b). 0.6 :: e(b, c). 0.7 :: e(a, c). 0.8 :: e(c, b).
+        p(X, Y) :- e(X, Y).
+        p(X, Y) :- p(X, Z), p(Z, Y).
+    ";
+
+    fn prob_of(engine: &dyn ProbEngine, pred: &str, x: &str, y: &str, p: &Program) -> f64 {
+        let pp = p.preds.lookup(pred, 2).unwrap();
+        let xs = p.symbols.lookup(x).unwrap();
+        let ys = p.symbols.lookup(y).unwrap();
+        let f = engine.db().store.lookup(pp, &[xs, ys]).unwrap();
+        let d = engine.lineage_of(f).unwrap();
+        NaiveWmc::default()
+            .probability(&d, &engine.db().weights())
+            .unwrap()
+    }
+
+    use ltg_datalog::Program;
+
+    #[test]
+    fn k1_keeps_single_best_explanation() {
+        let p = parse_program(EXAMPLE1).unwrap();
+        let mut engine = TopKEngine::new(&p, 1);
+        engine.run().unwrap();
+        // p(a,b): explanations e(a,b) (0.5) and e(a,c)e(c,b) (0.56); k=1
+        // keeps the latter.
+        let prob = prob_of(&engine, "p", "a", "b", &p);
+        assert!((prob - 0.56).abs() < 1e-12, "prob = {prob}");
+    }
+
+    #[test]
+    fn large_k_is_exact() {
+        let p = parse_program(EXAMPLE1).unwrap();
+        let mut topk = TopKEngine::new(&p, 100);
+        topk.run().unwrap();
+        let mut tcp = TcpEngine::new(&p);
+        tcp.run().unwrap();
+        for f in tcp.facts() {
+            let exact = NaiveWmc::default()
+                .probability(&tcp.lineage_of(f).unwrap(), &tcp.db().weights())
+                .unwrap();
+            let approx = NaiveWmc::default()
+                .probability(&topk.lineage_of(f).unwrap(), &topk.db().weights())
+                .unwrap();
+            assert!((exact - approx).abs() < 1e-12, "fact {f:?}");
+        }
+    }
+
+    #[test]
+    fn approximation_is_lower_bound() {
+        let p = parse_program(EXAMPLE1).unwrap();
+        let mut tcp = TcpEngine::new(&p);
+        tcp.run().unwrap();
+        for k in [1usize, 2, 3] {
+            let mut topk = TopKEngine::new(&p, k);
+            topk.run().unwrap();
+            for f in tcp.facts() {
+                let exact = NaiveWmc::default()
+                    .probability(&tcp.lineage_of(f).unwrap(), &tcp.db().weights())
+                    .unwrap();
+                let approx = NaiveWmc::default()
+                    .probability(&topk.lineage_of(f).unwrap(), &topk.db().weights())
+                    .unwrap();
+                assert!(
+                    approx <= exact + 1e-12,
+                    "k={k} fact {f:?}: {approx} > {exact}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kbest_ops() {
+        let w = [0.9, 0.5, 0.8];
+        let a = KBest::var(FactId(0), &w);
+        let b = KBest::var(FactId(1), &w);
+        let ab = a.and(&b, 10, &w);
+        assert_eq!(ab.len(), 1);
+        assert!((ab.items[0].0 - 0.45).abs() < 1e-12);
+        let both = a.or(&b, 1);
+        assert_eq!(both.len(), 1);
+        // Keeps the more probable one (fact 0 at 0.9).
+        assert_eq!(both.items[0].1.as_ref(), &[FactId(0)]);
+        // Idempotent conjunction.
+        let aa = a.and(&a, 10, &w);
+        assert_eq!(aa.items[0].1.as_ref(), &[FactId(0)]);
+        assert!((aa.items[0].0 - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn name_includes_k() {
+        let p = parse_program("0.5 :: e(a).").unwrap();
+        let engine = TopKEngine::new(&p, 30);
+        assert_eq!(engine.name(), "S(30)");
+    }
+}

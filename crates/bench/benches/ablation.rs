@@ -1,0 +1,118 @@
+//! Criterion ablation benches for the design choices DESIGN.md calls
+//! out:
+//!
+//! * **trigger graphs vs semi-naive** on non-probabilistic
+//!   materialization (the [77] claim LTGs inherit);
+//! * **SDD vtree shape** (balanced vs right-linear) and SDD vs the
+//!   plain ROBDD compiler — the C5 discussion of PySDD's vtrees;
+//! * **dissociation bounds vs exact WMC** — the price of the anytime
+//!   answer on a non-read-once lineage.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ltg_baselines::least_model;
+use ltg_benchdata::lubm::{generate as lubm, LubmConfig};
+use ltg_core::TgMaterializer;
+use ltg_lineage::Dnf;
+use ltg_storage::FactId;
+use ltg_wmc::{BddWmc, DissociationWmc, DtreeWmc, SddWmc, VtreeKind, WmcSolver};
+use std::hint::black_box;
+
+/// Trigger-graph vs semi-naive materialization on a small LUBM KG.
+fn bench_materialization(c: &mut Criterion) {
+    let scenario = lubm("LUBM-bench", &LubmConfig::scaled(1));
+    let mut group = c.benchmark_group("ablation_materialization");
+    group.sample_size(10);
+    group.bench_function("trigger_graph", |b| {
+        b.iter(|| {
+            let mut tg = TgMaterializer::new(&scenario.program);
+            tg.run().unwrap();
+            black_box(tg.derived().len())
+        })
+    });
+    group.bench_function("seminaive", |b| {
+        b.iter(|| {
+            let model = least_model(&scenario.program).unwrap();
+            black_box(model.facts.len())
+        })
+    });
+    group.finish();
+}
+
+/// A grid-reachability lineage: overlapping, non-read-once explanations.
+fn grid_lineage() -> (Dnf, Vec<f64>) {
+    // 3×4 grid corner-to-corner path explanations (enumerated manually
+    // as down/right step sets — ten 5-edge paths sharing edges).
+    let mut d = Dnf::ff();
+    let edge = |r1: u32, c1: u32, r2: u32, c2: u32| FactId(r1 * 16 + c1 * 4 + r2 * 2 + (c2 & 1));
+    for path in 0..10u32 {
+        // Pseudo-paths with structured sharing.
+        let mut conj = Vec::new();
+        let (mut r, mut c) = (0u32, 0u32);
+        let mut bits = path;
+        while r < 2 || c < 3 {
+            if (bits & 1 == 0 && c < 3) || r == 2 {
+                conj.push(edge(r, c, r, c + 1));
+                c += 1;
+            } else {
+                conj.push(edge(r, c, r + 1, c));
+                r += 1;
+            }
+            bits >>= 1;
+        }
+        d.push(conj);
+    }
+    let weights: Vec<f64> = (0..64).map(|i| 0.25 + 0.5 * ((i % 5) as f64 / 5.0)).collect();
+    (d, weights)
+}
+
+/// SDD vtree shapes vs the ROBDD compiler on the same lineage.
+fn bench_sdd_shapes(c: &mut Criterion) {
+    let (dnf, weights) = grid_lineage();
+    let mut group = c.benchmark_group("ablation_sdd_vtrees");
+    group.bench_function("sdd_balanced", |b| {
+        let s = SddWmc::default();
+        b.iter(|| black_box(s.probability(&dnf, &weights).unwrap()))
+    });
+    group.bench_function("sdd_right_linear", |b| {
+        let s = SddWmc {
+            kind: VtreeKind::RightLinear,
+            ..SddWmc::default()
+        };
+        b.iter(|| black_box(s.probability(&dnf, &weights).unwrap()))
+    });
+    group.bench_function("bdd", |b| {
+        let s = BddWmc::default();
+        b.iter(|| black_box(s.probability(&dnf, &weights).unwrap()))
+    });
+    group.finish();
+}
+
+/// Dissociation bounds vs exact solving on the same lineage.
+fn bench_dissociation(c: &mut Criterion) {
+    let (dnf, weights) = grid_lineage();
+    let mut group = c.benchmark_group("ablation_dissociation_bounds");
+    group.bench_function("bounds_forced", |b| {
+        let s = DissociationWmc {
+            exact_vars: 0,
+            ..DissociationWmc::default()
+        };
+        b.iter(|| black_box(s.bounds(&dnf, &weights).unwrap()))
+    });
+    group.bench_function("bounds_default", |b| {
+        let s = DissociationWmc::default();
+        b.iter(|| black_box(s.bounds(&dnf, &weights).unwrap()))
+    });
+    group.bench_function("exact_dtree", |b| {
+        let s = DtreeWmc::default();
+        b.iter(|| black_box(s.probability(&dnf, &weights).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_materialization,
+    bench_sdd_shapes,
+    bench_dissociation
+);
+criterion_main!(benches);

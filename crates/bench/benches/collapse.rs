@@ -1,0 +1,86 @@
+//! Criterion micro-benches for the *collapsing* experiments: Table 4
+//! (collapse overhead), Figure 5/7 (derivation reduction on the
+//! VQAR-style explosion) and the structure-sharing comparison against
+//! the provenance-circuit engine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ltg_baselines::{CircuitEngine, ProbEngine};
+use ltg_benchdata::vqar::{scene, VqarConfig};
+use ltg_core::{EngineConfig, LtgEngine};
+use std::hint::black_box;
+
+fn tiny_scene() -> ltg_benchdata::Scenario {
+    scene(
+        3,
+        &VqarConfig {
+            objects: 7,
+            degree: 2.2,
+            ..VqarConfig::default()
+        },
+    )
+}
+
+/// Figure 5 / Table 4 at micro scale: collapsing on the explosion-heavy
+/// scene (both depth-capped; "w/o" diverges otherwise, by design).
+fn bench_fig5_collapse(c: &mut Criterion) {
+    let s = tiny_scene();
+    let mut group = c.benchmark_group("fig5_table4_collapse");
+    group.sample_size(10);
+    group.bench_function("ltg_with_depth4", |b| {
+        b.iter(|| {
+            let mut e = LtgEngine::with_config(
+                &s.program,
+                EngineConfig::with_collapse().max_depth(4),
+            );
+            e.reason().unwrap();
+            black_box((e.stats().derivations, e.stats().collapse_ops))
+        })
+    });
+    group.bench_function("ltg_without_depth4", |b| {
+        b.iter(|| {
+            let mut e = LtgEngine::with_config(
+                &s.program,
+                EngineConfig::without_collapse().max_depth(4),
+            );
+            e.reason().unwrap();
+            black_box(e.stats().derivations)
+        })
+    });
+    group.finish();
+}
+
+/// Section 5 comparison: adaptive collapsing (LTG) vs the always-collapse
+/// provenance circuit.
+fn bench_circuit_comparison(c: &mut Criterion) {
+    let s = tiny_scene();
+    let mut group = c.benchmark_group("section5_circuit_comparison");
+    group.sample_size(10);
+    group.bench_function("ltg_with", |b| {
+        b.iter(|| {
+            let mut e = LtgEngine::with_config(
+                &s.program,
+                EngineConfig::with_collapse().max_depth(4),
+            );
+            e.reason().unwrap();
+            black_box(e.stats().derivations)
+        })
+    });
+    group.bench_function("provenance_circuit", |b| {
+        b.iter(|| {
+            let mut e = CircuitEngine::with_config(
+                &s.program,
+                ltg_baselines::BaselineConfig {
+                    max_depth: Some(4),
+                    ..Default::default()
+                },
+                ltg_storage::ResourceMeter::unlimited(),
+            );
+            e.run().unwrap();
+            black_box(e.stats().derivations)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5_collapse, bench_circuit_comparison);
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! Criterion micro-benches for the *reasoning* experiments:
+//! Table 3 (engines on LUBM), Figure 6 (Smokers scenario) — at
+//! deliberately tiny scale so `cargo bench` completes quickly. The full
+//! paper-shaped runs live in `src/bin/` (see EXPERIMENTS.md).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ltg_baselines::{DeltaTcpEngine, ProbEngine, TcpEngine};
+use ltg_benchdata::lubm::{generate, LubmConfig};
+use ltg_benchdata::smokers::{self, SmokersConfig};
+use ltg_core::{EngineConfig, LtgEngine};
+use ltg_datalog::{magic_transform, Program};
+use std::hint::black_box;
+
+fn tiny_lubm() -> Program {
+    let config = LubmConfig {
+        universities: 1,
+        departments: 2,
+        faculty: 3,
+        undergrads: 5,
+        grads: 2,
+        courses: 4,
+        class_chain: 8,
+        target_rules: 60,
+        seed: 1,
+    };
+    let scenario = generate("bench", &config);
+    // Magic-sets program for Q4 (professor worksFor dept) — a bound,
+    // hierarchy-heavy query.
+    let query = &scenario.queries[3];
+    magic_transform(&scenario.program, query).program
+}
+
+/// Table 3's engine comparison at micro scale.
+fn bench_table3_engines(c: &mut Criterion) {
+    let program = tiny_lubm();
+    let mut group = c.benchmark_group("table3_lubm_reasoning");
+    group.sample_size(10);
+    group.bench_function("ltg_with", |b| {
+        b.iter(|| {
+            let mut e = LtgEngine::with_config(&program, EngineConfig::with_collapse());
+            e.reason().unwrap();
+            black_box(e.stats().derivations)
+        })
+    });
+    group.bench_function("ltg_without", |b| {
+        b.iter(|| {
+            let mut e = LtgEngine::with_config(&program, EngineConfig::without_collapse());
+            e.reason().unwrap();
+            black_box(e.stats().derivations)
+        })
+    });
+    group.bench_function("delta_tcp", |b| {
+        b.iter(|| {
+            let mut e = DeltaTcpEngine::new(&program);
+            e.run().unwrap();
+            black_box(e.stats().derivations)
+        })
+    });
+    group.bench_function("tcp", |b| {
+        b.iter(|| {
+            let mut e = TcpEngine::new(&program);
+            e.run().unwrap();
+            black_box(e.stats().derivations)
+        })
+    });
+    group.finish();
+}
+
+/// Figure 6's Smokers scenario at micro scale (depth cap 4).
+fn bench_fig6_smokers(c: &mut Criterion) {
+    let scenario = smokers::generate(&SmokersConfig {
+        min_n: 8,
+        max_n: 10,
+        queries: 5,
+        max_depth: 4,
+        seed: 2,
+    });
+    let mut group = c.benchmark_group("fig6_smokers_reasoning");
+    group.sample_size(10);
+    group.bench_function("ltg_with_depth4", |b| {
+        b.iter(|| {
+            let mut e = LtgEngine::with_config(
+                &scenario.program,
+                EngineConfig::with_collapse().max_depth(4),
+            );
+            e.reason().unwrap();
+            black_box(e.stats().derivations)
+        })
+    });
+    group.bench_function("delta_tcp_depth4", |b| {
+        b.iter(|| {
+            let mut e = DeltaTcpEngine::with_config(
+                &scenario.program,
+                ltg_baselines::BaselineConfig {
+                    max_depth: Some(4),
+                    ..Default::default()
+                },
+                ltg_storage::ResourceMeter::unlimited(),
+            );
+            e.run().unwrap();
+            black_box(e.stats().derivations)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3_engines, bench_fig6_smokers);
+criterion_main!(benches);

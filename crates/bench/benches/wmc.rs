@@ -1,0 +1,76 @@
+//! Criterion micro-benches for the *probability computation* experiments:
+//! Table 5 (per-answer probability time per solver) and the BDD
+//! variable-order ablation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ltg_lineage::Dnf;
+use ltg_storage::FactId;
+use ltg_wmc::{BddWmc, CnfWmc, DtreeWmc, KarpLubyWmc, SddWmc, VarOrder, WmcSolver};
+use std::hint::black_box;
+
+/// A lineage-shaped DNF: overlapping path explanations (like the LUBM
+/// recursive queries produce).
+fn path_lineage(n: usize) -> (Dnf, Vec<f64>) {
+    let mut d = Dnf::ff();
+    for i in 0..n as u32 {
+        // Short and long explanations sharing facts.
+        d.push(vec![FactId(i), FactId(i + 1)]);
+        d.push(vec![FactId(i), FactId(i + 2), FactId(i + 3)]);
+    }
+    let weights: Vec<f64> = (0..n + 4).map(|i| 0.2 + 0.6 * ((i % 7) as f64 / 7.0)).collect();
+    (d, weights)
+}
+
+/// Table 5: solver runtimes on the same lineage.
+fn bench_table5_solvers(c: &mut Criterion) {
+    let (dnf, weights) = path_lineage(12);
+    let mut group = c.benchmark_group("table5_probability_per_answer");
+    group.bench_function("sdd", |b| {
+        let s = SddWmc::default();
+        b.iter(|| black_box(s.probability(&dnf, &weights).unwrap()))
+    });
+    group.bench_function("bdd", |b| {
+        let s = BddWmc::default();
+        b.iter(|| black_box(s.probability(&dnf, &weights).unwrap()))
+    });
+    group.bench_function("dtree", |b| {
+        let s = DtreeWmc::default();
+        b.iter(|| black_box(s.probability(&dnf, &weights).unwrap()))
+    });
+    group.bench_function("c2d_cnf", |b| {
+        let s = CnfWmc::default();
+        b.iter(|| black_box(s.probability(&dnf, &weights).unwrap()))
+    });
+    group.bench_function("karp_luby_10k", |b| {
+        let s = KarpLubyWmc {
+            samples: 10_000,
+            seed: 7,
+        };
+        b.iter(|| black_box(s.probability(&dnf, &weights).unwrap()))
+    });
+    group.finish();
+}
+
+/// Ablation: BDD variable-order heuristic (DESIGN.md design choice).
+fn bench_ablation_var_order(c: &mut Criterion) {
+    let (dnf, weights) = path_lineage(14);
+    let mut group = c.benchmark_group("ablation_bdd_var_order");
+    group.bench_function("frequency_descending", |b| {
+        let s = BddWmc {
+            order: VarOrder::FrequencyDescending,
+            ..BddWmc::default()
+        };
+        b.iter(|| black_box(s.probability(&dnf, &weights).unwrap()))
+    });
+    group.bench_function("fact_id", |b| {
+        let s = BddWmc {
+            order: VarOrder::FactId,
+            ..BddWmc::default()
+        };
+        b.iter(|| black_box(s.probability(&dnf, &weights).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table5_solvers, bench_ablation_var_order);
+criterion_main!(benches);

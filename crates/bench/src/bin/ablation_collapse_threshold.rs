@@ -1,0 +1,66 @@
+//! **Ablation** — the collapse threshold `t` of Algorithm 2.
+//!
+//! The paper fixes `t = 10` ("a reduction of at least one order of
+//! magnitude") and leaves other strategies to future work. This ablation
+//! sweeps `t ∈ {1, 2, 10, 100, ∞}` on a VQAR scene (explosion-heavy) and
+//! on LUBM (hierarchy-heavy) and reports derivations, collapse
+//! operations and reasoning time — quantifying the design choice
+//! DESIGN.md calls out.
+//!
+//! Usage: `cargo run --release -p ltg-bench --bin ablation_collapse_threshold`
+
+use ltg_bench::scenarios;
+use ltg_benchdata::Scenario;
+use ltg_core::{EngineConfig, LtgEngine};
+use ltg_storage::ResourceMeter;
+use std::time::Duration;
+
+fn sweep(s: &Scenario) {
+    println!("\n== {}", s.name);
+    println!(
+        "{:>10} {:>12} {:>12} {:>12}",
+        "t", "derivations", "collapses", "reason ms"
+    );
+    let thresholds: Vec<(String, Option<usize>)> = vec![
+        ("1".into(), Some(1)),
+        ("2".into(), Some(2)),
+        ("10".into(), Some(10)),
+        ("100".into(), Some(100)),
+        ("inf (w/o)".into(), None),
+    ];
+    for (label, t) in thresholds {
+        let mut config = match t {
+            Some(t) => EngineConfig {
+                collapse: true,
+                collapse_threshold: t,
+                ..EngineConfig::default()
+            },
+            None => EngineConfig::without_collapse(),
+        };
+        config.max_depth = s.max_depth;
+        // LTGs w/o diverges on VQAR; run everything under a budget.
+        let meter = ResourceMeter::with_limits(256 << 20, Some(Duration::from_secs(20)));
+        let mut engine = LtgEngine::with_config_and_meter(&s.program, config, meter);
+        match engine.reason() {
+            Ok(stats) => println!(
+                "{:>10} {:>12} {:>12} {:>12.2}",
+                label,
+                stats.derivations,
+                stats.collapse_ops,
+                stats.reasoning_time.as_secs_f64() * 1e3
+            ),
+            Err(e) => println!("{label:>10} {:>12}", e.tag()),
+        }
+    }
+}
+
+fn main() {
+    println!("# Ablation — collapse threshold t (Algorithm 2, line 8)");
+    let mut vqar = scenarios::vqar(1).pop().unwrap();
+    // Fixed comparison depth: the generated scenes' near-closures
+    // diverge at unbounded depth (Table 2's `>N` rows).
+    vqar.max_depth = Some(5);
+    sweep(&vqar);
+    let lubm = scenarios::lubm(1);
+    sweep(&lubm);
+}

@@ -1,0 +1,88 @@
+//! **Figure 6 + Figure 8** — per-scenario boxplots: reasoning time,
+//! probability time, total time and #derivations for vProbLog, LTGs w/o
+//! and LTGs w/ (Figure 6), plus the lineage-collection times of the LTG
+//! variants (Figure 8), over DBpedia, Claros, YAGO{5,10,15},
+//! WN18RR{5,10,15} and Smokers{4,5}.
+//!
+//! Output: five-number summaries (min/q1/median/q3/max) per cell.
+//!
+//! Usage: `cargo run --release -p ltg-bench --bin fig6_scenarios [queries-per-scenario]`
+
+use ltg_bench::{five_number_summary, run_query, scenarios, EngineKind, Limits, QueryOutcome};
+use ltg_benchdata::Scenario;
+use ltg_wmc::SolverKind;
+
+fn summarize(label: &str, values: &mut Vec<f64>) {
+    match five_number_summary(values) {
+        Some([min, q1, med, q3, max]) => println!(
+            "    {label:<12} min={min:>9.3} q1={q1:>9.3} med={med:>9.3} q3={q3:>9.3} max={max:>9.3}"
+        ),
+        None => println!("    {label:<12} (no completed queries)"),
+    }
+}
+
+fn run_scenario(s: &Scenario, limits: Limits) {
+    let (r, db, q) = s.table2_stats();
+    println!("\n== {} ({} rules, {} facts, {} queries)", s.name, r, db, q);
+    let engines = [
+        (EngineKind::DeltaTcp, "vP"),
+        (EngineKind::LtgWithout, "L w/o"),
+        (EngineKind::LtgWith, "L w/"),
+    ];
+    for (engine, label) in engines {
+        let outcomes: Vec<QueryOutcome> = s
+            .queries
+            .iter()
+            .map(|query| {
+                run_query(
+                    &s.program,
+                    query,
+                    engine,
+                    SolverKind::Sdd,
+                    limits,
+                    true,
+                    s.max_depth,
+                )
+            })
+            .collect();
+        let ok: Vec<&QueryOutcome> = outcomes.iter().filter(|o| o.error.is_none()).collect();
+        let failed = outcomes.len() - ok.len();
+        println!("  {label} ({} ok, {failed} failed)", ok.len());
+        summarize("reasoning", &mut ok.iter().map(|o| o.reason_ms).collect());
+        summarize("probability", &mut ok.iter().map(|o| o.prob_ms).collect());
+        summarize("total", &mut ok.iter().map(|o| o.total_ms()).collect());
+        summarize(
+            "derivations",
+            &mut ok.iter().map(|o| o.derivations as f64).collect(),
+        );
+        if matches!(engine, EngineKind::LtgWith | EngineKind::LtgWithout) {
+            // Figure 8: lineage collection.
+            summarize("lineage", &mut ok.iter().map(|o| o.lineage_ms).collect());
+        }
+    }
+}
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+    let limits = Limits::default();
+    let scenario_list: Vec<Scenario> = vec![
+        scenarios::dbpedia(n),
+        scenarios::claros(n),
+        scenarios::yago(5),
+        scenarios::yago(10),
+        scenarios::yago(15),
+        scenarios::wn18rr(5),
+        scenarios::wn18rr(10),
+        scenarios::wn18rr(15),
+        scenarios::smokers(4, n),
+        scenarios::smokers(5, n),
+    ];
+    println!("# Figure 6 + Figure 8 — scenario boxplot data (times in ms)");
+    for mut s in scenario_list {
+        s.queries.truncate(n);
+        run_scenario(&s, limits);
+    }
+}

@@ -1,0 +1,126 @@
+//! **Figure 7 (a, b, c)** — the VQAR experiment.
+//!
+//! * (a) runtime: LTGs w/ breakdown (reason / lineage / probability)
+//!   vs Scallop(1) and Scallop(20) total times;
+//! * (b) relative probability errors of the Scallop approximations,
+//!   bucketed as in the paper;
+//! * (c) anecdote: the 5 queries on which Scallop spends the most time,
+//!   with runtimes and highest answer probabilities per engine.
+//!
+//! Magic sets are NOT applied (the paper uses the VQAR queries as-is).
+//!
+//! Usage: `cargo run --release -p ltg-bench --bin fig7_vqar [scenes]`
+
+use ltg_bench::{fmt_ms, run_query, scenarios, EngineKind, Limits, QueryOutcome};
+use ltg_wmc::SolverKind;
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20);
+    let scenes = scenarios::vqar(n);
+    let limits = Limits::default();
+
+    let mut ltg: Vec<QueryOutcome> = Vec::new();
+    let mut s1: Vec<QueryOutcome> = Vec::new();
+    let mut s20: Vec<QueryOutcome> = Vec::new();
+    // All engines run at the same fixed reasoning depth: the generated
+    // scenes are denser than the paper's (their near-closures diverge at
+    // unbounded depth, see the `>N` rows of Table 2), and the figure's
+    // subject is the exact-vs-top-k runtime and error comparison.
+    let depth = Some(5);
+    for scene in &scenes {
+        let q = &scene.queries[0];
+        ltg.push(run_query(&scene.program, q, EngineKind::LtgWith, SolverKind::Sdd, limits, false, depth));
+        s1.push(run_query(&scene.program, q, EngineKind::TopK(1), SolverKind::Sdd, limits, false, depth));
+        s20.push(run_query(&scene.program, q, EngineKind::TopK(20), SolverKind::Sdd, limits, false, depth));
+    }
+
+    // (a) runtime comparison.
+    println!("# Figure 7a — runtime per scene (ms)");
+    println!(
+        "{:<10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "scene", "L reason", "L lineage", "L prob", "L total", "S(1)", "S(20)"
+    );
+    for (i, ((l, a), b)) in ltg.iter().zip(&s1).zip(&s20).enumerate() {
+        println!(
+            "{:<10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            format!("#{i}"),
+            fmt_ms(l.reason_ms, l.error),
+            fmt_ms(l.lineage_ms, l.error),
+            fmt_ms(l.prob_ms, l.error),
+            fmt_ms(l.total_ms(), l.error),
+            fmt_ms(a.total_ms(), a.error),
+            fmt_ms(b.total_ms(), b.error),
+        );
+    }
+
+    // (b) relative probability errors, bucketed.
+    println!("\n# Figure 7b — relative probability error of the approximations");
+    let buckets = ["[0,10%)", "[10,30%)", "[30,50%)", "[50,70%)", "[70,90%)", ">=90%"];
+    for (label, approx) in [("S(1)", &s1), ("S(20)", &s20)] {
+        let mut counts = [0usize; 6];
+        let mut answers = 0usize;
+        for (l, a) in ltg.iter().zip(approx.iter()) {
+            if l.error.is_some() || a.error.is_some() {
+                continue;
+            }
+            for (key, (_, exact)) in l.answer_keys.iter().zip(&l.probs) {
+                let approx_p = a
+                    .answer_keys
+                    .iter()
+                    .position(|k| k == key)
+                    .map(|i| a.probs[i].1)
+                    .unwrap_or(0.0);
+                let err = if *exact > 0.0 {
+                    ((exact - approx_p) / exact).max(0.0)
+                } else {
+                    0.0
+                };
+                let b = match err {
+                    e if e < 0.10 => 0,
+                    e if e < 0.30 => 1,
+                    e if e < 0.50 => 2,
+                    e if e < 0.70 => 3,
+                    e if e < 0.90 => 4,
+                    _ => 5,
+                };
+                counts[b] += 1;
+                answers += 1;
+            }
+        }
+        print!("{label:<6} ({answers} answers) ");
+        for (bucket, count) in buckets.iter().zip(counts) {
+            print!(" {bucket}={count}");
+        }
+        println!();
+    }
+
+    // (c) anecdote: 5 slowest scenes for Scallop(20).
+    println!("\n# Figure 7c — the 5 scenes where Scallop works hardest");
+    let mut order: Vec<usize> = (0..scenes.len()).collect();
+    order.sort_by(|&a, &b| s20[b].total_ms().partial_cmp(&s20[a].total_ms()).unwrap());
+    println!(
+        "{:<10} {:>10} {:>10} {:>10} {:>8} {:>8} {:>8}",
+        "scene", "S(1) ms", "S(20) ms", "L w/ ms", "P S(1)", "P S(20)", "P exact"
+    );
+    for &i in order.iter().take(5) {
+        let max_p = |o: &QueryOutcome| {
+            o.probs
+                .iter()
+                .map(|(_, p)| *p)
+                .fold(0.0f64, f64::max)
+        };
+        println!(
+            "{:<10} {:>10} {:>10} {:>10} {:>8.3} {:>8.3} {:>8.3}",
+            format!("#{i}"),
+            fmt_ms(s1[i].total_ms(), s1[i].error),
+            fmt_ms(s20[i].total_ms(), s20[i].error),
+            fmt_ms(ltg[i].total_ms(), ltg[i].error),
+            max_p(&s1[i]),
+            max_p(&s20[i]),
+            max_p(&ltg[i]),
+        );
+    }
+}

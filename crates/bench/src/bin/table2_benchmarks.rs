@@ -1,0 +1,52 @@
+//! **Table 2** — benchmark statistics: #R (rules), #DB (database facts),
+//! #DR (distinct fact derivations, computed with LTGs w/), #Q (queries).
+//!
+//! For `Smokers` and `VQAR` the paper marks #DB/#DR with `*` (they depend
+//! on N / the query); we report the generated instances directly.
+//!
+//! Usage: `cargo run --release -p ltg-bench --bin table2_benchmarks`
+
+use ltg_bench::scenarios;
+use ltg_benchdata::Scenario;
+use ltg_core::{EngineConfig, LtgEngine};
+use ltg_storage::ResourceMeter;
+use std::time::Duration;
+
+/// #DR with LTGs w/ under a scenario budget. Scenarios that exhaust it
+/// (the paper's YAGO rows OOM on most queries too, Table 6) report the
+/// count reached so far, prefixed with `>`.
+fn derivations(s: &Scenario) -> String {
+    let mut config = EngineConfig::with_collapse();
+    config.max_depth = s.max_depth;
+    let meter = ResourceMeter::with_limits(1 << 30, Some(Duration::from_secs(30)));
+    let mut engine = LtgEngine::with_config_and_meter(&s.program, config, meter);
+    match engine.reason() {
+        Ok(stats) => stats.derivations.to_string(),
+        Err(_) => format!(">{}", engine.stats().derivations),
+    }
+}
+
+fn main() {
+    println!(
+        "{:<14} {:>6} {:>8} {:>9} {:>5}",
+        "benchmark", "#R", "#DB", "#DR", "#Q"
+    );
+    let mut rows: Vec<Scenario> = vec![
+        scenarios::lubm(1),
+        scenarios::dbpedia(20),
+        scenarios::claros(20),
+        scenarios::yago(5),
+        scenarios::yago(10),
+        scenarios::yago(15),
+        scenarios::wn18rr(5),
+        scenarios::wn18rr(10),
+        scenarios::wn18rr(15),
+        scenarios::smokers(4, 20),
+    ];
+    rows.extend(scenarios::vqar(1));
+    for s in &rows {
+        let (r, db, q) = s.table2_stats();
+        let dr = derivations(s);
+        println!("{:<14} {r:>6} {db:>8} {dr:>9} {q:>5}", s.name);
+    }
+}

@@ -1,0 +1,143 @@
+//! **Table 3 + Figure 4 + Figure 5** — the LUBM experiment.
+//!
+//! For every LUBM query Q1–Q14 (magic sets applied, as in Section 6.2),
+//! runs: `TcP`+SDD (P), Scallop(30)+SDD (S), `ΔTcP`+SDD (vP), LTGs w/o +
+//! SDD, LTGs w/ + {SDD, d-tree, c2d} — and prints:
+//!
+//! * Table 3: total query-answering time per engine;
+//! * Figure 4: the reasoning / lineage / probability breakdown for vP,
+//!   L w/o and L w/;
+//! * Figure 5: the number of derivations for L w/o vs L w/.
+//!
+//! Usage: `cargo run --release -p ltg-bench --bin table3_lubm [scale]`
+//! (scale 1 ≈ LUBM010-shaped, 10 ≈ LUBM100-shaped).
+
+use ltg_bench::scenarios;
+use ltg_bench::{fmt_ms, run_query, EngineKind, Limits, QueryOutcome};
+use ltg_wmc::SolverKind;
+
+fn main() {
+    let scale: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    let scenario = scenarios::lubm(scale);
+    let (n_rules, n_facts, n_queries) = scenario.table2_stats();
+    println!(
+        "# {} — {n_rules} rules, {n_facts} facts, {n_queries} queries\n",
+        scenario.name
+    );
+
+    let limits = Limits::default();
+    let engines: Vec<(EngineKind, SolverKind, &str)> = vec![
+        (EngineKind::Tcp, SolverKind::Sdd, "P+SDD"),
+        (EngineKind::TopK(30), SolverKind::Sdd, "S(30)+SDD"),
+        (EngineKind::DeltaTcp, SolverKind::Sdd, "vP+SDD"),
+        (EngineKind::LtgWithout, SolverKind::Sdd, "L w/o+SDD"),
+        (EngineKind::LtgWith, SolverKind::Sdd, "L w/+SDD"),
+        (EngineKind::LtgWith, SolverKind::Dtree, "L w/+d-tree"),
+        (EngineKind::LtgWith, SolverKind::Cnf, "L w/+c2d"),
+    ];
+
+    // Run every cell once; remember the outcomes for the breakdown.
+    let mut cells: Vec<Vec<QueryOutcome>> = Vec::new();
+    for (engine, solver, _) in &engines {
+        let mut row = Vec::new();
+        for query in &scenario.queries {
+            row.push(run_query(
+                &scenario.program,
+                query,
+                *engine,
+                *solver,
+                limits,
+                true,
+                scenario.max_depth,
+            ));
+        }
+        cells.push(row);
+    }
+
+    // ------------------------------------------------------------------
+    // Table 3: total time per query and engine.
+    // ------------------------------------------------------------------
+    println!("## Table 3 — total query-answering time (ms unless suffixed)");
+    print!("{:<12}", "engine");
+    for qi in 1..=scenario.queries.len() {
+        print!(" {:>8}", format!("Q{qi}"));
+    }
+    println!();
+    for ((_, _, label), row) in engines.iter().zip(&cells) {
+        print!("{label:<12}");
+        for out in row {
+            print!(" {:>8}", fmt_ms(out.total_ms(), out.error));
+        }
+        println!();
+    }
+
+    // ------------------------------------------------------------------
+    // Figure 4: breakdown for vP, L w/o, L w/ (all +SDD).
+    // ------------------------------------------------------------------
+    println!("\n## Figure 4 — runtime breakdown (reason/lineage/probability, ms)");
+    for (label, idx) in [("vP", 2usize), ("L w/o", 3), ("L w/", 4)] {
+        print!("{label:<8}");
+        for out in &cells[idx] {
+            if out.error.is_some() {
+                print!(" {:>20}", out.error.unwrap());
+            } else {
+                print!(
+                    " {:>20}",
+                    format!(
+                        "{}/{}/{}",
+                        fmt_ms(out.reason_ms, None),
+                        fmt_ms(out.lineage_ms, None),
+                        fmt_ms(out.prob_ms, None)
+                    )
+                );
+            }
+        }
+        println!();
+    }
+
+    // ------------------------------------------------------------------
+    // Figure 5: derivation counts.
+    // ------------------------------------------------------------------
+    println!("\n## Figure 5 — number of derivations (#DR)");
+    for (label, idx) in [("L w/o", 3usize), ("L w/", 4)] {
+        print!("{label:<8}");
+        for out in &cells[idx] {
+            print!(" {:>9}", out.derivations);
+        }
+        println!();
+    }
+
+    // Consistency check across exact engines (who-wins shape sanity).
+    let mut agree = 0usize;
+    let mut total = 0usize;
+    for qi in 0..scenario.queries.len() {
+        let exact: Vec<&QueryOutcome> = [0usize, 2, 3, 4]
+            .iter()
+            .map(|&i| &cells[i][qi])
+            .filter(|o| o.error.is_none())
+            .collect();
+        if exact.len() < 2 {
+            continue;
+        }
+        total += 1;
+        // Engines enumerate answers in different orders; compare the
+        // sorted probability multisets.
+        let sorted = |o: &QueryOutcome| -> Vec<f64> {
+            let mut v: Vec<f64> = o.probs.iter().map(|(_, p)| *p).collect();
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            v
+        };
+        let base = sorted(exact[0]);
+        if exact.iter().all(|o| {
+            let v = sorted(o);
+            v.len() == base.len()
+                && v.iter().zip(base.iter()).all(|(a, b)| (a - b).abs() < 1e-6)
+        }) {
+            agree += 1;
+        }
+    }
+    println!("\nexact engines agree on {agree}/{total} completed queries");
+}

@@ -1,0 +1,43 @@
+//! **Table 4** — absolute (ms) and relative runtime overhead of
+//! collapsing the lineage during reasoning, per LUBM query.
+//!
+//! Usage: `cargo run --release -p ltg-bench --bin table4_collapse_overhead [scale]`
+
+use ltg_bench::{run_query, scenarios, EngineKind, Limits};
+use ltg_wmc::SolverKind;
+
+fn main() {
+    let scale: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    let scenario = scenarios::lubm(scale);
+    println!("# Table 4 — collapse overhead on {}\n", scenario.name);
+    println!("{:<6} {:>12} {:>10}", "query", "overhead ms", "relative");
+    for (qi, query) in scenario.queries.iter().enumerate() {
+        let out = run_query(
+            &scenario.program,
+            query,
+            EngineKind::LtgWith,
+            SolverKind::Sdd,
+            Limits::default(),
+            true,
+            scenario.max_depth,
+        );
+        if let Some(tag) = out.error {
+            println!("Q{:<5} {tag:>12} {:>10}", qi + 1, "-");
+            continue;
+        }
+        let rel = if out.reason_ms > 0.0 {
+            100.0 * out.collapse_ms / out.reason_ms
+        } else {
+            0.0
+        };
+        println!(
+            "Q{:<5} {:>12.3} {:>9.2}%",
+            qi + 1,
+            out.collapse_ms,
+            rel
+        );
+    }
+}

@@ -1,0 +1,53 @@
+//! **Table 5** — average runtime (ms) and standard deviation for
+//! computing the probability of one query answer, per solver, on LUBM:
+//! vProbLog+PySDD vs LTGs w/ + {SDD, d-tree, c2d}.
+//!
+//! Usage: `cargo run --release -p ltg-bench --bin table5_probability [scale]`
+
+use ltg_bench::{mean_std, run_query, scenarios, EngineKind, Limits};
+use ltg_wmc::SolverKind;
+
+fn main() {
+    let scale: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    let scenario = scenarios::lubm(scale);
+    println!(
+        "# Table 5 — probability time per answer on {} (mean ± std, ms)\n",
+        scenario.name
+    );
+    let columns: Vec<(EngineKind, SolverKind, &str)> = vec![
+        (EngineKind::DeltaTcp, SolverKind::Sdd, "vP+SDD"),
+        (EngineKind::LtgWith, SolverKind::Sdd, "L w/+SDD"),
+        (EngineKind::LtgWith, SolverKind::Dtree, "L w/+d-tree"),
+        (EngineKind::LtgWith, SolverKind::Cnf, "L w/+c2d"),
+    ];
+    print!("{:<6}", "query");
+    for (_, _, label) in &columns {
+        print!(" {:>22}", label);
+    }
+    println!();
+    for (qi, query) in scenario.queries.iter().enumerate() {
+        print!("Q{:<5}", qi + 1);
+        for (engine, solver, _) in &columns {
+            let out = run_query(
+                &scenario.program,
+                query,
+                *engine,
+                *solver,
+                Limits::default(),
+                true,
+                scenario.max_depth,
+            );
+            match out.error {
+                Some(tag) => print!(" {tag:>22}"),
+                None => {
+                    let (mean, std) = mean_std(&out.per_answer_ms);
+                    print!(" {:>22}", format!("{mean:.4} ±{std:.4}"));
+                }
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,83 @@
+//! **Table 6** — min/max peak RAM (estimated bytes) per scenario and the
+//! number of OOM / timed-out queries, for vProbLog, LTGs w/o, LTGs w/.
+//!
+//! The engines run under a `ResourceMeter` byte budget and deadline, so
+//! the OOM/TO columns are produced by the same mechanism the paper's
+//! 94 GiB testbed produced them — just at harness scale.
+//!
+//! Usage: `cargo run --release -p ltg-bench --bin table6_memory [queries] [budget-mb]`
+
+use ltg_bench::{fmt_bytes, run_query, scenarios, EngineKind, Limits};
+use ltg_benchdata::Scenario;
+use ltg_wmc::SolverKind;
+use std::time::Duration;
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
+    let budget_mb: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(256);
+    let limits = Limits {
+        bytes: budget_mb << 20,
+        deadline: Duration::from_secs(20),
+    };
+
+    let scenario_list: Vec<Scenario> = vec![
+        scenarios::lubm(1),
+        scenarios::dbpedia(n),
+        scenarios::claros(n),
+        scenarios::yago(5),
+        scenarios::yago(10),
+        scenarios::wn18rr(5),
+        scenarios::smokers(4, n),
+        scenarios::smokers(5, n),
+    ];
+
+    println!(
+        "# Table 6 — peak memory and OOM/TO counts (budget {}MB)\n",
+        budget_mb
+    );
+    println!(
+        "{:<14} {:<8} {:>10} {:>10} {:>5} {:>5}",
+        "scenario", "engine", "min peak", "max peak", "OOM", "TO"
+    );
+    for mut s in scenario_list {
+        s.queries.truncate(n);
+        for (engine, label) in [
+            (EngineKind::DeltaTcp, "vP"),
+            (EngineKind::LtgWithout, "L w/o"),
+            (EngineKind::LtgWith, "L w/"),
+        ] {
+            let mut peaks: Vec<usize> = Vec::new();
+            let (mut oom, mut to) = (0usize, 0usize);
+            for query in &s.queries {
+                let out = run_query(
+                    &s.program,
+                    query,
+                    engine,
+                    SolverKind::Sdd,
+                    limits,
+                    true,
+                    s.max_depth,
+                );
+                match out.error {
+                    Some("OOM") | Some("NA") => oom += 1,
+                    Some("TO") => to += 1,
+                    _ => peaks.push(out.peak_bytes),
+                }
+            }
+            let (min, max) = match (peaks.iter().min(), peaks.iter().max()) {
+                (Some(&a), Some(&b)) => (fmt_bytes(a), fmt_bytes(b)),
+                _ => ("-".into(), "-".into()),
+            };
+            println!(
+                "{:<14} {:<8} {:>10} {:>10} {:>5} {:>5}",
+                s.name, label, min, max, oom, to
+            );
+        }
+    }
+}

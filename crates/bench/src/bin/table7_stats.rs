@@ -1,0 +1,82 @@
+//! **Table 7** — min/max reasoning depth (DP), #derivations (DR) and
+//! #rules relevant to the queries (R) per scenario, over the queries that
+//! complete within the limits. Run with LTGs w/ like the paper's VQAR
+//! column.
+//!
+//! Usage: `cargo run --release -p ltg-bench --bin table7_stats [queries]`
+
+use ltg_bench::{run_query, scenarios, EngineKind, Limits};
+use ltg_benchdata::Scenario;
+use ltg_datalog::magic_transform;
+use ltg_wmc::SolverKind;
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
+    let mut scenario_list: Vec<Scenario> = vec![
+        scenarios::lubm(1),
+        scenarios::dbpedia(n),
+        scenarios::claros(n),
+        scenarios::yago(5),
+        scenarios::yago(10),
+        scenarios::yago(15),
+        scenarios::wn18rr(5),
+        scenarios::wn18rr(10),
+        scenarios::wn18rr(15),
+        scenarios::smokers(4, n),
+        scenarios::smokers(5, n),
+    ];
+    scenario_list.extend(scenarios::vqar(3));
+
+    println!(
+        "{:<14} {:>12} {:>16} {:>12}",
+        "scenario", "min/max DP", "min/max DR", "min/max R"
+    );
+    for mut s in scenario_list {
+        s.queries.truncate(n);
+        let use_magic = !s.name.starts_with("VQAR");
+        let mut dp: Vec<u32> = Vec::new();
+        let mut dr: Vec<u64> = Vec::new();
+        let mut rr: Vec<usize> = Vec::new();
+        for query in &s.queries {
+            let out = run_query(
+                &s.program,
+                query,
+                EngineKind::LtgWith,
+                SolverKind::Sdd,
+                Limits::default(),
+                use_magic,
+                s.max_depth,
+            );
+            if out.error.is_some() {
+                continue;
+            }
+            dp.push(out.rounds);
+            dr.push(out.derivations);
+            // Relevant rules: the size of the magic-sets rewriting for the
+            // query (the rules actually reachable from it).
+            let relevant = if use_magic {
+                magic_transform(&s.program, query).program.rules.len()
+            } else {
+                s.program.rules.len()
+            };
+            rr.push(relevant);
+        }
+        let fmt = |min: String, max: String| format!("{min}/{max}");
+        let dp_s = match (dp.iter().min(), dp.iter().max()) {
+            (Some(a), Some(b)) => fmt(a.to_string(), b.to_string()),
+            _ => "-".into(),
+        };
+        let dr_s = match (dr.iter().min(), dr.iter().max()) {
+            (Some(a), Some(b)) => fmt(a.to_string(), b.to_string()),
+            _ => "-".into(),
+        };
+        let rr_s = match (rr.iter().min(), rr.iter().max()) {
+            (Some(a), Some(b)) => fmt(a.to_string(), b.to_string()),
+            _ => "-".into(),
+        };
+        println!("{:<14} {:>12} {:>16} {:>12}", s.name, dp_s, dr_s, rr_s);
+    }
+}

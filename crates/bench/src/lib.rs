@@ -1,0 +1,441 @@
+//! `ltg-bench` — the harness that regenerates every table and figure of
+//! the paper's evaluation (see EXPERIMENTS.md for the index).
+//!
+//! One binary per experiment lives in `src/bin/`; quick Criterion benches
+//! live in `benches/`. This library holds the shared plumbing: running a
+//! (scenario, query, engine, solver) cell with the paper's QA methodology
+//! (magic sets → reasoning → lineage collection → probability
+//! computation), resource limits, and table formatting.
+
+// Paper-style citation brackets ([77], [41], …) are used throughout the
+// doc comments; they are not intra-doc links.
+#![allow(rustdoc::broken_intra_doc_links)]
+
+pub mod scenarios;
+
+use ltg_baselines::{
+    BaselineConfig, CircuitEngine, DeltaTcpEngine, ProbEngine, TcpEngine, TopKEngine,
+};
+use ltg_core::{EngineConfig, EngineError, LtgEngine};
+use ltg_datalog::{magic_transform, Atom, Program};
+use ltg_lineage::extract::DnfCache;
+use ltg_storage::{FactId, ResourceMeter};
+use ltg_wmc::SolverKind;
+use std::time::{Duration, Instant};
+
+/// Which engine to run in a cell.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EngineKind {
+    /// ProbLog2-style `TcP` ("P").
+    Tcp,
+    /// vProbLog-style `ΔTcP` ("vP").
+    DeltaTcp,
+    /// Scallop-style top-k ("S(k)").
+    TopK(usize),
+    /// LTGs with collapsing ("L w/").
+    LtgWith,
+    /// LTGs without collapsing ("L w/o").
+    LtgWithout,
+    /// Provenance circuits ("circuit").
+    Circuit,
+}
+
+impl EngineKind {
+    /// Paper-style label.
+    pub fn label(&self) -> String {
+        match self {
+            EngineKind::Tcp => "P".into(),
+            EngineKind::DeltaTcp => "vP".into(),
+            EngineKind::TopK(k) => format!("S({k})"),
+            EngineKind::LtgWith => "L w/".into(),
+            EngineKind::LtgWithout => "L w/o".into(),
+            EngineKind::Circuit => "circuit".into(),
+        }
+    }
+}
+
+/// Per-query resource limits (Table 6 knobs).
+#[derive(Clone, Copy, Debug)]
+pub struct Limits {
+    /// Estimated-bytes budget.
+    pub bytes: usize,
+    /// Wall-clock deadline.
+    pub deadline: Duration,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            bytes: 512 << 20,
+            deadline: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Outcome of one (query, engine, solver) cell.
+#[derive(Clone, Debug, Default)]
+pub struct QueryOutcome {
+    /// Reasoning time (ms).
+    pub reason_ms: f64,
+    /// Lineage-collection time (ms; 0 for the `TcP` family, which has no
+    /// separate collection step).
+    pub lineage_ms: f64,
+    /// Probability-computation time (ms, all answers).
+    pub prob_ms: f64,
+    /// Collapse overhead (ms; Table 4).
+    pub collapse_ms: f64,
+    /// Number of candidate derivations (#DR).
+    pub derivations: u64,
+    /// Peak estimated bytes.
+    pub peak_bytes: usize,
+    /// Reasoning rounds (Table 7's depth).
+    pub rounds: u32,
+    /// Per-answer probabilities.
+    pub probs: Vec<(FactId, f64)>,
+    /// Rendered answer tuples (constants joined with `,`), parallel to
+    /// `probs` — fact ids are engine-local, so cross-engine comparisons
+    /// (Figure 7b) must match on these keys instead.
+    pub answer_keys: Vec<String>,
+    /// Per-answer probability-computation times (ms; Table 5).
+    pub per_answer_ms: Vec<f64>,
+    /// Failure tag ("OOM", "TO", "NA") if the cell did not complete.
+    pub error: Option<&'static str>,
+}
+
+impl QueryOutcome {
+    /// Total time (ms).
+    pub fn total_ms(&self) -> f64 {
+        self.reason_ms + self.lineage_ms + self.prob_ms
+    }
+}
+
+/// Runs one cell with the paper's QA methodology: apply magic sets for
+/// the query (unless `use_magic` is false, as in VQAR), reason, collect
+/// lineage, compute probabilities.
+pub fn run_query(
+    program: &Program,
+    query: &Atom,
+    engine: EngineKind,
+    solver: SolverKind,
+    limits: Limits,
+    use_magic: bool,
+    max_depth: Option<u32>,
+) -> QueryOutcome {
+    let (prog, q) = if use_magic {
+        let m = magic_transform(program, query);
+        (m.program, m.query)
+    } else {
+        (program.clone(), query.clone())
+    };
+    let meter = ResourceMeter::with_limits(limits.bytes, Some(limits.deadline));
+    match engine {
+        EngineKind::LtgWith | EngineKind::LtgWithout => {
+            let mut config = if engine == EngineKind::LtgWith {
+                EngineConfig::with_collapse()
+            } else {
+                EngineConfig::without_collapse()
+            };
+            config.max_depth = max_depth;
+            run_ltg(&prog, &q, config, meter, solver)
+        }
+        _ => run_baseline(&prog, &q, engine, meter, solver, max_depth),
+    }
+}
+
+fn tag_of(e: EngineError) -> &'static str {
+    e.tag()
+}
+
+/// Joins the constant names of an answer tuple (cross-engine match key).
+fn render_args(args: &[ltg_datalog::Sym], symbols: &ltg_datalog::SymbolTable) -> String {
+    let mut out = String::new();
+    for (i, a) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(symbols.name(*a));
+    }
+    out
+}
+
+fn run_ltg(
+    program: &Program,
+    query: &Atom,
+    config: EngineConfig,
+    meter: ResourceMeter,
+    solver: SolverKind,
+) -> QueryOutcome {
+    let mut out = QueryOutcome::default();
+    let mut engine = LtgEngine::with_config_and_meter(program, config, meter);
+    if let Err(e) = engine.reason() {
+        out.error = Some(tag_of(e));
+        out.reason_ms = engine.stats().reasoning_time.as_secs_f64() * 1e3;
+        out.peak_bytes = engine.meter().peak();
+        return out;
+    }
+    let stats = engine.stats().clone();
+    out.reason_ms = stats.reasoning_time.as_secs_f64() * 1e3;
+    out.collapse_ms = stats.collapse_time.as_secs_f64() * 1e3;
+    out.derivations = stats.derivations;
+    out.rounds = stats.rounds;
+
+    // Lineage collection.
+    let t0 = Instant::now();
+    let facts = engine.answer_facts(query);
+    let mut cache = DnfCache::default();
+    let mut lineages = Vec::with_capacity(facts.len());
+    for &f in &facts {
+        match engine.lineage_with_cache(f, &mut cache) {
+            Ok(d) => lineages.push((f, d)),
+            Err(e) => {
+                out.lineage_ms = t0.elapsed().as_secs_f64() * 1e3;
+                out.peak_bytes = engine.meter().peak();
+                out.error = Some(tag_of(e));
+                return out;
+            }
+        }
+    }
+    out.lineage_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    // Probability computation.
+    let weights = engine.db().weights();
+    let wmc = solver.build();
+    let t0 = Instant::now();
+    for (f, d) in &lineages {
+        let ta = Instant::now();
+        match wmc.probability(d, &weights) {
+            Ok(p) => {
+                out.per_answer_ms.push(ta.elapsed().as_secs_f64() * 1e3);
+                out.probs.push((*f, p));
+                out.answer_keys.push(render_args(
+                    engine.db().store.args(*f),
+                    &engine.program().symbols,
+                ));
+            }
+            Err(_) => {
+                out.prob_ms = t0.elapsed().as_secs_f64() * 1e3;
+                out.peak_bytes = engine.meter().peak();
+                out.error = Some("NA");
+                return out;
+            }
+        }
+    }
+    out.prob_ms = t0.elapsed().as_secs_f64() * 1e3;
+    out.peak_bytes = engine.meter().peak();
+    out
+}
+
+fn run_baseline(
+    program: &Program,
+    query: &Atom,
+    kind: EngineKind,
+    meter: ResourceMeter,
+    solver: SolverKind,
+    max_depth: Option<u32>,
+) -> QueryOutcome {
+    let config = BaselineConfig {
+        max_depth,
+        ..BaselineConfig::default()
+    };
+    let mut engine: Box<dyn ProbEngine> = match kind {
+        EngineKind::Tcp => Box::new(TcpEngine::with_config(program, config, meter)),
+        EngineKind::DeltaTcp => Box::new(DeltaTcpEngine::with_config(program, config, meter)),
+        EngineKind::TopK(k) => Box::new(TopKEngine::with_config(program, k, config, meter)),
+        EngineKind::Circuit => Box::new(CircuitEngine::with_config(program, config, meter)),
+        _ => unreachable!("LTG handled separately"),
+    };
+    let mut out = QueryOutcome::default();
+    if let Err(e) = engine.run() {
+        out.error = Some(tag_of(e));
+        out.reason_ms = engine.stats().reasoning_time.as_secs_f64() * 1e3;
+        out.peak_bytes = engine.stats().peak_bytes;
+        return out;
+    }
+    let stats = engine.stats().clone();
+    out.reason_ms = stats.reasoning_time.as_secs_f64() * 1e3;
+    out.derivations = stats.derivations;
+    out.rounds = stats.rounds;
+    out.peak_bytes = stats.peak_bytes;
+
+    let answers = engine.answer(query);
+    let weights = engine.db().weights();
+    let wmc = solver.build();
+    let t0 = Instant::now();
+    for (f, d) in &answers {
+        let ta = Instant::now();
+        match wmc.probability(d, &weights) {
+            Ok(p) => {
+                out.per_answer_ms.push(ta.elapsed().as_secs_f64() * 1e3);
+                out.probs.push((*f, p));
+                out.answer_keys
+                    .push(render_args(engine.db().store.args(*f), &program.symbols));
+            }
+            Err(_) => {
+                out.prob_ms = t0.elapsed().as_secs_f64() * 1e3;
+                out.error = Some("NA");
+                return out;
+            }
+        }
+    }
+    out.prob_ms = t0.elapsed().as_secs_f64() * 1e3;
+    out
+}
+
+// ----------------------------------------------------------------------
+// Formatting helpers (paper-style tables)
+// ----------------------------------------------------------------------
+
+/// Formats milliseconds the way the paper's tables do: "57" (ms) below
+/// one second, "1.3s" above, "NA"/"OOM"/"TO" on failure.
+pub fn fmt_ms(outcome_ms: f64, error: Option<&'static str>) -> String {
+    match error {
+        Some(tag) => tag.to_string(),
+        None if outcome_ms >= 1000.0 => format!("{:.1}s", outcome_ms / 1000.0),
+        None if outcome_ms >= 10.0 => format!("{outcome_ms:.0}"),
+        None => format!("{outcome_ms:.2}"),
+    }
+}
+
+/// Five-number summary (min, q1, median, q3, max) for the boxplot
+/// figures.
+pub fn five_number_summary(values: &mut Vec<f64>) -> Option<[f64; 5]> {
+    if values.is_empty() {
+        return None;
+    }
+    values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let q = |frac: f64| -> f64 {
+        let pos = frac * (values.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let w = pos - lo as f64;
+        values[lo] * (1.0 - w) + values[hi] * w
+    };
+    Some([q(0.0), q(0.25), q(0.5), q(0.75), q(1.0)])
+}
+
+/// Mean and standard deviation (Table 5).
+pub fn mean_std(values: &[f64]) -> (f64, f64) {
+    if values.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mean = values.iter().sum::<f64>() / values.len() as f64;
+    let var = values
+        .iter()
+        .map(|v| (v - mean) * (v - mean))
+        .sum::<f64>()
+        / values.len() as f64;
+    (mean, var.sqrt())
+}
+
+/// Bytes → human-readable ("1.9 GB" style, Table 6 uses GB).
+pub fn fmt_bytes(bytes: usize) -> String {
+    let mb = bytes as f64 / (1024.0 * 1024.0);
+    if mb >= 1024.0 {
+        format!("{:.1}GB", mb / 1024.0)
+    } else {
+        format!("{mb:.1}MB")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltg_datalog::parse_program;
+
+    const EXAMPLE1: &str = "
+        0.5 :: e(a, b). 0.6 :: e(b, c). 0.7 :: e(a, c). 0.8 :: e(c, b).
+        p(X, Y) :- e(X, Y).
+        p(X, Y) :- p(X, Z), p(Z, Y).
+        query p(a, b).
+    ";
+
+    #[test]
+    fn every_engine_agrees_on_example1_with_magic_sets() {
+        let program = parse_program(EXAMPLE1).unwrap();
+        let query = &program.queries[0];
+        let engines = [
+            EngineKind::Tcp,
+            EngineKind::DeltaTcp,
+            EngineKind::LtgWith,
+            EngineKind::LtgWithout,
+            EngineKind::Circuit,
+            EngineKind::TopK(30),
+        ];
+        for engine in engines {
+            let out = run_query(
+                &program,
+                query,
+                engine,
+                SolverKind::Sdd,
+                Limits::default(),
+                true,
+                None,
+            );
+            assert!(out.error.is_none(), "{}: {:?}", engine.label(), out.error);
+            assert_eq!(out.probs.len(), 1, "{}", engine.label());
+            assert!(
+                (out.probs[0].1 - 0.78).abs() < 1e-9,
+                "{}: {}",
+                engine.label(),
+                out.probs[0].1
+            );
+        }
+    }
+
+    #[test]
+    fn solvers_agree_through_harness() {
+        let program = parse_program(EXAMPLE1).unwrap();
+        let query = &program.queries[0];
+        for solver in SolverKind::exact() {
+            let out = run_query(
+                &program,
+                query,
+                EngineKind::LtgWith,
+                solver,
+                Limits::default(),
+                true,
+                None,
+            );
+            assert!((out.probs[0].1 - 0.78).abs() < 1e-9, "{solver}");
+        }
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_ms(57.0, None), "57");
+        assert_eq!(fmt_ms(1300.0, None), "1.3s");
+        assert_eq!(fmt_ms(3.25, None), "3.25");
+        assert_eq!(fmt_ms(999.0, Some("OOM")), "OOM");
+        assert_eq!(fmt_bytes(1 << 20), "1.0MB");
+        assert_eq!(fmt_bytes(3 << 30), "3.0GB");
+    }
+
+    #[test]
+    fn summaries() {
+        let mut v = vec![5.0, 1.0, 3.0, 2.0, 4.0];
+        let s = five_number_summary(&mut v).unwrap();
+        assert_eq!(s, [1.0, 2.0, 3.0, 4.0, 5.0]);
+        let (m, sd) = mean_std(&[2.0, 4.0]);
+        assert_eq!(m, 3.0);
+        assert_eq!(sd, 1.0);
+    }
+
+    #[test]
+    fn timeouts_are_reported() {
+        let program = parse_program(EXAMPLE1).unwrap();
+        let query = &program.queries[0];
+        let out = run_query(
+            &program,
+            query,
+            EngineKind::Tcp,
+            SolverKind::Sdd,
+            Limits {
+                bytes: usize::MAX,
+                deadline: Duration::from_nanos(1),
+            },
+            false,
+            None,
+        );
+        assert_eq!(out.error, Some("TO"));
+    }
+}

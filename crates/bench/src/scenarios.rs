@@ -1,0 +1,90 @@
+//! Paper-scenario constructors at harness scale.
+//!
+//! Each function builds one row of Table 2. Default sizes are chosen so
+//! the whole harness completes on a laptop; every generator exposes its
+//! paper-scale knobs (see `ltg-benchdata`).
+
+use ltg_benchdata::kgmine::{self, KgMineConfig};
+use ltg_benchdata::lubm::{self, LubmConfig};
+use ltg_benchdata::querygen;
+use ltg_benchdata::smokers::{self, SmokersConfig};
+use ltg_benchdata::vqar::{self, VqarConfig};
+use ltg_benchdata::webkg::{self, WebKgConfig};
+use ltg_benchdata::Scenario;
+
+/// LUBM-shaped scenario; `factor = 1` ≈ "LUBM010"-shaped, `factor = 10`
+/// ≈ "LUBM100"-shaped (relative sizes as in the paper).
+pub fn lubm(factor: usize) -> Scenario {
+    let name = if factor <= 1 { "LUBM010-S" } else { "LUBM100-S" };
+    lubm::generate(name, &LubmConfig::scaled(factor))
+}
+
+/// DBpedia-shaped scenario with QueryGen queries.
+pub fn dbpedia(n_queries: usize) -> Scenario {
+    let mut s = webkg::generate("DBpedia-S", &WebKgConfig::dbpedia());
+    querygen::attach_queries(&mut s, n_queries, 0xD8).expect("querygen");
+    s
+}
+
+/// Claros-shaped scenario with QueryGen queries.
+pub fn claros(n_queries: usize) -> Scenario {
+    let mut s = webkg::generate("Claros-S", &WebKgConfig::claros());
+    querygen::attach_queries(&mut s, n_queries, 0xC1).expect("querygen");
+    s
+}
+
+/// YAGO-shaped rule-mining scenario (`k` = rules kept per predicate).
+pub fn yago(k: usize) -> Scenario {
+    let mut s = kgmine::generate(&format!("YAGO{k}-S"), &KgMineConfig::yago(k));
+    s.name = format!("YAGO{k}-S");
+    s
+}
+
+/// WN18RR-shaped rule-mining scenario.
+pub fn wn18rr(k: usize) -> Scenario {
+    kgmine::generate(&format!("WN18RR{k}-S"), &KgMineConfig::wn18rr(k))
+}
+
+/// Smokers scenario with the given depth cap (paper: 4 or 5). Query
+/// count reduced from the paper's 110 for harness speed.
+pub fn smokers(depth: u32, n_queries: usize) -> Scenario {
+    let mut s = smokers::generate(&SmokersConfig {
+        queries: n_queries,
+        ..SmokersConfig::paper(depth)
+    });
+    s.name = format!("Smokers{depth}-S");
+    s
+}
+
+/// VQAR scenes (each scene is one query/program pair).
+pub fn vqar(count: usize) -> Vec<Scenario> {
+    vqar::scenes(
+        count,
+        &VqarConfig {
+            objects: 9,
+            degree: 2.6,
+            ..VqarConfig::default()
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_scenarios_build() {
+        assert_eq!(lubm(1).queries.len(), 14);
+        assert!(yago(5).table2_stats().0 > 0);
+        assert!(wn18rr(5).table2_stats().0 > 0);
+        let s = smokers(4, 10);
+        assert_eq!(s.max_depth, Some(4));
+        assert_eq!(vqar(2).len(), 2);
+    }
+
+    #[test]
+    fn querygen_scenarios_have_queries() {
+        let s = claros(5);
+        assert!(!s.queries.is_empty());
+    }
+}

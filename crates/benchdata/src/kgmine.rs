@@ -1,0 +1,370 @@
+//! Rule-mining benchmarks: YAGO / WN18RR scenarios with AnyBurl-style
+//! mined rules [57].
+//!
+//! The paper mines rules from the train+valid splits of YAGO3 and WN18RR
+//! with AnyBurl, keeps the top {5, 10, 15} rules per predicate by
+//! confidence, attaches each rule's confidence as a dummy-fact
+//! probability (the Section 2 trick), and evaluates the test triples at
+//! reasoning time.
+//!
+//! Neither the KGs nor AnyBurl are redistributable here, so this module
+//! (a) generates a random multi-relational KG with *planted* regularities
+//! (implication, inverse and composition patterns — the shapes AnyBurl
+//! actually finds), and (b) implements the mining loop itself: candidate
+//! enumeration over the three rule shapes, support/confidence scoring on
+//! the training split, top-k selection per head relation.
+
+use crate::scenario::Scenario;
+use ltg_datalog::fxhash::{FxHashMap, FxHashSet};
+use ltg_datalog::{Program, VarScope};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Generator parameters.
+#[derive(Clone, Debug)]
+pub struct KgMineConfig {
+    /// Number of entities.
+    pub entities: usize,
+    /// Number of relations.
+    pub relations: usize,
+    /// Base (random) triples generated before pattern planting.
+    pub base_triples: usize,
+    /// Rules kept per head relation (the paper's k ∈ {5, 10, 15}).
+    pub top_k: usize,
+    /// Minimum body support for a mined rule.
+    pub min_support: usize,
+    /// Number of test-triple queries to emit.
+    pub queries: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl KgMineConfig {
+    /// YAGO-shaped (more relations, broader graph).
+    pub fn yago(top_k: usize) -> Self {
+        KgMineConfig {
+            entities: 400,
+            relations: 14,
+            base_triples: 3_000,
+            top_k,
+            min_support: 3,
+            queries: 50,
+            seed: 0x9A60,
+        }
+    }
+
+    /// WN18RR-shaped (fewer relations, denser reuse).
+    pub fn wn18rr(top_k: usize) -> Self {
+        KgMineConfig {
+            entities: 250,
+            relations: 8,
+            base_triples: 2_200,
+            top_k,
+            min_support: 3,
+            queries: 20,
+            seed: 0x3318,
+        }
+    }
+}
+
+type Triple = (usize, usize, usize); // (relation, subject, object)
+
+/// A mined rule with its confidence.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MinedRule {
+    /// `head(X,Y) :- body(X,Y)`.
+    Implication { head: usize, body: usize, confidence: f64 },
+    /// `head(X,Y) :- body(Y,X)`.
+    Inverse { head: usize, body: usize, confidence: f64 },
+    /// `head(X,Y) :- b1(X,Z), b2(Z,Y)`.
+    Composition { head: usize, b1: usize, b2: usize, confidence: f64 },
+}
+
+impl MinedRule {
+    /// The confidence score.
+    pub fn confidence(&self) -> f64 {
+        match self {
+            MinedRule::Implication { confidence, .. }
+            | MinedRule::Inverse { confidence, .. }
+            | MinedRule::Composition { confidence, .. } => *confidence,
+        }
+    }
+
+    /// The head relation.
+    pub fn head(&self) -> usize {
+        match self {
+            MinedRule::Implication { head, .. }
+            | MinedRule::Inverse { head, .. }
+            | MinedRule::Composition { head, .. } => *head,
+        }
+    }
+}
+
+/// Generates the KG with planted regularities and splits it.
+fn generate_kg(config: &KgMineConfig, rng: &mut StdRng) -> (Vec<Triple>, Vec<Triple>, Vec<Triple>) {
+    let mut triples: FxHashSet<Triple> = FxHashSet::default();
+    // Base random triples with mild subject skew.
+    for _ in 0..config.base_triples {
+        let r = rng.random_range(0..config.relations);
+        let u = rng.random::<f64>();
+        let s = ((u * u) * config.entities as f64) as usize % config.entities;
+        let o = rng.random_range(0..config.entities);
+        triples.insert((r, s, o));
+    }
+    // Planted implication r0 ⊆ r1, inverse r2 ↔ r3, composition r4∘r5 ⊆ r6
+    // (indices mod the relation count for small configs).
+    let m = config.relations;
+    let snapshot: Vec<Triple> = triples.iter().copied().collect();
+    for &(r, s, o) in &snapshot {
+        if r == 0 && rng.random::<f64>() < 0.8 {
+            triples.insert((1 % m, s, o));
+        }
+        if r == 2 % m && rng.random::<f64>() < 0.75 {
+            triples.insert((3 % m, o, s));
+        }
+    }
+    let r4: Vec<Triple> = triples.iter().copied().filter(|t| t.0 == 4 % m).collect();
+    let mut by_subject: FxHashMap<usize, Vec<usize>> = FxHashMap::default();
+    for &(_, s, o) in triples.iter().filter(|t| t.0 == 5 % m) {
+        by_subject.entry(s).or_default().push(o);
+    }
+    for &(_, s, z) in &r4 {
+        if let Some(objs) = by_subject.get(&z) {
+            for &o in objs.iter().take(3) {
+                if rng.random::<f64>() < 0.6 {
+                    triples.insert((6 % m, s, o));
+                }
+            }
+        }
+    }
+
+    // Shuffle & split 80/10/10.
+    let mut all: Vec<Triple> = triples.into_iter().collect();
+    all.sort_unstable();
+    for i in (1..all.len()).rev() {
+        let j = rng.random_range(0..=i);
+        all.swap(i, j);
+    }
+    let n = all.len();
+    let train_end = n * 8 / 10;
+    let valid_end = n * 9 / 10;
+    let train = all[..train_end].to_vec();
+    let valid = all[train_end..valid_end].to_vec();
+    let test = all[valid_end..].to_vec();
+    (train, valid, test)
+}
+
+/// AnyBurl-style miner: enumerates the three rule shapes over the
+/// training split, scores confidence = support / body-count, keeps the
+/// `top_k` rules per head relation.
+pub fn mine_rules(train: &[Triple], relations: usize, top_k: usize, min_support: usize) -> Vec<MinedRule> {
+    let contains: FxHashSet<Triple> = train.iter().copied().collect();
+    let mut pairs: Vec<Vec<(usize, usize)>> = vec![Vec::new(); relations];
+    let mut by_subject: Vec<FxHashMap<usize, Vec<usize>>> =
+        vec![FxHashMap::default(); relations];
+    for &(r, s, o) in train {
+        pairs[r].push((s, o));
+        by_subject[r].entry(s).or_default().push(o);
+    }
+
+    let mut candidates: Vec<MinedRule> = Vec::new();
+    for head in 0..relations {
+        for body in 0..relations {
+            if body == head {
+                continue;
+            }
+            // Implication.
+            let support = pairs[body]
+                .iter()
+                .filter(|&&(s, o)| contains.contains(&(head, s, o)))
+                .count();
+            if support >= min_support && !pairs[body].is_empty() {
+                candidates.push(MinedRule::Implication {
+                    head,
+                    body,
+                    confidence: support as f64 / pairs[body].len() as f64,
+                });
+            }
+            // Inverse.
+            let support = pairs[body]
+                .iter()
+                .filter(|&&(s, o)| contains.contains(&(head, o, s)))
+                .count();
+            if support >= min_support && !pairs[body].is_empty() {
+                candidates.push(MinedRule::Inverse {
+                    head,
+                    body,
+                    confidence: support as f64 / pairs[body].len() as f64,
+                });
+            }
+        }
+        // Composition (bounded enumeration).
+        for b1 in 0..relations {
+            for b2 in 0..relations {
+                let mut body_count = 0usize;
+                let mut support = 0usize;
+                for &(s, z) in pairs[b1].iter().take(4_000) {
+                    if let Some(objs) = by_subject[b2].get(&z) {
+                        for &o in objs {
+                            body_count += 1;
+                            if contains.contains(&(head, s, o)) {
+                                support += 1;
+                            }
+                        }
+                    }
+                }
+                if support >= min_support && body_count > 0 {
+                    candidates.push(MinedRule::Composition {
+                        head,
+                        b1,
+                        b2,
+                        confidence: support as f64 / body_count as f64,
+                    });
+                }
+            }
+        }
+    }
+
+    // Top-k per head relation by confidence.
+    let mut out = Vec::new();
+    for head in 0..relations {
+        let mut of_head: Vec<&MinedRule> =
+            candidates.iter().filter(|r| r.head() == head).collect();
+        of_head.sort_by(|a, b| {
+            b.confidence()
+                .partial_cmp(&a.confidence())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        out.extend(of_head.into_iter().take(top_k).cloned());
+    }
+    out
+}
+
+/// Builds the full scenario: KG generation, mining, program assembly.
+pub fn generate(name: &str, config: &KgMineConfig) -> Scenario {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let (train, valid, test) = generate_kg(config, &mut rng);
+    let mined = mine_rules(&train, config.relations, config.top_k, config.min_support);
+
+    let mut p = Program::new();
+    let rel_name = |r: usize| format!("rel{r}");
+    let ent_name = |e: usize| format!("ent{e}");
+
+    // Mined rules with confidence as dummy-fact probability.
+    for (i, rule) in mined.iter().enumerate() {
+        let conf_pred = format!("@mconf{i}");
+        p.fact_str(&conf_pred, &[], rule.confidence());
+        match rule {
+            MinedRule::Implication { head, body, .. } => {
+                p.rule_str(
+                    (rel_name(*head).as_str(), &["X", "Y"]),
+                    &[(rel_name(*body).as_str(), &["X", "Y"]), (conf_pred.as_str(), &[])],
+                );
+            }
+            MinedRule::Inverse { head, body, .. } => {
+                p.rule_str(
+                    (rel_name(*head).as_str(), &["X", "Y"]),
+                    &[(rel_name(*body).as_str(), &["Y", "X"]), (conf_pred.as_str(), &[])],
+                );
+            }
+            MinedRule::Composition { head, b1, b2, .. } => {
+                p.rule_str(
+                    (rel_name(*head).as_str(), &["X", "Y"]),
+                    &[
+                        (rel_name(*b1).as_str(), &["X", "Z"]),
+                        (rel_name(*b2).as_str(), &["Z", "Y"]),
+                        (conf_pred.as_str(), &[]),
+                    ],
+                );
+            }
+        }
+    }
+
+    // Train + valid triples become certain facts (the paper: "KB facts
+    // created out of the training and validation triples are assigned
+    // probability equal to one").
+    for &(r, s, o) in train.iter().chain(valid.iter()) {
+        p.fact_str(rel_name(r).as_str(), &[&ent_name(s), &ent_name(o)], 1.0);
+    }
+
+    // Queries: test triples as ground atoms.
+    let mut queries = Vec::new();
+    for &(r, s, o) in test.iter().take(config.queries) {
+        let mut scope = VarScope::default();
+        queries.push(p.atom(rel_name(r).as_str(), &[&ent_name(s), &ent_name(o)], &mut scope));
+    }
+
+    Scenario {
+        name: name.to_string(),
+        program: p,
+        queries,
+        max_depth: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn planted_patterns_are_mined() {
+        let config = KgMineConfig::yago(5);
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let (train, _, _) = generate_kg(&config, &mut rng);
+        let rules = mine_rules(&train, config.relations, 5, 3);
+        // The planted implication r0 → r1 must surface with high
+        // confidence.
+        let implication = rules.iter().find(
+            |r| matches!(r, MinedRule::Implication { head: 1, body: 0, .. }),
+        );
+        assert!(implication.is_some(), "rules: {rules:?}");
+        assert!(implication.unwrap().confidence() > 0.5);
+        // The planted inverse r2 ↔ r3 as well.
+        assert!(rules
+            .iter()
+            .any(|r| matches!(r, MinedRule::Inverse { head: 3, body: 2, .. })));
+    }
+
+    #[test]
+    fn top_k_limits_rules_per_head() {
+        let config = KgMineConfig::wn18rr(5);
+        let mut rng = StdRng::seed_from_u64(1);
+        let (train, _, _) = generate_kg(&config, &mut rng);
+        let rules = mine_rules(&train, config.relations, 5, 2);
+        for head in 0..config.relations {
+            let n = rules.iter().filter(|r| r.head() == head).count();
+            assert!(n <= 5);
+        }
+    }
+
+    #[test]
+    fn scenario_shape() {
+        let s = generate("YAGO5-S", &KgMineConfig::yago(5));
+        assert!(!s.program.rules.is_empty());
+        assert_eq!(s.queries.len(), 50);
+        // Every rule carries a confidence dummy atom.
+        for rule in &s.program.rules {
+            let has_conf = rule
+                .body
+                .iter()
+                .any(|a| s.program.preds.name(a.pred).starts_with("@mconf"));
+            assert!(has_conf);
+        }
+        assert!(s.program.validate().is_ok());
+    }
+
+    #[test]
+    fn more_k_more_rules() {
+        let s5 = generate("y5", &KgMineConfig::yago(5));
+        let s15 = generate("y15", &KgMineConfig::yago(15));
+        assert!(s15.program.rules.len() > s5.program.rules.len());
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate("a", &KgMineConfig::wn18rr(5));
+        let b = generate("b", &KgMineConfig::wn18rr(5));
+        assert_eq!(a.program.rules.len(), b.program.rules.len());
+        assert_eq!(a.program.facts.len(), b.program.facts.len());
+    }
+}

@@ -1,0 +1,36 @@
+//! `ltg-benchdata` — seeded workload generators for every benchmark of
+//! Table 2.
+//!
+//! The paper's datasets are external downloads (LUBM, DBpedia, Claros,
+//! YAGO3, WN18RR), community KBs (Smokers) or ML-produced artifacts (VQAR
+//! neural predictions, AnyBurl-mined rules). None can be fetched here, so
+//! each is *simulated* by a deterministic generator that preserves the
+//! property the evaluation exercises — see DESIGN.md §4 for the
+//! substitution argument per benchmark:
+//!
+//! * [`lubm`] — university-domain KG + ontology + the 14 queries;
+//! * [`webkg`] — DBpedia/Claros-style hierarchy KGs with many rules;
+//! * [`smokers`] — power-law friendship graphs + the smokers program;
+//! * [`kgmine`] — random multi-relational KGs + an AnyBurl-style rule
+//!   miner (YAGO / WN18RR scenarios);
+//! * [`vqar`] — synthetic scene graphs whose ontology makes derivations
+//!   explode combinatorially;
+//! * [`querygen`] — the QueryGen synthetic-query procedure (Appendix D).
+//!
+//! All generators take explicit seeds; same seed ⇒ identical scenario.
+
+// Paper-style citation brackets ([77], [41], …) are used throughout the
+// doc comments; they are not intra-doc links.
+#![allow(rustdoc::broken_intra_doc_links)]
+
+pub mod io;
+pub mod kgmine;
+pub mod lubm;
+pub mod querygen;
+pub mod scenario;
+pub mod smokers;
+pub mod vqar;
+pub mod webkg;
+
+pub use io::{parse_triples_tsv, triples_program, Triple, TripleParseError};
+pub use scenario::Scenario;

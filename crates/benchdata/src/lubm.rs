@@ -1,0 +1,434 @@
+//! LUBM-like benchmark generator (Guo, Pan, Heflin [46]).
+//!
+//! Generates a university-domain knowledge graph (universities →
+//! departments → faculty / students / courses / publications), an
+//! OWL-flavoured rule set (class and property hierarchies, inverse,
+//! transitive and domain/range rules plus a configurable-depth class
+//! chain, totalling 127 rules at the default settings like the paper's
+//! LUBM ruleset), and the 14 standard queries expressed as conjunctive
+//! query rules `q1..q14`.
+//!
+//! The paper's LUBM010/LUBM100 hold 1M/12M facts; the default scale here
+//! is laptop-sized, and [`LubmConfig::universities`] scales it up
+//! arbitrarily. Fact probabilities are random in `(0, 1]` exactly as in
+//! the paper (Section 6.1).
+
+use crate::scenario::{random_prob, Scenario};
+use ltg_datalog::{Program, VarScope};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Generator parameters.
+#[derive(Clone, Debug)]
+pub struct LubmConfig {
+    /// Number of universities (the paper's LUBM010 ≈ 10, LUBM100 ≈ 100;
+    /// the default here is laptop-scale).
+    pub universities: usize,
+    /// Departments per university.
+    pub departments: usize,
+    /// Faculty members per department.
+    pub faculty: usize,
+    /// Undergraduate students per department.
+    pub undergrads: usize,
+    /// Graduate students per department.
+    pub grads: usize,
+    /// Courses per department (one third graduate courses).
+    pub courses: usize,
+    /// Length of the auxiliary class chain (drives reasoning depth; the
+    /// paper's Table 7 reports LUBM reasoning depths up to 22).
+    pub class_chain: usize,
+    /// Total ontology-rule budget; the gap between the structural rules
+    /// and this target is filled with width padding (the real LUBM
+    /// ruleset has 127 rules).
+    pub target_rules: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for LubmConfig {
+    fn default() -> Self {
+        LubmConfig {
+            universities: 2,
+            departments: 3,
+            faculty: 6,
+            undergrads: 14,
+            grads: 6,
+            courses: 9,
+            class_chain: 20,
+            target_rules: 127,
+            seed: 0xBEEF,
+        }
+    }
+}
+
+impl LubmConfig {
+    /// Scaled configuration named like the paper's scenarios:
+    /// `lubm(1)` ≈ "LUBM010"-shaped, `lubm(10)` ≈ "LUBM100"-shaped.
+    pub fn scaled(factor: usize) -> Self {
+        LubmConfig {
+            universities: 2 * factor,
+            ..LubmConfig::default()
+        }
+    }
+}
+
+/// Generates the scenario (program + 14 queries).
+pub fn generate(name: &str, config: &LubmConfig) -> Scenario {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut p = Program::new();
+
+    ontology_rules(&mut p, config.class_chain, config.target_rules);
+
+    // ------------------------------------------------------------------
+    // Data
+    // ------------------------------------------------------------------
+    let fact = |p: &mut Program, rng: &mut StdRng, name: &str, args: &[&str]| {
+        let prob = random_prob(rng);
+        p.fact_str(name, args, prob);
+    };
+
+    let univ_name = |u: usize| format!("univ{u}");
+    for u in 0..config.universities {
+        let univ = univ_name(u);
+        fact(&mut p, &mut rng, "university", &[&univ]);
+        for d in 0..config.departments {
+            let dept = format!("dept{u}_{d}");
+            fact(&mut p, &mut rng, "department", &[&dept]);
+            fact(&mut p, &mut rng, "subOrganizationOf", &[&dept, &univ]);
+            let rg = format!("rg{u}_{d}");
+            fact(&mut p, &mut rng, "researchGroup", &[&rg]);
+            fact(&mut p, &mut rng, "subOrganizationOf", &[&rg, &dept]);
+
+            // Courses.
+            let course_name = |c: usize| format!("course{u}_{d}_{c}");
+            for c in 0..config.courses {
+                let course = course_name(c);
+                if c % 3 == 0 {
+                    fact(&mut p, &mut rng, "graduateCourse", &[&course]);
+                } else {
+                    fact(&mut p, &mut rng, "course", &[&course]);
+                }
+            }
+
+            // Faculty.
+            for f in 0..config.faculty {
+                let prof = format!("prof{u}_{d}_{f}");
+                let class = match f % 4 {
+                    0 => "fullProfessor",
+                    1 => "associateProfessor",
+                    2 => "assistantProfessor",
+                    _ => "lecturer",
+                };
+                fact(&mut p, &mut rng, class, &[&prof]);
+                fact(&mut p, &mut rng, "worksFor", &[&prof, &dept]);
+                if f == 0 {
+                    fact(&mut p, &mut rng, "headOf", &[&prof, &dept]);
+                }
+                // Degrees from random universities.
+                let deg_univ = univ_name(rng.random_range(0..config.universities));
+                fact(&mut p, &mut rng, "doctoralDegreeFrom", &[&prof, &deg_univ]);
+                let deg_univ = univ_name(rng.random_range(0..config.universities));
+                fact(&mut p, &mut rng, "undergraduateDegreeFrom", &[&prof, &deg_univ]);
+                // Teaching.
+                let c1 = course_name(rng.random_range(0..config.courses));
+                fact(&mut p, &mut rng, "teacherOf", &[&prof, &c1]);
+                // Publications.
+                for k in 0..2 {
+                    let pubid = format!("pub{u}_{d}_{f}_{k}");
+                    fact(&mut p, &mut rng, "publication", &[&pubid]);
+                    fact(&mut p, &mut rng, "publicationAuthor", &[&pubid, &prof]);
+                }
+            }
+
+            // Students.
+            for s in 0..config.undergrads {
+                let st = format!("ug{u}_{d}_{s}");
+                fact(&mut p, &mut rng, "undergraduateStudent", &[&st]);
+                fact(&mut p, &mut rng, "memberOf", &[&st, &dept]);
+                for _ in 0..2 {
+                    let c = course_name(rng.random_range(0..config.courses));
+                    fact(&mut p, &mut rng, "takesCourse", &[&st, &c]);
+                }
+            }
+            for s in 0..config.grads {
+                let st = format!("gr{u}_{d}_{s}");
+                fact(&mut p, &mut rng, "graduateStudent", &[&st]);
+                fact(&mut p, &mut rng, "memberOf", &[&st, &dept]);
+                let advisor = format!("prof{u}_{d}_{}", rng.random_range(0..config.faculty));
+                fact(&mut p, &mut rng, "advisor", &[&st, &advisor]);
+                let deg_univ = univ_name(rng.random_range(0..config.universities));
+                fact(&mut p, &mut rng, "undergraduateDegreeFrom", &[&st, &deg_univ]);
+                for _ in 0..2 {
+                    let c = course_name(rng.random_range(0..config.courses));
+                    fact(&mut p, &mut rng, "takesCourse", &[&st, &c]);
+                }
+            }
+        }
+    }
+
+    let queries = queries(&mut p, config);
+    Scenario {
+        name: name.to_string(),
+        program: p,
+        queries,
+        max_depth: None,
+    }
+}
+
+/// The OWL-flavoured ruleset (class/property hierarchies, inverse,
+/// transitive, domain/range) plus the auxiliary class chain.
+fn ontology_rules(p: &mut Program, class_chain: usize, target_rules: usize) {
+    // Class hierarchy.
+    for (sub, sup) in [
+        ("fullProfessor", "professor"),
+        ("associateProfessor", "professor"),
+        ("assistantProfessor", "professor"),
+        ("professor", "faculty"),
+        ("lecturer", "faculty"),
+        ("faculty", "employee"),
+        ("employee", "person"),
+        ("undergraduateStudent", "student"),
+        ("graduateStudent", "student"),
+        ("student", "person"),
+        ("graduateCourse", "course"),
+        ("course", "work"),
+        ("publication", "work"),
+        ("university", "organization"),
+        ("department", "organization"),
+        ("researchGroup", "organization"),
+    ] {
+        p.rule_str((sup, &["X"]), &[(sub, &["X"])]);
+    }
+
+    // Property hierarchy.
+    p.rule_str(("worksFor", &["X", "Y"]), &[("headOf", &["X", "Y"])]);
+    p.rule_str(("memberOf", &["X", "Y"]), &[("worksFor", &["X", "Y"])]);
+    for deg in ["undergraduateDegreeFrom", "mastersDegreeFrom", "doctoralDegreeFrom"] {
+        p.rule_str(("degreeFrom", &["X", "Y"]), &[(deg, &["X", "Y"])]);
+    }
+
+    // Inverse properties.
+    p.rule_str(("member", &["Y", "X"]), &[("memberOf", &["X", "Y"])]);
+    p.rule_str(("hasAlumnus", &["U", "X"]), &[("degreeFrom", &["X", "U"])]);
+
+    // Transitivity.
+    p.rule_str(
+        ("subOrganizationOf", &["X", "Z"]),
+        &[("subOrganizationOf", &["X", "Y"]), ("subOrganizationOf", &["Y", "Z"])],
+    );
+
+    // Domain/range rules.
+    p.rule_str(("faculty", &["X"]), &[("teacherOf", &["X", "Y"])]);
+    p.rule_str(("course", &["Y"]), &[("teacherOf", &["X", "Y"])]);
+    p.rule_str(("person", &["X"]), &[("advisor", &["X", "Y"])]);
+    p.rule_str(("faculty", &["Y"]), &[("advisor", &["X", "Y"])]);
+    p.rule_str(("student", &["X"]), &[("takesCourse", &["X", "Y"])]);
+    p.rule_str(("person", &["X"]), &[("degreeFrom", &["X", "Y"])]);
+    p.rule_str(("organization", &["Y"]), &[("memberOf", &["X", "Y"])]);
+
+    // Derived concepts.
+    p.rule_str(
+        ("chair", &["X"]),
+        &[("headOf", &["X", "Y"]), ("department", &["Y"])],
+    );
+    p.rule_str(
+        ("sameDepartment", &["X", "Y"]),
+        &[("memberOf", &["X", "D"]), ("memberOf", &["Y", "D"])],
+    );
+
+    // Auxiliary class chain: person = level0 → level1 → ... (adds
+    // reasoning depth like the deep class hierarchies of the real
+    // LUBM/OWL ruleset and pads the count to 127 at the defaults).
+    if class_chain > 0 {
+        p.rule_str(("level0", &["X"]), &[("person", &["X"])]);
+        for i in 0..class_chain {
+            let cur = format!("level{}", i + 1);
+            let prev = format!("level{i}");
+            p.rule_str((cur.as_str(), &["X"]), &[(prev.as_str(), &["X"])]);
+        }
+        // Tie the chain back into a queryable concept.
+        let last = format!("level{class_chain}");
+        p.rule_str(("veteranMember", &["X"]), &[(last.as_str(), &["X"]), ("memberOf", &["X", "Y"])]);
+    }
+
+    // Width padding up to the rule budget: shallow derived categories in
+    // the style of LUBM's many leaf classes.
+    let mut i = 0;
+    while p.rules.len() < target_rules {
+        let name = format!("categoryA{i}");
+        let base = if i % 2 == 0 { "chair" } else { "graduateStudent" };
+        p.rule_str((name.as_str(), &["X"]), &[(base, &["X"])]);
+        i += 1;
+    }
+}
+
+/// The 14 LUBM queries, expressed as rules `qi(...) :- body` and returned
+/// as query atoms.
+fn queries(p: &mut Program, config: &LubmConfig) -> Vec<ltg_datalog::Atom> {
+    let dept0 = "dept0_0";
+    let univ0 = "univ0";
+    let prof0 = "prof0_0_0";
+    let course0 = "course0_0_0";
+
+    let specs: Vec<(&str, Vec<(&str, Vec<&str>)>)> = vec![
+        ("q1", vec![("graduateStudent", vec!["X"]), ("takesCourse", vec!["X", course0])]),
+        (
+            "q2",
+            vec![
+                ("graduateStudent", vec!["X"]),
+                ("memberOf", vec!["X", "D"]),
+                ("department", vec!["D"]),
+                ("subOrganizationOf", vec!["D", "U"]),
+                ("undergraduateDegreeFrom", vec!["X", "U"]),
+            ],
+        ),
+        ("q3", vec![("publication", vec!["X"]), ("publicationAuthor", vec!["X", prof0])]),
+        ("q4", vec![("professor", vec!["X"]), ("worksFor", vec!["X", dept0])]),
+        ("q5", vec![("person", vec!["X"]), ("memberOf", vec!["X", dept0])]),
+        ("q6", vec![("student", vec!["X"])]),
+        (
+            "q7",
+            vec![
+                ("student", vec!["X"]),
+                ("takesCourse", vec!["X", "Y"]),
+                ("teacherOf", vec![prof0, "Y"]),
+            ],
+        ),
+        (
+            "q8",
+            vec![
+                ("student", vec!["X"]),
+                ("memberOf", vec!["X", "D"]),
+                ("subOrganizationOf", vec!["D", univ0]),
+            ],
+        ),
+        (
+            "q9",
+            vec![
+                ("student", vec!["X"]),
+                ("advisor", vec!["X", "Y"]),
+                ("faculty", vec!["Y"]),
+                ("takesCourse", vec!["X", "C"]),
+                ("teacherOf", vec!["Y", "C"]),
+            ],
+        ),
+        ("q10", vec![("student", vec!["X"]), ("takesCourse", vec!["X", course0])]),
+        (
+            "q11",
+            vec![
+                ("researchGroup", vec!["X"]),
+                ("subOrganizationOf", vec!["X", univ0]),
+            ],
+        ),
+        (
+            "q12",
+            vec![
+                ("chair", vec!["X"]),
+                ("worksFor", vec!["X", "D"]),
+                ("department", vec!["D"]),
+                ("subOrganizationOf", vec!["D", univ0]),
+            ],
+        ),
+        ("q13", vec![("person", vec!["X"]), ("hasAlumnus", vec![univ0, "X"])]),
+        ("q14", vec![("undergraduateStudent", vec!["X"])]),
+    ];
+    let _ = config;
+
+    let mut out = Vec::with_capacity(specs.len());
+    for (qname, body) in specs {
+        let mut scope = VarScope::default();
+        // Head variables: the distinct uppercase variables of the body.
+        let mut head_vars: Vec<&str> = Vec::new();
+        for (_, args) in &body {
+            for a in args {
+                if a.chars().next().is_some_and(char::is_uppercase) && !head_vars.contains(a) {
+                    head_vars.push(a);
+                }
+            }
+        }
+        let head = p.atom(qname, &head_vars, &mut scope);
+        let body_atoms = body
+            .iter()
+            .map(|(n, args)| p.atom(n, args, &mut scope))
+            .collect();
+        p.push_rule(ltg_datalog::Rule::new(head.clone(), body_atoms));
+        out.push(head);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltg_baselines::least_model;
+
+    #[test]
+    fn default_config_hits_127_rules() {
+        let s = generate("LUBM-S", &LubmConfig::default());
+        // 127 ontology+chain rules like the paper, plus the 14 query rules.
+        assert_eq!(s.program.rules.len(), 127 + 14);
+        assert_eq!(s.queries.len(), 14);
+        assert!(s.program.validate().is_ok());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate("a", &LubmConfig::default());
+        let b = generate("b", &LubmConfig::default());
+        assert_eq!(a.program.facts.len(), b.program.facts.len());
+        assert_eq!(a.program.facts[5].1, b.program.facts[5].1);
+        let c = generate(
+            "c",
+            &LubmConfig {
+                seed: 1,
+                ..LubmConfig::default()
+            },
+        );
+        assert_ne!(a.program.facts[5].1, c.program.facts[5].1);
+    }
+
+    #[test]
+    fn scaling_grows_facts() {
+        let small = generate("s", &LubmConfig::scaled(1));
+        let big = generate("b", &LubmConfig::scaled(2));
+        assert!(big.program.facts.len() > small.program.facts.len());
+    }
+
+    #[test]
+    fn queries_have_answers() {
+        let s = generate("LUBM-S", &LubmConfig::default());
+        let model = least_model(&s.program).unwrap();
+        let mut nonempty = 0;
+        for q in &s.queries {
+            if !model.facts_of(q.pred).is_empty() {
+                nonempty += 1;
+            }
+        }
+        // At least 12 of the 14 queries are non-empty at default scale.
+        assert!(nonempty >= 12, "only {nonempty} non-empty queries");
+    }
+
+    #[test]
+    fn deep_reasoning_exists() {
+        // The class chain gives veteranMember a long derivation path.
+        // Semi-naive round counts collapse when the rule order matches
+        // the dependency order (later rules see earlier rules' output
+        // within a round), so depth is asserted on the trigger-graph
+        // materializer, whose rounds equal the EG depth.
+        let s = generate("LUBM-S", &LubmConfig::default());
+        let model = least_model(&s.program).unwrap();
+        let vm = s.program.preds.lookup("veteranMember", 1).unwrap();
+        assert!(!model.facts_of(vm).is_empty());
+        let mut tg = ltg_core::TgMaterializer::new(&s.program);
+        tg.run().unwrap();
+        assert!(tg.stats().rounds > 15, "rounds = {}", tg.stats().rounds);
+    }
+
+    #[test]
+    fn probabilities_in_range() {
+        let s = generate("LUBM-S", &LubmConfig::default());
+        for (_, prob) in &s.program.facts {
+            assert!(*prob > 0.0 && *prob <= 1.0);
+        }
+    }
+}

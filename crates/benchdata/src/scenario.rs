@@ -1,0 +1,63 @@
+//! The scenario abstraction shared by all generators and by the harness.
+
+use ltg_datalog::{Atom, Program};
+
+/// One benchmark scenario: a probabilistic program, its queries, and the
+/// evaluation knobs the paper fixes per benchmark.
+pub struct Scenario {
+    /// Display name ("LUBM010", "Smokers4", ...).
+    pub name: String,
+    /// The program `P = (R, F, π)`.
+    pub program: Program,
+    /// Query atoms (ground or with free variables).
+    pub queries: Vec<Atom>,
+    /// Reasoning-depth cap (`Some` only for the Smokers scenarios).
+    pub max_depth: Option<u32>,
+}
+
+impl Scenario {
+    /// Table 2 statistics: (#rules, #database facts, #queries).
+    pub fn table2_stats(&self) -> (usize, usize, usize) {
+        (
+            self.program.rules.len(),
+            self.program.facts.len(),
+            self.queries.len(),
+        )
+    }
+}
+
+/// Assigns a pseudo-random probability in `(0, 1]` — the paper's approach
+/// for benchmarks that do not define π ("we implemented π by assigning to
+/// each fact a random number within (0, 1]", Section 6.1).
+pub fn random_prob(rng: &mut impl rand::RngExt) -> f64 {
+    // Strictly positive to match the paper's (0, 1] interval.
+    1.0 - rng.random::<f64>() * 0.999
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_prob_in_range() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let p = random_prob(&mut rng);
+            assert!(p > 0.0 && p <= 1.0);
+        }
+    }
+
+    #[test]
+    fn stats_shape() {
+        let program = ltg_datalog::parse_program("0.5 :: e(a). q(X) :- e(X).").unwrap();
+        let s = Scenario {
+            name: "test".into(),
+            queries: program.queries.clone(),
+            program,
+            max_depth: None,
+        };
+        assert_eq!(s.table2_stats(), (1, 1, 0));
+    }
+}

@@ -1,0 +1,175 @@
+//! The Smokers benchmark [30] — the classic probabilistic-logic-programming
+//! KB over random power-law friendship graphs.
+//!
+//! As in the paper (Section 6.1): one PDB per graph size `N ∈ [10, 20]`,
+//! each with up to `2N` undirected friendship edges, 110 queries in
+//! total, and a reasoning-depth cap of 4 or 5. The five rules follow the
+//! standard smokers program (peer influence is recursive, which is why
+//! the depth cap matters).
+
+use crate::scenario::Scenario;
+use ltg_datalog::{Program, VarScope};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Generator parameters.
+#[derive(Clone, Debug)]
+pub struct SmokersConfig {
+    /// Graph sizes (paper: 10..=20).
+    pub min_n: usize,
+    /// Largest graph size (inclusive).
+    pub max_n: usize,
+    /// Total number of queries (paper: 110).
+    pub queries: usize,
+    /// Maximum reasoning depth (paper: 4 or 5).
+    pub max_depth: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SmokersConfig {
+    /// The paper's `Smokers{k}` scenario (`k` = depth cap).
+    pub fn paper(max_depth: u32) -> Self {
+        SmokersConfig {
+            min_n: 10,
+            max_n: 20,
+            queries: 110,
+            max_depth,
+            seed: 0x50C1A1,
+        }
+    }
+}
+
+/// Generates the scenario.
+pub fn generate(config: &SmokersConfig) -> Scenario {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut p = Program::new();
+
+    // The five rules of the smokers KB.
+    p.rule_str(("smokes", &["X"]), &[("stress", &["X"])]);
+    p.rule_str(
+        ("smokes", &["X"]),
+        &[("friend", &["X", "Y"]), ("influences", &["Y", "X"]), ("smokes", &["Y"])],
+    );
+    p.rule_str(
+        ("influences", &["X", "Y"]),
+        &[("friend", &["X", "Y"]), ("influencer", &["X"])],
+    );
+    p.rule_str(("asthma", &["X"]), &[("smokes", &["X"]), ("susceptible", &["X"])]);
+    p.rule_str(("cancerRisk", &["X"]), &[("smokes", &["X"]), ("asthma", &["X"])]);
+
+    // One power-law graph per N (preferential attachment), disjoint
+    // node namespaces.
+    let mut all_nodes: Vec<String> = Vec::new();
+    for n in config.min_n..=config.max_n {
+        let name = |i: usize| format!("p{n}_{i}");
+        let mut degree = vec![1usize; n];
+        let mut edges: Vec<(usize, usize)> = Vec::new();
+        // Start from a small seed clique, attach the rest preferentially.
+        for i in 1..n {
+            let mut attached = 0usize;
+            let targets = 2.min(i);
+            while attached < targets && edges.len() < 2 * n {
+                let total: usize = degree[..i].iter().sum();
+                let mut pick = rng.random_range(0..total);
+                let mut j = 0;
+                while pick >= degree[j] {
+                    pick -= degree[j];
+                    j += 1;
+                }
+                if !edges.contains(&(i, j)) && !edges.contains(&(j, i)) {
+                    edges.push((i, j));
+                    degree[i] += 1;
+                    degree[j] += 1;
+                    attached += 1;
+                } else {
+                    attached += 1; // avoid livelock on dense small graphs
+                }
+            }
+        }
+        for (a, b) in edges {
+            // Undirected: both directions, certain.
+            p.fact_str("friend", &[&name(a), &name(b)], 1.0);
+            p.fact_str("friend", &[&name(b), &name(a)], 1.0);
+        }
+        for i in 0..n {
+            p.fact_str("stress", &[&name(i)], 0.3);
+            p.fact_str("susceptible", &[&name(i)], 0.3);
+            p.fact_str("influencer", &[&name(i)], 0.2);
+            all_nodes.push(name(i));
+        }
+    }
+
+    // Queries: smokes/asthma over random nodes.
+    let mut queries = Vec::with_capacity(config.queries);
+    for qi in 0..config.queries {
+        let node = &all_nodes[rng.random_range(0..all_nodes.len())];
+        let pred = if qi % 2 == 0 { "smokes" } else { "asthma" };
+        let mut scope = VarScope::default();
+        queries.push(p.atom(pred, &[node], &mut scope));
+    }
+
+    Scenario {
+        name: format!("Smokers{}", config.max_depth),
+        program: p,
+        queries,
+        max_depth: Some(config.max_depth),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltg_core::{EngineConfig, LtgEngine};
+    use ltg_wmc::{BddWmc, WmcSolver};
+
+    #[test]
+    fn paper_shape() {
+        let s = generate(&SmokersConfig::paper(4));
+        assert_eq!(s.program.rules.len(), 5);
+        assert_eq!(s.queries.len(), 110);
+        assert_eq!(s.max_depth, Some(4));
+        // 11 graphs of 10..=20 nodes.
+        let stress = s.program.preds.lookup("stress", 1).unwrap();
+        let n_nodes: usize = (10..=20).sum();
+        assert_eq!(
+            s.program.facts.iter().filter(|(f, _)| f.pred == stress).count(),
+            n_nodes
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate(&SmokersConfig::paper(4));
+        let b = generate(&SmokersConfig::paper(4));
+        assert_eq!(a.program.facts.len(), b.program.facts.len());
+    }
+
+    #[test]
+    fn small_instance_end_to_end() {
+        let s = generate(&SmokersConfig {
+            min_n: 6,
+            max_n: 6,
+            queries: 4,
+            max_depth: 4,
+            seed: 3,
+        });
+        let mut engine = LtgEngine::with_config(
+            &s.program,
+            EngineConfig::with_collapse().max_depth(4),
+        );
+        engine.reason().unwrap();
+        // Every smokes query must have probability in (0, 1].
+        let solver = BddWmc::default();
+        let weights = engine.db().weights();
+        let mut evaluated = 0;
+        for q in &s.queries {
+            for (_, lineage) in engine.answer(q).unwrap() {
+                let prob = solver.probability(&lineage, &weights).unwrap();
+                assert!(prob > 0.0 && prob <= 1.0);
+                evaluated += 1;
+            }
+        }
+        assert!(evaluated > 0);
+    }
+}

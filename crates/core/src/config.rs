@@ -1,0 +1,75 @@
+//! Engine configuration.
+
+/// Tunables of the LTG engine. `Default` reproduces the paper's settings:
+/// collapsing enabled with threshold `t = 10` (Algorithm 2) and a 1M
+/// disjunct cap on lineage collection (Section 6.3).
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Collapse derivation trees (Algorithm 2 / "LTGs w/"). When `false`
+    /// the engine is Algorithm 1 ("LTGs w/o").
+    pub collapse: bool,
+    /// Collapse a node's new trees when the average number of trees per
+    /// root fact reaches this threshold (paper default: 10 — "a reduction
+    /// of at least one order of magnitude").
+    pub collapse_threshold: usize,
+    /// Maximum reasoning depth (rounds); `None` = run to fixpoint. The
+    /// Smokers scenarios cap this at 4 or 5 like the paper.
+    pub max_depth: Option<u32>,
+    /// Disjunct cap for lineage collection.
+    pub lineage_cap: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            collapse: true,
+            collapse_threshold: 10,
+            max_depth: None,
+            lineage_cap: 1_000_000,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Algorithm 1 (`PReason`): no collapsing — "LTGs w/o".
+    pub fn without_collapse() -> Self {
+        EngineConfig {
+            collapse: false,
+            ..EngineConfig::default()
+        }
+    }
+
+    /// Algorithm 2 (`PCOReason`) with the default threshold — "LTGs w/".
+    pub fn with_collapse() -> Self {
+        EngineConfig::default()
+    }
+
+    /// Sets the reasoning-depth cap (builder style).
+    pub fn max_depth(mut self, depth: u32) -> Self {
+        self.max_depth = Some(depth);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let c = EngineConfig::default();
+        assert!(c.collapse);
+        assert_eq!(c.collapse_threshold, 10);
+        assert_eq!(c.lineage_cap, 1_000_000);
+        assert_eq!(c.max_depth, None);
+    }
+
+    #[test]
+    fn builders() {
+        assert!(!EngineConfig::without_collapse().collapse);
+        assert_eq!(
+            EngineConfig::with_collapse().max_depth(4).max_depth,
+            Some(4)
+        );
+    }
+}

@@ -1,0 +1,173 @@
+//! Execution graphs (Definition 1) and their incremental expansion
+//! bookkeeping (Appendix A).
+//!
+//! A node is labeled with a rule; edge `u →j v` means the `j`-th premise
+//! atom of `v`'s rule is instantiated over the facts stored in `u`. In this
+//! implementation the edges are the `parents` array (one parent per
+//! premise position — EGs are canonical, Section 4.1). Node storage is the
+//! `tset` of Algorithm 1/2: derivation trees grouped by root fact, plus a
+//! [`Relation`] over the distinct root facts for join probing.
+
+use ltg_datalog::fxhash::FxHashMap;
+use ltg_datalog::RuleId;
+use ltg_lineage::TreeId;
+use ltg_storage::{FactId, Relation};
+
+/// Index of a node in the execution graph.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Index into [`ExecutionGraph::nodes`].
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One trigger-graph node.
+pub struct EgNode {
+    /// The rule executed at this node.
+    pub rule: RuleId,
+    /// One parent per premise position (empty for source nodes).
+    pub parents: Box<[NodeId]>,
+    /// Depth: longest path ending here (source nodes have depth 1).
+    pub depth: u32,
+    /// Distinct root facts derived here, with join indexes.
+    pub store: Relation,
+    /// `tset(v, F)`: derivation trees grouped by root fact.
+    pub tset: FxHashMap<FactId, Vec<TreeId>>,
+    /// Dead nodes (empty tset) are removed from producer lists but kept in
+    /// the arena so `NodeId`s stay stable.
+    pub alive: bool,
+}
+
+impl EgNode {
+    /// Trees stored for `fact` (empty if none).
+    pub fn trees(&self, fact: FactId) -> &[TreeId] {
+        self.tset.get(&fact).map_or(&[], |v| v.as_slice())
+    }
+
+    /// Total number of stored trees.
+    pub fn tree_count(&self) -> usize {
+        self.tset.values().map(Vec::len).sum()
+    }
+
+    /// Estimated live bytes of the node's storage.
+    pub fn estimated_bytes(&self) -> usize {
+        self.store.estimated_bytes()
+            + self.tset.len() * 40
+            + self.tset.values().map(|v| v.len() * 4).sum::<usize>()
+    }
+}
+
+/// The execution graph: node arena plus the producer registry used by
+/// `k`-compatible expansion (Definition 6).
+#[derive(Default)]
+pub struct ExecutionGraph {
+    /// All nodes ever created (including removed ones, kept dead).
+    pub nodes: Vec<EgNode>,
+    /// Alive producer nodes per head predicate (predicate index → nodes).
+    producers: FxHashMap<u32, Vec<NodeId>>,
+}
+
+impl ExecutionGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a node (initially alive but unregistered as a producer).
+    pub fn push_node(&mut self, rule: RuleId, parents: Box<[NodeId]>, depth: u32) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(EgNode {
+            rule,
+            parents,
+            depth,
+            store: Relation::new(),
+            tset: FxHashMap::default(),
+            alive: true,
+        });
+        id
+    }
+
+    /// Registers `node` as a producer of `head_pred` (call once the node
+    /// survived its round).
+    pub fn register_producer(&mut self, head_pred: u32, node: NodeId) {
+        self.producers.entry(head_pred).or_default().push(node);
+    }
+
+    /// Marks a node dead (empty tset — Algorithm 1 line 11).
+    pub fn kill(&mut self, node: NodeId) {
+        self.nodes[node.index()].alive = false;
+    }
+
+    /// Alive producers of a predicate.
+    pub fn producers(&self, pred: u32) -> &[NodeId] {
+        self.producers.get(&pred).map_or(&[], |v| v.as_slice())
+    }
+
+    /// Depth of the graph: maximum alive-node depth (0 when empty).
+    pub fn depth(&self) -> u32 {
+        self.nodes
+            .iter()
+            .filter(|n| n.alive)
+            .map(|n| n.depth)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Number of alive nodes.
+    pub fn alive_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.alive).count()
+    }
+
+    /// Estimated live bytes across alive nodes.
+    pub fn estimated_bytes(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| n.alive)
+            .map(EgNode::estimated_bytes)
+            .sum::<usize>()
+            + self.nodes.len() * std::mem::size_of::<EgNode>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_register() {
+        let mut g = ExecutionGraph::new();
+        let a = g.push_node(RuleId(0), Box::from([]), 1);
+        assert_eq!(g.depth(), 1);
+        g.register_producer(5, a);
+        assert_eq!(g.producers(5), &[a]);
+        assert!(g.producers(6).is_empty());
+        let b = g.push_node(RuleId(1), Box::from([a, a]), 2);
+        assert_eq!(g.nodes[b.index()].parents.as_ref(), &[a, a]);
+        assert_eq!(g.depth(), 2);
+    }
+
+    #[test]
+    fn killed_nodes_do_not_count_toward_depth() {
+        let mut g = ExecutionGraph::new();
+        let a = g.push_node(RuleId(0), Box::from([]), 1);
+        let b = g.push_node(RuleId(1), Box::from([a]), 2);
+        g.kill(b);
+        assert_eq!(g.depth(), 1);
+        assert_eq!(g.alive_count(), 1);
+    }
+
+    #[test]
+    fn node_tree_accessors() {
+        let mut g = ExecutionGraph::new();
+        let a = g.push_node(RuleId(0), Box::from([]), 1);
+        let node = &mut g.nodes[a.index()];
+        node.tset.insert(FactId(3), vec![TreeId(1), TreeId(2)]);
+        assert_eq!(node.trees(FactId(3)), &[TreeId(1), TreeId(2)]);
+        assert!(node.trees(FactId(4)).is_empty());
+        assert_eq!(node.tree_count(), 2);
+    }
+}

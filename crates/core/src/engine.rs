@@ -1,0 +1,951 @@
+//! The LTG engine: `PReason` (Algorithm 1) and `PCOReason` (Algorithm 2).
+//!
+//! One engine implements both algorithms; [`EngineConfig::collapse`]
+//! selects between "LTGs w/o" (no collapsing) and "LTGs w/" (adaptive
+//! collapsing with the average-trees-per-root threshold).
+//!
+//! A reasoning run proceeds in rounds ([`LtgEngine::step`]):
+//!
+//! 1. round 1 adds one *source node* per base rule and instantiates its
+//!    premise over the extensional database;
+//! 2. round `k > 1` adds, per non-base rule, one node for every
+//!    `k`-compatible combination of producer nodes (Definition 6 /
+//!    Appendix A) and instantiates the rule by joining the parents'
+//!    stored root facts;
+//! 3. every candidate derivation tree is checked for redundancy (root
+//!    fact reoccurring below the root — Proposition 1); nodes whose
+//!    `tset` ends up empty are removed;
+//! 4. the run terminates when a round adds no surviving node.
+//!
+//! Lineage is *not* materialized during reasoning: trees reference their
+//! subtrees by id (structure sharing). [`LtgEngine::lineage_of`] extracts
+//! the DNF on demand, and [`LtgEngine::answer`] resolves query atoms.
+
+use crate::config::EngineConfig;
+use crate::eg::{ExecutionGraph, NodeId};
+use crate::error::EngineError;
+use crate::join::{binding_masks, join, JoinRow};
+use ltg_datalog::fxhash::{FxHashMap, FxHashSet};
+use ltg_datalog::{canonicalize, Atom, CanonicalProgram, Program, Substitution};
+use ltg_lineage::extract::DnfCache;
+use ltg_lineage::{is_redundant, trees_dnf, Dnf, Forest, Label, OccCache, TreeId};
+use ltg_storage::{Database, FactId, Relation, ResourceMeter};
+use std::rc::Rc;
+use std::time::{Duration, Instant};
+
+/// Counters and timings of one reasoning run (feeds Tables 3–7 and
+/// Figures 4–6).
+#[derive(Clone, Debug, Default)]
+pub struct ReasonStats {
+    /// Number of completed rounds (including the final empty one).
+    pub rounds: u32,
+    /// Candidate derivation trees generated (the paper's "#DR").
+    pub derivations: u64,
+    /// Number of `collapse` operations performed.
+    pub collapse_ops: u64,
+    /// Trees dropped because an already-stored tree for the same fact
+    /// has the same leaf set (identical lineage disjunct — see
+    /// `LtgEngine::expl_seen`).
+    pub deduped: u64,
+    /// Time spent inside `collapse` (Table 4).
+    pub collapse_time: Duration,
+    /// Total reasoning wall-clock time.
+    pub reasoning_time: Duration,
+    /// Execution-graph nodes created (including later-removed ones).
+    pub nodes_created: u64,
+    /// Nodes alive at the end.
+    pub nodes_alive: u64,
+    /// Peak estimated bytes observed by the meter.
+    pub peak_bytes: usize,
+}
+
+/// The Lineage-Trigger-Graph engine.
+pub struct LtgEngine {
+    canonical: CanonicalProgram,
+    db: Database,
+    forest: Forest,
+    graph: ExecutionGraph,
+    /// Global registry: root fact → every stored tree with that root.
+    derived: FxHashMap<FactId, Vec<TreeId>>,
+    /// Memoized leaf-fact sets per tree (`None` once an OR node is
+    /// involved — a collapsed tree stands for many explanations).
+    leafsets: FxHashMap<TreeId, Option<Rc<[FactId]>>>,
+    /// Explanation-dedup registry: root fact → leaf sets already stored.
+    /// By Lemma 1 the lineage of a fact is the *disjunction* of its
+    /// trees' leaf conjunctions, so a second tree with the same leaf set
+    /// contributes an identical disjunct; storing it would only breed
+    /// further structurally-distinct-but-equivalent derivations (on
+    /// cyclic magic-sets programs this breeding is super-exponential).
+    expl_seen: FxHashMap<FactId, FxHashSet<Rc<[FactId]>>>,
+    /// Estimated bytes held by the dedup registry.
+    expl_bytes: usize,
+    config: EngineConfig,
+    meter: ResourceMeter,
+    stats: ReasonStats,
+    round: u32,
+    finished: bool,
+}
+
+impl LtgEngine {
+    /// Engine with the default configuration (collapsing on).
+    pub fn new(program: &Program) -> Self {
+        Self::with_config(program, EngineConfig::default())
+    }
+
+    /// Engine with an explicit configuration.
+    pub fn with_config(program: &Program, config: EngineConfig) -> Self {
+        Self::with_config_and_meter(program, config, ResourceMeter::unlimited())
+    }
+
+    /// Engine with a configuration and a resource meter (budgets /
+    /// deadlines — Table 6).
+    pub fn with_config_and_meter(
+        program: &Program,
+        config: EngineConfig,
+        meter: ResourceMeter,
+    ) -> Self {
+        let canonical = canonicalize(program);
+        let db = Database::from_program(&canonical.program);
+        LtgEngine {
+            canonical,
+            db,
+            forest: Forest::new(),
+            graph: ExecutionGraph::new(),
+            derived: FxHashMap::default(),
+            leafsets: FxHashMap::default(),
+            expl_seen: FxHashMap::default(),
+            expl_bytes: 0,
+            config,
+            meter,
+            stats: ReasonStats::default(),
+            round: 0,
+            finished: false,
+        }
+    }
+
+    /// The leaf-fact set of a tree (its single lineage conjunct), or
+    /// `None` when the tree contains an OR node and therefore stands
+    /// for several explanations. Memoized across the run.
+    fn leafset(&mut self, t: TreeId) -> Option<Rc<[FactId]>> {
+        if let Some(v) = self.leafsets.get(&t) {
+            return v.clone();
+        }
+        let result = if self.forest.is_leaf(t) {
+            Some(Rc::from(vec![self.forest.fact(t)].into_boxed_slice()))
+        } else if self.forest.label(t) == Label::Or {
+            None
+        } else {
+            let children = self.forest.children(t).to_vec();
+            let mut merged: Vec<FactId> = Vec::new();
+            let mut ok = true;
+            for c in children {
+                match self.leafset(c) {
+                    Some(ls) => merged.extend_from_slice(&ls),
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if ok {
+                merged.sort_unstable();
+                merged.dedup();
+                Some(Rc::from(merged.into_boxed_slice()))
+            } else {
+                None
+            }
+        };
+        self.leafsets.insert(t, result.clone());
+        result
+    }
+
+    /// The probabilistic database (shared fact arena + π).
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// The derivation forest.
+    pub fn forest(&self) -> &Forest {
+        &self.forest
+    }
+
+    /// The execution graph.
+    pub fn graph(&self) -> &ExecutionGraph {
+        &self.graph
+    }
+
+    /// Statistics of the run so far.
+    pub fn stats(&self) -> &ReasonStats {
+        &self.stats
+    }
+
+    /// The resource meter.
+    pub fn meter(&self) -> &ResourceMeter {
+        &self.meter
+    }
+
+    /// The canonicalized program the engine executes.
+    pub fn program(&self) -> &Program {
+        &self.canonical.program
+    }
+
+    /// Number of completed rounds.
+    pub fn rounds(&self) -> u32 {
+        self.round
+    }
+
+    /// True once reasoning reached its fixpoint (or the depth cap).
+    pub fn finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Runs reasoning to completion. Idempotent.
+    pub fn reason(&mut self) -> Result<&ReasonStats, EngineError> {
+        while self.step()? {}
+        Ok(&self.stats)
+    }
+
+    /// Executes one round; returns whether the graph grew. Exposed so
+    /// callers can interleave rounds with anytime probability bounds
+    /// (Corollary 3).
+    pub fn step(&mut self) -> Result<bool, EngineError> {
+        if self.finished {
+            return Ok(false);
+        }
+        let t0 = Instant::now();
+        let k = self.round + 1;
+        let grew = if k == 1 {
+            self.expand_base()?
+        } else {
+            self.expand_round(k)?
+        };
+        self.round = k;
+        self.stats.rounds = k;
+        if !grew || self.config.max_depth.is_some_and(|d| k >= d) {
+            self.finished = true;
+            self.stats.nodes_alive = self.graph.alive_count() as u64;
+        }
+        self.refresh_meter();
+        self.stats.reasoning_time += t0.elapsed();
+        self.stats.peak_bytes = self.meter.peak();
+        self.meter.check()?;
+        Ok(!self.finished)
+    }
+
+    fn refresh_meter(&self) {
+        let derived_bytes = self.derived.len() * 40
+            + self.derived.values().map(|v| v.len() * 4).sum::<usize>();
+        let bytes = self.db.estimated_bytes()
+            + self.forest.estimated_bytes()
+            + self.graph.estimated_bytes()
+            + derived_bytes
+            + self.expl_bytes
+            + self.leafsets.len() * 24;
+        self.meter.set_used(bytes);
+    }
+
+    /// Round 1: one source node per base rule.
+    fn expand_base(&mut self) -> Result<bool, EngineError> {
+        let mut grew = false;
+        let base = self.canonical.base_rules.clone();
+        for rid in base {
+            let node = self.graph.push_node(rid, Box::from([]), 1);
+            self.stats.nodes_created += 1;
+            if self.instantiate(node)? {
+                let head = self.canonical.program.rules[rid.index()].head.pred;
+                self.graph.register_producer(head.0, node);
+                grew = true;
+            } else {
+                self.graph.kill(node);
+            }
+        }
+        Ok(grew)
+    }
+
+    /// Round `k > 1`: nodes for every `k`-compatible parent combination.
+    fn expand_round(&mut self, k: u32) -> Result<bool, EngineError> {
+        let mut planned: Vec<(ltg_datalog::RuleId, Box<[NodeId]>)> = Vec::new();
+        // Rough bytes per 4096 planned combos, so runaway planning is
+        // visible to the memory budget too.
+        let combo_cost = 4096 * 24;
+        for &rid in &self.canonical.nonbase_rules {
+            let rule = &self.canonical.program.rules[rid.index()];
+            let lists: Vec<Vec<NodeId>> = rule
+                .body
+                .iter()
+                .map(|a| {
+                    self.graph
+                        .producers(a.pred.0)
+                        .iter()
+                        .copied()
+                        .filter(|n| self.graph.nodes[n.index()].depth < k)
+                        .collect()
+                })
+                .collect();
+            if lists.iter().any(Vec::is_empty) {
+                continue;
+            }
+            // Odometer over the parent lists; keep combos with at least
+            // one parent from the previous round (Definition 6).
+            let mut idx = vec![0usize; lists.len()];
+            let mut combos_seen = 0u64;
+            'combos: loop {
+                combos_seen += 1;
+                if combos_seen % 4096 == 0 {
+                    self.meter.check()?;
+                }
+                let combo: Vec<NodeId> = idx
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &i)| lists[j][i])
+                    .collect();
+                let max_depth = combo
+                    .iter()
+                    .map(|n| self.graph.nodes[n.index()].depth)
+                    .max()
+                    .unwrap();
+                if max_depth == k - 1 {
+                    planned.push((rid, combo.into_boxed_slice()));
+                    if planned.len() % 4096 == 0 {
+                        self.meter
+                            .charge(combo_cost);
+                        self.meter.check()?;
+                    }
+                }
+                let mut j = 0;
+                loop {
+                    idx[j] += 1;
+                    if idx[j] < lists[j].len() {
+                        break;
+                    }
+                    idx[j] = 0;
+                    j += 1;
+                    if j == lists.len() {
+                        break 'combos;
+                    }
+                }
+            }
+        }
+
+        let mut grew = false;
+        for (rid, parents) in planned {
+            let node = self.graph.push_node(rid, parents, k);
+            self.stats.nodes_created += 1;
+            if self.instantiate(node)? {
+                let head = self.canonical.program.rules[rid.index()].head.pred;
+                self.graph.register_producer(head.0, node);
+                grew = true;
+            } else {
+                self.graph.kill(node);
+            }
+            self.meter.check()?;
+        }
+        Ok(grew)
+    }
+
+    /// Executes the rule of `node`, filling its tset. Returns whether any
+    /// tree survived.
+    fn instantiate(&mut self, node: NodeId) -> Result<bool, EngineError> {
+        let matches = self.collect_matches(node)?;
+        if matches.is_empty() {
+            return Ok(false);
+        }
+        self.build_trees(node, matches)
+    }
+
+    /// Phase 1 of instantiation: the join. Computes every term mapping of
+    /// the rule over the node's inputs (EDB relations for source nodes,
+    /// the parents' stored facts otherwise).
+    fn collect_matches(&mut self, node: NodeId) -> Result<Vec<JoinRow>, EngineError> {
+        let rid = self.graph.nodes[node.index()].rule;
+        let parents = self.graph.nodes[node.index()].parents.clone();
+        let rule = self.canonical.program.rules[rid.index()].clone();
+        let is_source = parents.is_empty();
+
+        let masks = binding_masks(&rule);
+
+        // Prepare indexes, then join through shared references.
+        if is_source {
+            for (j, atom) in rule.body.iter().enumerate() {
+                self.db.ensure_edb_index(atom.pred, masks[j]);
+            }
+        } else {
+            for (j, &p) in parents.iter().enumerate() {
+                self.graph.nodes[p.index()]
+                    .store
+                    .ensure_index(masks[j], &self.db.store);
+            }
+        }
+
+        let store = &self.db.store;
+        let rels: Vec<&Relation> = if is_source {
+            rule.body
+                .iter()
+                .map(|a| self.db.edb_relation_ref(a.pred))
+                .collect()
+        } else {
+            parents
+                .iter()
+                .map(|p| &self.graph.nodes[p.index()].store)
+                .collect()
+        };
+
+        let mut out = Vec::new();
+        join(&rule, &masks, &rels, store, &self.meter, &mut out)?;
+        Ok(out)
+    }
+
+    /// Phase 2 of instantiation: derivation-tree construction, collapsing
+    /// decision, redundancy filtering, tset population.
+    fn build_trees(&mut self, node: NodeId, matches: Vec<JoinRow>) -> Result<bool, EngineError> {
+        let rid = self.graph.nodes[node.index()].rule;
+        let head_pred = self.canonical.program.rules[rid.index()].head.pred;
+        let parents = self.graph.nodes[node.index()].parents.clone();
+        let is_source = parents.is_empty();
+
+        // T(α, v, F) grouped by root fact α (Algorithm 2 line 6).
+        let mut groups: FxHashMap<FactId, Vec<TreeId>> = FxHashMap::default();
+        let mut lists: Vec<&[TreeId]> = Vec::with_capacity(parents.len());
+        let mut children: Vec<TreeId> = Vec::with_capacity(parents.len().max(4));
+        for m in &matches {
+            let (head_fact, _) = self.db.intern_derived(head_pred, &m.head_args);
+            let forest = &mut self.forest;
+            if is_source {
+                children.clear();
+                for &f in m.body_facts.iter() {
+                    children.push(forest.leaf(f));
+                }
+                let t = forest.node(Label::And, head_fact, &children);
+                groups.entry(head_fact).or_default().push(t);
+                self.stats.derivations += 1;
+                self.meter.charge(48);
+            } else {
+                // One tree per combination of parent trees (Definition 2).
+                let graph = &self.graph;
+                lists.clear();
+                for (j, &f) in m.body_facts.iter().enumerate() {
+                    lists.push(graph.nodes[parents[j].index()].trees(f));
+                }
+                if lists.iter().any(|l| l.is_empty()) {
+                    continue;
+                }
+                let sizes: Vec<usize> = lists.iter().map(|l| l.len()).collect();
+                let mut idx = vec![0usize; lists.len()];
+                'product: loop {
+                    children.clear();
+                    for (j, l) in lists.iter().enumerate() {
+                        children.push(l[idx[j]]);
+                    }
+                    let t = forest.node(Label::And, head_fact, &children);
+                    groups.entry(head_fact).or_default().push(t);
+                    self.stats.derivations += 1;
+                    self.meter.charge(48);
+                    if self.stats.derivations % 4096 == 0 {
+                        self.meter.check()?;
+                    }
+                    let mut j = 0;
+                    loop {
+                        idx[j] += 1;
+                        if idx[j] < sizes[j] {
+                            break;
+                        }
+                        idx[j] = 0;
+                        j += 1;
+                        if j == lists.len() {
+                            break 'product;
+                        }
+                    }
+                }
+            }
+        }
+        drop(matches);
+
+        // Collapse decision (Algorithm 2 line 8): average trees per root.
+        let total_trees: usize = groups.values().map(Vec::len).sum();
+        let do_collapse = self.config.collapse
+            && !groups.is_empty()
+            && total_trees >= groups.len() * self.config.collapse_threshold;
+
+        let mut survived = false;
+        let mut group_list: Vec<(FactId, Vec<TreeId>)> = groups.into_iter().collect();
+        group_list.sort_unstable_by_key(|(f, _)| *f);
+        for (fact, mut trees) in group_list {
+            trees.sort_unstable();
+            trees.dedup();
+            let candidates: Vec<TreeId> = if do_collapse && trees.len() > 1 {
+                let t0 = Instant::now();
+                let collapsed = self.forest.collapse(&trees);
+                self.stats.collapse_ops += 1;
+                self.stats.collapse_time += t0.elapsed();
+                vec![collapsed]
+            } else {
+                trees
+            };
+            let mut stored: Vec<TreeId> = Vec::new();
+            let mut occ = OccCache::default();
+            for t in candidates {
+                if is_redundant(&self.forest, t, &mut occ) {
+                    continue;
+                }
+                // Explanation dedup: a plain (OR-free) tree whose leaf
+                // set is already stored for this fact repeats a lineage
+                // disjunct verbatim — Lemma 1 makes dropping it safe,
+                // and keeping it breeds equivalent derivations forever
+                // on cyclic (e.g. magic-sets) programs.
+                if let Some(ls) = self.leafset(t) {
+                    let bytes = 16 + ls.len() * 4;
+                    if !self.expl_seen.entry(fact).or_default().insert(ls) {
+                        self.stats.deduped += 1;
+                        continue;
+                    }
+                    self.expl_bytes += bytes;
+                }
+                stored.push(t);
+            }
+            if stored.is_empty() {
+                continue;
+            }
+            survived = true;
+            let n = &mut self.graph.nodes[node.index()];
+            n.store.push(fact);
+            self.derived.entry(fact).or_default().extend(stored.iter().copied());
+            n.tset.insert(fact, stored);
+        }
+        Ok(survived)
+    }
+
+    // ------------------------------------------------------------------
+    // Lineage collection and query answering
+    // ------------------------------------------------------------------
+
+    /// The lineage DNF of `fact` in `G(F)`: the disjunction over all its
+    /// stored derivation trees, plus the fact itself when extensional.
+    pub fn lineage_of(&self, fact: FactId) -> Result<Dnf, EngineError> {
+        let mut cache = DnfCache::default();
+        self.lineage_with_cache(fact, &mut cache)
+    }
+
+    /// Same as [`LtgEngine::lineage_of`] with a caller-provided memo table
+    /// (share it across the answers of one query).
+    pub fn lineage_with_cache(
+        &self,
+        fact: FactId,
+        cache: &mut DnfCache,
+    ) -> Result<Dnf, EngineError> {
+        let mut dnf = if self.db.is_edb_fact(fact) {
+            Dnf::var(fact)
+        } else {
+            Dnf::ff()
+        };
+        if let Some(trees) = self.derived.get(&fact) {
+            let d = trees_dnf(&self.forest, trees, cache, self.config.lineage_cap)?;
+            dnf.or_with(&d);
+        }
+        Ok(dnf)
+    }
+
+    /// All facts (derived or extensional) matching the query atom.
+    pub fn answer_facts(&self, query: &Atom) -> Vec<FactId> {
+        let n_vars = query.vars().map(|v| v.index() + 1).max().unwrap_or(0);
+        let matches = |f: FactId| -> bool {
+            let args = self.db.store.args(f);
+            if args.len() != query.terms.len() {
+                return false;
+            }
+            let mut subst = Substitution::new(n_vars);
+            query.match_tuple(args, &mut subst)
+        };
+        let mut out: Vec<FactId> = self
+            .derived
+            .keys()
+            .copied()
+            .filter(|&f| self.db.store.pred(f) == query.pred && matches(f))
+            .collect();
+        for &f in self.db.edb_facts(query.pred) {
+            if matches(f) {
+                out.push(f);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Answers a query: every matching fact with its lineage.
+    pub fn answer(&self, query: &Atom) -> Result<Vec<(FactId, Dnf)>, EngineError> {
+        let mut cache = DnfCache::default();
+        self.answer_facts(query)
+            .into_iter()
+            .map(|f| Ok((f, self.lineage_with_cache(f, &mut cache)?)))
+            .collect()
+    }
+
+    /// All derived facts with at least one stored tree, sorted.
+    pub fn derived_facts(&self) -> Vec<FactId> {
+        let mut v: Vec<FactId> = self.derived.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// The `k` most probable explanations of `fact`: each is a minimal
+    /// conjunction of extensional facts (one lineage disjunct) paired
+    /// with its probability `Π π(f)`. Useful for "why is this answer
+    /// likely?" introspection — the quantity Scallop's top-k semiring
+    /// approximates (Section 6.2).
+    pub fn explain(&self, fact: FactId, k: usize) -> Result<Vec<(Vec<FactId>, f64)>, EngineError> {
+        let mut dnf = self.lineage_of(fact)?;
+        dnf.minimize();
+        let weights = self.db.weights();
+        let mut out: Vec<(Vec<FactId>, f64)> = dnf
+            .conjuncts()
+            .map(|c| {
+                let p: f64 = c.iter().map(|f| weights[f.index()]).product();
+                (c.to_vec(), p)
+            })
+            .collect();
+        out.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        out.truncate(k);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltg_datalog::{parse_program, Sym, Term};
+    use ltg_wmc::{NaiveWmc, WmcSolver};
+
+    const EXAMPLE1: &str = "
+        0.5 :: e(a, b). 0.6 :: e(b, c). 0.7 :: e(a, c). 0.8 :: e(c, b).
+        p(X, Y) :- e(X, Y).
+        p(X, Y) :- p(X, Z), p(Z, Y).
+    ";
+
+    fn lineage_str(engine: &LtgEngine, pred: &str, args: &[&str]) -> Dnf {
+        let program = engine.program();
+        let p = program.preds.lookup(pred, args.len()).unwrap();
+        let syms: Vec<Sym> = args
+            .iter()
+            .map(|a| program.symbols.lookup(a).unwrap())
+            .collect();
+        let f = engine.db().store.lookup(p, &syms).unwrap();
+        engine.lineage_of(f).unwrap()
+    }
+
+    #[test]
+    fn example4_termination_in_three_rounds() {
+        let program = parse_program(EXAMPLE1).unwrap();
+        let mut engine = LtgEngine::with_config(&program, EngineConfig::without_collapse());
+        engine.reason().unwrap();
+        // Round 1: v1; round 2: v2; round 3: v3–v5 all redundant → stop.
+        assert_eq!(engine.rounds(), 3);
+        assert_eq!(engine.graph().depth(), 2);
+        assert_eq!(engine.graph().alive_count(), 2);
+        assert!(engine.finished());
+    }
+
+    #[test]
+    fn example1_lineages() {
+        let program = parse_program(EXAMPLE1).unwrap();
+        let mut engine = LtgEngine::with_config(&program, EngineConfig::without_collapse());
+        engine.reason().unwrap();
+
+        // λ(p(a,b)) = e(a,b) ∨ e(a,c)∧e(c,b)
+        let pab = lineage_str(&engine, "p", &["a", "b"]);
+        let e = |x: &str, y: &str| {
+            let program = engine.program();
+            let ep = program.preds.lookup("e", 2).unwrap();
+            let xs = program.symbols.lookup(x).unwrap();
+            let ys = program.symbols.lookup(y).unwrap();
+            engine.db().store.lookup(ep, &[xs, ys]).unwrap()
+        };
+        let mut expected = Dnf::var(e("a", "b"));
+        expected.push(vec![e("a", "c"), e("c", "b")]);
+        assert!(pab.equivalent(&expected), "got {pab:?}");
+
+        // λ(p(b,b)) = e(b,c)∧e(c,b)
+        let pbb = lineage_str(&engine, "p", &["b", "b"]);
+        let expected = Dnf::unit(vec![e("b", "c"), e("c", "b")]);
+        assert!(pbb.equivalent(&expected));
+
+        // λ(p(a,c)) = e(a,c) ∨ e(a,b)∧e(b,c)
+        let pac = lineage_str(&engine, "p", &["a", "c"]);
+        let mut expected = Dnf::var(e("a", "c"));
+        expected.push(vec![e("a", "b"), e("b", "c")]);
+        assert!(pac.equivalent(&expected));
+    }
+
+    #[test]
+    fn example1_probability() {
+        let program = parse_program(EXAMPLE1).unwrap();
+        let mut engine = LtgEngine::new(&program);
+        engine.reason().unwrap();
+        let d = lineage_str(&engine, "p", &["a", "b"]);
+        let p = NaiveWmc::default()
+            .probability(&d, &engine.db().weights())
+            .unwrap();
+        assert!((p - 0.78).abs() < 1e-12, "p = {p}");
+    }
+
+    #[test]
+    fn collapse_and_no_collapse_agree() {
+        let program = parse_program(EXAMPLE1).unwrap();
+        let mut with = LtgEngine::with_config(
+            &program,
+            EngineConfig {
+                collapse: true,
+                collapse_threshold: 1,
+                ..EngineConfig::default()
+            },
+        );
+        with.reason().unwrap();
+        let mut without = LtgEngine::with_config(&program, EngineConfig::without_collapse());
+        without.reason().unwrap();
+        for fact in without.derived_facts() {
+            let a = without.lineage_of(fact).unwrap();
+            let b = with.lineage_of(fact).unwrap();
+            assert!(a.equivalent(&b), "fact {fact:?}: {a:?} vs {b:?}");
+        }
+        assert_eq!(with.derived_facts(), without.derived_facts());
+    }
+
+    #[test]
+    fn example5_collapsing_reduces_derivations() {
+        // r3/r4/r5 of Example 5 with N = 12 q-facts.
+        let mut src = String::new();
+        for i in 0..12 {
+            src.push_str(&format!("0.5 :: q(a, b{i}).\n"));
+        }
+        src.push_str("0.5 :: s(a, b0).\n");
+        src.push_str("r(X, Y) :- q(X, Y).\n");
+        src.push_str("t(X) :- r(X, Y).\n");
+        src.push_str("r(X, Y) :- t(X), s(X, Y).\n");
+        let program = parse_program(&src).unwrap();
+
+        let mut with = LtgEngine::with_config(&program, EngineConfig::with_collapse());
+        with.reason().unwrap();
+        let mut without = LtgEngine::with_config(&program, EngineConfig::without_collapse());
+        without.reason().unwrap();
+
+        assert!(with.stats().collapse_ops > 0);
+        assert!(
+            with.stats().derivations < without.stats().derivations,
+            "with: {}, without: {}",
+            with.stats().derivations,
+            without.stats().derivations
+        );
+        // Same model, equivalent lineages.
+        assert_eq!(with.derived_facts(), without.derived_facts());
+        for fact in without.derived_facts() {
+            let a = without.lineage_of(fact).unwrap();
+            let b = with.lineage_of(fact).unwrap();
+            assert!(a.equivalent(&b));
+        }
+    }
+
+    #[test]
+    fn max_depth_caps_rounds() {
+        let program = parse_program(
+            "0.9 :: e(n0, n1). 0.9 :: e(n1, n2). 0.9 :: e(n2, n3). 0.9 :: e(n3, n4).
+             p(X, Y) :- e(X, Y).
+             p(X, Y) :- p(X, Z), e(Z, Y).",
+        )
+        .unwrap();
+        let mut engine = LtgEngine::with_config(
+            &program,
+            EngineConfig::without_collapse().max_depth(2),
+        );
+        engine.reason().unwrap();
+        assert_eq!(engine.rounds(), 2);
+        // Paths of length ≤ 2 only.
+        let p = engine.program().preds.lookup("p", 2).unwrap();
+        let n0 = engine.program().symbols.lookup("n0").unwrap();
+        let n3 = engine.program().symbols.lookup("n3").unwrap();
+        assert!(engine.db().store.lookup(p, &[n0, n3]).is_none());
+    }
+
+    #[test]
+    fn answers_match_query_bindings() {
+        let program = parse_program(&format!("{EXAMPLE1} query p(a, X).")).unwrap();
+        let mut engine = LtgEngine::new(&program);
+        engine.reason().unwrap();
+        let answers = engine.answer(&program.queries[0]).unwrap();
+        // p(a,b) and p(a,c).
+        assert_eq!(answers.len(), 2);
+        let names: Vec<String> = answers
+            .iter()
+            .map(|(f, _)| {
+                engine
+                    .db()
+                    .store
+                    .display(*f, &engine.program().preds, &engine.program().symbols)
+            })
+            .collect();
+        assert!(names.contains(&"p(a,b)".to_string()));
+        assert!(names.contains(&"p(a,c)".to_string()));
+    }
+
+    #[test]
+    fn edb_query_includes_fact_itself() {
+        let program = parse_program("0.5 :: e(a, b). p(X,Y) :- e(X,Y).").unwrap();
+        let mut engine = LtgEngine::new(&program);
+        engine.reason().unwrap();
+        let e = engine.program().preds.lookup("e", 2).unwrap();
+        let a = engine.program().symbols.lookup("a").unwrap();
+        let q = Atom::new(e, vec![Term::Const(a), Term::Var(ltg_datalog::Var(0))]);
+        let answers = engine.answer(&q).unwrap();
+        assert_eq!(answers.len(), 1);
+        assert_eq!(answers[0].1.len(), 1);
+    }
+
+    #[test]
+    fn explain_ranks_explanations_by_probability() {
+        let p = parse_program(EXAMPLE1).unwrap();
+        let mut engine = LtgEngine::new(&p);
+        engine.reason().unwrap();
+        let pid = engine.program().preds.lookup("p", 2).unwrap();
+        let (a, b) = (
+            engine.program().symbols.lookup("a").unwrap(),
+            engine.program().symbols.lookup("b").unwrap(),
+        );
+        let fact = engine.db().store.lookup(pid, &[a, b]).unwrap();
+        let exps = engine.explain(fact, 10).unwrap();
+        // p(a,b): e(a,c)∧e(c,b) (0.56) beats e(a,b) (0.5).
+        assert_eq!(exps.len(), 2);
+        assert_eq!(exps[0].0.len(), 2);
+        assert!((exps[0].1 - 0.56).abs() < 1e-12);
+        assert_eq!(exps[1].0.len(), 1);
+        assert!((exps[1].1 - 0.5).abs() < 1e-12);
+        // Truncation keeps the best.
+        let top1 = engine.explain(fact, 1).unwrap();
+        assert_eq!(top1.len(), 1);
+        assert!((top1[0].1 - 0.56).abs() < 1e-12);
+    }
+
+    #[test]
+    fn anytime_bounds_are_monotone(){
+        let program = parse_program(EXAMPLE1).unwrap();
+        let mut engine = LtgEngine::with_config(&program, EngineConfig::without_collapse());
+        let solver = NaiveWmc::default();
+        let mut last = 0.0f64;
+        let mut probs = Vec::new();
+        loop {
+            let grew = engine.step().unwrap();
+            // P(p(a,b)) after this round (0.0 while underivable).
+            let program_ref = engine.program();
+            let p = program_ref.preds.lookup("p", 2).unwrap();
+            let a = program_ref.symbols.lookup("a").unwrap();
+            let b = program_ref.symbols.lookup("b").unwrap();
+            let prob = match engine.db().store.lookup(p, &[a, b]) {
+                Some(f) => {
+                    let d = engine.lineage_of(f).unwrap();
+                    solver.probability(&d, &engine.db().weights()).unwrap()
+                }
+                None => 0.0,
+            };
+            assert!(
+                prob >= last - 1e-12,
+                "anytime bound decreased: {last} -> {prob}"
+            );
+            last = prob;
+            probs.push(prob);
+            if !grew {
+                break;
+            }
+        }
+        assert!((last - 0.78).abs() < 1e-12);
+        // Round 1 bound is P(e(a,b)) = 0.5 — strictly below the fixpoint.
+        assert!((probs[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn memory_budget_aborts() {
+        // A program with quadratic blowup under a tiny byte budget.
+        let mut src = String::new();
+        for i in 0..30 {
+            src.push_str(&format!("0.5 :: e(x{i}, y{i}).\n"));
+            src.push_str(&format!("0.5 :: e(y{i}, x{}).\n", (i + 1) % 30));
+        }
+        src.push_str("p(X, Y) :- e(X, Y).\np(X, Y) :- p(X, Z), p(Z, Y).\n");
+        let program = parse_program(&src).unwrap();
+        let meter = ResourceMeter::with_limits(8_192, None);
+        let mut engine = LtgEngine::with_config_and_meter(
+            &program,
+            EngineConfig::without_collapse(),
+            meter,
+        );
+        let err = engine.reason().unwrap_err();
+        assert_eq!(err.tag(), "OOM");
+    }
+
+    #[test]
+    fn timeout_aborts() {
+        let mut src = String::new();
+        for i in 0..40 {
+            for j in 0..40 {
+                src.push_str(&format!("0.5 :: e(x{i}, y{j}).\n"));
+                src.push_str(&format!("0.5 :: e(y{j}, x{i}).\n"));
+            }
+        }
+        src.push_str("p(X, Y) :- e(X, Y).\np(X, Y) :- p(X, Z), p(Z, Y).\n");
+        let program = parse_program(&src).unwrap();
+        let meter =
+            ResourceMeter::with_limits(usize::MAX, Some(Duration::from_millis(1)));
+        let mut engine = LtgEngine::with_config_and_meter(
+            &program,
+            EngineConfig::without_collapse(),
+            meter,
+        );
+        let err = engine.reason().unwrap_err();
+        assert_eq!(err.tag(), "TO");
+    }
+
+    #[test]
+    fn mixed_predicate_program_is_handled() {
+        // p both has facts and is derived.
+        let program = parse_program(
+            "0.4 :: p(a, b). 0.6 :: e(b, c).
+             p(X, Y) :- e(X, Y).
+             p(X, Y) :- p(X, Z), p(Z, Y).",
+        )
+        .unwrap();
+        let mut engine = LtgEngine::new(&program);
+        engine.reason().unwrap();
+        // p(a,c) must be derivable from p(a,b) ∧ p(b,c).
+        let d = lineage_str(&engine, "p", &["a", "c"]);
+        assert!(!d.is_empty());
+        let prob = NaiveWmc::default()
+            .probability(&d, &engine.db().weights())
+            .unwrap();
+        assert!((prob - 0.4 * 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reason_is_idempotent() {
+        let program = parse_program(EXAMPLE1).unwrap();
+        let mut engine = LtgEngine::new(&program);
+        engine.reason().unwrap();
+        let d1 = engine.stats().derivations;
+        engine.reason().unwrap();
+        assert_eq!(engine.stats().derivations, d1);
+    }
+
+    #[test]
+    fn derivation_count_for_example1() {
+        // Figure 1a shows τ1–τ11 but is explicitly partial ("does not
+        // show formulas for all rule instantiations"): the full set also
+        // contains p(c,c) = e(c,b)∧e(b,c) at round 2 and the twelve
+        // (all-redundant) round-3 instantiations, for 4 + 4 + 12 = 20
+        // candidate trees.
+        let program = parse_program(EXAMPLE1).unwrap();
+        let mut engine = LtgEngine::with_config(&program, EngineConfig::without_collapse());
+        engine.reason().unwrap();
+        assert_eq!(engine.stats().derivations, 20);
+        // Derived p-facts: the 4 edges plus p(b,b) and p(c,c).
+        assert_eq!(engine.derived_facts().len(), 6);
+    }
+}

@@ -1,0 +1,76 @@
+//! Engine error type.
+
+use ltg_lineage::LineageTooLarge;
+use ltg_storage::ResourceError;
+use std::fmt;
+
+/// Why a reasoning or lineage-collection run aborted. These map onto the
+/// paper's "NA" cells: out-of-memory, timeout, or lineage too large to
+/// collect (Section 6.3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EngineError {
+    /// Memory budget or deadline exceeded.
+    Resource(ResourceError),
+    /// Lineage collection exceeded the disjunct cap.
+    Lineage(LineageTooLarge),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Resource(e) => write!(f, "{e}"),
+            EngineError::Lineage(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<ResourceError> for EngineError {
+    fn from(e: ResourceError) -> Self {
+        EngineError::Resource(e)
+    }
+}
+
+impl From<LineageTooLarge> for EngineError {
+    fn from(e: LineageTooLarge) -> Self {
+        EngineError::Lineage(e)
+    }
+}
+
+impl EngineError {
+    /// Short tag used by the benchmark tables ("OOM", "TO", "NA").
+    pub fn tag(&self) -> &'static str {
+        match self {
+            EngineError::Resource(ResourceError::OutOfMemory) => "OOM",
+            EngineError::Resource(ResourceError::Timeout) => "TO",
+            EngineError::Lineage(_) => "NA",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_match_paper_labels() {
+        assert_eq!(
+            EngineError::Resource(ResourceError::OutOfMemory).tag(),
+            "OOM"
+        );
+        assert_eq!(EngineError::Resource(ResourceError::Timeout).tag(), "TO");
+        assert_eq!(
+            EngineError::Lineage(LineageTooLarge { conjuncts: 7 }).tag(),
+            "NA"
+        );
+    }
+
+    #[test]
+    fn conversions() {
+        let e: EngineError = ResourceError::Timeout.into();
+        assert_eq!(e, EngineError::Resource(ResourceError::Timeout));
+        let e: EngineError = LineageTooLarge { conjuncts: 3 }.into();
+        assert!(matches!(e, EngineError::Lineage(_)));
+    }
+}

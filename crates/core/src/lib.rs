@@ -1,0 +1,51 @@
+//! `ltg-core` — Lineage Trigger Graphs (the paper's primary contribution).
+//!
+//! This crate implements probabilistic reasoning with trigger graphs:
+//!
+//! * execution graphs with incremental, `k`-compatible expansion
+//!   (Definition 1 and Appendix A) — [`eg`];
+//! * `PReason` (Algorithm 1) and `PCOReason` (Algorithm 2, with adaptive
+//!   lineage collapsing) as one engine parameterized by
+//!   [`config::EngineConfig::collapse`] — [`engine`];
+//! * per-fact lineage collection over the structure-shared forest and
+//!   query answering, including the anytime lower bounds of Corollary 3.
+//!
+//! # Quick start
+//!
+//! ```
+//! use ltg_core::LtgEngine;
+//! use ltg_datalog::parse_program;
+//! use ltg_wmc::{BddWmc, WmcSolver};
+//!
+//! let program = parse_program(
+//!     "0.5 :: e(a, b). 0.6 :: e(b, c). 0.7 :: e(a, c). 0.8 :: e(c, b).
+//!      p(X, Y) :- e(X, Y).
+//!      p(X, Y) :- p(X, Z), p(Z, Y).
+//!      query p(a, b).",
+//! )
+//! .unwrap();
+//! let mut engine = LtgEngine::new(&program);
+//! engine.reason().unwrap();
+//! let answers = engine.answer(&program.queries[0]).unwrap();
+//! let weights = engine.db().weights();
+//! let (_, lineage) = &answers[0];
+//! let p = BddWmc::default().probability(lineage, &weights).unwrap();
+//! assert!((p - 0.78).abs() < 1e-9);
+//! ```
+
+// Paper-style citation brackets ([77], [41], …) are used throughout the
+// doc comments; they are not intra-doc links.
+#![allow(rustdoc::broken_intra_doc_links)]
+
+pub mod config;
+pub mod eg;
+pub mod engine;
+pub mod error;
+pub mod join;
+pub mod materialize;
+
+pub use config::EngineConfig;
+pub use eg::{EgNode, ExecutionGraph, NodeId};
+pub use engine::{LtgEngine, ReasonStats};
+pub use materialize::{TgMaterializer, TgStats};
+pub use error::EngineError;

@@ -1,0 +1,307 @@
+//! Predicate dependency graph.
+//!
+//! Used by QueryGen (Appendix D) to rank synthetic queries by (i) number of
+//! recursive predicates, (ii) number of defining rules, (iii) maximum
+//! distance to an extensional predicate, and by Table 7 statistics.
+
+use crate::rule::Program;
+use crate::symbols::PredId;
+
+/// The dependency graph of a program: an edge `b → h` exists when some rule
+/// has an `h`-atom in its conclusion and a `b`-atom in its premise.
+pub struct DependencyGraph {
+    n: usize,
+    /// Successors (body pred → head preds), deduplicated.
+    succ: Vec<Vec<u32>>,
+    /// Strongly connected component index per predicate.
+    scc: Vec<u32>,
+    /// Whether each predicate participates in a cycle (is *recursive*).
+    recursive: Vec<bool>,
+    /// Number of rules defining each predicate.
+    defining_rules: Vec<u32>,
+    /// Whether each predicate is extensional (never in a head).
+    edb: Vec<bool>,
+    /// Longest path (in condensation-DAG hops) from any EDB predicate.
+    edb_distance: Vec<u32>,
+}
+
+impl DependencyGraph {
+    /// Builds the graph from a program.
+    pub fn build(program: &Program) -> Self {
+        let n = program.preds.len();
+        let mut succ: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut defining_rules = vec![0u32; n];
+        for rule in &program.rules {
+            defining_rules[rule.head.pred.index()] += 1;
+            for b in &rule.body {
+                let edge = rule.head.pred.0;
+                if !succ[b.pred.index()].contains(&edge) {
+                    succ[b.pred.index()].push(edge);
+                }
+            }
+        }
+        let edb: Vec<bool> = (0..n).map(|i| defining_rules[i] == 0).collect();
+
+        let (scc, scc_members) = tarjan(n, &succ);
+
+        // A predicate is recursive iff its SCC has >1 member or a self-loop.
+        let mut recursive = vec![false; n];
+        for members in &scc_members {
+            let cyclic = members.len() > 1
+                || members
+                    .iter()
+                    .any(|&m| succ[m as usize].contains(&m));
+            if cyclic {
+                for &m in members {
+                    recursive[m as usize] = true;
+                }
+            }
+        }
+
+        // Condensation DAG longest-path from EDB components.
+        let n_scc = scc_members.len();
+        let mut scc_succ: Vec<Vec<u32>> = vec![Vec::new(); n_scc];
+        let mut indegree = vec![0u32; n_scc];
+        for u in 0..n {
+            for &v in &succ[u] {
+                let (su, sv) = (scc[u], scc[v as usize]);
+                if su != sv && !scc_succ[su as usize].contains(&sv) {
+                    scc_succ[su as usize].push(sv);
+                    indegree[sv as usize] += 1;
+                }
+            }
+        }
+        let mut dist = vec![0u32; n_scc];
+        let mut queue: Vec<u32> = (0..n_scc as u32).filter(|&s| indegree[s as usize] == 0).collect();
+        while let Some(s) = queue.pop() {
+            for &t in &scc_succ[s as usize] {
+                dist[t as usize] = dist[t as usize].max(dist[s as usize] + 1);
+                indegree[t as usize] -= 1;
+                if indegree[t as usize] == 0 {
+                    queue.push(t);
+                }
+            }
+        }
+        let edb_distance: Vec<u32> = (0..n).map(|i| dist[scc[i] as usize]).collect();
+
+        DependencyGraph {
+            n,
+            succ,
+            scc,
+            recursive,
+            defining_rules,
+            edb,
+            edb_distance,
+        }
+    }
+
+    /// Number of predicates.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the program has no predicates.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// True if `pred` occurs in a dependency cycle.
+    pub fn is_recursive(&self, pred: PredId) -> bool {
+        self.recursive[pred.index()]
+    }
+
+    /// True if `pred` is extensional (no defining rule).
+    pub fn is_edb(&self, pred: PredId) -> bool {
+        self.edb[pred.index()]
+    }
+
+    /// Number of rules with `pred` in the conclusion.
+    pub fn defining_rules(&self, pred: PredId) -> u32 {
+        self.defining_rules[pred.index()]
+    }
+
+    /// Longest condensation-DAG path from an extensional predicate to
+    /// `pred` (0 for EDB predicates themselves).
+    pub fn edb_distance(&self, pred: PredId) -> u32 {
+        self.edb_distance[pred.index()]
+    }
+
+    /// SCC index of `pred` (reverse topological order of discovery).
+    pub fn scc_of(&self, pred: PredId) -> u32 {
+        self.scc[pred.index()]
+    }
+
+    /// Direct successors (predicates whose rules consume `pred`).
+    pub fn successors(&self, pred: PredId) -> impl Iterator<Item = PredId> + '_ {
+        self.succ[pred.index()].iter().map(|&p| PredId(p))
+    }
+
+    /// The set of predicates on which `targets` (transitively) depend,
+    /// including the targets themselves. Used to restrict programs to the
+    /// rules relevant to a query.
+    pub fn reachable_from(&self, targets: &[PredId]) -> Vec<bool> {
+        // Walk the *reverse* edges: from head to body predicates.
+        let mut pred_edges: Vec<Vec<u32>> = vec![Vec::new(); self.n];
+        for u in 0..self.n {
+            for &v in &self.succ[u] {
+                pred_edges[v as usize].push(u as u32);
+            }
+        }
+        let mut seen = vec![false; self.n];
+        let mut stack: Vec<u32> = targets.iter().map(|p| p.0).collect();
+        while let Some(u) = stack.pop() {
+            if std::mem::replace(&mut seen[u as usize], true) {
+                continue;
+            }
+            stack.extend(pred_edges[u as usize].iter().copied());
+        }
+        seen
+    }
+}
+
+/// Iterative Tarjan SCC. Returns (component index per node, members per
+/// component).
+fn tarjan(n: usize, succ: &[Vec<u32>]) -> (Vec<u32>, Vec<Vec<u32>>) {
+    const UNSET: u32 = u32::MAX;
+    let mut index = vec![UNSET; n];
+    let mut low = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut scc = vec![UNSET; n];
+    let mut members: Vec<Vec<u32>> = Vec::new();
+    let mut counter = 0u32;
+
+    // Explicit DFS stack: (node, next child position).
+    let mut dfs: Vec<(u32, usize)> = Vec::new();
+    for root in 0..n as u32 {
+        if index[root as usize] != UNSET {
+            continue;
+        }
+        dfs.push((root, 0));
+        index[root as usize] = counter;
+        low[root as usize] = counter;
+        counter += 1;
+        stack.push(root);
+        on_stack[root as usize] = true;
+
+        while let Some(&mut (u, ref mut child)) = dfs.last_mut() {
+            if *child < succ[u as usize].len() {
+                let v = succ[u as usize][*child];
+                *child += 1;
+                if index[v as usize] == UNSET {
+                    index[v as usize] = counter;
+                    low[v as usize] = counter;
+                    counter += 1;
+                    stack.push(v);
+                    on_stack[v as usize] = true;
+                    dfs.push((v, 0));
+                } else if on_stack[v as usize] {
+                    low[u as usize] = low[u as usize].min(index[v as usize]);
+                }
+            } else {
+                dfs.pop();
+                if let Some(&mut (parent, _)) = dfs.last_mut() {
+                    low[parent as usize] = low[parent as usize].min(low[u as usize]);
+                }
+                if low[u as usize] == index[u as usize] {
+                    let id = members.len() as u32;
+                    let mut group = Vec::new();
+                    loop {
+                        let w = stack.pop().unwrap();
+                        on_stack[w as usize] = false;
+                        scc[w as usize] = id;
+                        group.push(w);
+                        if w == u {
+                            break;
+                        }
+                    }
+                    members.push(group);
+                }
+            }
+        }
+    }
+    (scc, members)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn graph(src: &str) -> (Program, DependencyGraph) {
+        let p = parse_program(src).unwrap();
+        let g = DependencyGraph::build(&p);
+        (p, g)
+    }
+
+    #[test]
+    fn reachability_is_recursive() {
+        let (p, g) = graph(
+            "e(a,b). p(X,Y) :- e(X,Y). p(X,Y) :- p(X,Z), p(Z,Y).",
+        );
+        let e = p.preds.lookup("e", 2).unwrap();
+        let path = p.preds.lookup("p", 2).unwrap();
+        assert!(g.is_edb(e));
+        assert!(!g.is_edb(path));
+        assert!(!g.is_recursive(e));
+        assert!(g.is_recursive(path));
+        assert_eq!(g.defining_rules(path), 2);
+        assert_eq!(g.edb_distance(e), 0);
+        assert_eq!(g.edb_distance(path), 1);
+    }
+
+    #[test]
+    fn chain_distances() {
+        let (p, g) = graph(
+            "e(a). q(X) :- e(X). r(X) :- q(X). s(X) :- r(X).",
+        );
+        let s = p.preds.lookup("s", 1).unwrap();
+        assert_eq!(g.edb_distance(s), 3);
+        assert!(!g.is_recursive(s));
+    }
+
+    #[test]
+    fn mutual_recursion_detected() {
+        let (p, g) = graph(
+            "e(a). q(X) :- r(X). r(X) :- q(X). q(X) :- e(X).",
+        );
+        let q = p.preds.lookup("q", 1).unwrap();
+        let r = p.preds.lookup("r", 1).unwrap();
+        assert!(g.is_recursive(q));
+        assert!(g.is_recursive(r));
+        assert_eq!(g.scc_of(q), g.scc_of(r));
+    }
+
+    #[test]
+    fn self_loop_is_recursive_but_singleton_is_not() {
+        let (p, g) = graph("e(a). t(X) :- t(X). u(X) :- e(X).");
+        let t = p.preds.lookup("t", 1).unwrap();
+        let u = p.preds.lookup("u", 1).unwrap();
+        assert!(g.is_recursive(t));
+        assert!(!g.is_recursive(u));
+    }
+
+    #[test]
+    fn reachable_restriction() {
+        let (p, g) = graph(
+            "e(a). f(b). q(X) :- e(X). r(X) :- f(X). s(X) :- q(X).",
+        );
+        let s = p.preds.lookup("s", 1).unwrap();
+        let seen = g.reachable_from(&[s]);
+        let e = p.preds.lookup("e", 1).unwrap();
+        let f = p.preds.lookup("f", 1).unwrap();
+        let q = p.preds.lookup("q", 1).unwrap();
+        let r = p.preds.lookup("r", 1).unwrap();
+        assert!(seen[s.index()] && seen[q.index()] && seen[e.index()]);
+        assert!(!seen[r.index()] && !seen[f.index()]);
+    }
+
+    #[test]
+    fn successors_follow_rule_direction() {
+        let (p, g) = graph("e(a). q(X) :- e(X).");
+        let e = p.preds.lookup("e", 1).unwrap();
+        let q = p.preds.lookup("q", 1).unwrap();
+        let next: Vec<PredId> = g.successors(e).collect();
+        assert_eq!(next, vec![q]);
+    }
+}

@@ -1,0 +1,135 @@
+//! A fast, non-cryptographic hasher in the style of `rustc-hash`'s FxHash.
+//!
+//! The engines hash millions of small integer keys (interned symbols, fact
+//! ids, tree ids); SipHash's HashDoS protection is unnecessary overhead
+//! here, and the sanctioned dependency set does not include `rustc-hash`,
+//! so the multiplicative hash is implemented in-repo.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// A `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+/// Multiplicative word-at-a-time hasher (the FxHash algorithm used by
+/// rustc). Not HashDoS-resistant; do not expose to untrusted keys.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Consume full 8-byte words first, then the tail.
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let word = u64::from_le_bytes(chunk.try_into().unwrap());
+            self.add_to_hash(word);
+        }
+        let tail = chunks.remainder();
+        if !tail.is_empty() {
+            let mut word = 0u64;
+            for (i, &b) in tail.iter().enumerate() {
+                word |= (b as u64) << (8 * i);
+            }
+            self.add_to_hash(word);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+}
+
+/// Hash a single `u64` (the splitmix64 finalizer — full avalanche, used
+/// for the 64-bit Bloom-style fact signatures where every output bit must
+/// be well mixed).
+#[inline]
+pub fn hash_u64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<u32, &str> = FxHashMap::default();
+        m.insert(1, "one");
+        m.insert(2, "two");
+        assert_eq!(m.get(&1), Some(&"one"));
+        assert_eq!(m.get(&2), Some(&"two"));
+        assert_eq!(m.get(&3), None);
+    }
+
+    #[test]
+    fn hashes_are_stable_within_process() {
+        let h = |x: u64| {
+            let mut hasher = FxHasher::default();
+            hasher.write_u64(x);
+            hasher.finish()
+        };
+        assert_eq!(h(42), h(42));
+        assert_ne!(h(42), h(43));
+    }
+
+    #[test]
+    fn byte_stream_matches_itself_regardless_of_chunking() {
+        let bytes = b"hello world, this is a test of the hasher";
+        let mut a = FxHasher::default();
+        a.write(bytes);
+        let mut b = FxHasher::default();
+        b.write(bytes);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn signature_mixer_spreads_bits() {
+        // Adjacent inputs should not collide: this is what the Bloom-style
+        // fact signatures in ltg-lineage rely on.
+        let sigs: Vec<u64> = (0..1000u64).map(hash_u64).collect();
+        let distinct: std::collections::HashSet<_> = sigs.iter().collect();
+        assert_eq!(distinct.len(), sigs.len());
+    }
+}

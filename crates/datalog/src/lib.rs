@@ -1,0 +1,40 @@
+//! `ltg-datalog` — the Datalog substrate of the LTGs reproduction.
+//!
+//! This crate provides everything the reasoning engines share about the
+//! *logical* side of a probabilistic logic program `P = (R, F, π)`:
+//!
+//! * interned symbols and predicates ([`symbols`]),
+//! * terms, atoms and substitutions ([`term`]),
+//! * rules and programs ([`rule`]),
+//! * a text parser for probabilistic programs ([`parser`]),
+//! * the predicate dependency graph ([`deps`]),
+//! * the canonical-form rewriting required by execution graphs
+//!   ([`canonical`]),
+//! * the magic-sets transformation used by the paper's QA methodology
+//!   ([`magic`]).
+//!
+//! The crate is deliberately independent of how facts are *stored*
+//! (see `ltg-storage`) and of how derivations are *represented*
+//! (see `ltg-lineage`).
+
+// Paper-style citation brackets ([77], [41], …) are used throughout the
+// doc comments; they are not intra-doc links.
+#![allow(rustdoc::broken_intra_doc_links)]
+
+pub mod canonical;
+pub mod deps;
+pub mod fxhash;
+pub mod magic;
+pub mod parser;
+pub mod rule;
+pub mod symbols;
+pub mod term;
+
+pub use canonical::{canonicalize, split_mixed, CanonicalProgram};
+pub use deps::DependencyGraph;
+pub use fxhash::{FxHashMap, FxHashSet};
+pub use magic::magic_transform;
+pub use parser::{parse_program, ParseError, ParsedProgram};
+pub use rule::{GroundAtom, Program, Rule, RuleId, VarScope};
+pub use symbols::{PredId, PredTable, Sym, SymbolTable};
+pub use term::{Atom, Substitution, Term, Var};

@@ -1,0 +1,515 @@
+//! Text parser for probabilistic logic programs.
+//!
+//! The grammar is ProbLog-flavoured:
+//!
+//! ```text
+//! % graph reachability (Example 1 of the paper)
+//! 0.5 :: e(a, b).
+//! e(b, c).                     % probability defaults to 1.0
+//! p(X, Y) :- e(X, Y).
+//! p(X, Y) :- p(X, Z), p(Z, Y).
+//! 0.9 :: q(X) :- p(X, b).      % rule confidence (becomes a dummy fact)
+//! query p(a, Y).
+//! ```
+//!
+//! * Constants start with a lowercase letter or a digit, or are quoted.
+//! * Variables start with an uppercase letter or `_`; a bare `_` is an
+//!   anonymous variable (fresh at every occurrence).
+//! * A probability annotation on a *rule* is folded into the premise as a
+//!   fresh zero-arity "dummy" fact with that probability — the standard
+//!   trick the paper cites ([24], Section 2).
+
+use crate::rule::{GroundAtom, Program, Rule, VarScope};
+use crate::symbols::Sym;
+use crate::term::{Atom, Term};
+use std::fmt;
+
+/// Parse failure with 1-based line information.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line of the offending token.
+    pub line: usize,
+    /// Error description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Result of parsing: currently an alias of [`Program`].
+pub type ParsedProgram = Program;
+
+#[derive(Clone, Debug, PartialEq)]
+enum Tok {
+    Ident(String),
+    UpperIdent(String),
+    Number(f64),
+    Quoted(String),
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    ColonDash,
+    ColonColon,
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            line: self.line,
+            message: message.into(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.src.len() {
+            match self.src[self.pos] {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                b' ' | b'\t' | b'\r' => self.pos += 1,
+                b'%' => {
+                    while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+                        self.pos += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn next(&mut self) -> Result<Option<(Tok, usize)>, ParseError> {
+        self.skip_ws();
+        if self.pos >= self.src.len() {
+            return Ok(None);
+        }
+        let line = self.line;
+        let c = self.src[self.pos];
+        let tok = match c {
+            b'(' => {
+                self.pos += 1;
+                Tok::LParen
+            }
+            b')' => {
+                self.pos += 1;
+                Tok::RParen
+            }
+            b',' => {
+                self.pos += 1;
+                Tok::Comma
+            }
+            b'.' => {
+                self.pos += 1;
+                Tok::Dot
+            }
+            b':' => {
+                if self.src.get(self.pos + 1) == Some(&b'-') {
+                    self.pos += 2;
+                    Tok::ColonDash
+                } else if self.src.get(self.pos + 1) == Some(&b':') {
+                    self.pos += 2;
+                    Tok::ColonColon
+                } else {
+                    return Err(self.err("expected ':-' or '::'"));
+                }
+            }
+            b'\'' | b'"' => {
+                let quote = c;
+                let start = self.pos + 1;
+                let mut end = start;
+                while end < self.src.len() && self.src[end] != quote {
+                    if self.src[end] == b'\n' {
+                        return Err(self.err("unterminated quoted constant"));
+                    }
+                    end += 1;
+                }
+                if end >= self.src.len() {
+                    return Err(self.err("unterminated quoted constant"));
+                }
+                let text = std::str::from_utf8(&self.src[start..end])
+                    .map_err(|_| self.err("invalid utf-8 in quoted constant"))?
+                    .to_string();
+                self.pos = end + 1;
+                Tok::Quoted(text)
+            }
+            b'0'..=b'9' => {
+                let start = self.pos;
+                while self.pos < self.src.len()
+                    && (self.src[self.pos].is_ascii_digit()
+                        || self.src[self.pos] == b'e'
+                        || self.src[self.pos] == b'E'
+                        || self.src[self.pos] == b'-' && matches!(self.src.get(self.pos - 1), Some(b'e') | Some(b'E')))
+                {
+                    self.pos += 1;
+                }
+                // A dot is part of the number only if followed by a digit
+                // (otherwise it terminates the clause).
+                if self.pos < self.src.len()
+                    && self.src[self.pos] == b'.'
+                    && self.src.get(self.pos + 1).is_some_and(u8::is_ascii_digit)
+                {
+                    self.pos += 1;
+                    while self.pos < self.src.len()
+                        && (self.src[self.pos].is_ascii_digit()
+                            || self.src[self.pos] == b'e'
+                            || self.src[self.pos] == b'E')
+                    {
+                        self.pos += 1;
+                    }
+                }
+                let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+                let value: f64 = text
+                    .parse()
+                    .map_err(|_| self.err(format!("bad number literal '{text}'")))?;
+                Tok::Number(value)
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = self.pos;
+                while self.pos < self.src.len()
+                    && (self.src[self.pos].is_ascii_alphanumeric() || self.src[self.pos] == b'_')
+                {
+                    self.pos += 1;
+                }
+                let text = std::str::from_utf8(&self.src[start..self.pos])
+                    .unwrap()
+                    .to_string();
+                if c.is_ascii_uppercase() || c == b'_' {
+                    Tok::UpperIdent(text)
+                } else {
+                    Tok::Ident(text)
+                }
+            }
+            other => {
+                return Err(self.err(format!("unexpected character '{}'", other as char)));
+            }
+        };
+        Ok(Some((tok, line)))
+    }
+}
+
+struct Parser<'a> {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+    program: Program,
+    anon_counter: u32,
+    _marker: std::marker::PhantomData<&'a ()>,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn line(&self) -> usize {
+        self.toks
+            .get(self.pos.min(self.toks.len().saturating_sub(1)))
+            .map_or(0, |(_, l)| *l)
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            line: self.line(),
+            message: message.into(),
+        }
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(t, _)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, tok: &Tok, what: &str) -> Result<(), ParseError> {
+        match self.bump() {
+            Some(t) if &t == tok => Ok(()),
+            other => Err(self.err(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    /// Parses `name(term, ...)` or a zero-arity `name`.
+    fn atom(&mut self, scope: &mut VarScope) -> Result<Atom, ParseError> {
+        let name = match self.bump() {
+            Some(Tok::Ident(n)) => n,
+            other => return Err(self.err(format!("expected predicate name, found {other:?}"))),
+        };
+        let mut terms = Vec::new();
+        if self.peek() == Some(&Tok::LParen) {
+            self.bump();
+            loop {
+                let term = match self.bump() {
+                    Some(Tok::Ident(c)) => Term::Const(self.program.symbols.intern(&c)),
+                    Some(Tok::Quoted(c)) => Term::Const(self.program.symbols.intern(&c)),
+                    Some(Tok::Number(n)) => {
+                        // Numeric constants are interned by their textual form.
+                        Term::Const(self.program.symbols.intern(&format_num(n)))
+                    }
+                    Some(Tok::UpperIdent(v)) => {
+                        if v == "_" {
+                            self.anon_counter += 1;
+                            Term::Var(scope.var(&format!("_anon{}", self.anon_counter)))
+                        } else {
+                            Term::Var(scope.var(&v))
+                        }
+                    }
+                    other => return Err(self.err(format!("expected term, found {other:?}"))),
+                };
+                terms.push(term);
+                match self.bump() {
+                    Some(Tok::Comma) => continue,
+                    Some(Tok::RParen) => break,
+                    other => {
+                        return Err(self.err(format!("expected ',' or ')', found {other:?}")))
+                    }
+                }
+            }
+        }
+        let pred = self.program.preds.intern(&name, terms.len());
+        Ok(Atom::new(pred, terms))
+    }
+
+    fn ground_args(&self, atom: &Atom) -> Result<Vec<Sym>, ParseError> {
+        atom.terms
+            .iter()
+            .map(|t| t.as_const().ok_or_else(|| self.err("fact must be ground")))
+            .collect()
+    }
+
+    fn clause(&mut self) -> Result<(), ParseError> {
+        // query <atom>.
+        if let Some(Tok::Ident(name)) = self.peek() {
+            if name == "query" {
+                // Lookahead: `query p(...)` vs a predicate literally named
+                // `query` — the latter would be followed by '(' directly;
+                // `query p(..)` has an identifier next.
+                if matches!(self.toks.get(self.pos + 1).map(|(t, _)| t), Some(Tok::Ident(_))) {
+                    self.bump();
+                    let mut scope = VarScope::default();
+                    let atom = self.atom(&mut scope)?;
+                    self.expect(&Tok::Dot, "'.'")?;
+                    self.program.queries.push(atom);
+                    return Ok(());
+                }
+            }
+        }
+
+        // Optional probability annotation.
+        let prob = if let Some(Tok::Number(_)) = self.peek() {
+            let Some(Tok::Number(p)) = self.bump() else {
+                unreachable!()
+            };
+            self.expect(&Tok::ColonColon, "'::'")?;
+            Some(p)
+        } else {
+            None
+        };
+
+        if let Some(p) = prob {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(self.err(format!("probability {p} outside [0, 1]")));
+            }
+        }
+
+        let mut scope = VarScope::default();
+        let head = self.atom(&mut scope)?;
+
+        match self.bump() {
+            Some(Tok::Dot) => {
+                // A fact.
+                let args = self.ground_args(&head)?;
+                self.program
+                    .push_fact(GroundAtom::new(head.pred, args), prob.unwrap_or(1.0));
+                Ok(())
+            }
+            Some(Tok::ColonDash) => {
+                let mut body = Vec::new();
+                loop {
+                    body.push(self.atom(&mut scope)?);
+                    match self.bump() {
+                        Some(Tok::Comma) => continue,
+                        Some(Tok::Dot) => break,
+                        other => {
+                            return Err(self.err(format!("expected ',' or '.', found {other:?}")))
+                        }
+                    }
+                }
+                // Rule confidence folds into a fresh dummy fact in the body.
+                if let Some(p) = prob {
+                    if p < 1.0 {
+                        let conf = self.program.preds.fresh("@conf", 0);
+                        self.program.push_fact(GroundAtom::new(conf, vec![]), p);
+                        body.push(Atom::new(conf, vec![]));
+                    }
+                }
+                self.program.push_rule(Rule::new(head, body));
+                Ok(())
+            }
+            other => Err(self.err(format!("expected '.' or ':-', found {other:?}"))),
+        }
+    }
+}
+
+fn format_num(n: f64) -> String {
+    if n.fract() == 0.0 && n.abs() < 1e15 {
+        format!("{}", n as i64)
+    } else {
+        format!("{n}")
+    }
+}
+
+/// Parses a probabilistic program from text.
+pub fn parse_program(src: &str) -> Result<ParsedProgram, ParseError> {
+    let mut lexer = Lexer::new(src);
+    let mut toks = Vec::new();
+    while let Some(t) = lexer.next()? {
+        toks.push(t);
+    }
+    let mut parser = Parser {
+        toks,
+        pos: 0,
+        program: Program::new(),
+        anon_counter: 0,
+        _marker: std::marker::PhantomData,
+    };
+    while parser.peek().is_some() {
+        parser.clause()?;
+    }
+    parser
+        .program
+        .validate()
+        .map_err(|(i, e)| ParseError {
+            line: 0,
+            message: format!("rule #{i} invalid: {e}"),
+        })?;
+    Ok(parser.program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EXAMPLE1: &str = "
+        % Example 1 of the paper.
+        0.5 :: e(a, b).
+        0.6 :: e(b, c).
+        0.7 :: e(a, c).
+        0.8 :: e(c, b).
+        p(X, Y) :- e(X, Y).
+        p(X, Y) :- p(X, Z), p(Z, Y).
+        query p(a, b).
+    ";
+
+    #[test]
+    fn parses_example1() {
+        let p = parse_program(EXAMPLE1).unwrap();
+        assert_eq!(p.facts.len(), 4);
+        assert_eq!(p.rules.len(), 2);
+        assert_eq!(p.queries.len(), 1);
+        let (atom, prob) = &p.facts[0];
+        assert_eq!(prob, &0.5);
+        assert_eq!(p.preds.name(atom.pred), "e");
+    }
+
+    #[test]
+    fn default_probability_is_one() {
+        let p = parse_program("e(a, b).").unwrap();
+        assert_eq!(p.facts[0].1, 1.0);
+    }
+
+    #[test]
+    fn rule_confidence_becomes_dummy_fact() {
+        let p = parse_program("0.9 :: q(X) :- e(X). e(a).").unwrap();
+        assert_eq!(p.rules.len(), 1);
+        // Body gains the @conf atom.
+        assert_eq!(p.rules[0].body.len(), 2);
+        let dummy = &p.rules[0].body[1];
+        assert_eq!(p.preds.name(dummy.pred), "@conf");
+        assert_eq!(p.preds.arity(dummy.pred), 0);
+        // And a fact with probability 0.9 exists for it.
+        let f = p.facts.iter().find(|(a, _)| a.pred == dummy.pred).unwrap();
+        assert_eq!(f.1, 0.9);
+    }
+
+    #[test]
+    fn quoted_and_numeric_constants() {
+        let p = parse_program("t('New York', 42, \"x y\").").unwrap();
+        let (atom, _) = &p.facts[0];
+        let names: Vec<&str> = atom.args.iter().map(|s| p.symbols.name(*s)).collect();
+        assert_eq!(names, vec!["New York", "42", "x y"]);
+    }
+
+    #[test]
+    fn anonymous_variables_are_fresh() {
+        let p = parse_program("q(X) :- r(X, _), s(X, _).").unwrap();
+        let r = &p.rules[0];
+        // X, _1, _2 → three distinct variables.
+        assert_eq!(r.n_vars, 3);
+        assert_ne!(r.body[0].terms[1], r.body[1].terms[1]);
+    }
+
+    #[test]
+    fn non_ground_fact_rejected() {
+        let err = parse_program("e(a, X).").unwrap_err();
+        assert!(err.message.contains("ground"));
+    }
+
+    #[test]
+    fn bad_probability_rejected() {
+        let err = parse_program("1.5 :: e(a).").unwrap_err();
+        assert!(err.message.contains("outside"));
+    }
+
+    #[test]
+    fn unsafe_rule_rejected_at_parse() {
+        let err = parse_program("q(X, Y) :- e(X).").unwrap_err();
+        assert!(err.message.contains("invalid"));
+    }
+
+    #[test]
+    fn comments_and_whitespace_ignored() {
+        let p = parse_program("% nothing\n  \t e(a). % trailing\n").unwrap();
+        assert_eq!(p.facts.len(), 1);
+    }
+
+    #[test]
+    fn zero_arity_atoms() {
+        let p = parse_program("0.3 :: rain. wet :- rain.").unwrap();
+        assert_eq!(p.facts.len(), 1);
+        assert_eq!(p.rules.len(), 1);
+        assert_eq!(p.preds.arity(p.rules[0].head.pred), 0);
+    }
+
+    #[test]
+    fn error_carries_line_number() {
+        let err = parse_program("e(a).\n)q.").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn query_with_variables() {
+        let p = parse_program("e(a,b). query e(a, X).").unwrap();
+        assert_eq!(p.queries.len(), 1);
+        assert!(p.queries[0].terms[1].as_var().is_some());
+    }
+}

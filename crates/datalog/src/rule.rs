@@ -1,0 +1,350 @@
+//! Rules and programs.
+//!
+//! A [`Rule`] is a Datalog rule `h ← b1 ∧ ... ∧ bn` with rule-local,
+//! densely numbered variables. A [`Program`] owns the symbol/predicate
+//! tables, the rule set, and the (probabilistic) ground facts of the input
+//! `P = (R, F, π)`.
+
+use crate::symbols::{PredId, PredTable, Sym, SymbolTable};
+use crate::term::{Atom, Term, Var};
+use std::fmt;
+
+/// Index of a rule within its [`Program`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct RuleId(pub u32);
+
+impl RuleId {
+    /// Index into `Program::rules`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A Datalog rule `head ← body[0] ∧ ... ∧ body[n-1]`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Rule {
+    /// The conclusion.
+    pub head: Atom,
+    /// The premise (non-empty for derivation rules; empty bodies are not
+    /// allowed — ground facts go to the database instead).
+    pub body: Vec<Atom>,
+    /// Number of distinct variables (variables are `Var(0..n_vars)`).
+    pub n_vars: usize,
+}
+
+/// Errors raised by [`Rule::validate`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RuleError {
+    /// A head variable does not occur in the body (violates range
+    /// restriction / safety, Equation (1) of the paper).
+    UnsafeHeadVar(Var),
+    /// The rule has an empty body.
+    EmptyBody,
+    /// A variable index is out of the declared range.
+    BadVarIndex(Var),
+}
+
+impl fmt::Display for RuleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuleError::UnsafeHeadVar(v) => {
+                write!(f, "head variable V{} does not occur in the body", v.0)
+            }
+            RuleError::EmptyBody => write!(f, "rule has an empty body"),
+            RuleError::BadVarIndex(v) => write!(f, "variable V{} out of range", v.0),
+        }
+    }
+}
+
+impl std::error::Error for RuleError {}
+
+impl Rule {
+    /// Builds a rule, recomputing `n_vars` from the atoms.
+    pub fn new(head: Atom, body: Vec<Atom>) -> Self {
+        let max_var = head
+            .vars()
+            .chain(body.iter().flat_map(|a| a.vars()))
+            .map(|v| v.0 + 1)
+            .max()
+            .unwrap_or(0);
+        Rule {
+            head,
+            body,
+            n_vars: max_var as usize,
+        }
+    }
+
+    /// Checks range restriction and variable-index sanity.
+    pub fn validate(&self) -> Result<(), RuleError> {
+        if self.body.is_empty() {
+            return Err(RuleError::EmptyBody);
+        }
+        let in_range = |v: Var| v.index() < self.n_vars;
+        for a in std::iter::once(&self.head).chain(self.body.iter()) {
+            for v in a.vars() {
+                if !in_range(v) {
+                    return Err(RuleError::BadVarIndex(v));
+                }
+            }
+        }
+        let mut body_vars = vec![false; self.n_vars];
+        for a in &self.body {
+            for v in a.vars() {
+                body_vars[v.index()] = true;
+            }
+        }
+        for v in self.head.vars() {
+            if !body_vars[v.index()] {
+                return Err(RuleError::UnsafeHeadVar(v));
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders the rule with human-readable names.
+    pub fn display<'a>(&'a self, preds: &'a PredTable, syms: &'a SymbolTable) -> RuleDisplay<'a> {
+        RuleDisplay {
+            rule: self,
+            preds,
+            syms,
+        }
+    }
+}
+
+/// Helper for pretty-printing rules.
+pub struct RuleDisplay<'a> {
+    rule: &'a Rule,
+    preds: &'a PredTable,
+    syms: &'a SymbolTable,
+}
+
+impl fmt::Display for RuleDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} :- ", self.rule.head.display(self.preds, self.syms))?;
+        for (i, a) in self.rule.body.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", a.display(self.preds, self.syms))?;
+        }
+        Ok(())
+    }
+}
+
+/// A ground atom `p(c1, ..., cn)` (a fact before storage interning).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct GroundAtom {
+    /// The predicate.
+    pub pred: PredId,
+    /// The constant tuple.
+    pub args: Vec<Sym>,
+}
+
+impl GroundAtom {
+    /// Builds a ground atom.
+    pub fn new(pred: PredId, args: Vec<Sym>) -> Self {
+        GroundAtom { pred, args }
+    }
+}
+
+/// A probabilistic program `P = (R, F, π)`: rules plus probability-annotated
+/// ground facts, sharing one symbol/predicate namespace.
+#[derive(Clone, Default, Debug)]
+pub struct Program {
+    /// Constant interner.
+    pub symbols: SymbolTable,
+    /// Predicate interner.
+    pub preds: PredTable,
+    /// The rule set `R`.
+    pub rules: Vec<Rule>,
+    /// The fact set `F` with probabilities `π(f)`; `1.0` means certain.
+    pub facts: Vec<(GroundAtom, f64)>,
+    /// Query atoms (may contain variables and constants).
+    pub queries: Vec<Atom>,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a rule, returning its id.
+    pub fn push_rule(&mut self, rule: Rule) -> RuleId {
+        let id = RuleId(self.rules.len() as u32);
+        self.rules.push(rule);
+        id
+    }
+
+    /// Appends a probabilistic fact.
+    pub fn push_fact(&mut self, atom: GroundAtom, prob: f64) {
+        self.facts.push((atom, prob));
+    }
+
+    /// The rule with the given id.
+    pub fn rule(&self, id: RuleId) -> &Rule {
+        &self.rules[id.index()]
+    }
+
+    /// Validates every rule.
+    pub fn validate(&self) -> Result<(), (usize, RuleError)> {
+        for (i, r) in self.rules.iter().enumerate() {
+            r.validate().map_err(|e| (i, e))?;
+        }
+        Ok(())
+    }
+
+    /// The set of *intensional* predicates (those occurring in some rule
+    /// head), as a dense boolean vector indexed by `PredId`.
+    pub fn idb_mask(&self) -> Vec<bool> {
+        let mut mask = vec![false; self.preds.len()];
+        for r in &self.rules {
+            mask[r.head.pred.index()] = true;
+        }
+        mask
+    }
+
+    /// True if `pred` occurs in some rule head.
+    pub fn is_idb(&self, pred: PredId) -> bool {
+        self.rules.iter().any(|r| r.head.pred == pred)
+    }
+
+    /// Convenience constructor used pervasively in tests and examples:
+    /// builds atoms from string names, interning as needed. Uppercase-first
+    /// identifiers are variables (scoped per call via `vars`).
+    pub fn atom(&mut self, name: &str, args: &[&str], vars: &mut VarScope) -> Atom {
+        let pred = self.preds.intern(name, args.len());
+        let terms = args
+            .iter()
+            .map(|a| {
+                if a.chars().next().is_some_and(|c| c.is_uppercase() || c == '_') {
+                    Term::Var(vars.var(a))
+                } else {
+                    Term::Const(self.symbols.intern(a))
+                }
+            })
+            .collect();
+        Atom::new(pred, terms)
+    }
+
+    /// Convenience: adds a rule from string atoms (head first).
+    pub fn rule_str(&mut self, head: (&str, &[&str]), body: &[(&str, &[&str])]) -> RuleId {
+        let mut scope = VarScope::default();
+        let head_atom = self.atom(head.0, head.1, &mut scope);
+        let body_atoms = body
+            .iter()
+            .map(|(n, a)| self.atom(n, a, &mut scope))
+            .collect();
+        self.push_rule(Rule::new(head_atom, body_atoms))
+    }
+
+    /// Convenience: adds a probabilistic fact from strings.
+    pub fn fact_str(&mut self, name: &str, args: &[&str], prob: f64) {
+        let pred = self.preds.intern(name, args.len());
+        let args = args.iter().map(|a| self.symbols.intern(a)).collect();
+        self.push_fact(GroundAtom::new(pred, args), prob);
+    }
+}
+
+/// Maps textual variable names to dense rule-local indices.
+#[derive(Default)]
+pub struct VarScope {
+    names: Vec<String>,
+}
+
+impl VarScope {
+    /// Returns the index for `name`, allocating if unseen.
+    pub fn var(&mut self, name: &str) -> Var {
+        if let Some(i) = self.names.iter().position(|n| n == name) {
+            Var(i as u32)
+        } else {
+            self.names.push(name.to_string());
+            Var((self.names.len() - 1) as u32)
+        }
+    }
+
+    /// Number of distinct variables seen.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when no variable has been allocated.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The running example of the paper (Example 1): graph reachability.
+    pub fn reachability() -> Program {
+        let mut p = Program::new();
+        p.rule_str(("p", &["X", "Y"]), &[("e", &["X", "Y"])]);
+        p.rule_str(("p", &["X", "Y"]), &[("p", &["X", "Z"]), ("p", &["Z", "Y"])]);
+        p.fact_str("e", &["a", "b"], 0.5);
+        p.fact_str("e", &["b", "c"], 0.6);
+        p.fact_str("e", &["a", "c"], 0.7);
+        p.fact_str("e", &["c", "b"], 0.8);
+        p
+    }
+
+    #[test]
+    fn example1_builds_and_validates() {
+        let p = reachability();
+        assert_eq!(p.rules.len(), 2);
+        assert_eq!(p.facts.len(), 4);
+        assert!(p.validate().is_ok());
+        // p is IDB, e is EDB.
+        let e = p.preds.lookup("e", 2).unwrap();
+        let path = p.preds.lookup("p", 2).unwrap();
+        assert!(!p.is_idb(e));
+        assert!(p.is_idb(path));
+    }
+
+    #[test]
+    fn unsafe_rule_rejected() {
+        let mut p = Program::new();
+        // q(X, Y) :- e(X, X)  — Y unsafe.
+        p.rule_str(("q", &["X", "Y"]), &[("e", &["X", "X"])]);
+        let err = p.validate().unwrap_err();
+        assert!(matches!(err.1, RuleError::UnsafeHeadVar(_)));
+    }
+
+    #[test]
+    fn empty_body_rejected() {
+        let mut p = Program::new();
+        let pred = p.preds.intern("q", 0);
+        p.push_rule(Rule::new(Atom::new(pred, vec![]), vec![]));
+        let err = p.validate().unwrap_err();
+        assert_eq!(err.1, RuleError::EmptyBody);
+    }
+
+    #[test]
+    fn var_scope_shared_within_rule() {
+        let mut p = Program::new();
+        p.rule_str(("p", &["X", "Y"]), &[("p", &["X", "Z"]), ("p", &["Z", "Y"])]);
+        let r = &p.rules[0];
+        assert_eq!(r.n_vars, 3);
+        // Z in both body atoms must be the same variable.
+        assert_eq!(r.body[0].terms[1], r.body[1].terms[0]);
+    }
+
+    #[test]
+    fn display_roundtrips_names() {
+        let p = reachability();
+        let shown = format!("{}", p.rules[1].display(&p.preds, &p.symbols));
+        assert_eq!(shown, "p(V0,V1) :- p(V0,V2), p(V2,V1)");
+    }
+
+    #[test]
+    fn idb_mask_matches_is_idb() {
+        let p = reachability();
+        let mask = p.idb_mask();
+        for pred in p.preds.iter() {
+            assert_eq!(mask[pred.index()], p.is_idb(pred));
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! Interned constants ([`Sym`]) and predicates ([`PredId`]).
+//!
+//! Every constant appearing in a program or database is interned once into a
+//! [`SymbolTable`]; every predicate into a [`PredTable`]. All downstream
+//! structures (atoms, facts, indexes) manipulate 4-byte ids only.
+
+use crate::fxhash::FxHashMap;
+use std::fmt;
+
+/// An interned constant. The `u32` indexes into the owning [`SymbolTable`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Sym(pub u32);
+
+impl Sym {
+    /// Index into the owning table.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// An interned predicate. The `u32` indexes into the owning [`PredTable`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PredId(pub u32);
+
+impl PredId {
+    /// Index into the owning table.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for PredId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Interner for constants.
+#[derive(Default, Clone, Debug)]
+pub struct SymbolTable {
+    names: Vec<Box<str>>,
+    by_name: FxHashMap<Box<str>, u32>,
+}
+
+impl SymbolTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its id. Idempotent.
+    pub fn intern(&mut self, name: &str) -> Sym {
+        if let Some(&id) = self.by_name.get(name) {
+            return Sym(id);
+        }
+        let id = u32::try_from(self.names.len()).expect("symbol table overflow");
+        let boxed: Box<str> = name.into();
+        self.names.push(boxed.clone());
+        self.by_name.insert(boxed, id);
+        Sym(id)
+    }
+
+    /// Looks a name up without interning it.
+    pub fn lookup(&self, name: &str) -> Option<Sym> {
+        self.by_name.get(name).copied().map(Sym)
+    }
+
+    /// Resolves an id back to its name.
+    pub fn name(&self, sym: Sym) -> &str {
+        &self.names[sym.index()]
+    }
+
+    /// Number of interned symbols.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(Sym, name)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (Sym, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (Sym(i as u32), n.as_ref()))
+    }
+}
+
+/// Metadata for one predicate.
+#[derive(Clone, Debug)]
+pub struct PredInfo {
+    /// Human-readable predicate name.
+    pub name: Box<str>,
+    /// Number of arguments.
+    pub arity: usize,
+}
+
+/// Interner for predicates. Two predicates with the same name but different
+/// arities are distinct (Prolog-style `name/arity` keying).
+#[derive(Default, Clone, Debug)]
+pub struct PredTable {
+    infos: Vec<PredInfo>,
+    by_key: FxHashMap<(Box<str>, usize), u32>,
+}
+
+impl PredTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name/arity`, returning its id. Idempotent.
+    pub fn intern(&mut self, name: &str, arity: usize) -> PredId {
+        if let Some(&id) = self.by_key.get(&(Box::from(name), arity)) {
+            return PredId(id);
+        }
+        let id = u32::try_from(self.infos.len()).expect("predicate table overflow");
+        self.infos.push(PredInfo {
+            name: name.into(),
+            arity,
+        });
+        self.by_key.insert((name.into(), arity), id);
+        PredId(id)
+    }
+
+    /// Looks up `name/arity` without interning.
+    pub fn lookup(&self, name: &str, arity: usize) -> Option<PredId> {
+        self.by_key
+            .get(&(Box::from(name), arity))
+            .copied()
+            .map(PredId)
+    }
+
+    /// Name of a predicate.
+    pub fn name(&self, pred: PredId) -> &str {
+        &self.infos[pred.index()].name
+    }
+
+    /// Arity of a predicate.
+    pub fn arity(&self, pred: PredId) -> usize {
+        self.infos[pred.index()].arity
+    }
+
+    /// Number of interned predicates.
+    pub fn len(&self) -> usize {
+        self.infos.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.infos.is_empty()
+    }
+
+    /// Iterates over all predicate ids in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = PredId> {
+        (0..self.infos.len() as u32).map(PredId)
+    }
+
+    /// Generates a fresh predicate with a derived name, guaranteed not to
+    /// clash with an existing one (used by canonicalization and magic sets).
+    pub fn fresh(&mut self, base: &str, arity: usize) -> PredId {
+        let mut candidate = format!("{base}");
+        let mut counter = 0usize;
+        while self.by_key.contains_key(&(Box::from(candidate.as_str()), arity)) {
+            counter += 1;
+            candidate = format!("{base}#{counter}");
+        }
+        self.intern(&candidate, arity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symbol_interning_is_idempotent() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("alice");
+        let b = t.intern("bob");
+        assert_ne!(a, b);
+        assert_eq!(t.intern("alice"), a);
+        assert_eq!(t.name(a), "alice");
+        assert_eq!(t.name(b), "bob");
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn symbol_lookup_does_not_intern() {
+        let mut t = SymbolTable::new();
+        assert_eq!(t.lookup("x"), None);
+        let x = t.intern("x");
+        assert_eq!(t.lookup("x"), Some(x));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn predicates_keyed_by_name_and_arity() {
+        let mut t = PredTable::new();
+        let p1 = t.intern("p", 1);
+        let p2 = t.intern("p", 2);
+        assert_ne!(p1, p2);
+        assert_eq!(t.arity(p1), 1);
+        assert_eq!(t.arity(p2), 2);
+        assert_eq!(t.intern("p", 1), p1);
+        assert_eq!(t.name(p1), "p");
+    }
+
+    #[test]
+    fn fresh_predicates_never_clash() {
+        let mut t = PredTable::new();
+        let p = t.intern("aux", 1);
+        let q = t.fresh("aux", 1);
+        assert_ne!(p, q);
+        assert_eq!(t.name(q), "aux#1");
+        let r = t.fresh("aux", 1);
+        assert_ne!(q, r);
+    }
+
+    #[test]
+    fn iteration_order_matches_interning_order() {
+        let mut t = SymbolTable::new();
+        let names = ["a", "b", "c"];
+        for n in names {
+            t.intern(n);
+        }
+        let collected: Vec<&str> = t.iter().map(|(_, n)| n).collect();
+        assert_eq!(collected, names);
+    }
+}

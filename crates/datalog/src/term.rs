@@ -1,0 +1,289 @@
+//! Terms, atoms and substitutions (Section 2 of the paper).
+//!
+//! A term is a constant or a variable; an atom is `p(t1, ..., tn)`.
+//! Variables are rule-local indices `0..n_vars`, so a substitution is a
+//! dense `Vec<Option<Sym>>` rather than a map.
+
+use crate::symbols::{PredId, PredTable, Sym, SymbolTable};
+use std::fmt;
+
+/// A rule-local variable (dense index).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Var(pub u32);
+
+impl Var {
+    /// Index into a rule's variable space.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A term: either a constant or a variable.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Term {
+    /// An interned constant.
+    Const(Sym),
+    /// A rule-local variable.
+    Var(Var),
+}
+
+impl Term {
+    /// The variable inside, if any.
+    #[inline]
+    pub fn as_var(self) -> Option<Var> {
+        match self {
+            Term::Var(v) => Some(v),
+            Term::Const(_) => None,
+        }
+    }
+
+    /// The constant inside, if any.
+    #[inline]
+    pub fn as_const(self) -> Option<Sym> {
+        match self {
+            Term::Const(c) => Some(c),
+            Term::Var(_) => None,
+        }
+    }
+}
+
+/// An atom `p(t1, ..., tn)`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Atom {
+    /// The predicate.
+    pub pred: PredId,
+    /// Argument terms; `terms.len()` equals the predicate arity.
+    pub terms: Vec<Term>,
+}
+
+impl Atom {
+    /// Builds an atom.
+    pub fn new(pred: PredId, terms: Vec<Term>) -> Self {
+        Atom { pred, terms }
+    }
+
+    /// True when every term is a constant.
+    pub fn is_ground(&self) -> bool {
+        self.terms.iter().all(|t| matches!(t, Term::Const(_)))
+    }
+
+    /// Iterates over the variables of the atom (with repetitions).
+    pub fn vars(&self) -> impl Iterator<Item = Var> + '_ {
+        self.terms.iter().filter_map(|t| t.as_var())
+    }
+
+    /// Applies a substitution, producing the ground argument tuple.
+    /// Returns `None` if some variable is unbound.
+    pub fn apply(&self, subst: &Substitution) -> Option<Vec<Sym>> {
+        self.terms
+            .iter()
+            .map(|t| match t {
+                Term::Const(c) => Some(*c),
+                Term::Var(v) => subst.get(*v),
+            })
+            .collect()
+    }
+
+    /// Matches this atom against a ground tuple, extending `subst` in
+    /// place. On mismatch the substitution is left in an undefined state
+    /// and `false` is returned (callers snapshot/rollback via
+    /// [`Substitution::mark`] / [`Substitution::rollback`]).
+    pub fn match_tuple(&self, tuple: &[Sym], subst: &mut Substitution) -> bool {
+        debug_assert_eq!(self.terms.len(), tuple.len());
+        for (term, &sym) in self.terms.iter().zip(tuple) {
+            match term {
+                Term::Const(c) => {
+                    if *c != sym {
+                        return false;
+                    }
+                }
+                Term::Var(v) => match subst.get(*v) {
+                    Some(bound) => {
+                        if bound != sym {
+                            return false;
+                        }
+                    }
+                    None => subst.bind(*v, sym),
+                },
+            }
+        }
+        true
+    }
+
+    /// Renders the atom with human-readable names.
+    pub fn display<'a>(&'a self, preds: &'a PredTable, syms: &'a SymbolTable) -> AtomDisplay<'a> {
+        AtomDisplay {
+            atom: self,
+            preds,
+            syms,
+        }
+    }
+}
+
+/// Helper for pretty-printing atoms.
+pub struct AtomDisplay<'a> {
+    atom: &'a Atom,
+    preds: &'a PredTable,
+    syms: &'a SymbolTable,
+}
+
+impl fmt::Display for AtomDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.preds.name(self.atom.pred))?;
+        if self.atom.terms.is_empty() {
+            return Ok(());
+        }
+        write!(f, "(")?;
+        for (i, t) in self.atom.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            match t {
+                Term::Const(c) => write!(f, "{}", self.syms.name(*c))?,
+                Term::Var(v) => write!(f, "V{}", v.0)?,
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+/// A term mapping σ from rule-local variables to constants, with an undo
+/// log so joins can backtrack cheaply.
+#[derive(Clone, Debug)]
+pub struct Substitution {
+    bindings: Vec<Option<Sym>>,
+    trail: Vec<Var>,
+}
+
+impl Substitution {
+    /// A substitution over `n_vars` variables, all unbound.
+    pub fn new(n_vars: usize) -> Self {
+        Substitution {
+            bindings: vec![None; n_vars],
+            trail: Vec::new(),
+        }
+    }
+
+    /// Current binding of `v`.
+    #[inline]
+    pub fn get(&self, v: Var) -> Option<Sym> {
+        self.bindings[v.index()]
+    }
+
+    /// Binds `v := s`, recording the binding on the trail.
+    #[inline]
+    pub fn bind(&mut self, v: Var, s: Sym) {
+        debug_assert!(self.bindings[v.index()].is_none(), "rebinding {v:?}");
+        self.bindings[v.index()] = Some(s);
+        self.trail.push(v);
+    }
+
+    /// Snapshot of the trail for later rollback.
+    #[inline]
+    pub fn mark(&self) -> usize {
+        self.trail.len()
+    }
+
+    /// Undoes all bindings made after `mark`.
+    #[inline]
+    pub fn rollback(&mut self, mark: usize) {
+        while self.trail.len() > mark {
+            let v = self.trail.pop().unwrap();
+            self.bindings[v.index()] = None;
+        }
+    }
+
+    /// Number of variables in scope.
+    pub fn n_vars(&self) -> usize {
+        self.bindings.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (PredTable, SymbolTable) {
+        (PredTable::new(), SymbolTable::new())
+    }
+
+    #[test]
+    fn ground_detection() {
+        let (mut preds, mut syms) = setup();
+        let p = preds.intern("p", 2);
+        let a = syms.intern("a");
+        let ground = Atom::new(p, vec![Term::Const(a), Term::Const(a)]);
+        let open = Atom::new(p, vec![Term::Const(a), Term::Var(Var(0))]);
+        assert!(ground.is_ground());
+        assert!(!open.is_ground());
+    }
+
+    #[test]
+    fn match_binds_then_checks_consistency() {
+        let (mut preds, mut syms) = setup();
+        let p = preds.intern("p", 2);
+        let a = syms.intern("a");
+        let b = syms.intern("b");
+        // p(X, X) matches (a, a) but not (a, b).
+        let atom = Atom::new(p, vec![Term::Var(Var(0)), Term::Var(Var(0))]);
+        let mut subst = Substitution::new(1);
+        assert!(atom.match_tuple(&[a, a], &mut subst));
+        assert_eq!(subst.get(Var(0)), Some(a));
+
+        let mut subst = Substitution::new(1);
+        assert!(!atom.match_tuple(&[a, b], &mut subst));
+    }
+
+    #[test]
+    fn match_respects_constants() {
+        let (mut preds, mut syms) = setup();
+        let p = preds.intern("p", 2);
+        let a = syms.intern("a");
+        let b = syms.intern("b");
+        let atom = Atom::new(p, vec![Term::Const(a), Term::Var(Var(0))]);
+        let mut subst = Substitution::new(1);
+        assert!(atom.match_tuple(&[a, b], &mut subst));
+        assert_eq!(subst.get(Var(0)), Some(b));
+        subst.rollback(0);
+        assert!(!atom.match_tuple(&[b, b], &mut subst));
+    }
+
+    #[test]
+    fn rollback_undoes_bindings() {
+        let (mut preds, mut syms) = setup();
+        let p = preds.intern("p", 2);
+        let a = syms.intern("a");
+        let b = syms.intern("b");
+        let atom = Atom::new(p, vec![Term::Var(Var(0)), Term::Var(Var(1))]);
+        let mut subst = Substitution::new(2);
+        let mark = subst.mark();
+        assert!(atom.match_tuple(&[a, b], &mut subst));
+        assert_eq!(subst.get(Var(0)), Some(a));
+        subst.rollback(mark);
+        assert_eq!(subst.get(Var(0)), None);
+        assert_eq!(subst.get(Var(1)), None);
+    }
+
+    #[test]
+    fn apply_requires_full_binding() {
+        let (mut preds, mut syms) = setup();
+        let p = preds.intern("p", 2);
+        let a = syms.intern("a");
+        let atom = Atom::new(p, vec![Term::Var(Var(0)), Term::Var(Var(1))]);
+        let mut subst = Substitution::new(2);
+        subst.bind(Var(0), a);
+        assert_eq!(atom.apply(&subst), None);
+        subst.bind(Var(1), a);
+        assert_eq!(atom.apply(&subst), Some(vec![a, a]));
+    }
+
+    #[test]
+    fn display_renders_names() {
+        let (mut preds, mut syms) = setup();
+        let p = preds.intern("edge", 2);
+        let a = syms.intern("a");
+        let atom = Atom::new(p, vec![Term::Const(a), Term::Var(Var(3))]);
+        assert_eq!(format!("{}", atom.display(&preds, &syms)), "edge(a,V3)");
+    }
+}

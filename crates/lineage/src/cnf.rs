@@ -1,0 +1,176 @@
+//! Tseitin transformation from lineage DNF to CNF.
+//!
+//! The c2d-style solver (see `ltg-wmc`) consumes CNF. The paper converts
+//! its DNF lineage with the *relaxed* Tseitin transformation [83]; relaxed
+//! (one-directional) encodings preserve satisfiability but not model
+//! *counts* unless counting is projected. We use the full (bidirectional)
+//! encoding instead: every assignment of the original variables extends to
+//! exactly one assignment of the auxiliary variables, so weighted model
+//! counts are preserved exactly when auxiliary variables get weight 1 on
+//! both phases. Same asymptotic size, exact counts — the deviation is
+//! documented in DESIGN.md.
+
+use crate::dnf::Dnf;
+use ltg_storage::FactId;
+
+/// A CNF in DIMACS-style representation: variables are `1..=n_vars`,
+/// literals are non-zero `i32`s (negative = negated).
+#[derive(Clone, Debug, Default)]
+pub struct Cnf {
+    /// Number of variables (original + auxiliary).
+    pub n_vars: usize,
+    /// Clause list.
+    pub clauses: Vec<Vec<i32>>,
+    /// For variable `v`, `fact_of[v - 1]` is the extensional fact it
+    /// represents, or `None` for Tseitin auxiliaries.
+    pub fact_of: Vec<Option<FactId>>,
+}
+
+impl Cnf {
+    /// Total number of literal occurrences.
+    pub fn literal_count(&self) -> usize {
+        self.clauses.iter().map(|c| c.len()).sum()
+    }
+}
+
+/// Encodes `dnf` as an equi-countable CNF.
+///
+/// For a DNF `c1 ∨ ... ∨ cm` over facts `x1..xk`, the output has variables
+/// `x1..xk` (mapped to `1..=k`) and auxiliaries `z1..zm` with clauses:
+///
+/// * `¬zi ∨ x` for every `x ∈ ci`       (zi → ci)
+/// * `zi ∨ ¬x1 ∨ ... ∨ ¬x|ci|`          (ci → zi)
+/// * `z1 ∨ ... ∨ zm`                    (the formula holds)
+pub fn tseitin(dnf: &Dnf) -> Cnf {
+    let vars = dnf.variables();
+    let var_of = |f: FactId| -> i32 {
+        (vars.binary_search(&f).expect("fact in variable table") + 1) as i32
+    };
+    let k = vars.len();
+    let m = dnf.len();
+    let mut cnf = Cnf {
+        n_vars: k + m,
+        clauses: Vec::with_capacity(dnf.literal_count() + m + 1),
+        fact_of: vars
+            .iter()
+            .map(|&f| Some(f))
+            .chain(std::iter::repeat(None).take(m))
+            .collect(),
+    };
+
+    let mut root: Vec<i32> = Vec::with_capacity(m);
+    for (i, conjunct) in dnf.conjuncts().enumerate() {
+        let z = (k + i + 1) as i32;
+        root.push(z);
+        let mut reverse: Vec<i32> = Vec::with_capacity(conjunct.len() + 1);
+        reverse.push(z);
+        for &f in conjunct {
+            let x = var_of(f);
+            cnf.clauses.push(vec![-z, x]);
+            reverse.push(-x);
+        }
+        cnf.clauses.push(reverse);
+    }
+    // The empty DNF (false) yields the empty (unsatisfiable) root clause.
+    cnf.clauses.push(root);
+    cnf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fid(i: u32) -> FactId {
+        FactId(i)
+    }
+
+    /// Brute-force model count of a CNF restricted to the original
+    /// variables: counts full assignments and checks each original
+    /// assignment extends to exactly one model.
+    fn check_equi_countable(dnf: &Dnf) {
+        let cnf = tseitin(dnf);
+        let vars = dnf.variables();
+        let k = vars.len();
+        let total = cnf.n_vars;
+        assert!(total <= 20, "test too large");
+        let mut dnf_models = 0usize;
+        let mut cnf_models = 0usize;
+        for assignment in 0u32..(1 << total) {
+            let truth = |lit: i32| -> bool {
+                let v = lit.unsigned_abs() as usize - 1;
+                let val = assignment & (1 << v) != 0;
+                if lit > 0 {
+                    val
+                } else {
+                    !val
+                }
+            };
+            if cnf.clauses.iter().all(|c| c.iter().any(|&l| truth(l))) {
+                cnf_models += 1;
+            }
+        }
+        for world_bits in 0u32..(1 << k) {
+            let world: ltg_datalog::FxHashSet<FactId> = vars
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| world_bits & (1 << i) != 0)
+                .map(|(_, &f)| f)
+                .collect();
+            if dnf.eval(&world) {
+                dnf_models += 1;
+            }
+        }
+        // Each satisfying original assignment extends to exactly one full
+        // model (z's are determined), so counts match directly.
+        assert_eq!(cnf_models, dnf_models);
+    }
+
+    #[test]
+    fn single_conjunct() {
+        let d = Dnf::unit(vec![fid(1), fid(2)]);
+        check_equi_countable(&d);
+    }
+
+    #[test]
+    fn example1_lineage() {
+        let mut d = Dnf::var(fid(1));
+        d.push(vec![fid(2), fid(3)]);
+        check_equi_countable(&d);
+    }
+
+    #[test]
+    fn overlapping_conjuncts() {
+        let mut d = Dnf::ff();
+        d.push(vec![fid(1), fid(2)]);
+        d.push(vec![fid(2), fid(3)]);
+        d.push(vec![fid(1), fid(3)]);
+        check_equi_countable(&d);
+    }
+
+    #[test]
+    fn false_dnf_is_unsat() {
+        let cnf = tseitin(&Dnf::ff());
+        // Contains the empty clause.
+        assert!(cnf.clauses.iter().any(|c| c.is_empty()));
+    }
+
+    #[test]
+    fn true_dnf_has_models() {
+        let d = Dnf::tt();
+        let cnf = tseitin(&d);
+        assert_eq!(cnf.n_vars, 1); // single auxiliary
+        // z1 must be true: clauses are (z1) [reverse] and (z1) [root].
+        assert!(cnf.clauses.iter().all(|c| c == &vec![1]));
+    }
+
+    #[test]
+    fn variable_mapping_covers_all_facts() {
+        let mut d = Dnf::ff();
+        d.push(vec![fid(7), fid(3)]);
+        d.push(vec![fid(9)]);
+        let cnf = tseitin(&d);
+        let mapped: Vec<FactId> = cnf.fact_of.iter().flatten().copied().collect();
+        assert_eq!(mapped, vec![fid(3), fid(7), fid(9)]);
+        assert_eq!(cnf.n_vars, 3 + 2);
+    }
+}

@@ -1,0 +1,200 @@
+//! Lineage extraction: derivation tree → DNF.
+//!
+//! `φ(τ)` is the conjunction of the leaves of `τ`; the lineage of a
+//! collapsed tree is the disjunction of the `φ`s of its unfoldings
+//! (Lemma 1 / Definition 5). Rather than materializing `unfold`, the DNF
+//! is computed directly by structural recursion with memoization over the
+//! shared forest nodes:
+//!
+//! * leaf → the single-fact conjunct,
+//! * AND node → the conjunction (pairwise merge) of the children's DNFs,
+//! * OR node → the disjunction (union) of the children's DNFs.
+//!
+//! A disjunct cap bounds the work; exceeding it reports
+//! [`LineageTooLarge`], mirroring the paper's lineage-collection
+//! out-of-memory cases (Section 6.3, C3).
+
+use crate::dnf::{Dnf, LineageTooLarge};
+use crate::forest::{Forest, Label, TreeId};
+use ltg_datalog::fxhash::FxHashMap;
+
+/// Memo table for [`tree_dnf`]; valid per forest.
+pub type DnfCache = FxHashMap<TreeId, Dnf>;
+
+/// Extracts the lineage DNF of `tree`, keeping at most `cap` disjuncts at
+/// any intermediate step.
+pub fn tree_dnf(
+    forest: &Forest,
+    tree: TreeId,
+    cache: &mut DnfCache,
+    cap: usize,
+) -> Result<Dnf, LineageTooLarge> {
+    if let Some(hit) = cache.get(&tree) {
+        return Ok(hit.clone());
+    }
+    let result = match forest.label(tree) {
+        Label::And => {
+            if forest.is_leaf(tree) {
+                Dnf::var(forest.fact(tree))
+            } else {
+                let mut acc = Dnf::tt();
+                for &c in forest.children(tree) {
+                    let child = tree_dnf(forest, c, cache, cap)?;
+                    acc = acc.and(&child, cap)?;
+                }
+                acc
+            }
+        }
+        Label::Or => {
+            let mut acc = Dnf::ff();
+            for &c in forest.children(tree) {
+                let child = tree_dnf(forest, c, cache, cap)?;
+                acc.or_with(&child);
+                if acc.len() > cap {
+                    return Err(LineageTooLarge {
+                        conjuncts: acc.len(),
+                    });
+                }
+            }
+            acc
+        }
+    };
+    cache.insert(tree, result.clone());
+    Ok(result)
+}
+
+/// Extracts and disjoins the lineage of several trees (the trees of one
+/// root fact across the trigger graph), deduplicating conjuncts.
+pub fn trees_dnf(
+    forest: &Forest,
+    trees: &[TreeId],
+    cache: &mut DnfCache,
+    cap: usize,
+) -> Result<Dnf, LineageTooLarge> {
+    let mut acc = Dnf::ff();
+    for &t in trees {
+        let d = tree_dnf(forest, t, cache, cap)?;
+        acc.or_with(&d);
+        if acc.len() > cap {
+            return Err(LineageTooLarge {
+                conjuncts: acc.len(),
+            });
+        }
+    }
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::unfold::unfold;
+    use ltg_storage::FactId;
+
+    fn fid(i: u32) -> FactId {
+        FactId(i)
+    }
+
+    #[test]
+    fn leaf_dnf_is_the_fact() {
+        let mut f = Forest::new();
+        let l = f.leaf(fid(1));
+        let mut cache = DnfCache::default();
+        let d = tree_dnf(&f, l, &mut cache, 100).unwrap();
+        assert_eq!(d, Dnf::var(fid(1)));
+    }
+
+    #[test]
+    fn and_node_conjoins_leaves() {
+        let mut f = Forest::new();
+        let l1 = f.leaf(fid(1));
+        let l2 = f.leaf(fid(2));
+        let t = f.node(Label::And, fid(10), &[l1, l2]);
+        let mut cache = DnfCache::default();
+        let d = tree_dnf(&f, t, &mut cache, 100).unwrap();
+        assert_eq!(d, Dnf::unit(vec![fid(1), fid(2)]));
+    }
+
+    #[test]
+    fn or_node_disjoins() {
+        let mut f = Forest::new();
+        let l1 = f.leaf(fid(1));
+        let l2 = f.leaf(fid(2));
+        let t1 = f.node(Label::And, fid(10), &[l1]);
+        let t2 = f.node(Label::And, fid(10), &[l2]);
+        let c = f.collapse(&[t1, t2]);
+        let mut cache = DnfCache::default();
+        let d = tree_dnf(&f, c, &mut cache, 100).unwrap();
+        let mut expected = Dnf::var(fid(1));
+        expected.or_with(&Dnf::var(fid(2)));
+        assert!(d.equivalent(&expected));
+    }
+
+    #[test]
+    fn dnf_matches_materialized_unfold() {
+        // Random-ish nested structure: DNF via memoized extraction must
+        // equal the disjunction of φ over materialized unfoldings.
+        let mut f = Forest::new();
+        let a = f.leaf(fid(1));
+        let b = f.leaf(fid(2));
+        let c = f.leaf(fid(3));
+        let t1 = f.node(Label::And, fid(10), &[a, b]);
+        let t2 = f.node(Label::And, fid(10), &[c]);
+        let or10 = f.collapse(&[t1, t2]);
+        let t3 = f.node(Label::And, fid(11), &[b, c]);
+        let root = f.node(Label::And, fid(20), &[or10, t3]);
+
+        let mut cache = DnfCache::default();
+        let d = tree_dnf(&f, root, &mut cache, 1000).unwrap();
+
+        let mut expected = Dnf::ff();
+        for m in unfold(&f, root) {
+            expected.push(m.phi());
+        }
+        assert!(d.equivalent(&expected));
+    }
+
+    #[test]
+    fn cap_is_enforced() {
+        let mut f = Forest::new();
+        // OR of 8 alternatives × OR of 8 alternatives → 64 conjuncts.
+        let mut left = Vec::new();
+        let mut right = Vec::new();
+        for i in 0..8 {
+            let l = f.leaf(fid(i));
+            left.push(f.node(Label::And, fid(100), &[l]));
+            let r = f.leaf(fid(50 + i));
+            right.push(f.node(Label::And, fid(101), &[r]));
+        }
+        let ol = f.collapse(&left);
+        let or = f.collapse(&right);
+        let root = f.node(Label::And, fid(200), &[ol, or]);
+        let mut cache = DnfCache::default();
+        assert!(tree_dnf(&f, root, &mut cache, 16).is_err());
+        let mut cache = DnfCache::default();
+        assert!(tree_dnf(&f, root, &mut cache, 64).is_ok());
+    }
+
+    #[test]
+    fn trees_dnf_unions_roots() {
+        let mut f = Forest::new();
+        let l1 = f.leaf(fid(1));
+        let l2 = f.leaf(fid(2));
+        let t1 = f.node(Label::And, fid(10), &[l1]);
+        let t2 = f.node(Label::And, fid(10), &[l2]);
+        let mut cache = DnfCache::default();
+        let d = trees_dnf(&f, &[t1, t2], &mut cache, 100).unwrap();
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn memoization_shares_work() {
+        let mut f = Forest::new();
+        let l = f.leaf(fid(1));
+        let shared = f.node(Label::And, fid(5), &[l]);
+        let t1 = f.node(Label::And, fid(10), &[shared, shared]);
+        let mut cache = DnfCache::default();
+        tree_dnf(&f, t1, &mut cache, 100).unwrap();
+        assert!(cache.contains_key(&shared));
+        assert!(cache.contains_key(&t1));
+    }
+}

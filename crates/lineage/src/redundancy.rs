@@ -1,0 +1,200 @@
+//! Redundancy checks — the paper's replacement for Boolean-formula
+//! comparisons (limitation L1).
+//!
+//! * Plain trees (Section 4.1): a derivation tree `τ` with root fact `α`
+//!   is *redundant w.r.t. `α`* when `α` occurs in `τ` more than once —
+//!   Proposition 1 then guarantees `φ(τ)` is absorbed by the formula of
+//!   the inner occurrence's subtree.
+//! * Collapsed trees (Section 5): `τ` is redundant w.r.t. `α` when `α`
+//!   occurs at least twice in **every** tree of `unfold(τ)`.
+//!
+//! Both are decided without materializing `unfold` by computing, per node,
+//! the *minimum* number of occurrences of `α` over all unfoldings:
+//!
+//! ```text
+//! min_occ(leaf)      = [fact = α]
+//! min_occ(AND node)  = [fact = α] + Σ min_occ(child)   (children unfold independently)
+//! min_occ(OR  node)  = min over children of min_occ(child)
+//! ```
+//!
+//! (An OR node is *replaced* by its children's unfoldings — Definition 5,
+//! case †, so it contributes no occurrence of its own fact.)
+//! The tree is redundant iff `min_occ(root) ≥ 2`. Counts saturate at 2.
+
+use crate::forest::{fact_sig, Forest, Label, TreeId};
+use ltg_datalog::fxhash::FxHashMap;
+use ltg_storage::FactId;
+
+/// Memo table for [`min_occ`]; valid for a single `(forest, fact)` pair.
+pub type OccCache = FxHashMap<TreeId, u8>;
+
+/// Minimum number of occurrences of `fact` over the unfoldings of `tree`,
+/// saturated at 2.
+pub fn min_occ(forest: &Forest, tree: TreeId, fact: FactId, cache: &mut OccCache) -> u8 {
+    // Bloom prefilter: if the signature excludes the fact, occurrences = 0.
+    if forest.sig(tree) & fact_sig(fact) == 0 {
+        return 0;
+    }
+    if let Some(&v) = cache.get(&tree) {
+        return v;
+    }
+    let own = u8::from(forest.fact(tree) == fact);
+    let value = match forest.label(tree) {
+        Label::And => {
+            let mut total = own;
+            for &c in forest.children(tree) {
+                total = total.saturating_add(min_occ(forest, c, fact, cache));
+                if total >= 2 {
+                    total = 2;
+                    break;
+                }
+            }
+            total
+        }
+        Label::Or => {
+            // The OR node vanishes under unfolding; pick the cheapest child.
+            let mut best = 2u8;
+            for &c in forest.children(tree) {
+                best = best.min(min_occ(forest, c, fact, cache));
+                if best == 0 {
+                    break;
+                }
+            }
+            best
+        }
+    };
+    cache.insert(tree, value);
+    value
+}
+
+/// Is `tree` redundant w.r.t. its own root fact? (Algorithm 1 line 9 /
+/// Algorithm 2 line 12.)
+pub fn is_redundant(forest: &Forest, tree: TreeId, cache: &mut OccCache) -> bool {
+    let fact = forest.fact(tree);
+    min_occ(forest, tree, fact, cache) >= 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fid(i: u32) -> FactId {
+        FactId(i)
+    }
+
+    #[test]
+    fn plain_tree_without_repetition_is_not_redundant() {
+        let mut f = Forest::new();
+        let l1 = f.leaf(fid(1));
+        let l2 = f.leaf(fid(2));
+        let t = f.node(Label::And, fid(10), &[l1, l2]);
+        let mut cache = OccCache::default();
+        assert!(!is_redundant(&f, t, &mut cache));
+    }
+
+    #[test]
+    fn root_reappearing_below_is_redundant() {
+        // τ8 of Example 4: p(a,b) derived from a tree containing p(a,b).
+        let mut f = Forest::new();
+        let inner = f.node(Label::And, fid(10), &[]);
+        let side = f.leaf(fid(2));
+        let t = f.node(Label::And, fid(10), &[inner, side]);
+        let mut cache = OccCache::default();
+        assert!(is_redundant(&f, t, &mut cache));
+    }
+
+    #[test]
+    fn repetition_of_other_fact_is_fine() {
+        let mut f = Forest::new();
+        let l1 = f.leaf(fid(1));
+        let t1 = f.node(Label::And, fid(5), &[l1]);
+        let t2 = f.node(Label::And, fid(6), &[l1]);
+        // fid(1) occurs twice but the root fact fid(10) occurs once.
+        let t = f.node(Label::And, fid(10), &[t1, t2]);
+        let mut cache = OccCache::default();
+        assert!(!is_redundant(&f, t, &mut cache));
+    }
+
+    #[test]
+    fn or_node_takes_best_branch() {
+        // Collapsed tree for fact 10 with two alternatives:
+        //  - one branch contains fact 10 again (redundant alternative),
+        //  - the other does not.
+        let mut f = Forest::new();
+        let good_leaf = f.leaf(fid(1));
+        let good = f.node(Label::And, fid(10), &[good_leaf]);
+        let inner10 = f.node(Label::And, fid(10), &[good_leaf]);
+        let bad = f.node(Label::And, fid(10), &[inner10]);
+        let collapsed = f.collapse(&[good, bad]);
+        let mut cache = OccCache::default();
+        // unfold has one tree with a single occurrence → not redundant.
+        assert!(!is_redundant(&f, collapsed, &mut cache));
+    }
+
+    #[test]
+    fn collapsed_tree_redundant_when_every_branch_repeats() {
+        let mut f = Forest::new();
+        let leaf = f.leaf(fid(1));
+        let inner = f.node(Label::And, fid(10), &[leaf]);
+        let bad1 = f.node(Label::And, fid(10), &[inner]);
+        let leaf2 = f.leaf(fid(2));
+        let inner2 = f.node(Label::And, fid(10), &[leaf2]);
+        let bad2 = f.node(Label::And, fid(10), &[inner2, leaf]);
+        let collapsed = f.collapse(&[bad1, bad2]);
+        let mut cache = OccCache::default();
+        assert!(is_redundant(&f, collapsed, &mut cache));
+    }
+
+    #[test]
+    fn example6_mixed_or_below_and() {
+        // Example 6: r(a,b1) rooted AND tree whose children are the
+        // collapsed t(a) (an OR over N alternatives) and the leaf s(a,b1).
+        // One alternative of t(a) derives through r(a,b1) (repetition);
+        // the others do not → the tree is NOT redundant.
+        let mut f = Forest::new();
+        let r_ab1 = fid(100);
+        let t_a = fid(50);
+        let q1 = f.leaf(fid(1));
+        let q2 = f.leaf(fid(2));
+        let s = f.leaf(fid(3));
+        // t(a) from q(a,b1) and q(a,b2):
+        let r1 = f.node(Label::And, r_ab1, &[q1]);
+        let t_via_r1 = f.node(Label::And, t_a, &[r1]); // contains r(a,b1)!
+        let r2 = f.node(Label::And, fid(101), &[q2]);
+        let t_via_r2 = f.node(Label::And, t_a, &[r2]);
+        let t_collapsed = f.collapse(&[t_via_r1, t_via_r2]);
+        // r(a,b1) ← t(a) ∧ s(a,b1):
+        let candidate = f.node(Label::And, r_ab1, &[t_collapsed, s]);
+        let mut cache = OccCache::default();
+        assert!(!is_redundant(&f, candidate, &mut cache));
+
+        // If *every* t(a) alternative contained r(a,b1), it would be
+        // redundant.
+        let t_collapsed_bad = f.collapse(&[t_via_r1, t_via_r1]);
+        let candidate_bad = f.node(Label::And, r_ab1, &[t_collapsed_bad, s]);
+        let mut cache = OccCache::default();
+        assert!(is_redundant(&f, candidate_bad, &mut cache));
+    }
+
+    #[test]
+    fn saturation_at_two() {
+        let mut f = Forest::new();
+        let mut t = f.node(Label::And, fid(7), &[]);
+        for _ in 0..10 {
+            t = f.node(Label::And, fid(7), &[t]);
+        }
+        let mut cache = OccCache::default();
+        assert_eq!(min_occ(&f, t, fid(7), &mut cache), 2);
+    }
+
+    #[test]
+    fn cache_is_consistent_across_queries_of_same_fact() {
+        let mut f = Forest::new();
+        let shared_leaf = f.leaf(fid(1));
+        let sub = f.node(Label::And, fid(5), &[shared_leaf]);
+        let t1 = f.node(Label::And, fid(10), &[sub, sub]);
+        let mut cache = OccCache::default();
+        assert_eq!(min_occ(&f, t1, fid(1), &mut cache), 2);
+        assert_eq!(min_occ(&f, sub, fid(1), &mut cache), 1);
+    }
+}

@@ -1,0 +1,214 @@
+//! `unfold` (Definition 5 of the paper).
+//!
+//! Unfolding expands the OR branches of a collapsed derivation tree back
+//! into the set of plain (AND-only) derivation trees it encapsulates:
+//!
+//! * (★) a tree without OR nodes unfolds to itself;
+//! * (†) an OR-rooted tree unfolds to the union of its children's
+//!   unfoldings;
+//! * (‡) an AND node above OR nodes unfolds to one tree per combination of
+//!   its children's unfoldings.
+//!
+//! Materializing unfoldings is exponential by design — the engines never
+//! do it (they extract DNF with memoization instead; see
+//! [`crate::extract`]). This module exists for tests, for Example 5/6 of
+//! the paper, and for the redundancy-check cross-validation.
+
+use crate::forest::{Forest, Label, TreeId};
+use ltg_storage::FactId;
+
+/// A fully materialized AND-only derivation tree.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MaterialTree {
+    /// The fact at the root.
+    pub fact: FactId,
+    /// Sub-derivations (empty for leaves).
+    pub children: Vec<MaterialTree>,
+}
+
+impl MaterialTree {
+    /// A leaf.
+    pub fn leaf(fact: FactId) -> Self {
+        MaterialTree {
+            fact,
+            children: Vec::new(),
+        }
+    }
+
+    /// Number of occurrences of `fact` in the tree.
+    pub fn occurrences(&self, fact: FactId) -> usize {
+        usize::from(self.fact == fact)
+            + self
+                .children
+                .iter()
+                .map(|c| c.occurrences(fact))
+                .sum::<usize>()
+    }
+
+    /// The conjunction of the leaves (`φ(τ)`), sorted and deduplicated.
+    pub fn phi(&self) -> Vec<FactId> {
+        fn leaves(t: &MaterialTree, out: &mut Vec<FactId>) {
+            if t.children.is_empty() {
+                out.push(t.fact);
+            } else {
+                for c in &t.children {
+                    leaves(c, out);
+                }
+            }
+        }
+        let mut out = Vec::new();
+        leaves(self, &mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Total node count.
+    pub fn size(&self) -> usize {
+        1 + self.children.iter().map(MaterialTree::size).sum::<usize>()
+    }
+}
+
+/// Materializes `unfold(tree)`.
+pub fn unfold(forest: &Forest, tree: TreeId) -> Vec<MaterialTree> {
+    match forest.label(tree) {
+        Label::Or => {
+            // (†) the OR node is replaced by its children's unfoldings.
+            let mut out = Vec::new();
+            for &c in forest.children(tree) {
+                out.extend(unfold(forest, c));
+            }
+            out
+        }
+        Label::And => {
+            // (★/‡) Cartesian product over children.
+            let fact = forest.fact(tree);
+            let kids = forest.children(tree);
+            if kids.is_empty() {
+                return vec![MaterialTree::leaf(fact)];
+            }
+            let child_unfoldings: Vec<Vec<MaterialTree>> =
+                kids.iter().map(|&c| unfold(forest, c)).collect();
+            let mut combos: Vec<Vec<MaterialTree>> = vec![Vec::new()];
+            for options in &child_unfoldings {
+                let mut next = Vec::with_capacity(combos.len() * options.len());
+                for combo in &combos {
+                    for opt in options {
+                        let mut extended = combo.clone();
+                        extended.push(opt.clone());
+                        next.push(extended);
+                    }
+                }
+                combos = next;
+            }
+            combos
+                .into_iter()
+                .map(|children| MaterialTree { fact, children })
+                .collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fid(i: u32) -> FactId {
+        FactId(i)
+    }
+
+    #[test]
+    fn plain_tree_unfolds_to_itself() {
+        let mut f = Forest::new();
+        let l1 = f.leaf(fid(1));
+        let l2 = f.leaf(fid(2));
+        let t = f.node(Label::And, fid(10), &[l1, l2]);
+        let u = unfold(&f, t);
+        assert_eq!(u.len(), 1);
+        assert_eq!(u[0].fact, fid(10));
+        assert_eq!(u[0].children.len(), 2);
+        assert_eq!(u[0].phi(), vec![fid(1), fid(2)]);
+    }
+
+    #[test]
+    fn or_root_unions_children() {
+        let mut f = Forest::new();
+        let l1 = f.leaf(fid(1));
+        let l2 = f.leaf(fid(2));
+        let t1 = f.node(Label::And, fid(10), &[l1]);
+        let t2 = f.node(Label::And, fid(10), &[l2]);
+        let c = f.collapse(&[t1, t2]);
+        let u = unfold(&f, c);
+        assert_eq!(u.len(), 2);
+        assert!(u.iter().all(|t| t.fact == fid(10)));
+    }
+
+    #[test]
+    fn example5_collapse_unfold_roundtrip() {
+        // Example 5/6: t(a) has N derivations (via r(a,bi) ← q(a,bi));
+        // collapsing then unfolding recovers all N trees.
+        let n = 5u32;
+        let mut f = Forest::new();
+        let t_a = fid(1000);
+        let mut alternatives = Vec::new();
+        for i in 0..n {
+            let q = f.leaf(fid(i));
+            let r = f.node(Label::And, fid(100 + i), &[q]);
+            alternatives.push(f.node(Label::And, t_a, &[r]));
+        }
+        let collapsed = f.collapse(&alternatives);
+        let u = unfold(&f, collapsed);
+        assert_eq!(u.len(), n as usize);
+        // ‡ case: AND above the collapsed node multiplies out.
+        let s = f.leaf(fid(99));
+        let r_ab1 = f.node(Label::And, fid(100), &[collapsed, s]);
+        let u = unfold(&f, r_ab1);
+        assert_eq!(u.len(), n as usize);
+        // Exactly one unfolded tree repeats the root fact r(a,b1)=fid(100).
+        let redundant_count = u.iter().filter(|t| t.occurrences(fid(100)) >= 2).count();
+        assert_eq!(redundant_count, 1);
+    }
+
+    #[test]
+    fn nested_or_multiplies() {
+        let mut f = Forest::new();
+        let a1 = f.leaf(fid(1));
+        let a2 = f.leaf(fid(2));
+        let b1 = f.leaf(fid(3));
+        let b2 = f.leaf(fid(4));
+        let ta1 = f.node(Label::And, fid(10), &[a1]);
+        let ta2 = f.node(Label::And, fid(10), &[a2]);
+        let tb1 = f.node(Label::And, fid(11), &[b1]);
+        let tb2 = f.node(Label::And, fid(11), &[b2]);
+        let oa = f.collapse(&[ta1, ta2]);
+        let ob = f.collapse(&[tb1, tb2]);
+        let root = f.node(Label::And, fid(20), &[oa, ob]);
+        let u = unfold(&f, root);
+        assert_eq!(u.len(), 4);
+        let phis: Vec<Vec<FactId>> = u.iter().map(MaterialTree::phi).collect();
+        assert!(phis.contains(&vec![fid(1), fid(3)]));
+        assert!(phis.contains(&vec![fid(2), fid(4)]));
+    }
+
+    #[test]
+    fn min_occ_agrees_with_materialized_unfold() {
+        use crate::redundancy::{min_occ, OccCache};
+        let mut f = Forest::new();
+        let leaf = f.leaf(fid(1));
+        let inner = f.node(Label::And, fid(10), &[leaf]);
+        let good = f.node(Label::And, fid(10), &[leaf]);
+        let bad = f.node(Label::And, fid(10), &[inner]);
+        let collapsed = f.collapse(&[good, bad]);
+        let s = f.leaf(fid(2));
+        let candidate = f.node(Label::And, fid(10), &[collapsed, s]);
+        // Materialized: min occurrences of fid(10) over unfoldings.
+        let mats = unfold(&f, candidate);
+        let expected = mats
+            .iter()
+            .map(|t| t.occurrences(fid(10)).min(2) as u8)
+            .min()
+            .unwrap();
+        let mut cache = OccCache::default();
+        assert_eq!(min_occ(&f, candidate, fid(10), &mut cache), expected);
+    }
+}

@@ -1,0 +1,221 @@
+//! The tuple-independent probabilistic database `D = (F, π)` (Section 2).
+//!
+//! A [`Database`] interns the facts of a program, stores the probability
+//! `π(f)` of every extensional fact, and exposes per-predicate
+//! [`Relation`]s for the engines' joins. Facts *derived* during reasoning
+//! are interned into the same store (so lineage can reference them by
+//! `FactId`) but are not part of `F`.
+
+use crate::fact::{FactId, FactStore};
+use crate::relation::Relation;
+use ltg_datalog::{PredId, Program, Sym};
+
+/// A probabilistic database plus the scratch space engines share.
+pub struct Database {
+    /// The global fact arena (extensional and derived facts).
+    pub store: FactStore,
+    /// `π(f)` for extensional facts; `None` for derived facts.
+    probs: Vec<Option<f64>>,
+    /// Extensional facts per predicate.
+    edb: Vec<Relation>,
+}
+
+impl Database {
+    /// Creates an empty database able to hold facts of `n_preds`
+    /// predicates.
+    pub fn new(n_preds: usize) -> Self {
+        Database {
+            store: FactStore::new(),
+            probs: Vec::new(),
+            edb: (0..n_preds).map(|_| Relation::new()).collect(),
+        }
+    }
+
+    /// Builds a database from the facts of a program.
+    ///
+    /// Duplicate facts keep the probability of their first occurrence.
+    pub fn from_program(program: &Program) -> Self {
+        let mut db = Database::new(program.preds.len());
+        for (atom, prob) in &program.facts {
+            db.insert_edb(atom.pred, &atom.args, *prob);
+        }
+        db
+    }
+
+    /// Inserts an extensional fact with probability `prob`, returning its
+    /// id. Re-inserting an existing fact is a no-op (first probability
+    /// wins).
+    pub fn insert_edb(&mut self, pred: PredId, args: &[Sym], prob: f64) -> FactId {
+        let (f, fresh) = self.store.intern(pred, args);
+        if fresh {
+            self.probs.push(Some(prob));
+            self.grow_to(pred);
+            self.edb[pred.index()].push(f);
+        }
+        f
+    }
+
+    /// Interns a *derived* fact (no probability, not part of any EDB
+    /// relation), returning `(id, fresh)`.
+    pub fn intern_derived(&mut self, pred: PredId, args: &[Sym]) -> (FactId, bool) {
+        let (f, fresh) = self.store.intern(pred, args);
+        if fresh {
+            self.probs.push(None);
+        }
+        (f, fresh)
+    }
+
+    fn grow_to(&mut self, pred: PredId) {
+        if pred.index() >= self.edb.len() {
+            self.edb.resize_with(pred.index() + 1, Relation::new);
+        }
+    }
+
+    /// `π(f)`, or `None` for derived facts.
+    #[inline]
+    pub fn prob(&self, f: FactId) -> Option<f64> {
+        self.probs[f.index()]
+    }
+
+    /// True if `f` is an extensional (probabilistic) fact.
+    #[inline]
+    pub fn is_edb_fact(&self, f: FactId) -> bool {
+        self.probs[f.index()].is_some()
+    }
+
+    /// The extensional relation of `pred` (empty if the predicate has no
+    /// facts).
+    pub fn edb_relation(&mut self, pred: PredId) -> &mut Relation {
+        self.grow_to(pred);
+        &mut self.edb[pred.index()]
+    }
+
+    /// Extensional facts of `pred` (empty slice if none).
+    pub fn edb_facts(&self, pred: PredId) -> &[FactId] {
+        self.edb
+            .get(pred.index())
+            .map_or(&[], |r| r.facts())
+    }
+
+    /// Prepares the index of the extensional relation of `pred` for
+    /// `mask` (see [`Relation::ensure_index`]); grows the relation table
+    /// so that [`Database::edb_relation_ref`] is subsequently valid.
+    pub fn ensure_edb_index(&mut self, pred: PredId, mask: crate::relation::PatternMask) {
+        self.grow_to(pred);
+        let (store, edb) = (&self.store, &mut self.edb);
+        edb[pred.index()].ensure_index(mask, store);
+    }
+
+    /// Shared reference to the extensional relation of `pred`; panics if
+    /// the relation table was never grown to cover it (call
+    /// [`Database::ensure_edb_index`] or [`Database::edb_relation`]
+    /// first).
+    pub fn edb_relation_ref(&self, pred: PredId) -> &Relation {
+        &self.edb[pred.index()]
+    }
+
+    /// Probes the extensional relation of `pred` for facts whose positions
+    /// in `mask` carry the values `key` (splits the borrow between the
+    /// relation and the fact store internally).
+    pub fn probe_edb(
+        &mut self,
+        pred: PredId,
+        mask: crate::relation::PatternMask,
+        key: &[Sym],
+    ) -> &[FactId] {
+        self.grow_to(pred);
+        let (store, edb) = (&self.store, &mut self.edb);
+        edb[pred.index()].probe(mask, key, store)
+    }
+
+    /// Number of extensional facts.
+    pub fn n_edb_facts(&self) -> usize {
+        self.probs.iter().filter(|p| p.is_some()).count()
+    }
+
+    /// Probability weights for the WMC solvers: `weights[f] = π(f)`
+    /// (derived facts get 1.0 — they never appear in lineage leaves).
+    pub fn weights(&self) -> Vec<f64> {
+        self.probs.iter().map(|p| p.unwrap_or(1.0)).collect()
+    }
+
+    /// Estimated live bytes of the database proper.
+    pub fn estimated_bytes(&self) -> usize {
+        self.store.estimated_bytes()
+            + self.probs.len() * std::mem::size_of::<Option<f64>>()
+            + self
+                .edb
+                .iter()
+                .map(Relation::estimated_bytes)
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltg_datalog::parse_program;
+
+    #[test]
+    fn builds_from_program() {
+        let p = parse_program("0.5 :: e(a,b). 0.6 :: e(b,c). p(X,Y) :- e(X,Y).").unwrap();
+        let db = Database::from_program(&p);
+        assert_eq!(db.n_edb_facts(), 2);
+        let e = p.preds.lookup("e", 2).unwrap();
+        assert_eq!(db.edb_facts(e).len(), 2);
+        let f = db.edb_facts(e)[0];
+        assert_eq!(db.prob(f), Some(0.5));
+        assert!(db.is_edb_fact(f));
+    }
+
+    #[test]
+    fn duplicate_fact_keeps_first_probability() {
+        let p = parse_program("0.5 :: e(a). 0.9 :: e(a).").unwrap();
+        let db = Database::from_program(&p);
+        assert_eq!(db.n_edb_facts(), 1);
+        let e = p.preds.lookup("e", 1).unwrap();
+        let f = db.edb_facts(e)[0];
+        assert_eq!(db.prob(f), Some(0.5));
+    }
+
+    #[test]
+    fn derived_facts_have_no_probability() {
+        let p = parse_program("0.5 :: e(a). q(X) :- e(X).").unwrap();
+        let mut db = Database::from_program(&p);
+        let q = p.preds.lookup("q", 1).unwrap();
+        let a = p.symbols.lookup("a").unwrap();
+        let (f, fresh) = db.intern_derived(q, &[a]);
+        assert!(fresh);
+        assert_eq!(db.prob(f), None);
+        assert!(!db.is_edb_fact(f));
+        // The derived fact is not an EDB tuple of q.
+        assert!(db.edb_facts(q).is_empty());
+        // Interning again is not fresh.
+        let (f2, fresh2) = db.intern_derived(q, &[a]);
+        assert_eq!(f, f2);
+        assert!(!fresh2);
+    }
+
+    #[test]
+    fn weights_default_derived_to_one() {
+        let p = parse_program("0.25 :: e(a). q(X) :- e(X).").unwrap();
+        let mut db = Database::from_program(&p);
+        let q = p.preds.lookup("q", 1).unwrap();
+        let a = p.symbols.lookup("a").unwrap();
+        db.intern_derived(q, &[a]);
+        let w = db.weights();
+        assert_eq!(w.len(), 2);
+        assert_eq!(w[0], 0.25);
+        assert_eq!(w[1], 1.0);
+    }
+
+    #[test]
+    fn relation_probe_through_database() {
+        let p = parse_program("e(a,b). e(a,c). e(b,c).").unwrap();
+        let mut db = Database::from_program(&p);
+        let e = p.preds.lookup("e", 2).unwrap();
+        let a = p.symbols.lookup("a").unwrap();
+        let hits = db.probe_edb(e, 0b01, &[a]).len();
+        assert_eq!(hits, 2);
+    }
+}

@@ -1,0 +1,286 @@
+//! The global fact arena.
+//!
+//! Every ground atom — extensional or derived — is interned exactly once
+//! into a [`FactStore`] and addressed by a 4-byte [`FactId`]. Argument
+//! tuples live in one contiguous pool, so a fact costs
+//! `arity * 4 + 12` bytes amortized, regardless of how many engines,
+//! trees or formulas reference it.
+
+use ltg_datalog::fxhash::FxHashMap;
+use ltg_datalog::{PredId, Sym};
+use std::hash::{Hash, Hasher};
+
+/// An interned ground fact.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct FactId(pub u32);
+
+impl FactId {
+    /// Index into the owning [`FactStore`].
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[derive(Clone, Copy)]
+struct FactMeta {
+    pred: PredId,
+    /// Offset of the argument tuple in the pool.
+    offset: u32,
+    /// Arity (cached to avoid a predicate-table lookup).
+    arity: u16,
+}
+
+/// Hash-consing arena of ground facts.
+#[derive(Default)]
+pub struct FactStore {
+    metas: Vec<FactMeta>,
+    pool: Vec<Sym>,
+    /// hash(pred, args) → candidate fact ids (open chaining keeps the map
+    /// free of owned tuple copies).
+    buckets: FxHashMap<u64, Vec<u32>>,
+}
+
+fn fact_hash(pred: PredId, args: &[Sym]) -> u64 {
+    let mut h = ltg_datalog::fxhash::FxHasher::default();
+    pred.0.hash(&mut h);
+    for a in args {
+        a.0.hash(&mut h);
+    }
+    h.finish()
+}
+
+impl FactStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `pred(args)`, returning `(id, fresh)` where `fresh` is true
+    /// if the fact was not present before.
+    pub fn intern(&mut self, pred: PredId, args: &[Sym]) -> (FactId, bool) {
+        let h = fact_hash(pred, args);
+        let bucket = self.buckets.entry(h).or_default();
+        for &cand in bucket.iter() {
+            let meta = &self.metas[cand as usize];
+            if meta.pred == pred {
+                let start = meta.offset as usize;
+                let stored = &self.pool[start..start + meta.arity as usize];
+                if stored == args {
+                    return (FactId(cand), false);
+                }
+            }
+        }
+        let id = u32::try_from(self.metas.len()).expect("fact store overflow");
+        let offset = u32::try_from(self.pool.len()).expect("fact pool overflow");
+        self.pool.extend_from_slice(args);
+        self.metas.push(FactMeta {
+            pred,
+            offset,
+            arity: args.len() as u16,
+        });
+        bucket.push(id);
+        (FactId(id), true)
+    }
+
+    /// Looks a fact up without interning it.
+    pub fn lookup(&self, pred: PredId, args: &[Sym]) -> Option<FactId> {
+        let h = fact_hash(pred, args);
+        let bucket = self.buckets.get(&h)?;
+        for &cand in bucket {
+            let meta = &self.metas[cand as usize];
+            if meta.pred == pred {
+                let start = meta.offset as usize;
+                if &self.pool[start..start + meta.arity as usize] == args {
+                    return Some(FactId(cand));
+                }
+            }
+        }
+        None
+    }
+
+    /// Predicate of a fact.
+    #[inline]
+    pub fn pred(&self, f: FactId) -> PredId {
+        self.metas[f.index()].pred
+    }
+
+    /// Argument tuple of a fact.
+    #[inline]
+    pub fn args(&self, f: FactId) -> &[Sym] {
+        let meta = &self.metas[f.index()];
+        let start = meta.offset as usize;
+        &self.pool[start..start + meta.arity as usize]
+    }
+
+    /// Number of interned facts.
+    pub fn len(&self) -> usize {
+        self.metas.len()
+    }
+
+    /// True when no fact has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.metas.is_empty()
+    }
+
+    /// Iterates over all fact ids in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = FactId> {
+        (0..self.metas.len() as u32).map(FactId)
+    }
+
+    /// Estimated live bytes (metadata + pool + bucket overhead).
+    pub fn estimated_bytes(&self) -> usize {
+        self.metas.len() * std::mem::size_of::<FactMeta>()
+            + self.pool.len() * std::mem::size_of::<Sym>()
+            + self.buckets.len() * 24
+            + self.metas.len() * 4
+    }
+
+    /// Renders a fact with human-readable names.
+    pub fn display(
+        &self,
+        f: FactId,
+        preds: &ltg_datalog::PredTable,
+        syms: &ltg_datalog::SymbolTable,
+    ) -> String {
+        let pred = self.pred(f);
+        let args = self.args(f);
+        if args.is_empty() {
+            preds.name(pred).to_string()
+        } else {
+            let mut s = String::from(preds.name(pred));
+            s.push('(');
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push_str(syms.name(*a));
+            }
+            s.push(')');
+            s
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltg_datalog::{PredTable, SymbolTable};
+
+    fn setup() -> (PredTable, SymbolTable) {
+        (PredTable::new(), SymbolTable::new())
+    }
+
+    #[test]
+    fn interning_is_idempotent() {
+        let (mut preds, mut syms) = setup();
+        let e = preds.intern("e", 2);
+        let a = syms.intern("a");
+        let b = syms.intern("b");
+        let mut store = FactStore::new();
+        let (f1, fresh1) = store.intern(e, &[a, b]);
+        let (f2, fresh2) = store.intern(e, &[a, b]);
+        assert_eq!(f1, f2);
+        assert!(fresh1);
+        assert!(!fresh2);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn distinct_tuples_distinct_ids() {
+        let (mut preds, mut syms) = setup();
+        let e = preds.intern("e", 2);
+        let a = syms.intern("a");
+        let b = syms.intern("b");
+        let mut store = FactStore::new();
+        let (f1, _) = store.intern(e, &[a, b]);
+        let (f2, _) = store.intern(e, &[b, a]);
+        assert_ne!(f1, f2);
+        assert_eq!(store.args(f1), &[a, b]);
+        assert_eq!(store.args(f2), &[b, a]);
+    }
+
+    #[test]
+    fn same_tuple_different_pred() {
+        let (mut preds, mut syms) = setup();
+        let e = preds.intern("e", 2);
+        let p = preds.intern("p", 2);
+        let a = syms.intern("a");
+        let mut store = FactStore::new();
+        let (f1, _) = store.intern(e, &[a, a]);
+        let (f2, _) = store.intern(p, &[a, a]);
+        assert_ne!(f1, f2);
+        assert_eq!(store.pred(f1), e);
+        assert_eq!(store.pred(f2), p);
+    }
+
+    #[test]
+    fn lookup_without_interning() {
+        let (mut preds, mut syms) = setup();
+        let e = preds.intern("e", 1);
+        let a = syms.intern("a");
+        let mut store = FactStore::new();
+        assert_eq!(store.lookup(e, &[a]), None);
+        let (f, _) = store.intern(e, &[a]);
+        assert_eq!(store.lookup(e, &[a]), Some(f));
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn zero_arity_facts() {
+        let (mut preds, _) = setup();
+        let rain = preds.intern("rain", 0);
+        let sun = preds.intern("sun", 0);
+        let mut store = FactStore::new();
+        let (f1, _) = store.intern(rain, &[]);
+        let (f2, _) = store.intern(sun, &[]);
+        assert_ne!(f1, f2);
+        assert!(store.args(f1).is_empty());
+    }
+
+    #[test]
+    fn display_formats() {
+        let (mut preds, mut syms) = setup();
+        let e = preds.intern("edge", 2);
+        let a = syms.intern("a");
+        let b = syms.intern("b");
+        let mut store = FactStore::new();
+        let (f, _) = store.intern(e, &[a, b]);
+        assert_eq!(store.display(f, &preds, &syms), "edge(a,b)");
+    }
+
+    #[test]
+    fn bytes_grow_with_content() {
+        let (mut preds, mut syms) = setup();
+        let e = preds.intern("e", 2);
+        let mut store = FactStore::new();
+        let empty = store.estimated_bytes();
+        for i in 0..100 {
+            let s = syms.intern(&format!("c{i}"));
+            store.intern(e, &[s, s]);
+        }
+        assert!(store.estimated_bytes() > empty);
+    }
+
+    #[test]
+    fn many_facts_no_collisions() {
+        let (mut preds, mut syms) = setup();
+        let e = preds.intern("e", 2);
+        let mut store = FactStore::new();
+        let consts: Vec<Sym> = (0..100).map(|i| syms.intern(&format!("c{i}"))).collect();
+        let mut ids = std::collections::HashSet::new();
+        for &x in &consts {
+            for &y in &consts {
+                let (f, fresh) = store.intern(e, &[x, y]);
+                assert!(fresh);
+                assert!(ids.insert(f));
+            }
+        }
+        assert_eq!(store.len(), 10_000);
+        // Every fact resolves back to its tuple.
+        for &x in consts.iter().take(10) {
+            let f = store.lookup(e, &[x, consts[0]]).unwrap();
+            assert_eq!(store.args(f), &[x, consts[0]]);
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Resource accounting.
+//!
+//! The paper's Table 6 reports peak RAM, out-of-memory and timeout counts
+//! per engine. To reproduce those columns honestly on arbitrary hosts, all
+//! engines in this repository run under a [`ResourceMeter`]: structures
+//! report their estimated live bytes to the meter, and engines poll
+//! [`ResourceMeter::check`] at round boundaries, aborting with
+//! [`ResourceError::OutOfMemory`] / [`ResourceError::Timeout`] when a
+//! budget is exceeded. Peaks are recorded for the min/max columns.
+
+use std::cell::Cell;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Why an engine aborted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ResourceError {
+    /// Estimated live bytes exceeded the budget ("NA"/OOM in the paper).
+    OutOfMemory,
+    /// The deadline passed ("TO" in the paper).
+    Timeout,
+}
+
+impl fmt::Display for ResourceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResourceError::OutOfMemory => write!(f, "out of memory (estimated-bytes budget)"),
+            ResourceError::Timeout => write!(f, "timeout"),
+        }
+    }
+}
+
+impl std::error::Error for ResourceError {}
+
+/// Byte-budget + deadline tracker with interior mutability, so shared
+/// structures can report usage without threading `&mut` everywhere.
+pub struct ResourceMeter {
+    limit_bytes: usize,
+    used: Cell<usize>,
+    peak: Cell<usize>,
+    start: Instant,
+    deadline: Option<Duration>,
+}
+
+impl ResourceMeter {
+    /// A meter with no limits (never trips).
+    pub fn unlimited() -> Self {
+        ResourceMeter {
+            limit_bytes: usize::MAX,
+            used: Cell::new(0),
+            peak: Cell::new(0),
+            start: Instant::now(),
+            deadline: None,
+        }
+    }
+
+    /// A meter with a byte budget and an optional wall-clock deadline.
+    pub fn with_limits(limit_bytes: usize, deadline: Option<Duration>) -> Self {
+        ResourceMeter {
+            limit_bytes,
+            used: Cell::new(0),
+            peak: Cell::new(0),
+            start: Instant::now(),
+            deadline,
+        }
+    }
+
+    /// Restarts the clock (budgets and peak are kept).
+    pub fn restart_clock(&mut self) {
+        self.start = Instant::now();
+    }
+
+    /// Sets the current usage to `bytes` (absolute accounting: engines
+    /// re-estimate their live structures at checkpoints).
+    pub fn set_used(&self, bytes: usize) {
+        self.used.set(bytes);
+        if bytes > self.peak.get() {
+            self.peak.set(bytes);
+        }
+    }
+
+    /// Adds `bytes` to the current usage.
+    pub fn charge(&self, bytes: usize) {
+        self.set_used(self.used.get().saturating_add(bytes));
+    }
+
+    /// Subtracts `bytes` from the current usage (peak is unaffected).
+    pub fn release(&self, bytes: usize) {
+        self.used.set(self.used.get().saturating_sub(bytes));
+    }
+
+    /// Current estimated usage.
+    pub fn used(&self) -> usize {
+        self.used.get()
+    }
+
+    /// Highest usage observed so far.
+    pub fn peak(&self) -> usize {
+        self.peak.get()
+    }
+
+    /// Elapsed wall-clock time since construction / restart.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Errors if a budget is exhausted.
+    pub fn check(&self) -> Result<(), ResourceError> {
+        if self.used.get() > self.limit_bytes {
+            return Err(ResourceError::OutOfMemory);
+        }
+        if let Some(d) = self.deadline {
+            if self.start.elapsed() > d {
+                return Err(ResourceError::Timeout);
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for ResourceMeter {
+    fn default() -> Self {
+        Self::unlimited()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_trips() {
+        let m = ResourceMeter::unlimited();
+        m.charge(usize::MAX / 2);
+        assert!(m.check().is_ok());
+    }
+
+    #[test]
+    fn byte_budget_trips() {
+        let m = ResourceMeter::with_limits(1000, None);
+        m.charge(500);
+        assert!(m.check().is_ok());
+        m.charge(501);
+        assert_eq!(m.check(), Err(ResourceError::OutOfMemory));
+        m.release(600);
+        assert!(m.check().is_ok());
+    }
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        let m = ResourceMeter::unlimited();
+        m.charge(100);
+        m.charge(200);
+        m.release(250);
+        assert_eq!(m.used(), 50);
+        assert_eq!(m.peak(), 300);
+        m.set_used(40);
+        assert_eq!(m.peak(), 300);
+    }
+
+    #[test]
+    fn deadline_trips() {
+        let m = ResourceMeter::with_limits(usize::MAX, Some(Duration::from_millis(1)));
+        std::thread::sleep(Duration::from_millis(5));
+        assert_eq!(m.check(), Err(ResourceError::Timeout));
+    }
+
+    #[test]
+    fn set_used_is_absolute() {
+        let m = ResourceMeter::unlimited();
+        m.set_used(123);
+        m.set_used(45);
+        assert_eq!(m.used(), 45);
+        assert_eq!(m.peak(), 123);
+    }
+}

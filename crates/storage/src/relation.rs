@@ -1,0 +1,271 @@
+//! Per-predicate relations and binding-pattern indexes.
+//!
+//! A [`Relation`] is the set of facts of one predicate. Joins during rule
+//! instantiation probe relations through [`TupleIndex`]es: hash indexes
+//! keyed by the values at a set of *bound* positions. Indexes are built on
+//! demand per binding pattern and maintained incrementally on insert.
+
+use crate::fact::{FactId, FactStore};
+use ltg_datalog::fxhash::FxHashMap;
+use ltg_datalog::Sym;
+
+/// A bitmask over argument positions: bit `i` set = position `i` bound.
+pub type PatternMask = u32;
+
+/// Hash index over a list of facts, keyed by the values at the positions of
+/// a binding pattern. Usable both by [`Relation`] and by ad-hoc fact lists
+/// (the per-node tsets of the trigger-graph engine).
+pub struct TupleIndex {
+    mask: PatternMask,
+    /// Keyed by the bound-position values, in position order.
+    map: FxHashMap<Vec<Sym>, Vec<FactId>>,
+    /// How many facts of the underlying list have been indexed so far.
+    covered: usize,
+}
+
+impl TupleIndex {
+    /// Creates an empty index for `mask`.
+    pub fn new(mask: PatternMask) -> Self {
+        TupleIndex {
+            mask,
+            map: FxHashMap::default(),
+            covered: 0,
+        }
+    }
+
+    /// The binding pattern this index serves.
+    pub fn mask(&self) -> PatternMask {
+        self.mask
+    }
+
+    /// Extracts the key of `args` under this index's mask.
+    fn key_of(&self, args: &[Sym]) -> Vec<Sym> {
+        args.iter()
+            .enumerate()
+            .filter(|(i, _)| self.mask & (1 << i) != 0)
+            .map(|(_, &s)| s)
+            .collect()
+    }
+
+    /// Indexes any facts of `facts` not yet covered.
+    pub fn update(&mut self, facts: &[FactId], store: &FactStore) {
+        for &f in &facts[self.covered..] {
+            let key = self.key_of(store.args(f));
+            self.map.entry(key).or_default().push(f);
+        }
+        self.covered = facts.len();
+    }
+
+    /// Facts whose bound positions equal `key` (position order).
+    pub fn probe(&self, key: &[Sym]) -> &[FactId] {
+        self.map.get(key).map_or(&[], |v| v.as_slice())
+    }
+
+    /// How many facts of the underlying list this index has seen.
+    pub fn covered(&self) -> usize {
+        self.covered
+    }
+
+    /// Estimated live bytes.
+    pub fn estimated_bytes(&self) -> usize {
+        let entries = self.map.len();
+        let keys: usize = self.map.keys().map(|k| k.len() * 4).sum();
+        let vals: usize = self.map.values().map(|v| v.len() * 4).sum();
+        entries * 48 + keys + vals
+    }
+}
+
+/// The fact set of one predicate plus its lazily built indexes.
+#[derive(Default)]
+pub struct Relation {
+    facts: Vec<FactId>,
+    indexes: Vec<TupleIndex>,
+}
+
+impl Relation {
+    /// Creates an empty relation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a fact (caller guarantees it is fresh for this relation —
+    /// the fact store's `fresh` flag provides that).
+    pub fn push(&mut self, f: FactId) {
+        self.facts.push(f);
+    }
+
+    /// All facts, in insertion order.
+    pub fn facts(&self) -> &[FactId] {
+        &self.facts
+    }
+
+    /// Number of facts.
+    pub fn len(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// True when the relation has no facts.
+    pub fn is_empty(&self) -> bool {
+        self.facts.is_empty()
+    }
+
+    /// Returns the facts matching `key` at the positions of `mask`,
+    /// building/refreshing the index as needed. A zero mask scans.
+    pub fn probe(&mut self, mask: PatternMask, key: &[Sym], store: &FactStore) -> &[FactId] {
+        if mask == 0 {
+            return &self.facts;
+        }
+        let pos = match self.indexes.iter().position(|ix| ix.mask() == mask) {
+            Some(p) => p,
+            None => {
+                self.indexes.push(TupleIndex::new(mask));
+                self.indexes.len() - 1
+            }
+        };
+        let ix = &mut self.indexes[pos];
+        ix.update(&self.facts, store);
+        ix.probe(key)
+    }
+
+    /// Builds (or refreshes) the index for `mask` without probing. Use
+    /// together with [`Relation::probe_ready`] when a join must first
+    /// prepare all indexes mutably and then probe through shared
+    /// references.
+    pub fn ensure_index(&mut self, mask: PatternMask, store: &FactStore) {
+        if mask == 0 {
+            return;
+        }
+        let pos = match self.indexes.iter().position(|ix| ix.mask() == mask) {
+            Some(p) => p,
+            None => {
+                self.indexes.push(TupleIndex::new(mask));
+                self.indexes.len() - 1
+            }
+        };
+        self.indexes[pos].update(&self.facts, store);
+    }
+
+    /// Probes an index prepared by [`Relation::ensure_index`]. A zero mask
+    /// scans. Panics if the index was never built or is stale.
+    pub fn probe_ready(&self, mask: PatternMask, key: &[Sym]) -> &[FactId] {
+        if mask == 0 {
+            return &self.facts;
+        }
+        let ix = self
+            .indexes
+            .iter()
+            .find(|ix| ix.mask() == mask)
+            .expect("index not prepared; call ensure_index first");
+        debug_assert_eq!(ix.covered(), self.facts.len(), "stale index");
+        ix.probe(key)
+    }
+
+    /// Estimated live bytes (facts + indexes).
+    pub fn estimated_bytes(&self) -> usize {
+        self.facts.len() * 4
+            + self
+                .indexes
+                .iter()
+                .map(TupleIndex::estimated_bytes)
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltg_datalog::{PredTable, SymbolTable};
+
+    fn store_with_edges() -> (FactStore, Vec<FactId>, Vec<Sym>) {
+        let mut preds = PredTable::new();
+        let mut syms = SymbolTable::new();
+        let e = preds.intern("e", 2);
+        let cs: Vec<Sym> = ["a", "b", "c"].iter().map(|s| syms.intern(s)).collect();
+        let mut store = FactStore::new();
+        let mut ids = Vec::new();
+        // edges: (a,b), (b,c), (a,c), (c,b)
+        for (x, y) in [(0, 1), (1, 2), (0, 2), (2, 1)] {
+            let (f, _) = store.intern(e, &[cs[x], cs[y]]);
+            ids.push(f);
+        }
+        (store, ids, cs)
+    }
+
+    #[test]
+    fn zero_mask_scans_everything() {
+        let (store, ids, _) = store_with_edges();
+        let mut rel = Relation::new();
+        for &f in &ids {
+            rel.push(f);
+        }
+        let all = rel.probe(0, &[], &store);
+        assert_eq!(all, ids.as_slice());
+    }
+
+    #[test]
+    fn first_position_index() {
+        let (store, ids, cs) = store_with_edges();
+        let mut rel = Relation::new();
+        for &f in &ids {
+            rel.push(f);
+        }
+        // Facts with first arg = a: (a,b) and (a,c).
+        let hits = rel.probe(0b01, &[cs[0]], &store).to_vec();
+        assert_eq!(hits, vec![ids[0], ids[2]]);
+        // Facts with first arg = c: (c,b).
+        let hits = rel.probe(0b01, &[cs[2]], &store).to_vec();
+        assert_eq!(hits, vec![ids[3]]);
+    }
+
+    #[test]
+    fn both_positions_index() {
+        let (store, ids, cs) = store_with_edges();
+        let mut rel = Relation::new();
+        for &f in &ids {
+            rel.push(f);
+        }
+        let hits = rel.probe(0b11, &[cs[1], cs[2]], &store).to_vec();
+        assert_eq!(hits, vec![ids[1]]);
+        assert!(rel.probe(0b11, &[cs[2], cs[2]], &store).is_empty());
+    }
+
+    #[test]
+    fn index_sees_facts_inserted_after_creation() {
+        let (mut store, ids, cs) = store_with_edges();
+        let mut rel = Relation::new();
+        rel.push(ids[0]); // (a,b)
+        assert_eq!(rel.probe(0b01, &[cs[0]], &store).len(), 1);
+        // Insert (a,c) after the index exists.
+        rel.push(ids[2]);
+        assert_eq!(rel.probe(0b01, &[cs[0]], &store).len(), 2);
+        // And a brand-new fact.
+        let e = store.pred(ids[0]);
+        let (f, _) = store.intern(e, &[cs[0], cs[0]]);
+        rel.push(f);
+        assert_eq!(rel.probe(0b01, &[cs[0]], &store).len(), 3);
+    }
+
+    #[test]
+    fn second_position_index() {
+        let (store, ids, cs) = store_with_edges();
+        let mut rel = Relation::new();
+        for &f in &ids {
+            rel.push(f);
+        }
+        // Facts with second arg = b: (a,b) and (c,b).
+        let hits = rel.probe(0b10, &[cs[1]], &store).to_vec();
+        assert_eq!(hits, vec![ids[0], ids[3]]);
+    }
+
+    #[test]
+    fn bytes_account_for_indexes() {
+        let (store, ids, cs) = store_with_edges();
+        let mut rel = Relation::new();
+        for &f in &ids {
+            rel.push(f);
+        }
+        let before = rel.estimated_bytes();
+        rel.probe(0b01, &[cs[0]], &store);
+        assert!(rel.estimated_bytes() > before);
+    }
+}

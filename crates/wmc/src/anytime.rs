@@ -1,0 +1,228 @@
+//! Anytime probability bounds on lineage DNFs (extension).
+//!
+//! The paper names the integration of anytime approximation ([35],
+//! [84]) with LTGs as a promising direction: when the lineage is too
+//! large for exact weighted model counting, report guaranteed
+//! lower/upper bounds instead of failing. This module provides that
+//! integration point:
+//!
+//! * **lower bound** — the exact probability of the `j` most probable
+//!   conjuncts (monotonicity: any sub-DNF underestimates);
+//! * **upper bound** — `min(1, Σ P(conjunct))`, the union bound, taken
+//!   over the *minimized* DNF (absorption first tightens it).
+//!
+//! [`AnytimeWmc::bounds`] iterates `j` under a step budget, returning the
+//! tightest interval achieved; the interval is guaranteed to contain the
+//! exact probability and shrinks to a point when the budget suffices for
+//! the whole lineage.
+
+use crate::bdd::BddWmc;
+use crate::solver::{WmcError, WmcSolver};
+use ltg_lineage::Dnf;
+use ltg_storage::FactId;
+
+/// A guaranteed probability interval.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Bounds {
+    /// Guaranteed lower bound.
+    pub lower: f64,
+    /// Guaranteed upper bound.
+    pub upper: f64,
+    /// Number of conjuncts incorporated exactly.
+    pub used_conjuncts: usize,
+}
+
+impl Bounds {
+    /// Interval width.
+    pub fn gap(&self) -> f64 {
+        self.upper - self.lower
+    }
+
+    /// True when the interval is (numerically) a point.
+    pub fn is_exact(&self) -> bool {
+        self.gap() < 1e-12
+    }
+}
+
+/// Anytime bound computation over a growing prefix of the lineage.
+pub struct AnytimeWmc {
+    /// Exact solver used on the prefixes.
+    pub inner: BddWmc,
+    /// Budget: maximum BDD nodes spent across all prefix evaluations.
+    pub max_nodes: usize,
+}
+
+impl Default for AnytimeWmc {
+    fn default() -> Self {
+        AnytimeWmc {
+            inner: BddWmc::default(),
+            max_nodes: 200_000,
+        }
+    }
+}
+
+impl AnytimeWmc {
+    /// Computes guaranteed bounds for the DNF under the node budget.
+    pub fn bounds(&self, dnf: &Dnf, weights: &[f64]) -> Bounds {
+        if dnf.is_empty() {
+            return Bounds {
+                lower: 0.0,
+                upper: 0.0,
+                used_conjuncts: 0,
+            };
+        }
+        let mut work = dnf.clone();
+        work.minimize();
+        if work.conjuncts().any(|c| c.is_empty()) {
+            return Bounds {
+                lower: 1.0,
+                upper: 1.0,
+                used_conjuncts: work.len(),
+            };
+        }
+
+        // Order conjuncts by decreasing probability.
+        let mut conjuncts: Vec<(f64, Vec<FactId>)> = work
+            .conjuncts()
+            .map(|c| {
+                let p: f64 = c.iter().map(|f| weights[f.index()]).product();
+                (p, c.to_vec())
+            })
+            .collect();
+        conjuncts.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+        let union_bound: f64 = conjuncts.iter().map(|(p, _)| *p).sum();
+
+        // Grow the exact prefix (doubling) until the node budget is hit
+        // or the prefix covers everything.
+        let mut best = Bounds {
+            lower: 0.0,
+            upper: union_bound.min(1.0),
+            used_conjuncts: 0,
+        };
+        let mut j = 1usize;
+        loop {
+            let j_cur = j.min(conjuncts.len());
+            let mut prefix = Dnf::ff();
+            for (_, c) in conjuncts.iter().take(j_cur) {
+                prefix.push(c.clone());
+            }
+            let solver = BddWmc {
+                max_nodes: self.max_nodes,
+                order: self.inner.order,
+            };
+            match solver.probability(&prefix, weights) {
+                Ok(lower) => {
+                    // Tail union bound tightens the upper side.
+                    let tail: f64 = conjuncts.iter().skip(j_cur).map(|(p, _)| *p).sum();
+                    best = Bounds {
+                        lower: lower.max(best.lower),
+                        upper: (lower + tail).min(best.upper).min(1.0),
+                        used_conjuncts: j_cur,
+                    };
+                    if j_cur == conjuncts.len() {
+                        best.upper = best.lower.max(best.lower);
+                        best.upper = best.lower;
+                        return best;
+                    }
+                    j *= 2;
+                }
+                Err(WmcError::OutOfBudget) => return best,
+                Err(_) => return best,
+            }
+        }
+    }
+}
+
+impl WmcSolver for AnytimeWmc {
+    fn name(&self) -> &'static str {
+        "anytime"
+    }
+
+    /// Returns the midpoint of the bounds (the interval itself via
+    /// [`AnytimeWmc::bounds`]).
+    fn probability(&self, dnf: &Dnf, weights: &[f64]) -> Result<f64, WmcError> {
+        let b = self.bounds(dnf, weights);
+        Ok((b.lower + b.upper) / 2.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::NaiveWmc;
+
+    fn fid(i: u32) -> FactId {
+        FactId(i)
+    }
+
+    #[test]
+    fn exact_when_budget_suffices() {
+        let mut d = Dnf::var(fid(0));
+        d.push(vec![fid(1), fid(2)]);
+        let w = [0.5, 0.7, 0.8];
+        let b = AnytimeWmc::default().bounds(&d, &w);
+        assert!(b.is_exact());
+        assert!((b.lower - 0.78).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bounds_bracket_exact_value_under_tiny_budget() {
+        // A formula needing more nodes than the budget allows.
+        let mut d = Dnf::ff();
+        for i in 0..12u32 {
+            d.push(vec![fid(i), fid(i + 1), fid(i + 2)]);
+        }
+        let w: Vec<f64> = (0..14).map(|i| 0.2 + 0.05 * i as f64).collect();
+        let exact = NaiveWmc::default().probability(&d, &w).unwrap();
+        let tight = AnytimeWmc {
+            inner: BddWmc::default(),
+            max_nodes: 64,
+        };
+        let b = tight.bounds(&d, &w);
+        assert!(b.lower <= exact + 1e-9, "lower {} > exact {exact}", b.lower);
+        assert!(b.upper >= exact - 1e-9, "upper {} < exact {exact}", b.upper);
+        assert!(b.gap() > 0.0);
+    }
+
+    #[test]
+    fn growing_budget_tightens() {
+        let mut d = Dnf::ff();
+        for i in 0..10u32 {
+            d.push(vec![fid(i), fid(i + 1)]);
+        }
+        let w = vec![0.5; 11];
+        let loose = AnytimeWmc {
+            inner: BddWmc::default(),
+            max_nodes: 16,
+        }
+        .bounds(&d, &w);
+        let tight = AnytimeWmc {
+            inner: BddWmc::default(),
+            max_nodes: 100_000,
+        }
+        .bounds(&d, &w);
+        assert!(tight.gap() <= loose.gap() + 1e-12);
+        assert!(tight.is_exact());
+    }
+
+    #[test]
+    fn terminal_cases() {
+        let a = AnytimeWmc::default();
+        let b = a.bounds(&Dnf::ff(), &[]);
+        assert_eq!((b.lower, b.upper), (0.0, 0.0));
+        let b = a.bounds(&Dnf::tt(), &[]);
+        assert_eq!((b.lower, b.upper), (1.0, 1.0));
+    }
+
+    #[test]
+    fn union_bound_respected() {
+        // Two disjoint low-probability conjuncts: upper ≤ sum.
+        let mut d = Dnf::unit(vec![fid(0)]);
+        d.push(vec![fid(1)]);
+        let w = [0.1, 0.2];
+        let b = AnytimeWmc::default().bounds(&d, &w);
+        assert!(b.upper <= 0.3 + 1e-12);
+        let exact = NaiveWmc::default().probability(&d, &w).unwrap();
+        assert!((b.lower - exact).abs() < 1e-12);
+    }
+}

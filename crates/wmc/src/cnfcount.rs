@@ -1,0 +1,308 @@
+//! CNF-based weighted model counting — the c2d stand-in.
+//!
+//! The lineage DNF is Tseitin-encoded into CNF (see
+//! [`ltg_lineage::cnf`]) and counted with a weighted DPLL procedure in the
+//! style of decision-DNNF compilers: unit propagation, connected-component
+//! decomposition, component caching, and branching on the most frequent
+//! variable. Original variables carry weights `(π, 1−π)`; Tseitin
+//! auxiliaries carry `(1, 1)` and are always forced by propagation before
+//! they could become free, so the count is exact (see the `cnf` module
+//! docs for the argument).
+//!
+//! As the paper observes (C5), the CNF detour makes this the slowest of
+//! the three solvers: the Tseitin clauses couple the conjuncts and make
+//! components rarer.
+
+use crate::solver::{WmcError, WmcSolver};
+use ltg_datalog::fxhash::FxHashMap;
+use ltg_lineage::{tseitin, Cnf, Dnf};
+
+/// The CNF/DPLL solver.
+pub struct CnfWmc {
+    /// Budget on recursive `count` invocations.
+    pub max_steps: usize,
+}
+
+impl Default for CnfWmc {
+    fn default() -> Self {
+        CnfWmc { max_steps: 5_000_000 }
+    }
+}
+
+impl WmcSolver for CnfWmc {
+    fn name(&self) -> &'static str {
+        "c2d"
+    }
+
+    fn probability(&self, dnf: &Dnf, weights: &[f64]) -> Result<f64, WmcError> {
+        let cnf = tseitin(dnf);
+        // Per-variable phase weights: (positive, negative).
+        let phase: Vec<(f64, f64)> = cnf
+            .fact_of
+            .iter()
+            .map(|of| match of {
+                Some(f) => {
+                    let p = weights[f.index()];
+                    (p, 1.0 - p)
+                }
+                None => (1.0, 1.0),
+            })
+            .collect();
+        let clauses: Vec<Vec<i32>> = cnf.clauses.clone();
+        let mut ctx = Ctx {
+            phase,
+            cache: FxHashMap::default(),
+            steps: 0,
+            max_steps: self.max_steps,
+        };
+        ctx.count(clauses)
+    }
+}
+
+struct Ctx {
+    phase: Vec<(f64, f64)>,
+    cache: FxHashMap<u64, f64>,
+    steps: usize,
+    max_steps: usize,
+}
+
+impl Ctx {
+    fn lit_weight(&self, lit: i32) -> f64 {
+        let (pos, neg) = self.phase[lit.unsigned_abs() as usize - 1];
+        if lit > 0 {
+            pos
+        } else {
+            neg
+        }
+    }
+
+    /// Conditions `clauses` on `lit`: satisfied clauses vanish, falsified
+    /// literals are removed. Returns `None` on an empty (conflict) clause.
+    fn condition(clauses: &[Vec<i32>], lit: i32) -> Option<Vec<Vec<i32>>> {
+        let mut out = Vec::with_capacity(clauses.len());
+        for c in clauses {
+            if c.contains(&lit) {
+                continue;
+            }
+            let reduced: Vec<i32> = c.iter().copied().filter(|&l| l != -lit).collect();
+            if reduced.is_empty() {
+                return None;
+            }
+            out.push(reduced);
+        }
+        Some(out)
+    }
+
+    fn count(&mut self, mut clauses: Vec<Vec<i32>>) -> Result<f64, WmcError> {
+        self.steps += 1;
+        if self.steps > self.max_steps {
+            return Err(WmcError::OutOfBudget);
+        }
+        // Immediate conflict?
+        if clauses.iter().any(|c| c.is_empty()) {
+            return Ok(0.0);
+        }
+        // Unit propagation.
+        let mut factor = 1.0f64;
+        loop {
+            let unit = clauses.iter().find(|c| c.len() == 1).map(|c| c[0]);
+            match unit {
+                Some(lit) => {
+                    factor *= self.lit_weight(lit);
+                    match Self::condition(&clauses, lit) {
+                        Some(next) => clauses = next,
+                        None => return Ok(0.0),
+                    }
+                }
+                None => break,
+            }
+        }
+        if clauses.is_empty() {
+            // Free original variables contribute (π + (1−π)) = 1; free
+            // auxiliaries cannot occur (see module docs).
+            return Ok(factor);
+        }
+
+        let key = clause_set_hash(&mut clauses);
+        if let Some(&p) = self.cache.get(&key) {
+            return Ok(factor * p);
+        }
+
+        // Component decomposition.
+        let comps = components(&clauses);
+        let p = if comps.len() > 1 {
+            let mut p = 1.0;
+            for comp in comps {
+                p *= self.count(comp)?;
+            }
+            p
+        } else {
+            // Branch on the most frequent variable.
+            let v = most_frequent_var(&clauses);
+            let mut p = 0.0;
+            for lit in [v, -v] {
+                if let Some(next) = Self::condition(&clauses, lit) {
+                    p += self.lit_weight(lit) * self.count(next)?;
+                }
+            }
+            p
+        };
+        self.cache.insert(key, p);
+        Ok(factor * p)
+    }
+}
+
+fn clause_set_hash(clauses: &mut [Vec<i32>]) -> u64 {
+    for c in clauses.iter_mut() {
+        c.sort_unstable();
+    }
+    clauses.sort_unstable();
+    use std::hash::{Hash, Hasher};
+    let mut h = ltg_datalog::fxhash::FxHasher::default();
+    clauses.hash(&mut h);
+    h.finish()
+}
+
+fn components(clauses: &[Vec<i32>]) -> Vec<Vec<Vec<i32>>> {
+    let n = clauses.len();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    let mut owner: FxHashMap<u32, usize> = FxHashMap::default();
+    for (i, c) in clauses.iter().enumerate() {
+        for &l in c {
+            let v = l.unsigned_abs();
+            match owner.get(&v) {
+                Some(&j) => {
+                    let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                    if ri != rj {
+                        parent[ri] = rj;
+                    }
+                }
+                None => {
+                    owner.insert(v, i);
+                }
+            }
+        }
+    }
+    let mut groups: FxHashMap<usize, Vec<Vec<i32>>> = FxHashMap::default();
+    for (i, c) in clauses.iter().enumerate() {
+        groups
+            .entry(find(&mut parent, i))
+            .or_default()
+            .push(c.clone());
+    }
+    groups.into_values().collect()
+}
+
+fn most_frequent_var(clauses: &[Vec<i32>]) -> i32 {
+    let mut freq: FxHashMap<u32, u32> = FxHashMap::default();
+    for c in clauses {
+        for &l in c {
+            *freq.entry(l.unsigned_abs()).or_insert(0) += 1;
+        }
+    }
+    freq.into_iter()
+        .max_by_key(|&(v, n)| (n, std::cmp::Reverse(v)))
+        .expect("non-empty clause set")
+        .0 as i32
+}
+
+/// Exposes the Tseitin CNF of a DNF (used by benches to report clause
+/// counts like the paper's discussion of c2d input sizes).
+pub fn cnf_of(dnf: &Dnf) -> Cnf {
+    tseitin(dnf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::NaiveWmc;
+    use ltg_storage::FactId;
+
+    fn fid(i: u32) -> FactId {
+        FactId(i)
+    }
+
+    fn cross_check(dnf: &Dnf, weights: &[f64]) {
+        let expected = NaiveWmc::default().probability(dnf, weights).unwrap();
+        let got = CnfWmc::default().probability(dnf, weights).unwrap();
+        assert!(
+            (expected - got).abs() < 1e-10,
+            "cnf={got}, naive={expected}"
+        );
+    }
+
+    #[test]
+    fn terminals() {
+        let s = CnfWmc::default();
+        assert_eq!(s.probability(&Dnf::ff(), &[]).unwrap(), 0.0);
+        assert_eq!(s.probability(&Dnf::tt(), &[]).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn single_var() {
+        let d = Dnf::var(fid(0));
+        cross_check(&d, &[0.3]);
+    }
+
+    #[test]
+    fn example1() {
+        let mut d = Dnf::var(fid(0));
+        d.push(vec![fid(1), fid(2)]);
+        cross_check(&d, &[0.5, 0.7, 0.8]);
+    }
+
+    #[test]
+    fn overlapping() {
+        let mut d = Dnf::ff();
+        d.push(vec![fid(0), fid(1)]);
+        d.push(vec![fid(1), fid(2)]);
+        d.push(vec![fid(2), fid(3)]);
+        cross_check(&d, &[0.2, 0.4, 0.6, 0.8]);
+    }
+
+    #[test]
+    fn independent_components() {
+        let mut d = Dnf::unit(vec![fid(0), fid(1)]);
+        d.push(vec![fid(2), fid(3)]);
+        cross_check(&d, &[0.5, 0.6, 0.7, 0.8]);
+    }
+
+    #[test]
+    fn dense_formula() {
+        let mut d = Dnf::ff();
+        for i in 0..5u32 {
+            for j in (i + 1)..5 {
+                d.push(vec![fid(i), fid(j)]);
+            }
+        }
+        let w = [0.15, 0.35, 0.55, 0.75, 0.95];
+        cross_check(&d, &w);
+    }
+
+    #[test]
+    fn budget_trips() {
+        let mut d = Dnf::ff();
+        for i in 0..10u32 {
+            d.push(vec![fid(i), fid(i + 1), fid(i + 2)]);
+        }
+        let tiny = CnfWmc { max_steps: 3 };
+        assert_eq!(
+            tiny.probability(&d, &vec![0.5; 12]).unwrap_err(),
+            WmcError::OutOfBudget
+        );
+    }
+
+    #[test]
+    fn certain_facts() {
+        let mut d = Dnf::unit(vec![fid(0), fid(1)]);
+        d.push(vec![fid(2)]);
+        cross_check(&d, &[1.0, 0.5, 0.25]);
+    }
+}

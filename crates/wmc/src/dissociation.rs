@@ -1,0 +1,445 @@
+//! Dissociation-based probability bounds (the [41]/[84] extension).
+//!
+//! The paper's Section 6.3 notes that when the lineage is too large for
+//! exact weighted model counting, "approximations can be employed …
+//! after the full lineage has been collected like [41, 62, 84]", and
+//! Section 7 names the integration of such anytime techniques with LTGs
+//! as future work. This module provides that integration point with the
+//! *oblivious bounds* of Gatterbauer & Suciu [41], the engine behind the
+//! scaled-dissociation approximation of Van den Heuvel et al. [84].
+//!
+//! **Idea.** A monotone DNF whose conjuncts share no variables has a
+//! closed-form probability. A shared variable `x` occurring in `d`
+//! conjuncts is *dissociated*: each occurrence is replaced by a fresh
+//! independent copy `x₁ … x_d`. For positive (disjunctive) occurrences,
+//! the oblivious-bound theorem gives:
+//!
+//! * copies with weight `p`             ⇒ `P(φ') ≥ P(φ)` (upper bound);
+//! * copies with weight `1−(1−p)^(1/d)` ⇒ `P(φ') ≤ P(φ)` (lower bound).
+//!
+//! The recursion below decomposes the DNF into variable-disjoint
+//! components, factors out variables common to every conjunct, solves
+//! small residues exactly, and dissociates the most shared variable
+//! otherwise. Formulas that are *read-once decomposable* under these
+//! rules yield a zero-width interval — the bounds are then exact.
+
+use crate::dtree::DtreeWmc;
+use crate::solver::{WmcError, WmcSolver};
+use ltg_datalog::fxhash::FxHashMap;
+use ltg_lineage::Dnf;
+use ltg_storage::FactId;
+
+/// A guaranteed probability interval produced by dissociation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DissBounds {
+    /// Guaranteed lower bound on the exact probability.
+    pub lower: f64,
+    /// Guaranteed upper bound on the exact probability.
+    pub upper: f64,
+    /// Number of variable dissociations performed (0 ⇒ exact).
+    pub dissociations: usize,
+}
+
+impl DissBounds {
+    /// Interval width.
+    pub fn gap(&self) -> f64 {
+        self.upper - self.lower
+    }
+
+    /// True when the interval is (numerically) a point.
+    pub fn is_exact(&self) -> bool {
+        self.gap() < 1e-12
+    }
+}
+
+/// Which oblivious weight to give the dissociated copies.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Direction {
+    /// Copies keep the original weight — overestimates.
+    Upper,
+    /// Copies get `1−(1−p)^(1/d)` — underestimates.
+    Lower,
+}
+
+/// Dissociation-based bound computation over lineage DNFs.
+pub struct DissociationWmc {
+    /// Components with at most this many variables are solved exactly
+    /// (0 forces dissociation everywhere that decomposition stalls).
+    pub exact_vars: usize,
+    /// Node budget handed to the exact solver on small components.
+    pub inner_budget: usize,
+}
+
+impl Default for DissociationWmc {
+    fn default() -> Self {
+        DissociationWmc {
+            exact_vars: 16,
+            inner_budget: 500_000,
+        }
+    }
+}
+
+/// A sub-formula in the local representation: conjuncts over dense
+/// local variable ids, with a growable weight table for copies.
+struct Work {
+    conjuncts: Vec<Vec<u32>>,
+    weights: Vec<f64>,
+    dissociations: usize,
+}
+
+impl DissociationWmc {
+    /// Computes guaranteed bounds on `P(dnf)`.
+    pub fn bounds(&self, dnf: &Dnf, weights: &[f64]) -> Result<DissBounds, WmcError> {
+        if dnf.is_empty() {
+            return Ok(DissBounds {
+                lower: 0.0,
+                upper: 0.0,
+                dissociations: 0,
+            });
+        }
+        if dnf.conjuncts().any(|c| c.is_empty()) {
+            return Ok(DissBounds {
+                lower: 1.0,
+                upper: 1.0,
+                dissociations: 0,
+            });
+        }
+        let mut minimized = dnf.clone();
+        minimized.minimize();
+        // Densify to local variable ids.
+        let mut local: FxHashMap<FactId, u32> = FxHashMap::default();
+        let mut local_weights: Vec<f64> = Vec::new();
+        let conjuncts: Vec<Vec<u32>> = minimized
+            .conjuncts()
+            .map(|c| {
+                c.iter()
+                    .map(|&f| {
+                        *local.entry(f).or_insert_with(|| {
+                            local_weights.push(weights[f.index()]);
+                            (local_weights.len() - 1) as u32
+                        })
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut lower_work = Work {
+            conjuncts: conjuncts.clone(),
+            weights: local_weights.clone(),
+            dissociations: 0,
+        };
+        let mut upper_work = Work {
+            conjuncts,
+            weights: local_weights,
+            dissociations: 0,
+        };
+        let lower = self.eval(&mut lower_work, Direction::Lower)?;
+        let upper = self.eval(&mut upper_work, Direction::Upper)?;
+        Ok(DissBounds {
+            lower: lower.min(upper), // guard against f64 jitter
+            upper: upper.max(lower),
+            dissociations: lower_work.dissociations.max(upper_work.dissociations),
+        })
+    }
+
+    /// Recursive bound on the conjuncts in `work` (consumed).
+    fn eval(&self, work: &mut Work, dir: Direction) -> Result<f64, WmcError> {
+        let mut conjuncts = std::mem::take(&mut work.conjuncts);
+        // Base cases.
+        if conjuncts.is_empty() {
+            return Ok(0.0);
+        }
+        if conjuncts.iter().any(|c| c.is_empty()) {
+            return Ok(1.0);
+        }
+        if conjuncts.len() == 1 {
+            return Ok(conjuncts[0]
+                .iter()
+                .map(|&v| work.weights[v as usize])
+                .product());
+        }
+
+        // Factor out variables common to every conjunct:
+        // φ = x ∧ ψ ⇒ P(φ) = p·P(ψ) (exact for monotone φ).
+        let mut common: Vec<u32> = conjuncts[0].clone();
+        for c in &conjuncts[1..] {
+            common.retain(|v| c.contains(v));
+            if common.is_empty() {
+                break;
+            }
+        }
+        if !common.is_empty() {
+            let factor: f64 = common.iter().map(|&v| work.weights[v as usize]).product();
+            for c in &mut conjuncts {
+                c.retain(|v| !common.contains(v));
+            }
+            work.conjuncts = conjuncts;
+            return Ok(factor * self.eval(work, dir)?);
+        }
+
+        // Variable-disjoint components: P = 1 − Π (1 − P(component)).
+        let components = split_components(&conjuncts);
+        if components.len() > 1 {
+            let mut miss = 1.0;
+            for group in components {
+                let mut sub = Work {
+                    conjuncts: group.into_iter().map(|i| conjuncts[i].clone()).collect(),
+                    weights: std::mem::take(&mut work.weights),
+                    dissociations: work.dissociations,
+                };
+                let p = self.eval(&mut sub, dir)?;
+                work.weights = sub.weights;
+                work.dissociations = sub.dissociations;
+                miss *= 1.0 - p;
+            }
+            return Ok(1.0 - miss);
+        }
+
+        // Small enough: solve exactly.
+        let mut vars: Vec<u32> = conjuncts.iter().flatten().copied().collect();
+        vars.sort_unstable();
+        vars.dedup();
+        if vars.len() <= self.exact_vars {
+            let mut dnf = Dnf::ff();
+            for c in &conjuncts {
+                dnf.push(c.iter().map(|&v| FactId(v)).collect());
+            }
+            let solver = DtreeWmc {
+                max_cache: self.inner_budget,
+            };
+            return solver.probability(&dnf, &work.weights);
+        }
+
+        // Dissociate the most shared variable (ties: smallest id).
+        let mut freq: FxHashMap<u32, u32> = FxHashMap::default();
+        for c in &conjuncts {
+            for &v in c {
+                *freq.entry(v).or_insert(0) += 1;
+            }
+        }
+        let (&x, &d) = freq
+            .iter()
+            .max_by_key(|&(&v, &n)| (n, std::cmp::Reverse(v)))
+            .expect("non-empty formula");
+        debug_assert!(d >= 2, "a read-once residue must have decomposed");
+        let p = work.weights[x as usize];
+        let copy_weight = match dir {
+            Direction::Upper => p,
+            Direction::Lower => 1.0 - (1.0 - p).powf(1.0 / d as f64),
+        };
+        for c in &mut conjuncts {
+            if let Some(slot) = c.iter_mut().find(|v| **v == x) {
+                *slot = work.weights.len() as u32;
+                work.weights.push(copy_weight);
+            }
+        }
+        work.dissociations += 1;
+        work.conjuncts = conjuncts;
+        self.eval(work, dir)
+    }
+}
+
+/// Groups conjunct indices into variable-disjoint components
+/// (union-find over conjuncts keyed by shared variables).
+fn split_components(conjuncts: &[Vec<u32>]) -> Vec<Vec<usize>> {
+    let mut parent: Vec<usize> = (0..conjuncts.len()).collect();
+    fn find(parent: &mut [usize], mut i: usize) -> usize {
+        while parent[i] != i {
+            parent[i] = parent[parent[i]];
+            i = parent[i];
+        }
+        i
+    }
+    let mut owner: FxHashMap<u32, usize> = FxHashMap::default();
+    for (i, c) in conjuncts.iter().enumerate() {
+        for &v in c {
+            match owner.get(&v) {
+                Some(&j) => {
+                    let (a, b) = (find(&mut parent, i), find(&mut parent, j));
+                    if a != b {
+                        parent[a] = b;
+                    }
+                }
+                None => {
+                    owner.insert(v, i);
+                }
+            }
+        }
+    }
+    let mut groups: FxHashMap<usize, Vec<usize>> = FxHashMap::default();
+    for i in 0..conjuncts.len() {
+        let r = find(&mut parent, i);
+        groups.entry(r).or_default().push(i);
+    }
+    let mut out: Vec<Vec<usize>> = groups.into_values().collect();
+    out.sort_by_key(|g| g[0]);
+    out
+}
+
+impl WmcSolver for DissociationWmc {
+    fn name(&self) -> &'static str {
+        "dissociation"
+    }
+
+    /// **Approximate**: returns the midpoint of the guaranteed interval
+    /// (exact whenever the formula decomposes read-once or fits the
+    /// exact-residue threshold).
+    fn probability(&self, dnf: &Dnf, weights: &[f64]) -> Result<f64, WmcError> {
+        let b = self.bounds(dnf, weights)?;
+        Ok((b.lower + b.upper) / 2.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::NaiveWmc;
+    use proptest::prelude::*;
+
+    fn fid(i: u32) -> FactId {
+        FactId(i)
+    }
+
+    /// Forces dissociation by disabling the exact-residue base case.
+    fn forcing() -> DissociationWmc {
+        DissociationWmc {
+            exact_vars: 0,
+            ..DissociationWmc::default()
+        }
+    }
+
+    fn check_contains_exact(solver: &DissociationWmc, dnf: &Dnf, weights: &[f64]) -> DissBounds {
+        let exact = NaiveWmc::default().probability(dnf, weights).unwrap();
+        let b = solver.bounds(dnf, weights).unwrap();
+        assert!(
+            b.lower <= exact + 1e-9 && exact <= b.upper + 1e-9,
+            "exact={exact} outside [{}, {}]",
+            b.lower,
+            b.upper
+        );
+        b
+    }
+
+    #[test]
+    fn terminals() {
+        let s = DissociationWmc::default();
+        let b = s.bounds(&Dnf::ff(), &[]).unwrap();
+        assert_eq!((b.lower, b.upper), (0.0, 0.0));
+        let b = s.bounds(&Dnf::tt(), &[]).unwrap();
+        assert_eq!((b.lower, b.upper), (1.0, 1.0));
+    }
+
+    #[test]
+    fn read_once_is_exact_without_exact_solver() {
+        // x0·(x1 ∨ x2) expanded: x0x1 ∨ x0x2 — factoring + components
+        // decompose it fully, so even `exact_vars = 0` yields a point.
+        let mut d = Dnf::ff();
+        d.push(vec![fid(0), fid(1)]);
+        d.push(vec![fid(0), fid(2)]);
+        let b = check_contains_exact(&forcing(), &d, &[0.5, 0.6, 0.7]);
+        assert!(b.is_exact(), "gap={}", b.gap());
+        assert_eq!(b.dissociations, 0);
+    }
+
+    #[test]
+    fn chain_requires_dissociation() {
+        // The P4 path x0x1 ∨ x1x2 ∨ x2x3 has no common factor and a
+        // single component — the textbook non-read-once formula: bounds
+        // must still contain the exact value but are allowed to be loose.
+        let mut d = Dnf::ff();
+        d.push(vec![fid(0), fid(1)]);
+        d.push(vec![fid(1), fid(2)]);
+        d.push(vec![fid(2), fid(3)]);
+        let b = check_contains_exact(&forcing(), &d, &[0.5, 0.6, 0.7, 0.4]);
+        assert!(b.dissociations >= 1);
+        assert!(b.gap() > 0.0);
+        assert!(b.gap() < 0.25, "oblivious bounds should be reasonably tight");
+    }
+
+    #[test]
+    fn exact_residue_threshold_gives_point() {
+        let mut d = Dnf::ff();
+        d.push(vec![fid(0), fid(1)]);
+        d.push(vec![fid(1), fid(2)]);
+        d.push(vec![fid(0), fid(2)]);
+        let b = check_contains_exact(&DissociationWmc::default(), &d, &[0.3, 0.6, 0.9]);
+        assert!(b.is_exact());
+        assert_eq!(b.dissociations, 0);
+    }
+
+    #[test]
+    fn bounds_match_known_dissociation_closed_form() {
+        // P4 chain x0x1 ∨ x1x2 ∨ x2x3. The recursion deterministically
+        // dissociates x1 (most frequent, smallest id on ties), after
+        // which {x0·c₁} splits off and x2 factors out of the rest:
+        //   P' = 1 − (1 − p0·w)·(1 − p2·(1 − (1−w)(1−p3)))
+        // with w = p1 for the upper bound and w = 1−(1−p1)^{1/2} for
+        // the lower bound (the oblivious weights of [41]).
+        let mut d = Dnf::ff();
+        d.push(vec![fid(0), fid(1)]);
+        d.push(vec![fid(1), fid(2)]);
+        d.push(vec![fid(2), fid(3)]);
+        let (p0, p1, p2, p3) = (0.5, 0.6, 0.7, 0.4);
+        let closed_form = |w: f64| {
+            1.0 - (1.0 - p0 * w) * (1.0 - p2 * (1.0 - (1.0 - w) * (1.0 - p3)))
+        };
+        let b = forcing().bounds(&d, &[p0, p1, p2, p3]).unwrap();
+        assert!((b.upper - closed_form(p1)).abs() < 1e-12);
+        let q = 1.0 - (1.0 - p1).powf(0.5);
+        assert!((b.lower - closed_form(q)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extreme_weights() {
+        let mut d = Dnf::ff();
+        d.push(vec![fid(0), fid(1)]);
+        d.push(vec![fid(1), fid(2)]);
+        check_contains_exact(&forcing(), &d, &[1.0, 1.0, 1.0]);
+        check_contains_exact(&forcing(), &d, &[0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn midpoint_solver_within_bounds() {
+        let mut d = Dnf::ff();
+        d.push(vec![fid(0), fid(1)]);
+        d.push(vec![fid(1), fid(2)]);
+        d.push(vec![fid(2), fid(3)]);
+        let w = [0.4, 0.5, 0.6, 0.7];
+        let s = forcing();
+        let b = s.bounds(&d, &w).unwrap();
+        let mid = s.probability(&d, &w).unwrap();
+        assert!(b.lower <= mid && mid <= b.upper);
+    }
+
+    #[test]
+    fn components_split_correctly() {
+        let groups = split_components(&[vec![0, 1], vec![1, 2], vec![3], vec![4, 3]]);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0], vec![0, 1]);
+        assert_eq!(groups[1], vec![2, 3]);
+    }
+
+    proptest! {
+        /// Bounds always contain the exact probability, on random
+        /// monotone DNFs small enough for the enumeration oracle.
+        #[test]
+        fn prop_bounds_contain_exact(
+            conjuncts in proptest::collection::vec(
+                proptest::collection::btree_set(0u32..8, 1..4),
+                1..8,
+            ),
+            raw_weights in proptest::collection::vec(0.0f64..=1.0, 8),
+        ) {
+            let mut d = Dnf::ff();
+            for c in &conjuncts {
+                d.push(c.iter().map(|&v| fid(v)).collect());
+            }
+            let exact = NaiveWmc::default().probability(&d, &raw_weights).unwrap();
+            for solver in [forcing(), DissociationWmc::default()] {
+                let b = solver.bounds(&d, &raw_weights).unwrap();
+                prop_assert!(b.lower <= exact + 1e-9);
+                prop_assert!(exact <= b.upper + 1e-9);
+                prop_assert!(b.lower >= -1e-12 && b.upper <= 1.0 + 1e-12);
+            }
+        }
+    }
+}

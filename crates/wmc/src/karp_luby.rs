@@ -1,0 +1,172 @@
+//! Karp–Luby FPRAS for DNF probability (extension).
+//!
+//! The paper leaves the integration of post-collection approximation
+//! techniques as future work (Section 6.3: "approximations can be employed
+//! [...] after the full lineage has been collected"). This module provides
+//! the classic Karp–Luby estimator as that integration point: an unbiased
+//! estimator of the DNF probability whose relative error shrinks as
+//! `O(1/√samples)`, independent of the number of variables.
+//!
+//! The estimator samples a conjunct `ci` with probability `P(ci)/Σ P(cj)`,
+//! samples a world conditioned on `ci` being true, and counts the sample
+//! as a success when `ci` is the *first* satisfied conjunct in that world.
+//! The estimate is `Σ P(cj) · successes / samples`.
+
+use crate::solver::{WmcError, WmcSolver};
+use ltg_lineage::Dnf;
+use ltg_storage::FactId;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// The Karp–Luby approximate solver. **Not exact**: returns a Monte-Carlo
+/// estimate.
+pub struct KarpLubyWmc {
+    /// Number of Monte-Carlo samples.
+    pub samples: usize,
+    /// RNG seed (estimates are deterministic per seed).
+    pub seed: u64,
+}
+
+impl Default for KarpLubyWmc {
+    fn default() -> Self {
+        KarpLubyWmc {
+            samples: 100_000,
+            seed: 0x1742,
+        }
+    }
+}
+
+impl WmcSolver for KarpLubyWmc {
+    fn name(&self) -> &'static str {
+        "karp-luby"
+    }
+
+    fn probability(&self, dnf: &Dnf, weights: &[f64]) -> Result<f64, WmcError> {
+        if dnf.is_empty() {
+            return Ok(0.0);
+        }
+        if dnf.conjuncts().any(|c| c.is_empty()) {
+            return Ok(1.0);
+        }
+        let conjuncts: Vec<&[FactId]> = dnf.conjuncts().collect();
+        // Conjunct probabilities and their prefix sums.
+        let probs: Vec<f64> = conjuncts
+            .iter()
+            .map(|c| c.iter().map(|f| weights[f.index()]).product())
+            .collect();
+        let total: f64 = probs.iter().sum();
+        if total == 0.0 {
+            return Ok(0.0);
+        }
+        let mut prefix = Vec::with_capacity(probs.len());
+        let mut acc = 0.0;
+        for &p in &probs {
+            acc += p;
+            prefix.push(acc);
+        }
+
+        let vars = dnf.variables();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut world: ltg_datalog::FxHashMap<FactId, bool> = ltg_datalog::FxHashMap::default();
+        let mut successes = 0usize;
+        for _ in 0..self.samples {
+            // Pick conjunct i proportional to its probability.
+            let u: f64 = rng.random::<f64>() * total;
+            let i = prefix.partition_point(|&s| s <= u).min(conjuncts.len() - 1);
+            // Sample a world conditioned on conjunct i true.
+            world.clear();
+            for &f in conjuncts[i] {
+                world.insert(f, true);
+            }
+            for &f in &vars {
+                world
+                    .entry(f)
+                    .or_insert_with(|| rng.random::<f64>() < weights[f.index()]);
+            }
+            // Success iff i is the first satisfied conjunct.
+            let first = conjuncts
+                .iter()
+                .position(|c| c.iter().all(|f| world[f]))
+                .expect("conjunct i is satisfied by construction");
+            if first == i {
+                successes += 1;
+            }
+        }
+        Ok(total * successes as f64 / self.samples as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::NaiveWmc;
+
+    fn fid(i: u32) -> FactId {
+        FactId(i)
+    }
+
+    fn close(dnf: &Dnf, weights: &[f64], tol: f64) {
+        let expected = NaiveWmc::default().probability(dnf, weights).unwrap();
+        let got = KarpLubyWmc::default().probability(dnf, weights).unwrap();
+        assert!(
+            (expected - got).abs() < tol,
+            "karp-luby={got}, naive={expected}"
+        );
+    }
+
+    #[test]
+    fn terminals() {
+        let s = KarpLubyWmc::default();
+        assert_eq!(s.probability(&Dnf::ff(), &[]).unwrap(), 0.0);
+        assert_eq!(s.probability(&Dnf::tt(), &[]).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn single_conjunct_is_nearly_exact() {
+        let d = Dnf::unit(vec![fid(0), fid(1)]);
+        // With one conjunct every sample succeeds: the estimate is exact.
+        let got = KarpLubyWmc::default().probability(&d, &[0.3, 0.4]).unwrap();
+        assert!((got - 0.12).abs() < 1e-12);
+    }
+
+    #[test]
+    fn example1_within_tolerance() {
+        let mut d = Dnf::var(fid(0));
+        d.push(vec![fid(1), fid(2)]);
+        close(&d, &[0.5, 0.7, 0.8], 0.01);
+    }
+
+    #[test]
+    fn overlapping_conjuncts_within_tolerance() {
+        let mut d = Dnf::ff();
+        d.push(vec![fid(0), fid(1)]);
+        d.push(vec![fid(1), fid(2)]);
+        d.push(vec![fid(0), fid(2)]);
+        close(&d, &[0.3, 0.6, 0.9], 0.01);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut d = Dnf::var(fid(0));
+        d.push(vec![fid(1), fid(2)]);
+        let w = [0.5, 0.7, 0.8];
+        let a = KarpLubyWmc::default().probability(&d, &w).unwrap();
+        let b = KarpLubyWmc::default().probability(&d, &w).unwrap();
+        assert_eq!(a, b);
+        let c = KarpLubyWmc {
+            seed: 99,
+            ..KarpLubyWmc::default()
+        }
+        .probability(&d, &w)
+        .unwrap();
+        // Different seed: almost surely a different estimate.
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn zero_probability_facts() {
+        let d = Dnf::unit(vec![fid(0)]);
+        let got = KarpLubyWmc::default().probability(&d, &[0.0]).unwrap();
+        assert_eq!(got, 0.0);
+    }
+}

@@ -1,0 +1,46 @@
+//! `ltg-wmc` — weighted model counting over lineage DNFs.
+//!
+//! The paper computes answer probabilities by handing the collected
+//! lineage to one of three external tools: PySDD [23], the d-tree compiler
+//! of Fink et al. [35], and c2d [22]. None exists as a Rust library, so
+//! this crate rebuilds all three roles from scratch as exact solvers over
+//! the same interface (see `DESIGN.md` §1.4 for the substitution
+//! argument):
+//!
+//! | solver            | stands in for | technique |
+//! |-------------------|---------------|-----------|
+//! | [`SddWmc`]        | PySDD         | SDD compilation with vtrees + bottom-up expectation |
+//! | [`BddWmc`]        | (ablation)    | ROBDD compilation (right-linear-only comparison point) |
+//! | [`DtreeWmc`]      | d-tree [35]   | independent-component decomposition + Shannon expansion with caching |
+//! | [`CnfWmc`]        | c2d [22]      | Tseitin CNF + weighted DPLL with component caching |
+//! | [`NaiveWmc`]      | (oracle)      | possible-world enumeration (≤ 25 variables) |
+//! | [`KarpLubyWmc`]   | (extension)   | Karp–Luby FPRAS for DNF probability |
+//!
+//! All exact solvers are cross-validated against the oracle in unit and
+//! property tests.
+
+// Paper-style citation brackets ([77], [41], …) are used throughout the
+// doc comments; they are not intra-doc links.
+#![allow(rustdoc::broken_intra_doc_links)]
+
+pub mod anytime;
+pub mod bdd;
+pub mod sdd;
+pub mod vtree;
+pub mod cnfcount;
+pub mod dissociation;
+pub mod dtree;
+pub mod karp_luby;
+pub mod naive;
+pub mod solver;
+
+pub use anytime::{AnytimeWmc, Bounds};
+pub use bdd::{BddWmc, VarOrder};
+pub use sdd::SddWmc;
+pub use vtree::{Vtree, VtreeKind, VtreeNode};
+pub use cnfcount::CnfWmc;
+pub use dissociation::{DissBounds, DissociationWmc};
+pub use dtree::DtreeWmc;
+pub use karp_luby::KarpLubyWmc;
+pub use naive::NaiveWmc;
+pub use solver::{SolverKind, WmcError, WmcSolver};

@@ -1,0 +1,132 @@
+//! Possible-world enumeration: the testing oracle.
+//!
+//! Sums `∏ π(f) · ∏ (1 − π(f))` over all worlds of the DNF's variables in
+//! which the DNF holds (Equation (2) of the paper, restricted to the
+//! mentioned facts — facts outside the lineage marginalize out). Only
+//! usable for small variable counts; every exact solver is validated
+//! against it.
+
+use crate::solver::{WmcError, WmcSolver};
+use ltg_lineage::Dnf;
+use ltg_storage::FactId;
+
+/// Enumeration-based exact solver (≤ `max_vars` variables).
+pub struct NaiveWmc {
+    /// Maximum number of distinct variables accepted (default 25).
+    pub max_vars: usize,
+}
+
+impl Default for NaiveWmc {
+    fn default() -> Self {
+        NaiveWmc { max_vars: 25 }
+    }
+}
+
+impl WmcSolver for NaiveWmc {
+    fn name(&self) -> &'static str {
+        "naive"
+    }
+
+    fn probability(&self, dnf: &Dnf, weights: &[f64]) -> Result<f64, WmcError> {
+        let vars = dnf.variables();
+        if vars.len() > self.max_vars {
+            return Err(WmcError::TooManyVariables);
+        }
+        // Pre-index conjuncts as bitmasks over the variable list.
+        let var_pos = |f: FactId| vars.binary_search(&f).unwrap();
+        let masks: Vec<u64> = dnf
+            .conjuncts()
+            .map(|c| {
+                let mut m = 0u64;
+                for &f in c {
+                    m |= 1 << var_pos(f);
+                }
+                m
+            })
+            .collect();
+        let mut total = 0.0f64;
+        for world in 0u64..(1u64 << vars.len()) {
+            if !masks.iter().any(|&m| world & m == m) {
+                continue;
+            }
+            let mut p = 1.0;
+            for (i, &f) in vars.iter().enumerate() {
+                let w = weights[f.index()];
+                p *= if world & (1 << i) != 0 { w } else { 1.0 - w };
+            }
+            total += p;
+        }
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fid(i: u32) -> FactId {
+        FactId(i)
+    }
+
+    #[test]
+    fn single_fact() {
+        let d = Dnf::var(fid(0));
+        let p = NaiveWmc::default().probability(&d, &[0.3]).unwrap();
+        assert!((p - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conjunction_multiplies() {
+        let d = Dnf::unit(vec![fid(0), fid(1)]);
+        let p = NaiveWmc::default().probability(&d, &[0.3, 0.5]).unwrap();
+        assert!((p - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_or_is_inclusion_exclusion() {
+        let mut d = Dnf::var(fid(0));
+        d.or_with(&Dnf::var(fid(1)));
+        let p = NaiveWmc::default().probability(&d, &[0.3, 0.5]).unwrap();
+        // 1 - 0.7*0.5
+        assert!((p - 0.65).abs() < 1e-12);
+    }
+
+    #[test]
+    fn example1_probability() {
+        // λ(p(a,b)) = e(a,b) ∨ e(a,c)∧e(c,b), π = (.5, .7, .8)
+        let (eab, eac, ecb) = (fid(0), fid(1), fid(2));
+        let mut d = Dnf::var(eab);
+        d.push(vec![eac, ecb]);
+        let p = NaiveWmc::default()
+            .probability(&d, &[0.5, 0.7, 0.8])
+            .unwrap();
+        // P = P(eab) + P(¬eab)·P(eac∧ecb) = .5 + .5·.56 = .78
+        assert!((p - 0.78).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tt_and_ff() {
+        let s = NaiveWmc::default();
+        assert_eq!(s.probability(&Dnf::tt(), &[]).unwrap(), 1.0);
+        assert_eq!(s.probability(&Dnf::ff(), &[]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn weight_one_facts_are_certain() {
+        let d = Dnf::unit(vec![fid(0), fid(1)]);
+        let p = NaiveWmc::default().probability(&d, &[1.0, 0.25]).unwrap();
+        assert!((p - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn too_many_vars_rejected() {
+        let mut d = Dnf::ff();
+        for i in 0..30 {
+            d.push(vec![fid(i)]);
+        }
+        let err = NaiveWmc::default()
+            .probability(&d, &vec![0.5; 30])
+            .unwrap_err();
+        assert_eq!(err, WmcError::TooManyVariables);
+    }
+}

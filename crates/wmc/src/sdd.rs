@@ -1,0 +1,491 @@
+//! Sentential Decision Diagram compilation — the faithful PySDD stand-in.
+//!
+//! The paper's default probability tool is PySDD [23], a weighted
+//! model counter that compiles the lineage into a *Sentential Decision
+//! Diagram* (Darwiche [23]) normalized for a vtree (Section 6.4, C5
+//! explicitly attributes PySDD's behaviour to the lineage→vtree
+//! translation). This module is a from-scratch SDD package:
+//!
+//! * hash-consed, compressed and trimmed decision nodes;
+//! * memoized `apply` (AND/OR) with lca-based renormalization, the
+//!   algorithm of Darwiche [23, Section 5];
+//! * memoized negation (primes kept, subs negated);
+//! * bottom-up weighted model counting: because the primes of every
+//!   decision node are mutually exclusive, exhaustive, and variable-
+//!   disjoint from the subs, `E[node] = Σᵢ E[primeᵢ]·E[subᵢ]`.
+//!
+//! The coarser [`crate::BddWmc`] remains available as the
+//! right-linear-only ablation point; `benches/wmc.rs` compares the two.
+
+use crate::solver::{WmcError, WmcSolver};
+use crate::vtree::{Vtree, VtreeId, VtreeKind, VtreeNode};
+use ltg_datalog::fxhash::FxHashMap;
+use ltg_lineage::Dnf;
+use ltg_storage::FactId;
+
+/// A reference to an SDD: a constant, a literal, or a decision node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+enum Ref {
+    /// The constant ⊥.
+    False,
+    /// The constant ⊤.
+    True,
+    /// A literal over the variable at vtree leaf `leaf`.
+    Lit {
+        /// Vtree leaf holding the variable.
+        leaf: VtreeId,
+        /// Polarity (`true` = positive literal).
+        pos: bool,
+    },
+    /// A decision node (index into [`Mgr::nodes`]).
+    Dec(u32),
+}
+
+/// A decision node: `⋁ᵢ primeᵢ ∧ subᵢ`, normalized for vtree node `vnode`
+/// (primes over `left(vnode)` variables, subs over `right(vnode)` ones).
+struct Node {
+    vnode: VtreeId,
+    elems: Box<[(Ref, Ref)]>,
+}
+
+/// The SDD manager: arenas, unique table and operation caches.
+struct Mgr<'a> {
+    vt: &'a Vtree,
+    nodes: Vec<Node>,
+    unique: FxHashMap<(VtreeId, Box<[(Ref, Ref)]>), u32>,
+    apply_memo: FxHashMap<(Ref, Ref, bool), Ref>,
+    neg_memo: FxHashMap<u32, Ref>,
+    max_nodes: usize,
+}
+
+impl<'a> Mgr<'a> {
+    fn new(vt: &'a Vtree, max_nodes: usize) -> Self {
+        Mgr {
+            vt,
+            nodes: Vec::new(),
+            unique: FxHashMap::default(),
+            apply_memo: FxHashMap::default(),
+            neg_memo: FxHashMap::default(),
+            max_nodes,
+        }
+    }
+
+    /// The vtree node an SDD is normalized for (constants conform to any
+    /// vtree node, so they have none).
+    fn vtree_of(&self, r: Ref) -> Option<VtreeId> {
+        match r {
+            Ref::False | Ref::True => None,
+            Ref::Lit { leaf, .. } => Some(leaf),
+            Ref::Dec(i) => Some(self.nodes[i as usize].vnode),
+        }
+    }
+
+    fn negate(&mut self, r: Ref) -> Result<Ref, WmcError> {
+        match r {
+            Ref::False => Ok(Ref::True),
+            Ref::True => Ok(Ref::False),
+            Ref::Lit { leaf, pos } => Ok(Ref::Lit { leaf, pos: !pos }),
+            Ref::Dec(i) => {
+                if let Some(&n) = self.neg_memo.get(&i) {
+                    return Ok(n);
+                }
+                let vnode = self.nodes[i as usize].vnode;
+                let elems: Vec<(Ref, Ref)> = self.nodes[i as usize].elems.to_vec();
+                let mut negged = Vec::with_capacity(elems.len());
+                for (p, s) in elems {
+                    negged.push((p, self.negate(s)?));
+                }
+                let n = self.decision(vnode, negged)?;
+                self.neg_memo.insert(i, n);
+                // Negation is an involution; prime the reverse entry too.
+                if let Ref::Dec(j) = n {
+                    self.neg_memo.insert(j, r);
+                }
+                Ok(n)
+            }
+        }
+    }
+
+    /// Compresses (merges equal subs), trims, sorts, and hash-conses a
+    /// decision-node element list.
+    fn decision(&mut self, vnode: VtreeId, elems: Vec<(Ref, Ref)>) -> Result<Ref, WmcError> {
+        // Compression: elements with the same sub are merged by OR-ing
+        // their primes (the OR stays inside left(vnode), strictly below
+        // vnode, so the recursion terminates).
+        let mut by_sub: Vec<(Ref, Ref)> = Vec::with_capacity(elems.len());
+        for (p, s) in elems {
+            if p == Ref::False {
+                continue;
+            }
+            if let Some(slot) = by_sub.iter_mut().find(|(_, s0)| *s0 == s) {
+                slot.0 = self.apply(slot.0, p, false)?;
+            } else {
+                by_sub.push((p, s));
+            }
+        }
+        // Trimming rule 1: {(⊤, s)} ≡ s.
+        if by_sub.len() == 1 {
+            debug_assert_eq!(by_sub[0].0, Ref::True, "primes must be exhaustive");
+            return Ok(by_sub[0].1);
+        }
+        // Trimming rule 2: {(p, ⊤), (¬p, ⊥)} ≡ p.
+        if by_sub.len() == 2 {
+            let (p0, s0) = by_sub[0];
+            let (p1, s1) = by_sub[1];
+            if s0 == Ref::True && s1 == Ref::False {
+                return Ok(p0);
+            }
+            if s1 == Ref::True && s0 == Ref::False {
+                return Ok(p1);
+            }
+        }
+        by_sub.sort_unstable();
+        let key: Box<[(Ref, Ref)]> = by_sub.into_boxed_slice();
+        if let Some(&i) = self.unique.get(&(vnode, key.clone())) {
+            return Ok(Ref::Dec(i));
+        }
+        if self.nodes.len() >= self.max_nodes {
+            return Err(WmcError::OutOfBudget);
+        }
+        let i = self.nodes.len() as u32;
+        self.nodes.push(Node {
+            vnode,
+            elems: key.clone(),
+        });
+        self.unique.insert((vnode, key), i);
+        Ok(Ref::Dec(i))
+    }
+
+    /// The element list of `r` seen from vtree node `at` (which must be
+    /// an ancestor of `r`'s vtree node, or the node itself).
+    fn elements_at(&mut self, r: Ref, at: VtreeId) -> Result<Vec<(Ref, Ref)>, WmcError> {
+        if let Ref::Dec(i) = r {
+            if self.nodes[i as usize].vnode == at {
+                return Ok(self.nodes[i as usize].elems.to_vec());
+            }
+        }
+        let VtreeNode::Internal { left, .. } = self.vt.node(at) else {
+            unreachable!("elements_at on a leaf vtree node");
+        };
+        let v = self.vtree_of(r).expect("constants are handled by apply");
+        if self.vt.is_descendant(v, left) {
+            // r depends only on left(at): r ≡ (r ∧ ⊤) ∨ (¬r ∧ ⊥).
+            let n = self.negate(r)?;
+            Ok(vec![(r, Ref::True), (n, Ref::False)])
+        } else {
+            // r depends only on right(at): r ≡ ⊤ ∧ r.
+            Ok(vec![(Ref::True, r)])
+        }
+    }
+
+    /// Memoized apply; `is_and` selects AND (true) or OR (false).
+    fn apply(&mut self, a: Ref, b: Ref, is_and: bool) -> Result<Ref, WmcError> {
+        // Constant and identity shortcuts.
+        match (a, b, is_and) {
+            (Ref::True, x, true) | (x, Ref::True, true) => return Ok(x),
+            (Ref::False, _, true) | (_, Ref::False, true) => return Ok(Ref::False),
+            (Ref::False, x, false) | (x, Ref::False, false) => return Ok(x),
+            (Ref::True, _, false) | (_, Ref::True, false) => return Ok(Ref::True),
+            _ => {}
+        }
+        if a == b {
+            return Ok(a);
+        }
+        let (x, y) = if a <= b { (a, b) } else { (b, a) };
+        if let Some(&r) = self.apply_memo.get(&(x, y, is_and)) {
+            return Ok(r);
+        }
+        // a op ¬a: literals at the same leaf are the only cheap case worth
+        // special-casing; deeper complements fall out of the recursion.
+        if let (Ref::Lit { leaf: la, pos: pa }, Ref::Lit { leaf: lb, pos: pb }) = (a, b) {
+            if la == lb && pa != pb {
+                let r = if is_and { Ref::False } else { Ref::True };
+                self.apply_memo.insert((x, y, is_and), r);
+                return Ok(r);
+            }
+        }
+        let va = self.vtree_of(a).expect("constants handled above");
+        let vb = self.vtree_of(b).expect("constants handled above");
+        let at = self.vt.lca(va, vb);
+        let ea = self.elements_at(a, at)?;
+        let eb = self.elements_at(b, at)?;
+        let mut out = Vec::with_capacity(ea.len() * eb.len());
+        for &(pa, sa) in &ea {
+            for &(pb, sb) in &eb {
+                let p = self.apply(pa, pb, true)?;
+                if p == Ref::False {
+                    continue;
+                }
+                let s = self.apply(sa, sb, is_and)?;
+                out.push((p, s));
+            }
+        }
+        let r = self.decision(at, out)?;
+        self.apply_memo.insert((x, y, is_and), r);
+        Ok(r)
+    }
+
+    /// Balanced reduction of `items` under `op` (keeps intermediate SDDs
+    /// small compared with a left fold).
+    fn reduce(&mut self, mut items: Vec<Ref>, is_and: bool) -> Result<Ref, WmcError> {
+        if items.is_empty() {
+            return Ok(if is_and { Ref::True } else { Ref::False });
+        }
+        while items.len() > 1 {
+            let mut next = Vec::with_capacity(items.len().div_ceil(2));
+            let mut it = items.chunks(2);
+            for pair in &mut it {
+                next.push(match pair {
+                    [a, b] => self.apply(*a, *b, is_and)?,
+                    [a] => *a,
+                    _ => unreachable!(),
+                });
+            }
+            items = next;
+        }
+        Ok(items[0])
+    }
+
+    /// Weighted model count by one bottom-up expectation pass.
+    ///
+    /// Decision nodes are created children-first (their element refs
+    /// always exist before the node), so a forward scan suffices.
+    fn wmc(&self, root: Ref, weights: &[f64]) -> f64 {
+        let mut probs = vec![0.0f64; self.nodes.len()];
+        let eval = |probs: &[f64], r: Ref| -> f64 {
+            match r {
+                Ref::False => 0.0,
+                Ref::True => 1.0,
+                Ref::Lit { leaf, pos } => {
+                    let w = weights[self.vt.var_at(leaf).index()];
+                    if pos {
+                        w
+                    } else {
+                        1.0 - w
+                    }
+                }
+                Ref::Dec(i) => probs[i as usize],
+            }
+        };
+        for i in 0..self.nodes.len() {
+            let mut acc = 0.0;
+            for &(p, s) in self.nodes[i].elems.iter() {
+                acc += eval(&probs, p) * eval(&probs, s);
+            }
+            probs[i] = acc;
+        }
+        eval(&probs, root)
+    }
+}
+
+/// The SDD-based weighted model counter (PySDD stand-in).
+pub struct SddWmc {
+    /// Maximum number of decision nodes before giving up — the analogue
+    /// of PySDD running out of memory on `Q6` (Section 6.3, C1).
+    pub max_nodes: usize,
+    /// Vtree shape.
+    pub kind: VtreeKind,
+}
+
+impl Default for SddWmc {
+    fn default() -> Self {
+        SddWmc {
+            max_nodes: 1_000_000,
+            kind: VtreeKind::Balanced,
+        }
+    }
+}
+
+impl SddWmc {
+    /// Variable order used for vtree leaves: most frequent fact first
+    /// (the same heuristic as [`crate::BddWmc`], so the two solvers are
+    /// comparable in the ablation bench).
+    fn var_order(dnf: &Dnf) -> Vec<FactId> {
+        let mut freq: FxHashMap<FactId, u32> = FxHashMap::default();
+        for c in dnf.conjuncts() {
+            for &f in c {
+                *freq.entry(f).or_insert(0) += 1;
+            }
+        }
+        let mut vars = dnf.variables();
+        vars.sort_by_key(|f| (std::cmp::Reverse(freq[f]), *f));
+        vars
+    }
+
+    /// Compiles the DNF and returns `(probability, decision-node count)`.
+    pub fn probability_with_size(
+        &self,
+        dnf: &Dnf,
+        weights: &[f64],
+    ) -> Result<(f64, usize), WmcError> {
+        if dnf.is_empty() {
+            return Ok((0.0, 0));
+        }
+        if dnf.conjuncts().any(|c| c.is_empty()) {
+            return Ok((1.0, 0)); // an empty conjunct is ⊤
+        }
+        let vars = Self::var_order(dnf);
+        let vt = Vtree::build(self.kind, &vars);
+        let mut mgr = Mgr::new(&vt, self.max_nodes);
+        let mut disjuncts = Vec::with_capacity(dnf.len());
+        for c in dnf.conjuncts() {
+            let lits: Vec<Ref> = c
+                .iter()
+                .map(|&f| Ref::Lit {
+                    leaf: vt.leaf_of(f),
+                    pos: true,
+                })
+                .collect();
+            disjuncts.push(mgr.reduce(lits, true)?);
+        }
+        let root = mgr.reduce(disjuncts, false)?;
+        let p = mgr.wmc(root, weights);
+        Ok((p, mgr.nodes.len()))
+    }
+}
+
+impl WmcSolver for SddWmc {
+    fn name(&self) -> &'static str {
+        "SDD"
+    }
+
+    fn probability(&self, dnf: &Dnf, weights: &[f64]) -> Result<f64, WmcError> {
+        self.probability_with_size(dnf, weights).map(|(p, _)| p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::NaiveWmc;
+
+    fn fid(i: u32) -> FactId {
+        FactId(i)
+    }
+
+    fn cross_check(dnf: &Dnf, weights: &[f64]) {
+        let expected = NaiveWmc::default().probability(dnf, weights).unwrap();
+        for kind in [VtreeKind::Balanced, VtreeKind::RightLinear] {
+            let got = SddWmc {
+                kind,
+                ..SddWmc::default()
+            }
+            .probability(dnf, weights)
+            .unwrap();
+            assert!(
+                (expected - got).abs() < 1e-10,
+                "sdd({kind:?})={got}, naive={expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn terminals() {
+        let s = SddWmc::default();
+        assert_eq!(s.probability(&Dnf::ff(), &[]).unwrap(), 0.0);
+        assert_eq!(s.probability(&Dnf::tt(), &[]).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn single_literal() {
+        let d = Dnf::var(fid(0));
+        cross_check(&d, &[0.3]);
+    }
+
+    #[test]
+    fn example1_lineage() {
+        // e(a,b) ∨ e(a,c) ∧ e(c,b) — the running example of the paper.
+        let mut d = Dnf::var(fid(0));
+        d.push(vec![fid(1), fid(2)]);
+        cross_check(&d, &[0.5, 0.7, 0.8]);
+        let p = SddWmc::default()
+            .probability(&d, &[0.5, 0.7, 0.8])
+            .unwrap();
+        assert!((p - (0.5 + 0.7 * 0.8 - 0.5 * 0.7 * 0.8)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlapping_conjuncts() {
+        let mut d = Dnf::ff();
+        d.push(vec![fid(0), fid(1)]);
+        d.push(vec![fid(1), fid(2)]);
+        d.push(vec![fid(0), fid(2)]);
+        cross_check(&d, &[0.3, 0.6, 0.9]);
+    }
+
+    #[test]
+    fn two_out_of_five() {
+        let mut d = Dnf::ff();
+        for i in 0..5u32 {
+            for j in (i + 1)..5 {
+                d.push(vec![fid(i), fid(j)]);
+            }
+        }
+        cross_check(&d, &[0.1, 0.3, 0.5, 0.7, 0.9]);
+    }
+
+    #[test]
+    fn long_chain() {
+        // Path lineage: x0x1 ∨ x1x2 ∨ … — shared variables across
+        // conjuncts stress the lca renormalization.
+        let mut d = Dnf::ff();
+        for i in 0..9u32 {
+            d.push(vec![fid(i), fid(i + 1)]);
+        }
+        let w: Vec<f64> = (0..10).map(|i| 0.05 + 0.09 * i as f64).collect();
+        cross_check(&d, &w);
+    }
+
+    #[test]
+    fn independent_product_structure() {
+        // (x0 ∨ x1)(x2 ∨ x3) expanded to DNF — balanced vtrees keep this
+        // polynomial where a poor order would not.
+        let mut d = Dnf::ff();
+        for i in 0..2u32 {
+            for j in 2..4u32 {
+                d.push(vec![fid(i), fid(j)]);
+            }
+        }
+        cross_check(&d, &[0.2, 0.4, 0.6, 0.8]);
+    }
+
+    #[test]
+    fn node_budget_trips() {
+        let mut d = Dnf::ff();
+        for i in 0..12u32 {
+            d.push(vec![fid(2 * i), fid(2 * i + 1)]);
+        }
+        let tiny = SddWmc {
+            max_nodes: 4,
+            ..SddWmc::default()
+        };
+        assert_eq!(
+            tiny.probability(&d, &vec![0.5; 24]).unwrap_err(),
+            WmcError::OutOfBudget
+        );
+    }
+
+    #[test]
+    fn node_count_reported() {
+        let mut d = Dnf::ff();
+        d.push(vec![fid(0), fid(1)]);
+        d.push(vec![fid(2)]);
+        let (_, n) = SddWmc::default()
+            .probability_with_size(&d, &[0.5, 0.5, 0.5])
+            .unwrap();
+        assert!(n >= 1);
+    }
+
+    #[test]
+    fn agrees_with_bdd_on_random_like_formulas() {
+        // A few structured formulas where both solvers must agree.
+        let weights: Vec<f64> = (0..16).map(|i| ((i * 7 + 3) % 10) as f64 / 10.0 + 0.05).collect();
+        let mut d = Dnf::ff();
+        for i in 0..16u32 {
+            d.push(vec![fid(i % 16), fid((i * 5 + 1) % 16), fid((i * 11 + 2) % 16)]);
+        }
+        let sdd = SddWmc::default().probability(&d, &weights).unwrap();
+        let bdd = crate::BddWmc::default().probability(&d, &weights).unwrap();
+        assert!((sdd - bdd).abs() < 1e-10, "sdd={sdd} bdd={bdd}");
+    }
+}

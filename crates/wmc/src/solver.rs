@@ -1,0 +1,92 @@
+//! The common solver interface.
+
+use ltg_lineage::Dnf;
+use std::fmt;
+
+/// Why a probability computation failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WmcError {
+    /// The compiled representation exceeded its node/cache budget — the
+    /// analogue of PySDD running out of memory on `Q6` (Section 6.3, C1).
+    OutOfBudget,
+    /// The input has more variables than the solver supports (naive
+    /// enumeration only).
+    TooManyVariables,
+}
+
+impl fmt::Display for WmcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WmcError::OutOfBudget => write!(f, "probability computation exceeded its budget"),
+            WmcError::TooManyVariables => write!(f, "too many variables for enumeration"),
+        }
+    }
+}
+
+impl std::error::Error for WmcError {}
+
+/// An exact (or approximate) weighted model counter over lineage DNFs.
+///
+/// `weights[f.0]` is the probability `π(f)` of fact `f`; facts absent from
+/// the DNF are ignored. Implementations must return the exact probability
+/// unless documented otherwise.
+pub trait WmcSolver {
+    /// Human-readable solver name (used by the benchmark tables).
+    fn name(&self) -> &'static str;
+
+    /// The probability that the DNF is true when each fact `f` is an
+    /// independent Bernoulli with success probability `weights[f.0]`.
+    fn probability(&self, dnf: &Dnf, weights: &[f64]) -> Result<f64, WmcError>;
+}
+
+/// Enumeration of the built-in solvers, for CLI/bench selection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SolverKind {
+    /// SDD compilation with vtrees (PySDD stand-in, the paper's default).
+    Sdd,
+    /// ROBDD-based (right-linear ablation point).
+    Bdd,
+    /// Decomposition-tree (d-tree stand-in).
+    Dtree,
+    /// CNF/DPLL (c2d stand-in).
+    Cnf,
+    /// Enumeration oracle.
+    Naive,
+}
+
+impl SolverKind {
+    /// Instantiates the solver with default budgets.
+    pub fn build(self) -> Box<dyn WmcSolver> {
+        match self {
+            SolverKind::Sdd => Box::new(crate::SddWmc::default()),
+            SolverKind::Bdd => Box::new(crate::BddWmc::default()),
+            SolverKind::Dtree => Box::new(crate::DtreeWmc::default()),
+            SolverKind::Cnf => Box::new(crate::CnfWmc::default()),
+            SolverKind::Naive => Box::new(crate::NaiveWmc::default()),
+        }
+    }
+
+    /// All exact solver kinds (the paper's three tools first, then the
+    /// BDD ablation point).
+    pub fn exact() -> [SolverKind; 4] {
+        [
+            SolverKind::Sdd,
+            SolverKind::Dtree,
+            SolverKind::Cnf,
+            SolverKind::Bdd,
+        ]
+    }
+}
+
+impl fmt::Display for SolverKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            SolverKind::Sdd => "SDD",
+            SolverKind::Bdd => "BDD",
+            SolverKind::Dtree => "d-tree",
+            SolverKind::Cnf => "c2d",
+            SolverKind::Naive => "naive",
+        };
+        write!(f, "{name}")
+    }
+}

@@ -1,0 +1,265 @@
+//! Vtrees — variable trees that dictate SDD decompositions.
+//!
+//! A vtree is a full binary tree whose leaves are in one-to-one
+//! correspondence with the Boolean variables of a formula (Pipatsrisawat
+//! & Darwiche [63]). Every internal vtree node `v` splits the variables
+//! into the ones under `left(v)` and the ones under `right(v)`; an SDD
+//! node normalized for `v` decomposes its function as
+//! `⋁ᵢ primeᵢ(left vars) ∧ subᵢ(right vars)`.
+//!
+//! The paper's default probability tool, PySDD, "translates the lineage
+//! into an internal form called vtree" (Section 6.4, C5); this module is
+//! the corresponding substrate for the from-scratch [`crate::SddWmc`]
+//! solver. Two shapes are provided:
+//!
+//! * **right-linear** — equivalent to an OBDD order (each decision
+//!   depends on a single variable);
+//! * **balanced** — the shape PySDD starts from by default, which keeps
+//!   both primes and subs non-trivial.
+
+use ltg_datalog::fxhash::FxHashMap;
+use ltg_storage::FactId;
+
+/// Index of a vtree node inside the [`Vtree`] arena.
+pub type VtreeId = u32;
+
+/// One vtree node: a variable leaf or an internal split.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VtreeNode {
+    /// A leaf holding one formula variable.
+    Leaf {
+        /// The variable at this leaf.
+        var: FactId,
+    },
+    /// An internal node with two children.
+    Internal {
+        /// Left child (primes range over its variables).
+        left: VtreeId,
+        /// Right child (subs range over its variables).
+        right: VtreeId,
+    },
+}
+
+/// How the vtree over the formula variables is shaped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VtreeKind {
+    /// Balanced split (PySDD's default starting shape).
+    Balanced,
+    /// Right-linear chain (OBDD-equivalent).
+    RightLinear,
+}
+
+/// A full binary tree over a fixed variable list.
+///
+/// Nodes are stored in an arena; `positions[v]` is the half-open leaf
+/// interval `[lo, hi)` covered by node `v` (in left-to-right leaf order),
+/// which makes ancestor tests and lowest-common-ancestor queries O(depth)
+/// without parent pointers.
+pub struct Vtree {
+    nodes: Vec<VtreeNode>,
+    positions: Vec<(u32, u32)>,
+    root: VtreeId,
+    leaf_of_var: FxHashMap<FactId, VtreeId>,
+}
+
+impl Vtree {
+    /// Builds a vtree of the given shape over `vars` (leaf order = `vars`
+    /// order, so callers control the variable order, e.g. by frequency).
+    ///
+    /// # Panics
+    /// Panics if `vars` is empty or contains duplicates.
+    pub fn build(kind: VtreeKind, vars: &[FactId]) -> Vtree {
+        assert!(!vars.is_empty(), "vtree needs at least one variable");
+        let mut vt = Vtree {
+            nodes: Vec::with_capacity(2 * vars.len() - 1),
+            positions: Vec::with_capacity(2 * vars.len() - 1),
+            root: 0,
+            leaf_of_var: FxHashMap::default(),
+        };
+        vt.root = match kind {
+            VtreeKind::Balanced => vt.build_balanced(vars, 0),
+            VtreeKind::RightLinear => vt.build_right_linear(vars, 0),
+        };
+        assert_eq!(
+            vt.leaf_of_var.len(),
+            vars.len(),
+            "duplicate variable in vtree"
+        );
+        vt
+    }
+
+    fn push_leaf(&mut self, var: FactId, pos: u32) -> VtreeId {
+        let id = self.nodes.len() as VtreeId;
+        self.nodes.push(VtreeNode::Leaf { var });
+        self.positions.push((pos, pos + 1));
+        self.leaf_of_var.insert(var, id);
+        id
+    }
+
+    fn push_internal(&mut self, left: VtreeId, right: VtreeId) -> VtreeId {
+        let id = self.nodes.len() as VtreeId;
+        let (lo, _) = self.positions[left as usize];
+        let (_, hi) = self.positions[right as usize];
+        self.nodes.push(VtreeNode::Internal { left, right });
+        self.positions.push((lo, hi));
+        id
+    }
+
+    fn build_balanced(&mut self, vars: &[FactId], pos: u32) -> VtreeId {
+        if vars.len() == 1 {
+            return self.push_leaf(vars[0], pos);
+        }
+        let mid = vars.len() / 2;
+        let left = self.build_balanced(&vars[..mid], pos);
+        let right = self.build_balanced(&vars[mid..], pos + mid as u32);
+        self.push_internal(left, right)
+    }
+
+    fn build_right_linear(&mut self, vars: &[FactId], pos: u32) -> VtreeId {
+        if vars.len() == 1 {
+            return self.push_leaf(vars[0], pos);
+        }
+        let left = self.push_leaf(vars[0], pos);
+        let right = self.build_right_linear(&vars[1..], pos + 1);
+        self.push_internal(left, right)
+    }
+
+    /// The root node id.
+    pub fn root(&self) -> VtreeId {
+        self.root
+    }
+
+    /// The node stored at `id`.
+    pub fn node(&self, id: VtreeId) -> VtreeNode {
+        self.nodes[id as usize]
+    }
+
+    /// Number of vtree nodes (leaves + internal).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the vtree is empty (never, after `build`).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The leaf node that holds `var`.
+    pub fn leaf_of(&self, var: FactId) -> VtreeId {
+        self.leaf_of_var[&var]
+    }
+
+    /// The variable at leaf `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is internal.
+    pub fn var_at(&self, id: VtreeId) -> FactId {
+        match self.node(id) {
+            VtreeNode::Leaf { var } => var,
+            VtreeNode::Internal { .. } => panic!("var_at on internal vtree node"),
+        }
+    }
+
+    /// True when `a` is `b` or a descendant of `b`.
+    pub fn is_descendant(&self, a: VtreeId, b: VtreeId) -> bool {
+        let (alo, ahi) = self.positions[a as usize];
+        let (blo, bhi) = self.positions[b as usize];
+        blo <= alo && ahi <= bhi
+    }
+
+    /// Lowest common ancestor of `a` and `b`.
+    pub fn lca(&self, a: VtreeId, b: VtreeId) -> VtreeId {
+        let mut cur = self.root;
+        loop {
+            match self.node(cur) {
+                VtreeNode::Leaf { .. } => return cur,
+                VtreeNode::Internal { left, right } => {
+                    if self.is_descendant(a, left) && self.is_descendant(b, left) {
+                        cur = left;
+                    } else if self.is_descendant(a, right) && self.is_descendant(b, right) {
+                        cur = right;
+                    } else {
+                        return cur;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vars(n: u32) -> Vec<FactId> {
+        (0..n).map(FactId).collect()
+    }
+
+    #[test]
+    fn balanced_shape() {
+        let vt = Vtree::build(VtreeKind::Balanced, &vars(4));
+        assert_eq!(vt.len(), 7);
+        // Root splits 2 | 2.
+        let VtreeNode::Internal { left, right } = vt.node(vt.root()) else {
+            panic!("root must be internal");
+        };
+        assert!(matches!(vt.node(left), VtreeNode::Internal { .. }));
+        assert!(matches!(vt.node(right), VtreeNode::Internal { .. }));
+    }
+
+    #[test]
+    fn right_linear_shape() {
+        let vt = Vtree::build(VtreeKind::RightLinear, &vars(4));
+        assert_eq!(vt.len(), 7);
+        let VtreeNode::Internal { left, .. } = vt.node(vt.root()) else {
+            panic!("root must be internal");
+        };
+        assert!(matches!(vt.node(left), VtreeNode::Leaf { .. }));
+    }
+
+    #[test]
+    fn single_variable() {
+        let vt = Vtree::build(VtreeKind::Balanced, &vars(1));
+        assert_eq!(vt.len(), 1);
+        assert_eq!(vt.root(), vt.leaf_of(FactId(0)));
+        assert_eq!(vt.var_at(vt.root()), FactId(0));
+    }
+
+    #[test]
+    fn descendant_and_lca() {
+        let vt = Vtree::build(VtreeKind::Balanced, &vars(8));
+        let l0 = vt.leaf_of(FactId(0));
+        let l1 = vt.leaf_of(FactId(1));
+        let l7 = vt.leaf_of(FactId(7));
+        assert!(vt.is_descendant(l0, vt.root()));
+        assert!(!vt.is_descendant(vt.root(), l0));
+        assert!(vt.is_descendant(l0, l0));
+        // Adjacent leaves meet below the root; distant ones at the root.
+        assert_ne!(vt.lca(l0, l1), vt.root());
+        assert_eq!(vt.lca(l0, l7), vt.root());
+        assert_eq!(vt.lca(l0, l0), l0);
+        // lca is an ancestor of both arguments.
+        let m = vt.lca(l1, l7);
+        assert!(vt.is_descendant(l1, m));
+        assert!(vt.is_descendant(l7, m));
+    }
+
+    #[test]
+    fn lca_with_internal_node() {
+        let vt = Vtree::build(VtreeKind::RightLinear, &vars(3));
+        let l0 = vt.leaf_of(FactId(0));
+        let l2 = vt.leaf_of(FactId(2));
+        // In a right-linear vtree the root's right child covers vars 1..3.
+        let VtreeNode::Internal { right, .. } = vt.node(vt.root()) else {
+            panic!()
+        };
+        assert_eq!(vt.lca(l2, right), right);
+        assert_eq!(vt.lca(l0, right), vt.root());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one variable")]
+    fn empty_rejected() {
+        Vtree::build(VtreeKind::Balanced, &[]);
+    }
+}

@@ -1,0 +1,70 @@
+//! Knowledge-graph completion with mined rules (the paper's YAGO/WN18RR
+//! scenarios, Section 6.1 "Rule mining benchmarks").
+//!
+//! Generates a synthetic multi-relational KG with planted regularities,
+//! mines AnyBurl-style rules from the training split (implication,
+//! inverse and composition shapes, scored by confidence), attaches each
+//! rule's confidence as a dummy-fact probability, and scores the
+//! held-out test triples by their inferred probability — exactly the
+//! paper's experimental pipeline.
+//!
+//! Run with: `cargo run --example kg_completion`
+
+use ltgs::benchdata::kgmine::{generate, KgMineConfig};
+use ltgs::prelude::*;
+
+fn main() {
+    let config = KgMineConfig {
+        queries: 15,
+        ..KgMineConfig::yago(5)
+    };
+    let scenario = generate("YAGO5-S", &config);
+    println!(
+        "scenario {}: {} rules mined, {} facts, {} test queries",
+        scenario.name,
+        scenario.program.rules.len(),
+        scenario.program.facts.len(),
+        scenario.queries.len()
+    );
+
+    // Reason once over the full program (no magic sets here: the test
+    // triples share most of the relevant derivations).
+    let mut engine = LtgEngine::new(&scenario.program);
+    engine.reason().expect("reasoning succeeds");
+    let weights = engine.db().weights();
+    let solver = BddWmc::default();
+
+    // Score each test triple: probability 0 = not derivable.
+    println!("\n{:<28} {:>12}", "test triple", "plausibility");
+    let mut scored: Vec<(String, f64)> = Vec::new();
+    for query in &scenario.queries {
+        let answers = engine.answer(query).expect("lineage fits");
+        let display = {
+            let preds = &engine.program().preds;
+            let syms = &engine.program().symbols;
+            let args: Vec<&str> = query
+                .terms
+                .iter()
+                .map(|t| syms.name(t.as_const().expect("ground query")))
+                .collect();
+            format!("{}({})", preds.name(query.pred), args.join(","))
+        };
+        let prob = match answers.first() {
+            Some((_, lineage)) => solver
+                .probability(lineage, &weights)
+                .expect("probability computes"),
+            None => 0.0,
+        };
+        scored.push((display, prob));
+    }
+    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    for (name, prob) in &scored {
+        println!("{name:<28} {prob:>12.6}");
+    }
+
+    let derivable = scored.iter().filter(|(_, p)| *p > 0.0).count();
+    println!(
+        "\n{derivable}/{} test triples receive a non-zero plausibility score",
+        scored.len()
+    );
+}

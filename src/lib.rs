@@ -1,0 +1,67 @@
+//! **ltgs** — Probabilistic Reasoning at Scale with Lineage Trigger Graphs.
+//!
+//! A from-scratch Rust reproduction of *"Probabilistic Reasoning at
+//! Scale: Trigger Graphs to the Rescue"* (Tsamoura, Lee, Urbani —
+//! SIGMOD 2023): the LTG engine, every substrate it depends on, the
+//! baseline engines it is compared against, and a benchmark harness that
+//! regenerates every table and figure of the paper's evaluation.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`datalog`] — terms, rules, parser, magic sets (`ltg-datalog`);
+//! * [`storage`] — fact store, relations, PDB, resource meter
+//!   (`ltg-storage`);
+//! * [`lineage`] — derivation forest, DNF, Tseitin (`ltg-lineage`);
+//! * [`wmc`] — weighted model counters (`ltg-wmc`);
+//! * [`core`] — the LTG engine itself (`ltg-core`);
+//! * [`baselines`] — `TcP`, `ΔTcP`, top-k, circuits (`ltg-baselines`);
+//! * [`benchdata`] — the workload generators (`ltg-benchdata`).
+//!
+//! # Quick start
+//!
+//! ```
+//! use ltgs::prelude::*;
+//!
+//! let program = parse_program(
+//!     "0.5 :: e(a, b). 0.6 :: e(b, c). 0.7 :: e(a, c). 0.8 :: e(c, b).
+//!      p(X, Y) :- e(X, Y).
+//!      p(X, Y) :- p(X, Z), p(Z, Y).
+//!      query p(a, b).",
+//! )
+//! .unwrap();
+//!
+//! let mut engine = LtgEngine::new(&program);
+//! engine.reason().unwrap();
+//! let answers = engine.answer(&program.queries[0]).unwrap();
+//! let weights = engine.db().weights();
+//! let p = BddWmc::default()
+//!     .probability(&answers[0].1, &weights)
+//!     .unwrap();
+//! assert!((p - 0.78).abs() < 1e-9);
+//! ```
+
+// Paper-style citation brackets ([77], [41], …) are used throughout the
+// doc comments; they are not intra-doc links.
+#![allow(rustdoc::broken_intra_doc_links)]
+
+pub use ltg_baselines as baselines;
+pub use ltg_benchdata as benchdata;
+pub use ltg_core as core;
+pub use ltg_datalog as datalog;
+pub use ltg_lineage as lineage;
+pub use ltg_storage as storage;
+pub use ltg_wmc as wmc;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use ltg_baselines::{
+        CircuitEngine, DeltaTcpEngine, ProbEngine, SldConfig, SldEngine, TcpEngine, TopKEngine,
+    };
+    pub use ltg_core::{EngineConfig, EngineError, LtgEngine, TgMaterializer};
+    pub use ltg_datalog::{magic_transform, parse_program, Atom, Program};
+    pub use ltg_lineage::Dnf;
+    pub use ltg_storage::{Database, FactId, ResourceMeter};
+    pub use ltg_wmc::{
+        BddWmc, CnfWmc, DissociationWmc, DtreeWmc, KarpLubyWmc, NaiveWmc, SddWmc, WmcSolver,
+    };
+}

@@ -1,0 +1,258 @@
+//! `ltgs` — command-line probabilistic Datalog reasoner.
+//!
+//! ```text
+//! USAGE: ltgs [OPTIONS] <program.pl>
+//!
+//!   --engine <ltg|ltg-nocollapse|tcp|delta|topk=K|circuit>   (default: ltg)
+//!   --solver <sdd|bdd|dtree|c2d|karp-luby|dissociation|anytime>  (default: sdd)
+//!   --no-magic          skip the magic-sets rewriting
+//!   --max-depth <N>     cap the reasoning depth
+//!   --timeout <SECS>    per-query deadline
+//!   --memory <MB>       estimated-bytes budget
+//!   --stats             print reasoning statistics
+//! ```
+//!
+//! The program file uses the ProbLog-flavoured syntax of
+//! [`ltgs::datalog::parse_program`]; `query p(a, X).` lines define the
+//! queries.
+
+use ltgs::baselines::{
+    BaselineConfig, CircuitEngine, DeltaTcpEngine, ProbEngine, TcpEngine, TopKEngine,
+};
+use ltgs::prelude::*;
+use ltgs::wmc::{AnytimeWmc, SolverKind};
+use std::process::ExitCode;
+use std::time::Duration;
+
+struct Options {
+    path: String,
+    engine: String,
+    solver: String,
+    use_magic: bool,
+    max_depth: Option<u32>,
+    timeout: Option<u64>,
+    memory_mb: Option<usize>,
+    stats: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        path: String::new(),
+        engine: "ltg".into(),
+        solver: "sdd".into(),
+        use_magic: true,
+        max_depth: None,
+        timeout: None,
+        memory_mb: None,
+        stats: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--engine" => opts.engine = args.next().ok_or("--engine needs a value")?,
+            "--solver" => opts.solver = args.next().ok_or("--solver needs a value")?,
+            "--no-magic" => opts.use_magic = false,
+            "--max-depth" => {
+                opts.max_depth = Some(
+                    args.next()
+                        .ok_or("--max-depth needs a value")?
+                        .parse()
+                        .map_err(|_| "bad --max-depth")?,
+                )
+            }
+            "--timeout" => {
+                opts.timeout = Some(
+                    args.next()
+                        .ok_or("--timeout needs a value")?
+                        .parse()
+                        .map_err(|_| "bad --timeout")?,
+                )
+            }
+            "--memory" => {
+                opts.memory_mb = Some(
+                    args.next()
+                        .ok_or("--memory needs a value")?
+                        .parse()
+                        .map_err(|_| "bad --memory")?,
+                )
+            }
+            "--stats" => opts.stats = true,
+            "--help" | "-h" => return Err("help".into()),
+            other if !other.starts_with('-') && opts.path.is_empty() => {
+                opts.path = other.to_string()
+            }
+            other => return Err(format!("unknown option '{other}'")),
+        }
+    }
+    if opts.path.is_empty() {
+        return Err("no program file given".into());
+    }
+    Ok(opts)
+}
+
+fn usage() {
+    eprintln!(
+        "usage: ltgs [--engine ltg|ltg-nocollapse|tcp|delta|topk=K|circuit] \
+         [--solver sdd|bdd|dtree|c2d|karp-luby|dissociation|anytime] [--no-magic] \
+         [--max-depth N] [--timeout SECS] [--memory MB] [--stats] <program.pl>"
+    );
+}
+
+fn make_solver(name: &str) -> Result<Box<dyn WmcSolver>, String> {
+    Ok(match name {
+        "sdd" => SolverKind::Sdd.build(),
+        "bdd" => SolverKind::Bdd.build(),
+        "dtree" => SolverKind::Dtree.build(),
+        "c2d" => SolverKind::Cnf.build(),
+        "karp-luby" => Box::new(KarpLubyWmc::default()),
+        "dissociation" => Box::new(ltgs::wmc::DissociationWmc::default()),
+        "anytime" => Box::new(AnytimeWmc::default()),
+        other => return Err(format!("unknown solver '{other}'")),
+    })
+}
+
+fn make_meter(opts: &Options) -> ResourceMeter {
+    ResourceMeter::with_limits(
+        opts.memory_mb.map(|mb| mb << 20).unwrap_or(usize::MAX),
+        opts.timeout.map(Duration::from_secs),
+    )
+}
+
+fn run_one_query(program: &Program, query: &ltgs::datalog::Atom, opts: &Options) -> Result<(), String> {
+    let (prog, q) = if opts.use_magic {
+        let m = ltgs::datalog::magic_transform(program, query);
+        (m.program, m.query)
+    } else {
+        (program.clone(), query.clone())
+    };
+    let solver = make_solver(&opts.solver)?;
+    // Answers are facts of the (possibly adorned) query predicate;
+    // render them under the predicate name the user asked about.
+    let query_name = program.preds.name(query.pred).to_string();
+    let render = |args: &[ltgs::datalog::Sym], symbols: &ltgs::datalog::SymbolTable| {
+        let mut out = format!("{query_name}(");
+        for (i, a) in args.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(symbols.name(*a));
+        }
+        out.push(')');
+        out
+    };
+
+    // Answers as (display string, lineage, weights).
+    let results: Vec<(String, f64)> = if opts.engine.starts_with("ltg") {
+        let mut config = if opts.engine == "ltg-nocollapse" {
+            EngineConfig::without_collapse()
+        } else {
+            EngineConfig::with_collapse()
+        };
+        config.max_depth = opts.max_depth;
+        let mut engine = LtgEngine::with_config_and_meter(&prog, config, make_meter(opts));
+        engine.reason().map_err(|e| e.to_string())?;
+        if opts.stats {
+            let s = engine.stats();
+            eprintln!(
+                "% rounds={} derivations={} deduped={} nodes={} collapse_ops={} reason={:?}",
+                s.rounds, s.derivations, s.deduped, s.nodes_alive, s.collapse_ops, s.reasoning_time
+            );
+        }
+        let weights = engine.db().weights();
+        engine
+            .answer(&q)
+            .map_err(|e| e.to_string())?
+            .into_iter()
+            .map(|(f, d)| {
+                let name = render(engine.db().store.args(f), &engine.program().symbols);
+                let p = solver.probability(&d, &weights).map_err(|e| e.to_string());
+                (name, p)
+            })
+            .map(|(n, p)| p.map(|p| (n, p)))
+            .collect::<Result<Vec<_>, _>>()?
+    } else {
+        let config = BaselineConfig {
+            max_depth: opts.max_depth,
+            ..BaselineConfig::default()
+        };
+        let mut engine: Box<dyn ProbEngine> = match opts.engine.as_str() {
+            "tcp" => Box::new(TcpEngine::with_config(&prog, config, make_meter(opts))),
+            "delta" => Box::new(DeltaTcpEngine::with_config(&prog, config, make_meter(opts))),
+            "circuit" => Box::new(CircuitEngine::with_config(&prog, config, make_meter(opts))),
+            e if e.starts_with("topk=") => {
+                let k: usize = e[5..].parse().map_err(|_| "bad topk=K")?;
+                Box::new(TopKEngine::with_config(&prog, k, config, make_meter(opts)))
+            }
+            other => return Err(format!("unknown engine '{other}'")),
+        };
+        engine.run().map_err(|e| e.to_string())?;
+        if opts.stats {
+            let s = engine.stats();
+            eprintln!(
+                "% rounds={} derivations={} reason={:?} comparisons={:?}",
+                s.rounds, s.derivations, s.reasoning_time, s.comparison_time
+            );
+        }
+        let weights = engine.db().weights();
+        engine
+            .answer(&q)
+            .into_iter()
+            .map(|(f, d)| {
+                let name = render(engine.db().store.args(f), &prog.symbols);
+                solver
+                    .probability(&d, &weights)
+                    .map(|p| (name, p))
+                    .map_err(|e| e.to_string())
+            })
+            .collect::<Result<Vec<_>, _>>()?
+    };
+
+    if results.is_empty() {
+        println!("(no answers)");
+    }
+    for (name, p) in results {
+        println!("{p:.6}\t{name}");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            if msg != "help" {
+                eprintln!("error: {msg}");
+            }
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
+    let src = match std::fs::read_to_string(&opts.path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", opts.path);
+            return ExitCode::FAILURE;
+        }
+    };
+    let program = match parse_program(&src) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if program.queries.is_empty() {
+        eprintln!("error: no `query p(...).` clause in the program");
+        return ExitCode::FAILURE;
+    }
+    for (i, query) in program.queries.iter().enumerate() {
+        if program.queries.len() > 1 {
+            println!("% query {}", i + 1);
+        }
+        if let Err(msg) = run_one_query(&program, query, &opts) {
+            eprintln!("error: {msg}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,200 @@
+//! Cross-crate tests for the approximation stack: top-down SLD search
+//! (ProbLog-1 style), k-best, dissociation bounds, the anytime prefix
+//! bounds, and the SDD solver — all validated against the exact LTG
+//! pipeline on shared programs.
+
+use ltgs::baselines::{SldConfig, SldEngine};
+use ltgs::benchdata::smokers::{generate as smokers, SmokersConfig};
+use ltgs::prelude::*;
+use ltgs::wmc::{AnytimeWmc, VtreeKind};
+
+const EXAMPLE1: &str = "0.5 :: e(a, b). 0.6 :: e(b, c). 0.7 :: e(a, c). 0.8 :: e(c, b).
+     p(X, Y) :- e(X, Y).
+     p(X, Y) :- p(X, Z), p(Z, Y).
+     query p(a, b).";
+
+/// Exact probability of `query` via the LTG engine + SDD.
+fn ltg_prob(program: &Program, query: &Atom) -> f64 {
+    let mut engine = LtgEngine::new(program);
+    engine.reason().unwrap();
+    let answers = engine.answer(query).unwrap();
+    let weights = engine.db().weights();
+    answers
+        .first()
+        .map(|(_, d)| SddWmc::default().probability(d, &weights).unwrap())
+        .unwrap_or(0.0)
+}
+
+#[test]
+fn sld_matches_ltg_on_example1() {
+    let program = parse_program(EXAMPLE1).unwrap();
+    let exact = ltg_prob(&program, &program.queries[0]);
+    let mut sld = SldEngine::new(&program);
+    let res = sld.prove_at_depth(&program.queries[0], 4).unwrap();
+    let w = sld.db().weights();
+    let p = SddWmc::default()
+        .probability(&res.answers[0].1, &w)
+        .unwrap();
+    assert!((p - exact).abs() < 1e-9, "sld {p} vs ltg {exact}");
+}
+
+#[test]
+fn sld_matches_ltg_on_acyclic_dag_queries() {
+    // An acyclic management DAG with recursive closure and a join rule:
+    // both engines run to exhaustion, so the probabilities must be
+    // exactly equal query by query. (On cyclic depth-capped scenarios
+    // like Smokers the two depth notions — EG rounds vs proof-tree
+    // height — measure different things, so exact agreement is only
+    // defined at fixpoint.)
+    let program = parse_program(
+        "0.9 :: manages(ceo, vp1). 0.8 :: manages(ceo, vp2).
+         0.7 :: manages(vp1, d1). 0.6 :: manages(vp2, d1).
+         0.5 :: manages(d1, e1). 0.4 :: manages(d1, e2).
+         0.3 :: peer(e1, e2).
+         above(X, Y) :- manages(X, Y).
+         above(X, Y) :- manages(X, Z), above(Z, Y).
+         connected(X, Y) :- above(Z, X), above(Z, Y), peer(X, Y).",
+    )
+    .unwrap();
+    let queries = [
+        ("above", vec!["ceo", "e1"]),
+        ("above", vec!["ceo", "d1"]),
+        ("above", vec!["vp1", "e2"]),
+        ("connected", vec!["e1", "e2"]),
+    ];
+    let mut checked = 0;
+    for (pred_name, args) in queries {
+        let pred = program.preds.lookup(pred_name, args.len()).unwrap();
+        let terms: Vec<ltgs::datalog::Term> = args
+            .iter()
+            .map(|a| ltgs::datalog::Term::Const(program.symbols.lookup(a).unwrap()))
+            .collect();
+        let query = Atom::new(pred, terms);
+        let exact = ltg_prob(&program, &query);
+        assert!(exact > 0.0, "query {pred_name}{args:?} must be derivable");
+
+        let mut sld = SldEngine::new(&program);
+        let res = sld.prove_at_depth(&query, 10).unwrap();
+        assert!(res.complete, "the DAG search must be exhaustive");
+        let w = sld.db().weights();
+        let p = res
+            .answers
+            .first()
+            .map(|(_, d)| SddWmc::default().probability(d, &w).unwrap())
+            .unwrap_or(0.0);
+        assert!(
+            (p - exact).abs() < 1e-9,
+            "query {pred_name}{args:?}: sld {p} vs ltg {exact}"
+        );
+        checked += 1;
+    }
+    assert_eq!(checked, 4);
+}
+
+#[test]
+fn k_best_is_a_monotone_lower_bound() {
+    let program = parse_program(EXAMPLE1).unwrap();
+    let exact = ltg_prob(&program, &program.queries[0]);
+    let mut last = 0.0;
+    for k in 1..=4 {
+        let mut sld = SldEngine::with_config(
+            &program,
+            SldConfig {
+                k: Some(k),
+                max_depth: 4,
+                ..SldConfig::default()
+            },
+            ResourceMeter::unlimited(),
+        );
+        let res = sld.prove(&program.queries[0]).unwrap();
+        let w = sld.db().weights();
+        let p = res
+            .answers
+            .first()
+            .map(|(_, d)| SddWmc::default().probability(d, &w).unwrap())
+            .unwrap_or(0.0);
+        assert!(p <= exact + 1e-9, "k={k}: {p} > exact {exact}");
+        assert!(p >= last - 1e-12, "k={k}: lower bound shrank");
+        last = p;
+    }
+    // With every explanation kept the bound is tight.
+    assert!((last - exact).abs() < 1e-9);
+}
+
+#[test]
+fn dissociation_bounds_contain_ltg_probability() {
+    let program = parse_program(EXAMPLE1).unwrap();
+    let mut engine = LtgEngine::new(&program);
+    engine.reason().unwrap();
+    let answers = engine.answer(&program.queries[0]).unwrap();
+    let weights = engine.db().weights();
+    let exact = SddWmc::default()
+        .probability(&answers[0].1, &weights)
+        .unwrap();
+    for exact_vars in [0, 2, 16] {
+        let b = DissociationWmc {
+            exact_vars,
+            ..DissociationWmc::default()
+        }
+        .bounds(&answers[0].1, &weights)
+        .unwrap();
+        assert!(
+            b.lower <= exact + 1e-9 && exact <= b.upper + 1e-9,
+            "exact_vars={exact_vars}: {exact} outside [{}, {}]",
+            b.lower,
+            b.upper
+        );
+    }
+}
+
+#[test]
+fn anytime_prefix_bounds_contain_ltg_probability() {
+    let program = parse_program(EXAMPLE1).unwrap();
+    let mut engine = LtgEngine::new(&program);
+    engine.reason().unwrap();
+    let answers = engine.answer(&program.queries[0]).unwrap();
+    let weights = engine.db().weights();
+    let exact = SddWmc::default()
+        .probability(&answers[0].1, &weights)
+        .unwrap();
+    let b = AnytimeWmc::default().bounds(&answers[0].1, &weights);
+    assert!(b.lower <= exact + 1e-9 && exact <= b.upper + 1e-9);
+    assert!(b.is_exact(), "small lineage must resolve exactly");
+}
+
+#[test]
+fn sdd_solver_agrees_through_engine_pipeline() {
+    let scenario = smokers(&SmokersConfig::paper(4));
+    for query in scenario.queries.iter().take(4) {
+        let magic = magic_transform(&scenario.program, query);
+        let mut engine = LtgEngine::with_config(&magic.program, {
+            let mut c = EngineConfig::with_collapse();
+            c.max_depth = scenario.max_depth;
+            c
+        });
+        engine.reason().unwrap();
+        let weights = engine.db().weights();
+        for (_, lineage) in engine.answer(&magic.query).unwrap() {
+            let balanced = SddWmc::default().probability(&lineage, &weights).unwrap();
+            let right_linear = SddWmc {
+                kind: VtreeKind::RightLinear,
+                ..SddWmc::default()
+            }
+            .probability(&lineage, &weights)
+            .unwrap();
+            let bdd = BddWmc::default().probability(&lineage, &weights).unwrap();
+            let dtree = DtreeWmc::default().probability(&lineage, &weights).unwrap();
+            assert!((balanced - bdd).abs() < 1e-9);
+            assert!((right_linear - bdd).abs() < 1e-9);
+            assert!((balanced - dtree).abs() < 1e-9);
+        }
+    }
+}
+
+#[test]
+fn sld_respects_resource_meter() {
+    let program = parse_program(EXAMPLE1).unwrap();
+    let meter = ResourceMeter::with_limits(usize::MAX, Some(std::time::Duration::from_nanos(1)));
+    let mut sld = SldEngine::with_config(&program, SldConfig::default(), meter);
+    assert!(sld.prove_at_depth(&program.queries[0], 6).is_err());
+}

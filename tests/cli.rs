@@ -1,0 +1,141 @@
+//! End-to-end tests of the `ltgs` command-line reasoner: every engine
+//! and solver combination must agree on the running example, and the
+//! error paths must be reported on stderr with a failing exit status.
+
+use std::io::Write;
+use std::process::Command;
+
+const PROGRAM: &str = "0.5 :: e(a, b). 0.6 :: e(b, c). 0.7 :: e(a, c). 0.8 :: e(c, b).
+p(X, Y) :- e(X, Y).
+p(X, Y) :- p(X, Z), p(Z, Y).
+query p(a, b).
+";
+
+fn write_program(name: &str, body: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("ltgs-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all(body.as_bytes()).unwrap();
+    path
+}
+
+fn run(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_ltgs"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn default_run_answers_example1() {
+    let path = write_program("example1.pl", PROGRAM);
+    let (ok, stdout, stderr) = run(&[path.to_str().unwrap()]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("0.780000"), "stdout: {stdout}");
+    assert!(stdout.contains("p(a,b)"), "stdout: {stdout}");
+}
+
+#[test]
+fn every_engine_agrees() {
+    let path = write_program("example1_engines.pl", PROGRAM);
+    for engine in ["ltg", "ltg-nocollapse", "tcp", "delta", "topk=30", "circuit"] {
+        let (ok, stdout, stderr) = run(&["--engine", engine, path.to_str().unwrap()]);
+        assert!(ok, "{engine}: {stderr}");
+        assert!(stdout.contains("0.780000"), "{engine}: {stdout}");
+    }
+}
+
+#[test]
+fn every_exact_solver_agrees() {
+    let path = write_program("example1_solvers.pl", PROGRAM);
+    for solver in ["sdd", "bdd", "dtree", "c2d"] {
+        let (ok, stdout, stderr) = run(&["--solver", solver, path.to_str().unwrap()]);
+        assert!(ok, "{solver}: {stderr}");
+        assert!(stdout.contains("0.780000"), "{solver}: {stdout}");
+    }
+}
+
+#[test]
+fn open_query_lists_all_answers() {
+    let path = write_program(
+        "open.pl",
+        "0.5 :: e(a, b). 0.6 :: e(b, c).
+         p(X, Y) :- e(X, Y).
+         p(X, Y) :- p(X, Z), p(Z, Y).
+         query p(a, X).",
+    );
+    let (ok, stdout, _) = run(&[path.to_str().unwrap()]);
+    assert!(ok);
+    assert!(stdout.contains("p(a,b)"));
+    assert!(stdout.contains("p(a,c)"));
+    // P(p(a,c)) = P(e(a,b) ∧ e(b,c)) = 0.3.
+    assert!(stdout.contains("0.300000"), "{stdout}");
+}
+
+#[test]
+fn stats_flag_reports_counters() {
+    let path = write_program("stats.pl", PROGRAM);
+    let (ok, _, stderr) = run(&["--stats", path.to_str().unwrap()]);
+    assert!(ok);
+    assert!(stderr.contains("derivations="), "{stderr}");
+}
+
+#[test]
+fn no_magic_matches_magic() {
+    let path = write_program("nomagic.pl", PROGRAM);
+    let (_, with_magic, _) = run(&[path.to_str().unwrap()]);
+    let (_, without, _) = run(&["--no-magic", path.to_str().unwrap()]);
+    assert_eq!(with_magic.trim(), without.trim());
+}
+
+#[test]
+fn missing_query_is_an_error() {
+    let path = write_program("noquery.pl", "0.5 :: e(a, b). p(X, Y) :- e(X, Y).");
+    let (ok, _, stderr) = run(&[path.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("no `query"), "{stderr}");
+}
+
+#[test]
+fn parse_error_is_reported() {
+    let path = write_program("broken.pl", "0.5 :: e(a, b. query e(a, X).");
+    let (ok, _, stderr) = run(&[path.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("error"), "{stderr}");
+}
+
+#[test]
+fn unknown_engine_is_rejected() {
+    let path = write_program("unknown.pl", PROGRAM);
+    let (ok, _, stderr) = run(&["--engine", "quantum", path.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown engine"), "{stderr}");
+}
+
+#[test]
+fn timeout_flag_aborts_on_hard_programs() {
+    // A dense reachability query with an unreachable timeout of zero
+    // seconds must fail fast rather than hang.
+    let mut body = String::new();
+    for i in 0..12 {
+        for j in 0..12 {
+            if i != j {
+                body.push_str(&format!("0.5 :: e(n{i}, n{j}).\n"));
+            }
+        }
+    }
+    body.push_str("p(X, Y) :- e(X, Y).\np(X, Y) :- p(X, Z), p(Z, Y).\nquery p(n0, n1).\n");
+    let path = write_program("hard.pl", &body);
+    let (ok, _, stderr) = run(&["--timeout", "0", path.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(
+        stderr.contains("deadline") || stderr.contains("timeout") || stderr.contains("error"),
+        "{stderr}"
+    );
+}

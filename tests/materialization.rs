@@ -1,0 +1,144 @@
+//! Cross-crate tests for the non-probabilistic trigger-graph
+//! materializer (the [77] substrate): it must compute exactly the least
+//! Herbrand model that semi-naive evaluation computes, on every
+//! generator in the suite.
+
+use ltgs::baselines::least_model;
+use ltgs::benchdata::lubm::{generate as lubm, LubmConfig};
+use ltgs::benchdata::smokers::{generate as smokers, SmokersConfig};
+use ltgs::benchdata::webkg;
+use ltgs::benchdata::Scenario;
+use ltgs::prelude::*;
+use ltgs::storage::ResourceError;
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+/// Renders the IDB part of the TG model and of the semi-naive model as
+/// display strings (the materializer canonicalizes the program, which
+/// adds mirror predicates — only the original IDB predicates compare).
+fn models(scenario: &Scenario) -> (BTreeSet<String>, BTreeSet<String>) {
+    let idb = scenario.program.idb_mask();
+    let mut tg = TgMaterializer::new(&scenario.program);
+    tg.run().expect("materialization succeeds");
+    let tg_model: BTreeSet<String> = tg
+        .derived()
+        .iter()
+        .filter(|&&f| {
+            let pred = tg.db().store.pred(f);
+            (pred.0 as usize) < idb.len() && idb[pred.0 as usize]
+        })
+        .map(|&f| {
+            tg.db()
+                .store
+                .display(f, &scenario.program.preds, &scenario.program.symbols)
+        })
+        .collect();
+    let sne = least_model(&scenario.program).expect("semi-naive succeeds");
+    let sne_model: BTreeSet<String> = sne
+        .facts
+        .iter()
+        .filter(|&&f| {
+            let pred = sne.db().store.pred(f);
+            (pred.0 as usize) < idb.len() && idb[pred.0 as usize]
+        })
+        .map(|&f| {
+            sne.db()
+                .store
+                .display(f, &scenario.program.preds, &scenario.program.symbols)
+        })
+        .collect();
+    (tg_model, sne_model)
+}
+
+#[test]
+fn agrees_with_seminaive_on_example1() {
+    let program = parse_program(
+        "0.5 :: e(a, b). 0.6 :: e(b, c). 0.7 :: e(a, c). 0.8 :: e(c, b).
+         p(X, Y) :- e(X, Y).
+         p(X, Y) :- p(X, Z), p(Z, Y).",
+    )
+    .unwrap();
+    let scenario = Scenario {
+        name: "example1".into(),
+        queries: vec![],
+        program,
+        max_depth: None,
+    };
+    let (tg, sne) = models(&scenario);
+    assert_eq!(tg, sne);
+    assert_eq!(tg.len(), 6);
+}
+
+#[test]
+fn agrees_with_seminaive_on_lubm() {
+    let scenario = lubm("LUBM-test", &LubmConfig::scaled(1));
+    let (tg, sne) = models(&scenario);
+    assert_eq!(tg.len(), sne.len(), "model sizes differ");
+    assert_eq!(tg, sne);
+    assert!(tg.len() > 1000, "LUBM must derive a non-trivial model");
+}
+
+#[test]
+fn agrees_with_seminaive_on_webkg() {
+    let scenario = webkg::tiny(11);
+    let (tg, sne) = models(&scenario);
+    assert_eq!(tg, sne);
+}
+
+#[test]
+fn agrees_with_seminaive_on_smokers() {
+    let scenario = smokers(&SmokersConfig::paper(4));
+    let (tg, sne) = models(&scenario);
+    assert_eq!(tg, sne);
+    assert!(!tg.is_empty());
+}
+
+#[test]
+fn depth_cap_yields_subset_of_full_model() {
+    let scenario = lubm("LUBM-test", &LubmConfig::scaled(1));
+    let idb = scenario.program.idb_mask();
+    let render = |tg: &TgMaterializer| -> BTreeSet<String> {
+        tg.derived()
+            .iter()
+            .filter(|&&f| {
+                let pred = tg.db().store.pred(f);
+                (pred.0 as usize) < idb.len() && idb[pred.0 as usize]
+            })
+            .map(|&f| {
+                tg.db()
+                    .store
+                    .display(f, &scenario.program.preds, &scenario.program.symbols)
+            })
+            .collect()
+    };
+    let mut capped = TgMaterializer::new(&scenario.program).with_max_depth(Some(3));
+    capped.run().unwrap();
+    let mut full = TgMaterializer::new(&scenario.program);
+    full.run().unwrap();
+    let capped_set = render(&capped);
+    let full_set = render(&full);
+    assert!(capped_set.is_subset(&full_set));
+    assert!(capped_set.len() < full_set.len());
+}
+
+#[test]
+fn memory_budget_aborts_with_oom() {
+    let scenario = lubm("LUBM-test", &LubmConfig::scaled(1));
+    let meter = ResourceMeter::with_limits(512, None);
+    let mut tg = TgMaterializer::with_meter(&scenario.program, meter);
+    match tg.run() {
+        Err(EngineError::Resource(ResourceError::OutOfMemory)) => {}
+        other => panic!("expected OOM, got {other:?}"),
+    }
+}
+
+#[test]
+fn deadline_aborts_with_timeout() {
+    let scenario = lubm("LUBM-test", &LubmConfig::scaled(1));
+    let meter = ResourceMeter::with_limits(usize::MAX, Some(Duration::from_nanos(1)));
+    let mut tg = TgMaterializer::with_meter(&scenario.program, meter);
+    match tg.run() {
+        Err(EngineError::Resource(ResourceError::Timeout)) => {}
+        other => panic!("expected timeout, got {other:?}"),
+    }
+}

@@ -1,0 +1,154 @@
+//! Regression tests for engine-level failure modes found during
+//! development. Each test pins a scenario that previously diverged,
+//! exploded, or returned wrong output.
+
+use ltgs::baselines::least_model;
+use ltgs::benchdata::webkg::{self, WebKgConfig};
+use ltgs::prelude::*;
+use std::time::Instant;
+
+/// Magic-sets rewritings of cyclic programs make the magic and adorned
+/// atoms derive each other; structurally distinct trees with identical
+/// leaf sets then breed super-exponentially (observed: 10M EG nodes by
+/// round 10 on this exact program). The explanation-dedup registry must
+/// keep the run small, terminating, and exact.
+#[test]
+fn magic_rewriting_of_cyclic_program_terminates_quickly() {
+    let program = parse_program(
+        "0.5 :: e(a, b). 0.6 :: e(b, c). 0.7 :: e(a, c). 0.8 :: e(c, b).
+         p(X, Y) :- e(X, Y).
+         p(X, Y) :- p(X, Z), p(Z, Y).
+         query p(a, b).",
+    )
+    .unwrap();
+    let magic = magic_transform(&program, &program.queries[0]);
+    for config in [EngineConfig::with_collapse(), EngineConfig::without_collapse()] {
+        let t0 = Instant::now();
+        let mut engine = LtgEngine::with_config(&magic.program, config);
+        engine.reason().unwrap();
+        assert!(
+            t0.elapsed().as_secs() < 10,
+            "magic example1 must terminate promptly"
+        );
+        assert!(
+            engine.stats().nodes_created < 10_000,
+            "node breeding resurfaced: {} nodes",
+            engine.stats().nodes_created
+        );
+        assert!(engine.stats().deduped > 0, "dedup should have fired");
+        let answers = engine.answer(&magic.query).unwrap();
+        let weights = engine.db().weights();
+        let p = SddWmc::default()
+            .probability(&answers[0].1, &weights)
+            .unwrap();
+        assert!((p - 0.78).abs() < 1e-9, "dedup must preserve the lineage");
+    }
+}
+
+/// The WebKG generator once made the property-tree roots transitive:
+/// every triple funneled into one dense digraph whose closure
+/// percolated to Θ(n²) facts — scenario *construction* (QueryGen's
+/// least-model step) never finished. The forest-shaped transitive data
+/// must keep the closure small.
+#[test]
+fn webkg_least_models_close_quickly() {
+    for (label, cfg) in [
+        ("dbpedia", WebKgConfig::dbpedia()),
+        ("claros", WebKgConfig::claros()),
+    ] {
+        let s = webkg::generate(label, &cfg);
+        let t0 = Instant::now();
+        let model = least_model(&s.program).unwrap();
+        assert!(
+            t0.elapsed().as_secs() < 30,
+            "{label}: least model took too long"
+        );
+        assert!(
+            model.facts.len() < 2_000_000,
+            "{label}: closure percolated to {} facts",
+            model.facts.len()
+        );
+        // The transitive properties must still derive something.
+        assert!(model.facts.len() > s.program.facts.len());
+    }
+}
+
+/// Planning EG node combinations used to run without resource checks:
+/// a deadline set mid-explosion was only honoured after the (possibly
+/// astronomical) planning loop finished. The meter must interrupt it.
+#[test]
+fn deadline_interrupts_combination_planning() {
+    // Cyclic mined-rule-style program with heavy producer fan-out.
+    let mut src = String::new();
+    for i in 0..14 {
+        for j in 0..14 {
+            if i != j {
+                src.push_str(&format!("0.5 :: e(n{i}, n{j}).\n"));
+            }
+        }
+    }
+    src.push_str("p(X, Y) :- e(X, Y).\np(X, Y) :- p(X, Z), p(Z, Y).\n");
+    let program = parse_program(&src).unwrap();
+    let meter = ResourceMeter::with_limits(usize::MAX, Some(std::time::Duration::from_millis(300)));
+    let t0 = Instant::now();
+    let mut engine =
+        LtgEngine::with_config_and_meter(&program, EngineConfig::without_collapse(), meter);
+    let _ = engine.reason(); // must abort, not hang
+    assert!(
+        t0.elapsed().as_secs() < 30,
+        "deadline was not honoured during planning"
+    );
+}
+
+/// `answer_keys` must render identically across engines so the harness
+/// can compare per-answer probabilities (Figure 7b used to match on
+/// engine-local fact ids and report 100% error everywhere).
+#[test]
+fn cross_engine_answer_keys_align() {
+    use ltgs::baselines::{BaselineConfig, TopKEngine};
+    let program = parse_program(
+        "0.5 :: e(a, b). 0.6 :: e(b, c).
+         p(X, Y) :- e(X, Y).
+         p(X, Y) :- p(X, Z), p(Z, Y).
+         query p(a, X).",
+    )
+    .unwrap();
+    let mut ltg = LtgEngine::new(&program);
+    ltg.reason().unwrap();
+    let ltg_keys: Vec<Vec<String>> = ltg
+        .answer(&program.queries[0])
+        .unwrap()
+        .iter()
+        .map(|(f, _)| {
+            ltg.db()
+                .store
+                .args(*f)
+                .iter()
+                .map(|s| ltg.program().symbols.name(*s).to_string())
+                .collect()
+        })
+        .collect();
+    let mut topk = TopKEngine::with_config(
+        &program,
+        30,
+        BaselineConfig::default(),
+        ResourceMeter::unlimited(),
+    );
+    topk.run().unwrap();
+    let mut topk_keys: Vec<Vec<String>> = topk
+        .answer(&program.queries[0])
+        .iter()
+        .map(|(f, _)| {
+            topk.db()
+                .store
+                .args(*f)
+                .iter()
+                .map(|s| program.symbols.name(*s).to_string())
+                .collect()
+        })
+        .collect();
+    let mut ltg_sorted = ltg_keys.clone();
+    ltg_sorted.sort();
+    topk_keys.sort();
+    assert_eq!(ltg_sorted, topk_keys);
+}
