@@ -46,7 +46,11 @@ pub struct CircuitEngine {
 impl CircuitEngine {
     /// Engine with default configuration and no resource limits.
     pub fn new(program: &Program) -> Self {
-        Self::with_config(program, BaselineConfig::default(), ResourceMeter::unlimited())
+        Self::with_config(
+            program,
+            BaselineConfig::default(),
+            ResourceMeter::unlimited(),
+        )
     }
 
     /// Engine with explicit configuration and meter.
@@ -107,11 +111,7 @@ impl CircuitEngine {
                     }
                     let (head, fresh) =
                         self.state.db.intern_derived(rule.head.pred, &row.head_args);
-                    let inputs: Vec<TreeId> = row
-                        .body_facts
-                        .iter()
-                        .map(|f| prev_gate[f])
-                        .collect();
+                    let inputs: Vec<TreeId> = row.body_facts.iter().map(|f| prev_gate[f]).collect();
                     let and_gate = self.forest.node(Label::And, head, &inputs);
                     new_ands.entry(head).or_default().push(and_gate);
                     self.state.stats.derivations += 1;

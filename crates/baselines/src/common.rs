@@ -209,7 +209,15 @@ impl BottomUpState {
             .iter()
             .map(|atom| &self.rels[atom.pred.index()])
             .collect();
-        join_limited(rule, &masks, &rels, &self.db.store, &self.meter, out, max_rows)
+        join_limited(
+            rule,
+            &masks,
+            &rels,
+            &self.db.store,
+            &self.meter,
+            out,
+            max_rows,
+        )
     }
 
     /// Estimated live bytes of the state (excluding engine-specific

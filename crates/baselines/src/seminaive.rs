@@ -8,7 +8,7 @@
 
 use crate::common::BottomUpState;
 use ltg_core::EngineError;
-use ltg_datalog::{Program, Substitution, Atom};
+use ltg_datalog::{Atom, Program, Substitution};
 use ltg_storage::{Database, FactId, ResourceMeter};
 
 /// The least Herbrand model of a (non-probabilistic) program.
@@ -33,14 +33,21 @@ impl LeastModel {
 
     /// Does the model entail this ground atom?
     pub fn entails(&self, pred: ltg_datalog::PredId, args: &[ltg_datalog::Sym]) -> bool {
-        self.state.db.store.lookup(pred, args).is_some_and(|f| self.facts.contains(&f))
+        self.state
+            .db
+            .store
+            .lookup(pred, args)
+            .is_some_and(|f| self.facts.contains(&f))
     }
 
     /// Evaluates a conjunctive query — expressed as a rule whose premise
     /// is the query body and whose conclusion carries the output terms —
     /// over the model. Returns the distinct instantiated head tuples.
     /// Used by QueryGen (Appendix D, step three).
-    pub fn query(&mut self, rule: &ltg_datalog::Rule) -> Result<Vec<Box<[ltg_datalog::Sym]>>, EngineError> {
+    pub fn query(
+        &mut self,
+        rule: &ltg_datalog::Rule,
+    ) -> Result<Vec<Box<[ltg_datalog::Sym]>>, EngineError> {
         self.query_limited(rule, usize::MAX)
     }
 
@@ -54,8 +61,7 @@ impl LeastModel {
     ) -> Result<Vec<Box<[ltg_datalog::Sym]>>, EngineError> {
         let mut rows = Vec::new();
         self.state.join_rule_limited(rule, &mut rows, max_rows)?;
-        let mut out: Vec<Box<[ltg_datalog::Sym]>> =
-            rows.into_iter().map(|r| r.head_args).collect();
+        let mut out: Vec<Box<[ltg_datalog::Sym]>> = rows.into_iter().map(|r| r.head_args).collect();
         out.sort();
         out.dedup();
         Ok(out)
@@ -171,10 +177,7 @@ mod tests {
 
     #[test]
     fn matching_respects_bindings() {
-        let p = parse_program(
-            "e(a,b). e(a,c). e(b,c). t(X,Y) :- e(X,Y).",
-        )
-        .unwrap();
+        let p = parse_program("e(a,b). e(a,c). e(b,c). t(X,Y) :- e(X,Y).").unwrap();
         let m = least_model(&p).unwrap();
         let mut scope = ltg_datalog::rule::VarScope::default();
         let mut prog = p.clone();

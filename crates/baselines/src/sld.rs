@@ -29,7 +29,7 @@ use ltg_core::EngineError;
 use ltg_datalog::fxhash::FxHashMap;
 use ltg_datalog::{Atom, Program, Sym, Term, Var};
 use ltg_lineage::Dnf;
-use ltg_storage::{Database, FactId, ResourceMeter, ResourceError};
+use ltg_storage::{Database, FactId, ResourceError, ResourceMeter};
 use std::collections::BTreeSet;
 use std::time::Instant;
 
@@ -244,8 +244,7 @@ impl SldEngine {
         // Assemble per-answer DNFs (top-k filtered when configured).
         let k = search.engine.config.k;
         let mut answers: Vec<(FactId, Dnf)> = Vec::new();
-        let groups: Vec<(Vec<Sym>, BTreeSet<Vec<FactId>>)> =
-            search.explanations.drain().collect();
+        let groups: Vec<(Vec<Sym>, BTreeSet<Vec<FactId>>)> = search.explanations.drain().collect();
         let stubs = std::mem::take(&mut search.stubs);
         for (args, exps) in groups {
             let mut list: Vec<Vec<FactId>> = exps.into_iter().collect();
@@ -290,7 +289,10 @@ impl SldEngine {
         max_depth: u32,
         mut prob: impl FnMut(&Dnf) -> f64,
     ) -> Result<Vec<DeepeningStep>, EngineError> {
-        assert!(query.is_ground(), "iterative deepening needs a ground query");
+        assert!(
+            query.is_ground(),
+            "iterative deepening needs a ground query"
+        );
         let mut out = Vec::new();
         let mut depth = 1u32;
         loop {
@@ -357,9 +359,7 @@ impl Search<'_> {
     /// current k-th best explanation (ground-query k-best only).
     fn viable(&self, product: f64, ground_query: bool) -> bool {
         match self.engine.config.k {
-            Some(k) if ground_query && self.best.len() >= k => {
-                product > self.best[k - 1] + 1e-15
-            }
+            Some(k) if ground_query && self.best.len() >= k => product > self.best[k - 1] + 1e-15,
             _ => true,
         }
     }
@@ -651,8 +651,18 @@ mod tests {
         assert!(sld.prove_at_depth(&p.queries[0], 5).unwrap().complete);
         // Bounds are sound at every step and lower bounds are monotone.
         for s in &steps {
-            assert!(s.lower <= exact + 1e-9, "lower {} at depth {}", s.lower, s.depth);
-            assert!(s.upper >= exact - 1e-9, "upper {} at depth {}", s.upper, s.depth);
+            assert!(
+                s.lower <= exact + 1e-9,
+                "lower {} at depth {}",
+                s.lower,
+                s.depth
+            );
+            assert!(
+                s.upper >= exact - 1e-9,
+                "upper {} at depth {}",
+                s.upper,
+                s.depth
+            );
         }
         for pair in steps.windows(2) {
             assert!(pair[1].lower >= pair[0].lower - 1e-12);

@@ -38,7 +38,11 @@ pub struct TcpEngine {
 impl TcpEngine {
     /// Engine with default configuration and no resource limits.
     pub fn new(program: &Program) -> Self {
-        Self::with_config(program, BaselineConfig::default(), ResourceMeter::unlimited())
+        Self::with_config(
+            program,
+            BaselineConfig::default(),
+            ResourceMeter::unlimited(),
+        )
     }
 
     /// Engine with explicit configuration and meter.

@@ -61,7 +61,9 @@ fn grid_lineage() -> (Dnf, Vec<f64>) {
         }
         d.push(conj);
     }
-    let weights: Vec<f64> = (0..64).map(|i| 0.25 + 0.5 * ((i % 5) as f64 / 5.0)).collect();
+    let weights: Vec<f64> = (0..64)
+        .map(|i| 0.25 + 0.5 * ((i % 5) as f64 / 5.0))
+        .collect();
     (d, weights)
 }
 

@@ -28,20 +28,16 @@ fn bench_fig5_collapse(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("ltg_with_depth4", |b| {
         b.iter(|| {
-            let mut e = LtgEngine::with_config(
-                &s.program,
-                EngineConfig::with_collapse().max_depth(4),
-            );
+            let mut e =
+                LtgEngine::with_config(&s.program, EngineConfig::with_collapse().max_depth(4));
             e.reason().unwrap();
             black_box((e.stats().derivations, e.stats().collapse_ops))
         })
     });
     group.bench_function("ltg_without_depth4", |b| {
         b.iter(|| {
-            let mut e = LtgEngine::with_config(
-                &s.program,
-                EngineConfig::without_collapse().max_depth(4),
-            );
+            let mut e =
+                LtgEngine::with_config(&s.program, EngineConfig::without_collapse().max_depth(4));
             e.reason().unwrap();
             black_box(e.stats().derivations)
         })
@@ -57,10 +53,8 @@ fn bench_circuit_comparison(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("ltg_with", |b| {
         b.iter(|| {
-            let mut e = LtgEngine::with_config(
-                &s.program,
-                EngineConfig::with_collapse().max_depth(4),
-            );
+            let mut e =
+                LtgEngine::with_config(&s.program, EngineConfig::with_collapse().max_depth(4));
             e.reason().unwrap();
             black_box(e.stats().derivations)
         })

@@ -17,7 +17,9 @@ fn path_lineage(n: usize) -> (Dnf, Vec<f64>) {
         d.push(vec![FactId(i), FactId(i + 1)]);
         d.push(vec![FactId(i), FactId(i + 2), FactId(i + 3)]);
     }
-    let weights: Vec<f64> = (0..n + 4).map(|i| 0.2 + 0.6 * ((i % 7) as f64 / 7.0)).collect();
+    let weights: Vec<f64> = (0..n + 4)
+        .map(|i| 0.2 + 0.6 * ((i % 7) as f64 / 7.0))
+        .collect();
     (d, weights)
 }
 

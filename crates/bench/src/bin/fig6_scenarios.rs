@@ -12,7 +12,7 @@ use ltg_bench::{five_number_summary, run_query, scenarios, EngineKind, Limits, Q
 use ltg_benchdata::Scenario;
 use ltg_wmc::SolverKind;
 
-fn summarize(label: &str, values: &mut Vec<f64>) {
+fn summarize(label: &str, values: &mut [f64]) {
     match five_number_summary(values) {
         Some([min, q1, med, q3, max]) => println!(
             "    {label:<12} min={min:>9.3} q1={q1:>9.3} med={med:>9.3} q3={q3:>9.3} max={max:>9.3}"
@@ -48,16 +48,31 @@ fn run_scenario(s: &Scenario, limits: Limits) {
         let ok: Vec<&QueryOutcome> = outcomes.iter().filter(|o| o.error.is_none()).collect();
         let failed = outcomes.len() - ok.len();
         println!("  {label} ({} ok, {failed} failed)", ok.len());
-        summarize("reasoning", &mut ok.iter().map(|o| o.reason_ms).collect());
-        summarize("probability", &mut ok.iter().map(|o| o.prob_ms).collect());
-        summarize("total", &mut ok.iter().map(|o| o.total_ms()).collect());
+        summarize(
+            "reasoning",
+            &mut ok.iter().map(|o| o.reason_ms).collect::<Vec<f64>>(),
+        );
+        summarize(
+            "probability",
+            &mut ok.iter().map(|o| o.prob_ms).collect::<Vec<f64>>(),
+        );
+        summarize(
+            "total",
+            &mut ok.iter().map(|o| o.total_ms()).collect::<Vec<f64>>(),
+        );
         summarize(
             "derivations",
-            &mut ok.iter().map(|o| o.derivations as f64).collect(),
+            &mut ok
+                .iter()
+                .map(|o| o.derivations as f64)
+                .collect::<Vec<f64>>(),
         );
         if matches!(engine, EngineKind::LtgWith | EngineKind::LtgWithout) {
             // Figure 8: lineage collection.
-            summarize("lineage", &mut ok.iter().map(|o| o.lineage_ms).collect());
+            summarize(
+                "lineage",
+                &mut ok.iter().map(|o| o.lineage_ms).collect::<Vec<f64>>(),
+            );
         }
     }
 }

@@ -32,9 +32,33 @@ fn main() {
     let depth = Some(5);
     for scene in &scenes {
         let q = &scene.queries[0];
-        ltg.push(run_query(&scene.program, q, EngineKind::LtgWith, SolverKind::Sdd, limits, false, depth));
-        s1.push(run_query(&scene.program, q, EngineKind::TopK(1), SolverKind::Sdd, limits, false, depth));
-        s20.push(run_query(&scene.program, q, EngineKind::TopK(20), SolverKind::Sdd, limits, false, depth));
+        ltg.push(run_query(
+            &scene.program,
+            q,
+            EngineKind::LtgWith,
+            SolverKind::Sdd,
+            limits,
+            false,
+            depth,
+        ));
+        s1.push(run_query(
+            &scene.program,
+            q,
+            EngineKind::TopK(1),
+            SolverKind::Sdd,
+            limits,
+            false,
+            depth,
+        ));
+        s20.push(run_query(
+            &scene.program,
+            q,
+            EngineKind::TopK(20),
+            SolverKind::Sdd,
+            limits,
+            false,
+            depth,
+        ));
     }
 
     // (a) runtime comparison.
@@ -58,7 +82,9 @@ fn main() {
 
     // (b) relative probability errors, bucketed.
     println!("\n# Figure 7b — relative probability error of the approximations");
-    let buckets = ["[0,10%)", "[10,30%)", "[30,50%)", "[50,70%)", "[70,90%)", ">=90%"];
+    let buckets = [
+        "[0,10%)", "[10,30%)", "[30,50%)", "[50,70%)", "[70,90%)", ">=90%",
+    ];
     for (label, approx) in [("S(1)", &s1), ("S(20)", &s20)] {
         let mut counts = [0usize; 6];
         let mut answers = 0usize;
@@ -106,12 +132,7 @@ fn main() {
         "scene", "S(1) ms", "S(20) ms", "L w/ ms", "P S(1)", "P S(20)", "P exact"
     );
     for &i in order.iter().take(5) {
-        let max_p = |o: &QueryOutcome| {
-            o.probs
-                .iter()
-                .map(|(_, p)| *p)
-                .fold(0.0f64, f64::max)
-        };
+        let max_p = |o: &QueryOutcome| o.probs.iter().map(|(_, p)| *p).fold(0.0f64, f64::max);
         println!(
             "{:<10} {:>10} {:>10} {:>10} {:>8.3} {:>8.3} {:>8.3}",
             format!("#{i}"),

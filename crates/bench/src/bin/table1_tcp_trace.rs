@@ -53,7 +53,7 @@ fn main() {
     let node = |e: &str, pos: usize| e.as_bytes()[pos] as char;
 
     println!("Table 1 — TcP trace on Example 1 (μ restricted to fresh-premise instantiations):\n");
-    println!("{:>2} {:<8} {:<28} {}", "R", "atom", "μⁱ", "λⁱ");
+    println!("{:>2} {:<8} {:<28} λⁱ", "R", "atom", "μⁱ");
     let mut fresh: Vec<String> = lambda.keys().cloned().collect();
     for round in 1..=3u32 {
         let snapshot = lambda.clone();
@@ -138,7 +138,10 @@ fn main() {
         if lambda.get(&key).is_some_and(|tcp| tcp.equivalent(&ltg)) {
             agree += 1;
         } else {
-            println!("MISMATCH on {key}: tcp={:?}", lambda.get(&key).map(|d| fmt(d, &edge_names)));
+            println!(
+                "MISMATCH on {key}: tcp={:?}",
+                lambda.get(&key).map(|d| fmt(d, &edge_names))
+            );
         }
     }
     println!("Lemma 1 check: TcP lineage ≡ LTG lineage for {agree}/{total} path facts.");

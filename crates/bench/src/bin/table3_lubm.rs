@@ -81,8 +81,8 @@ fn main() {
     for (label, idx) in [("vP", 2usize), ("L w/o", 3), ("L w/", 4)] {
         print!("{label:<8}");
         for out in &cells[idx] {
-            if out.error.is_some() {
-                print!(" {:>20}", out.error.unwrap());
+            if let Some(err) = out.error {
+                print!(" {err:>20}");
             } else {
                 print!(
                     " {:>20}",
@@ -113,12 +113,8 @@ fn main() {
     // Consistency check across exact engines (who-wins shape sanity).
     let mut agree = 0usize;
     let mut total = 0usize;
-    for qi in 0..scenario.queries.len() {
-        let exact: Vec<&QueryOutcome> = [0usize, 2, 3, 4]
-            .iter()
-            .map(|&i| &cells[i][qi])
-            .filter(|o| o.error.is_none())
-            .collect();
+    for columns in (0..scenario.queries.len()).map(|qi| [0usize, 2, 3, 4].map(|i| &cells[i][qi])) {
+        let exact: Vec<&QueryOutcome> = columns.into_iter().filter(|o| o.error.is_none()).collect();
         if exact.len() < 2 {
             continue;
         }
@@ -133,8 +129,7 @@ fn main() {
         let base = sorted(exact[0]);
         if exact.iter().all(|o| {
             let v = sorted(o);
-            v.len() == base.len()
-                && v.iter().zip(base.iter()).all(|(a, b)| (a - b).abs() < 1e-6)
+            v.len() == base.len() && v.iter().zip(base.iter()).all(|(a, b)| (a - b).abs() < 1e-6)
         }) {
             agree += 1;
         }

@@ -33,11 +33,6 @@ fn main() {
         } else {
             0.0
         };
-        println!(
-            "Q{:<5} {:>12.3} {:>9.2}%",
-            qi + 1,
-            out.collapse_ms,
-            rel
-        );
+        println!("Q{:<5} {:>12.3} {:>9.2}%", qi + 1, out.collapse_ms, rel);
     }
 }

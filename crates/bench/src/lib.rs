@@ -298,7 +298,7 @@ pub fn fmt_ms(outcome_ms: f64, error: Option<&'static str>) -> String {
 
 /// Five-number summary (min, q1, median, q3, max) for the boxplot
 /// figures.
-pub fn five_number_summary(values: &mut Vec<f64>) -> Option<[f64; 5]> {
+pub fn five_number_summary(values: &mut [f64]) -> Option<[f64; 5]> {
     if values.is_empty() {
         return None;
     }
@@ -319,11 +319,7 @@ pub fn mean_std(values: &[f64]) -> (f64, f64) {
         return (0.0, 0.0);
     }
     let mean = values.iter().sum::<f64>() / values.len() as f64;
-    let var = values
-        .iter()
-        .map(|v| (v - mean) * (v - mean))
-        .sum::<f64>()
-        / values.len() as f64;
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / values.len() as f64;
     (mean, var.sqrt())
 }
 

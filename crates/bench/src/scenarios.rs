@@ -15,7 +15,11 @@ use ltg_benchdata::Scenario;
 /// LUBM-shaped scenario; `factor = 1` ≈ "LUBM010"-shaped, `factor = 10`
 /// ≈ "LUBM100"-shaped (relative sizes as in the paper).
 pub fn lubm(factor: usize) -> Scenario {
-    let name = if factor <= 1 { "LUBM010-S" } else { "LUBM100-S" };
+    let name = if factor <= 1 {
+        "LUBM010-S"
+    } else {
+        "LUBM100-S"
+    };
     lubm::generate(name, &LubmConfig::scaled(factor))
 }
 

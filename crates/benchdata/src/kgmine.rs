@@ -73,11 +73,24 @@ type Triple = (usize, usize, usize); // (relation, subject, object)
 #[derive(Clone, Debug, PartialEq)]
 pub enum MinedRule {
     /// `head(X,Y) :- body(X,Y)`.
-    Implication { head: usize, body: usize, confidence: f64 },
+    Implication {
+        head: usize,
+        body: usize,
+        confidence: f64,
+    },
     /// `head(X,Y) :- body(Y,X)`.
-    Inverse { head: usize, body: usize, confidence: f64 },
+    Inverse {
+        head: usize,
+        body: usize,
+        confidence: f64,
+    },
     /// `head(X,Y) :- b1(X,Z), b2(Z,Y)`.
-    Composition { head: usize, b1: usize, b2: usize, confidence: f64 },
+    Composition {
+        head: usize,
+        b1: usize,
+        b2: usize,
+        confidence: f64,
+    },
 }
 
 impl MinedRule {
@@ -157,11 +170,15 @@ fn generate_kg(config: &KgMineConfig, rng: &mut StdRng) -> (Vec<Triple>, Vec<Tri
 /// AnyBurl-style miner: enumerates the three rule shapes over the
 /// training split, scores confidence = support / body-count, keeps the
 /// `top_k` rules per head relation.
-pub fn mine_rules(train: &[Triple], relations: usize, top_k: usize, min_support: usize) -> Vec<MinedRule> {
+pub fn mine_rules(
+    train: &[Triple],
+    relations: usize,
+    top_k: usize,
+    min_support: usize,
+) -> Vec<MinedRule> {
     let contains: FxHashSet<Triple> = train.iter().copied().collect();
     let mut pairs: Vec<Vec<(usize, usize)>> = vec![Vec::new(); relations];
-    let mut by_subject: Vec<FxHashMap<usize, Vec<usize>>> =
-        vec![FxHashMap::default(); relations];
+    let mut by_subject: Vec<FxHashMap<usize, Vec<usize>>> = vec![FxHashMap::default(); relations];
     for &(r, s, o) in train {
         pairs[r].push((s, o));
         by_subject[r].entry(s).or_default().push(o);
@@ -169,42 +186,42 @@ pub fn mine_rules(train: &[Triple], relations: usize, top_k: usize, min_support:
 
     let mut candidates: Vec<MinedRule> = Vec::new();
     for head in 0..relations {
-        for body in 0..relations {
+        for (body, body_pairs) in pairs.iter().enumerate() {
             if body == head {
                 continue;
             }
             // Implication.
-            let support = pairs[body]
+            let support = body_pairs
                 .iter()
                 .filter(|&&(s, o)| contains.contains(&(head, s, o)))
                 .count();
-            if support >= min_support && !pairs[body].is_empty() {
+            if support >= min_support && !body_pairs.is_empty() {
                 candidates.push(MinedRule::Implication {
                     head,
                     body,
-                    confidence: support as f64 / pairs[body].len() as f64,
+                    confidence: support as f64 / body_pairs.len() as f64,
                 });
             }
             // Inverse.
-            let support = pairs[body]
+            let support = body_pairs
                 .iter()
                 .filter(|&&(s, o)| contains.contains(&(head, o, s)))
                 .count();
-            if support >= min_support && !pairs[body].is_empty() {
+            if support >= min_support && !body_pairs.is_empty() {
                 candidates.push(MinedRule::Inverse {
                     head,
                     body,
-                    confidence: support as f64 / pairs[body].len() as f64,
+                    confidence: support as f64 / body_pairs.len() as f64,
                 });
             }
         }
         // Composition (bounded enumeration).
-        for b1 in 0..relations {
-            for b2 in 0..relations {
+        for (b1, b1_pairs) in pairs.iter().enumerate() {
+            for (b2, b2_by_subject) in by_subject.iter().enumerate() {
                 let mut body_count = 0usize;
                 let mut support = 0usize;
-                for &(s, z) in pairs[b1].iter().take(4_000) {
-                    if let Some(objs) = by_subject[b2].get(&z) {
+                for &(s, z) in b1_pairs.iter().take(4_000) {
+                    if let Some(objs) = b2_by_subject.get(&z) {
                         for &o in objs {
                             body_count += 1;
                             if contains.contains(&(head, s, o)) {
@@ -228,8 +245,7 @@ pub fn mine_rules(train: &[Triple], relations: usize, top_k: usize, min_support:
     // Top-k per head relation by confidence.
     let mut out = Vec::new();
     for head in 0..relations {
-        let mut of_head: Vec<&MinedRule> =
-            candidates.iter().filter(|r| r.head() == head).collect();
+        let mut of_head: Vec<&MinedRule> = candidates.iter().filter(|r| r.head() == head).collect();
         of_head.sort_by(|a, b| {
             b.confidence()
                 .partial_cmp(&a.confidence())
@@ -258,13 +274,19 @@ pub fn generate(name: &str, config: &KgMineConfig) -> Scenario {
             MinedRule::Implication { head, body, .. } => {
                 p.rule_str(
                     (rel_name(*head).as_str(), &["X", "Y"]),
-                    &[(rel_name(*body).as_str(), &["X", "Y"]), (conf_pred.as_str(), &[])],
+                    &[
+                        (rel_name(*body).as_str(), &["X", "Y"]),
+                        (conf_pred.as_str(), &[]),
+                    ],
                 );
             }
             MinedRule::Inverse { head, body, .. } => {
                 p.rule_str(
                     (rel_name(*head).as_str(), &["X", "Y"]),
-                    &[(rel_name(*body).as_str(), &["Y", "X"]), (conf_pred.as_str(), &[])],
+                    &[
+                        (rel_name(*body).as_str(), &["Y", "X"]),
+                        (conf_pred.as_str(), &[]),
+                    ],
                 );
             }
             MinedRule::Composition { head, b1, b2, .. } => {
@@ -291,7 +313,11 @@ pub fn generate(name: &str, config: &KgMineConfig) -> Scenario {
     let mut queries = Vec::new();
     for &(r, s, o) in test.iter().take(config.queries) {
         let mut scope = VarScope::default();
-        queries.push(p.atom(rel_name(r).as_str(), &[&ent_name(s), &ent_name(o)], &mut scope));
+        queries.push(p.atom(
+            rel_name(r).as_str(),
+            &[&ent_name(s), &ent_name(o)],
+            &mut scope,
+        ));
     }
 
     Scenario {
@@ -314,15 +340,27 @@ mod tests {
         let rules = mine_rules(&train, config.relations, 5, 3);
         // The planted implication r0 → r1 must surface with high
         // confidence.
-        let implication = rules.iter().find(
-            |r| matches!(r, MinedRule::Implication { head: 1, body: 0, .. }),
-        );
+        let implication = rules.iter().find(|r| {
+            matches!(
+                r,
+                MinedRule::Implication {
+                    head: 1,
+                    body: 0,
+                    ..
+                }
+            )
+        });
         assert!(implication.is_some(), "rules: {rules:?}");
         assert!(implication.unwrap().confidence() > 0.5);
         // The planted inverse r2 ↔ r3 as well.
-        assert!(rules
-            .iter()
-            .any(|r| matches!(r, MinedRule::Inverse { head: 3, body: 2, .. })));
+        assert!(rules.iter().any(|r| matches!(
+            r,
+            MinedRule::Inverse {
+                head: 3,
+                body: 2,
+                ..
+            }
+        )));
     }
 
     #[test]

@@ -128,7 +128,12 @@ pub fn generate(name: &str, config: &LubmConfig) -> Scenario {
                 let deg_univ = univ_name(rng.random_range(0..config.universities));
                 fact(&mut p, &mut rng, "doctoralDegreeFrom", &[&prof, &deg_univ]);
                 let deg_univ = univ_name(rng.random_range(0..config.universities));
-                fact(&mut p, &mut rng, "undergraduateDegreeFrom", &[&prof, &deg_univ]);
+                fact(
+                    &mut p,
+                    &mut rng,
+                    "undergraduateDegreeFrom",
+                    &[&prof, &deg_univ],
+                );
                 // Teaching.
                 let c1 = course_name(rng.random_range(0..config.courses));
                 fact(&mut p, &mut rng, "teacherOf", &[&prof, &c1]);
@@ -157,7 +162,12 @@ pub fn generate(name: &str, config: &LubmConfig) -> Scenario {
                 let advisor = format!("prof{u}_{d}_{}", rng.random_range(0..config.faculty));
                 fact(&mut p, &mut rng, "advisor", &[&st, &advisor]);
                 let deg_univ = univ_name(rng.random_range(0..config.universities));
-                fact(&mut p, &mut rng, "undergraduateDegreeFrom", &[&st, &deg_univ]);
+                fact(
+                    &mut p,
+                    &mut rng,
+                    "undergraduateDegreeFrom",
+                    &[&st, &deg_univ],
+                );
                 for _ in 0..2 {
                     let c = course_name(rng.random_range(0..config.courses));
                     fact(&mut p, &mut rng, "takesCourse", &[&st, &c]);
@@ -203,7 +213,11 @@ fn ontology_rules(p: &mut Program, class_chain: usize, target_rules: usize) {
     // Property hierarchy.
     p.rule_str(("worksFor", &["X", "Y"]), &[("headOf", &["X", "Y"])]);
     p.rule_str(("memberOf", &["X", "Y"]), &[("worksFor", &["X", "Y"])]);
-    for deg in ["undergraduateDegreeFrom", "mastersDegreeFrom", "doctoralDegreeFrom"] {
+    for deg in [
+        "undergraduateDegreeFrom",
+        "mastersDegreeFrom",
+        "doctoralDegreeFrom",
+    ] {
         p.rule_str(("degreeFrom", &["X", "Y"]), &[(deg, &["X", "Y"])]);
     }
 
@@ -214,7 +228,10 @@ fn ontology_rules(p: &mut Program, class_chain: usize, target_rules: usize) {
     // Transitivity.
     p.rule_str(
         ("subOrganizationOf", &["X", "Z"]),
-        &[("subOrganizationOf", &["X", "Y"]), ("subOrganizationOf", &["Y", "Z"])],
+        &[
+            ("subOrganizationOf", &["X", "Y"]),
+            ("subOrganizationOf", &["Y", "Z"]),
+        ],
     );
 
     // Domain/range rules.
@@ -248,7 +265,10 @@ fn ontology_rules(p: &mut Program, class_chain: usize, target_rules: usize) {
         }
         // Tie the chain back into a queryable concept.
         let last = format!("level{class_chain}");
-        p.rule_str(("veteranMember", &["X"]), &[(last.as_str(), &["X"]), ("memberOf", &["X", "Y"])]);
+        p.rule_str(
+            ("veteranMember", &["X"]),
+            &[(last.as_str(), &["X"]), ("memberOf", &["X", "Y"])],
+        );
     }
 
     // Width padding up to the rule budget: shallow derived categories in
@@ -256,7 +276,11 @@ fn ontology_rules(p: &mut Program, class_chain: usize, target_rules: usize) {
     let mut i = 0;
     while p.rules.len() < target_rules {
         let name = format!("categoryA{i}");
-        let base = if i % 2 == 0 { "chair" } else { "graduateStudent" };
+        let base = if i % 2 == 0 {
+            "chair"
+        } else {
+            "graduateStudent"
+        };
         p.rule_str((name.as_str(), &["X"]), &[(base, &["X"])]);
         i += 1;
     }
@@ -270,8 +294,16 @@ fn queries(p: &mut Program, config: &LubmConfig) -> Vec<ltg_datalog::Atom> {
     let prof0 = "prof0_0_0";
     let course0 = "course0_0_0";
 
-    let specs: Vec<(&str, Vec<(&str, Vec<&str>)>)> = vec![
-        ("q1", vec![("graduateStudent", vec!["X"]), ("takesCourse", vec!["X", course0])]),
+    // Query name plus its body atoms as (predicate, argument) pairs.
+    type QuerySpec<'a> = (&'a str, Vec<(&'a str, Vec<&'a str>)>);
+    let specs: Vec<QuerySpec> = vec![
+        (
+            "q1",
+            vec![
+                ("graduateStudent", vec!["X"]),
+                ("takesCourse", vec!["X", course0]),
+            ],
+        ),
         (
             "q2",
             vec![
@@ -282,9 +314,21 @@ fn queries(p: &mut Program, config: &LubmConfig) -> Vec<ltg_datalog::Atom> {
                 ("undergraduateDegreeFrom", vec!["X", "U"]),
             ],
         ),
-        ("q3", vec![("publication", vec!["X"]), ("publicationAuthor", vec!["X", prof0])]),
-        ("q4", vec![("professor", vec!["X"]), ("worksFor", vec!["X", dept0])]),
-        ("q5", vec![("person", vec!["X"]), ("memberOf", vec!["X", dept0])]),
+        (
+            "q3",
+            vec![
+                ("publication", vec!["X"]),
+                ("publicationAuthor", vec!["X", prof0]),
+            ],
+        ),
+        (
+            "q4",
+            vec![("professor", vec!["X"]), ("worksFor", vec!["X", dept0])],
+        ),
+        (
+            "q5",
+            vec![("person", vec!["X"]), ("memberOf", vec!["X", dept0])],
+        ),
         ("q6", vec![("student", vec!["X"])]),
         (
             "q7",
@@ -312,7 +356,10 @@ fn queries(p: &mut Program, config: &LubmConfig) -> Vec<ltg_datalog::Atom> {
                 ("teacherOf", vec!["Y", "C"]),
             ],
         ),
-        ("q10", vec![("student", vec!["X"]), ("takesCourse", vec!["X", course0])]),
+        (
+            "q10",
+            vec![("student", vec!["X"]), ("takesCourse", vec!["X", course0])],
+        ),
         (
             "q11",
             vec![
@@ -329,7 +376,10 @@ fn queries(p: &mut Program, config: &LubmConfig) -> Vec<ltg_datalog::Atom> {
                 ("subOrganizationOf", vec!["D", univ0]),
             ],
         ),
-        ("q13", vec![("person", vec!["X"]), ("hasAlumnus", vec![univ0, "X"])]),
+        (
+            "q13",
+            vec![("person", vec!["X"]), ("hasAlumnus", vec![univ0, "X"])],
+        ),
         ("q14", vec![("undergraduateStudent", vec!["X"])]),
     ];
     let _ = config;

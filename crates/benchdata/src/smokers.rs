@@ -49,14 +49,24 @@ pub fn generate(config: &SmokersConfig) -> Scenario {
     p.rule_str(("smokes", &["X"]), &[("stress", &["X"])]);
     p.rule_str(
         ("smokes", &["X"]),
-        &[("friend", &["X", "Y"]), ("influences", &["Y", "X"]), ("smokes", &["Y"])],
+        &[
+            ("friend", &["X", "Y"]),
+            ("influences", &["Y", "X"]),
+            ("smokes", &["Y"]),
+        ],
     );
     p.rule_str(
         ("influences", &["X", "Y"]),
         &[("friend", &["X", "Y"]), ("influencer", &["X"])],
     );
-    p.rule_str(("asthma", &["X"]), &[("smokes", &["X"]), ("susceptible", &["X"])]);
-    p.rule_str(("cancerRisk", &["X"]), &[("smokes", &["X"]), ("asthma", &["X"])]);
+    p.rule_str(
+        ("asthma", &["X"]),
+        &[("smokes", &["X"]), ("susceptible", &["X"])],
+    );
+    p.rule_str(
+        ("cancerRisk", &["X"]),
+        &[("smokes", &["X"]), ("asthma", &["X"])],
+    );
 
     // One power-law graph per N (preferential attachment), disjoint
     // node namespaces.
@@ -133,7 +143,11 @@ mod tests {
         let stress = s.program.preds.lookup("stress", 1).unwrap();
         let n_nodes: usize = (10..=20).sum();
         assert_eq!(
-            s.program.facts.iter().filter(|(f, _)| f.pred == stress).count(),
+            s.program
+                .facts
+                .iter()
+                .filter(|(f, _)| f.pred == stress)
+                .count(),
             n_nodes
         );
     }
@@ -154,10 +168,8 @@ mod tests {
             max_depth: 4,
             seed: 3,
         });
-        let mut engine = LtgEngine::with_config(
-            &s.program,
-            EngineConfig::with_collapse().max_depth(4),
-        );
+        let mut engine =
+            LtgEngine::with_config(&s.program, EngineConfig::with_collapse().max_depth(4));
         engine.reason().unwrap();
         // Every smokes query must have probability in (0, 1].
         let solver = BddWmc::default();

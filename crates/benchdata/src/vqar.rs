@@ -52,13 +52,23 @@ pub fn scene(index: usize, config: &VqarConfig) -> Scenario {
 
     // The six ontology rules (CRIC-style).
     p.rule_str(("cat", &["X", "C"]), &[("det", &["X", "C"])]);
-    p.rule_str(("cat", &["X", "C"]), &[("cat", &["X", "D"]), ("sub", &["D", "C"])]);
+    p.rule_str(
+        ("cat", &["X", "C"]),
+        &[("cat", &["X", "D"]), ("sub", &["D", "C"])],
+    );
     p.rule_str(("near", &["X", "Y"]), &[("relNear", &["X", "Y"])]);
     p.rule_str(("near", &["X", "Y"]), &[("relNear", &["Y", "X"])]);
-    p.rule_str(("near", &["X", "Y"]), &[("near", &["X", "Z"]), ("near", &["Z", "Y"])]);
+    p.rule_str(
+        ("near", &["X", "Y"]),
+        &[("near", &["X", "Z"]), ("near", &["Z", "Y"])],
+    );
     p.rule_str(
         ("answer", &["X"]),
-        &[("cat", &["X", "cQuery"]), ("near", &["X", "Y"]), ("cat", &["Y", "cAnchor"])],
+        &[
+            ("cat", &["X", "cQuery"]),
+            ("near", &["X", "Y"]),
+            ("cat", &["Y", "cAnchor"]),
+        ],
     );
 
     // Class hierarchy (certain ontology facts): classes form levels, each
@@ -70,7 +80,11 @@ pub fn scene(index: usize, config: &VqarConfig) -> Scenario {
         let next_width = (config.classes >> (lvl + 1)).max(1);
         for i in 0..width {
             let upper = if lvl + 1 == config.hierarchy_depth {
-                if i % 2 == 0 { "cQuery".to_string() } else { "cAnchor".to_string() }
+                if i % 2 == 0 {
+                    "cQuery".to_string()
+                } else {
+                    "cAnchor".to_string()
+                }
             } else {
                 class_name(lvl + 1, i % next_width)
             };

@@ -65,9 +65,9 @@ pub fn generate(name: &str, config: &WebKgConfig) -> Scenario {
     // parent(X) :- child(X).
     let class_name = |c: usize| format!("class{c}");
     let mut class_parent = vec![0usize; config.classes];
-    for c in 1..config.classes {
+    for (c, slot) in class_parent.iter_mut().enumerate().skip(1) {
         let parent = rng.random_range(0..c);
-        class_parent[c] = parent;
+        *slot = parent;
         p.rule_str(
             (class_name(parent).as_str(), &["X"]),
             &[(class_name(c).as_str(), &["X"])],

@@ -233,8 +233,8 @@ impl LtgEngine {
     }
 
     fn refresh_meter(&self) {
-        let derived_bytes = self.derived.len() * 40
-            + self.derived.values().map(|v| v.len() * 4).sum::<usize>();
+        let derived_bytes =
+            self.derived.len() * 40 + self.derived.values().map(|v| v.len() * 4).sum::<usize>();
         let bytes = self.db.estimated_bytes()
             + self.forest.estimated_bytes()
             + self.graph.estimated_bytes()
@@ -294,11 +294,8 @@ impl LtgEngine {
                 if combos_seen % 4096 == 0 {
                     self.meter.check()?;
                 }
-                let combo: Vec<NodeId> = idx
-                    .iter()
-                    .enumerate()
-                    .map(|(j, &i)| lists[j][i])
-                    .collect();
+                let combo: Vec<NodeId> =
+                    idx.iter().enumerate().map(|(j, &i)| lists[j][i]).collect();
                 let max_depth = combo
                     .iter()
                     .map(|n| self.graph.nodes[n.index()].depth)
@@ -307,8 +304,7 @@ impl LtgEngine {
                 if max_depth == k - 1 {
                     planned.push((rid, combo.into_boxed_slice()));
                     if planned.len() % 4096 == 0 {
-                        self.meter
-                            .charge(combo_cost);
+                        self.meter.charge(combo_cost);
                         self.meter.check()?;
                     }
                 }
@@ -508,7 +504,10 @@ impl LtgEngine {
             survived = true;
             let n = &mut self.graph.nodes[node.index()];
             n.store.push(fact);
-            self.derived.entry(fact).or_default().extend(stored.iter().copied());
+            self.derived
+                .entry(fact)
+                .or_default()
+                .extend(stored.iter().copied());
             n.tset.insert(fact, stored);
         }
         Ok(survived)
@@ -755,10 +754,8 @@ mod tests {
              p(X, Y) :- p(X, Z), e(Z, Y).",
         )
         .unwrap();
-        let mut engine = LtgEngine::with_config(
-            &program,
-            EngineConfig::without_collapse().max_depth(2),
-        );
+        let mut engine =
+            LtgEngine::with_config(&program, EngineConfig::without_collapse().max_depth(2));
         engine.reason().unwrap();
         assert_eq!(engine.rounds(), 2);
         // Paths of length ≤ 2 only.
@@ -827,7 +824,7 @@ mod tests {
     }
 
     #[test]
-    fn anytime_bounds_are_monotone(){
+    fn anytime_bounds_are_monotone() {
         let program = parse_program(EXAMPLE1).unwrap();
         let mut engine = LtgEngine::with_config(&program, EngineConfig::without_collapse());
         let solver = NaiveWmc::default();
@@ -873,11 +870,8 @@ mod tests {
         src.push_str("p(X, Y) :- e(X, Y).\np(X, Y) :- p(X, Z), p(Z, Y).\n");
         let program = parse_program(&src).unwrap();
         let meter = ResourceMeter::with_limits(8_192, None);
-        let mut engine = LtgEngine::with_config_and_meter(
-            &program,
-            EngineConfig::without_collapse(),
-            meter,
-        );
+        let mut engine =
+            LtgEngine::with_config_and_meter(&program, EngineConfig::without_collapse(), meter);
         let err = engine.reason().unwrap_err();
         assert_eq!(err.tag(), "OOM");
     }
@@ -893,13 +887,9 @@ mod tests {
         }
         src.push_str("p(X, Y) :- e(X, Y).\np(X, Y) :- p(X, Z), p(Z, Y).\n");
         let program = parse_program(&src).unwrap();
-        let meter =
-            ResourceMeter::with_limits(usize::MAX, Some(Duration::from_millis(1)));
-        let mut engine = LtgEngine::with_config_and_meter(
-            &program,
-            EngineConfig::without_collapse(),
-            meter,
-        );
+        let meter = ResourceMeter::with_limits(usize::MAX, Some(Duration::from_millis(1)));
+        let mut engine =
+            LtgEngine::with_config_and_meter(&program, EngineConfig::without_collapse(), meter);
         let err = engine.reason().unwrap_err();
         assert_eq!(err.tag(), "TO");
     }

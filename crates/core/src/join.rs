@@ -140,7 +140,17 @@ fn join_rec(
         if atom.match_tuple(store.args(f), subst) {
             facts.push(f);
             join_rec(
-                rule, masks, rels, store, j + 1, subst, facts, out, meter, max_rows, steps,
+                rule,
+                masks,
+                rels,
+                store,
+                j + 1,
+                subst,
+                facts,
+                out,
+                meter,
+                max_rows,
+                steps,
             )?;
             facts.pop();
             if out.len() >= max_rows {

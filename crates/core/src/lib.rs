@@ -47,5 +47,5 @@ pub mod materialize;
 pub use config::EngineConfig;
 pub use eg::{EgNode, ExecutionGraph, NodeId};
 pub use engine::{LtgEngine, ReasonStats};
-pub use materialize::{TgMaterializer, TgStats};
 pub use error::EngineError;
+pub use materialize::{TgMaterializer, TgStats};

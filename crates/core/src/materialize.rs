@@ -193,11 +193,8 @@ impl TgMaterializer {
                 if combos_seen % 4096 == 0 {
                     self.meter.check()?;
                 }
-                let combo: Vec<NodeId> = idx
-                    .iter()
-                    .enumerate()
-                    .map(|(j, &i)| lists[j][i])
-                    .collect();
+                let combo: Vec<NodeId> =
+                    idx.iter().enumerate().map(|(j, &i)| lists[j][i]).collect();
                 let max_depth = combo
                     .iter()
                     .map(|n| self.graph.nodes[n.index()].depth)
@@ -206,8 +203,7 @@ impl TgMaterializer {
                 if max_depth == k - 1 {
                     planned.push((rid, combo.into_boxed_slice()));
                     if planned.len() % 4096 == 0 {
-                        self.meter
-                            .charge(combo_cost);
+                        self.meter.charge(combo_cost);
                         self.meter.check()?;
                     }
                 }

@@ -137,7 +137,11 @@ pub fn canonicalize(program: &Program) -> CanonicalProgram {
         program: out,
         base_rules,
         nonbase_rules,
-        alias_of: alias.iter().map(|(&a, &e)| (e, a)).map(|(e, a)| (a, e)).collect(),
+        alias_of: alias
+            .iter()
+            .map(|(&a, &e)| (e, a))
+            .map(|(e, a)| (a, e))
+            .collect(),
         origin,
     }
 }
@@ -149,10 +153,7 @@ mod tests {
 
     #[test]
     fn already_canonical_program_unchanged() {
-        let p = parse_program(
-            "e(a,b). p(X,Y) :- e(X,Y). q(X,Y) :- p(X,Y).",
-        )
-        .unwrap();
+        let p = parse_program("e(a,b). p(X,Y) :- e(X,Y). q(X,Y) :- p(X,Y).").unwrap();
         let c = canonicalize(&p);
         assert_eq!(c.program.rules.len(), 2);
         assert_eq!(c.base_rules.len(), 1);
@@ -187,10 +188,8 @@ mod tests {
 
     #[test]
     fn alias_created_once_per_predicate() {
-        let p = parse_program(
-            "e(a). d(X) :- e(X). f(X) :- d(X), e(X). g(X) :- d(X), e(X).",
-        )
-        .unwrap();
+        let p =
+            parse_program("e(a). d(X) :- e(X). f(X) :- d(X), e(X). g(X) :- d(X), e(X).").unwrap();
         let c = canonicalize(&p);
         assert_eq!(c.alias_of.len(), 1);
         // 3 original rules + 1 alias rule.
@@ -261,10 +260,7 @@ mod tests {
 
     #[test]
     fn base_nonbase_partition_is_total() {
-        let p = parse_program(
-            "e(a). d(X) :- e(X). f(X) :- d(X), e(X). g(X) :- f(X).",
-        )
-        .unwrap();
+        let p = parse_program("e(a). d(X) :- e(X). f(X) :- d(X), e(X). g(X) :- f(X).").unwrap();
         let c = canonicalize(&p);
         let total = c.base_rules.len() + c.nonbase_rules.len();
         assert_eq!(total, c.program.rules.len());

@@ -47,10 +47,8 @@ impl DependencyGraph {
         // A predicate is recursive iff its SCC has >1 member or a self-loop.
         let mut recursive = vec![false; n];
         for members in &scc_members {
-            let cyclic = members.len() > 1
-                || members
-                    .iter()
-                    .any(|&m| succ[m as usize].contains(&m));
+            let cyclic =
+                members.len() > 1 || members.iter().any(|&m| succ[m as usize].contains(&m));
             if cyclic {
                 for &m in members {
                     recursive[m as usize] = true;
@@ -72,7 +70,9 @@ impl DependencyGraph {
             }
         }
         let mut dist = vec![0u32; n_scc];
-        let mut queue: Vec<u32> = (0..n_scc as u32).filter(|&s| indegree[s as usize] == 0).collect();
+        let mut queue: Vec<u32> = (0..n_scc as u32)
+            .filter(|&s| indegree[s as usize] == 0)
+            .collect();
         while let Some(s) = queue.pop() {
             for &t in &scc_succ[s as usize] {
                 dist[t as usize] = dist[t as usize].max(dist[s as usize] + 1);
@@ -236,9 +236,7 @@ mod tests {
 
     #[test]
     fn reachability_is_recursive() {
-        let (p, g) = graph(
-            "e(a,b). p(X,Y) :- e(X,Y). p(X,Y) :- p(X,Z), p(Z,Y).",
-        );
+        let (p, g) = graph("e(a,b). p(X,Y) :- e(X,Y). p(X,Y) :- p(X,Z), p(Z,Y).");
         let e = p.preds.lookup("e", 2).unwrap();
         let path = p.preds.lookup("p", 2).unwrap();
         assert!(g.is_edb(e));
@@ -252,9 +250,7 @@ mod tests {
 
     #[test]
     fn chain_distances() {
-        let (p, g) = graph(
-            "e(a). q(X) :- e(X). r(X) :- q(X). s(X) :- r(X).",
-        );
+        let (p, g) = graph("e(a). q(X) :- e(X). r(X) :- q(X). s(X) :- r(X).");
         let s = p.preds.lookup("s", 1).unwrap();
         assert_eq!(g.edb_distance(s), 3);
         assert!(!g.is_recursive(s));
@@ -262,9 +258,7 @@ mod tests {
 
     #[test]
     fn mutual_recursion_detected() {
-        let (p, g) = graph(
-            "e(a). q(X) :- r(X). r(X) :- q(X). q(X) :- e(X).",
-        );
+        let (p, g) = graph("e(a). q(X) :- r(X). r(X) :- q(X). q(X) :- e(X).");
         let q = p.preds.lookup("q", 1).unwrap();
         let r = p.preds.lookup("r", 1).unwrap();
         assert!(g.is_recursive(q));
@@ -283,9 +277,7 @@ mod tests {
 
     #[test]
     fn reachable_restriction() {
-        let (p, g) = graph(
-            "e(a). f(b). q(X) :- e(X). r(X) :- f(X). s(X) :- q(X).",
-        );
+        let (p, g) = graph("e(a). f(b). q(X) :- e(X). r(X) :- f(X). s(X) :- q(X).");
         let s = p.preds.lookup("s", 1).unwrap();
         let seen = g.reachable_from(&[s]);
         let e = p.preds.lookup("e", 1).unwrap();

@@ -71,12 +71,12 @@ pub fn magic_transform(program: &Program, query: &Atom) -> MagicProgram {
     let mut queue: Vec<(PredId, Adornment)> = Vec::new();
 
     let intern_adorned = |out: &mut Program,
-                              adorned: &mut FxHashMap<(PredId, Adornment), PredId>,
-                              magic: &mut FxHashMap<PredId, PredId>,
-                              adorned_of: &mut FxHashMap<PredId, PredId>,
-                              queue: &mut Vec<(PredId, Adornment)>,
-                              pred: PredId,
-                              a: Adornment|
+                          adorned: &mut FxHashMap<(PredId, Adornment), PredId>,
+                          magic: &mut FxHashMap<PredId, PredId>,
+                          adorned_of: &mut FxHashMap<PredId, PredId>,
+                          queue: &mut Vec<(PredId, Adornment)>,
+                          pred: PredId,
+                          a: Adornment|
      -> PredId {
         if let Some(&p) = adorned.get(&(pred, a.clone())) {
             return p;
@@ -112,11 +112,7 @@ pub fn magic_transform(program: &Program, query: &Atom) -> MagicProgram {
 
     // Seed fact: m_q^a(bound constants), certain.
     let seed_pred = magic[&query_pred_adorned];
-    let seed_args: Vec<_> = query
-        .terms
-        .iter()
-        .filter_map(|t| t.as_const())
-        .collect();
+    let seed_args: Vec<_> = query.terms.iter().filter_map(|t| t.as_const()).collect();
     out.push_fact(GroundAtom::new(seed_pred, seed_args), 1.0);
 
     // Process adorned predicates until closure.
@@ -258,11 +254,11 @@ mod tests {
             assert!(m.program.preds.name(first.pred).starts_with("m_p@"));
         }
         // Recursion produces at least one magic rule.
-        assert!(m
+        assert!(m.program.rules.iter().any(|r| m
             .program
-            .rules
-            .iter()
-            .any(|r| m.program.preds.name(r.head.pred).starts_with("m_p@")));
+            .preds
+            .name(r.head.pred)
+            .starts_with("m_p@")));
         assert_eq!(m.adorned_of[&adorned], path);
     }
 
@@ -317,10 +313,10 @@ mod tests {
         let a = p.symbols.lookup("a").unwrap();
         let m = magic_transform(&p, &Atom::new(qp, vec![Term::Const(a)]));
         // The rewritten program contains no rule about `unrelated`.
-        assert!(m
+        assert!(m.program.rules.iter().all(|r| !m
             .program
-            .rules
-            .iter()
-            .all(|r| !m.program.preds.name(r.head.pred).contains("unrelated")));
+            .preds
+            .name(r.head.pred)
+            .contains("unrelated")));
     }
 }

@@ -158,7 +158,8 @@ impl<'a> Lexer<'a> {
                     && (self.src[self.pos].is_ascii_digit()
                         || self.src[self.pos] == b'e'
                         || self.src[self.pos] == b'E'
-                        || self.src[self.pos] == b'-' && matches!(self.src.get(self.pos - 1), Some(b'e') | Some(b'E')))
+                        || self.src[self.pos] == b'-'
+                            && matches!(self.src.get(self.pos - 1), Some(b'e') | Some(b'E')))
                 {
                     self.pos += 1;
                 }
@@ -279,9 +280,7 @@ impl Parser<'_> {
                 match self.bump() {
                     Some(Tok::Comma) => continue,
                     Some(Tok::RParen) => break,
-                    other => {
-                        return Err(self.err(format!("expected ',' or ')', found {other:?}")))
-                    }
+                    other => return Err(self.err(format!("expected ',' or ')', found {other:?}"))),
                 }
             }
         }
@@ -303,7 +302,10 @@ impl Parser<'_> {
                 // Lookahead: `query p(...)` vs a predicate literally named
                 // `query` — the latter would be followed by '(' directly;
                 // `query p(..)` has an identifier next.
-                if matches!(self.toks.get(self.pos + 1).map(|(t, _)| t), Some(Tok::Ident(_))) {
+                if matches!(
+                    self.toks.get(self.pos + 1).map(|(t, _)| t),
+                    Some(Tok::Ident(_))
+                ) {
                     self.bump();
                     let mut scope = VarScope::default();
                     let atom = self.atom(&mut scope)?;
@@ -395,13 +397,10 @@ pub fn parse_program(src: &str) -> Result<ParsedProgram, ParseError> {
     while parser.peek().is_some() {
         parser.clause()?;
     }
-    parser
-        .program
-        .validate()
-        .map_err(|(i, e)| ParseError {
-            line: 0,
-            message: format!("rule #{i} invalid: {e}"),
-        })?;
+    parser.program.validate().map_err(|(i, e)| ParseError {
+        line: 0,
+        message: format!("rule #{i} invalid: {e}"),
+    })?;
     Ok(parser.program)
 }
 

@@ -218,7 +218,10 @@ impl Program {
         let terms = args
             .iter()
             .map(|a| {
-                if a.chars().next().is_some_and(|c| c.is_uppercase() || c == '_') {
+                if a.chars()
+                    .next()
+                    .is_some_and(|c| c.is_uppercase() || c == '_')
+                {
                     Term::Var(vars.var(a))
                 } else {
                     Term::Const(self.symbols.intern(a))
@@ -283,7 +286,10 @@ mod tests {
     pub fn reachability() -> Program {
         let mut p = Program::new();
         p.rule_str(("p", &["X", "Y"]), &[("e", &["X", "Y"])]);
-        p.rule_str(("p", &["X", "Y"]), &[("p", &["X", "Z"]), ("p", &["Z", "Y"])]);
+        p.rule_str(
+            ("p", &["X", "Y"]),
+            &[("p", &["X", "Z"]), ("p", &["Z", "Y"])],
+        );
         p.fact_str("e", &["a", "b"], 0.5);
         p.fact_str("e", &["b", "c"], 0.6);
         p.fact_str("e", &["a", "c"], 0.7);
@@ -325,7 +331,10 @@ mod tests {
     #[test]
     fn var_scope_shared_within_rule() {
         let mut p = Program::new();
-        p.rule_str(("p", &["X", "Y"]), &[("p", &["X", "Z"]), ("p", &["Z", "Y"])]);
+        p.rule_str(
+            ("p", &["X", "Y"]),
+            &[("p", &["X", "Z"]), ("p", &["Z", "Y"])],
+        );
         let r = &p.rules[0];
         assert_eq!(r.n_vars, 3);
         // Z in both body atoms must be the same variable.

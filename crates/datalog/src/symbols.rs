@@ -170,9 +170,12 @@ impl PredTable {
     /// Generates a fresh predicate with a derived name, guaranteed not to
     /// clash with an existing one (used by canonicalization and magic sets).
     pub fn fresh(&mut self, base: &str, arity: usize) -> PredId {
-        let mut candidate = format!("{base}");
+        let mut candidate = base.to_string();
         let mut counter = 0usize;
-        while self.by_key.contains_key(&(Box::from(candidate.as_str()), arity)) {
+        while self
+            .by_key
+            .contains_key(&(Box::from(candidate.as_str()), arity))
+        {
             counter += 1;
             candidate = format!("{base}#{counter}");
         }

@@ -43,9 +43,8 @@ impl Cnf {
 /// * `z1 ∨ ... ∨ zm`                    (the formula holds)
 pub fn tseitin(dnf: &Dnf) -> Cnf {
     let vars = dnf.variables();
-    let var_of = |f: FactId| -> i32 {
-        (vars.binary_search(&f).expect("fact in variable table") + 1) as i32
-    };
+    let var_of =
+        |f: FactId| -> i32 { (vars.binary_search(&f).expect("fact in variable table") + 1) as i32 };
     let k = vars.len();
     let m = dnf.len();
     let mut cnf = Cnf {
@@ -54,7 +53,7 @@ pub fn tseitin(dnf: &Dnf) -> Cnf {
         fact_of: vars
             .iter()
             .map(|&f| Some(f))
-            .chain(std::iter::repeat(None).take(m))
+            .chain(std::iter::repeat_n(None, m))
             .collect(),
     };
 
@@ -159,7 +158,7 @@ mod tests {
         let d = Dnf::tt();
         let cnf = tseitin(&d);
         assert_eq!(cnf.n_vars, 1); // single auxiliary
-        // z1 must be true: clauses are (z1) [reverse] and (z1) [root].
+                                   // z1 must be true: clauses are (z1) [reverse] and (z1) [root].
         assert!(cnf.clauses.iter().all(|c| c == &vec![1]));
     }
 

@@ -130,9 +130,8 @@ impl Dnf {
     /// the result is canonical.
     pub fn minimize(&mut self) {
         // Shorter conjuncts absorb longer ones: process by length.
-        self.conjuncts.sort_unstable_by(|a, b| {
-            a.len().cmp(&b.len()).then_with(|| a.cmp(b))
-        });
+        self.conjuncts
+            .sort_unstable_by(|a, b| a.len().cmp(&b.len()).then_with(|| a.cmp(b)));
         self.conjuncts.dedup();
         let sigs: Vec<u64> = self.conjuncts.iter().map(|c| conjunct_sig(c)).collect();
         let mut kept: Vec<usize> = Vec::with_capacity(self.conjuncts.len());
@@ -140,9 +139,7 @@ impl Dnf {
         'outer: for i in 0..self.conjuncts.len() {
             for &j in &kept {
                 // j ⊆ i possible only if j's signature bits are within i's.
-                if sigs[j] & !sigs[i] == 0
-                    && is_subset(&self.conjuncts[j], &self.conjuncts[i])
-                {
+                if sigs[j] & !sigs[i] == 0 && is_subset(&self.conjuncts[j], &self.conjuncts[i]) {
                     keep_flags[i] = false;
                     continue 'outer;
                 }

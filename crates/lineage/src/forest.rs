@@ -260,9 +260,7 @@ mod tests {
         assert!(f.may_contain(t, fid(10)));
         // Signatures of disjoint facts are *usually* distinguishable; test a
         // few to avoid relying on a specific non-collision.
-        let misses = (100..164u32)
-            .filter(|&i| !f.may_contain(t, fid(i)))
-            .count();
+        let misses = (100..164u32).filter(|&i| !f.may_contain(t, fid(i))).count();
         assert!(misses > 32, "signature should reject most foreign facts");
     }
 

@@ -92,9 +92,7 @@ impl Database {
 
     /// Extensional facts of `pred` (empty slice if none).
     pub fn edb_facts(&self, pred: PredId) -> &[FactId] {
-        self.edb
-            .get(pred.index())
-            .map_or(&[], |r| r.facts())
+        self.edb.get(pred.index()).map_or(&[], |r| r.facts())
     }
 
     /// Prepares the index of the extensional relation of `pred` for

@@ -269,7 +269,7 @@ mod tests {
             ..BddWmc::default()
         };
         assert_eq!(
-            tiny.probability(&d, &vec![0.5; 20]).unwrap_err(),
+            tiny.probability(&d, &[0.5; 20]).unwrap_err(),
             WmcError::OutOfBudget
         );
     }

@@ -25,7 +25,9 @@ pub struct CnfWmc {
 
 impl Default for CnfWmc {
     fn default() -> Self {
-        CnfWmc { max_steps: 5_000_000 }
+        CnfWmc {
+            max_steps: 5_000_000,
+        }
     }
 }
 
@@ -294,7 +296,7 @@ mod tests {
         }
         let tiny = CnfWmc { max_steps: 3 };
         assert_eq!(
-            tiny.probability(&d, &vec![0.5; 12]).unwrap_err(),
+            tiny.probability(&d, &[0.5; 12]).unwrap_err(),
             WmcError::OutOfBudget
         );
     }

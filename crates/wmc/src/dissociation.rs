@@ -352,7 +352,10 @@ mod tests {
         let b = check_contains_exact(&forcing(), &d, &[0.5, 0.6, 0.7, 0.4]);
         assert!(b.dissociations >= 1);
         assert!(b.gap() > 0.0);
-        assert!(b.gap() < 0.25, "oblivious bounds should be reasonably tight");
+        assert!(
+            b.gap() < 0.25,
+            "oblivious bounds should be reasonably tight"
+        );
     }
 
     #[test]
@@ -379,9 +382,8 @@ mod tests {
         d.push(vec![fid(1), fid(2)]);
         d.push(vec![fid(2), fid(3)]);
         let (p0, p1, p2, p3) = (0.5, 0.6, 0.7, 0.4);
-        let closed_form = |w: f64| {
-            1.0 - (1.0 - p0 * w) * (1.0 - p2 * (1.0 - (1.0 - w) * (1.0 - p3)))
-        };
+        let closed_form =
+            |w: f64| 1.0 - (1.0 - p0 * w) * (1.0 - p2 * (1.0 - (1.0 - w) * (1.0 - p3)));
         let b = forcing().bounds(&d, &[p0, p1, p2, p3]).unwrap();
         assert!((b.upper - closed_form(p1)).abs() < 1e-12);
         let q = 1.0 - (1.0 - p1).powf(0.5);

@@ -27,7 +27,9 @@ pub struct DtreeWmc {
 
 impl Default for DtreeWmc {
     fn default() -> Self {
-        DtreeWmc { max_cache: 1_000_000 }
+        DtreeWmc {
+            max_cache: 1_000_000,
+        }
     }
 }
 
@@ -234,7 +236,7 @@ mod tests {
         }
         let tiny = DtreeWmc { max_cache: 2 };
         assert_eq!(
-            tiny.probability(&d, &vec![0.5; 13]).unwrap_err(),
+            tiny.probability(&d, &[0.5; 13]).unwrap_err(),
             WmcError::OutOfBudget
         );
     }

@@ -25,22 +25,22 @@
 
 pub mod anytime;
 pub mod bdd;
-pub mod sdd;
-pub mod vtree;
 pub mod cnfcount;
 pub mod dissociation;
 pub mod dtree;
 pub mod karp_luby;
 pub mod naive;
+pub mod sdd;
 pub mod solver;
+pub mod vtree;
 
 pub use anytime::{AnytimeWmc, Bounds};
 pub use bdd::{BddWmc, VarOrder};
-pub use sdd::SddWmc;
-pub use vtree::{Vtree, VtreeKind, VtreeNode};
 pub use cnfcount::CnfWmc;
 pub use dissociation::{DissBounds, DissociationWmc};
 pub use dtree::DtreeWmc;
 pub use karp_luby::KarpLubyWmc;
 pub use naive::NaiveWmc;
+pub use sdd::SddWmc;
 pub use solver::{SolverKind, WmcError, WmcSolver};
+pub use vtree::{Vtree, VtreeKind, VtreeNode};

@@ -46,7 +46,7 @@ impl WmcSolver for NaiveWmc {
             .collect();
         let mut total = 0.0f64;
         for world in 0u64..(1u64 << vars.len()) {
-            if !masks.iter().any(|&m| world & m == m) {
+            if !masks.iter().any(|&m| world | m == world) {
                 continue;
             }
             let mut p = 1.0;

@@ -48,11 +48,14 @@ struct Node {
     elems: Box<[(Ref, Ref)]>,
 }
 
+/// Unique-table key: the vtree node plus the compressed element list.
+type UniqueKey = (VtreeId, Box<[(Ref, Ref)]>);
+
 /// The SDD manager: arenas, unique table and operation caches.
 struct Mgr<'a> {
     vt: &'a Vtree,
     nodes: Vec<Node>,
-    unique: FxHashMap<(VtreeId, Box<[(Ref, Ref)]>), u32>,
+    unique: FxHashMap<UniqueKey, u32>,
     apply_memo: FxHashMap<(Ref, Ref, bool), Ref>,
     neg_memo: FxHashMap<u32, Ref>,
     max_nodes: usize,
@@ -398,9 +401,7 @@ mod tests {
         let mut d = Dnf::var(fid(0));
         d.push(vec![fid(1), fid(2)]);
         cross_check(&d, &[0.5, 0.7, 0.8]);
-        let p = SddWmc::default()
-            .probability(&d, &[0.5, 0.7, 0.8])
-            .unwrap();
+        let p = SddWmc::default().probability(&d, &[0.5, 0.7, 0.8]).unwrap();
         assert!((p - (0.5 + 0.7 * 0.8 - 0.5 * 0.7 * 0.8)).abs() < 1e-12);
     }
 
@@ -460,7 +461,7 @@ mod tests {
             ..SddWmc::default()
         };
         assert_eq!(
-            tiny.probability(&d, &vec![0.5; 24]).unwrap_err(),
+            tiny.probability(&d, &[0.5; 24]).unwrap_err(),
             WmcError::OutOfBudget
         );
     }
@@ -479,10 +480,16 @@ mod tests {
     #[test]
     fn agrees_with_bdd_on_random_like_formulas() {
         // A few structured formulas where both solvers must agree.
-        let weights: Vec<f64> = (0..16).map(|i| ((i * 7 + 3) % 10) as f64 / 10.0 + 0.05).collect();
+        let weights: Vec<f64> = (0..16)
+            .map(|i| ((i * 7 + 3) % 10) as f64 / 10.0 + 0.05)
+            .collect();
         let mut d = Dnf::ff();
         for i in 0..16u32 {
-            d.push(vec![fid(i % 16), fid((i * 5 + 1) % 16), fid((i * 11 + 2) % 16)]);
+            d.push(vec![
+                fid(i % 16),
+                fid((i * 5 + 1) % 16),
+                fid((i * 11 + 2) % 16),
+            ]);
         }
         let sdd = SddWmc::default().probability(&d, &weights).unwrap();
         let bdd = crate::BddWmc::default().probability(&d, &weights).unwrap();

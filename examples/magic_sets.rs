@@ -52,11 +52,10 @@ fn main() {
     let solver = BddWmc::default();
     println!("\n{:<16} {:>12} {:>12}", "answer", "P (full)", "P (magic)");
     for ((fa, la), (_fb, lb)) in full_answers.iter().zip(goal_answers.iter()) {
-        let name = full.db().store.display(
-            *fa,
-            &full.program().preds,
-            &full.program().symbols,
-        );
+        let name = full
+            .db()
+            .store
+            .display(*fa, &full.program().preds, &full.program().symbols);
         let pa = solver.probability(la, &full_weights).unwrap();
         let pb = solver.probability(lb, &goal_weights).unwrap();
         println!("{name:<16} {pa:>12.6} {pb:>12.6}");

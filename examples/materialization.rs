@@ -34,10 +34,7 @@ fn main() {
     let sne = least_model(&scenario.program).expect("semi-naive succeeds");
     let sne_time = t0.elapsed();
 
-    println!(
-        "\n{:<22} {:>12} {:>12}",
-        "", "trigger graph", "semi-naive"
-    );
+    println!("\n{:<22} {:>12} {:>12}", "", "trigger graph", "semi-naive");
     println!(
         "{:<22} {:>12.1?} {:>12.1?}",
         "materialization time", tg_time, sne_time
@@ -46,7 +43,10 @@ fn main() {
         "{:<22} {:>12} {:>12}",
         "rounds", tg_stats.rounds, sne.rounds
     );
-    println!("{:<22} {:>12} {:>12}", "derivations", tg_stats.derivations, "-");
+    println!(
+        "{:<22} {:>12} {:>12}",
+        "derivations", tg_stats.derivations, "-"
+    );
 
     // The two engines must agree on the intensional part of the model.
     // (The materializer canonicalizes the program, which introduces

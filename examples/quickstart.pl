@@ -1,0 +1,12 @@
+% Example 1 of the paper: probabilistic graph reachability.
+% The quickstart probability of p(a, b) is 0.78; CI's smoke job
+% asserts this value on the CLI's stdout.
+0.5 :: e(a, b).
+0.6 :: e(b, c).
+0.7 :: e(a, c).
+0.8 :: e(c, b).
+
+p(X, Y) :- e(X, Y).
+p(X, Y) :- p(X, Z), p(Z, Y).
+
+query p(a, b).

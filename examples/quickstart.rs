@@ -39,14 +39,17 @@ fn main() {
         Box::new(CnfWmc::default()),
     ];
 
-    println!("\n{:<10} {:>10} {:>10} {:>10}", "fact", "SDD", "d-tree", "c2d");
+    println!(
+        "\n{:<10} {:>10} {:>10} {:>10}",
+        "fact", "SDD", "d-tree", "c2d"
+    );
     for fact in engine.derived_facts() {
         let lineage = engine.lineage_of(fact).expect("lineage fits");
-        let name = engine.db().store.display(
-            fact,
-            &engine.program().preds,
-            &engine.program().symbols,
-        );
+        let name =
+            engine
+                .db()
+                .store
+                .display(fact, &engine.program().preds, &engine.program().symbols);
         print!("{name:<10}");
         for solver in &solvers {
             let p = solver

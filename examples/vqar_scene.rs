@@ -32,18 +32,19 @@ fn main() {
     // LTGs w/ vs LTGs w/o: the derivation explosion. "w/o" diverges on
     // this benchmark (the paper's headline VQAR result), so both run at a
     // fixed depth for the comparison.
-    let mut with =
-        LtgEngine::with_config(&scenario.program, {
-            // The engine's explanation dedup absorbs association-order
-            // duplicates, so at this depth the adaptive threshold is
-            // lowered for collapsing to act before the final round.
-            let mut c = EngineConfig::with_collapse().max_depth(4);
-            c.collapse_threshold = 2;
-            c
-        });
+    let mut with = LtgEngine::with_config(&scenario.program, {
+        // The engine's explanation dedup absorbs association-order
+        // duplicates, so at this depth the adaptive threshold is
+        // lowered for collapsing to act before the final round.
+        let mut c = EngineConfig::with_collapse().max_depth(4);
+        c.collapse_threshold = 2;
+        c
+    });
     with.reason().expect("collapsing run succeeds");
-    let mut without =
-        LtgEngine::with_config(&scenario.program, EngineConfig::without_collapse().max_depth(4));
+    let mut without = LtgEngine::with_config(
+        &scenario.program,
+        EngineConfig::without_collapse().max_depth(4),
+    );
     without.reason().expect("non-collapsing run succeeds");
     println!(
         "derivations: LTGs w/ = {}, LTGs w/o = {} ({:.1}x reduction), collapses = {}",
@@ -59,11 +60,10 @@ fn main() {
     let query = &scenario.queries[0];
     let mut exact: Vec<(String, f64)> = Vec::new();
     for (fact, lineage) in with.answer(query).expect("lineage fits") {
-        let name = with.db().store.display(
-            fact,
-            &with.program().preds,
-            &with.program().symbols,
-        );
+        let name = with
+            .db()
+            .store
+            .display(fact, &with.program().preds, &with.program().symbols);
         let p = solver
             .probability(&lineage, &weights)
             .expect("probability computes");
@@ -87,21 +87,26 @@ fn main() {
         topk.run().expect("top-k run succeeds");
         let w = topk.db().weights();
         for (fact, lineage) in topk.answer(query) {
-            let name = topk.db().store.display(
-                fact,
-                &scenario.program.preds,
-                &scenario.program.symbols,
-            );
+            let name =
+                topk.db()
+                    .store
+                    .display(fact, &scenario.program.preds, &scenario.program.symbols);
             let p = solver.probability(&lineage, &w).expect("probability");
             approx.insert((name, k), p);
         }
     }
 
-    println!("\n{:<14} {:>10} {:>10} {:>10} {:>8}", "answer", "exact", "S(1)", "S(20)", "err(1)");
+    println!(
+        "\n{:<14} {:>10} {:>10} {:>10} {:>8}",
+        "answer", "exact", "S(1)", "S(20)", "err(1)"
+    );
     for (name, p) in &exact {
         let s1 = approx.get(&(name.clone(), 1)).copied().unwrap_or(0.0);
         let s20 = approx.get(&(name.clone(), 20)).copied().unwrap_or(0.0);
         let err = if *p > 0.0 { (p - s1) / p } else { 0.0 };
-        println!("{name:<14} {p:>10.6} {s1:>10.6} {s20:>10.6} {:>7.1}%", err * 100.0);
+        println!(
+            "{name:<14} {p:>10.6} {s1:>10.6} {s20:>10.6} {:>7.1}%",
+            err * 100.0
+        );
     }
 }

@@ -118,7 +118,11 @@ fn make_meter(opts: &Options) -> ResourceMeter {
     )
 }
 
-fn run_one_query(program: &Program, query: &ltgs::datalog::Atom, opts: &Options) -> Result<(), String> {
+fn run_one_query(
+    program: &Program,
+    query: &ltgs::datalog::Atom,
+    opts: &Options,
+) -> Result<(), String> {
     let (prog, q) = if opts.use_magic {
         let m = ltgs::datalog::magic_transform(program, query);
         (m.program, m.query)

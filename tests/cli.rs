@@ -44,7 +44,14 @@ fn default_run_answers_example1() {
 #[test]
 fn every_engine_agrees() {
     let path = write_program("example1_engines.pl", PROGRAM);
-    for engine in ["ltg", "ltg-nocollapse", "tcp", "delta", "topk=30", "circuit"] {
+    for engine in [
+        "ltg",
+        "ltg-nocollapse",
+        "tcp",
+        "delta",
+        "topk=30",
+        "circuit",
+    ] {
         let (ok, stdout, stderr) = run(&["--engine", engine, path.to_str().unwrap()]);
         assert!(ok, "{engine}: {stderr}");
         assert!(stdout.contains("0.780000"), "{engine}: {stdout}");

@@ -41,7 +41,12 @@ fn possible_world_probability(program: &Program, pred: &str, args: &[&str]) -> f
     total
 }
 
-fn engine_probability(engine: &mut dyn ProbEngine, pred: &str, args: &[&str], program: &Program) -> f64 {
+fn engine_probability(
+    engine: &mut dyn ProbEngine,
+    pred: &str,
+    args: &[&str],
+    program: &Program,
+) -> f64 {
     engine.run().unwrap();
     let pid = program.preds.lookup(pred, args.len()).unwrap();
     let syms: Vec<_> = args
@@ -88,7 +93,10 @@ fn check_all(program: &Program, pred: &str, args: &[&str]) {
     let lw = ltg_probability(program, true, pred, args);
     let lwo = ltg_probability(program, false, pred, args);
     assert!((oracle - lw).abs() < 1e-9, "L w/: {lw} vs oracle {oracle}");
-    assert!((oracle - lwo).abs() < 1e-9, "L w/o: {lwo} vs oracle {oracle}");
+    assert!(
+        (oracle - lwo).abs() < 1e-9,
+        "L w/o: {lwo} vs oracle {oracle}"
+    );
     let mut tcp = TcpEngine::new(program);
     let p = engine_probability(&mut tcp, pred, args, program);
     assert!((oracle - p).abs() < 1e-9, "TcP: {p} vs oracle {oracle}");

@@ -22,7 +22,10 @@ fn magic_rewriting_of_cyclic_program_terminates_quickly() {
     )
     .unwrap();
     let magic = magic_transform(&program, &program.queries[0]);
-    for config in [EngineConfig::with_collapse(), EngineConfig::without_collapse()] {
+    for config in [
+        EngineConfig::with_collapse(),
+        EngineConfig::without_collapse(),
+    ] {
         let t0 = Instant::now();
         let mut engine = LtgEngine::with_config(&magic.program, config);
         engine.reason().unwrap();
