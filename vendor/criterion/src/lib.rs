@@ -1,0 +1,213 @@
+//! Hermetic stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no cargo-registry access, so this crate
+//! vendors the subset of criterion's API the workspace benches use —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::sample_size`],
+//! [`BenchmarkGroup::bench_function`], [`Bencher::iter`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — backed by a plain
+//! wall-clock measurement loop instead of criterion's statistical
+//! machinery. Reported numbers are min/mean/max over the sample set;
+//! good enough to rank engine variants, not to detect 1% regressions.
+//!
+//! `--test` on the command line (what `cargo test --benches` passes)
+//! switches to a single-iteration smoke run so benches double as tests.
+
+use std::time::{Duration, Instant};
+
+/// Re-export mirroring `criterion::black_box` (std's hint since 1.66).
+pub use std::hint::black_box;
+
+/// Top-level harness handle, one per bench binary.
+pub struct Criterion {
+    default_sample_size: usize,
+    measurement_time: Duration,
+    /// Smoke-run mode: one iteration per bench, no timing columns.
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            default_sample_size: 20,
+            measurement_time: Duration::from_secs(3),
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Parses harness-level CLI flags. Only `--test` is honoured; the
+    /// filter argument and criterion's reporting flags are accepted and
+    /// ignored so `cargo bench -- <anything>` still runs.
+    pub fn configure_from_args(mut self) -> Self {
+        self.test_mode |= std::env::args().any(|a| a == "--test");
+        self
+    }
+
+    /// Opens a named group of related measurements.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            sample_size: None,
+            measurement_time: None,
+        }
+    }
+
+    /// Measures a single function outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.default_sample_size;
+        let time = self.measurement_time;
+        let test_mode = self.test_mode;
+        run_bench(name, sample_size, time, test_mode, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing sample-size/time overrides.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    sample_size: Option<usize>,
+    measurement_time: Option<Duration>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides how many timed samples to collect per bench.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Overrides the total time budget per bench.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = Some(t);
+        self
+    }
+
+    /// Measures one function under this group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(
+            name,
+            self.sample_size
+                .unwrap_or(self.criterion.default_sample_size),
+            self.measurement_time
+                .unwrap_or(self.criterion.measurement_time),
+            self.criterion.test_mode,
+            f,
+        );
+        self
+    }
+
+    /// Ends the group (accepted for API parity; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Per-sample measurement handle passed to the bench closure.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iterations` back-to-back calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench<F>(name: &str, samples: usize, budget: Duration, test_mode: bool, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        iterations: 1,
+        elapsed: Duration::ZERO,
+    };
+    // Warm-up sample; doubles as the whole run in test mode.
+    f(&mut b);
+    if test_mode {
+        println!("{name}: ok (smoke)");
+        return;
+    }
+    let mut times: Vec<Duration> = Vec::with_capacity(samples);
+    let started = Instant::now();
+    for _ in 0..samples.max(1) {
+        f(&mut b);
+        times.push(b.elapsed);
+        if started.elapsed() > budget {
+            break;
+        }
+    }
+    let min = times.iter().min().copied().unwrap_or_default();
+    let max = times.iter().max().copied().unwrap_or_default();
+    let mean = times.iter().sum::<Duration>() / times.len().max(1) as u32;
+    println!(
+        "{name}: mean {mean:?}  min {min:?}  max {max:?}  ({} samples)",
+        times.len()
+    );
+}
+
+/// Declares a bench group: a function invoking each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut calls = 0u64;
+        let mut b = Bencher {
+            iterations: 5,
+            elapsed: Duration::ZERO,
+        };
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 5);
+    }
+
+    #[test]
+    fn group_runs_benches() {
+        let mut c = Criterion {
+            default_sample_size: 2,
+            measurement_time: Duration::from_millis(50),
+            test_mode: true,
+        };
+        let mut ran = false;
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2).bench_function("f", |b| {
+            b.iter(|| {});
+            ran = true;
+        });
+        g.finish();
+        assert!(ran);
+    }
+}
