@@ -1,0 +1,137 @@
+//! **Serve throughput** — queries/sec of the resident query service,
+//! warm cache vs cold, plus incremental-insert latency. Starts the perf
+//! trajectory of the online-workload scenario family.
+//!
+//! The workload is a layered probabilistic DAG (`width × layers`, all
+//! forward edges between consecutive layers): reachability lineage is
+//! dense enough that cold queries pay real lineage-collection + WMC
+//! cost, so the cache and delta-maintenance effects are visible.
+//!
+//! Requests are driven through [`ltg_server::server::respond`] — the
+//! full protocol path minus the socket, so numbers measure the service,
+//! not loopback TCP.
+//!
+//! Usage: `cargo run --release -p ltg-bench --bin serve_throughput
+//! [width] [layers] [warm_reps]`
+//!
+//! Emits a human table on stdout and machine-readable
+//! `BENCH_serve.json` in the working directory.
+
+use ltg_server::server::respond;
+use ltg_server::{Session, SessionOptions};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn layered_program(width: usize, layers: usize) -> String {
+    let mut src = String::new();
+    let mut prob = 0.35;
+    for l in 0..layers.saturating_sub(1) {
+        for a in 0..width {
+            for b in 0..width {
+                let _ = writeln!(src, "{prob:.2} :: e(n{l}_{a}, n{}_{b}).", l + 1);
+                prob = if prob > 0.9 { 0.35 } else { prob + 0.07 };
+            }
+        }
+    }
+    src.push_str("p(X, Y) :- e(X, Y).\np(X, Y) :- p(X, Z), p(Z, Y).\n");
+    src
+}
+
+/// Runs every query once, returning (elapsed seconds, answer lines).
+fn run_queries(session: &mut Session, queries: &[String]) -> (f64, usize) {
+    let t0 = Instant::now();
+    let mut answers = 0;
+    for q in queries {
+        let resp = respond(session, q);
+        assert!(resp.starts_with("OK"), "query failed: {resp}");
+        answers += resp.lines().count() - 1;
+    }
+    (t0.elapsed().as_secs_f64(), answers)
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    // Defaults chosen so the per-answer lineage stays inside the SDD
+    // solver's default budget while cold queries still pay real WMC
+    // cost (~40ms each at 3×5).
+    let width: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(3);
+    let layers: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(5);
+    let warm_reps: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(20);
+
+    let src = layered_program(width, layers);
+    let program = ltg_datalog::parse_program(&src).unwrap();
+    let n_facts = program.facts.len();
+
+    let t0 = Instant::now();
+    let mut session = Session::new(&program, SessionOptions::default()).unwrap();
+    let startup_s = t0.elapsed().as_secs_f64();
+
+    // One open query per non-sink node: p(nL_W, X).
+    let queries: Vec<String> = (0..layers.saturating_sub(1))
+        .flat_map(|l| (0..width).map(move |w| format!("QUERY p(n{l}_{w}, X).")))
+        .collect();
+
+    // Cold: every query computes lineage + WMC.
+    let (cold_s, answers) = run_queries(&mut session, &queries);
+    // Warm: identical queries served from the epoch-validated cache.
+    let mut warm_s = 0.0;
+    for _ in 0..warm_reps {
+        warm_s += run_queries(&mut session, &queries).0;
+    }
+    let cold_qps = queries.len() as f64 / cold_s;
+    let warm_qps = (queries.len() * warm_reps) as f64 / warm_s;
+
+    // Inserts: a fresh sink edge per source-layer node, each triggering
+    // a delta pass, then one (invalidated → recomputed) query.
+    let t0 = Instant::now();
+    let mut inserts = 0;
+    for w in 0..width {
+        let resp = respond(
+            &mut session,
+            &format!("INSERT 0.5 :: e(n{}_{w}, fresh{w}).", layers - 1),
+        );
+        assert!(resp.starts_with("OK inserted"), "{resp}");
+        inserts += 1;
+    }
+    let insert_s = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let (requery_s, _) = run_queries(&mut session, &queries[..1.min(queries.len())]);
+    let _ = t0;
+
+    println!("# serve_throughput — width={width} layers={layers} ({n_facts} facts)");
+    println!("startup reasoning: {:.1} ms", startup_s * 1e3);
+    println!(
+        "cold:  {:>8.0} q/s  ({} queries, {} answers)",
+        cold_qps,
+        queries.len(),
+        answers
+    );
+    println!(
+        "warm:  {:>8.0} q/s  ({} reps; speedup {:.1}x)",
+        warm_qps,
+        warm_reps,
+        warm_qps / cold_qps
+    );
+    println!(
+        "insert+delta: {:.2} ms/insert ({} inserts); post-insert query {:.2} ms",
+        insert_s * 1e3 / inserts as f64,
+        inserts,
+        requery_s * 1e3
+    );
+
+    let json = format!(
+        "{{\"bench\":\"serve_throughput\",\"width\":{width},\"layers\":{layers},\
+         \"facts\":{n_facts},\"queries\":{},\"warm_reps\":{warm_reps},\
+         \"startup_ms\":{:.3},\"cold_qps\":{:.1},\"warm_qps\":{:.1},\
+         \"warm_speedup\":{:.2},\"insert_ms\":{:.3},\"post_insert_query_ms\":{:.3}}}\n",
+        queries.len(),
+        startup_s * 1e3,
+        cold_qps,
+        warm_qps,
+        warm_qps / cold_qps,
+        insert_s * 1e3 / inserts as f64,
+        requery_s * 1e3,
+    );
+    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+    print!("{json}");
+}

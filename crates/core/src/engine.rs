@@ -26,10 +26,12 @@ use crate::eg::{ExecutionGraph, NodeId};
 use crate::error::EngineError;
 use crate::join::{binding_masks, join, JoinRow};
 use ltg_datalog::fxhash::{FxHashMap, FxHashSet};
-use ltg_datalog::{canonicalize, Atom, CanonicalProgram, Program, Substitution};
+use ltg_datalog::{
+    canonicalize, Atom, CanonicalProgram, PredId, Program, RuleId, Substitution, Sym,
+};
 use ltg_lineage::extract::DnfCache;
 use ltg_lineage::{is_redundant, trees_dnf, Dnf, Forest, Label, OccCache, TreeId};
-use ltg_storage::{Database, FactId, Relation, ResourceMeter};
+use ltg_storage::{Database, FactId, InsertOutcome, Relation, ResourceMeter};
 use std::rc::Rc;
 use std::time::{Duration, Instant};
 
@@ -57,7 +59,48 @@ pub struct ReasonStats {
     pub nodes_alive: u64,
     /// Peak estimated bytes observed by the meter.
     pub peak_bytes: usize,
+    /// Completed incremental-maintenance passes ([`LtgEngine::reason_delta`]).
+    pub delta_passes: u64,
+    /// Total propagation waves across all delta passes.
+    pub delta_waves: u64,
 }
+
+/// Why [`LtgEngine::insert_fact`] rejected a fact before it reached
+/// storage.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum InsertError {
+    /// The predicate is derived by rules and carries no database facts;
+    /// inserting would silently change the program's EDB/IDB split.
+    Intensional(PredId),
+    /// The argument count does not match the predicate's arity.
+    Arity {
+        /// The predicate's declared arity.
+        expected: usize,
+        /// The number of arguments supplied.
+        got: usize,
+    },
+    /// The probability lies outside `[0, 1]`.
+    Probability(f64),
+}
+
+impl std::fmt::Display for InsertError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InsertError::Intensional(p) => {
+                write!(f, "predicate p{} is derived by rules; cannot insert", p.0)
+            }
+            InsertError::Arity { expected, got } => {
+                write!(
+                    f,
+                    "arity mismatch: expected {expected} arguments, got {got}"
+                )
+            }
+            InsertError::Probability(p) => write!(f, "probability {p} outside [0, 1]"),
+        }
+    }
+}
+
+impl std::error::Error for InsertError {}
 
 /// The Lineage-Trigger-Graph engine.
 pub struct LtgEngine {
@@ -79,6 +122,17 @@ pub struct LtgEngine {
     expl_seen: FxHashMap<FactId, FxHashSet<Rc<[FactId]>>>,
     /// Estimated bytes held by the dedup registry.
     expl_bytes: usize,
+    /// Every `(rule, parents)` combination ever instantiated → its node.
+    /// The incremental path revives dead nodes through this registry
+    /// instead of re-planning them, and uses it to detect combinations
+    /// that never existed (killed parents re-entering the producer
+    /// lists).
+    combos: FxHashMap<(RuleId, Box<[NodeId]>), NodeId>,
+    /// Canonical-program IDB mask, frozen at construction.
+    idb_mask: Vec<bool>,
+    /// Canonical EDB predicates with facts inserted since the last
+    /// (delta-)reasoning pass.
+    dirty_edb: FxHashSet<PredId>,
     config: EngineConfig,
     meter: ResourceMeter,
     stats: ReasonStats,
@@ -106,6 +160,7 @@ impl LtgEngine {
     ) -> Self {
         let canonical = canonicalize(program);
         let db = Database::from_program(&canonical.program);
+        let idb_mask = canonical.program.idb_mask();
         LtgEngine {
             canonical,
             db,
@@ -115,6 +170,9 @@ impl LtgEngine {
             leafsets: FxHashMap::default(),
             expl_seen: FxHashMap::default(),
             expl_bytes: 0,
+            combos: FxHashMap::default(),
+            idb_mask,
+            dirty_edb: FxHashSet::default(),
             config,
             meter,
             stats: ReasonStats::default(),
@@ -184,6 +242,12 @@ impl LtgEngine {
         &self.meter
     }
 
+    /// Mutable meter access — resident sessions restart the deadline
+    /// clock between requests instead of budgeting the whole lifetime.
+    pub fn meter_mut(&mut self) -> &mut ResourceMeter {
+        &mut self.meter
+    }
+
     /// The canonicalized program the engine executes.
     pub fn program(&self) -> &Program {
         &self.canonical.program
@@ -240,8 +304,271 @@ impl LtgEngine {
             + self.graph.estimated_bytes()
             + derived_bytes
             + self.expl_bytes
-            + self.leafsets.len() * 24;
+            + self.leafsets.len() * 24
+            + self.combos.len() * 48;
         self.meter.set_used(bytes);
+    }
+
+    // ------------------------------------------------------------------
+    // Incremental maintenance (resident sessions)
+    // ------------------------------------------------------------------
+
+    /// The canonical predicate under which EDB facts of `pred` are
+    /// stored. For *mixed* input predicates (facts + rules) this is the
+    /// `p@edb` shadow introduced by canonicalization; everything else
+    /// maps to itself.
+    pub fn storage_pred(&self, pred: PredId) -> PredId {
+        self.canonical
+            .edb_shadow
+            .get(&pred)
+            .copied()
+            .unwrap_or(pred)
+    }
+
+    /// True if `pred` can receive EDB inserts: it is extensional, or
+    /// mixed (its facts live under a shadow predicate).
+    pub fn can_insert(&self, pred: PredId) -> bool {
+        let sp = self.storage_pred(pred);
+        !self.idb_mask.get(sp.index()).copied().unwrap_or(false)
+    }
+
+    /// Interns a constant into the engine's symbol table (inserted facts
+    /// may mention constants the original program never did).
+    pub fn intern_symbol(&mut self, name: &str) -> Sym {
+        self.canonical.program.symbols.intern(name)
+    }
+
+    /// Inserts an extensional fact and marks its predicate for the next
+    /// [`LtgEngine::reason_delta`] pass. `pred` is a predicate of the
+    /// (canonical) program — mixed predicates are routed to their shadow
+    /// automatically. Duplicates are reported, never overwritten; use
+    /// [`LtgEngine::update_prob`] to resolve a conflict.
+    pub fn insert_fact(
+        &mut self,
+        pred: PredId,
+        args: &[Sym],
+        prob: f64,
+    ) -> Result<(FactId, InsertOutcome), InsertError> {
+        if !(0.0..=1.0).contains(&prob) {
+            return Err(InsertError::Probability(prob));
+        }
+        let arity = self.canonical.program.preds.arity(pred);
+        if args.len() != arity {
+            return Err(InsertError::Arity {
+                expected: arity,
+                got: args.len(),
+            });
+        }
+        if !self.can_insert(pred) {
+            return Err(InsertError::Intensional(pred));
+        }
+        let sp = self.storage_pred(pred);
+        let (fact, outcome) = self.db.insert_edb(sp, args, prob);
+        if outcome.changed() {
+            self.dirty_edb.insert(sp);
+        }
+        Ok((fact, outcome))
+    }
+
+    /// Updates `π(f)` in place (see [`Database::update_prob`]): lineage
+    /// is unaffected, only the weight vector and the database epoch
+    /// change — no re-reasoning is required.
+    pub fn update_prob(&mut self, fact: FactId, prob: f64) -> Result<Option<f64>, InsertError> {
+        if !(0.0..=1.0).contains(&prob) {
+            return Err(InsertError::Probability(prob));
+        }
+        Ok(self.db.update_prob(fact, prob))
+    }
+
+    /// Number of predicates with pending (un-reasoned) inserts.
+    pub fn pending_dirty(&self) -> usize {
+        self.dirty_edb.len()
+    }
+
+    /// Incremental maintenance: pushes the facts inserted since the last
+    /// pass through the *existing* execution graph, re-running only the
+    /// affected nodes (monotone programs, insert-only; retraction is out
+    /// of scope). Wave 0 re-instantiates the source nodes whose premise
+    /// reads a dirty EDB relation; wave `k` re-instantiates (or creates,
+    /// or revives) every node with at least one parent that stored new
+    /// trees in wave `k − 1` — Definition 6's "one parent from the
+    /// previous round", with rounds replaced by change waves. The pass
+    /// ends when a wave changes nothing. Explanation dedup guarantees
+    /// re-executed joins only store genuinely new derivation trees, so
+    /// the fixpoint lineage is equivalent to a from-scratch run over the
+    /// grown EDB.
+    pub fn reason_delta(&mut self) -> Result<&ReasonStats, EngineError> {
+        if !self.finished {
+            if self.round == 0 {
+                // Nothing instantiated yet: the batch algorithm's joins
+                // see the inserted facts directly.
+                self.dirty_edb.clear();
+            }
+            self.reason()?;
+            // Facts inserted *between* anytime steps were missed by the
+            // rounds that ran before them — apply them incrementally now
+            // that the graph is at fixpoint.
+            return self.reason_delta();
+        }
+        if self.dirty_edb.is_empty() {
+            return Ok(&self.stats);
+        }
+        let t0 = Instant::now();
+        // Cleared only after the pass completes: an abort (OOM/TO) keeps
+        // the predicates dirty so a later pass retries the propagation —
+        // re-instantiation is idempotent, partial progress is kept.
+        let dirty = self.dirty_edb.clone();
+        self.stats.delta_passes += 1;
+
+        // Wave 0: source nodes reading a dirty relation.
+        let mut changed: FxHashSet<NodeId> = FxHashSet::default();
+        let base = self.canonical.base_rules.clone();
+        for rid in base {
+            let affected = self.canonical.program.rules[rid.index()]
+                .body
+                .iter()
+                .any(|a| dirty.contains(&a.pred));
+            if !affected {
+                continue;
+            }
+            let node = self.combos[&(rid, Box::from([]) as Box<[NodeId]>)];
+            if self.reinstantiate(node, rid)? {
+                changed.insert(node);
+            }
+        }
+
+        while !changed.is_empty() {
+            self.stats.delta_waves += 1;
+            changed = self.delta_wave(&changed)?;
+            self.refresh_meter();
+            self.meter.check()?;
+        }
+
+        self.refresh_meter();
+        self.stats.nodes_alive = self.graph.alive_count() as u64;
+        self.stats.reasoning_time += t0.elapsed();
+        self.stats.peak_bytes = self.meter.peak();
+        self.meter.check()?;
+        for p in &dirty {
+            self.dirty_edb.remove(p);
+        }
+        Ok(&self.stats)
+    }
+
+    /// Re-executes a node against its (grown) inputs; registers it as a
+    /// producer on its first survival. Returns whether any *new* tree
+    /// was stored.
+    fn reinstantiate(&mut self, node: NodeId, rid: RuleId) -> Result<bool, EngineError> {
+        let was_alive = self.graph.nodes[node.index()].alive;
+        let grew = self.instantiate(node)?;
+        if grew && !was_alive {
+            self.graph.nodes[node.index()].alive = true;
+            let head = self.canonical.program.rules[rid.index()].head.pred;
+            self.graph.register_producer(head.0, node);
+        }
+        Ok(grew)
+    }
+
+    /// One propagation wave: plans every parent combination with at
+    /// least one parent in `changed` (each combination exactly once via
+    /// the pivot discipline: positions before the pivot draw unchanged
+    /// producers only), then re-instantiates existing nodes and creates
+    /// the missing ones. Returns the nodes that stored new trees.
+    fn delta_wave(
+        &mut self,
+        changed: &FxHashSet<NodeId>,
+    ) -> Result<FxHashSet<NodeId>, EngineError> {
+        let mut planned: Vec<(RuleId, Box<[NodeId]>)> = Vec::new();
+        let nonbase = self.canonical.nonbase_rules.clone();
+        for &rid in &nonbase {
+            let rule = &self.canonical.program.rules[rid.index()];
+            let lists: Vec<&[NodeId]> = rule
+                .body
+                .iter()
+                .map(|a| self.graph.producers(a.pred.0))
+                .collect();
+            if lists.iter().any(|l| l.is_empty()) {
+                continue;
+            }
+            for pivot in 0..lists.len() {
+                let choices: Vec<Vec<NodeId>> = lists
+                    .iter()
+                    .enumerate()
+                    .map(|(j, l)| match j.cmp(&pivot) {
+                        std::cmp::Ordering::Less => {
+                            l.iter().copied().filter(|n| !changed.contains(n)).collect()
+                        }
+                        std::cmp::Ordering::Equal => {
+                            l.iter().copied().filter(|n| changed.contains(n)).collect()
+                        }
+                        std::cmp::Ordering::Greater => l.to_vec(),
+                    })
+                    .collect();
+                if choices.iter().any(Vec::is_empty) {
+                    continue;
+                }
+                let mut idx = vec![0usize; choices.len()];
+                let mut combos_seen = 0u64;
+                'combos: loop {
+                    combos_seen += 1;
+                    if combos_seen % 4096 == 0 {
+                        self.meter.check()?;
+                    }
+                    let combo: Box<[NodeId]> = idx
+                        .iter()
+                        .enumerate()
+                        .map(|(j, &i)| choices[j][i])
+                        .collect();
+                    planned.push((rid, combo));
+                    if planned.len() % 4096 == 0 {
+                        self.meter.charge(4096 * 24);
+                        self.meter.check()?;
+                    }
+                    let mut j = 0;
+                    loop {
+                        idx[j] += 1;
+                        if idx[j] < choices[j].len() {
+                            break;
+                        }
+                        idx[j] = 0;
+                        j += 1;
+                        if j == choices.len() {
+                            break 'combos;
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut next: FxHashSet<NodeId> = FxHashSet::default();
+        for (rid, parents) in planned {
+            let node = match self.combos.get(&(rid, parents.clone())) {
+                Some(&n) => n,
+                None => {
+                    let depth = parents
+                        .iter()
+                        .map(|p| self.graph.nodes[p.index()].depth)
+                        .max()
+                        .unwrap()
+                        + 1;
+                    if self.config.max_depth.is_some_and(|d| depth > d) {
+                        continue;
+                    }
+                    let n = self.graph.push_node(rid, parents.clone(), depth);
+                    self.stats.nodes_created += 1;
+                    self.combos.insert((rid, parents), n);
+                    // Fresh nodes start unregistered: `reinstantiate`
+                    // revives them on their first surviving tree.
+                    self.graph.nodes[n.index()].alive = false;
+                    n
+                }
+            };
+            if self.reinstantiate(node, rid)? {
+                next.insert(node);
+            }
+            self.meter.check()?;
+        }
+        Ok(next)
     }
 
     /// Round 1: one source node per base rule.
@@ -250,6 +577,7 @@ impl LtgEngine {
         let base = self.canonical.base_rules.clone();
         for rid in base {
             let node = self.graph.push_node(rid, Box::from([]), 1);
+            self.combos.insert((rid, Box::from([])), node);
             self.stats.nodes_created += 1;
             if self.instantiate(node)? {
                 let head = self.canonical.program.rules[rid.index()].head.pred;
@@ -325,7 +653,8 @@ impl LtgEngine {
 
         let mut grew = false;
         for (rid, parents) in planned {
-            let node = self.graph.push_node(rid, parents, k);
+            let node = self.graph.push_node(rid, parents.clone(), k);
+            self.combos.insert((rid, parents), node);
             self.stats.nodes_created += 1;
             if self.instantiate(node)? {
                 let head = self.canonical.program.rules[rid.index()].head.pred;
@@ -468,6 +797,27 @@ impl LtgEngine {
         for (fact, mut trees) in group_list {
             trees.sort_unstable();
             trees.dedup();
+            // Delta re-instantiation regenerates every old combination
+            // (hash-consed to its old TreeId). Drop the ones this node
+            // already stores — directly, or inside an earlier collapse
+            // bundle (whose children are the candidates of that pass) —
+            // so only genuinely new trees reach the collapse below.
+            // Without this, every pass would re-bundle the full history
+            // into a fresh OR node and downstream combinations would
+            // grow multiplicatively per insert. First runs have empty
+            // tsets, so batch reasoning is unaffected.
+            if let Some(existing) = self.graph.nodes[node.index()].tset.get(&fact) {
+                let mut known: FxHashSet<TreeId> = existing.iter().copied().collect();
+                for &t in existing {
+                    if self.forest.label(t) == Label::Or {
+                        known.extend(self.forest.children(t).iter().copied());
+                    }
+                }
+                trees.retain(|t| !known.contains(t));
+                if trees.is_empty() {
+                    continue;
+                }
+            }
             let candidates: Vec<TreeId> = if do_collapse && trees.len() > 1 {
                 let t0 = Instant::now();
                 let collapsed = self.forest.collapse(&trees);
@@ -501,14 +851,22 @@ impl LtgEngine {
             if stored.is_empty() {
                 continue;
             }
-            survived = true;
+            // Merge, don't replace: delta re-instantiation regenerates
+            // trees the node already stores (collapsed trees carry no
+            // leafset to dedup on), and the old trees must survive.
             let n = &mut self.graph.nodes[node.index()];
-            n.store.push(fact);
-            self.derived
-                .entry(fact)
-                .or_default()
-                .extend(stored.iter().copied());
-            n.tset.insert(fact, stored);
+            let entry = n.tset.entry(fact).or_default();
+            let first_time = entry.is_empty();
+            let fresh: Vec<TreeId> = stored.into_iter().filter(|t| !entry.contains(t)).collect();
+            if fresh.is_empty() {
+                continue;
+            }
+            entry.extend(fresh.iter().copied());
+            if first_time {
+                n.store.push(fact);
+            }
+            self.derived.entry(fact).or_default().extend(fresh);
+            survived = true;
         }
         Ok(survived)
     }
@@ -922,6 +1280,210 @@ mod tests {
         let d1 = engine.stats().derivations;
         engine.reason().unwrap();
         assert_eq!(engine.stats().derivations, d1);
+    }
+
+    /// Probability of `pred(args...)` under `engine`, 0.0 if underivable.
+    fn prob_of(engine: &LtgEngine, pred: &str, args: &[&str]) -> f64 {
+        let program = engine.program();
+        let Some(p) = program.preds.lookup(pred, args.len()) else {
+            return 0.0;
+        };
+        let syms: Option<Vec<Sym>> = args.iter().map(|a| program.symbols.lookup(a)).collect();
+        let Some(syms) = syms else { return 0.0 };
+        let Some(f) = engine.db().store.lookup(p, &syms) else {
+            return 0.0;
+        };
+        let mut d = engine.lineage_of(f).unwrap();
+        d.minimize();
+        NaiveWmc::default()
+            .probability(&d, &engine.db().weights())
+            .unwrap()
+    }
+
+    /// Inserts `prob :: pred(args...)` into a resident engine.
+    fn insert(engine: &mut LtgEngine, pred: &str, args: &[&str], prob: f64) -> InsertOutcome {
+        let p = engine.program().preds.lookup(pred, args.len()).unwrap();
+        let syms: Vec<Sym> = args.iter().map(|a| engine.intern_symbol(a)).collect();
+        let (_, outcome) = engine.insert_fact(p, &syms, prob).unwrap();
+        outcome
+    }
+
+    #[test]
+    fn delta_insert_matches_scratch_on_example1() {
+        for config in [
+            EngineConfig::with_collapse(),
+            EngineConfig::without_collapse(),
+        ] {
+            // Resident engine: reason over the base program, then insert
+            // two edges opening a new a→b path and re-reason.
+            let program = parse_program(EXAMPLE1).unwrap();
+            let mut resident = LtgEngine::with_config(&program, config.clone());
+            resident.reason().unwrap();
+            let before = prob_of(&resident, "p", &["a", "b"]);
+            assert!((before - 0.78).abs() < 1e-12);
+
+            assert_eq!(
+                insert(&mut resident, "e", &["a", "d"], 0.9),
+                InsertOutcome::Inserted
+            );
+            assert_eq!(
+                insert(&mut resident, "e", &["d", "b"], 0.4),
+                InsertOutcome::Inserted
+            );
+            assert_eq!(resident.pending_dirty(), 1);
+            resident.reason_delta().unwrap();
+            assert_eq!(resident.pending_dirty(), 0);
+            assert_eq!(resident.stats().delta_passes, 1);
+
+            // From-scratch engine over the grown EDB.
+            let full =
+                parse_program(&format!("{EXAMPLE1} 0.9 :: e(a, d). 0.4 :: e(d, b).")).unwrap();
+            let mut scratch = LtgEngine::with_config(&full, config);
+            scratch.reason().unwrap();
+
+            for (x, y) in [("a", "b"), ("a", "c"), ("a", "d"), ("d", "b"), ("d", "c")] {
+                let inc = prob_of(&resident, "p", &[x, y]);
+                let fresh = prob_of(&scratch, "p", &[x, y]);
+                assert!(
+                    (inc - fresh).abs() < 1e-12,
+                    "p({x},{y}): incremental {inc} vs scratch {fresh}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn delta_insert_revives_dead_source_nodes() {
+        // `s` starts empty: its source node dies in round 1 and must be
+        // revived when the first s-fact arrives.
+        let program = parse_program(
+            "0.5 :: e(a, b).
+             p(X, Y) :- e(X, Y).
+             q(X, Y) :- s(X, Y).
+             p(X, Y) :- q(X, Y).",
+        )
+        .unwrap();
+        let mut engine = LtgEngine::new(&program);
+        engine.reason().unwrap();
+        assert_eq!(prob_of(&engine, "q", &["a", "c"]), 0.0);
+
+        insert(&mut engine, "s", &["a", "c"], 0.25);
+        engine.reason_delta().unwrap();
+        assert!((prob_of(&engine, "q", &["a", "c"]) - 0.25).abs() < 1e-12);
+        assert!((prob_of(&engine, "p", &["a", "c"]) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delta_insert_from_empty_edb_matches_scratch() {
+        // Start with rules only, insert the whole EDB one fact at a
+        // time; lineages must be bitwise-identical to a scratch run
+        // (fact ids align because insertion order equals program order).
+        let rules = "p(X, Y) :- e(X, Y). p(X, Y) :- p(X, Z), p(Z, Y).";
+        let edges = [
+            ("a", "b", 0.5),
+            ("b", "c", 0.6),
+            ("a", "c", 0.7),
+            ("c", "b", 0.8),
+        ];
+        let mut resident = LtgEngine::new(&parse_program(rules).unwrap());
+        resident.reason().unwrap();
+        for (x, y, pr) in edges {
+            insert(&mut resident, "e", &[x, y], pr);
+            resident.reason_delta().unwrap();
+        }
+        let scratch_src =
+            format!("0.5 :: e(a, b). 0.6 :: e(b, c). 0.7 :: e(a, c). 0.8 :: e(c, b). {rules}");
+        let mut scratch = LtgEngine::new(&parse_program(&scratch_src).unwrap());
+        scratch.reason().unwrap();
+        for (x, y) in [("a", "b"), ("b", "b"), ("c", "c"), ("a", "c")] {
+            let a = prob_of(&resident, "p", &[x, y]);
+            let b = prob_of(&scratch, "p", &[x, y]);
+            assert_eq!(a.to_bits(), b.to_bits(), "p({x},{y}): {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn delta_insert_routes_mixed_predicates_through_shadow() {
+        let program = parse_program(
+            "0.4 :: p(a, b). 0.6 :: e(b, c).
+             p(X, Y) :- e(X, Y).
+             p(X, Y) :- p(X, Z), p(Z, Y).",
+        )
+        .unwrap();
+        let mut engine = LtgEngine::new(&program);
+        engine.reason().unwrap();
+        // Insert a p-fact: it must land under p@edb and reach p via the
+        // copy rule.
+        insert(&mut engine, "p", &["c", "d"], 0.5);
+        engine.reason_delta().unwrap();
+        assert!((prob_of(&engine, "p", &["c", "d"]) - 0.5).abs() < 1e-12);
+        // p(b,d) = p(b,c) ∧ p(c,d) = 0.6 * 0.5.
+        assert!((prob_of(&engine, "p", &["b", "d"]) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn insert_rejections() {
+        let program = parse_program("0.5 :: e(a, b). q(X, Y) :- e(X, Y).").unwrap();
+        let mut engine = LtgEngine::new(&program);
+        engine.reason().unwrap();
+        let q = engine.program().preds.lookup("q", 2).unwrap();
+        let e = engine.program().preds.lookup("e", 2).unwrap();
+        let a = engine.program().symbols.lookup("a").unwrap();
+        // Intensional predicate.
+        assert_eq!(
+            engine.insert_fact(q, &[a, a], 0.5),
+            Err(InsertError::Intensional(q))
+        );
+        // Arity mismatch.
+        assert_eq!(
+            engine.insert_fact(e, &[a], 0.5),
+            Err(InsertError::Arity {
+                expected: 2,
+                got: 1
+            })
+        );
+        // Probability out of range.
+        assert_eq!(
+            engine.insert_fact(e, &[a, a], 1.5),
+            Err(InsertError::Probability(1.5))
+        );
+        // Conflicting duplicate: reported, nothing marked dirty.
+        let b = engine.program().symbols.lookup("b").unwrap();
+        let (f, outcome) = engine.insert_fact(e, &[a, b], 0.9).unwrap();
+        assert_eq!(outcome, InsertOutcome::Conflict { existing: 0.5 });
+        assert_eq!(engine.pending_dirty(), 0);
+        // update_prob resolves it without re-reasoning.
+        assert_eq!(engine.update_prob(f, 0.9).unwrap(), Some(0.5));
+        assert!((prob_of(&engine, "q", &["a", "b"]) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn failed_delta_pass_keeps_predicates_dirty_for_retry() {
+        let program = parse_program(EXAMPLE1).unwrap();
+        let meter = ResourceMeter::with_limits(usize::MAX, Some(Duration::from_secs(30)));
+        let mut engine = LtgEngine::with_config_and_meter(&program, EngineConfig::default(), meter);
+        engine.reason().unwrap();
+        insert(&mut engine, "e", &["a", "d"], 0.9);
+        // Force the deadline to be exceeded mid-pass.
+        *engine.meter_mut() = ResourceMeter::with_limits(usize::MAX, Some(Duration::ZERO));
+        assert!(engine.reason_delta().is_err());
+        assert_eq!(engine.pending_dirty(), 1, "aborted pass must stay dirty");
+        // A retry under a fresh deadline completes the propagation.
+        *engine.meter_mut() = ResourceMeter::with_limits(usize::MAX, None);
+        engine.reason_delta().unwrap();
+        assert_eq!(engine.pending_dirty(), 0);
+        assert!((prob_of(&engine, "p", &["a", "d"]) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delta_pass_without_inserts_is_a_noop() {
+        let program = parse_program(EXAMPLE1).unwrap();
+        let mut engine = LtgEngine::new(&program);
+        engine.reason().unwrap();
+        let derivations = engine.stats().derivations;
+        engine.reason_delta().unwrap();
+        assert_eq!(engine.stats().derivations, derivations);
+        assert_eq!(engine.stats().delta_passes, 0);
     }
 
     #[test]

@@ -46,6 +46,6 @@ pub mod materialize;
 
 pub use config::EngineConfig;
 pub use eg::{EgNode, ExecutionGraph, NodeId};
-pub use engine::{LtgEngine, ReasonStats};
+pub use engine::{InsertError, LtgEngine, ReasonStats};
 pub use error::EngineError;
 pub use materialize::{TgMaterializer, TgStats};

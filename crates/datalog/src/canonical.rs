@@ -21,6 +21,11 @@ pub struct CanonicalProgram {
     pub nonbase_rules: Vec<RuleId>,
     /// Maps alias predicates to the extensional predicate they mirror.
     pub alias_of: FxHashMap<PredId, PredId>,
+    /// Maps each *mixed* input predicate (facts + rules) to the `p@edb`
+    /// predicate its facts were moved to by [`split_mixed`]. Engines that
+    /// accept facts after construction (the resident-session delta path)
+    /// must route inserts through this map.
+    pub edb_shadow: FxHashMap<PredId, PredId>,
     /// For every rule in the rewritten program, the id of the input rule it
     /// came from (`None` for generated alias rules).
     pub origin: Vec<Option<RuleId>>,
@@ -40,6 +45,12 @@ impl CanonicalProgram {
 /// atoms read the parents' node storage, which would otherwise miss the
 /// database facts of the predicate.
 pub fn split_mixed(program: &Program) -> Program {
+    split_mixed_with_map(program).0
+}
+
+/// [`split_mixed`] plus the shadow map it introduced: original mixed
+/// predicate → the fresh `p@edb` predicate now carrying its facts.
+pub fn split_mixed_with_map(program: &Program) -> (Program, FxHashMap<PredId, PredId>) {
     let idb = program.idb_mask();
     let mixed: Vec<PredId> = program
         .preds
@@ -47,7 +58,7 @@ pub fn split_mixed(program: &Program) -> Program {
         .filter(|p| idb[p.index()] && program.facts.iter().any(|(f, _)| f.pred == *p))
         .collect();
     if mixed.is_empty() {
-        return program.clone();
+        return (program.clone(), FxHashMap::default());
     }
     let mut out = program.clone();
     let mut shadow: FxHashMap<PredId, PredId> = FxHashMap::default();
@@ -67,13 +78,14 @@ pub fn split_mixed(program: &Program) -> Program {
             fact.pred = fresh;
         }
     }
-    out
+    (out, shadow)
 }
 
 /// Rewrites `program` into canonical form (mixed predicates are split
 /// first — see [`split_mixed`]).
 pub fn canonicalize(program: &Program) -> CanonicalProgram {
-    let program = &split_mixed(program);
+    let (program, edb_shadow) = split_mixed_with_map(program);
+    let program = &program;
     let idb = program.idb_mask();
     let mut out = Program {
         symbols: program.symbols.clone(),
@@ -142,6 +154,7 @@ pub fn canonicalize(program: &Program) -> CanonicalProgram {
             .map(|(&a, &e)| (e, a))
             .map(|(e, a)| (a, e))
             .collect(),
+        edb_shadow,
         origin,
     }
 }
@@ -256,6 +269,25 @@ mod tests {
             let r = &c.program.rules[rid.index()];
             assert!(r.body.iter().all(|a| idb[a.pred.index()]));
         }
+    }
+
+    #[test]
+    fn edb_shadow_records_split_predicates() {
+        let p = parse_program(
+            "0.5 :: p(a,b). 0.6 :: e(b,c).
+             p(X,Y) :- e(X,Y).",
+        )
+        .unwrap();
+        let c = canonicalize(&p);
+        let porig = c.program.preds.lookup("p", 2).unwrap();
+        let shadow = c.program.preds.lookup("p@edb", 2).unwrap();
+        assert_eq!(c.edb_shadow.get(&porig), Some(&shadow));
+        // Unmixed extensional predicates are not shadowed.
+        let e = c.program.preds.lookup("e", 2).unwrap();
+        assert!(!c.edb_shadow.contains_key(&e));
+        // A fully canonical program has an empty shadow map.
+        let plain = parse_program("e(a). q(X) :- e(X).").unwrap();
+        assert!(canonicalize(&plain).edb_shadow.is_empty());
     }
 
     #[test]

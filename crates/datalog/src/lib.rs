@@ -30,7 +30,7 @@ pub mod rule;
 pub mod symbols;
 pub mod term;
 
-pub use canonical::{canonicalize, split_mixed, CanonicalProgram};
+pub use canonical::{canonicalize, split_mixed, split_mixed_with_map, CanonicalProgram};
 pub use deps::DependencyGraph;
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use magic::magic_transform;

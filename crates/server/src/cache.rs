@@ -1,0 +1,164 @@
+//! The query-result cache of a resident session.
+//!
+//! Entries are keyed by the canonicalized query atom and record the
+//! database epoch at computation time plus the set of predicates the
+//! query (transitively) depends on. A lookup hits iff no dependency
+//! predicate has been mutated since the entry was computed — i.e.
+//! insertion invalidates *per predicate*, not globally: inserting into
+//! `s` leaves every cached query that never reads `s` warm.
+
+use crate::session::Answer;
+use ltg_datalog::fxhash::FxHashMap;
+use ltg_datalog::PredId;
+use ltg_storage::Database;
+use std::rc::Rc;
+
+/// One memoized query result.
+struct CacheEntry {
+    /// Database epoch when the answers were computed.
+    epoch: u64,
+    /// Predicates the query transitively depends on (closure over rule
+    /// bodies, including the query predicate itself).
+    deps: Rc<[PredId]>,
+    /// The rendered answers, sorted by answer text.
+    answers: Rc<[Answer]>,
+}
+
+/// Hit/miss counters of a [`QueryCache`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that required computation (no entry).
+    pub misses: u64,
+    /// Entries dropped because a dependency predicate was mutated.
+    pub invalidations: u64,
+}
+
+/// Epoch-aware memo table: query key → answers.
+#[derive(Default)]
+pub struct QueryCache {
+    entries: FxHashMap<String, CacheEntry>,
+    stats: CacheStats,
+}
+
+impl QueryCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks `key` up; a stale entry (dependency mutated after
+    /// `entry.epoch`) is evicted and counted as an invalidation + miss.
+    pub fn lookup(&mut self, key: &str, db: &Database) -> Option<Rc<[Answer]>> {
+        let valid = match self.entries.get(key) {
+            None => {
+                self.stats.misses += 1;
+                return None;
+            }
+            Some(e) => e.deps.iter().all(|&p| db.pred_epoch(p) <= e.epoch),
+        };
+        if valid {
+            self.stats.hits += 1;
+            Some(self.entries[key].answers.clone())
+        } else {
+            self.entries.remove(key);
+            self.stats.invalidations += 1;
+            self.stats.misses += 1;
+            None
+        }
+    }
+
+    /// Stores the answers for `key` as of `db`'s current epoch.
+    pub fn store(&mut self, key: String, deps: Rc<[PredId]>, answers: Rc<[Answer]>, db: &Database) {
+        self.entries.insert(
+            key,
+            CacheEntry {
+                epoch: db.epoch(),
+                deps,
+                answers,
+            },
+        );
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entry is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Hit/miss/invalidation counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltg_datalog::parse_program;
+
+    fn answers(p: f64) -> Rc<[Answer]> {
+        Rc::from(vec![Answer {
+            text: "p(a,b)".into(),
+            prob: p,
+        }])
+    }
+
+    #[test]
+    fn per_predicate_invalidation() {
+        let prog = parse_program("0.5 :: e(a). 0.6 :: f(b).").unwrap();
+        let mut db = Database::from_program(&prog);
+        let e = prog.preds.lookup("e", 1).unwrap();
+        let f = prog.preds.lookup("f", 1).unwrap();
+        let a = prog.symbols.lookup("a").unwrap();
+
+        let mut cache = QueryCache::new();
+        assert!(cache.lookup("q1", &db).is_none()); // cold miss
+        cache.store("q1".into(), Rc::from(vec![e]), answers(0.5), &db);
+        cache.store("q2".into(), Rc::from(vec![f]), answers(0.6), &db);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.lookup("q1", &db).is_some());
+
+        // A fresh f-fact invalidates q2 but leaves q1 warm.
+        let (_, out) = db.insert_edb(f, &[a], 0.9);
+        assert!(out.changed());
+        assert!(cache.lookup("q1", &db).is_some());
+        assert!(cache.lookup("q2", &db).is_none());
+        let s = cache.stats();
+        assert_eq!(s.hits, 2);
+        assert_eq!(s.misses, 2);
+        assert_eq!(s.invalidations, 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn duplicates_keep_entries_warm_and_recomputation_rewarms() {
+        let prog = parse_program("0.5 :: e(a).").unwrap();
+        let mut db = Database::from_program(&prog);
+        let e = prog.preds.lookup("e", 1).unwrap();
+        let a = prog.symbols.lookup("a").unwrap();
+        let mut cache = QueryCache::new();
+        cache.store("q".into(), Rc::from(vec![e]), answers(0.5), &db);
+
+        // Conflicting and identical duplicates change nothing → warm.
+        let (_, out) = db.insert_edb(e, &[a], 0.9);
+        assert!(!out.changed());
+        let (_, out) = db.insert_edb(e, &[a], 0.5);
+        assert!(!out.changed());
+        assert!(cache.lookup("q", &db).is_some());
+
+        // A fresh fact invalidates; recomputing at the new epoch
+        // makes the entry warm again.
+        let mut syms = prog.symbols.clone();
+        let c = syms.intern("c");
+        db.insert_edb(e, &[c], 0.3);
+        assert!(cache.lookup("q", &db).is_none());
+        cache.store("q".into(), Rc::from(vec![e]), answers(0.65), &db);
+        assert!(cache.lookup("q", &db).is_some());
+    }
+}

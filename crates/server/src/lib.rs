@@ -1,0 +1,33 @@
+//! `ltg-server` — the resident query service.
+//!
+//! The paper's LTG engine amortizes reasoning *within* one batch run;
+//! this crate amortizes it *across* requests. A [`Session`] keeps a
+//! [`ltg_core::LtgEngine`] (trigger graph, derivation forest, database)
+//! warm between queries:
+//!
+//! * repeated queries are answered from a [`cache::QueryCache`] keyed by
+//!   the query atom and the database epoch, invalidated per predicate
+//!   via the dependency graph — no reasoning, no lineage collection, no
+//!   WMC on a hit;
+//! * `INSERT`ed facts are pushed through the *existing* execution graph
+//!   by [`ltg_core::LtgEngine::reason_delta`], re-running only the
+//!   affected nodes (monotone programs, insert-only);
+//! * probability conflicts on duplicate facts are surfaced, with
+//!   `UPDATE` as the explicit resolution path (weights-only change — no
+//!   re-reasoning at all).
+//!
+//! [`server::Server`] puts a session behind a `TcpListener` speaking the
+//! line protocol of [`protocol`] (`QUERY` / `INSERT` / `UPDATE` /
+//! `STATS` / `PING`), with one worker thread owning the session and one
+//! thread per connection doing socket I/O. See `docs/server.md` for the
+//! wire format and a `printf | nc` example session.
+
+pub mod cache;
+pub mod protocol;
+pub mod server;
+pub mod session;
+
+pub use cache::QueryCache;
+pub use protocol::Command;
+pub use server::Server;
+pub use session::{Answer, InsertResponse, Session, SessionError, SessionOptions};

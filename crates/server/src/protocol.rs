@@ -1,0 +1,141 @@
+//! The line protocol spoken over the socket.
+//!
+//! Requests are single lines, UTF-8, newline-terminated:
+//!
+//! ```text
+//! QUERY p(a, X).
+//! INSERT 0.9 :: e(a, d).
+//! UPDATE 0.9 :: e(a, b).
+//! STATS
+//! PING
+//! QUIT
+//! ```
+//!
+//! Responses start with `OK` or `ERR`. `OK <n>` announces `n` payload
+//! lines (query answers as `<prob>\t<atom>`, stats as `<key> <value>`);
+//! single-line responses inline their message after `OK`. See
+//! `docs/server.md` for the full wire format.
+
+/// A parsed request line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// `QUERY <atom>.` — answer a (possibly open) query atom.
+    Query(String),
+    /// `INSERT [<p> ::] <atom>.` — add an extensional fact (`p`
+    /// defaults to 1.0) and propagate it incrementally.
+    Insert {
+        /// The probability annotation.
+        prob: f64,
+        /// The ground atom text.
+        atom: String,
+    },
+    /// `UPDATE [<p> ::] <atom>.` — overwrite the probability of an
+    /// existing extensional fact.
+    Update {
+        /// The new probability.
+        prob: f64,
+        /// The ground atom text.
+        atom: String,
+    },
+    /// `STATS` — session / cache / engine counters.
+    Stats,
+    /// `PING` — liveness check.
+    Ping,
+    /// `QUIT` — close the connection.
+    Quit,
+}
+
+/// Parses one request line (the verb is case-insensitive).
+pub fn parse_command(line: &str) -> Result<Command, String> {
+    let line = line.trim();
+    let (verb, rest) = match line.split_once(char::is_whitespace) {
+        Some((v, r)) => (v, r.trim()),
+        None => (line, ""),
+    };
+    match verb.to_ascii_uppercase().as_str() {
+        "QUERY" => {
+            if rest.is_empty() {
+                Err("QUERY needs an atom, e.g. QUERY p(a, X).".into())
+            } else {
+                Ok(Command::Query(rest.to_string()))
+            }
+        }
+        "INSERT" => {
+            let (prob, atom) = parse_weighted(rest, "INSERT")?;
+            Ok(Command::Insert { prob, atom })
+        }
+        "UPDATE" => {
+            let (prob, atom) = parse_weighted(rest, "UPDATE")?;
+            Ok(Command::Update { prob, atom })
+        }
+        "STATS" => Ok(Command::Stats),
+        "PING" => Ok(Command::Ping),
+        "QUIT" | "EXIT" | "BYE" => Ok(Command::Quit),
+        other => Err(format!(
+            "unknown verb '{other}' (expected QUERY, INSERT, UPDATE, STATS, PING or QUIT)"
+        )),
+    }
+}
+
+/// Splits `0.9 :: e(a, b).` into probability and atom text; the
+/// annotation is optional and defaults to 1.0.
+fn parse_weighted(rest: &str, verb: &str) -> Result<(f64, String), String> {
+    if rest.is_empty() {
+        return Err(format!("{verb} needs a fact, e.g. {verb} 0.9 :: e(a, b)."));
+    }
+    match rest.split_once("::") {
+        Some((p, atom)) => {
+            let prob: f64 = p
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad probability '{}'", p.trim()))?;
+            Ok((prob, atom.trim().to_string()))
+        }
+        None => Ok((1.0, rest.to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verbs_parse() {
+        assert_eq!(
+            parse_command("QUERY p(a, X)."),
+            Ok(Command::Query("p(a, X).".into()))
+        );
+        assert_eq!(
+            parse_command("insert 0.9 :: e(a, d)."),
+            Ok(Command::Insert {
+                prob: 0.9,
+                atom: "e(a, d).".into()
+            })
+        );
+        assert_eq!(
+            parse_command("INSERT e(a, d)."),
+            Ok(Command::Insert {
+                prob: 1.0,
+                atom: "e(a, d).".into()
+            })
+        );
+        assert_eq!(
+            parse_command("UPDATE 0.4 :: e(a, b)."),
+            Ok(Command::Update {
+                prob: 0.4,
+                atom: "e(a, b).".into()
+            })
+        );
+        assert_eq!(parse_command("STATS"), Ok(Command::Stats));
+        assert_eq!(parse_command("  ping  "), Ok(Command::Ping));
+        assert_eq!(parse_command("quit"), Ok(Command::Quit));
+    }
+
+    #[test]
+    fn bad_lines_are_rejected() {
+        assert!(parse_command("QUERY").is_err());
+        assert!(parse_command("INSERT").is_err());
+        assert!(parse_command("INSERT zz :: e(a).").is_err());
+        assert!(parse_command("FROBNICATE x").is_err());
+    }
+}

@@ -1,0 +1,287 @@
+//! The concurrent TCP front-end.
+//!
+//! The engine's lineage structures are `Rc`-shared, so a [`Session`] is
+//! pinned to one *worker thread* (an actor): connection threads do the
+//! socket I/O and forward request lines over an `mpsc` channel, each
+//! carrying a reply channel. This serializes engine access — which a
+//! trigger-graph session wants anyway, since queries mutate the cache
+//! and inserts mutate the graph — while accepting and reading any
+//! number of connections concurrently.
+
+use crate::protocol::{parse_command, Command};
+use crate::session::{InsertResponse, Session, SessionOptions};
+use ltg_datalog::Program;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::mpsc;
+use std::thread;
+
+/// One forwarded request: a raw line plus the channel for the rendered
+/// response.
+struct Job {
+    line: String,
+    reply: mpsc::Sender<String>,
+}
+
+/// A listening server whose session worker is already warm (the program
+/// is reasoned to fixpoint during [`Server::start`]).
+pub struct Server {
+    listener: TcpListener,
+    jobs: mpsc::Sender<Job>,
+}
+
+impl Server {
+    /// Binds `addr`, spawns the session worker, and blocks until the
+    /// initial reasoning pass finishes (so the first request is served
+    /// warm). Port 0 picks a free port — read it back with
+    /// [`Server::local_addr`].
+    pub fn start(
+        addr: impl ToSocketAddrs,
+        program: Program,
+        opts: SessionOptions,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let (jobs, rx) = mpsc::channel::<Job>();
+        let (ready_tx, ready_rx) = mpsc::channel::<Result<(), String>>();
+        thread::Builder::new()
+            .name("ltgs-session".into())
+            .spawn(move || {
+                let mut session = match Session::new(&program, opts) {
+                    Ok(s) => {
+                        let _ = ready_tx.send(Ok(()));
+                        s
+                    }
+                    Err(e) => {
+                        let _ = ready_tx.send(Err(e.to_string()));
+                        return;
+                    }
+                };
+                while let Ok(job) = rx.recv() {
+                    let response = respond(&mut session, &job.line);
+                    let _ = job.reply.send(response);
+                }
+            })?;
+        match ready_rx.recv() {
+            Ok(Ok(())) => Ok(Server { listener, jobs }),
+            Ok(Err(msg)) => Err(io::Error::other(format!("initial reasoning failed: {msg}"))),
+            Err(_) => Err(io::Error::other("session worker died during startup")),
+        }
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Accept loop: one I/O thread per connection, forever.
+    pub fn run(self) -> io::Result<()> {
+        for stream in self.listener.incoming() {
+            let stream = match stream {
+                Ok(s) => s,
+                Err(e) => {
+                    // Accept failures (EMFILE under fd exhaustion, …)
+                    // would otherwise busy-spin this loop at 100% CPU:
+                    // log once and back off before retrying.
+                    eprintln!("ltgs: accept failed: {e}");
+                    thread::sleep(std::time::Duration::from_millis(100));
+                    continue;
+                }
+            };
+            let jobs = self.jobs.clone();
+            let _ = thread::Builder::new()
+                .name("ltgs-conn".into())
+                .spawn(move || {
+                    let _ = serve_connection(stream, jobs);
+                });
+        }
+        Ok(())
+    }
+}
+
+/// Reads request lines until EOF or `QUIT`, forwarding each to the
+/// session worker and writing the response back.
+fn serve_connection(stream: TcpStream, jobs: mpsc::Sender<Job>) -> io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(()); // EOF
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if matches!(parse_command(trimmed), Ok(Command::Quit)) {
+            writer.write_all(b"OK bye\n")?;
+            return Ok(());
+        }
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let sent = jobs.send(Job {
+            line: trimmed.to_string(),
+            reply: reply_tx,
+        });
+        let response = match sent {
+            Ok(()) => reply_rx
+                .recv()
+                .unwrap_or_else(|_| "ERR session worker unavailable\n".to_string()),
+            Err(_) => "ERR session worker unavailable\n".to_string(),
+        };
+        writer.write_all(response.as_bytes())?;
+        writer.flush()?;
+    }
+}
+
+/// Handles one request line against a session, returning the complete
+/// wire response (newline-terminated). Exposed so benches and tests can
+/// drive a session without a socket.
+pub fn respond(session: &mut Session, line: &str) -> String {
+    let command = match parse_command(line) {
+        Ok(c) => c,
+        Err(msg) => return format!("ERR {msg}\n"),
+    };
+    match command {
+        Command::Ping => "OK pong\n".into(),
+        Command::Quit => "OK bye\n".into(),
+        Command::Stats => {
+            let lines = session.stats_lines();
+            let mut out = format!("OK {}\n", lines.len());
+            for (k, v) in lines {
+                out.push_str(k);
+                out.push(' ');
+                out.push_str(&v);
+                out.push('\n');
+            }
+            out
+        }
+        Command::Query(atom) => match session.query(&atom) {
+            Ok(answers) => {
+                let mut out = format!("OK {}\n", answers.len());
+                for a in answers.iter() {
+                    out.push_str(&format!("{:.6}\t{}\n", a.prob, a.text));
+                }
+                out
+            }
+            Err(e) => format!("ERR {e}\n"),
+        },
+        Command::Insert { prob, atom } => match session.insert(prob, &atom) {
+            Ok(InsertResponse::Inserted { epoch }) => format!("OK inserted epoch={epoch}\n"),
+            Ok(InsertResponse::Duplicate { prob }) => {
+                format!("OK duplicate p={prob:.6}\n")
+            }
+            Ok(InsertResponse::Conflict { existing }) => {
+                format!("ERR conflict: fact already has p={existing:.6}; use UPDATE to change it\n")
+            }
+            Err(e) => format!("ERR {e}\n"),
+        },
+        Command::Update { prob, atom } => match session.update(prob, &atom) {
+            Ok(r) => format!(
+                "OK updated p={:.6} -> {:.6} epoch={}\n",
+                r.old, r.new, r.epoch
+            ),
+            Err(e) => format!("ERR {e}\n"),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltg_datalog::parse_program;
+
+    const EXAMPLE1: &str = "
+        0.5 :: e(a, b). 0.6 :: e(b, c). 0.7 :: e(a, c). 0.8 :: e(c, b).
+        p(X, Y) :- e(X, Y).
+        p(X, Y) :- p(X, Z), p(Z, Y).
+    ";
+
+    fn drive(session: &mut Session, line: &str) -> String {
+        respond(session, line)
+    }
+
+    #[test]
+    fn respond_renders_the_wire_format() {
+        let program = parse_program(EXAMPLE1).unwrap();
+        let mut s = Session::new(&program, SessionOptions::default()).unwrap();
+        assert_eq!(drive(&mut s, "QUERY p(a, b)."), "OK 1\n0.780000\tp(a,b)\n");
+        assert_eq!(drive(&mut s, "PING"), "OK pong\n");
+        assert_eq!(
+            drive(&mut s, "INSERT 0.9 :: e(a, d)."),
+            "OK inserted epoch=1\n"
+        );
+        assert!(drive(&mut s, "INSERT 0.1 :: e(a, d).").starts_with("ERR conflict"));
+        assert!(drive(&mut s, "UPDATE 0.1 :: e(a, d).").starts_with("OK updated p=0.900000"));
+        assert!(drive(&mut s, "QUERY nope(a).").starts_with("ERR unknown predicate"));
+        assert!(drive(&mut s, "GIBBERISH").starts_with("ERR unknown verb"));
+        let stats = drive(&mut s, "STATS");
+        assert!(stats.starts_with("OK "));
+        assert!(stats.contains("cache_hits"), "{stats}");
+    }
+
+    #[test]
+    fn end_to_end_over_tcp() {
+        use std::io::{BufRead, BufReader, Write};
+        use std::net::TcpStream;
+
+        let program = parse_program(EXAMPLE1).unwrap();
+        let server = Server::start("127.0.0.1:0", program, SessionOptions::default()).unwrap();
+        let addr = server.local_addr().unwrap();
+        thread::spawn(move || {
+            let _ = server.run();
+        });
+
+        let read_response = |reader: &mut BufReader<TcpStream>| -> Vec<String> {
+            let mut head = String::new();
+            reader.read_line(&mut head).unwrap();
+            let mut lines = vec![head.trim_end().to_string()];
+            if let Some(rest) = lines[0].strip_prefix("OK ") {
+                if let Ok(n) = rest.trim().parse::<usize>() {
+                    for _ in 0..n {
+                        let mut l = String::new();
+                        reader.read_line(&mut l).unwrap();
+                        lines.push(l.trim_end().to_string());
+                    }
+                }
+            }
+            lines
+        };
+
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+
+        writer.write_all(b"QUERY p(a, b).\n").unwrap();
+        let resp = read_response(&mut reader);
+        assert_eq!(resp, vec!["OK 1", "0.780000\tp(a,b)"]);
+
+        // A second connection shares the warm session: its identical
+        // query is a cache hit.
+        let stream2 = TcpStream::connect(addr).unwrap();
+        let mut reader2 = BufReader::new(stream2.try_clone().unwrap());
+        let mut writer2 = stream2;
+        writer2.write_all(b"QUERY p(a, b).\n").unwrap();
+        assert_eq!(
+            read_response(&mut reader2),
+            vec!["OK 1", "0.780000\tp(a,b)"]
+        );
+        writer2.write_all(b"STATS\n").unwrap();
+        let stats = read_response(&mut reader2);
+        assert!(
+            stats.iter().any(|l| l == "cache_hits 1"),
+            "stats: {stats:?}"
+        );
+
+        // Insert on one connection, observe on the other.
+        writer.write_all(b"INSERT 0.9 :: e(a, d).\n").unwrap();
+        assert_eq!(read_response(&mut reader), vec!["OK inserted epoch=1"]);
+        writer2.write_all(b"QUERY p(a, d).\n").unwrap();
+        assert_eq!(
+            read_response(&mut reader2),
+            vec!["OK 1", "0.900000\tp(a,d)"]
+        );
+
+        writer.write_all(b"QUIT\n").unwrap();
+        assert_eq!(read_response(&mut reader), vec!["OK bye"]);
+    }
+}

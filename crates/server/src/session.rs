@@ -1,0 +1,694 @@
+//! The resident session: one warm engine serving many requests.
+//!
+//! A [`Session`] owns a [`LtgEngine`] (database + execution graph +
+//! derivation forest) that is reasoned to fixpoint once at startup and
+//! then maintained incrementally: queries are answered from the
+//! materialized graph (and memoized in a [`QueryCache`]), inserts go
+//! through [`LtgEngine::reason_delta`] so only the affected execution
+//! nodes re-run, and probability updates touch nothing but the weight
+//! vector.
+//!
+//! The session is deliberately single-threaded (the engine shares
+//! lineage structures through `Rc`); [`crate::server::Server`] serializes
+//! requests through one worker thread and keeps the socket I/O
+//! concurrent.
+
+use crate::cache::{CacheStats, QueryCache};
+use ltg_core::{EngineConfig, EngineError, InsertError, LtgEngine};
+use ltg_datalog::fxhash::FxHashMap;
+use ltg_datalog::{Atom, DependencyGraph, PredId, Program, Sym, Term, Var};
+use ltg_storage::InsertOutcome;
+use ltg_wmc::{SolverKind, WmcSolver};
+use std::fmt;
+use std::rc::Rc;
+
+/// Session construction knobs.
+#[derive(Clone, Debug)]
+pub struct SessionOptions {
+    /// Engine configuration (collapse, depth cap, lineage cap).
+    pub config: EngineConfig,
+    /// Exact WMC solver answering the queries.
+    pub solver: SolverKind,
+}
+
+impl Default for SessionOptions {
+    fn default() -> Self {
+        SessionOptions {
+            config: EngineConfig::default(),
+            solver: SolverKind::Sdd,
+        }
+    }
+}
+
+/// One rendered query answer.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Answer {
+    /// The answer atom, e.g. `p(a,b)`.
+    pub text: String,
+    /// Its marginal probability.
+    pub prob: f64,
+}
+
+/// Outcome of [`Session::insert`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum InsertResponse {
+    /// New fact; delta reasoning ran, the epoch advanced.
+    Inserted {
+        /// Database epoch after the insert.
+        epoch: u64,
+    },
+    /// The fact already existed with the same probability.
+    Duplicate {
+        /// The (unchanged) stored probability.
+        prob: f64,
+    },
+    /// The fact exists with a different probability; nothing changed.
+    Conflict {
+        /// The probability already stored.
+        existing: f64,
+    },
+}
+
+/// Outcome of [`Session::update`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct UpdateResponse {
+    /// The probability before the update.
+    pub old: f64,
+    /// The probability now stored.
+    pub new: f64,
+    /// Database epoch after the update.
+    pub epoch: u64,
+}
+
+/// Request-level failures (wire-format friendly).
+#[derive(Clone, Debug, PartialEq)]
+pub enum SessionError {
+    /// Malformed atom or probability text.
+    Parse(String),
+    /// The predicate (name/arity) does not occur in the program.
+    UnknownPredicate(String),
+    /// `UPDATE` targets a fact that is not in the EDB.
+    UnknownFact(String),
+    /// The engine rejected the mutation (derived predicate, bad
+    /// probability, arity mismatch).
+    Rejected(String),
+    /// Reasoning aborted (OOM / timeout / lineage cap).
+    Engine(EngineError),
+    /// The probability computation failed.
+    Solver(String),
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::Parse(m) => write!(f, "parse: {m}"),
+            SessionError::UnknownPredicate(p) => write!(f, "unknown predicate {p}"),
+            SessionError::UnknownFact(a) => write!(f, "unknown fact {a}"),
+            SessionError::Rejected(m) => write!(f, "rejected: {m}"),
+            SessionError::Engine(e) => write!(f, "engine: {e}"),
+            SessionError::Solver(m) => write!(f, "solver: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+/// Request counters, reported by `STATS`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SessionStats {
+    /// `QUERY` requests served (hits and misses).
+    pub queries: u64,
+    /// Facts accepted and propagated.
+    pub inserts: u64,
+    /// Inserts of an already-present identical fact.
+    pub duplicates: u64,
+    /// Inserts refused because the stored probability differs.
+    pub conflicts: u64,
+    /// Probability updates applied.
+    pub updates: u64,
+}
+
+/// A resident engine + query cache answering requests.
+pub struct Session {
+    engine: LtgEngine,
+    solver: Box<dyn WmcSolver>,
+    /// Dependency graph of the canonical program (per-predicate cache
+    /// invalidation closures).
+    deps: DependencyGraph,
+    dep_closures: FxHashMap<PredId, Rc<[PredId]>>,
+    cache: QueryCache,
+    stats: SessionStats,
+}
+
+impl Session {
+    /// Builds a session and reasons the program to fixpoint (startup
+    /// cost; every later request is incremental).
+    pub fn new(program: &Program, opts: SessionOptions) -> Result<Self, EngineError> {
+        let mut engine = LtgEngine::with_config(program, opts.config);
+        engine.reason()?;
+        let deps = DependencyGraph::build(engine.program());
+        Ok(Session {
+            engine,
+            solver: opts.solver.build(),
+            deps,
+            dep_closures: FxHashMap::default(),
+            cache: QueryCache::new(),
+            stats: SessionStats::default(),
+        })
+    }
+
+    /// The underlying engine (read-only).
+    pub fn engine(&self) -> &LtgEngine {
+        &self.engine
+    }
+
+    /// Request counters.
+    pub fn stats(&self) -> SessionStats {
+        self.stats
+    }
+
+    /// Cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Answers a query atom such as `p(a, X)`. Ground and open queries
+    /// are both supported; answers are sorted by answer text. Results
+    /// are memoized until a dependency predicate is mutated.
+    pub fn query(&mut self, atom_text: &str) -> Result<Rc<[Answer]>, SessionError> {
+        self.stats.queries += 1;
+        let (name, args) = parse_atom_text(atom_text)?;
+        let pred = self
+            .engine
+            .program()
+            .preds
+            .lookup(&name, args.len())
+            .ok_or_else(|| SessionError::UnknownPredicate(format!("{name}/{}", args.len())))?;
+
+        // Resolve terms; a constant the program has never seen makes the
+        // query provably empty (nothing to cache — it is answered here).
+        let mut scope: Vec<String> = Vec::new();
+        let mut terms: Vec<Term> = Vec::with_capacity(args.len());
+        for a in &args {
+            if a.is_variable() {
+                let i = if a.text == "_" {
+                    scope.push(format!("_anon{}", scope.len()));
+                    scope.len() - 1
+                } else if let Some(i) = scope.iter().position(|n| *n == a.text) {
+                    i
+                } else {
+                    scope.push(a.text.clone());
+                    scope.len() - 1
+                };
+                terms.push(Term::Var(Var(i as u32)));
+            } else {
+                match self.engine.program().symbols.lookup(&a.text) {
+                    Some(s) => terms.push(Term::Const(s)),
+                    None => return Ok(Rc::from(Vec::new())),
+                }
+            }
+        }
+        let atom = Atom::new(pred, terms);
+        let key = cache_key(&atom);
+        if let Some(hit) = self.cache.lookup(&key, self.engine.db()) {
+            return Ok(hit);
+        }
+        let answers = self.compute(&atom)?;
+        let deps = self.dep_closure(pred);
+        self.cache
+            .store(key, deps, answers.clone(), self.engine.db());
+        Ok(answers)
+    }
+
+    /// Computes (lineage + WMC) the answers of a resolved atom.
+    fn compute(&mut self, atom: &Atom) -> Result<Rc<[Answer]>, SessionError> {
+        let results = self.engine.answer(atom).map_err(SessionError::Engine)?;
+        let weights = self.engine.db().weights();
+        let mut answers = Vec::with_capacity(results.len());
+        for (f, d) in results {
+            let prob = self
+                .solver
+                .probability(&d, &weights)
+                .map_err(|e| SessionError::Solver(e.to_string()))?;
+            let program = self.engine.program();
+            let text = self
+                .engine
+                .db()
+                .store
+                .display(f, &program.preds, &program.symbols);
+            answers.push(Answer { text, prob });
+        }
+        answers.sort_by(|a, b| a.text.cmp(&b.text));
+        Ok(Rc::from(answers))
+    }
+
+    /// The transitive body closure of `pred` (memoized).
+    fn dep_closure(&mut self, pred: PredId) -> Rc<[PredId]> {
+        if let Some(c) = self.dep_closures.get(&pred) {
+            return c.clone();
+        }
+        let seen = self.deps.reachable_from(&[pred]);
+        let closure: Rc<[PredId]> = seen
+            .iter()
+            .enumerate()
+            .filter(|(_, &s)| s)
+            .map(|(i, _)| PredId(i as u32))
+            .collect();
+        self.dep_closures.insert(pred, closure.clone());
+        closure
+    }
+
+    /// Inserts `prob :: atom.` and propagates it through the trigger
+    /// graph. Conflicting duplicates are refused (the stored probability
+    /// wins) — resolve with [`Session::update`].
+    pub fn insert(&mut self, prob: f64, atom_text: &str) -> Result<InsertResponse, SessionError> {
+        let (pred, args) = self.resolve_ground(atom_text, true)?;
+        match self.engine.insert_fact(pred, &args, prob) {
+            Ok((_, InsertOutcome::Inserted)) => {
+                self.engine.reason_delta().map_err(SessionError::Engine)?;
+                self.stats.inserts += 1;
+                Ok(InsertResponse::Inserted {
+                    epoch: self.engine.db().epoch(),
+                })
+            }
+            Ok((_, InsertOutcome::Duplicate)) => {
+                self.stats.duplicates += 1;
+                Ok(InsertResponse::Duplicate { prob })
+            }
+            Ok((_, InsertOutcome::Conflict { existing })) => {
+                self.stats.conflicts += 1;
+                Ok(InsertResponse::Conflict { existing })
+            }
+            Err(e) => Err(self.rejected(e)),
+        }
+    }
+
+    /// Sets `π(fact) = prob` in place — the resolution path for insert
+    /// conflicts. Lineage is untouched; dependent cached queries are
+    /// invalidated through the epoch bump.
+    pub fn update(&mut self, prob: f64, atom_text: &str) -> Result<UpdateResponse, SessionError> {
+        let (pred, args) = self.resolve_ground(atom_text, false)?;
+        let sp = self.engine.storage_pred(pred);
+        let fact = self
+            .engine
+            .db()
+            .store
+            .lookup(sp, &args)
+            .filter(|&f| self.engine.db().is_edb_fact(f))
+            .ok_or_else(|| SessionError::UnknownFact(atom_text.trim().to_string()))?;
+        match self.engine.update_prob(fact, prob) {
+            Ok(Some(old)) => {
+                self.stats.updates += 1;
+                Ok(UpdateResponse {
+                    old,
+                    new: prob,
+                    epoch: self.engine.db().epoch(),
+                })
+            }
+            Ok(None) => Err(SessionError::UnknownFact(atom_text.trim().to_string())),
+            Err(e) => Err(self.rejected(e)),
+        }
+    }
+
+    /// `STATS` payload: `(key, value)` lines in a fixed order.
+    pub fn stats_lines(&self) -> Vec<(&'static str, String)> {
+        let cs = self.cache.stats();
+        let es = self.engine.stats();
+        let db = self.engine.db();
+        vec![
+            ("queries", self.stats.queries.to_string()),
+            ("cache_hits", cs.hits.to_string()),
+            ("cache_misses", cs.misses.to_string()),
+            ("cache_invalidations", cs.invalidations.to_string()),
+            ("cache_entries", self.cache.len().to_string()),
+            ("inserts", self.stats.inserts.to_string()),
+            ("duplicates", self.stats.duplicates.to_string()),
+            ("conflicts", self.stats.conflicts.to_string()),
+            ("updates", self.stats.updates.to_string()),
+            ("epoch", db.epoch().to_string()),
+            ("edb_facts", db.n_edb_facts().to_string()),
+            (
+                "derived_facts",
+                self.engine.derived_facts().len().to_string(),
+            ),
+            ("rounds", es.rounds.to_string()),
+            ("delta_passes", es.delta_passes.to_string()),
+            ("delta_waves", es.delta_waves.to_string()),
+            ("derivations", es.derivations.to_string()),
+            ("nodes_alive", es.nodes_alive.to_string()),
+            (
+                "reasoning_ms",
+                format!("{:.3}", es.reasoning_time.as_secs_f64() * 1e3),
+            ),
+        ]
+    }
+
+    /// Parses a ground atom against the session tables. `intern`
+    /// controls whether unseen constants are added (INSERT) or reported
+    /// as an unknown fact (UPDATE).
+    fn resolve_ground(
+        &mut self,
+        atom_text: &str,
+        intern: bool,
+    ) -> Result<(PredId, Vec<Sym>), SessionError> {
+        let (name, args) = parse_atom_text(atom_text)?;
+        let pred = self
+            .engine
+            .program()
+            .preds
+            .lookup(&name, args.len())
+            .ok_or_else(|| SessionError::UnknownPredicate(format!("{name}/{}", args.len())))?;
+        let mut syms = Vec::with_capacity(args.len());
+        for a in &args {
+            if a.is_variable() {
+                return Err(SessionError::Parse(format!(
+                    "fact must be ground; '{}' is a variable",
+                    a.text
+                )));
+            }
+            let s = if intern {
+                self.engine.intern_symbol(&a.text)
+            } else {
+                self.engine
+                    .program()
+                    .symbols
+                    .lookup(&a.text)
+                    .ok_or_else(|| SessionError::UnknownFact(atom_text.trim().to_string()))?
+            };
+            syms.push(s);
+        }
+        Ok((pred, syms))
+    }
+
+    /// Renders an engine-level rejection with human-readable names.
+    fn rejected(&self, e: InsertError) -> SessionError {
+        let msg = match e {
+            InsertError::Intensional(p) => format!(
+                "predicate {} is derived by rules; only extensional facts can be inserted",
+                self.engine.program().preds.name(p)
+            ),
+            other => other.to_string(),
+        };
+        SessionError::Rejected(msg)
+    }
+}
+
+/// One parsed argument token. Quoted tokens are always constants —
+/// `'Alice'` must not become a variable just because it is capitalized,
+/// matching the program parser's quoting rules.
+struct ArgToken {
+    text: String,
+    quoted: bool,
+}
+
+impl ArgToken {
+    /// True for unquoted `X`, `Foo`, `_`, `_x` — the parser's variable
+    /// syntax.
+    fn is_variable(&self) -> bool {
+        !self.quoted
+            && self
+                .text
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_uppercase() || c == '_')
+    }
+}
+
+/// Splits an argument list on commas *outside* quotes, so quoted
+/// constants may contain commas (`e('a,b')` is one argument).
+fn split_args(inner: &str, full: &str) -> Result<Vec<ArgToken>, SessionError> {
+    let mut raw: Vec<String> = Vec::new();
+    let mut current = String::new();
+    let mut quote: Option<char> = None;
+    for c in inner.chars() {
+        match quote {
+            Some(q) if c == q => {
+                quote = None;
+                current.push(c);
+            }
+            Some(_) => current.push(c),
+            None => match c {
+                '\'' | '"' => {
+                    quote = Some(c);
+                    current.push(c);
+                }
+                ',' => raw.push(std::mem::take(&mut current)),
+                _ => current.push(c),
+            },
+        }
+    }
+    if quote.is_some() {
+        return Err(SessionError::Parse(format!(
+            "unterminated quote in '{full}'"
+        )));
+    }
+    raw.push(current);
+
+    let mut tokens = Vec::with_capacity(raw.len());
+    for tok in raw {
+        let tok = tok.trim();
+        let first = tok.chars().next();
+        let token = if matches!(first, Some('\'') | Some('"')) {
+            let q = first.unwrap();
+            let stripped = tok
+                .strip_prefix(q)
+                .and_then(|t| t.strip_suffix(q))
+                .ok_or_else(|| {
+                    SessionError::Parse(format!("malformed quoted constant '{tok}' in '{full}'"))
+                })?;
+            ArgToken {
+                text: stripped.to_string(),
+                quoted: true,
+            }
+        } else {
+            if tok.is_empty() {
+                return Err(SessionError::Parse(format!("empty argument in '{full}'")));
+            }
+            ArgToken {
+                text: tok.to_string(),
+                quoted: false,
+            }
+        };
+        tokens.push(token);
+    }
+    Ok(tokens)
+}
+
+/// Splits `p(a, B, 'x y')` (trailing `.` optional) into the predicate
+/// name and its argument tokens.
+fn parse_atom_text(text: &str) -> Result<(String, Vec<ArgToken>), SessionError> {
+    let text = text.trim();
+    let text = text.strip_suffix('.').unwrap_or(text).trim_end();
+    if text.is_empty() {
+        return Err(SessionError::Parse("empty atom".into()));
+    }
+    let (name, args) = match text.split_once('(') {
+        None => (text, Vec::new()),
+        Some((name, rest)) => {
+            let Some(inner) = rest.strip_suffix(')') else {
+                return Err(SessionError::Parse(format!("missing ')' in '{text}'")));
+            };
+            (name.trim(), split_args(inner, text)?)
+        }
+    };
+    if name.is_empty()
+        || !name
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_lowercase() || c.is_ascii_digit())
+    {
+        return Err(SessionError::Parse(format!(
+            "'{name}' is not a predicate name"
+        )));
+    }
+    Ok((name.to_string(), args))
+}
+
+/// Canonical cache key of a resolved atom (variables are already
+/// numbered by first occurrence, so α-equivalent queries collide).
+fn cache_key(atom: &Atom) -> String {
+    use std::fmt::Write;
+    let mut key = format!("{}(", atom.pred.0);
+    for (i, t) in atom.terms.iter().enumerate() {
+        if i > 0 {
+            key.push(',');
+        }
+        match t {
+            Term::Const(s) => {
+                let _ = write!(key, "c{}", s.0);
+            }
+            Term::Var(v) => {
+                let _ = write!(key, "v{}", v.0);
+            }
+        }
+    }
+    key.push(')');
+    key
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltg_datalog::parse_program;
+
+    const EXAMPLE1: &str = "
+        0.5 :: e(a, b). 0.6 :: e(b, c). 0.7 :: e(a, c). 0.8 :: e(c, b).
+        p(X, Y) :- e(X, Y).
+        p(X, Y) :- p(X, Z), p(Z, Y).
+    ";
+
+    fn session() -> Session {
+        let program = parse_program(EXAMPLE1).unwrap();
+        Session::new(&program, SessionOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn ground_query_answers_and_caches() {
+        let mut s = session();
+        let a1 = s.query("p(a, b)").unwrap();
+        assert_eq!(a1.len(), 1);
+        assert_eq!(a1[0].text, "p(a,b)");
+        assert!((a1[0].prob - 0.78).abs() < 1e-9);
+        // Second ask: same Rc from the cache.
+        let a2 = s.query("p(a, b).").unwrap();
+        assert!((a2[0].prob - 0.78).abs() < 1e-9);
+        let cs = s.cache_stats();
+        assert_eq!(cs.hits, 1);
+        assert_eq!(cs.misses, 1);
+        assert_eq!(s.stats().queries, 2);
+    }
+
+    #[test]
+    fn open_query_lists_sorted_answers() {
+        let mut s = session();
+        let answers = s.query("p(a, X)").unwrap();
+        let texts: Vec<&str> = answers.iter().map(|a| a.text.as_str()).collect();
+        assert_eq!(texts, vec!["p(a,b)", "p(a,c)"]);
+        // α-equivalent query hits the same entry.
+        s.query("p(a, Y)").unwrap();
+        assert_eq!(s.cache_stats().hits, 1);
+    }
+
+    #[test]
+    fn insert_invalidates_and_requery_matches_scratch() {
+        let mut s = session();
+        assert!((s.query("p(a, b)").unwrap()[0].prob - 0.78).abs() < 1e-9);
+        let resp = s.insert(0.9, "e(a, d)").unwrap();
+        assert!(matches!(resp, InsertResponse::Inserted { epoch: 1 }));
+        let resp = s.insert(0.4, "e(d, b)").unwrap();
+        assert!(matches!(resp, InsertResponse::Inserted { epoch: 2 }));
+
+        let incremental = s.query("p(a, b)").unwrap()[0].prob;
+        assert_eq!(s.cache_stats().invalidations, 1);
+
+        // From-scratch session over the grown program.
+        let full = parse_program(&format!("{EXAMPLE1} 0.9 :: e(a, d). 0.4 :: e(d, b).")).unwrap();
+        let mut scratch = Session::new(&full, SessionOptions::default()).unwrap();
+        let fresh = scratch.query("p(a, b)").unwrap()[0].prob;
+        assert!(
+            (incremental - fresh).abs() < 1e-12,
+            "incremental {incremental} vs scratch {fresh}"
+        );
+        assert!(incremental > 0.78);
+    }
+
+    #[test]
+    fn duplicate_and_conflict_responses() {
+        let mut s = session();
+        assert_eq!(
+            s.insert(0.5, "e(a, b)").unwrap(),
+            InsertResponse::Duplicate { prob: 0.5 }
+        );
+        assert_eq!(
+            s.insert(0.9, "e(a, b)").unwrap(),
+            InsertResponse::Conflict { existing: 0.5 }
+        );
+        // The conflict is resolved via UPDATE; dependent queries see the
+        // new weight without re-reasoning.
+        let before = s.query("p(a, b)").unwrap()[0].prob;
+        let resp = s.update(0.9, "e(a, b)").unwrap();
+        assert_eq!(resp.old, 0.5);
+        assert_eq!(resp.new, 0.9);
+        let after = s.query("p(a, b)").unwrap()[0].prob;
+        assert!(after > before);
+        let st = s.stats();
+        assert_eq!(st.duplicates, 1);
+        assert_eq!(st.conflicts, 1);
+        assert_eq!(st.updates, 1);
+    }
+
+    #[test]
+    fn rejections_are_reported() {
+        let mut s = session();
+        assert!(matches!(
+            s.query("nope(a, b)"),
+            Err(SessionError::UnknownPredicate(_))
+        ));
+        assert!(matches!(
+            s.insert(0.5, "p(a, b)"),
+            Err(SessionError::Rejected(_))
+        ));
+        assert!(matches!(
+            s.insert(0.5, "e(a, X)"),
+            Err(SessionError::Parse(_))
+        ));
+        assert!(matches!(
+            s.insert(1.5, "e(a, z)"),
+            Err(SessionError::Rejected(_))
+        ));
+        assert!(matches!(
+            s.update(0.5, "e(z, z)"),
+            Err(SessionError::UnknownFact(_))
+        ));
+        // Unknown constants in a query are simply unsatisfiable.
+        assert!(s.query("p(zz, X)").unwrap().is_empty());
+    }
+
+    #[test]
+    fn quoted_constants_are_constants_not_variables() {
+        // 'Alice' is a quoted constant in the program parser; the
+        // session parser must agree, including quoted commas.
+        let program =
+            parse_program("0.5 :: e('Alice', b). 0.25 :: e('x,y', b). q(X) :- e(X, b).").unwrap();
+        let mut s = Session::new(&program, SessionOptions::default()).unwrap();
+        let answers = s.query("e('Alice', X)").unwrap();
+        assert_eq!(answers.len(), 1);
+        assert_eq!(answers[0].text, "e(Alice,b)");
+        let answers = s.query("e('x,y', X)").unwrap();
+        assert_eq!(answers.len(), 1);
+        assert!((answers[0].prob - 0.25).abs() < 1e-12);
+        // Ground insert/update with quoted constants round-trips.
+        assert_eq!(
+            s.insert(0.9, "e('Bob', b)").unwrap(),
+            InsertResponse::Inserted { epoch: 1 }
+        );
+        assert!((s.query("q('Bob')").unwrap()[0].prob - 0.9).abs() < 1e-12);
+        assert_eq!(s.update(0.5, "e('Alice', b)").unwrap().old, 0.5);
+        // Malformed quoting is a parse error, not a silent open query.
+        assert!(matches!(
+            s.query("e('Alice, X)"),
+            Err(SessionError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn stats_lines_cover_the_counters() {
+        let mut s = session();
+        s.query("p(a, b)").unwrap();
+        s.query("p(a, b)").unwrap();
+        s.insert(0.5, "e(c, d)").unwrap();
+        let lines = s.stats_lines();
+        let get = |k: &str| {
+            lines
+                .iter()
+                .find(|(key, _)| *key == k)
+                .map(|(_, v)| v.clone())
+                .unwrap()
+        };
+        assert_eq!(get("queries"), "2");
+        assert_eq!(get("cache_hits"), "1");
+        assert_eq!(get("inserts"), "1");
+        assert_eq!(get("epoch"), "1");
+        assert_eq!(get("delta_passes"), "1");
+    }
+}

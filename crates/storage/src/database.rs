@@ -10,6 +10,31 @@ use crate::fact::{FactId, FactStore};
 use crate::relation::Relation;
 use ltg_datalog::{PredId, Program, Sym};
 
+/// What happened to an [`Database::insert_edb`] call. Duplicate facts
+/// keep their existing probability; the caller decides whether a
+/// [`InsertOutcome::Conflict`] warrants a [`Database::update_prob`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum InsertOutcome {
+    /// The fact was new; the EDB grew and the epoch advanced.
+    Inserted,
+    /// The fact already existed with the same probability; no change.
+    Duplicate,
+    /// The fact already existed with a *different* probability. The
+    /// stored value (carried here) was kept — resolve explicitly via
+    /// [`Database::update_prob`].
+    Conflict {
+        /// The probability already stored for the fact.
+        existing: f64,
+    },
+}
+
+impl InsertOutcome {
+    /// True when the database changed (a fresh fact was added).
+    pub fn changed(&self) -> bool {
+        matches!(self, InsertOutcome::Inserted)
+    }
+}
+
 /// A probabilistic database plus the scratch space engines share.
 pub struct Database {
     /// The global fact arena (extensional and derived facts).
@@ -18,6 +43,12 @@ pub struct Database {
     probs: Vec<Option<f64>>,
     /// Extensional facts per predicate.
     edb: Vec<Relation>,
+    /// Mutation counter: advances on every fresh insert or probability
+    /// update. Resident sessions key their query caches on it.
+    epoch: u64,
+    /// Epoch of the last mutation touching each predicate (indexed by
+    /// `PredId`; absent entries mean "never mutated since load").
+    pred_epochs: Vec<u64>,
 }
 
 impl Database {
@@ -28,31 +59,87 @@ impl Database {
             store: FactStore::new(),
             probs: Vec::new(),
             edb: (0..n_preds).map(|_| Relation::new()).collect(),
+            epoch: 0,
+            pred_epochs: vec![0; n_preds],
         }
     }
 
     /// Builds a database from the facts of a program.
     ///
     /// Duplicate facts keep the probability of their first occurrence.
+    /// The epoch is reset to 0 afterwards: the program's facts are the
+    /// baseline, not mutations.
     pub fn from_program(program: &Program) -> Self {
         let mut db = Database::new(program.preds.len());
         for (atom, prob) in &program.facts {
             db.insert_edb(atom.pred, &atom.args, *prob);
         }
+        db.epoch = 0;
+        db.pred_epochs.iter_mut().for_each(|e| *e = 0);
         db
     }
 
-    /// Inserts an extensional fact with probability `prob`, returning its
-    /// id. Re-inserting an existing fact is a no-op (first probability
-    /// wins).
-    pub fn insert_edb(&mut self, pred: PredId, args: &[Sym], prob: f64) -> FactId {
+    /// Inserts an extensional fact with probability `prob`. Re-inserting
+    /// an existing fact keeps the stored probability and reports a
+    /// [`InsertOutcome::Duplicate`] or — when the probabilities differ —
+    /// an [`InsertOutcome::Conflict`] so callers can surface it instead
+    /// of silently dropping the new value.
+    pub fn insert_edb(&mut self, pred: PredId, args: &[Sym], prob: f64) -> (FactId, InsertOutcome) {
         let (f, fresh) = self.store.intern(pred, args);
         if fresh {
             self.probs.push(Some(prob));
             self.grow_to(pred);
             self.edb[pred.index()].push(f);
+            self.bump(pred);
+            return (f, InsertOutcome::Inserted);
         }
-        f
+        match self.probs[f.index()] {
+            Some(existing) if existing == prob => (f, InsertOutcome::Duplicate),
+            Some(existing) => (f, InsertOutcome::Conflict { existing }),
+            // Previously interned as a derived fact: promote it to the
+            // EDB (it gains a probability and joins the relation).
+            None => {
+                self.probs[f.index()] = Some(prob);
+                self.grow_to(pred);
+                self.edb[pred.index()].push(f);
+                self.bump(pred);
+                (f, InsertOutcome::Inserted)
+            }
+        }
+    }
+
+    /// Updates `π(f)` of an extensional fact in place, returning the
+    /// previous value. This is the resolution path for
+    /// [`InsertOutcome::Conflict`]: lineage is untouched (it references
+    /// facts by id), only the weight vector changes — but the epoch
+    /// advances so cached probabilities depending on `f`'s predicate are
+    /// invalidated. Returns `None` (and changes nothing) for derived
+    /// facts.
+    pub fn update_prob(&mut self, f: FactId, prob: f64) -> Option<f64> {
+        let old = self.probs[f.index()]?;
+        self.probs[f.index()] = Some(prob);
+        self.bump(self.store.pred(f));
+        Some(old)
+    }
+
+    /// The mutation epoch: 0 at load, +1 per fresh insert or probability
+    /// update.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Epoch of the last mutation touching `pred` (0 = untouched since
+    /// load).
+    pub fn pred_epoch(&self, pred: PredId) -> u64 {
+        self.pred_epochs.get(pred.index()).copied().unwrap_or(0)
+    }
+
+    fn bump(&mut self, pred: PredId) {
+        self.epoch += 1;
+        if pred.index() >= self.pred_epochs.len() {
+            self.pred_epochs.resize(pred.index() + 1, 0);
+        }
+        self.pred_epochs[pred.index()] = self.epoch;
     }
 
     /// Interns a *derived* fact (no probability, not part of any EDB
@@ -174,6 +261,59 @@ mod tests {
         let e = p.preds.lookup("e", 1).unwrap();
         let f = db.edb_facts(e)[0];
         assert_eq!(db.prob(f), Some(0.5));
+    }
+
+    #[test]
+    fn insert_outcomes_and_epochs() {
+        let p = parse_program("0.5 :: e(a). 0.6 :: f(b).").unwrap();
+        let mut db = Database::from_program(&p);
+        let e = p.preds.lookup("e", 1).unwrap();
+        let f = p.preds.lookup("f", 1).unwrap();
+        let (a, b) = (
+            p.symbols.lookup("a").unwrap(),
+            p.symbols.lookup("b").unwrap(),
+        );
+        // Loading a program is the epoch-0 baseline.
+        assert_eq!(db.epoch(), 0);
+        assert_eq!(db.pred_epoch(e), 0);
+
+        // Fresh insert advances the global and per-predicate epochs.
+        let (_, out) = db.insert_edb(e, &[b], 0.7);
+        assert_eq!(out, InsertOutcome::Inserted);
+        assert!(out.changed());
+        assert_eq!(db.epoch(), 1);
+        assert_eq!(db.pred_epoch(e), 1);
+        assert_eq!(db.pred_epoch(f), 0);
+
+        // Same fact, same probability: silent duplicate, no epoch bump.
+        let (_, out) = db.insert_edb(e, &[a], 0.5);
+        assert_eq!(out, InsertOutcome::Duplicate);
+        assert!(!out.changed());
+        assert_eq!(db.epoch(), 1);
+
+        // Same fact, different probability: conflict, stored value kept.
+        let (fa, out) = db.insert_edb(e, &[a], 0.9);
+        assert_eq!(out, InsertOutcome::Conflict { existing: 0.5 });
+        assert_eq!(db.prob(fa), Some(0.5));
+        assert_eq!(db.epoch(), 1);
+
+        // update_prob resolves the conflict and advances the epoch.
+        assert_eq!(db.update_prob(fa, 0.9), Some(0.5));
+        assert_eq!(db.prob(fa), Some(0.9));
+        assert_eq!(db.epoch(), 2);
+        assert_eq!(db.pred_epoch(e), 2);
+    }
+
+    #[test]
+    fn update_prob_rejects_derived_facts() {
+        let p = parse_program("0.5 :: e(a). q(X) :- e(X).").unwrap();
+        let mut db = Database::from_program(&p);
+        let q = p.preds.lookup("q", 1).unwrap();
+        let a = p.symbols.lookup("a").unwrap();
+        let (f, _) = db.intern_derived(q, &[a]);
+        assert_eq!(db.update_prob(f, 0.3), None);
+        assert_eq!(db.prob(f), None);
+        assert_eq!(db.epoch(), 0);
     }
 
     #[test]

@@ -15,7 +15,9 @@
 //! * [`wmc`] — weighted model counters (`ltg-wmc`);
 //! * [`core`] — the LTG engine itself (`ltg-core`);
 //! * [`baselines`] — `TcP`, `ΔTcP`, top-k, circuits (`ltg-baselines`);
-//! * [`benchdata`] — the workload generators (`ltg-benchdata`).
+//! * [`benchdata`] — the workload generators (`ltg-benchdata`);
+//! * [`server`] — the resident query service: incremental sessions with
+//!   cached WMC behind a concurrent TCP front-end (`ltg-server`).
 //!
 //! # Quick start
 //!
@@ -49,6 +51,7 @@ pub use ltg_benchdata as benchdata;
 pub use ltg_core as core;
 pub use ltg_datalog as datalog;
 pub use ltg_lineage as lineage;
+pub use ltg_server as server;
 pub use ltg_storage as storage;
 pub use ltg_wmc as wmc;
 
@@ -60,7 +63,8 @@ pub mod prelude {
     pub use ltg_core::{EngineConfig, EngineError, LtgEngine, TgMaterializer};
     pub use ltg_datalog::{magic_transform, parse_program, Atom, Program};
     pub use ltg_lineage::Dnf;
-    pub use ltg_storage::{Database, FactId, ResourceMeter};
+    pub use ltg_server::{Server, Session, SessionOptions};
+    pub use ltg_storage::{Database, FactId, InsertOutcome, ResourceMeter};
     pub use ltg_wmc::{
         BddWmc, CnfWmc, DissociationWmc, DtreeWmc, KarpLubyWmc, NaiveWmc, SddWmc, WmcSolver,
     };

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! USAGE: ltgs [OPTIONS] <program.pl>
+//!        ltgs serve [--port N] [--host H] [--solver S] <program.pl>
 //!
 //!   --engine <ltg|ltg-nocollapse|tcp|delta|topk=K|circuit>   (default: ltg)
 //!   --solver <sdd|bdd|dtree|c2d|karp-luby|dissociation|anytime>  (default: sdd)
@@ -14,7 +15,9 @@
 //!
 //! The program file uses the ProbLog-flavoured syntax of
 //! [`ltgs::datalog::parse_program`]; `query p(a, X).` lines define the
-//! queries.
+//! queries. `ltgs serve` keeps the reasoned program resident and
+//! answers `QUERY` / `INSERT` / `UPDATE` / `STATS` requests over a TCP
+//! line protocol (see `docs/server.md`).
 
 use ltgs::baselines::{
     BaselineConfig, CircuitEngine, DeltaTcpEngine, ProbEngine, TcpEngine, TopKEngine,
@@ -220,7 +223,87 @@ fn run_one_query(
     Ok(())
 }
 
+/// `ltgs serve [--port N] [--host H] [--solver S] [--no-collapse] <program.pl>`
+fn run_serve(args: &[String]) -> Result<(), String> {
+    let mut port: u16 = 7474;
+    let mut host = "127.0.0.1".to_string();
+    let mut solver = ltgs::wmc::SolverKind::Sdd;
+    let mut collapse = true;
+    let mut max_depth: Option<u32> = None;
+    let mut path = String::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--port" => {
+                port = it
+                    .next()
+                    .ok_or("--port needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --port")?
+            }
+            "--host" => host = it.next().ok_or("--host needs a value")?.clone(),
+            "--solver" => {
+                solver = match it.next().ok_or("--solver needs a value")?.as_str() {
+                    "sdd" => ltgs::wmc::SolverKind::Sdd,
+                    "bdd" => ltgs::wmc::SolverKind::Bdd,
+                    "dtree" => ltgs::wmc::SolverKind::Dtree,
+                    "c2d" => ltgs::wmc::SolverKind::Cnf,
+                    other => return Err(format!("unknown solver '{other}' for serve")),
+                }
+            }
+            "--no-collapse" => collapse = false,
+            "--max-depth" => {
+                max_depth = Some(
+                    it.next()
+                        .ok_or("--max-depth needs a value")?
+                        .parse()
+                        .map_err(|_| "bad --max-depth")?,
+                )
+            }
+            other if !other.starts_with('-') && path.is_empty() => path = other.to_string(),
+            other => return Err(format!("unknown serve option '{other}'")),
+        }
+    }
+    if path.is_empty() {
+        return Err("serve needs a program file".into());
+    }
+    let src = std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let program = parse_program(&src).map_err(|e| e.to_string())?;
+    // Flags are collected first and combined here, so their order on
+    // the command line cannot matter.
+    let mut config = if collapse {
+        EngineConfig::with_collapse()
+    } else {
+        EngineConfig::without_collapse()
+    };
+    config.max_depth = max_depth;
+    let opts = ltgs::server::SessionOptions { config, solver };
+    let server = ltgs::server::Server::start((host.as_str(), port), program, opts)
+        .map_err(|e| e.to_string())?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    // Readiness line (stdout, flushed): scripts wait for it before
+    // connecting; the session behind it is already reasoned to fixpoint.
+    println!("ltgs: serving {path} on {addr}");
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    server.run().map_err(|e| e.to_string())
+}
+
 fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("serve") {
+        return match run_serve(&argv[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                eprintln!(
+                    "usage: ltgs serve [--port N] [--host H] [--solver sdd|bdd|dtree|c2d] \
+                     [--no-collapse] [--max-depth N] <program.pl>"
+                );
+                ExitCode::FAILURE
+            }
+        };
+    }
     let opts = match parse_args() {
         Ok(o) => o,
         Err(msg) => {

@@ -1,0 +1,226 @@
+//! End-to-end tests of `ltgs serve`: spawn the real binary, speak the
+//! line protocol over a real socket, and check the acceptance criteria
+//! of the resident service — repeated queries hit the cache (visible in
+//! `STATS`), and an `INSERT` followed by the same query returns the
+//! probability a from-scratch run computes.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+
+const PROGRAM: &str = "0.5 :: e(a, b). 0.6 :: e(b, c). 0.7 :: e(a, c). 0.8 :: e(c, b).
+p(X, Y) :- e(X, Y).
+p(X, Y) :- p(X, Z), p(Z, Y).
+query p(a, b).
+";
+
+fn write_program(name: &str, body: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("ltgs-server-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    std::fs::write(&path, body).unwrap();
+    path
+}
+
+/// A running `ltgs serve` child, killed on drop.
+struct ServeGuard {
+    child: Child,
+    addr: String,
+}
+
+impl Drop for ServeGuard {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Spawns `ltgs serve --port 0 <program>` and waits for its readiness
+/// line to learn the bound address.
+fn spawn_serve(program_path: &std::path::Path) -> ServeGuard {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_ltgs"))
+        .args(["serve", "--port", "0", program_path.to_str().unwrap()])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("serve starts");
+    let stdout = child.stdout.take().unwrap();
+    let mut reader = BufReader::new(stdout);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("readiness line");
+    let addr = line
+        .trim()
+        .rsplit_once(" on ")
+        .expect("readiness line names the address")
+        .1
+        .to_string();
+    ServeGuard { child, addr }
+}
+
+/// Sends one request line and reads the complete response.
+fn request(reader: &mut BufReader<TcpStream>, writer: &mut TcpStream, line: &str) -> Vec<String> {
+    writer.write_all(line.as_bytes()).unwrap();
+    writer.write_all(b"\n").unwrap();
+    writer.flush().unwrap();
+    let mut head = String::new();
+    reader.read_line(&mut head).unwrap();
+    let mut out = vec![head.trim_end().to_string()];
+    if let Some(rest) = out[0].strip_prefix("OK ") {
+        if let Ok(n) = rest.trim().parse::<usize>() {
+            for _ in 0..n {
+                let mut l = String::new();
+                reader.read_line(&mut l).unwrap();
+                out.push(l.trim_end().to_string());
+            }
+        }
+    }
+    out
+}
+
+fn connect(addr: &str) -> (BufReader<TcpStream>, TcpStream) {
+    let stream = TcpStream::connect(addr).expect("connect to serve");
+    (BufReader::new(stream.try_clone().unwrap()), stream)
+}
+
+fn stat(lines: &[String], key: &str) -> u64 {
+    lines
+        .iter()
+        .find_map(|l| l.strip_prefix(&format!("{key} ")))
+        .unwrap_or_else(|| panic!("stat {key} missing from {lines:?}"))
+        .parse()
+        .unwrap()
+}
+
+#[test]
+fn repeated_quickstart_queries_hit_the_cache() {
+    let path = write_program("quickstart.pl", PROGRAM);
+    let serve = spawn_serve(&path);
+    let (mut reader, mut writer) = connect(&serve.addr);
+
+    let first = request(&mut reader, &mut writer, "QUERY p(a, b).");
+    assert_eq!(first, vec!["OK 1", "0.780000\tp(a,b)"]);
+    for _ in 0..3 {
+        let again = request(&mut reader, &mut writer, "QUERY p(a, b).");
+        assert_eq!(again, first);
+    }
+    let stats = request(&mut reader, &mut writer, "STATS");
+    assert_eq!(stat(&stats, "queries"), 4);
+    assert_eq!(stat(&stats, "cache_hits"), 3);
+    assert_eq!(stat(&stats, "cache_misses"), 1);
+    // Reasoning ran exactly once (the startup pass).
+    assert_eq!(stat(&stats, "delta_passes"), 0);
+}
+
+#[test]
+fn insert_then_requery_matches_a_from_scratch_run() {
+    let path = write_program("grow.pl", PROGRAM);
+    let serve = spawn_serve(&path);
+    let (mut reader, mut writer) = connect(&serve.addr);
+
+    assert_eq!(
+        request(&mut reader, &mut writer, "QUERY p(a, b)."),
+        vec!["OK 1", "0.780000\tp(a,b)"]
+    );
+    assert_eq!(
+        request(&mut reader, &mut writer, "INSERT 0.9 :: e(a, d)."),
+        vec!["OK inserted epoch=1"]
+    );
+    assert_eq!(
+        request(&mut reader, &mut writer, "INSERT 0.4 :: e(d, b)."),
+        vec!["OK inserted epoch=2"]
+    );
+    let incremental = request(&mut reader, &mut writer, "QUERY p(a, b).");
+
+    // From-scratch run over the grown program through the one-shot CLI.
+    let grown = write_program(
+        "grown.pl",
+        &format!("0.9 :: e(a, d). 0.4 :: e(d, b). {PROGRAM}"),
+    );
+    let out = Command::new(env!("CARGO_BIN_EXE_ltgs"))
+        .arg(grown.to_str().unwrap())
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let scratch = String::from_utf8_lossy(&out.stdout);
+    let scratch_prob = scratch
+        .lines()
+        .find(|l| l.ends_with("p(a,b)"))
+        .unwrap()
+        .split('\t')
+        .next()
+        .unwrap()
+        .to_string();
+
+    assert_eq!(incremental[0], "OK 1");
+    assert_eq!(
+        incremental[1],
+        format!("{scratch_prob}\tp(a,b)"),
+        "incremental answer must match the from-scratch run"
+    );
+    // The inserted edge also opened a new answer.
+    assert_eq!(
+        request(&mut reader, &mut writer, "QUERY p(a, d)."),
+        vec!["OK 1", "0.900000\tp(a,d)"]
+    );
+}
+
+#[test]
+fn conflict_update_and_error_paths_over_the_wire() {
+    let path = write_program("conflict.pl", PROGRAM);
+    let serve = spawn_serve(&path);
+    let (mut reader, mut writer) = connect(&serve.addr);
+
+    // Duplicate with the same probability: accepted as a no-op.
+    assert_eq!(
+        request(&mut reader, &mut writer, "INSERT 0.5 :: e(a, b)."),
+        vec!["OK duplicate p=0.500000"]
+    );
+    // Conflicting probability: refused with the stored value.
+    let conflict = request(&mut reader, &mut writer, "INSERT 0.9 :: e(a, b).");
+    assert!(conflict[0].starts_with("ERR conflict"), "{conflict:?}");
+    assert!(conflict[0].contains("0.500000"));
+    // UPDATE resolves it; the answer follows the new weight.
+    let updated = request(&mut reader, &mut writer, "UPDATE 0.9 :: e(a, b).");
+    assert!(updated[0].starts_with("OK updated p=0.500000 -> 0.900000"));
+    let answer = request(&mut reader, &mut writer, "QUERY p(a, b).");
+    assert_eq!(answer[0], "OK 1");
+    let prob: f64 = answer[1].split('\t').next().unwrap().parse().unwrap();
+    assert!(prob > 0.78, "weight update must raise the answer: {prob}");
+
+    // Error paths stay on one line.
+    assert!(request(&mut reader, &mut writer, "QUERY zz(a).")[0].starts_with("ERR"));
+    assert!(request(&mut reader, &mut writer, "INSERT 0.5 :: p(a, b).")[0].starts_with("ERR"));
+    assert!(request(&mut reader, &mut writer, "NONSENSE")[0].starts_with("ERR"));
+    assert_eq!(request(&mut reader, &mut writer, "PING"), vec!["OK pong"]);
+}
+
+#[test]
+fn concurrent_connections_share_one_session() {
+    let path = write_program("concurrent.pl", PROGRAM);
+    let serve = spawn_serve(&path);
+
+    // Warm the cache from one connection…
+    let (mut r1, mut w1) = connect(&serve.addr);
+    request(&mut r1, &mut w1, "QUERY p(a, b).");
+
+    // …then hammer it from several concurrent ones.
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let addr = serve.addr.clone();
+            std::thread::spawn(move || {
+                let (mut r, mut w) = connect(&addr);
+                for _ in 0..5 {
+                    let resp = request(&mut r, &mut w, "QUERY p(a, b).");
+                    assert_eq!(resp, vec!["OK 1", "0.780000\tp(a,b)"]);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let stats = request(&mut r1, &mut w1, "STATS");
+    assert_eq!(stat(&stats, "queries"), 21);
+    assert_eq!(stat(&stats, "cache_hits"), 20);
+}
