@@ -102,6 +102,16 @@ impl ExecutionGraph {
         self.nodes[node.index()].alive = false;
     }
 
+    /// Removes `node` from the producer list of `head_pred`, preserving
+    /// the order of the remaining producers. Retraction uses this when a
+    /// node's tset empties: a registered producer with no facts would
+    /// still be planned into combinations and probed by joins.
+    pub fn unregister_producer(&mut self, head_pred: u32, node: NodeId) {
+        if let Some(list) = self.producers.get_mut(&head_pred) {
+            list.retain(|&n| n != node);
+        }
+    }
+
     /// Alive producers of a predicate.
     pub fn producers(&self, pred: u32) -> &[NodeId] {
         self.producers.get(&pred).map_or(&[], |v| v.as_slice())
@@ -158,6 +168,23 @@ mod tests {
         g.kill(b);
         assert_eq!(g.depth(), 1);
         assert_eq!(g.alive_count(), 1);
+    }
+
+    #[test]
+    fn unregister_producer_preserves_order() {
+        let mut g = ExecutionGraph::new();
+        let a = g.push_node(RuleId(0), Box::from([]), 1);
+        let b = g.push_node(RuleId(1), Box::from([]), 1);
+        let c = g.push_node(RuleId(2), Box::from([]), 1);
+        for n in [a, b, c] {
+            g.register_producer(7, n);
+        }
+        g.unregister_producer(7, b);
+        assert_eq!(g.producers(7), &[a, c]);
+        // Unknown node / predicate: no-op.
+        g.unregister_producer(7, b);
+        g.unregister_producer(9, a);
+        assert_eq!(g.producers(7), &[a, c]);
     }
 
     #[test]

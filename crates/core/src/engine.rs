@@ -30,8 +30,9 @@ use ltg_datalog::{
     canonicalize, Atom, CanonicalProgram, PredId, Program, RuleId, Substitution, Sym,
 };
 use ltg_lineage::extract::DnfCache;
+use ltg_lineage::forest::fact_sig;
 use ltg_lineage::{is_redundant, trees_dnf, Dnf, Forest, Label, OccCache, TreeId};
-use ltg_storage::{Database, FactId, InsertOutcome, Relation, ResourceMeter};
+use ltg_storage::{Database, DeleteOutcome, FactId, InsertOutcome, Relation, ResourceMeter};
 use std::rc::Rc;
 use std::time::{Duration, Instant};
 
@@ -63,6 +64,11 @@ pub struct ReasonStats {
     pub delta_passes: u64,
     /// Total propagation waves across all delta passes.
     pub delta_waves: u64,
+    /// Completed retraction passes ([`LtgEngine::reason_retract`]).
+    pub retract_passes: u64,
+    /// Derivation trees removed by retraction passes (the DRed
+    /// over-deletion, before re-derivation).
+    pub retracted_trees: u64,
 }
 
 /// Why [`LtgEngine::insert_fact`] rejected a fact before it reached
@@ -133,6 +139,14 @@ pub struct LtgEngine {
     /// Canonical EDB predicates with facts inserted since the last
     /// (delta-)reasoning pass.
     dirty_edb: FxHashSet<PredId>,
+    /// EDB facts deleted since the last retraction pass (already gone
+    /// from the database; their derivation trees still await pruning).
+    pending_retract: FxHashSet<FactId>,
+    /// Nodes pruned by an over-deletion whose re-derivation has not
+    /// completed. Survives an aborted (OOM/TO) pass so a retry resumes
+    /// the re-derivation instead of losing it — pruning itself is
+    /// idempotent bookkeeping, re-instantiation is the metered work.
+    retract_nodes: FxHashSet<NodeId>,
     config: EngineConfig,
     meter: ResourceMeter,
     stats: ReasonStats,
@@ -173,6 +187,8 @@ impl LtgEngine {
             combos: FxHashMap::default(),
             idb_mask,
             dirty_edb: FxHashSet::default(),
+            pending_retract: FxHashSet::default(),
+            retract_nodes: FxHashSet::default(),
             config,
             meter,
             stats: ReasonStats::default(),
@@ -385,10 +401,46 @@ impl LtgEngine {
         self.dirty_edb.len()
     }
 
+    /// Retracts an extensional fact: removes it from the database and
+    /// queues its derivation cone for the next
+    /// [`LtgEngine::reason_retract`] pass. Validation mirrors
+    /// [`LtgEngine::insert_fact`] (intensional predicates and arity
+    /// mismatches are rejected); deleting an absent fact is a reported
+    /// no-op, so retraction is idempotent.
+    pub fn retract_fact(
+        &mut self,
+        pred: PredId,
+        args: &[Sym],
+    ) -> Result<(Option<FactId>, DeleteOutcome), InsertError> {
+        let arity = self.canonical.program.preds.arity(pred);
+        if args.len() != arity {
+            return Err(InsertError::Arity {
+                expected: arity,
+                got: args.len(),
+            });
+        }
+        if !self.can_insert(pred) {
+            return Err(InsertError::Intensional(pred));
+        }
+        let sp = self.storage_pred(pred);
+        let (fact, outcome) = self.db.delete_edb(sp, args);
+        if outcome.changed() {
+            self.pending_retract
+                .insert(fact.expect("deleted facts have ids"));
+        }
+        Ok((fact, outcome))
+    }
+
+    /// Number of deleted facts whose cones still await pruning.
+    pub fn pending_retractions(&self) -> usize {
+        self.pending_retract.len()
+    }
+
     /// Incremental maintenance: pushes the facts inserted since the last
     /// pass through the *existing* execution graph, re-running only the
-    /// affected nodes (monotone programs, insert-only; retraction is out
-    /// of scope). Wave 0 re-instantiates the source nodes whose premise
+    /// affected nodes (deletions are handled separately by
+    /// [`LtgEngine::reason_retract`]). Wave 0 re-instantiates the source
+    /// nodes whose premise
     /// reads a dirty EDB relation; wave `k` re-instantiates (or creates,
     /// or revives) every node with at least one parent that stored new
     /// trees in wave `k − 1` — Definition 6's "one parent from the
@@ -453,6 +505,186 @@ impl LtgEngine {
             self.dirty_edb.remove(p);
         }
         Ok(&self.stats)
+    }
+
+    /// Retraction maintenance (ΔTcP/DRed-style, at tree granularity):
+    /// makes the graph, forest registries and query surface equivalent
+    /// to a from-scratch run over the shrunk EDB.
+    ///
+    /// 1. **Over-delete.** Every stored derivation tree in which a
+    ///    retracted fact occurs as a leaf is removed from its node's
+    ///    `tset` and from the global registries (`derived`, the
+    ///    explanation-dedup leafsets). Occurrence is decided by a
+    ///    signature-prefiltered walk of the shared forest, so the check
+    ///    is transitive: a tree depending on a dead subtree is itself
+    ///    removed. For plain AND trees this deletion is *exact* — the
+    ///    tree is one dead lineage conjunct. The over-deletion is the
+    ///    collapsed (OR) trees: one dead alternative kills the whole
+    ///    bundle, including its surviving siblings, and every downstream
+    ///    tree built on top of the bundle.
+    /// 2. **Re-derive.** Each pruned node is re-instantiated bottom-up
+    ///    (parents strictly precede children in depth order); surviving
+    ///    alternatives regenerate — possibly re-collapsed into fresh
+    ///    bundles — and the nodes that stored new trees seed the same
+    ///    change-wave machinery [`LtgEngine::reason_delta`] uses, so
+    ///    downstream combinations rebuild over the new bundles. Nodes
+    ///    whose tset empties are killed and removed from the producer
+    ///    lists; a later insert revives them through the combo registry.
+    ///
+    /// Equivalence to from-scratch reasoning over the final database is
+    /// asserted bitwise by the `ltg-testkit` differential harness (see
+    /// `tests/retraction.rs`).
+    pub fn reason_retract(&mut self) -> Result<&ReasonStats, EngineError> {
+        if self.pending_retract.is_empty() && self.retract_nodes.is_empty() {
+            return Ok(&self.stats);
+        }
+        if self.round == 0 {
+            // Nothing instantiated yet: the batch joins simply no longer
+            // see the deleted facts.
+            self.pending_retract.clear();
+            return self.reason();
+        }
+        if !self.finished {
+            // Mid-anytime graph: finish the batch run first, then prune —
+            // the partial graph may already reference the victims.
+            self.reason()?;
+        }
+        let t0 = Instant::now();
+        self.stats.retract_passes += 1;
+
+        let mut victims: Vec<FactId> = self.pending_retract.iter().copied().collect();
+        victims.sort_unstable();
+        if !victims.is_empty() {
+            self.prune_victims(&victims);
+        }
+
+        // Re-derivation: pruned nodes bottom-up (a node's parents have
+        // strictly smaller depth), then the standard propagation waves.
+        let mut order: Vec<NodeId> = self.retract_nodes.iter().copied().collect();
+        order.sort_unstable_by_key(|n| (self.graph.nodes[n.index()].depth, n.0));
+        let mut changed: FxHashSet<NodeId> = FxHashSet::default();
+        for node in order {
+            let rid = self.graph.nodes[node.index()].rule;
+            if self.reinstantiate(node, rid)? {
+                changed.insert(node);
+            }
+            self.meter.check()?;
+        }
+        while !changed.is_empty() {
+            self.stats.delta_waves += 1;
+            changed = self.delta_wave(&changed)?;
+            self.refresh_meter();
+            self.meter.check()?;
+        }
+
+        self.refresh_meter();
+        self.stats.nodes_alive = self.graph.alive_count() as u64;
+        self.stats.reasoning_time += t0.elapsed();
+        self.stats.peak_bytes = self.meter.peak();
+        self.meter.check()?;
+        // Cleared only on success — an aborted pass retries the
+        // re-derivation from `retract_nodes` (pruning already happened
+        // and is not repeatable: the trees are gone).
+        for f in victims {
+            self.pending_retract.remove(&f);
+        }
+        self.retract_nodes.clear();
+        Ok(&self.stats)
+    }
+
+    /// The over-deletion of [`LtgEngine::reason_retract`]: removes every
+    /// stored tree mentioning a victim as a leaf, fixes the global
+    /// registries, rebuilds the pruned nodes' root-fact stores, and
+    /// kills nodes left without trees.
+    #[allow(clippy::type_complexity)]
+    fn prune_victims(&mut self, victims: &[FactId]) {
+        let vset: FxHashSet<FactId> = victims.iter().copied().collect();
+        let vsig: u64 = victims.iter().map(|&f| fact_sig(f)).fold(0, |a, b| a | b);
+        let mut memo: FxHashMap<TreeId, bool> = FxHashMap::default();
+
+        // Stage 1: collect doomed trees per node (deterministic order:
+        // node index, then root fact).
+        let mut node_removals: Vec<(NodeId, Vec<(FactId, Vec<TreeId>)>)> = Vec::new();
+        let mut dead_by_fact: FxHashMap<FactId, FxHashSet<TreeId>> = FxHashMap::default();
+        for idx in 0..self.graph.nodes.len() {
+            let node = &self.graph.nodes[idx];
+            if node.tset.is_empty() {
+                continue;
+            }
+            let mut roots: Vec<FactId> = node.tset.keys().copied().collect();
+            roots.sort_unstable();
+            let mut removals: Vec<(FactId, Vec<TreeId>)> = Vec::new();
+            for fact in roots {
+                let dead: Vec<TreeId> = node.tset[&fact]
+                    .iter()
+                    .copied()
+                    .filter(|&t| tree_mentions(&self.forest, t, &vset, vsig, &mut memo))
+                    .collect();
+                if !dead.is_empty() {
+                    dead_by_fact
+                        .entry(fact)
+                        .or_default()
+                        .extend(dead.iter().copied());
+                    removals.push((fact, dead));
+                }
+            }
+            if !removals.is_empty() {
+                node_removals.push((NodeId(idx as u32), removals));
+            }
+        }
+
+        // Stage 2: global registries. The explanation-dedup entry of a
+        // removed tree must go too: after a re-insert of the victim the
+        // same conjunct becomes derivable again and must be storable.
+        let mut facts: Vec<FactId> = dead_by_fact.keys().copied().collect();
+        facts.sort_unstable();
+        for fact in facts {
+            let mut dead: Vec<TreeId> = dead_by_fact[&fact].iter().copied().collect();
+            dead.sort_unstable();
+            self.stats.retracted_trees += dead.len() as u64;
+            for &t in &dead {
+                if let Some(ls) = self.leafset(t) {
+                    if let Some(seen) = self.expl_seen.get_mut(&fact) {
+                        if seen.remove(&ls) {
+                            self.expl_bytes = self.expl_bytes.saturating_sub(16 + ls.len() * 4);
+                        }
+                    }
+                }
+            }
+            let dead_set = &dead_by_fact[&fact];
+            if let Some(trees) = self.derived.get_mut(&fact) {
+                trees.retain(|t| !dead_set.contains(t));
+                if trees.is_empty() {
+                    self.derived.remove(&fact);
+                }
+            }
+        }
+
+        // Stage 3: per-node tsets, root-fact stores, liveness.
+        for (node, removals) in node_removals {
+            for (fact, dead) in &removals {
+                let n = &mut self.graph.nodes[node.index()];
+                let entry = n.tset.get_mut(fact).expect("pruned fact has an entry");
+                entry.retain(|t| !dead.contains(t));
+                if entry.is_empty() {
+                    n.tset.remove(fact);
+                }
+            }
+            let n = &mut self.graph.nodes[node.index()];
+            let mut roots: Vec<FactId> = n.tset.keys().copied().collect();
+            roots.sort_unstable();
+            let mut store = Relation::new();
+            for f in roots {
+                store.push(f);
+            }
+            n.store = store;
+            if n.tset.is_empty() && n.alive {
+                let head = self.canonical.program.rules[n.rule.index()].head.pred;
+                self.graph.kill(node);
+                self.graph.unregister_producer(head.0, node);
+            }
+            self.retract_nodes.insert(node);
+        }
     }
 
     /// Re-executes a node against its (grown) inputs; registers it as a
@@ -970,6 +1202,37 @@ impl LtgEngine {
     }
 }
 
+/// Does any victim occur in `tree`? Victims are EDB facts, and EDB facts
+/// appear in derivation trees only as leaves (canonicalization splits
+/// mixed predicates, so rule heads — the interior node facts — are
+/// always intensional). The walk is memoized per retraction pass and
+/// prefiltered by the forest's Bloom signatures: a tree whose signature
+/// is disjoint from the victims' cannot contain any of them.
+fn tree_mentions(
+    forest: &Forest,
+    tree: TreeId,
+    victims: &FxHashSet<FactId>,
+    vsig: u64,
+    memo: &mut FxHashMap<TreeId, bool>,
+) -> bool {
+    if forest.sig(tree) & vsig == 0 {
+        return false;
+    }
+    if let Some(&hit) = memo.get(&tree) {
+        return hit;
+    }
+    let hit = if forest.is_leaf(tree) {
+        victims.contains(&forest.fact(tree))
+    } else {
+        forest
+            .children(tree)
+            .iter()
+            .any(|&c| tree_mentions(forest, c, victims, vsig, memo))
+    };
+    memo.insert(tree, hit);
+    hit
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1455,6 +1718,175 @@ mod tests {
         // update_prob resolves it without re-reasoning.
         assert_eq!(engine.update_prob(f, 0.9).unwrap(), Some(0.5));
         assert!((prob_of(&engine, "q", &["a", "b"]) - 0.9).abs() < 1e-12);
+    }
+
+    /// Retracts `pred(args...)` from a resident engine.
+    fn retract(engine: &mut LtgEngine, pred: &str, args: &[&str]) -> DeleteOutcome {
+        let p = engine.program().preds.lookup(pred, args.len()).unwrap();
+        let syms: Vec<Sym> = args.iter().map(|a| engine.intern_symbol(a)).collect();
+        let (_, outcome) = engine.retract_fact(p, &syms).unwrap();
+        outcome
+    }
+
+    #[test]
+    fn retraction_matches_scratch_on_example1() {
+        for config in [
+            EngineConfig::with_collapse(),
+            EngineConfig::without_collapse(),
+        ] {
+            let program = parse_program(EXAMPLE1).unwrap();
+            let mut resident = LtgEngine::with_config(&program, config.clone());
+            resident.reason().unwrap();
+            assert!((prob_of(&resident, "p", &["a", "b"]) - 0.78).abs() < 1e-12);
+
+            // Delete the direct edge: only the two-hop path remains.
+            assert_eq!(
+                retract(&mut resident, "e", &["a", "b"]),
+                DeleteOutcome::Deleted { prob: 0.5 }
+            );
+            assert_eq!(resident.pending_retractions(), 1);
+            resident.reason_retract().unwrap();
+            assert_eq!(resident.pending_retractions(), 0);
+            assert_eq!(resident.stats().retract_passes, 1);
+            assert!(resident.stats().retracted_trees > 0);
+
+            let scratch_src = "0.6 :: e(b, c). 0.7 :: e(a, c). 0.8 :: e(c, b).
+                 p(X, Y) :- e(X, Y).
+                 p(X, Y) :- p(X, Z), p(Z, Y).";
+            let mut scratch = LtgEngine::with_config(&parse_program(scratch_src).unwrap(), config);
+            scratch.reason().unwrap();
+            for (x, y) in [("a", "b"), ("a", "c"), ("b", "b"), ("c", "c"), ("b", "c")] {
+                let inc = prob_of(&resident, "p", &[x, y]);
+                let fresh = prob_of(&scratch, "p", &[x, y]);
+                assert!(
+                    (inc - fresh).abs() < 1e-12,
+                    "p({x},{y}): retracted {inc} vs scratch {fresh}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn retracting_the_last_support_removes_the_derived_fact() {
+        let program = parse_program("0.5 :: e(a, b). p(X, Y) :- e(X, Y).").unwrap();
+        let mut engine = LtgEngine::new(&program);
+        engine.reason().unwrap();
+        assert!((prob_of(&engine, "p", &["a", "b"]) - 0.5).abs() < 1e-12);
+        retract(&mut engine, "e", &["a", "b"]);
+        engine.reason_retract().unwrap();
+        // Derived fact gone from the query surface; node killed.
+        assert_eq!(prob_of(&engine, "p", &["a", "b"]), 0.0);
+        assert!(engine.derived_facts().is_empty());
+        assert_eq!(engine.graph().alive_count(), 0);
+        // The e-fact itself no longer answers queries.
+        let e = engine.program().preds.lookup("e", 2).unwrap();
+        assert!(engine.db().edb_facts(e).is_empty());
+    }
+
+    #[test]
+    fn delete_then_reinsert_restores_the_exact_state() {
+        let program = parse_program(EXAMPLE1).unwrap();
+        let mut engine = LtgEngine::new(&program);
+        engine.reason().unwrap();
+        let before: Vec<(FactId, f64)> = engine
+            .derived_facts()
+            .iter()
+            .map(|&f| {
+                let mut d = engine.lineage_of(f).unwrap();
+                d.minimize();
+                (
+                    f,
+                    NaiveWmc::default()
+                        .probability(&d, &engine.db().weights())
+                        .unwrap(),
+                )
+            })
+            .collect();
+
+        retract(&mut engine, "e", &["a", "b"]);
+        engine.reason_retract().unwrap();
+        assert_eq!(
+            insert(&mut engine, "e", &["a", "b"], 0.5),
+            InsertOutcome::Inserted
+        );
+        engine.reason_delta().unwrap();
+
+        let after: Vec<(FactId, f64)> = engine
+            .derived_facts()
+            .iter()
+            .map(|&f| {
+                let mut d = engine.lineage_of(f).unwrap();
+                d.minimize();
+                (
+                    f,
+                    NaiveWmc::default()
+                        .probability(&d, &engine.db().weights())
+                        .unwrap(),
+                )
+            })
+            .collect();
+        assert_eq!(before, after, "delete + re-insert must round-trip");
+    }
+
+    #[test]
+    fn retract_rejections_and_missing_deletes() {
+        let program = parse_program("0.5 :: e(a, b). q(X, Y) :- e(X, Y).").unwrap();
+        let mut engine = LtgEngine::new(&program);
+        engine.reason().unwrap();
+        let q = engine.program().preds.lookup("q", 2).unwrap();
+        let e = engine.program().preds.lookup("e", 2).unwrap();
+        let a = engine.program().symbols.lookup("a").unwrap();
+        // Intensional predicate and arity mismatch rejected like inserts.
+        assert_eq!(
+            engine.retract_fact(q, &[a, a]),
+            Err(InsertError::Intensional(q))
+        );
+        assert_eq!(
+            engine.retract_fact(e, &[a]),
+            Err(InsertError::Arity {
+                expected: 2,
+                got: 1
+            })
+        );
+        // Missing fact: reported, nothing queued.
+        assert_eq!(
+            engine.retract_fact(e, &[a, a]),
+            Ok((None, DeleteOutcome::Missing))
+        );
+        assert_eq!(engine.pending_retractions(), 0);
+        // A retract pass with nothing pending is a no-op.
+        let derivations = engine.stats().derivations;
+        engine.reason_retract().unwrap();
+        assert_eq!(engine.stats().retract_passes, 0);
+        assert_eq!(engine.stats().derivations, derivations);
+    }
+
+    #[test]
+    fn retraction_before_any_reasoning_just_reasons() {
+        let program = parse_program(EXAMPLE1).unwrap();
+        let mut engine = LtgEngine::new(&program);
+        // Delete before the first reasoning pass: the batch joins simply
+        // never see the fact.
+        retract(&mut engine, "e", &["a", "b"]);
+        engine.reason_retract().unwrap();
+        assert_eq!(engine.pending_retractions(), 0);
+        assert!(engine.finished());
+        assert!((prob_of(&engine, "p", &["a", "b"]) - 0.56).abs() < 1e-12);
+    }
+
+    #[test]
+    fn failed_retract_pass_retries_the_rederivation() {
+        let program = parse_program(EXAMPLE1).unwrap();
+        let mut engine = LtgEngine::new(&program);
+        engine.reason().unwrap();
+        retract(&mut engine, "e", &["a", "b"]);
+        *engine.meter_mut() = ResourceMeter::with_limits(usize::MAX, Some(Duration::ZERO));
+        assert!(engine.reason_retract().is_err());
+        // A retry under a fresh deadline completes the pass.
+        *engine.meter_mut() = ResourceMeter::with_limits(usize::MAX, None);
+        engine.reason_retract().unwrap();
+        assert_eq!(engine.pending_retractions(), 0);
+        assert!((prob_of(&engine, "p", &["a", "b"]) - 0.56).abs() < 1e-12);
     }
 
     #[test]

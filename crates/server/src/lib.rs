@@ -14,11 +14,15 @@
 //!   affected nodes (monotone programs, insert-only);
 //! * probability conflicts on duplicate facts are surfaced, with
 //!   `UPDATE` as the explicit resolution path (weights-only change — no
-//!   re-reasoning at all).
+//!   re-reasoning at all);
+//! * `DELETE`d facts are retracted by
+//!   [`ltg_core::LtgEngine::reason_retract`]: the derivation cone is
+//!   over-deleted DRed-style and the survivors re-derived through the
+//!   same change-wave machinery.
 //!
 //! [`server::Server`] puts a session behind a `TcpListener` speaking the
 //! line protocol of [`protocol`] (`QUERY` / `INSERT` / `UPDATE` /
-//! `STATS` / `PING`), with one worker thread owning the session and one
+//! `DELETE` / `STATS` / `PING`), with one worker thread owning the session and one
 //! thread per connection doing socket I/O. See `docs/server.md` for the
 //! wire format and a `printf | nc` example session.
 
@@ -30,4 +34,4 @@ pub mod session;
 pub use cache::QueryCache;
 pub use protocol::Command;
 pub use server::Server;
-pub use session::{Answer, InsertResponse, Session, SessionError, SessionOptions};
+pub use session::{Answer, DeleteResponse, InsertResponse, Session, SessionError, SessionOptions};

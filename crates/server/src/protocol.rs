@@ -6,6 +6,7 @@
 //! QUERY p(a, X).
 //! INSERT 0.9 :: e(a, d).
 //! UPDATE 0.9 :: e(a, b).
+//! DELETE e(a, b).
 //! STATS
 //! PING
 //! QUIT
@@ -34,6 +35,13 @@ pub enum Command {
     Update {
         /// The new probability.
         prob: f64,
+        /// The ground atom text.
+        atom: String,
+    },
+    /// `DELETE <atom>.` — retract an extensional fact and prune its
+    /// derivation cone incrementally. Deleting an absent fact is a
+    /// reported no-op (`OK missing`).
+    Delete {
         /// The ground atom text.
         atom: String,
     },
@@ -68,11 +76,20 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
             let (prob, atom) = parse_weighted(rest, "UPDATE")?;
             Ok(Command::Update { prob, atom })
         }
+        "DELETE" | "RETRACT" => {
+            if rest.is_empty() {
+                Err("DELETE needs a fact, e.g. DELETE e(a, b).".into())
+            } else {
+                Ok(Command::Delete {
+                    atom: rest.to_string(),
+                })
+            }
+        }
         "STATS" => Ok(Command::Stats),
         "PING" => Ok(Command::Ping),
         "QUIT" | "EXIT" | "BYE" => Ok(Command::Quit),
         other => Err(format!(
-            "unknown verb '{other}' (expected QUERY, INSERT, UPDATE, STATS, PING or QUIT)"
+            "unknown verb '{other}' (expected QUERY, INSERT, UPDATE, DELETE, STATS, PING or QUIT)"
         )),
     }
 }
@@ -126,6 +143,19 @@ mod tests {
                 atom: "e(a, b).".into()
             })
         );
+        assert_eq!(
+            parse_command("DELETE e(a, b)."),
+            Ok(Command::Delete {
+                atom: "e(a, b).".into()
+            })
+        );
+        // RETRACT is an alias, matching the Datalog literature.
+        assert_eq!(
+            parse_command("retract e(a, b)."),
+            Ok(Command::Delete {
+                atom: "e(a, b).".into()
+            })
+        );
         assert_eq!(parse_command("STATS"), Ok(Command::Stats));
         assert_eq!(parse_command("  ping  "), Ok(Command::Ping));
         assert_eq!(parse_command("quit"), Ok(Command::Quit));
@@ -136,6 +166,7 @@ mod tests {
         assert!(parse_command("QUERY").is_err());
         assert!(parse_command("INSERT").is_err());
         assert!(parse_command("INSERT zz :: e(a).").is_err());
+        assert!(parse_command("DELETE").is_err());
         assert!(parse_command("FROBNICATE x").is_err());
     }
 }

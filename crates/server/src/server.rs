@@ -9,7 +9,7 @@
 //! number of connections concurrently.
 
 use crate::protocol::{parse_command, Command};
-use crate::session::{InsertResponse, Session, SessionOptions};
+use crate::session::{DeleteResponse, InsertResponse, Session, SessionOptions};
 use ltg_datalog::Program;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -182,6 +182,13 @@ pub fn respond(session: &mut Session, line: &str) -> String {
             ),
             Err(e) => format!("ERR {e}\n"),
         },
+        Command::Delete { atom } => match session.delete(&atom) {
+            Ok(DeleteResponse::Deleted { prob, epoch }) => {
+                format!("OK deleted p={prob:.6} epoch={epoch}\n")
+            }
+            Ok(DeleteResponse::Missing) => "OK missing\n".into(),
+            Err(e) => format!("ERR {e}\n"),
+        },
     }
 }
 
@@ -212,6 +219,12 @@ mod tests {
         );
         assert!(drive(&mut s, "INSERT 0.1 :: e(a, d).").starts_with("ERR conflict"));
         assert!(drive(&mut s, "UPDATE 0.1 :: e(a, d).").starts_with("OK updated p=0.900000"));
+        assert_eq!(
+            drive(&mut s, "DELETE e(a, d)."),
+            "OK deleted p=0.100000 epoch=3\n"
+        );
+        assert_eq!(drive(&mut s, "DELETE e(a, d)."), "OK missing\n");
+        assert!(drive(&mut s, "DELETE p(a, b).").starts_with("ERR rejected"));
         assert!(drive(&mut s, "QUERY nope(a).").starts_with("ERR unknown predicate"));
         assert!(drive(&mut s, "GIBBERISH").starts_with("ERR unknown verb"));
         let stats = drive(&mut s, "STATS");

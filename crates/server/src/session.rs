@@ -17,7 +17,7 @@ use crate::cache::{CacheStats, QueryCache};
 use ltg_core::{EngineConfig, EngineError, InsertError, LtgEngine};
 use ltg_datalog::fxhash::FxHashMap;
 use ltg_datalog::{Atom, DependencyGraph, PredId, Program, Sym, Term, Var};
-use ltg_storage::InsertOutcome;
+use ltg_storage::{DeleteOutcome, InsertOutcome};
 use ltg_wmc::{SolverKind, WmcSolver};
 use std::fmt;
 use std::rc::Rc;
@@ -67,6 +67,22 @@ pub enum InsertResponse {
         /// The probability already stored.
         existing: f64,
     },
+}
+
+/// Outcome of [`Session::delete`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum DeleteResponse {
+    /// The fact was removed and its derivation cone re-derived; the
+    /// epoch advanced.
+    Deleted {
+        /// The probability the fact carried when it was removed.
+        prob: f64,
+        /// Database epoch after the deletion.
+        epoch: u64,
+    },
+    /// The fact was not in the EDB (unknown constants included); nothing
+    /// changed — deletion is idempotent.
+    Missing,
 }
 
 /// Outcome of [`Session::update`].
@@ -126,6 +142,10 @@ pub struct SessionStats {
     pub conflicts: u64,
     /// Probability updates applied.
     pub updates: u64,
+    /// Facts retracted (cone pruned and re-derived).
+    pub deletes: u64,
+    /// Deletes of facts that were not in the EDB (acknowledged no-ops).
+    pub deletes_missing: u64,
 }
 
 /// A resident engine + query cache answering requests.
@@ -283,6 +303,46 @@ impl Session {
         }
     }
 
+    /// Retracts `atom.` from the EDB and prunes + re-derives its
+    /// derivation cone ([`ltg_core::LtgEngine::reason_retract`]).
+    /// Dependent cached queries are invalidated through the per-predicate
+    /// epoch bump, exactly like inserts. Deleting an absent fact — a
+    /// never-inserted tuple, an already-deleted one, or an atom naming
+    /// constants the session has never seen — is an acknowledged no-op.
+    pub fn delete(&mut self, atom_text: &str) -> Result<DeleteResponse, SessionError> {
+        // A previously-aborted retract pass leaves its cone pruning
+        // pending; flush it first so a retried DELETE can never be
+        // acknowledged as `Missing` while stale derivation trees of the
+        // earlier victim still answer queries.
+        if self.engine.pending_retractions() > 0 {
+            self.engine.reason_retract().map_err(SessionError::Engine)?;
+        }
+        let (pred, args) = match self.resolve_ground(atom_text, false) {
+            Ok(resolved) => resolved,
+            // Unknown constants cannot name an EDB fact: idempotent miss.
+            Err(SessionError::UnknownFact(_)) => {
+                self.stats.deletes_missing += 1;
+                return Ok(DeleteResponse::Missing);
+            }
+            Err(e) => return Err(e),
+        };
+        match self.engine.retract_fact(pred, &args) {
+            Ok((_, DeleteOutcome::Deleted { prob })) => {
+                self.engine.reason_retract().map_err(SessionError::Engine)?;
+                self.stats.deletes += 1;
+                Ok(DeleteResponse::Deleted {
+                    prob,
+                    epoch: self.engine.db().epoch(),
+                })
+            }
+            Ok((_, DeleteOutcome::Missing)) => {
+                self.stats.deletes_missing += 1;
+                Ok(DeleteResponse::Missing)
+            }
+            Err(e) => Err(self.rejected(e)),
+        }
+    }
+
     /// Sets `π(fact) = prob` in place — the resolution path for insert
     /// conflicts. Lineage is untouched; dependent cached queries are
     /// invalidated through the epoch bump.
@@ -325,6 +385,8 @@ impl Session {
             ("duplicates", self.stats.duplicates.to_string()),
             ("conflicts", self.stats.conflicts.to_string()),
             ("updates", self.stats.updates.to_string()),
+            ("deletes", self.stats.deletes.to_string()),
+            ("deletes_missing", self.stats.deletes_missing.to_string()),
             ("epoch", db.epoch().to_string()),
             ("edb_facts", db.n_edb_facts().to_string()),
             (
@@ -333,6 +395,7 @@ impl Session {
             ),
             ("rounds", es.rounds.to_string()),
             ("delta_passes", es.delta_passes.to_string()),
+            ("retract_passes", es.retract_passes.to_string()),
             ("delta_waves", es.delta_waves.to_string()),
             ("derivations", es.derivations.to_string()),
             ("nodes_alive", es.nodes_alive.to_string()),
@@ -384,7 +447,7 @@ impl Session {
     fn rejected(&self, e: InsertError) -> SessionError {
         let msg = match e {
             InsertError::Intensional(p) => format!(
-                "predicate {} is derived by rules; only extensional facts can be inserted",
+                "predicate {} is derived by rules; only extensional facts can be inserted or deleted",
                 self.engine.program().preds.name(p)
             ),
             other => other.to_string(),
@@ -615,6 +678,72 @@ mod tests {
         assert_eq!(st.duplicates, 1);
         assert_eq!(st.conflicts, 1);
         assert_eq!(st.updates, 1);
+    }
+
+    #[test]
+    fn delete_invalidates_and_requery_matches_scratch() {
+        let mut s = session();
+        assert!((s.query("p(a, b)").unwrap()[0].prob - 0.78).abs() < 1e-9);
+        // Unrelated cached query to check per-predicate... (same program
+        // has only e/p, so both depend on e — the invalidation is global
+        // here; the DELETE e2e test covers the per-predicate split.)
+        let resp = s.delete("e(a, b)").unwrap();
+        assert_eq!(
+            resp,
+            DeleteResponse::Deleted {
+                prob: 0.5,
+                epoch: 1
+            }
+        );
+        let after = s.query("p(a, b)").unwrap()[0].prob;
+        assert_eq!(s.cache_stats().invalidations, 1);
+
+        // From-scratch session over the shrunk program.
+        let rest = parse_program(
+            "0.6 :: e(b, c). 0.7 :: e(a, c). 0.8 :: e(c, b).
+             p(X, Y) :- e(X, Y).
+             p(X, Y) :- p(X, Z), p(Z, Y).",
+        )
+        .unwrap();
+        let mut scratch = Session::new(&rest, SessionOptions::default()).unwrap();
+        let fresh = scratch.query("p(a, b)").unwrap()[0].prob;
+        assert!(
+            (after - fresh).abs() < 1e-12,
+            "retracted {after} vs scratch {fresh}"
+        );
+
+        // Idempotence: deleting again (or facts that never existed,
+        // including unknown constants) reports Missing.
+        assert_eq!(s.delete("e(a, b)").unwrap(), DeleteResponse::Missing);
+        assert_eq!(s.delete("e(a, zz)").unwrap(), DeleteResponse::Missing);
+        let st = s.stats();
+        assert_eq!(st.deletes, 1);
+        assert_eq!(st.deletes_missing, 2);
+        // Deleting a derived predicate is rejected like an insert.
+        assert!(matches!(
+            s.delete("p(a, b)"),
+            Err(SessionError::Rejected(_))
+        ));
+    }
+
+    #[test]
+    fn insert_delete_roundtrip_restores_answers() {
+        let mut s = session();
+        let before = s.query("p(a, b)").unwrap()[0].prob;
+        s.insert(0.9, "e(a, d)").unwrap();
+        s.insert(0.4, "e(d, b)").unwrap();
+        let grown = s.query("p(a, b)").unwrap()[0].prob;
+        assert!(grown > before);
+        s.delete("e(a, d)").unwrap();
+        s.delete("e(d, b)").unwrap();
+        let back = s.query("p(a, b)").unwrap()[0].prob;
+        assert_eq!(
+            before.to_bits(),
+            back.to_bits(),
+            "insert+delete must round-trip: {before} vs {back}"
+        );
+        // The transient answer is gone entirely.
+        assert!(s.query("p(a, d)").unwrap().is_empty());
     }
 
     #[test]

@@ -35,6 +35,27 @@ impl InsertOutcome {
     }
 }
 
+/// What happened to a [`Database::delete_edb`] call. Deleting an absent
+/// fact is reported, not treated as an error — retraction is idempotent.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum DeleteOutcome {
+    /// The fact was extensional and has been removed; the epoch advanced.
+    Deleted {
+        /// The probability the fact carried at deletion time.
+        prob: f64,
+    },
+    /// The fact is not in the EDB: never interned, or interned only as a
+    /// derived fact. Nothing changed.
+    Missing,
+}
+
+impl DeleteOutcome {
+    /// True when the database changed (a fact was actually removed).
+    pub fn changed(&self) -> bool {
+        matches!(self, DeleteOutcome::Deleted { .. })
+    }
+}
+
 /// A probabilistic database plus the scratch space engines share.
 pub struct Database {
     /// The global fact arena (extensional and derived facts).
@@ -106,6 +127,27 @@ impl Database {
                 (f, InsertOutcome::Inserted)
             }
         }
+    }
+
+    /// Deletes the extensional fact `pred(args)`, returning its id (when
+    /// it was ever interned) and a [`DeleteOutcome`].
+    ///
+    /// The fact *stays interned*: lineage structures reference facts by
+    /// id, and a later re-insert revives the same id (see the promote
+    /// branch of [`Database::insert_edb`]). Deletion only demotes it —
+    /// `π(f)` is cleared, the fact leaves its EDB relation, and the
+    /// global + per-predicate epochs advance so dependent caches
+    /// invalidate. Deleting a missing fact changes nothing.
+    pub fn delete_edb(&mut self, pred: PredId, args: &[Sym]) -> (Option<FactId>, DeleteOutcome) {
+        let Some(f) = self.store.lookup(pred, args) else {
+            return (None, DeleteOutcome::Missing);
+        };
+        let Some(prob) = self.probs[f.index()].take() else {
+            return (Some(f), DeleteOutcome::Missing);
+        };
+        self.edb[pred.index()].remove(f);
+        self.bump(pred);
+        (Some(f), DeleteOutcome::Deleted { prob })
     }
 
     /// Updates `π(f)` of an extensional fact in place, returning the
@@ -302,6 +344,67 @@ mod tests {
         assert_eq!(db.prob(fa), Some(0.9));
         assert_eq!(db.epoch(), 2);
         assert_eq!(db.pred_epoch(e), 2);
+    }
+
+    #[test]
+    fn delete_outcomes_epochs_and_reinsert_revival() {
+        let p = parse_program("0.5 :: e(a). 0.6 :: e(b). 0.7 :: f(c).").unwrap();
+        let mut db = Database::from_program(&p);
+        let e = p.preds.lookup("e", 1).unwrap();
+        let f = p.preds.lookup("f", 1).unwrap();
+        let (a, b, c) = (
+            p.symbols.lookup("a").unwrap(),
+            p.symbols.lookup("b").unwrap(),
+            p.symbols.lookup("c").unwrap(),
+        );
+
+        // Deleting a present fact removes it, reports its probability,
+        // and advances both epochs.
+        let (fa, out) = db.delete_edb(e, &[a]);
+        let fa = fa.unwrap();
+        assert_eq!(out, DeleteOutcome::Deleted { prob: 0.5 });
+        assert!(out.changed());
+        assert_eq!(db.epoch(), 1);
+        assert_eq!(db.pred_epoch(e), 1);
+        assert_eq!(db.pred_epoch(f), 0);
+        assert_eq!(db.n_edb_facts(), 2);
+        // The fact stays interned but is no longer extensional.
+        assert_eq!(db.prob(fa), None);
+        assert!(!db.is_edb_fact(fa));
+        assert_eq!(db.edb_facts(e).len(), 1);
+
+        // Deleting it again (or a never-interned fact) is a reported
+        // no-op: no epoch bump.
+        assert_eq!(db.delete_edb(e, &[a]), (Some(fa), DeleteOutcome::Missing));
+        assert_eq!(db.delete_edb(e, &[c]), (None, DeleteOutcome::Missing));
+        assert_eq!(db.epoch(), 1);
+
+        // update_prob of a deleted fact is refused like any derived fact.
+        assert_eq!(db.update_prob(fa, 0.9), None);
+        assert_eq!(db.epoch(), 1);
+
+        // Re-inserting revives the *same* id with the new probability.
+        let (fa2, out) = db.insert_edb(e, &[a], 0.25);
+        assert_eq!(fa2, fa);
+        assert_eq!(out, InsertOutcome::Inserted);
+        assert_eq!(db.prob(fa), Some(0.25));
+        assert_eq!(db.epoch(), 2);
+        assert_eq!(db.edb_facts(e), &[db.store.lookup(e, &[b]).unwrap(), fa]);
+    }
+
+    #[test]
+    fn delete_leaves_relation_probes_consistent() {
+        let p = parse_program("e(a,b). e(a,c). e(b,c).").unwrap();
+        let mut db = Database::from_program(&p);
+        let e = p.preds.lookup("e", 2).unwrap();
+        let a = p.symbols.lookup("a").unwrap();
+        let b = p.symbols.lookup("b").unwrap();
+        // Build an index, then delete through the database.
+        assert_eq!(db.probe_edb(e, 0b01, &[a]).len(), 2);
+        let (_, out) = db.delete_edb(e, &[a, b]);
+        assert!(out.changed());
+        assert_eq!(db.probe_edb(e, 0b01, &[a]).len(), 1);
+        assert_eq!(db.n_edb_facts(), 2);
     }
 
     #[test]

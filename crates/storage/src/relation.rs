@@ -94,6 +94,20 @@ impl Relation {
         self.facts.push(f);
     }
 
+    /// Removes a fact, preserving the order of the remaining ones, and
+    /// returns whether it was present. All indexes are dropped: they
+    /// only know how to grow incrementally (`covered` tracks a suffix of
+    /// appended facts), so after a removal they are rebuilt lazily on
+    /// the next probe.
+    pub fn remove(&mut self, f: FactId) -> bool {
+        let Some(pos) = self.facts.iter().position(|&g| g == f) else {
+            return false;
+        };
+        self.facts.remove(pos);
+        self.indexes.clear();
+        true
+    }
+
     /// All facts, in insertion order.
     pub fn facts(&self) -> &[FactId] {
         &self.facts
@@ -243,6 +257,27 @@ mod tests {
         let (f, _) = store.intern(e, &[cs[0], cs[0]]);
         rel.push(f);
         assert_eq!(rel.probe(0b01, &[cs[0]], &store).len(), 3);
+    }
+
+    #[test]
+    fn remove_preserves_order_and_invalidates_indexes() {
+        let (store, ids, cs) = store_with_edges();
+        let mut rel = Relation::new();
+        for &f in &ids {
+            rel.push(f);
+        }
+        // Build an index, then remove a fact it covers.
+        assert_eq!(rel.probe(0b01, &[cs[0]], &store).len(), 2);
+        assert!(rel.remove(ids[0])); // (a,b)
+        assert_eq!(rel.facts(), &[ids[1], ids[2], ids[3]]);
+        // The rebuilt index no longer returns the removed fact.
+        assert_eq!(rel.probe(0b01, &[cs[0]], &store), &[ids[2]]);
+        // Removing again reports absence and changes nothing.
+        assert!(!rel.remove(ids[0]));
+        assert_eq!(rel.len(), 3);
+        // Removal followed by a fresh push keeps working.
+        rel.push(ids[0]);
+        assert_eq!(rel.probe(0b01, &[cs[0]], &store), &[ids[2], ids[0]]);
     }
 
     #[test]

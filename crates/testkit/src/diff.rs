@@ -1,0 +1,425 @@
+//! The differential mutation harness: **delete ≡ re-derive**.
+//!
+//! A [`Script`] is an initial EDB plus a sequence of
+//! INSERT/DELETE/UPDATE operations over the `e/2` predicate. The
+//! harness applies it to a *resident* engine — reasoning incrementally
+//! after every mutation ([`ltg_core::LtgEngine::reason_delta`] /
+//! [`ltg_core::LtgEngine::reason_retract`]) — while maintaining a tiny
+//! reference model of what the EDB must look like. At the end it
+//! checks, for every candidate query atom:
+//!
+//! 1. **bitwise** agreement with a from-scratch [`ltg_core::LtgEngine`]
+//!    run over the final database (the headline property: any
+//!    interleaving of mutations is indistinguishable from never having
+//!    made the retracted insertions at all), and
+//! 2. agreement within `1e-9` with the independent `ΔTcP` baseline
+//!    ([`ltg_baselines::DeltaTcpEngine`]) over the same final database.
+//!
+//! Bitwise identity works because fact ids align: the resident engine
+//! interns EDB facts in first-insertion order, deleted facts keep (and
+//! on re-insert revive) their id, and the harness renders the final
+//! program in the same first-insertion order — so surviving facts have
+//! the same *relative* id order on both sides, minimized monotone DNF
+//! is a canonical form, and the enumeration oracle then performs the
+//! exact same float operations.
+//!
+//! On failure, [`shrink`] greedily minimizes the script (dropping ops,
+//! then initial edges, to fixpoint) so property tests report a minimal
+//! counterexample instead of a 20-operation haystack.
+
+use crate::edges::{intern_edge, prob_named, program_src_with};
+use ltg_baselines::{DeltaTcpEngine, ProbEngine};
+use ltg_core::{EngineConfig, LtgEngine};
+use ltg_datalog::parse_program;
+use ltg_storage::{DeleteOutcome, InsertOutcome};
+use ltg_wmc::{NaiveWmc, WmcSolver};
+use proptest::prelude::*;
+
+/// Rule blocks the random-program generator draws from. All monotone,
+/// all reading the mutable EDB predicate `e/2`, with `p/2` always
+/// present as the canonical query predicate.
+///
+/// Orientation-*reversing* recursion (`p(X, Y) :- q(Y, X)`) is
+/// deliberately absent: it re-enters the known collapse blowup — on
+/// dense cyclic EDBs even the paper-default threshold explodes, which
+/// the differential harness itself discovered and
+/// `tests/regressions.rs` now pins (see ROADMAP, "Aggressive collapsing
+/// on cyclic programs").
+pub const RULE_PALETTE: &[&str] = &[
+    // Transitive closure (cyclic, the paper's Example 1 shape).
+    "p(X, Y) :- e(X, Y).\np(X, Y) :- p(X, Z), p(Z, Y).\n",
+    // Right-linear closure (cyclic, single recursive premise).
+    "p(X, Y) :- e(X, Y).\np(X, Y) :- p(X, Z), e(Z, Y).\n",
+    // Mutual recursion through a second predicate (direction-preserving).
+    "p(X, Y) :- e(X, Y).\nq(X, Y) :- e(X, Z), p(Z, Y).\np(X, Y) :- q(X, Y).\n",
+    // Conjunctive base rule (two premises over the same relation).
+    "p(X, Y) :- e(X, Y), e(Y, X).\np(X, Y) :- p(X, Z), p(Z, Y).\n",
+    // Non-recursive join tower.
+    "p(X, Y) :- e(X, Y).\nq(X, Y) :- e(X, Z), p(Z, Y).\n",
+];
+
+/// One mutation over the `e/2` relation of the node domain `n0..n3`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Op {
+    /// `INSERT p :: e(nx, ny).` — duplicate/conflict when present.
+    Insert(u8, u8, f64),
+    /// `DELETE e(nx, ny).` — reported no-op when absent.
+    Delete(u8, u8),
+    /// `UPDATE p :: e(nx, ny).` — weights-only; no-op when absent.
+    Update(u8, u8, f64),
+}
+
+/// A differential test case: rules, initial EDB, mutation sequence.
+#[derive(Clone, Debug)]
+pub struct Script {
+    /// The rule block (one of [`RULE_PALETTE`] in generated scripts).
+    pub rules: &'static str,
+    /// Initial EDB edges, deduplicated by `(from, to)`.
+    pub initial: Vec<(u8, u8, f64)>,
+    /// The mutation sequence.
+    pub ops: Vec<Op>,
+}
+
+/// Strategy over initial EDBs: up to 6 random edges, deduplicated in
+/// the generated [`Script`]. Shared by every script generator so
+/// persisted regression seeds stay meaningful across the suites.
+fn arb_initial() -> impl Strategy<Value = Vec<(u8, u8, f64)>> {
+    prop::collection::vec(
+        (0u8..4, 0u8..4, prop::sample::select(vec![0.3f64, 0.5, 0.8])),
+        0..=6,
+    )
+}
+
+/// Strategy over mutation sequences: 1–12 ops, inserts and deletes
+/// twice as likely as updates, update probabilities drawn from a
+/// palette disjoint enough from the insert palette that conflicts are
+/// detectable.
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    let op = (
+        0u8..5,
+        0u8..4,
+        0u8..4,
+        prop::sample::select(vec![0.2f64, 0.5, 0.9]),
+    )
+        .prop_map(|(kind, x, y, p)| match kind {
+            0 | 1 => Op::Insert(x, y, p),
+            2 | 3 => Op::Delete(x, y),
+            _ => Op::Update(x, y, p),
+        });
+    prop::collection::vec(op, 1..=12)
+}
+
+/// Strategy over random scripts for a fixed rule block.
+pub fn arb_script(rules: &'static str) -> impl Strategy<Value = Script> {
+    (arb_initial(), arb_ops()).prop_map(move |(initial, ops)| Script {
+        rules,
+        initial: crate::edges::dedup_edges(&initial),
+        ops,
+    })
+}
+
+/// Strategy over random scripts with a random rule block from
+/// [`RULE_PALETTE`].
+pub fn arb_any_script() -> impl Strategy<Value = Script> {
+    (
+        prop::sample::select((0..RULE_PALETTE.len()).collect::<Vec<_>>()),
+        arb_initial(),
+        arb_ops(),
+    )
+        .prop_map(|(rule_idx, initial, ops)| Script {
+            rules: RULE_PALETTE[rule_idx],
+            initial: crate::edges::dedup_edges(&initial),
+            ops,
+        })
+}
+
+/// Runs a script and checks resident ≡ from-scratch (bitwise) and
+/// resident ≡ ΔTcP (1e-9) on the final database. The `Err` payload is a
+/// human-readable mismatch description (also used by [`shrink`] as the
+/// failure predicate).
+pub fn run_script(script: &Script, config: &EngineConfig) -> Result<(), String> {
+    // Reference model of the EDB: `(edge, π)` in first-insertion order;
+    // `None` marks a currently-deleted fact (which keeps its slot — ids
+    // survive deletion in the engine too).
+    let mut model: Vec<((u8, u8), Option<f64>)> = Vec::new();
+    for &(x, y, p) in &script.initial {
+        if !model.iter().any(|((a, b), _)| (*a, *b) == (x, y)) {
+            model.push(((x, y), Some(p)));
+        }
+    }
+
+    let src = program_src_with(&script.initial, script.rules);
+    let program = parse_program(&src).map_err(|e| e.to_string())?;
+    let mut resident = LtgEngine::with_config_and_meter(&program, config.clone(), harness_guard());
+    resident.reason().map_err(|e| e.to_string())?;
+
+    for (i, &op) in script.ops.iter().enumerate() {
+        match op {
+            Op::Insert(x, y, p) => {
+                let (e, args) = intern_edge(&mut resident, x, y);
+                let (_, outcome) = resident
+                    .insert_fact(e, &args, p)
+                    .map_err(|e| format!("op {i} {op:?}: {e}"))?;
+                let slot = model.iter_mut().find(|((a, b), _)| (*a, *b) == (x, y));
+                match slot {
+                    None => {
+                        expect(i, op, outcome == InsertOutcome::Inserted, &outcome)?;
+                        model.push(((x, y), Some(p)));
+                    }
+                    Some((_, live @ None)) => {
+                        // Deleted fact: re-insert revives the same id.
+                        expect(i, op, outcome == InsertOutcome::Inserted, &outcome)?;
+                        *live = Some(p);
+                    }
+                    Some((_, Some(q))) => {
+                        let want = if *q == p {
+                            InsertOutcome::Duplicate
+                        } else {
+                            InsertOutcome::Conflict { existing: *q }
+                        };
+                        expect(i, op, outcome == want, &outcome)?;
+                    }
+                }
+                if outcome.changed() {
+                    resident.reason_delta().map_err(|e| e.to_string())?;
+                }
+            }
+            Op::Delete(x, y) => {
+                let (e, args) = intern_edge(&mut resident, x, y);
+                let (_, outcome) = resident
+                    .retract_fact(e, &args)
+                    .map_err(|e| format!("op {i} {op:?}: {e}"))?;
+                let slot = model.iter_mut().find(|((a, b), _)| (*a, *b) == (x, y));
+                match slot {
+                    Some((_, live @ Some(_))) => {
+                        let q = live.unwrap();
+                        expect(
+                            i,
+                            op,
+                            outcome == DeleteOutcome::Deleted { prob: q },
+                            &outcome,
+                        )?;
+                        *live = None;
+                    }
+                    _ => expect(i, op, outcome == DeleteOutcome::Missing, &outcome)?,
+                }
+                if outcome.changed() {
+                    resident.reason_retract().map_err(|e| e.to_string())?;
+                }
+            }
+            Op::Update(x, y, p) => {
+                let (e, args) = intern_edge(&mut resident, x, y);
+                let sp = resident.storage_pred(e);
+                let fact = resident.db().store.lookup(sp, &args);
+                let slot = model.iter_mut().find(|((a, b), _)| (*a, *b) == (x, y));
+                match (fact, slot) {
+                    (Some(f), Some((_, live @ Some(_)))) => {
+                        let old = resident
+                            .update_prob(f, p)
+                            .map_err(|e| format!("op {i} {op:?}: {e}"))?;
+                        expect(i, op, old == *live, &old)?;
+                        *live = Some(p);
+                    }
+                    (Some(f), _) => {
+                        // Interned but deleted (or never EDB): refused.
+                        let old = resident
+                            .update_prob(f, p)
+                            .map_err(|e| format!("op {i} {op:?}: {e}"))?;
+                        expect(i, op, old.is_none(), &old)?;
+                    }
+                    (None, _) => {} // never interned: nothing to update
+                }
+            }
+        }
+    }
+    // Flush any mutation whose pass was skipped (none should be).
+    resident.reason_delta().map_err(|e| e.to_string())?;
+    resident.reason_retract().map_err(|e| e.to_string())?;
+
+    // The final database, rendered in first-insertion order so fact ids
+    // keep their relative order on the from-scratch side.
+    let final_edges: Vec<(u8, u8, f64)> = model
+        .iter()
+        .filter_map(|&((x, y), live)| live.map(|p| (x, y, p)))
+        .collect();
+    let final_src = program_src_with(&final_edges, script.rules);
+    let final_program = parse_program(&final_src).map_err(|e| e.to_string())?;
+
+    let mut scratch =
+        LtgEngine::with_config_and_meter(&final_program, config.clone(), harness_guard());
+    scratch.reason().map_err(|e| e.to_string())?;
+
+    // ΔTcP runs to its own fixpoint, so a depth-capped LTG config is
+    // not comparable against it (the cap is an *engine* feature the
+    // baseline lacks); the from-scratch bitwise check above still holds.
+    let compare_baseline = config.max_depth.is_none();
+    let mut delta = DeltaTcpEngine::new(&final_program);
+    if compare_baseline {
+        delta.run().map_err(|e| e.to_string())?;
+    }
+
+    for pred in ["e", "p", "q"] {
+        for x in 0u8..4 {
+            for y in 0u8..4 {
+                let inc = prob_named(&resident, pred, x, y);
+                let fresh = prob_named(&scratch, pred, x, y);
+                if inc.to_bits() != fresh.to_bits() {
+                    return Err(format!(
+                        "{pred}(n{x}, n{y}): resident {inc} vs from-scratch {fresh} \
+                         (final EDB: {final_edges:?})"
+                    ));
+                }
+                if compare_baseline {
+                    let base = delta_prob_named(&delta, &final_program, pred, x, y);
+                    if (inc - base).abs() > 1e-9 {
+                        return Err(format!(
+                            "{pred}(n{x}, n{y}): resident {inc} vs ΔTcP {base} \
+                             (final EDB: {final_edges:?})"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// ΔTcP probability of `pred(nx, ny)` over its own database.
+fn delta_prob_named(
+    engine: &DeltaTcpEngine,
+    program: &ltg_datalog::Program,
+    pred: &str,
+    x: u8,
+    y: u8,
+) -> f64 {
+    let Some(p) = program.preds.lookup(pred, 2) else {
+        return 0.0;
+    };
+    let (Some(xs), Some(ys)) = (
+        program.symbols.lookup(&format!("n{x}")),
+        program.symbols.lookup(&format!("n{y}")),
+    ) else {
+        return 0.0;
+    };
+    let Some(f) = engine.db().store.lookup(p, &[xs, ys]) else {
+        return 0.0;
+    };
+    match engine.lineage_of(f) {
+        Some(mut d) => {
+            d.minimize();
+            NaiveWmc::default()
+                .probability(&d, &engine.db().weights())
+                .unwrap()
+        }
+        None => 0.0,
+    }
+}
+
+/// A tight 10s deadline per engine: healthy cases finish in
+/// milliseconds, and when a case *does* run away, the shrinker re-runs
+/// candidate scripts repeatedly — a long deadline multiplies across the
+/// whole minimization loop.
+fn harness_guard() -> ltg_storage::ResourceMeter {
+    ltg_storage::ResourceMeter::with_limits(usize::MAX, Some(std::time::Duration::from_secs(10)))
+}
+
+/// Readable harness self-check failure.
+fn expect<T: std::fmt::Debug>(i: usize, op: Op, ok: bool, got: &T) -> Result<(), String> {
+    if ok {
+        Ok(())
+    } else {
+        Err(format!("op {i} {op:?}: unexpected outcome {got:?}"))
+    }
+}
+
+/// Greedily minimizes a failing script: repeatedly drop single ops
+/// (last-first), then single initial edges, keeping any removal under
+/// which `still_fails` holds, until a fixpoint. The result still fails
+/// and is usually a handful of facts and one or two mutations.
+pub fn shrink<F: Fn(&Script) -> bool>(mut script: Script, still_fails: F) -> Script {
+    loop {
+        let mut reduced = false;
+        let mut i = script.ops.len();
+        while i > 0 {
+            i -= 1;
+            let mut cand = script.clone();
+            cand.ops.remove(i);
+            if still_fails(&cand) {
+                script = cand;
+                reduced = true;
+            }
+        }
+        let mut i = script.initial.len();
+        while i > 0 {
+            i -= 1;
+            let mut cand = script.clone();
+            cand.initial.remove(i);
+            if still_fails(&cand) {
+                script = cand;
+                reduced = true;
+            }
+        }
+        if !reduced {
+            return script;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scripted_example1_roundtrip_passes() {
+        let script = Script {
+            rules: RULE_PALETTE[0],
+            initial: vec![(0, 1, 0.5), (1, 2, 0.6), (0, 2, 0.7), (2, 1, 0.8)],
+            ops: vec![
+                Op::Insert(0, 3, 0.9),
+                Op::Insert(3, 1, 0.2),
+                Op::Update(3, 1, 0.5),
+                Op::Delete(0, 1),
+                Op::Insert(0, 1, 0.5),
+                Op::Delete(0, 3),
+                Op::Delete(0, 3), // idempotent
+            ],
+        };
+        for config in [
+            EngineConfig::with_collapse(),
+            EngineConfig::without_collapse(),
+        ] {
+            run_script(&script, &config).unwrap();
+        }
+    }
+
+    #[test]
+    fn every_palette_rule_block_runs() {
+        for rules in RULE_PALETTE {
+            let script = Script {
+                rules,
+                initial: vec![(0, 1, 0.5), (1, 0, 0.8), (1, 2, 0.3)],
+                ops: vec![Op::Delete(1, 0), Op::Insert(2, 0, 0.9), Op::Delete(0, 1)],
+            };
+            run_script(&script, &EngineConfig::with_collapse())
+                .unwrap_or_else(|e| panic!("{rules}: {e}"));
+        }
+    }
+
+    #[test]
+    fn shrinker_minimizes_against_a_synthetic_predicate() {
+        let script = Script {
+            rules: RULE_PALETTE[0],
+            initial: vec![(0, 1, 0.5), (1, 2, 0.6), (2, 3, 0.8)],
+            ops: vec![
+                Op::Insert(3, 0, 0.9),
+                Op::Delete(1, 2),
+                Op::Update(0, 1, 0.2),
+                Op::Delete(0, 1),
+            ],
+        };
+        // Synthetic failure: "fails whenever it still deletes (1,2)".
+        let minimal = shrink(script, |s| s.ops.contains(&Op::Delete(1, 2)));
+        assert_eq!(minimal.ops, vec![Op::Delete(1, 2)]);
+        assert!(minimal.initial.is_empty());
+    }
+}

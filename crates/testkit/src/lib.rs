@@ -1,0 +1,33 @@
+//! `ltg-testkit` — shared test infrastructure for the workspace suites.
+//!
+//! The integration tests under `tests/` used to each carry their own
+//! copy of the same scaffolding: random edge-set builders, the
+//! `p(nx, ny)` probability probe, the brute-force possible-world
+//! oracle, and the `ltgs serve` process harness. This crate is their
+//! single home, plus the piece the retraction work is built around:
+//!
+//! * [`edges`] — random edge sets over a small node domain, program
+//!   sources, the bitwise-canonical probability probe;
+//! * [`oracle`] — brute-force possible-world enumeration (Equation (2)
+//!   of the paper), the ground truth every engine must match;
+//! * [`diff`] — the **differential mutation harness**: apply a script
+//!   of INSERT/DELETE/UPDATE operations to a resident [`ltg_core::LtgEngine`]
+//!   (delta- or retract-reasoning after each), then check every query
+//!   probability **bitwise** against a from-scratch engine on the final
+//!   database and against the `ΔTcP` baseline — with a greedy shrinker
+//!   that minimizes failing scripts before they are reported;
+//! * [`net`] — spawn a real `ltgs serve` process and speak the line
+//!   protocol over a socket.
+
+pub mod diff;
+pub mod edges;
+pub mod net;
+pub mod oracle;
+
+pub use diff::{arb_any_script, arb_script, run_script, shrink, Op, Script, RULE_PALETTE};
+pub use edges::{
+    acyclic, arb_edges, dedup_edges, guard, intern_edge, prob_named, prob_of, program_src,
+    program_src_with, EXAMPLE1, EXAMPLE1_EDB, TC_RULES,
+};
+pub use net::{connect, request, spawn_serve, stat, write_program, ServeGuard};
+pub use oracle::possible_world_probability;

@@ -1,0 +1,98 @@
+//! Process + socket helpers for end-to-end tests of `ltgs serve`.
+//!
+//! The binary path comes from the caller (integration tests pass
+//! `env!("CARGO_BIN_EXE_ltgs")`, which only exists in the root
+//! package's test context).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+
+/// Writes a program file into a per-run temp directory and returns its
+/// path.
+pub fn write_program(name: &str, body: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("ltgs-testkit-programs");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    std::fs::write(&path, body).unwrap();
+    path
+}
+
+/// A running `ltgs serve` child, killed on drop.
+pub struct ServeGuard {
+    child: Child,
+    /// The address the server bound (read from its readiness line).
+    pub addr: String,
+}
+
+impl Drop for ServeGuard {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Spawns `<bin> serve --port 0 <program>` and waits for its readiness
+/// line to learn the bound address.
+pub fn spawn_serve(bin: &str, program_path: &Path) -> ServeGuard {
+    let mut child = Command::new(bin)
+        .args(["serve", "--port", "0", program_path.to_str().unwrap()])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("serve starts");
+    let stdout = child.stdout.take().unwrap();
+    let mut reader = BufReader::new(stdout);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("readiness line");
+    let addr = line
+        .trim()
+        .rsplit_once(" on ")
+        .expect("readiness line names the address")
+        .1
+        .to_string();
+    ServeGuard { child, addr }
+}
+
+/// Sends one request line and reads the complete response (`OK <n>`
+/// headers pull `n` payload lines).
+pub fn request(
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut TcpStream,
+    line: &str,
+) -> Vec<String> {
+    writer.write_all(line.as_bytes()).unwrap();
+    writer.write_all(b"\n").unwrap();
+    writer.flush().unwrap();
+    let mut head = String::new();
+    reader.read_line(&mut head).unwrap();
+    let mut out = vec![head.trim_end().to_string()];
+    if let Some(rest) = out[0].strip_prefix("OK ") {
+        if let Ok(n) = rest.trim().parse::<usize>() {
+            for _ in 0..n {
+                let mut l = String::new();
+                reader.read_line(&mut l).unwrap();
+                out.push(l.trim_end().to_string());
+            }
+        }
+    }
+    out
+}
+
+/// Connects to a serve address, returning a buffered reader + writer
+/// over the same stream.
+pub fn connect(addr: &str) -> (BufReader<TcpStream>, TcpStream) {
+    let stream = TcpStream::connect(addr).expect("connect to serve");
+    (BufReader::new(stream.try_clone().unwrap()), stream)
+}
+
+/// Extracts the numeric value of a `STATS` key from a response.
+pub fn stat(lines: &[String], key: &str) -> u64 {
+    lines
+        .iter()
+        .find_map(|l| l.strip_prefix(&format!("{key} ")))
+        .unwrap_or_else(|| panic!("stat {key} missing from {lines:?}"))
+        .parse()
+        .unwrap()
+}

@@ -1,0 +1,53 @@
+//! Brute-force ground truth: possible-world enumeration (Equation (2)).
+
+use ltg_baselines::least_model;
+use ltg_datalog::Program;
+
+/// Sums the probability of every possible world of `program.facts` in
+/// which the query fact is derivable. Exponential in the number of
+/// facts — the assert caps it at 14 (16384 worlds).
+pub fn possible_world_probability(program: &Program, pred: &str, args: &[&str]) -> f64 {
+    let n = program.facts.len();
+    assert!(n <= 14, "too many facts for enumeration");
+    let mut total = 0.0;
+    for world in 0u32..(1 << n) {
+        let mut sub = program.clone();
+        sub.facts = program
+            .facts
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| world & (1 << i) != 0)
+            .map(|(_, f)| (f.0.clone(), 1.0))
+            .collect();
+        let mut prob = 1.0;
+        for (i, (_, p)) in program.facts.iter().enumerate() {
+            prob *= if world & (1 << i) != 0 { *p } else { 1.0 - *p };
+        }
+        if prob == 0.0 {
+            continue;
+        }
+        let model = least_model(&sub).unwrap();
+        let pid = sub.preds.lookup(pred, args.len()).unwrap();
+        let syms: Vec<_> = args
+            .iter()
+            .map(|a| sub.symbols.lookup(a).unwrap())
+            .collect();
+        if model.entails(pid, &syms) {
+            total += prob;
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltg_datalog::parse_program;
+
+    #[test]
+    fn oracle_reproduces_example1() {
+        let program = parse_program(crate::edges::EXAMPLE1).unwrap();
+        let p = possible_world_probability(&program, "p", &["a", "b"]);
+        assert!((p - 0.78).abs() < 1e-12, "oracle: {p}");
+    }
+}

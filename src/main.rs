@@ -16,8 +16,8 @@
 //! The program file uses the ProbLog-flavoured syntax of
 //! [`ltgs::datalog::parse_program`]; `query p(a, X).` lines define the
 //! queries. `ltgs serve` keeps the reasoned program resident and
-//! answers `QUERY` / `INSERT` / `UPDATE` / `STATS` requests over a TCP
-//! line protocol (see `docs/server.md`).
+//! answers `QUERY` / `INSERT` / `UPDATE` / `DELETE` / `STATS` requests
+//! over a TCP line protocol (see `docs/server.md`).
 
 use ltgs::baselines::{
     BaselineConfig, CircuitEngine, DeltaTcpEngine, ProbEngine, TcpEngine, TopKEngine,

@@ -3,43 +3,9 @@
 //! equivalent lineages and identical probabilities, which in turn match
 //! brute-force possible-world enumeration.
 
-use ltgs::baselines::{least_model, ProbEngine};
+use ltg_testkit::possible_world_probability;
+use ltgs::baselines::ProbEngine;
 use ltgs::prelude::*;
-
-/// Brute-force oracle: sums the probability of every possible world of
-/// `program.facts` in which the query fact is derivable (Equation (2)).
-fn possible_world_probability(program: &Program, pred: &str, args: &[&str]) -> f64 {
-    let n = program.facts.len();
-    assert!(n <= 14, "too many facts for enumeration");
-    let mut total = 0.0;
-    for world in 0u32..(1 << n) {
-        let mut sub = program.clone();
-        sub.facts = program
-            .facts
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| world & (1 << i) != 0)
-            .map(|(_, f)| (f.0.clone(), 1.0))
-            .collect();
-        let mut prob = 1.0;
-        for (i, (_, p)) in program.facts.iter().enumerate() {
-            prob *= if world & (1 << i) != 0 { *p } else { 1.0 - *p };
-        }
-        if prob == 0.0 {
-            continue;
-        }
-        let model = least_model(&sub).unwrap();
-        let pid = sub.preds.lookup(pred, args.len()).unwrap();
-        let syms: Vec<_> = args
-            .iter()
-            .map(|a| sub.symbols.lookup(a).unwrap())
-            .collect();
-        if model.entails(pid, &syms) {
-            total += prob;
-        }
-    }
-    total
-}
 
 fn engine_probability(
     engine: &mut dyn ProbEngine,

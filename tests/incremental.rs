@@ -11,101 +11,20 @@
 //! minimize to the *same* formula and the enumeration oracle performs
 //! the exact same float operations on both sides.
 //!
+//! The generators, probability probe and deadline guard live in
+//! `ltg-testkit` (shared with the retraction suite, which extends this
+//! property to arbitrary INSERT/DELETE/UPDATE interleavings).
+//!
 //! Configurations: cyclic graphs run with the paper-default collapse
 //! threshold and with collapsing off; DAGs additionally run with an
 //! aggressive threshold of 2 to exercise OR trees in the delta path.
 //! (Threshold-2 collapsing on dense *cyclic* inputs blows up already in
-//! batch mode — collapsed trees carry no leaf set, defeating the
-//! explanation dedup that tames cyclic breeding; a pre-existing engine
-//! trait, reproduced on the seed commit, not an incremental artifact.)
+//! batch mode — see the `#[ignore]`d pin in `tests/regressions.rs`.)
 
+use ltg_testkit::{acyclic, arb_edges, dedup_edges, guard, intern_edge, prob_of, program_src};
 use ltgs::prelude::*;
 use ltgs::storage::InsertOutcome;
 use proptest::prelude::*;
-use std::time::Duration;
-
-/// Random edge sets over 4 nodes with probabilities from a small
-/// palette (the shape used across the repo's property suites).
-fn arb_edges() -> impl Strategy<Value = Vec<(u8, u8, f64)>> {
-    prop::collection::vec(
-        (0u8..4, 0u8..4, prop::sample::select(vec![0.3f64, 0.5, 0.8])),
-        1..=7,
-    )
-}
-
-const RULES: &str = "p(X, Y) :- e(X, Y).\np(X, Y) :- p(X, Z), p(Z, Y).\n";
-
-fn dedup_edges(edges: &[(u8, u8, f64)]) -> Vec<(u8, u8, f64)> {
-    let mut seen = std::collections::BTreeSet::new();
-    edges
-        .iter()
-        .filter(|(a, b, _)| seen.insert((*a, *b)))
-        .copied()
-        .collect()
-}
-
-/// Forces a DAG: self-loops dropped, back edges flipped forward.
-fn acyclic(edges: &[(u8, u8, f64)]) -> Vec<(u8, u8, f64)> {
-    let forced: Vec<(u8, u8, f64)> = edges
-        .iter()
-        .filter(|(a, b, _)| a != b)
-        .map(|&(a, b, p)| if a < b { (a, b, p) } else { (b, a, p) })
-        .collect();
-    dedup_edges(&forced)
-}
-
-/// Minimized lineage probability of `p(nx, ny)` via the enumeration
-/// oracle; 0.0 when underivable. Minimization canonicalizes the DNF, so
-/// equal inputs produce bit-equal outputs.
-fn prob_of(engine: &LtgEngine, x: u8, y: u8) -> f64 {
-    let program = engine.program();
-    let Some(p) = program.preds.lookup("p", 2) else {
-        return 0.0;
-    };
-    let (Some(xs), Some(ys)) = (
-        program.symbols.lookup(&format!("n{x}")),
-        program.symbols.lookup(&format!("n{y}")),
-    ) else {
-        return 0.0;
-    };
-    let Some(f) = engine.db().store.lookup(p, &[xs, ys]) else {
-        return 0.0;
-    };
-    let mut d = engine.lineage_of(f).unwrap();
-    d.minimize();
-    NaiveWmc::default()
-        .probability(&d, &engine.db().weights())
-        .unwrap()
-}
-
-fn program_src(edges: &[(u8, u8, f64)]) -> String {
-    let mut src = String::new();
-    for (a, b, p) in edges {
-        src.push_str(&format!("{p} :: e(n{a}, n{b}).\n"));
-    }
-    src.push_str(RULES);
-    src
-}
-
-/// A 30s deadline turns a hypothetical runaway into a clean TO failure
-/// (with the generated inputs printed) instead of a hung CI job; real
-/// cases finish in milliseconds.
-fn guard() -> ResourceMeter {
-    ResourceMeter::with_limits(usize::MAX, Some(Duration::from_secs(30)))
-}
-
-fn intern_edge(
-    engine: &mut LtgEngine,
-    a: u8,
-    b: u8,
-) -> (ltgs::datalog::PredId, [ltgs::datalog::Sym; 2]) {
-    let e = engine.program().preds.lookup("e", 2).unwrap();
-    let args = [
-        engine.intern_symbol(&format!("n{a}")),
-        engine.intern_symbol(&format!("n{b}")),
-    ];
-    (e, args)
-}
 
 /// Inserts `edges[cut..]` into a resident engine built over
 /// `edges[..cut]`, delta-reasoning per insert (or once at the end), and

@@ -1,0 +1,175 @@
+//! Property tests of retraction: **delete ≡ re-derive**.
+//!
+//! For random monotone programs (drawn from `ltg_testkit::RULE_PALETTE`)
+//! and random interleavings of INSERT / DELETE / UPDATE operations, a
+//! resident engine that delta-reasons after every insert and
+//! retract-reasons after every delete must be **bitwise identical** —
+//! on every query probability — to a from-scratch `LtgEngine` run over
+//! the final database, and must agree with the independent `ΔTcP`
+//! baseline within 1e-9. The differential harness, the reference EDB
+//! model, and the greedy script shrinker live in
+//! `ltg-testkit::diff`; failures are minimized before being reported,
+//! and the vendored proptest persists the failing seed under
+//! `proptest-regressions/` so it is replayed forever.
+//!
+//! The interleaving test runs 256 cases, each under one of three
+//! cyclic-safe engine configurations (paper-default collapsing, no
+//! collapsing, depth-capped); aggressive threshold-2 collapsing gets
+//! its own DAG-restricted suite, because on dense cyclic inputs it
+//! blows up already in batch mode — the pre-existing trait pinned by
+//! the `#[ignore]`d regression in `tests/regressions.rs`.
+//! `PROPTEST_CASES` raises the case counts further in CI.
+
+use ltg_testkit::{arb_any_script, arb_script, run_script, shrink, Op, Script, RULE_PALETTE};
+use ltgs::prelude::*;
+use proptest::prelude::*;
+
+/// The configurations random (possibly cyclic) scripts are checked
+/// under. Aggressive threshold-2 collapsing is exercised separately on
+/// DAG-restricted scripts: on dense cyclic inputs it blows up already
+/// in *batch* mode — the pre-existing engine trait pinned by the
+/// `#[ignore]`d regression in `tests/regressions.rs`, not a retraction
+/// artifact.
+fn configs() -> Vec<EngineConfig> {
+    vec![
+        EngineConfig::with_collapse(),
+        EngineConfig::without_collapse(),
+        EngineConfig::with_collapse().max_depth(3),
+    ]
+}
+
+/// The aggressive-collapse configuration (OR bundles everywhere), safe
+/// on DAGs only.
+fn aggressive() -> EngineConfig {
+    EngineConfig {
+        collapse: true,
+        collapse_threshold: 2,
+        ..EngineConfig::default()
+    }
+}
+
+/// Restricts a script to the acyclic world: self-loops dropped, every
+/// edge (in the initial EDB *and* in every op) forced forward `x < y`.
+fn acyclic_script(mut script: Script) -> Script {
+    script.initial = ltg_testkit::acyclic(&script.initial);
+    script.ops = script
+        .ops
+        .into_iter()
+        .filter_map(|op| {
+            let fix = |x: u8, y: u8| {
+                if x < y {
+                    Some((x, y))
+                } else if y < x {
+                    Some((y, x))
+                } else {
+                    None
+                }
+            };
+            match op {
+                Op::Insert(x, y, p) => fix(x, y).map(|(x, y)| Op::Insert(x, y, p)),
+                Op::Delete(x, y) => fix(x, y).map(|(x, y)| Op::Delete(x, y)),
+                Op::Update(x, y, p) => fix(x, y).map(|(x, y)| Op::Update(x, y, p)),
+            }
+        })
+        .collect();
+    script
+}
+
+/// Runs the script under one configuration; on failure, shrinks it
+/// first so the reported counterexample is minimal.
+fn check(script: &Script, config: &EngineConfig) -> Result<(), TestCaseError> {
+    if let Err(msg) = run_script(script, config) {
+        let minimal = shrink(script.clone(), |s| run_script(s, config).is_err());
+        let minimal_msg = run_script(&minimal, config).unwrap_err();
+        return Err(TestCaseError::fail(format!(
+            "config {config:?}: {msg}\n  shrunk to: {minimal:?}\n  which fails with: {minimal_msg}"
+        )));
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The acceptance criterion: any interleaving of INSERT / DELETE /
+    /// UPDATE over a random program is bitwise-identical to reasoning
+    /// from scratch over the final database (and, for depth-uncapped
+    /// configurations, ΔTcP agrees). Each case draws one of the three
+    /// cyclic-safe configurations, so all are exercised ~85 times per
+    /// run.
+    #[test]
+    fn random_mutation_interleavings_match_scratch(
+        script in arb_any_script(),
+        cfg in 0usize..3,
+    ) {
+        check(&script, &configs()[cfg])?;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Aggressive threshold-2 collapsing on DAG-restricted scripts: OR
+    /// bundles appear everywhere, so over-deletion removes whole
+    /// bundles and the re-derivation must rebuild them from the
+    /// surviving alternatives — still bitwise-identical to scratch.
+    /// (An earlier palette carried an orientation-reversing rule block
+    /// whose *derived* graph is cyclic even over forward-only edges;
+    /// this very suite discovered the resulting batch blowup, now
+    /// pinned in `tests/regressions.rs` and excluded from the palette
+    /// itself — see `RULE_PALETTE`'s docs.)
+    #[test]
+    fn aggressive_collapse_on_dags_matches_scratch(script in arb_any_script()) {
+        check(&acyclic_script(script), &aggressive())?;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Deletion-heavy scripts over the transitive-closure program: every
+    /// initial edge plus every inserted edge is eventually deleted, so
+    /// the engine must converge back to (a subset of) the empty model.
+    #[test]
+    fn delete_everything_empties_the_model(
+        script in arb_script(RULE_PALETTE[0]),
+        cfg in 0usize..3,
+    ) {
+        let mut script = script;
+        let mut doom: Vec<Op> = Vec::new();
+        for &(x, y, _) in &script.initial {
+            doom.push(Op::Delete(x, y));
+        }
+        for op in &script.ops {
+            if let Op::Insert(x, y, _) = *op {
+                doom.push(Op::Delete(x, y));
+            }
+        }
+        script.ops.extend(doom);
+        check(&script, &configs()[cfg])?;
+    }
+}
+
+/// Deterministic spot-check of the harness plumbing itself: a scripted
+/// delete/re-insert cycle on Example 1 under every configuration (kept
+/// out of the proptest! block so a generator regression cannot mask it).
+#[test]
+fn scripted_delete_reinsert_cycle_on_every_rule_block() {
+    for rules in RULE_PALETTE {
+        let script = Script {
+            rules,
+            initial: vec![(0, 1, 0.5), (1, 2, 0.6), (0, 2, 0.7), (2, 1, 0.8)],
+            ops: vec![
+                Op::Delete(0, 1),
+                Op::Insert(0, 1, 0.5),
+                Op::Delete(0, 2),
+                Op::Delete(2, 1),
+                Op::Update(1, 2, 0.9),
+                Op::Insert(2, 1, 0.3),
+            ],
+        };
+        for config in configs() {
+            check(&script, &config).unwrap_or_else(|e| panic!("rules {rules:?}: {e}"));
+        }
+    }
+}

@@ -1,12 +1,15 @@
 //! End-to-end tests of `ltgs serve`: spawn the real binary, speak the
 //! line protocol over a real socket, and check the acceptance criteria
 //! of the resident service — repeated queries hit the cache (visible in
-//! `STATS`), and an `INSERT` followed by the same query returns the
-//! probability a from-scratch run computes.
+//! `STATS`), an `INSERT` followed by the same query returns the
+//! probability a from-scratch run computes, and a `DELETE` invalidates
+//! exactly the dependent cache entries and re-derives the cone.
+//!
+//! The process/socket plumbing (spawn, readiness handshake, framed
+//! request/response, STATS parsing) lives in `ltg_testkit::net`.
 
-use std::io::{BufRead, BufReader, Write};
-use std::net::TcpStream;
-use std::process::{Child, Command, Stdio};
+use ltg_testkit::{connect, request, spawn_serve, stat, write_program, ServeGuard};
+use std::process::Command;
 
 const PROGRAM: &str = "0.5 :: e(a, b). 0.6 :: e(b, c). 0.7 :: e(a, c). 0.8 :: e(c, b).
 p(X, Y) :- e(X, Y).
@@ -14,87 +17,14 @@ p(X, Y) :- p(X, Z), p(Z, Y).
 query p(a, b).
 ";
 
-fn write_program(name: &str, body: &str) -> std::path::PathBuf {
-    let dir = std::env::temp_dir().join("ltgs-server-tests");
-    std::fs::create_dir_all(&dir).unwrap();
-    let path = dir.join(name);
-    std::fs::write(&path, body).unwrap();
-    path
-}
-
-/// A running `ltgs serve` child, killed on drop.
-struct ServeGuard {
-    child: Child,
-    addr: String,
-}
-
-impl Drop for ServeGuard {
-    fn drop(&mut self) {
-        let _ = self.child.kill();
-        let _ = self.child.wait();
-    }
-}
-
-/// Spawns `ltgs serve --port 0 <program>` and waits for its readiness
-/// line to learn the bound address.
-fn spawn_serve(program_path: &std::path::Path) -> ServeGuard {
-    let mut child = Command::new(env!("CARGO_BIN_EXE_ltgs"))
-        .args(["serve", "--port", "0", program_path.to_str().unwrap()])
-        .stdout(Stdio::piped())
-        .stderr(Stdio::null())
-        .spawn()
-        .expect("serve starts");
-    let stdout = child.stdout.take().unwrap();
-    let mut reader = BufReader::new(stdout);
-    let mut line = String::new();
-    reader.read_line(&mut line).expect("readiness line");
-    let addr = line
-        .trim()
-        .rsplit_once(" on ")
-        .expect("readiness line names the address")
-        .1
-        .to_string();
-    ServeGuard { child, addr }
-}
-
-/// Sends one request line and reads the complete response.
-fn request(reader: &mut BufReader<TcpStream>, writer: &mut TcpStream, line: &str) -> Vec<String> {
-    writer.write_all(line.as_bytes()).unwrap();
-    writer.write_all(b"\n").unwrap();
-    writer.flush().unwrap();
-    let mut head = String::new();
-    reader.read_line(&mut head).unwrap();
-    let mut out = vec![head.trim_end().to_string()];
-    if let Some(rest) = out[0].strip_prefix("OK ") {
-        if let Ok(n) = rest.trim().parse::<usize>() {
-            for _ in 0..n {
-                let mut l = String::new();
-                reader.read_line(&mut l).unwrap();
-                out.push(l.trim_end().to_string());
-            }
-        }
-    }
-    out
-}
-
-fn connect(addr: &str) -> (BufReader<TcpStream>, TcpStream) {
-    let stream = TcpStream::connect(addr).expect("connect to serve");
-    (BufReader::new(stream.try_clone().unwrap()), stream)
-}
-
-fn stat(lines: &[String], key: &str) -> u64 {
-    lines
-        .iter()
-        .find_map(|l| l.strip_prefix(&format!("{key} ")))
-        .unwrap_or_else(|| panic!("stat {key} missing from {lines:?}"))
-        .parse()
-        .unwrap()
+fn serve(name: &str, body: &str) -> ServeGuard {
+    let path = write_program(name, body);
+    spawn_serve(env!("CARGO_BIN_EXE_ltgs"), &path)
 }
 
 #[test]
 fn repeated_quickstart_queries_hit_the_cache() {
-    let path = write_program("quickstart.pl", PROGRAM);
-    let serve = spawn_serve(&path);
+    let serve = serve("quickstart.pl", PROGRAM);
     let (mut reader, mut writer) = connect(&serve.addr);
 
     let first = request(&mut reader, &mut writer, "QUERY p(a, b).");
@@ -109,12 +39,12 @@ fn repeated_quickstart_queries_hit_the_cache() {
     assert_eq!(stat(&stats, "cache_misses"), 1);
     // Reasoning ran exactly once (the startup pass).
     assert_eq!(stat(&stats, "delta_passes"), 0);
+    assert_eq!(stat(&stats, "retract_passes"), 0);
 }
 
 #[test]
 fn insert_then_requery_matches_a_from_scratch_run() {
-    let path = write_program("grow.pl", PROGRAM);
-    let serve = spawn_serve(&path);
+    let serve = serve("grow.pl", PROGRAM);
     let (mut reader, mut writer) = connect(&serve.addr);
 
     assert_eq!(
@@ -165,9 +95,122 @@ fn insert_then_requery_matches_a_from_scratch_run() {
 }
 
 #[test]
+fn delete_invalidates_the_cache_and_rederives_the_cone() {
+    // Two independent components behind one session: p-closure over e,
+    // and r-closure over s. Deleting an e-fact must invalidate cached
+    // p-queries but leave cached r-queries warm (per-predicate
+    // invalidation), and the re-derived answers must match a
+    // from-scratch run over the shrunk program.
+    let serve = serve(
+        "retract.pl",
+        "0.5 :: e(a, b). 0.6 :: e(b, c). 0.7 :: e(a, c). 0.8 :: e(c, b).
+         0.9 :: s(u, v).
+         p(X, Y) :- e(X, Y).
+         p(X, Y) :- p(X, Z), p(Z, Y).
+         r(X, Y) :- s(X, Y).
+         query p(a, b).",
+    );
+    let (mut reader, mut writer) = connect(&serve.addr);
+
+    // Warm both components' caches.
+    assert_eq!(
+        request(&mut reader, &mut writer, "QUERY p(a, b)."),
+        vec!["OK 1", "0.780000\tp(a,b)"]
+    );
+    assert_eq!(
+        request(&mut reader, &mut writer, "QUERY r(u, v)."),
+        vec!["OK 1", "0.900000\tr(u,v)"]
+    );
+
+    // Delete the direct edge: only the two-hop path a→c→b remains.
+    assert_eq!(
+        request(&mut reader, &mut writer, "DELETE e(a, b)."),
+        vec!["OK deleted p=0.500000 epoch=1"]
+    );
+    // Idempotence over the wire.
+    assert_eq!(
+        request(&mut reader, &mut writer, "DELETE e(a, b)."),
+        vec!["OK missing"]
+    );
+    assert_eq!(
+        request(&mut reader, &mut writer, "QUERY p(a, b)."),
+        vec!["OK 1", "0.560000\tp(a,b)"]
+    );
+    // The r-query is untouched by the e-mutation: still a cache hit.
+    assert_eq!(
+        request(&mut reader, &mut writer, "QUERY r(u, v)."),
+        vec!["OK 1", "0.900000\tr(u,v)"]
+    );
+    let stats = request(&mut reader, &mut writer, "STATS");
+    assert_eq!(stat(&stats, "deletes"), 1);
+    assert_eq!(stat(&stats, "deletes_missing"), 1);
+    assert_eq!(stat(&stats, "retract_passes"), 1);
+    assert_eq!(
+        stat(&stats, "cache_invalidations"),
+        1,
+        "only the p-entry may be invalidated: {stats:?}"
+    );
+    assert_eq!(stat(&stats, "cache_hits"), 1, "{stats:?}");
+
+    // From-scratch run over the shrunk program agrees with the
+    // re-derived resident answer.
+    let shrunk = write_program(
+        "retract-shrunk.pl",
+        "0.6 :: e(b, c). 0.7 :: e(a, c). 0.8 :: e(c, b).
+         0.9 :: s(u, v).
+         p(X, Y) :- e(X, Y).
+         p(X, Y) :- p(X, Z), p(Z, Y).
+         r(X, Y) :- s(X, Y).
+         query p(a, b).",
+    );
+    let out = Command::new(env!("CARGO_BIN_EXE_ltgs"))
+        .arg(shrunk.to_str().unwrap())
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let scratch = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        scratch.lines().any(|l| l == "0.560000\tp(a,b)"),
+        "from-scratch check: {scratch}"
+    );
+
+    // Deleting the last e-support kills the whole p-component; the
+    // answer disappears rather than going to probability 0.
+    for atom in ["e(b, c)", "e(a, c)", "e(c, b)"] {
+        let resp = request(&mut reader, &mut writer, &format!("DELETE {atom}."));
+        assert!(resp[0].starts_with("OK deleted"), "{resp:?}");
+    }
+    assert_eq!(
+        request(&mut reader, &mut writer, "QUERY p(a, b)."),
+        vec!["OK 0"]
+    );
+    assert_eq!(
+        request(&mut reader, &mut writer, "QUERY p(X, Y)."),
+        vec!["OK 0"]
+    );
+    // Re-inserting restores the exact original answer. (Epoch history:
+    // 4 effective deletes then this insert — the missing delete did not
+    // bump it.)
+    assert_eq!(
+        request(&mut reader, &mut writer, "INSERT 0.5 :: e(a, b)."),
+        vec!["OK inserted epoch=5"]
+    );
+    for atom in ["0.6 :: e(b, c)", "0.7 :: e(a, c)", "0.8 :: e(c, b)"] {
+        request(&mut reader, &mut writer, &format!("INSERT {atom}."));
+    }
+    assert_eq!(
+        request(&mut reader, &mut writer, "QUERY p(a, b)."),
+        vec!["OK 1", "0.780000\tp(a,b)"]
+    );
+
+    // Error paths stay on one line.
+    assert!(request(&mut reader, &mut writer, "DELETE p(a, b).")[0].starts_with("ERR rejected"));
+    assert!(request(&mut reader, &mut writer, "DELETE")[0].starts_with("ERR"));
+}
+
+#[test]
 fn conflict_update_and_error_paths_over_the_wire() {
-    let path = write_program("conflict.pl", PROGRAM);
-    let serve = spawn_serve(&path);
+    let serve = serve("conflict.pl", PROGRAM);
     let (mut reader, mut writer) = connect(&serve.addr);
 
     // Duplicate with the same probability: accepted as a no-op.
@@ -187,6 +230,14 @@ fn conflict_update_and_error_paths_over_the_wire() {
     let prob: f64 = answer[1].split('\t').next().unwrap().parse().unwrap();
     assert!(prob > 0.78, "weight update must raise the answer: {prob}");
 
+    // UPDATE and DELETE of unknown facts are distinct: UPDATE errors
+    // (there is nothing to set), DELETE acknowledges (idempotence).
+    assert!(request(&mut reader, &mut writer, "UPDATE 0.5 :: e(z, z).")[0].starts_with("ERR"));
+    assert_eq!(
+        request(&mut reader, &mut writer, "DELETE e(z, z)."),
+        vec!["OK missing"]
+    );
+
     // Error paths stay on one line.
     assert!(request(&mut reader, &mut writer, "QUERY zz(a).")[0].starts_with("ERR"));
     assert!(request(&mut reader, &mut writer, "INSERT 0.5 :: p(a, b).")[0].starts_with("ERR"));
@@ -196,8 +247,7 @@ fn conflict_update_and_error_paths_over_the_wire() {
 
 #[test]
 fn concurrent_connections_share_one_session() {
-    let path = write_program("concurrent.pl", PROGRAM);
-    let serve = spawn_serve(&path);
+    let serve = serve("concurrent.pl", PROGRAM);
 
     // Warm the cache from one connection…
     let (mut r1, mut w1) = connect(&serve.addr);

@@ -9,12 +9,23 @@
 //!
 //! Differences from real proptest, chosen deliberately:
 //!
-//! * **No shrinking.** On failure the macro panics with the case index
-//!   and the `Debug` rendering of every generated input instead of a
-//!   minimized counterexample.
-//! * **Deterministic seeding.** Each test derives its RNG seed from its
-//!   `module_path!()` + name, so a failure reproduces bit-identically
-//!   on every run and platform — the right trade for CI.
+//! * **No strategy-level shrinking.** On failure the macro panics with
+//!   the case seed and the `Debug` rendering of every generated input
+//!   instead of a minimized counterexample (domain-specific harnesses —
+//!   see `ltg-testkit::shrink` — minimize their own inputs).
+//! * **Deterministic per-case seeding.** Each case's RNG seed derives
+//!   from the test's `module_path!()` + name + case index, so any case
+//!   reproduces bit-identically on every run and platform from its seed
+//!   alone — the property failure persistence relies on.
+//! * **Failure persistence.** Like real proptest, a failing case's seed
+//!   is appended to `proptest-regressions/<module>__<test>.txt` under
+//!   the test crate's manifest directory (`cc 0x<seed>` lines), and
+//!   persisted seeds are replayed *before* the regular cases on every
+//!   later run — commit the files and shrunk counterexamples are
+//!   replayed forever.
+//! * **`PROPTEST_CASES`.** The environment variable overrides every
+//!   test's configured case count, so CI can run an elevated count
+//!   without code changes.
 
 use rand::rngs::StdRng;
 use rand::RngExt;
@@ -312,14 +323,103 @@ pub fn __seed_for(test_path: &str) -> u64 {
     h
 }
 
+/// Derives the seed of one case from the test's base seed: splitmix64
+/// finalization over `base + index`, so every case reproduces from its
+/// own 64-bit seed (the unit persistence stores).
+#[doc(hidden)]
+pub fn __case_seed(base: u64, case: u32) -> u64 {
+    let mut z = base.wrapping_add((case as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The effective case count: the `PROPTEST_CASES` environment variable
+/// (when set to a positive integer) overrides the configured count.
+#[doc(hidden)]
+pub fn __resolve_cases(configured: u32) -> u32 {
+    match std::env::var("PROPTEST_CASES") {
+        Ok(v) => match v.trim().parse::<u32>() {
+            Ok(n) if n > 0 => n,
+            _ => panic!("PROPTEST_CASES must be a positive integer, got '{v}'"),
+        },
+        Err(_) => configured,
+    }
+}
+
+/// The regression file of one test:
+/// `<manifest_dir>/proptest-regressions/<module_path with :: → __>__<test>.txt`.
+#[doc(hidden)]
+pub fn __regression_file(manifest_dir: &str, module_path: &str, test: &str) -> std::path::PathBuf {
+    let mut name = module_path.replace("::", "__");
+    name.push_str("__");
+    name.push_str(test);
+    name.push_str(".txt");
+    std::path::Path::new(manifest_dir)
+        .join("proptest-regressions")
+        .join(name)
+}
+
+/// Persisted seeds of a regression file (`cc 0x<hex>` lines; everything
+/// else is comment). Missing file = no seeds.
+#[doc(hidden)]
+pub fn __load_regressions(file: &std::path::Path) -> Vec<u64> {
+    let Ok(text) = std::fs::read_to_string(file) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter_map(|l| {
+            let rest = l.trim().strip_prefix("cc ")?;
+            let hex = rest.trim().strip_prefix("0x")?;
+            u64::from_str_radix(hex, 16).ok()
+        })
+        .collect()
+}
+
+/// Appends a failing seed to the regression file (creating it and its
+/// directory as needed; duplicates are skipped). Returns the file path
+/// for the failure message. Best-effort: an unwritable location must
+/// not mask the test failure itself.
+#[doc(hidden)]
+pub fn __save_regression(file: &std::path::Path, seed: u64) -> std::path::PathBuf {
+    if __load_regressions(file).contains(&seed) {
+        return file.to_path_buf();
+    }
+    let _ = (|| -> std::io::Result<()> {
+        if let Some(dir) = file.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        use std::io::Write as _;
+        let fresh = !file.exists();
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(file)?;
+        if fresh {
+            writeln!(
+                f,
+                "# Seeds for failure cases found by proptest. It is recommended to\n\
+                 # check this file in to source control so that everyone who runs the\n\
+                 # test benefits from these saved cases."
+            )?;
+        }
+        writeln!(f, "cc {seed:#018x}")?;
+        Ok(())
+    })();
+    file.to_path_buf()
+}
+
 #[doc(hidden)]
 pub use rand::rngs::StdRng as __StdRng;
 #[doc(hidden)]
 pub use rand::SeedableRng as __SeedableRng;
 
 /// Declares property tests. Each `#[test] fn name(pat in strategy, ..)`
-/// runs `config.cases` deterministic random cases; `prop_assert*`
-/// failures and panics report the case index and generated inputs.
+/// first replays the seeds persisted in its
+/// `proptest-regressions/<module>__<name>.txt` file, then runs
+/// `config.cases` (or `PROPTEST_CASES`) fresh deterministic cases;
+/// `prop_assert*` failures and panics persist the failing seed and
+/// report it together with the generated inputs.
 #[macro_export]
 macro_rules! proptest {
     (#![proptest_config($config:expr)] $($rest:tt)*) => {
@@ -340,19 +440,55 @@ macro_rules! __proptest_impl {
         $(#[$meta])*
         fn $name() {
             let config: $crate::ProptestConfig = $config;
-            let seed = $crate::__seed_for(concat!(module_path!(), "::", stringify!($name)));
-            let mut rng = <$crate::__StdRng as $crate::__SeedableRng>::seed_from_u64(seed);
-            for case in 0..config.cases {
+            let cases = $crate::__resolve_cases(config.cases);
+            let base = $crate::__seed_for(concat!(module_path!(), "::", stringify!($name)));
+            let file = $crate::__regression_file(
+                env!("CARGO_MANIFEST_DIR"),
+                module_path!(),
+                stringify!($name),
+            );
+            let replay = $crate::__load_regressions(&file);
+            for case in 0..(replay.len() as u32 + cases) {
+                let (seed, replayed) = match replay.get(case as usize) {
+                    ::std::option::Option::Some(&s) => (s, true),
+                    ::std::option::Option::None => {
+                        ($crate::__case_seed(base, case - replay.len() as u32), false)
+                    }
+                };
+                let mut rng = <$crate::__StdRng as $crate::__SeedableRng>::seed_from_u64(seed);
                 $(let $arg = $crate::Strategy::generate(&($strategy), &mut rng);)+
                 let inputs: ::std::string::String =
                     [$(format!("\n    {} = {:?}", stringify!($arg), $arg)),+].concat();
-                let result: ::std::result::Result<(), $crate::TestCaseError> = (move || {
+                let result: ::std::result::Result<
+                    ::std::result::Result<(), $crate::TestCaseError>,
+                    ::std::boxed::Box<dyn ::std::any::Any + ::std::marker::Send>,
+                > = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(move || {
                     $body
                     ::std::result::Result::Ok(())
-                })();
-                if let ::std::result::Result::Err(e) = result {
+                }));
+                let failure: ::std::option::Option<::std::string::String> = match result {
+                    ::std::result::Result::Ok(::std::result::Result::Ok(())) => {
+                        ::std::option::Option::None
+                    }
+                    ::std::result::Result::Ok(::std::result::Result::Err(e)) => {
+                        ::std::option::Option::Some(format!("{e}"))
+                    }
+                    ::std::result::Result::Err(panic) => {
+                        let msg = panic
+                            .downcast_ref::<&str>()
+                            .map(|s| s.to_string())
+                            .or_else(|| panic.downcast_ref::<::std::string::String>().cloned())
+                            .unwrap_or_else(|| "non-string panic".to_string());
+                        ::std::option::Option::Some(format!("panicked: {msg}"))
+                    }
+                };
+                if let ::std::option::Option::Some(e) = failure {
+                    let saved = $crate::__save_regression(&file, seed);
+                    let origin = if replayed { " [replayed regression]" } else { "" };
                     panic!(
-                        "proptest case {case} (seed {seed:#x}) failed: {e}\n  inputs:{inputs}"
+                        "proptest case {case} (seed {seed:#018x}{origin}) failed: {e}\n  \
+                         persisted in {}\n  inputs:{inputs}",
+                        saved.display()
                     );
                 }
             }
@@ -406,6 +542,41 @@ mod tests {
     fn seeds_are_stable_and_distinct() {
         assert_eq!(crate::__seed_for("a::b"), crate::__seed_for("a::b"));
         assert_ne!(crate::__seed_for("a::b"), crate::__seed_for("a::c"));
+        // Case seeds: stable per (base, index), distinct across both.
+        assert_eq!(crate::__case_seed(1, 0), crate::__case_seed(1, 0));
+        assert_ne!(crate::__case_seed(1, 0), crate::__case_seed(1, 1));
+        assert_ne!(crate::__case_seed(1, 0), crate::__case_seed(2, 0));
+    }
+
+    #[test]
+    fn regression_files_round_trip() {
+        let dir = std::env::temp_dir().join(format!(
+            "proptest-shim-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let file = crate::__regression_file(dir.to_str().unwrap(), "my::mod", "my_test");
+        assert!(file.ends_with("proptest-regressions/my__mod__my_test.txt"));
+        // Missing file: no seeds.
+        assert!(crate::__load_regressions(&file).is_empty());
+        // Save twice (second is a dedup no-op), plus a distinct seed.
+        crate::__save_regression(&file, 0xdead_beef);
+        crate::__save_regression(&file, 0xdead_beef);
+        crate::__save_regression(&file, 7);
+        assert_eq!(crate::__load_regressions(&file), vec![0xdead_beef, 7]);
+        // The header comment parses as comment, not as a seed.
+        let text = std::fs::read_to_string(&file).unwrap();
+        assert!(text.starts_with('#'));
+        assert_eq!(text.matches("cc ").count(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cases_resolve_from_env_or_config() {
+        // The env var is process-global: only exercise the unset path
+        // plus the parser here (tests run concurrently in one process).
+        assert_eq!(crate::__resolve_cases(64), 64);
     }
 
     #[test]
