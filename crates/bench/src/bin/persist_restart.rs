@@ -1,0 +1,180 @@
+//! **Persist restart** — cold re-reasoning vs `snapshot + WAL` load.
+//!
+//! The economics the durable-session subsystem must win: a server
+//! restart used to pay the full batch-reasoning cost again; with a data
+//! directory it pays a snapshot decode + rebuild instead. Two phases on
+//! the layered-DAG workload of `serve_throughput` (same shape, so the
+//! startup numbers line up):
+//!
+//! 1. **snapshot only** — checkpoint the batch-reasoned state, then
+//!    time warm boots against the cold-reasoning baseline (the
+//!    apples-to-apples number: the same state, rebuilt vs re-derived);
+//! 2. **snapshot + WAL tail** — apply a burst of `INSERT`s that lands
+//!    in the WAL, kill the session without a shutdown checkpoint, and
+//!    time the recovery boot. Replay re-runs the per-record delta
+//!    passes, so this number is dominated by incremental reasoning,
+//!    not I/O — it bounds the crash-recovery cost, not the routine
+//!    restart cost.
+//!
+//! Usage: `cargo run --release -p ltg-bench --bin persist_restart
+//! [width] [layers] [reps]`
+//!
+//! Emits a human table on stdout and machine-readable
+//! `BENCH_persist.json` in the working directory.
+
+use ltg_server::server::respond;
+use ltg_server::{BootMode, DurabilityOptions, Session, SessionOptions};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// The layered probabilistic DAG of `serve_throughput` (kept in sync so
+/// the two benches describe the same workload).
+fn layered_program(width: usize, layers: usize) -> String {
+    let mut src = String::new();
+    let mut prob = 0.35;
+    for l in 0..layers.saturating_sub(1) {
+        for a in 0..width {
+            for b in 0..width {
+                let _ = writeln!(src, "{prob:.2} :: e(n{l}_{a}, n{}_{b}).", l + 1);
+                prob = if prob > 0.9 { 0.35 } else { prob + 0.07 };
+            }
+        }
+    }
+    src.push_str("p(X, Y) :- e(X, Y).\np(X, Y) :- p(X, Z), p(Z, Y).\n");
+    src
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let width: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(4);
+    let layers: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(8);
+    let reps: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(3);
+
+    let src = layered_program(width, layers);
+    let program = ltg_datalog::parse_program(&src).unwrap();
+    let n_facts = program.facts.len();
+
+    let dir = std::env::temp_dir().join(format!("ltgs-bench-persist-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let durable = || SessionOptions {
+        durability: Some(DurabilityOptions::at(&dir)),
+        ..SessionOptions::default()
+    };
+    // Ground 2-hop probe: cheap to answer (the property suites own the
+    // exhaustive bitwise checks), but still exercises lineage + WMC on
+    // every boot mode.
+    let probe = "QUERY p(n0_0, n2_0).".to_string();
+
+    // Cold baseline: what every restart used to cost (and still costs
+    // without --data-dir): full batch reasoning.
+    let mut cold_s = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let session = Session::new(&program, SessionOptions::default()).unwrap();
+        cold_s = cold_s.min(t0.elapsed().as_secs_f64());
+        drop(session);
+    }
+
+    // Phase 1 — establish the durable state (cold boot writes the
+    // initial checkpoint), then time pure snapshot loads. No mutations
+    // yet, so every warm boot reads the same epoch-0 snapshot.
+    let (mut session, report) = Session::boot(&program, durable()).unwrap();
+    assert_eq!(report.mode, BootMode::Cold);
+    let reference = respond(&mut session, &probe);
+    drop(session); // shutdown checkpoint rewrites the same epoch-0 state
+    let snapshot_bytes = std::fs::metadata(ltg_persist::snapshot_path(&dir))
+        .map(|m| m.len())
+        .unwrap_or(0);
+
+    let mut warm_s = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let (mut s, report) = Session::boot(&program, durable()).unwrap();
+        warm_s = warm_s.min(t0.elapsed().as_secs_f64());
+        assert_eq!(report.mode, BootMode::Warm, "notes: {:?}", report.notes);
+        assert_eq!(report.replayed, 0);
+        assert_eq!(respond(&mut s, &probe), reference, "warm boots must agree");
+        drop(s);
+    }
+
+    // Phase split of the warm path: file decode vs engine rebuild.
+    let t0 = Instant::now();
+    let state = ltg_persist::snapshot::load(&ltg_persist::snapshot_path(&dir))
+        .unwrap()
+        .unwrap();
+    let decode_s = t0.elapsed().as_secs_f64();
+    let n_trees = state.forest.len();
+    let n_nodes = state.nodes.len();
+    let t0 = Instant::now();
+    let restored =
+        ltg_core::LtgEngine::restore(&program, ltg_core::EngineConfig::default(), state).unwrap();
+    let rebuild_s = t0.elapsed().as_secs_f64();
+    drop(restored);
+
+    // Phase 2 — a mutation burst into the WAL, then a crash (no
+    // shutdown checkpoint) and the recovery boot. Replay re-runs the
+    // delta passes, so this bounds crash recovery, not routine restarts.
+    let (mut session, _) = Session::boot(&program, durable()).unwrap();
+    let mut mutations = 0u64;
+    let t0 = Instant::now();
+    for w in 0..width {
+        let resp = respond(
+            &mut session,
+            &format!("INSERT 0.5 :: e(n{}_{w}, fresh{w}).", layers - 1),
+        );
+        assert!(resp.starts_with("OK inserted"), "{resp}");
+        mutations += 1;
+    }
+    let burst_s = t0.elapsed().as_secs_f64();
+    let mutated_reference = respond(&mut session, &probe);
+    std::mem::forget(session);
+
+    let t0 = Instant::now();
+    let (mut recovered, report) = Session::boot(&program, durable()).unwrap();
+    let recover_s = t0.elapsed().as_secs_f64();
+    assert_eq!(report.mode, BootMode::Warm, "notes: {:?}", report.notes);
+    assert_eq!(report.replayed, mutations);
+    assert_eq!(
+        respond(&mut recovered, &probe),
+        mutated_reference,
+        "recovery must answer identically"
+    );
+    drop(recovered);
+
+    let speedup = cold_s / warm_s;
+    println!("# persist_restart — width={width} layers={layers} ({n_facts} facts)");
+    println!("state: {n_trees} live trees, {n_nodes} graph nodes, {snapshot_bytes} snapshot bytes");
+    println!("cold boot (batch reasoning):  {:>9.2} ms", cold_s * 1e3);
+    println!(
+        "warm boot (snapshot only):    {:>9.2} ms  (decode {:.2} + rebuild {:.2})",
+        warm_s * 1e3,
+        decode_s * 1e3,
+        rebuild_s * 1e3
+    );
+    println!("speedup (cold / warm):        {speedup:>9.1}x");
+    println!(
+        "mutation burst ({mutations} inserts): {:>9.2} ms applied, {:>9.2} ms recovered \
+         (snapshot + WAL replay)",
+        burst_s * 1e3,
+        recover_s * 1e3
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"persist_restart\",\n  \"width\": {width},\n  \"layers\": {layers},\n  \
+         \"facts\": {n_facts},\n  \"live_trees\": {n_trees},\n  \"graph_nodes\": {n_nodes},\n  \
+         \"snapshot_bytes\": {snapshot_bytes},\n  \"cold_reason_ms\": {:.3},\n  \
+         \"warm_load_ms\": {:.3},\n  \"decode_ms\": {:.3},\n  \"rebuild_ms\": {:.3},\n  \
+         \"speedup\": {:.2},\n  \"wal_records_replayed\": {mutations},\n  \
+         \"burst_apply_ms\": {:.3},\n  \"recover_with_wal_ms\": {:.3}\n}}\n",
+        cold_s * 1e3,
+        warm_s * 1e3,
+        decode_s * 1e3,
+        rebuild_s * 1e3,
+        speedup,
+        burst_s * 1e3,
+        recover_s * 1e3
+    );
+    std::fs::write("BENCH_persist.json", json).unwrap();
+    println!("wrote BENCH_persist.json");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -3,7 +3,7 @@
 /// Tunables of the LTG engine. `Default` reproduces the paper's settings:
 /// collapsing enabled with threshold `t = 10` (Algorithm 2) and a 1M
 /// disjunct cap on lineage collection (Section 6.3).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct EngineConfig {
     /// Collapse derivation trees (Algorithm 2 / "LTGs w/"). When `false`
     /// the engine is Algorithm 1 ("LTGs w/o").

@@ -112,6 +112,27 @@ impl ExecutionGraph {
         }
     }
 
+    /// Flattens the producer registry for snapshotting: `(head
+    /// predicate, producers in registration order)`, sorted by
+    /// predicate. Registration order is preserved verbatim — delta-wave
+    /// planning iterates producer lists, so it is part of the state.
+    pub fn export_producers(&self) -> Vec<(u32, Vec<NodeId>)> {
+        let mut out: Vec<(u32, Vec<NodeId>)> = self
+            .producers
+            .iter()
+            .filter(|(_, v)| !v.is_empty())
+            .map(|(&p, v)| (p, v.clone()))
+            .collect();
+        out.sort_unstable_by_key(|(p, _)| *p);
+        out
+    }
+
+    /// Installs a producer registry exported by
+    /// [`ExecutionGraph::export_producers`], replacing the current one.
+    pub fn restore_producers(&mut self, lists: Vec<(u32, Vec<NodeId>)>) {
+        self.producers = lists.into_iter().collect();
+    }
+
     /// Alive producers of a predicate.
     pub fn producers(&self, pred: u32) -> &[NodeId] {
         self.producers.get(&pred).map_or(&[], |v| v.as_slice())
@@ -185,6 +206,26 @@ mod tests {
         g.unregister_producer(7, b);
         g.unregister_producer(9, a);
         assert_eq!(g.producers(7), &[a, c]);
+    }
+
+    #[test]
+    fn producer_registry_roundtrips() {
+        let mut g = ExecutionGraph::new();
+        let a = g.push_node(RuleId(0), Box::from([]), 1);
+        let b = g.push_node(RuleId(1), Box::from([]), 1);
+        // Registration order (b before a) must survive the roundtrip.
+        g.register_producer(3, b);
+        g.register_producer(3, a);
+        g.register_producer(1, a);
+        let exported = g.export_producers();
+        assert_eq!(exported, vec![(1, vec![a]), (3, vec![b, a])]);
+        let mut h = ExecutionGraph::new();
+        h.push_node(RuleId(0), Box::from([]), 1);
+        h.push_node(RuleId(1), Box::from([]), 1);
+        h.restore_producers(exported.clone());
+        assert_eq!(h.producers(3), &[b, a]);
+        assert_eq!(h.producers(1), &[a]);
+        assert_eq!(h.export_producers(), exported);
     }
 
     #[test]

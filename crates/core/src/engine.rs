@@ -25,6 +25,7 @@ use crate::config::EngineConfig;
 use crate::eg::{ExecutionGraph, NodeId};
 use crate::error::EngineError;
 use crate::join::{binding_masks, join, JoinRow};
+use crate::state::{EngineState, ExportError, NodeState, RestoreError};
 use ltg_datalog::fxhash::{FxHashMap, FxHashSet};
 use ltg_datalog::{
     canonicalize, Atom, CanonicalProgram, PredId, Program, RuleId, Substitution, Sym,
@@ -1104,6 +1105,294 @@ impl LtgEngine {
     }
 
     // ------------------------------------------------------------------
+    // Snapshot export / restore (durable sessions)
+    // ------------------------------------------------------------------
+
+    /// Structural fingerprint of the canonical program this engine
+    /// executes (see [`crate::state::fingerprint`]). Snapshots and WALs
+    /// record it so recovery can refuse state from a different program.
+    pub fn fingerprint(&self) -> u64 {
+        crate::state::fingerprint(&self.canonical.program)
+    }
+
+    /// Flattens the resident state into an [`EngineState`] (see the
+    /// `state` module docs for the id-preservation contract). Refused
+    /// while mutations await a reasoning pass — the caller must flush
+    /// first, because pending sets are deliberately not part of the
+    /// state.
+    ///
+    /// The forest arena is **compacted with an order-preserving
+    /// renumbering**: only trees reachable from a tset (or the derived
+    /// registry) survive, with their relative id order intact. The
+    /// arena accumulates every *candidate* derivation ever interned —
+    /// redundancy filtering and explanation dedup discard most of them
+    /// on churn-heavy (cyclic) programs — and a restart has no use for
+    /// the garbage. Dropping it changes only the absolute `TreeId`
+    /// values; every downstream consumer (tset ordering, the collapse
+    /// grouping's `sort_unstable`, dedup sets, hash-consing) depends on
+    /// id *order* and tree *structure*, never on absolute ids, so a
+    /// restored engine still evolves in bitwise lockstep with the
+    /// original (asserted by `state_roundtrip_is_bit_identical_and_
+    /// stays_incremental` and the recovery property suite).
+    pub fn export_state(&self) -> Result<EngineState, ExportError> {
+        if !self.dirty_edb.is_empty()
+            || !self.pending_retract.is_empty()
+            || !self.retract_nodes.is_empty()
+        {
+            return Err(ExportError::PendingMutations);
+        }
+        // Live-tree closure over the children graph (children have
+        // smaller ids, so one pass marks, a second renumbers in order).
+        let mut live = vec![false; self.forest.len()];
+        let mut stack: Vec<TreeId> = Vec::new();
+        let mark = |t: TreeId, live: &mut Vec<bool>, stack: &mut Vec<TreeId>| {
+            if !live[t.index()] {
+                live[t.index()] = true;
+                stack.push(t);
+            }
+        };
+        for node in &self.graph.nodes {
+            for trees in node.tset.values() {
+                for &t in trees {
+                    mark(t, &mut live, &mut stack);
+                }
+            }
+        }
+        for trees in self.derived.values() {
+            for &t in trees {
+                mark(t, &mut live, &mut stack);
+            }
+        }
+        while let Some(t) = stack.pop() {
+            for &c in self.forest.children(t) {
+                mark(c, &mut live, &mut stack);
+            }
+        }
+        let mut remap: Vec<u32> = vec![u32::MAX; self.forest.len()];
+        let mut forest = Vec::with_capacity(live.iter().filter(|&&l| l).count());
+        for i in 0..self.forest.len() {
+            if !live[i] {
+                continue;
+            }
+            let t = TreeId(i as u32);
+            remap[i] = forest.len() as u32;
+            forest.push((
+                self.forest.fact(t),
+                self.forest.label(t),
+                self.forest
+                    .children(t)
+                    .iter()
+                    .map(|c| TreeId(remap[c.index()]))
+                    .collect::<Vec<_>>(),
+            ));
+        }
+        let remap_list = |trees: &[TreeId]| -> Vec<TreeId> {
+            trees.iter().map(|t| TreeId(remap[t.index()])).collect()
+        };
+
+        let nodes = self
+            .graph
+            .nodes
+            .iter()
+            .map(|n| {
+                let mut tset: Vec<(FactId, Vec<TreeId>)> = n
+                    .tset
+                    .iter()
+                    .map(|(&f, trees)| (f, remap_list(trees)))
+                    .collect();
+                tset.sort_unstable_by_key(|(f, _)| *f);
+                NodeState {
+                    rule: n.rule.0,
+                    parents: n.parents.to_vec(),
+                    depth: n.depth,
+                    alive: n.alive,
+                    store: n.store.facts().to_vec(),
+                    tset,
+                }
+            })
+            .collect();
+        let mut derived: Vec<(FactId, Vec<TreeId>)> = self
+            .derived
+            .iter()
+            .map(|(&f, trees)| (f, remap_list(trees)))
+            .collect();
+        derived.sort_unstable_by_key(|(f, _)| *f);
+        Ok(EngineState {
+            fingerprint: self.fingerprint(),
+            config: self.config.clone(),
+            symbols: self
+                .canonical
+                .program
+                .symbols
+                .iter()
+                .map(|(_, name)| name.to_string())
+                .collect(),
+            db: self.db.export_state(),
+            forest,
+            nodes,
+            producers: self.graph.export_producers(),
+            derived,
+            round: self.round,
+            finished: self.finished,
+            stats: self.stats.clone(),
+        })
+    }
+
+    /// Rebuilds a resident engine from an [`EngineState`] exported by a
+    /// previous process serving the *same* program under the *same*
+    /// configuration. All structural invariants are re-checked (the
+    /// state is file input); any mismatch aborts the warm boot with a
+    /// [`RestoreError`] and the caller falls back to cold reasoning.
+    ///
+    /// Rebuilt rather than restored: the combo registry (a pure index of
+    /// `graph.nodes`), the leafset memo, and the explanation-dedup
+    /// table — recomputing the latter two re-creates the `Rc` sharing
+    /// between them that serialization necessarily flattened.
+    pub fn restore(
+        program: &Program,
+        config: EngineConfig,
+        state: EngineState,
+    ) -> Result<Self, RestoreError> {
+        let mut canonical = canonicalize(program);
+        let expected = crate::state::fingerprint(&canonical.program);
+        if state.fingerprint != expected {
+            return Err(RestoreError::Fingerprint {
+                expected,
+                found: state.fingerprint,
+            });
+        }
+        if state.config != config {
+            return Err(RestoreError::Config);
+        }
+        // The program's own symbols must be a prefix of the state's
+        // table; the tail is the constants later mutations interned.
+        if canonical.program.symbols.len() > state.symbols.len() {
+            return Err(RestoreError::Symbols);
+        }
+        for (sym, name) in canonical.program.symbols.iter() {
+            if state.symbols[sym.index()] != name {
+                return Err(RestoreError::Symbols);
+            }
+        }
+        for name in &state.symbols[canonical.program.symbols.len()..] {
+            canonical.program.symbols.intern(name);
+        }
+        if canonical.program.symbols.len() != state.symbols.len() {
+            // A tail name collided with an earlier one: corrupt table.
+            return Err(RestoreError::Symbols);
+        }
+
+        let db = Database::from_state(state.db)?;
+        let n_preds = canonical.program.preds.len();
+        let n_syms = canonical.program.symbols.len();
+        for f in db.store.iter() {
+            let pred = db.store.pred(f);
+            if pred.index() >= n_preds
+                || db.store.args(f).len() != canonical.program.preds.arity(pred)
+                || db.store.args(f).iter().any(|s| s.index() >= n_syms)
+            {
+                return Err(RestoreError::Invalid("fact references unknown pred/sym"));
+            }
+        }
+        let n_facts = db.store.len();
+
+        for (fact, _, _) in &state.forest {
+            if fact.index() >= n_facts {
+                return Err(RestoreError::Forest);
+            }
+        }
+        let forest = Forest::from_records(&state.forest).ok_or(RestoreError::Forest)?;
+        let n_trees = forest.len();
+
+        let n_rules = canonical.program.rules.len();
+        let mut graph = ExecutionGraph::new();
+        let mut combos: FxHashMap<(RuleId, Box<[NodeId]>), NodeId> = FxHashMap::default();
+        for (i, node) in state.nodes.iter().enumerate() {
+            if node.rule as usize >= n_rules {
+                return Err(RestoreError::Invalid("node references unknown rule"));
+            }
+            if node.parents.iter().any(|p| p.index() >= i) {
+                return Err(RestoreError::Invalid("node parents out of order"));
+            }
+            let parents: Box<[NodeId]> = node.parents.iter().copied().collect();
+            let id = graph.push_node(RuleId(node.rule), parents.clone(), node.depth);
+            graph.nodes[id.index()].alive = node.alive;
+            if combos.insert((RuleId(node.rule), parents), id).is_some() {
+                return Err(RestoreError::Invalid("duplicate (rule, parents) combo"));
+            }
+            let n = &mut graph.nodes[id.index()];
+            for &f in &node.store {
+                if f.index() >= n_facts {
+                    return Err(RestoreError::Invalid("node store references unknown fact"));
+                }
+                n.store.push(f);
+            }
+            for (f, trees) in &node.tset {
+                if f.index() >= n_facts || trees.iter().any(|t| t.index() >= n_trees) {
+                    return Err(RestoreError::Invalid("tset references unknown fact/tree"));
+                }
+                n.tset.insert(*f, trees.clone());
+            }
+        }
+        let n_nodes = graph.nodes.len();
+        for (_, list) in &state.producers {
+            if list.iter().any(|n| n.index() >= n_nodes) {
+                return Err(RestoreError::Invalid("producer references unknown node"));
+            }
+        }
+        graph.restore_producers(state.producers);
+
+        let mut derived: FxHashMap<FactId, Vec<TreeId>> = FxHashMap::default();
+        for (f, trees) in state.derived {
+            if f.index() >= n_facts || trees.iter().any(|t| t.index() >= n_trees) {
+                return Err(RestoreError::Invalid(
+                    "derived references unknown fact/tree",
+                ));
+            }
+            derived.insert(f, trees);
+        }
+
+        let idb_mask = canonical.program.idb_mask();
+        let mut engine = LtgEngine {
+            canonical,
+            db,
+            forest,
+            graph,
+            derived,
+            leafsets: FxHashMap::default(),
+            expl_seen: FxHashMap::default(),
+            expl_bytes: 0,
+            combos,
+            idb_mask,
+            dirty_edb: FxHashSet::default(),
+            pending_retract: FxHashSet::default(),
+            retract_nodes: FxHashSet::default(),
+            config,
+            meter: ResourceMeter::unlimited(),
+            stats: state.stats,
+            round: state.round,
+            finished: state.finished,
+        };
+        // Rebuild the explanation-dedup registry exactly as incremental
+        // storing would have: one leafset entry per stored OR-free tree.
+        let mut facts: Vec<FactId> = engine.derived.keys().copied().collect();
+        facts.sort_unstable();
+        for fact in facts {
+            let trees = engine.derived[&fact].clone();
+            for t in trees {
+                if let Some(ls) = engine.leafset(t) {
+                    let bytes = 16 + ls.len() * 4;
+                    if engine.expl_seen.entry(fact).or_default().insert(ls) {
+                        engine.expl_bytes += bytes;
+                    }
+                }
+            }
+        }
+        engine.refresh_meter();
+        Ok(engine)
+    }
+
+    // ------------------------------------------------------------------
     // Lineage collection and query answering
     // ------------------------------------------------------------------
 
@@ -1931,5 +2220,134 @@ mod tests {
         assert_eq!(engine.stats().derivations, 20);
         // Derived p-facts: the 4 edges plus p(b,b) and p(c,c).
         assert_eq!(engine.derived_facts().len(), 6);
+    }
+
+    /// Full state equality probe: every lineage of every derived fact,
+    /// bit-for-bit, plus the arena sizes the id spaces depend on.
+    fn assert_engines_agree(a: &LtgEngine, b: &LtgEngine) {
+        assert_eq!(a.derived_facts(), b.derived_facts());
+        // Forest *lengths* may differ (export compacts garbage trees);
+        // everything observable below must not.
+        assert_eq!(a.graph().nodes.len(), b.graph().nodes.len());
+        assert_eq!(a.db().store.len(), b.db().store.len());
+        assert_eq!(a.db().epoch(), b.db().epoch());
+        let (wa, wb) = (a.db().weights(), b.db().weights());
+        assert_eq!(wa.len(), wb.len());
+        for (x, y) in wa.iter().zip(&wb) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        for fact in a.derived_facts() {
+            let da = a.lineage_of(fact).unwrap();
+            let db = b.lineage_of(fact).unwrap();
+            let pa = NaiveWmc::default().probability(&da, &wa).unwrap();
+            let pb = NaiveWmc::default().probability(&db, &wb).unwrap();
+            assert_eq!(pa.to_bits(), pb.to_bits(), "fact {fact:?}");
+        }
+    }
+
+    #[test]
+    fn state_roundtrip_is_bit_identical_and_stays_incremental() {
+        for config in [
+            EngineConfig::with_collapse(),
+            EngineConfig::without_collapse(),
+            EngineConfig {
+                collapse_threshold: 1,
+                ..EngineConfig::default()
+            },
+        ] {
+            let program = parse_program(EXAMPLE1).unwrap();
+            let mut engine = LtgEngine::with_config(&program, config.clone());
+            engine.reason().unwrap();
+            // Mutate so the state carries runtime symbols, revived ids
+            // and non-zero epochs.
+            let e = engine.program().preds.lookup("e", 2).unwrap();
+            let (a, d) = (engine.intern_symbol("a"), engine.intern_symbol("d"));
+            engine.insert_fact(e, &[a, d], 0.9).unwrap();
+            engine.reason_delta().unwrap();
+            let b = engine.intern_symbol("b");
+            engine.retract_fact(e, &[a, b]).unwrap();
+            engine.reason_retract().unwrap();
+
+            let state = engine.export_state().unwrap();
+            let mut restored = LtgEngine::restore(&program, config.clone(), state).unwrap();
+            assert_eq!(restored.rounds(), engine.rounds());
+            assert!(restored.finished());
+            assert_engines_agree(&engine, &restored);
+
+            // Post-restore mutations must evolve both engines in
+            // lockstep (same TreeIds, same tset orders → same lineage).
+            for eng in [&mut engine, &mut restored] {
+                let e = eng.program().preds.lookup("e", 2).unwrap();
+                let (a, b, z) = (
+                    eng.intern_symbol("a"),
+                    eng.intern_symbol("b"),
+                    eng.intern_symbol("zz"),
+                );
+                eng.insert_fact(e, &[a, b], 0.5).unwrap();
+                eng.reason_delta().unwrap();
+                eng.insert_fact(e, &[b, z], 0.25).unwrap();
+                eng.reason_delta().unwrap();
+                eng.retract_fact(e, &[a, b]).unwrap();
+                eng.reason_retract().unwrap();
+            }
+            assert_engines_agree(&engine, &restored);
+        }
+    }
+
+    #[test]
+    fn export_refuses_pending_mutations() {
+        let program = parse_program(EXAMPLE1).unwrap();
+        let mut engine = LtgEngine::new(&program);
+        engine.reason().unwrap();
+        let e = engine.program().preds.lookup("e", 2).unwrap();
+        let (a, d) = (engine.intern_symbol("a"), engine.intern_symbol("d"));
+        engine.insert_fact(e, &[a, d], 0.9).unwrap();
+        assert!(matches!(
+            engine.export_state(),
+            Err(crate::state::ExportError::PendingMutations)
+        ));
+        engine.reason_delta().unwrap();
+        assert!(engine.export_state().is_ok());
+    }
+
+    #[test]
+    fn restore_refuses_mismatched_program_config_and_corruption() {
+        let program = parse_program(EXAMPLE1).unwrap();
+        let mut engine = LtgEngine::new(&program);
+        engine.reason().unwrap();
+        let state = engine.export_state().unwrap();
+
+        let other = parse_program("0.5 :: e(a, b). p(X, Y) :- e(Y, X).").unwrap();
+        assert!(matches!(
+            LtgEngine::restore(&other, EngineConfig::default(), state.clone()),
+            Err(RestoreError::Fingerprint { .. })
+        ));
+        assert!(matches!(
+            LtgEngine::restore(&program, EngineConfig::without_collapse(), state.clone()),
+            Err(RestoreError::Config)
+        ));
+
+        let mut bad_symbols = state.clone();
+        bad_symbols.symbols[0] = "not_the_first_symbol".into();
+        assert!(matches!(
+            LtgEngine::restore(&program, EngineConfig::default(), bad_symbols),
+            Err(RestoreError::Symbols)
+        ));
+
+        let mut bad_tree = state.clone();
+        if let Some((_, trees)) = bad_tree.nodes[0].tset.first_mut() {
+            trees.push(ltg_lineage::TreeId(u32::MAX));
+        }
+        assert!(matches!(
+            LtgEngine::restore(&program, EngineConfig::default(), bad_tree),
+            Err(RestoreError::Invalid(_))
+        ));
+
+        let mut bad_parent = state;
+        bad_parent.nodes[0].parents = vec![NodeId(7)];
+        assert!(matches!(
+            LtgEngine::restore(&program, EngineConfig::default(), bad_parent),
+            Err(RestoreError::Invalid(_))
+        ));
     }
 }

@@ -43,9 +43,11 @@ pub mod engine;
 pub mod error;
 pub mod join;
 pub mod materialize;
+pub mod state;
 
 pub use config::EngineConfig;
 pub use eg::{EgNode, ExecutionGraph, NodeId};
 pub use engine::{InsertError, LtgEngine, ReasonStats};
 pub use error::EngineError;
 pub use materialize::{TgMaterializer, TgStats};
+pub use state::{fingerprint, EngineState, ExportError, NodeState, RestoreError};

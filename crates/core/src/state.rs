@@ -1,0 +1,231 @@
+//! Flattened engine state for durable sessions.
+//!
+//! [`EngineState`] is everything [`crate::LtgEngine::export_state`]
+//! needs to hand a snapshot writer so that
+//! [`crate::LtgEngine::restore`] can rebuild a *bit-identical* resident
+//! engine: the interned database ([`ltg_storage::DatabaseState`]), the
+//! full derivation-forest arena (index-based records — the forest's
+//! `Rc`-free arena makes the paper's structure sharing trivially
+//! serializable), the execution graph with its tsets and producer
+//! registry, and the derived-fact registry.
+//!
+//! Three id spaces must survive a roundtrip for restored sessions to
+//! keep answering (and mutating) exactly like the original process:
+//! `FactId` (lineage leaves and WMC weight indexes) and `NodeId`
+//! (producer-list order drives delta-wave planning) are preserved
+//! *verbatim* — the snapshot dumps those arenas whole, dead graph
+//! nodes included. `TreeId`s are preserved *up to an order-preserving
+//! compaction*: the forest arena accumulates every candidate
+//! derivation ever interned (most discarded by redundancy filtering
+//! and explanation dedup), and only the trees reachable from a tset or
+//! the derived registry are exported, renumbered in id order. Every
+//! downstream consumer depends on tree id *order* and *structure*,
+//! never absolute values, so the compaction is invisible — see
+//! [`crate::LtgEngine::export_state`]. Memoized registries that merely
+//! cache these structures (leaf sets, the explanation-dedup table, the
+//! combo registry) are *rebuilt* on restore, which also reconstructs
+//! their internal `Rc` sharing.
+
+use crate::eg::NodeId;
+use crate::engine::ReasonStats;
+use crate::EngineConfig;
+use ltg_datalog::{Program, Term};
+use ltg_lineage::{Label, TreeId};
+use ltg_storage::{DatabaseState, DbStateError, FactId};
+use std::hash::{Hash, Hasher};
+
+/// One execution-graph node, flattened. `store` keeps the root-fact
+/// insertion order (joins scan it); `tset` is sorted by root fact with
+/// each tree list verbatim (tree order feeds lineage extraction).
+#[derive(Clone, Debug, PartialEq)]
+pub struct NodeState {
+    /// Rule index of the node.
+    pub rule: u32,
+    /// Parent node per premise position.
+    pub parents: Vec<NodeId>,
+    /// Longest-path depth (source nodes: 1).
+    pub depth: u32,
+    /// Liveness (dead nodes stay in the arena so ids are stable).
+    pub alive: bool,
+    /// Distinct root facts in first-derivation order.
+    pub store: Vec<FactId>,
+    /// Derivation trees per root fact.
+    pub tset: Vec<(FactId, Vec<TreeId>)>,
+}
+
+/// A complete, flattened resident engine (see the module docs for the
+/// id-preservation contract).
+#[derive(Clone, Debug)]
+pub struct EngineState {
+    /// Fingerprint of the canonical program this state was built from
+    /// (see [`fingerprint`]); restores onto a different program are
+    /// refused.
+    pub fingerprint: u64,
+    /// Engine configuration at export time; restores under a different
+    /// configuration are refused (collapse thresholds change tset
+    /// shapes).
+    pub config: EngineConfig,
+    /// The full symbol table in interning order — the program's own
+    /// symbols first, then every constant interned by later mutations.
+    pub symbols: Vec<String>,
+    /// The interned database (facts, probabilities, relations, epochs).
+    pub db: DatabaseState,
+    /// The full forest arena as index-based records.
+    pub forest: Vec<(FactId, Label, Vec<TreeId>)>,
+    /// The full execution-graph arena.
+    pub nodes: Vec<NodeState>,
+    /// Producer registry: `(head predicate, nodes in registration
+    /// order)`.
+    pub producers: Vec<(u32, Vec<NodeId>)>,
+    /// Derived-fact registry: root fact → stored trees, sorted by fact.
+    pub derived: Vec<(FactId, Vec<TreeId>)>,
+    /// Completed reasoning rounds.
+    pub round: u32,
+    /// Whether batch reasoning reached its fixpoint.
+    pub finished: bool,
+    /// Run statistics (restored for `STATS` continuity).
+    pub stats: ReasonStats,
+}
+
+/// Why [`crate::LtgEngine::export_state`] refused to export.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExportError {
+    /// Inserts or retractions are still awaiting a reasoning pass; a
+    /// snapshot taken now would silently drop them on restore (the
+    /// dirty-predicate sets are not part of the state). Flush with
+    /// `reason_delta` / `reason_retract` first.
+    PendingMutations,
+}
+
+impl std::fmt::Display for ExportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExportError::PendingMutations => {
+                write!(
+                    f,
+                    "pending mutations: run reason_delta/reason_retract before exporting"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExportError {}
+
+/// Why [`crate::LtgEngine::restore`] refused a state. Every variant
+/// means "boot cold instead" — the state file does not match the
+/// program/configuration at hand, or failed its structural re-checks.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RestoreError {
+    /// The state was exported from a different program.
+    Fingerprint {
+        /// Fingerprint of the program being served.
+        expected: u64,
+        /// Fingerprint recorded in the state.
+        found: u64,
+    },
+    /// The state was exported under a different [`EngineConfig`].
+    Config,
+    /// The program's symbols are not a prefix of the state's symbol
+    /// table.
+    Symbols,
+    /// The database section failed its structural checks.
+    Db(DbStateError),
+    /// The forest records are out of order, duplicated, or reference
+    /// unknown children/facts.
+    Forest,
+    /// The graph/registry sections reference unknown rules, nodes,
+    /// facts or trees.
+    Invalid(&'static str),
+}
+
+impl std::fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RestoreError::Fingerprint { expected, found } => write!(
+                f,
+                "program fingerprint mismatch: serving {expected:016x}, state {found:016x}"
+            ),
+            RestoreError::Config => write!(f, "engine configuration mismatch"),
+            RestoreError::Symbols => write!(f, "program symbols are not a prefix of the state"),
+            RestoreError::Db(e) => write!(f, "database: {e}"),
+            RestoreError::Forest => write!(f, "corrupt forest records"),
+            RestoreError::Invalid(what) => write!(f, "corrupt state: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {}
+
+impl From<DbStateError> for RestoreError {
+    fn from(e: DbStateError) -> Self {
+        RestoreError::Db(e)
+    }
+}
+
+/// Structural fingerprint of a program: predicates (name/arity in id
+/// order), rules (head and body atoms, term by term) and the initial
+/// fact set with probability bits. Constants hash by id — parsing the
+/// same file yields the same interning order, and that is exactly the
+/// "same program" a snapshot may be restored onto. Symbols interned
+/// *after* construction (by mutations) never reach `program.facts`, so
+/// the fingerprint is stable across a session's lifetime.
+pub fn fingerprint(program: &Program) -> u64 {
+    let mut h = ltg_datalog::fxhash::FxHasher::default();
+    for p in program.preds.iter() {
+        program.preds.name(p).hash(&mut h);
+        program.preds.arity(p).hash(&mut h);
+    }
+    let hash_term = |t: &Term, h: &mut ltg_datalog::fxhash::FxHasher| match t {
+        Term::Const(s) => (0u8, s.0).hash(h),
+        Term::Var(v) => (1u8, v.0).hash(h),
+    };
+    program.rules.len().hash(&mut h);
+    for rule in &program.rules {
+        rule.head.pred.0.hash(&mut h);
+        for t in &rule.head.terms {
+            hash_term(t, &mut h);
+        }
+        rule.body.len().hash(&mut h);
+        for atom in &rule.body {
+            atom.pred.0.hash(&mut h);
+            for t in &atom.terms {
+                hash_term(t, &mut h);
+            }
+        }
+    }
+    program.facts.len().hash(&mut h);
+    for (atom, prob) in &program.facts {
+        atom.pred.0.hash(&mut h);
+        for s in &atom.args {
+            s.0.hash(&mut h);
+        }
+        prob.to_bits().hash(&mut h);
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltg_datalog::parse_program;
+
+    #[test]
+    fn fingerprint_separates_programs() {
+        let a = parse_program("0.5 :: e(a, b). p(X, Y) :- e(X, Y).").unwrap();
+        let b = parse_program("0.5 :: e(a, b). p(X, Y) :- e(Y, X).").unwrap();
+        let c = parse_program("0.6 :: e(a, b). p(X, Y) :- e(X, Y).").unwrap();
+        let a2 = parse_program("0.5 :: e(a, b). p(X, Y) :- e(X, Y).").unwrap();
+        assert_eq!(fingerprint(&a), fingerprint(&a2));
+        assert_ne!(fingerprint(&a), fingerprint(&b));
+        assert_ne!(fingerprint(&a), fingerprint(&c));
+    }
+
+    #[test]
+    fn fingerprint_is_stable_under_runtime_symbols() {
+        let mut p = parse_program("0.5 :: e(a, b). p(X, Y) :- e(X, Y).").unwrap();
+        let before = fingerprint(&p);
+        p.symbols.intern("runtime_constant");
+        assert_eq!(fingerprint(&p), before);
+    }
+}

@@ -187,6 +187,42 @@ impl Forest {
             + self.nodes.len() * 4
     }
 
+    /// Flattens the *entire* arena into index-based records, one per
+    /// node in id order: `(root fact, label, children)` — the raw dump,
+    /// garbage nodes included, whose [`Forest::from_records`] roundtrip
+    /// reproduces every [`TreeId`] verbatim. The engine's snapshot path
+    /// does *not* use this: it exports a live-trees-only subset under
+    /// an order-preserving renumbering (see
+    /// `ltg_core::LtgEngine::export_state`), which `from_records`
+    /// rebuilds just the same since children always precede parents.
+    pub fn export_records(&self) -> Vec<(FactId, Label, Vec<TreeId>)> {
+        (0..self.nodes.len() as u32)
+            .map(TreeId)
+            .map(|t| (self.fact(t), self.label(t), self.children(t).to_vec()))
+            .collect()
+    }
+
+    /// Rebuilds a forest from [`Forest::export_records`] output,
+    /// re-interning every node in order. Hash-consing, children pool and
+    /// Bloom signatures are reconstructed; the structure sharing of the
+    /// exported forest comes back exactly because children precede their
+    /// parents in id order. Returns `None` when a record references a
+    /// not-yet-interned child or duplicates an earlier node (a corrupt
+    /// snapshot, not a bug).
+    pub fn from_records(records: &[(FactId, Label, Vec<TreeId>)]) -> Option<Self> {
+        let mut forest = Forest::new();
+        for (i, (fact, label, children)) in records.iter().enumerate() {
+            if children.iter().any(|c| c.index() >= i) {
+                return None;
+            }
+            let t = forest.node(*label, *fact, children);
+            if t.index() != i {
+                return None;
+            }
+        }
+        Some(forest)
+    }
+
     /// Number of tree nodes reachable from `t` (counting shared nodes
     /// once). Useful for statistics and tests.
     pub fn reachable_size(&self, t: TreeId) -> usize {
@@ -286,6 +322,46 @@ mod tests {
         assert_eq!(f.reachable_size(t1), 2);
         let t2 = f.node(Label::And, fid(11), &[t1, l]);
         assert_eq!(f.reachable_size(t2), 3);
+    }
+
+    #[test]
+    fn record_roundtrip_preserves_ids_sigs_and_consing() {
+        let mut f = Forest::new();
+        let l1 = f.leaf(fid(1));
+        let l2 = f.leaf(fid(2));
+        let t1 = f.node(Label::And, fid(10), &[l1, l2]);
+        let t2 = f.node(Label::And, fid(10), &[l2, l1]);
+        let or = f.collapse(&[t1, t2]);
+        let top = f.node(Label::And, fid(11), &[or, l1]);
+
+        let records = f.export_records();
+        let mut g = Forest::from_records(&records).unwrap();
+        assert_eq!(g.len(), f.len());
+        for i in 0..f.len() as u32 {
+            let t = TreeId(i);
+            assert_eq!(g.fact(t), f.fact(t));
+            assert_eq!(g.label(t), f.label(t));
+            assert_eq!(g.children(t), f.children(t));
+            assert_eq!(g.sig(t), f.sig(t));
+        }
+        // Hash-consing still works after the restore: re-interning an
+        // existing triple yields the old id, a fresh one the next id.
+        assert_eq!(g.node(Label::And, fid(11), &[or, l1]), top);
+        let fresh = g.node(Label::And, fid(12), &[or]);
+        assert_eq!(fresh.index(), f.len());
+    }
+
+    #[test]
+    fn from_records_rejects_corrupt_input() {
+        // Forward reference.
+        let fwd = vec![(fid(1), Label::And, vec![TreeId(1)])];
+        assert!(Forest::from_records(&fwd).is_none());
+        // Self reference.
+        let selfref = vec![(fid(1), Label::And, vec![TreeId(0)])];
+        assert!(Forest::from_records(&selfref).is_none());
+        // Duplicate node (hash-conses to the earlier id).
+        let dup = vec![(fid(1), Label::And, vec![]), (fid(1), Label::And, vec![])];
+        assert!(Forest::from_records(&dup).is_none());
     }
 
     #[test]

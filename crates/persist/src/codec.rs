@@ -1,0 +1,226 @@
+//! Little-endian binary codec for the snapshot and WAL payloads.
+//!
+//! Hand-rolled on purpose: the format must stay dependency-free (the
+//! build environment has no registry access) and fully versioned by the
+//! file headers, not by a serialization framework. Every `get_*` is
+//! bounds-checked — payloads come from disk and must never panic the
+//! process, only fail the recovery.
+
+/// Decode failure: the payload is shorter than its fields claim, or a
+/// field carries an impossible value. Carries a static context tag for
+/// the recovery log.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DecodeError(pub &'static str);
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed payload: {}", self.0)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Growable payload writer.
+#[derive(Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// A fresh, empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a bool as one byte.
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(v as u8);
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` as its little-endian bit pattern (bit-exact
+    /// roundtrip, NaN included).
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Appends a `usize` as `u64` (lengths, counts).
+    pub fn put_len(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_len(s.len());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Appends a length-prefixed list of `u32`s.
+    pub fn put_u32_list(&mut self, vs: impl ExactSizeIterator<Item = u32>) {
+        self.put_len(vs.len());
+        for v in vs {
+            self.put_u32(v);
+        }
+    }
+}
+
+/// Bounds-checked payload reader.
+pub struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Reads from the start of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], DecodeError> {
+        let end = self.pos.checked_add(n).ok_or(DecodeError(what))?;
+        if end > self.bytes.len() {
+            return Err(DecodeError(what));
+        }
+        let out = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self, what: &'static str) -> Result<u8, DecodeError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    /// Reads a bool encoded as one byte (strictly 0 or 1).
+    pub fn get_bool(&mut self, what: &'static str) -> Result<bool, DecodeError> {
+        match self.get_u8(what)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(DecodeError(what)),
+        }
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn get_u32(&mut self, what: &'static str) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn get_u64(&mut self, what: &'static str) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    /// Reads an `f64` bit pattern.
+    pub fn get_f64(&mut self, what: &'static str) -> Result<f64, DecodeError> {
+        Ok(f64::from_bits(self.get_u64(what)?))
+    }
+
+    /// Reads a `u64` length and sanity-caps it: a claimed count may
+    /// never exceed the bytes actually remaining (each element costs at
+    /// least one byte), so corrupt lengths fail fast instead of
+    /// attempting a huge allocation.
+    pub fn get_len(&mut self, what: &'static str) -> Result<usize, DecodeError> {
+        let n = self.get_u64(what)?;
+        if n > (self.bytes.len() - self.pos) as u64 {
+            return Err(DecodeError(what));
+        }
+        Ok(n as usize)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self, what: &'static str) -> Result<String, DecodeError> {
+        let n = self.get_len(what)?;
+        let bytes = self.take(n, what)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError(what))
+    }
+
+    /// Reads a length-prefixed list of `u32`s (one bounds check for the
+    /// whole list — these lists carry the bulk of a snapshot payload).
+    pub fn get_u32_list(&mut self, what: &'static str) -> Result<Vec<u32>, DecodeError> {
+        let n = self.get_len(what)?;
+        let bytes = self.take(n.checked_mul(4).ok_or(DecodeError(what))?, what)?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    /// Errors unless every byte has been consumed (trailing garbage is
+    /// corruption, not padding).
+    pub fn finish(self) -> Result<(), DecodeError> {
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(DecodeError("trailing bytes"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_types() {
+        let mut w = Writer::new();
+        w.put_u8(7);
+        w.put_bool(true);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 1);
+        w.put_f64(-0.0);
+        w.put_str("héllo");
+        w.put_u32_list([1u32, 2, 3].into_iter());
+        let bytes = w.into_bytes();
+
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.get_u8("a").unwrap(), 7);
+        assert!(r.get_bool("b").unwrap());
+        assert_eq!(r.get_u32("c").unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64("d").unwrap(), u64::MAX - 1);
+        assert_eq!(r.get_f64("e").unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(r.get_str("f").unwrap(), "héllo");
+        assert_eq!(r.get_u32_list("g").unwrap(), vec![1, 2, 3]);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_and_garbage_are_errors() {
+        let mut w = Writer::new();
+        w.put_u64(42);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes[..5]);
+        assert!(r.get_u64("short").is_err());
+
+        // Length claims more than the buffer holds.
+        let mut w = Writer::new();
+        w.put_len(1 << 40);
+        let bytes = w.into_bytes();
+        assert!(Reader::new(&bytes).get_len("huge").is_err());
+
+        // Non-canonical bool.
+        assert!(Reader::new(&[2]).get_bool("bool").is_err());
+
+        // Trailing bytes refuse to finish.
+        let r = Reader::new(&[0]);
+        assert!(r.finish().is_err());
+    }
+}

@@ -1,0 +1,79 @@
+//! `ltg-persist` — durable resident sessions.
+//!
+//! A warm trigger-graph session is expensive to build (batch reasoning)
+//! and cheap to keep (incremental maintenance); this crate makes it
+//! cheap to *get back* after a restart, the missing piece of the
+//! "inference state lives with the data" discipline:
+//!
+//! * [`snapshot`] — a versioned, CRC-checksummed binary image of the
+//!   full [`ltg_core::EngineState`] (database, forest arena, execution
+//!   graph, registries), written atomically;
+//! * [`wal`] — a write-ahead log of committed INSERT/DELETE/UPDATE
+//!   mutations appended between snapshots, with per-record checksums,
+//!   batched fsync, and torn-tail truncation;
+//! * [`recover`] — the boot policy: restore the snapshot if it is
+//!   present, checksum-clean and matches the program + configuration,
+//!   replay the WAL tail through the engine's own incremental paths
+//!   (`insert_fact`/`retract_fact`/`update_prob` plus their reasoning
+//!   passes), and fall back to cold batch reasoning otherwise.
+//!
+//! The format is dependency-free by construction (the build environment
+//! vendors everything), little-endian, and versioned by file headers.
+//! See `docs/persistence.md` for the layout and the recovery semantics.
+
+pub mod codec;
+pub mod crc;
+pub mod recover;
+pub mod snapshot;
+pub mod wal;
+
+pub use recover::{
+    boot, checkpoint, snapshot_path, wal_path, BootMode, BootReport, CheckpointInfo, Durable,
+};
+pub use wal::{WalOp, WalRecord, WalWriter};
+
+use codec::DecodeError;
+use ltg_core::{EngineError, ExportError};
+
+/// Why a persistence operation failed. `Corrupt`/`Decode` during boot
+/// are recoverable (the caller falls back to cold reasoning); I/O and
+/// engine errors are not.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// A file failed its header/length/checksum verification.
+    Corrupt(&'static str),
+    /// A checksum-clean payload failed to decode (format skew).
+    Decode(DecodeError),
+    /// Reasoning failed while booting or replaying.
+    Engine(EngineError),
+    /// The engine refused to export (pending mutations).
+    Export(ExportError),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "io: {e}"),
+            PersistError::Corrupt(what) => write!(f, "corrupt: {what}"),
+            PersistError::Decode(e) => write!(f, "decode: {e}"),
+            PersistError::Engine(e) => write!(f, "engine: {e}"),
+            PersistError::Export(e) => write!(f, "export: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<DecodeError> for PersistError {
+    fn from(e: DecodeError) -> Self {
+        PersistError::Decode(e)
+    }
+}

@@ -1,0 +1,443 @@
+//! Boot and checkpoint policy: `snapshot + WAL tail`, falling back to
+//! cold reasoning.
+//!
+//! Recovery invariants (each checked, never assumed):
+//!
+//! * a snapshot is used only if it is checksum-clean *and* carries the
+//!   fingerprint of the program being served *and* was exported under
+//!   the same engine configuration;
+//! * a WAL is used only if its fingerprint matches and its `base_epoch`
+//!   does not exceed the restored epoch (a log whose base lies beyond
+//!   the snapshot would have a gap of lost mutations — it is discarded
+//!   loudly instead of replayed wrongly);
+//! * records are replayed in strict epoch order, one incremental
+//!   reasoning pass per record — exactly the sequence the original
+//!   session executed, which the differential harness proves equivalent
+//!   to from-scratch reasoning; records the snapshot already covers
+//!   (`epoch <= restored`) are skipped, which closes the
+//!   crash-between-snapshot-write-and-WAL-truncate window;
+//! * any divergence mid-replay (epoch gap, unexpected outcome) stops
+//!   the replay and resets the log at the recovered epoch, keeping the
+//!   prefix that did apply.
+
+use crate::snapshot;
+use crate::wal::{self, WalOp, WalRecord, WalWriter};
+use crate::PersistError;
+use ltg_core::{EngineConfig, LtgEngine};
+use ltg_datalog::Program;
+use ltg_storage::{DeleteOutcome, InsertOutcome};
+use std::path::{Path, PathBuf};
+
+/// Snapshot file inside a data directory.
+pub fn snapshot_path(dir: &Path) -> PathBuf {
+    dir.join("state.ltgsnap")
+}
+
+/// WAL file inside a data directory.
+pub fn wal_path(dir: &Path) -> PathBuf {
+    dir.join("mutations.ltgwal")
+}
+
+/// How the session came up.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BootMode {
+    /// Batch-reasoned from the program (no usable snapshot).
+    Cold,
+    /// Restored from a snapshot (plus any WAL tail).
+    Warm,
+}
+
+/// What happened during boot, for operator logs and `STATS`.
+#[derive(Clone, Debug)]
+pub struct BootReport {
+    /// Cold or warm.
+    pub mode: BootMode,
+    /// Epoch of the restored snapshot (`None` on cold boots).
+    pub snapshot_epoch: Option<u64>,
+    /// WAL records replayed on top of the boot state.
+    pub replayed: u64,
+    /// Non-fatal anomalies (rejected snapshot, discarded WAL, torn
+    /// tail) — worth an operator's attention, none fatal.
+    pub notes: Vec<String>,
+}
+
+/// A recovered engine plus its open WAL.
+pub struct Durable {
+    /// The booted engine, reasoned to fixpoint.
+    pub engine: LtgEngine,
+    /// The WAL, truncated clean and positioned for appends.
+    pub wal: WalWriter,
+    /// The boot story.
+    pub report: BootReport,
+}
+
+/// One finished checkpoint.
+#[derive(Clone, Copy, Debug)]
+pub struct CheckpointInfo {
+    /// Database epoch the snapshot captures.
+    pub epoch: u64,
+    /// Snapshot file size in bytes.
+    pub bytes: u64,
+}
+
+/// Boots an engine from `dir` (created if missing): snapshot if usable,
+/// cold otherwise, then the WAL tail. Returns the engine, the
+/// append-ready WAL, and a report of what happened.
+pub fn boot(
+    dir: &Path,
+    program: &Program,
+    config: EngineConfig,
+    fsync_every: usize,
+) -> Result<Durable, PersistError> {
+    std::fs::create_dir_all(dir)?;
+    let fingerprint = ltg_core::fingerprint(&ltg_datalog::canonicalize(program).program);
+    let mut notes = Vec::new();
+
+    let mut snapshot_epoch = None;
+    let mut engine = match snapshot::load(&snapshot_path(dir)) {
+        Ok(Some(state)) => match LtgEngine::restore(program, config.clone(), state) {
+            Ok(engine) => {
+                snapshot_epoch = Some(engine.db().epoch());
+                Some(engine)
+            }
+            Err(e) => {
+                notes.push(format!("snapshot rejected ({e}); booting cold"));
+                None
+            }
+        },
+        Ok(None) => None,
+        Err(e) => {
+            notes.push(format!("snapshot unreadable ({e}); booting cold"));
+            None
+        }
+    };
+    let mode = if engine.is_some() {
+        BootMode::Warm
+    } else {
+        BootMode::Cold
+    };
+    let mut engine = match engine.take() {
+        Some(e) => e,
+        None => {
+            let mut e = LtgEngine::with_config(program, config);
+            e.reason().map_err(PersistError::Engine)?;
+            e
+        }
+    };
+
+    let wal_file = wal_path(dir);
+    let contents = match wal::read(&wal_file) {
+        Ok(c) => c,
+        Err(e) => {
+            notes.push(format!("write-ahead log unreadable ({e}); discarding"));
+            None
+        }
+    };
+    let mut replayed = 0;
+    let wal = match contents {
+        Some(c) if c.fingerprint == fingerprint && c.base_epoch <= engine.db().epoch() => {
+            if c.torn {
+                notes.push(format!(
+                    "write-ahead log has a torn tail after {} records; truncating",
+                    c.records.len()
+                ));
+            }
+            let complete = replay(&mut engine, &c.records, &mut replayed, &mut notes)?;
+            if complete {
+                WalWriter::open_appending(&wal_file, &c, fsync_every)?
+            } else {
+                // The prefix that applied is kept; the rest cannot be
+                // trusted. Restart the log from the recovered epoch.
+                WalWriter::create(&wal_file, fingerprint, engine.db().epoch(), fsync_every)?
+            }
+        }
+        Some(c) => {
+            if c.fingerprint != fingerprint {
+                notes.push("write-ahead log is from a different program; discarding".into());
+            } else {
+                notes.push(format!(
+                    "write-ahead log extends epoch {} but the boot state is at epoch {}; \
+                     discarding {} unrecoverable records",
+                    c.base_epoch,
+                    engine.db().epoch(),
+                    c.records.len()
+                ));
+            }
+            WalWriter::create(&wal_file, fingerprint, engine.db().epoch(), fsync_every)?
+        }
+        None => WalWriter::create(&wal_file, fingerprint, engine.db().epoch(), fsync_every)?,
+    };
+
+    Ok(Durable {
+        engine,
+        wal,
+        report: BootReport {
+            mode,
+            snapshot_epoch,
+            replayed,
+            notes,
+        },
+    })
+}
+
+/// Replays records through the incremental paths. Returns `true` when
+/// every record applied (or was legitimately skipped); `false` when the
+/// replay stopped early — the caller resets the log.
+fn replay(
+    engine: &mut LtgEngine,
+    records: &[WalRecord],
+    replayed: &mut u64,
+    notes: &mut Vec<String>,
+) -> Result<bool, PersistError> {
+    for record in records {
+        let at = engine.db().epoch();
+        if record.epoch <= at {
+            // Covered by the snapshot (crash between snapshot write and
+            // WAL truncate).
+            continue;
+        }
+        if record.epoch != at + 1 {
+            notes.push(format!(
+                "write-ahead log jumps from epoch {at} to {}; stopping replay",
+                record.epoch
+            ));
+            return Ok(false);
+        }
+        let pred = record.pred;
+        let program = engine.program();
+        if pred.index() >= program.preds.len() || program.preds.arity(pred) != record.args.len() {
+            notes.push(format!(
+                "record at epoch {} names an unknown predicate; stopping replay",
+                record.epoch
+            ));
+            return Ok(false);
+        }
+        let args: Vec<_> = record
+            .args
+            .iter()
+            .map(|name| engine.intern_symbol(name))
+            .collect();
+        let applied = match record.op {
+            WalOp::Insert { prob } => match engine.insert_fact(pred, &args, prob) {
+                Ok((_, InsertOutcome::Inserted)) => {
+                    engine.reason_delta().map_err(PersistError::Engine)?;
+                    true
+                }
+                _ => false,
+            },
+            WalOp::Delete => match engine.retract_fact(pred, &args) {
+                Ok((_, DeleteOutcome::Deleted { .. })) => {
+                    engine.reason_retract().map_err(PersistError::Engine)?;
+                    true
+                }
+                _ => false,
+            },
+            WalOp::Update { prob } => engine
+                .db()
+                .store
+                .lookup(pred, &args)
+                .and_then(|f| engine.update_prob(f, prob).ok().flatten())
+                .is_some(),
+        };
+        if !applied || engine.db().epoch() != record.epoch {
+            notes.push(format!(
+                "record at epoch {} did not apply cleanly; stopping replay",
+                record.epoch
+            ));
+            return Ok(false);
+        }
+        *replayed += 1;
+    }
+    Ok(true)
+}
+
+/// Writes a checkpoint: exports the engine state, writes the snapshot
+/// atomically, then resets the WAL to extend the new snapshot. The
+/// engine must be flushed (no pending mutations) — sessions are, at
+/// request boundaries.
+pub fn checkpoint(
+    dir: &Path,
+    engine: &LtgEngine,
+    wal: &mut WalWriter,
+) -> Result<CheckpointInfo, PersistError> {
+    let state = engine.export_state().map_err(PersistError::Export)?;
+    let epoch = state.db.epoch;
+    let fingerprint = state.fingerprint;
+    let bytes = snapshot::write_atomic(&snapshot_path(dir), &state)?;
+    wal.reset(fingerprint, epoch)?;
+    Ok(CheckpointInfo { epoch, bytes })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltg_datalog::parse_program;
+
+    const EXAMPLE1: &str = "0.5 :: e(a, b). 0.6 :: e(b, c). 0.7 :: e(a, c). 0.8 :: e(c, b).
+        p(X, Y) :- e(X, Y).
+        p(X, Y) :- p(X, Z), p(Z, Y).";
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "ltg-recover-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn edge(
+        engine: &mut LtgEngine,
+        x: &str,
+        y: &str,
+    ) -> (ltg_datalog::PredId, Vec<ltg_datalog::Sym>) {
+        let e = engine.program().preds.lookup("e", 2).unwrap();
+        let args = vec![engine.intern_symbol(x), engine.intern_symbol(y)];
+        (e, args)
+    }
+
+    fn prob(engine: &LtgEngine, pred: &str, x: &str, y: &str) -> f64 {
+        use ltg_wmc::WmcSolver;
+        let program = engine.program();
+        let p = program.preds.lookup(pred, 2).unwrap();
+        let (Some(xs), Some(ys)) = (program.symbols.lookup(x), program.symbols.lookup(y)) else {
+            return 0.0;
+        };
+        let Some(f) = engine.db().store.lookup(p, &[xs, ys]) else {
+            return 0.0;
+        };
+        let mut d = engine.lineage_of(f).unwrap();
+        d.minimize();
+        ltg_wmc::NaiveWmc::default()
+            .probability(&d, &engine.db().weights())
+            .unwrap()
+    }
+
+    #[test]
+    fn cold_boot_checkpoint_wal_replay_warm_boot() {
+        let dir = tmp_dir("cycle");
+        let program = parse_program(EXAMPLE1).unwrap();
+        let config = EngineConfig::default();
+
+        // First boot: cold (empty dir), then checkpoint.
+        let mut d = boot(&dir, &program, config.clone(), 1).unwrap();
+        assert_eq!(d.report.mode, BootMode::Cold);
+        assert!(d.report.notes.is_empty());
+        checkpoint(&dir, &d.engine, &mut d.wal).unwrap();
+
+        // Mutate, logging to the WAL like a session does.
+        let (e, args) = edge(&mut d.engine, "a", "d");
+        d.engine.insert_fact(e, &args, 0.9).unwrap();
+        d.engine.reason_delta().unwrap();
+        d.wal
+            .append(&WalRecord {
+                epoch: d.engine.db().epoch(),
+                pred: e,
+                args: vec!["a".into(), "d".into()],
+                op: WalOp::Insert { prob: 0.9 },
+            })
+            .unwrap();
+        let (e, args) = edge(&mut d.engine, "a", "b");
+        d.engine.retract_fact(e, &args).unwrap();
+        d.engine.reason_retract().unwrap();
+        d.wal
+            .append(&WalRecord {
+                epoch: d.engine.db().epoch(),
+                pred: e,
+                args: vec!["a".into(), "b".into()],
+                op: WalOp::Delete,
+            })
+            .unwrap();
+        d.wal.sync().unwrap();
+        let expected_pab = prob(&d.engine, "p", "a", "b");
+        let expected_pad = prob(&d.engine, "p", "a", "d");
+        drop(d);
+
+        // Second boot: snapshot + 2-record WAL tail.
+        let d2 = boot(&dir, &program, config, 1).unwrap();
+        assert_eq!(d2.report.mode, BootMode::Warm);
+        assert_eq!(d2.report.snapshot_epoch, Some(0));
+        assert_eq!(d2.report.replayed, 2);
+        assert_eq!(
+            prob(&d2.engine, "p", "a", "b").to_bits(),
+            expected_pab.to_bits()
+        );
+        assert_eq!(
+            prob(&d2.engine, "p", "a", "d").to_bits(),
+            expected_pad.to_bits()
+        );
+        assert_eq!(d2.engine.db().epoch(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_snapshot_falls_back_cold_and_mismatched_wal_is_discarded() {
+        let dir = tmp_dir("fallback");
+        let program = parse_program(EXAMPLE1).unwrap();
+        let config = EngineConfig::default();
+        let mut d = boot(&dir, &program, config.clone(), 1).unwrap();
+        // One logged mutation, then a checkpoint so the WAL base moves
+        // past the cold epoch.
+        let (e, args) = edge(&mut d.engine, "a", "d");
+        d.engine.insert_fact(e, &args, 0.9).unwrap();
+        d.engine.reason_delta().unwrap();
+        d.wal
+            .append(&WalRecord {
+                epoch: 1,
+                pred: e,
+                args: vec!["a".into(), "d".into()],
+                op: WalOp::Insert { prob: 0.9 },
+            })
+            .unwrap();
+        checkpoint(&dir, &d.engine, &mut d.wal).unwrap();
+        // Post-checkpoint mutation in the WAL only.
+        let (e, args) = edge(&mut d.engine, "d", "b");
+        d.engine.insert_fact(e, &args, 0.2).unwrap();
+        d.engine.reason_delta().unwrap();
+        d.wal
+            .append(&WalRecord {
+                epoch: 2,
+                pred: e,
+                args: vec!["d".into(), "b".into()],
+                op: WalOp::Insert { prob: 0.2 },
+            })
+            .unwrap();
+        d.wal.sync().unwrap();
+        drop(d);
+
+        // Corrupt the snapshot: the WAL (base epoch 1) can no longer be
+        // applied to a cold boot (epoch 0) — it must be discarded, not
+        // misapplied.
+        let snap = snapshot_path(&dir);
+        let mut bytes = std::fs::read(&snap).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 1;
+        std::fs::write(&snap, &bytes).unwrap();
+
+        let d2 = boot(&dir, &program, config, 1).unwrap();
+        assert_eq!(d2.report.mode, BootMode::Cold);
+        assert_eq!(d2.report.replayed, 0);
+        assert!(d2.report.notes.iter().any(|n| n.contains("snapshot")));
+        assert!(d2.report.notes.iter().any(|n| n.contains("unrecoverable")));
+        // The discarded WAL was reset: a third boot is clean.
+        assert_eq!(d2.engine.db().epoch(), 0);
+        drop(d2);
+        let d3 = boot(&dir, &program, EngineConfig::default(), 1).unwrap();
+        assert_eq!(d3.report.replayed, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn config_change_rejects_the_snapshot() {
+        let dir = tmp_dir("config");
+        let program = parse_program(EXAMPLE1).unwrap();
+        let mut d = boot(&dir, &program, EngineConfig::default(), 1).unwrap();
+        checkpoint(&dir, &d.engine, &mut d.wal).unwrap();
+        drop(d);
+        let d2 = boot(&dir, &program, EngineConfig::without_collapse(), 1).unwrap();
+        assert_eq!(d2.report.mode, BootMode::Cold);
+        assert!(d2.report.notes.iter().any(|n| n.contains("configuration")));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,466 @@
+//! The snapshot file: one versioned, checksummed binary image of a
+//! complete [`EngineState`].
+//!
+//! ```text
+//! magic    8 B   "LTGSNAP1"
+//! version  4 B   u32 LE (currently 1)
+//! length   8 B   u64 LE payload byte count
+//! payload  N B   EngineState encoding (codec module)
+//! crc      4 B   CRC-32 of the payload
+//! ```
+//!
+//! Writes are atomic: the image goes to a `*.tmp` sibling, is fsynced,
+//! and is renamed over the live file (the directory is fsynced too), so
+//! a crash mid-checkpoint leaves either the old snapshot or the new one
+//! — never a torn file. Loads verify magic, version, length and CRC
+//! before decoding, and the decoder itself is fully bounds-checked;
+//! every failure mode surfaces as a [`crate::PersistError`] the caller
+//! answers with a cold boot.
+
+use crate::codec::{DecodeError, Reader, Writer};
+use crate::crc::crc32;
+use crate::PersistError;
+use ltg_core::{EngineConfig, EngineState, NodeId, NodeState, ReasonStats};
+use ltg_lineage::{Label, TreeId};
+use ltg_storage::{DatabaseState, FactId};
+use std::fs::{File, OpenOptions};
+use std::io::{Read as _, Write as _};
+use std::path::Path;
+use std::time::Duration;
+
+/// File magic, also serving as the major format id.
+pub const MAGIC: &[u8; 8] = b"LTGSNAP1";
+/// Current format version. Bump on any payload layout change.
+pub const VERSION: u32 = 1;
+
+/// Encodes a full engine state into the snapshot payload (header and
+/// CRC are added by [`write_atomic`]).
+pub fn encode(state: &EngineState) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u64(state.fingerprint);
+    encode_config(&mut w, &state.config);
+
+    w.put_len(state.symbols.len());
+    for s in &state.symbols {
+        w.put_str(s);
+    }
+
+    let db = &state.db;
+    w.put_len(db.facts.len());
+    for (pred, args) in &db.facts {
+        w.put_u32(pred.0);
+        w.put_u32_list(args.iter().map(|s| s.0));
+    }
+    for p in &db.probs {
+        match p {
+            Some(v) => {
+                w.put_bool(true);
+                w.put_f64(*v);
+            }
+            None => w.put_bool(false),
+        }
+    }
+    w.put_len(db.edb.len());
+    for rel in &db.edb {
+        w.put_u32_list(rel.iter().map(|f| f.0));
+    }
+    w.put_u64(db.epoch);
+    w.put_len(db.pred_epochs.len());
+    for &e in &db.pred_epochs {
+        w.put_u64(e);
+    }
+
+    w.put_len(state.forest.len());
+    for (fact, label, children) in &state.forest {
+        w.put_u32(fact.0);
+        w.put_bool(*label == Label::Or);
+        w.put_u32_list(children.iter().map(|t| t.0));
+    }
+
+    w.put_len(state.nodes.len());
+    for n in &state.nodes {
+        w.put_u32(n.rule);
+        w.put_u32_list(n.parents.iter().map(|p| p.0));
+        w.put_u32(n.depth);
+        w.put_bool(n.alive);
+        w.put_u32_list(n.store.iter().map(|f| f.0));
+        w.put_len(n.tset.len());
+        for (f, trees) in &n.tset {
+            w.put_u32(f.0);
+            w.put_u32_list(trees.iter().map(|t| t.0));
+        }
+    }
+
+    w.put_len(state.producers.len());
+    for (pred, nodes) in &state.producers {
+        w.put_u32(*pred);
+        w.put_u32_list(nodes.iter().map(|n| n.0));
+    }
+    w.put_len(state.derived.len());
+    for (f, trees) in &state.derived {
+        w.put_u32(f.0);
+        w.put_u32_list(trees.iter().map(|t| t.0));
+    }
+
+    w.put_u32(state.round);
+    w.put_bool(state.finished);
+    encode_stats(&mut w, &state.stats);
+    w.into_bytes()
+}
+
+/// Decodes a snapshot payload back into an [`EngineState`]. Structural
+/// cross-references (fact/tree/node ids) are *not* validated here —
+/// [`ltg_core::LtgEngine::restore`] re-checks them all.
+pub fn decode(payload: &[u8]) -> Result<EngineState, DecodeError> {
+    let mut r = Reader::new(payload);
+    let fingerprint = r.get_u64("fingerprint")?;
+    let config = decode_config(&mut r)?;
+
+    let n = r.get_len("symbols")?;
+    let symbols = (0..n)
+        .map(|_| r.get_str("symbol"))
+        .collect::<Result<Vec<_>, _>>()?;
+
+    let n = r.get_len("facts")?;
+    let mut facts = Vec::with_capacity(n);
+    for _ in 0..n {
+        let pred = ltg_datalog::PredId(r.get_u32("fact pred")?);
+        let args = r
+            .get_u32_list("fact args")?
+            .into_iter()
+            .map(ltg_datalog::Sym)
+            .collect();
+        facts.push((pred, args));
+    }
+    let mut probs = Vec::with_capacity(facts.len());
+    for _ in 0..facts.len() {
+        probs.push(if r.get_bool("prob flag")? {
+            Some(r.get_f64("prob")?)
+        } else {
+            None
+        });
+    }
+    let n = r.get_len("edb")?;
+    let mut edb = Vec::with_capacity(n);
+    for _ in 0..n {
+        edb.push(
+            r.get_u32_list("edb relation")?
+                .into_iter()
+                .map(FactId)
+                .collect(),
+        );
+    }
+    let epoch = r.get_u64("epoch")?;
+    let n = r.get_len("pred epochs")?;
+    let pred_epochs = (0..n)
+        .map(|_| r.get_u64("pred epoch"))
+        .collect::<Result<Vec<_>, _>>()?;
+    let db = DatabaseState {
+        facts,
+        probs,
+        edb,
+        epoch,
+        pred_epochs,
+    };
+
+    let n = r.get_len("forest")?;
+    let mut forest = Vec::with_capacity(n);
+    for _ in 0..n {
+        let fact = FactId(r.get_u32("tree fact")?);
+        let label = if r.get_bool("tree label")? {
+            Label::Or
+        } else {
+            Label::And
+        };
+        let children = r
+            .get_u32_list("tree children")?
+            .into_iter()
+            .map(TreeId)
+            .collect();
+        forest.push((fact, label, children));
+    }
+
+    let n = r.get_len("nodes")?;
+    let mut nodes = Vec::with_capacity(n);
+    for _ in 0..n {
+        let rule = r.get_u32("node rule")?;
+        let parents = r
+            .get_u32_list("node parents")?
+            .into_iter()
+            .map(NodeId)
+            .collect();
+        let depth = r.get_u32("node depth")?;
+        let alive = r.get_bool("node alive")?;
+        let store = r
+            .get_u32_list("node store")?
+            .into_iter()
+            .map(FactId)
+            .collect();
+        let tn = r.get_len("tset")?;
+        let mut tset = Vec::with_capacity(tn);
+        for _ in 0..tn {
+            let f = FactId(r.get_u32("tset fact")?);
+            let trees = r
+                .get_u32_list("tset trees")?
+                .into_iter()
+                .map(TreeId)
+                .collect();
+            tset.push((f, trees));
+        }
+        nodes.push(NodeState {
+            rule,
+            parents,
+            depth,
+            alive,
+            store,
+            tset,
+        });
+    }
+
+    let n = r.get_len("producers")?;
+    let mut producers = Vec::with_capacity(n);
+    for _ in 0..n {
+        let pred = r.get_u32("producer pred")?;
+        let list = r
+            .get_u32_list("producer nodes")?
+            .into_iter()
+            .map(NodeId)
+            .collect();
+        producers.push((pred, list));
+    }
+    let n = r.get_len("derived")?;
+    let mut derived = Vec::with_capacity(n);
+    for _ in 0..n {
+        let f = FactId(r.get_u32("derived fact")?);
+        let trees = r
+            .get_u32_list("derived trees")?
+            .into_iter()
+            .map(TreeId)
+            .collect();
+        derived.push((f, trees));
+    }
+
+    let round = r.get_u32("round")?;
+    let finished = r.get_bool("finished")?;
+    let stats = decode_stats(&mut r)?;
+    r.finish()?;
+    Ok(EngineState {
+        fingerprint,
+        config,
+        symbols,
+        db,
+        forest,
+        nodes,
+        producers,
+        derived,
+        round,
+        finished,
+        stats,
+    })
+}
+
+fn encode_config(w: &mut Writer, c: &EngineConfig) {
+    w.put_bool(c.collapse);
+    w.put_len(c.collapse_threshold);
+    match c.max_depth {
+        Some(d) => {
+            w.put_bool(true);
+            w.put_u32(d);
+        }
+        None => w.put_bool(false),
+    }
+    w.put_len(c.lineage_cap);
+}
+
+fn decode_config(r: &mut Reader<'_>) -> Result<EngineConfig, DecodeError> {
+    let collapse = r.get_bool("config collapse")?;
+    let collapse_threshold = r.get_u64("config threshold")? as usize;
+    let max_depth = if r.get_bool("config depth flag")? {
+        Some(r.get_u32("config depth")?)
+    } else {
+        None
+    };
+    let lineage_cap = r.get_u64("config lineage cap")? as usize;
+    Ok(EngineConfig {
+        collapse,
+        collapse_threshold,
+        max_depth,
+        lineage_cap,
+    })
+}
+
+fn encode_stats(w: &mut Writer, s: &ReasonStats) {
+    w.put_u32(s.rounds);
+    w.put_u64(s.derivations);
+    w.put_u64(s.collapse_ops);
+    w.put_u64(s.deduped);
+    w.put_u64(s.collapse_time.as_nanos() as u64);
+    w.put_u64(s.reasoning_time.as_nanos() as u64);
+    w.put_u64(s.nodes_created);
+    w.put_u64(s.nodes_alive);
+    w.put_len(s.peak_bytes);
+    w.put_u64(s.delta_passes);
+    w.put_u64(s.delta_waves);
+    w.put_u64(s.retract_passes);
+    w.put_u64(s.retracted_trees);
+}
+
+fn decode_stats(r: &mut Reader<'_>) -> Result<ReasonStats, DecodeError> {
+    Ok(ReasonStats {
+        rounds: r.get_u32("stats rounds")?,
+        derivations: r.get_u64("stats derivations")?,
+        collapse_ops: r.get_u64("stats collapse ops")?,
+        deduped: r.get_u64("stats deduped")?,
+        collapse_time: Duration::from_nanos(r.get_u64("stats collapse time")?),
+        reasoning_time: Duration::from_nanos(r.get_u64("stats reasoning time")?),
+        nodes_created: r.get_u64("stats nodes created")?,
+        nodes_alive: r.get_u64("stats nodes alive")?,
+        peak_bytes: r.get_u64("stats peak bytes")? as usize,
+        delta_passes: r.get_u64("stats delta passes")?,
+        delta_waves: r.get_u64("stats delta waves")?,
+        retract_passes: r.get_u64("stats retract passes")?,
+        retracted_trees: r.get_u64("stats retracted trees")?,
+    })
+}
+
+/// Writes a snapshot atomically (tmp + fsync + rename + dir fsync).
+/// Returns the total file size in bytes.
+pub fn write_atomic(path: &Path, state: &EngineState) -> Result<u64, PersistError> {
+    let payload = encode(state);
+    let mut bytes = Vec::with_capacity(payload.len() + 24);
+    bytes.extend_from_slice(MAGIC);
+    bytes.extend_from_slice(&VERSION.to_le_bytes());
+    bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    bytes.extend_from_slice(&payload);
+    bytes.extend_from_slice(&crc32(&payload).to_le_bytes());
+
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp)?;
+        f.write_all(&bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    if let Some(dir) = path.parent() {
+        // Persist the rename itself; harmless if the platform does not
+        // support fsync on directories.
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(bytes.len() as u64)
+}
+
+/// Loads and verifies a snapshot file. `Ok(None)` means "no snapshot"
+/// (cold boot); every corruption path is an `Err` so callers can log
+/// *why* the warm boot failed before falling back.
+pub fn load(path: &Path) -> Result<Option<EngineState>, PersistError> {
+    let mut bytes = Vec::new();
+    match File::open(path) {
+        Ok(mut f) => f.read_to_end(&mut bytes)?,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e.into()),
+    };
+    if bytes.len() < MAGIC.len() + 12 || &bytes[..8] != MAGIC {
+        return Err(PersistError::Corrupt("snapshot magic"));
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if version != VERSION {
+        return Err(PersistError::Corrupt("snapshot version"));
+    }
+    let len = u64::from_le_bytes(bytes[12..20].try_into().unwrap()) as usize;
+    if bytes.len() != 20 + len + 4 {
+        return Err(PersistError::Corrupt("snapshot length"));
+    }
+    let payload = &bytes[20..20 + len];
+    let stored_crc = u32::from_le_bytes(bytes[20 + len..].try_into().unwrap());
+    if crc32(payload) != stored_crc {
+        return Err(PersistError::Corrupt("snapshot checksum"));
+    }
+    Ok(Some(decode(payload)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltg_core::LtgEngine;
+    use ltg_datalog::parse_program;
+
+    const EXAMPLE1: &str = "0.5 :: e(a, b). 0.6 :: e(b, c). 0.7 :: e(a, c). 0.8 :: e(c, b).
+        p(X, Y) :- e(X, Y).
+        p(X, Y) :- p(X, Z), p(Z, Y).";
+
+    fn example_state() -> EngineState {
+        let program = parse_program(EXAMPLE1).unwrap();
+        let mut engine = LtgEngine::new(&program);
+        engine.reason().unwrap();
+        let e = engine.program().preds.lookup("e", 2).unwrap();
+        let (a, d) = (engine.intern_symbol("a"), engine.intern_symbol("d"));
+        engine.insert_fact(e, &[a, d], 0.9).unwrap();
+        engine.reason_delta().unwrap();
+        engine.export_state().unwrap()
+    }
+
+    #[test]
+    fn payload_roundtrip_is_lossless() {
+        let state = example_state();
+        let decoded = decode(&encode(&state)).unwrap();
+        assert_eq!(decoded.fingerprint, state.fingerprint);
+        assert_eq!(decoded.config, state.config);
+        assert_eq!(decoded.symbols, state.symbols);
+        assert_eq!(decoded.db, state.db);
+        assert_eq!(decoded.forest, state.forest);
+        assert_eq!(decoded.nodes, state.nodes);
+        assert_eq!(decoded.producers, state.producers);
+        assert_eq!(decoded.derived, state.derived);
+        assert_eq!(decoded.round, state.round);
+        assert_eq!(decoded.finished, state.finished);
+        assert_eq!(decoded.stats.derivations, state.stats.derivations);
+        // Re-encoding the decoded state is byte-identical.
+        assert_eq!(encode(&decoded), encode(&state));
+    }
+
+    #[test]
+    fn file_roundtrip_and_corruption_detection() {
+        let dir = std::env::temp_dir().join(format!("ltg-snap-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state.ltgsnap");
+        let state = example_state();
+
+        assert!(load(&path).unwrap().is_none());
+        write_atomic(&path, &state).unwrap();
+        let loaded = load(&path).unwrap().unwrap();
+        assert_eq!(encode(&loaded), encode(&state));
+
+        // Flip one payload byte: checksum failure, not a panic.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            load(&path),
+            Err(PersistError::Corrupt("snapshot checksum"))
+        ));
+
+        // Truncate: length failure.
+        bytes[mid] ^= 0x40;
+        bytes.truncate(bytes.len() - 3);
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            load(&path),
+            Err(PersistError::Corrupt("snapshot length"))
+        ));
+
+        // Wrong magic.
+        std::fs::write(&path, b"NOTASNAPSHOTFILE....").unwrap();
+        assert!(matches!(
+            load(&path),
+            Err(PersistError::Corrupt("snapshot magic"))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -6,11 +6,20 @@
 //! predicate has been mutated since the entry was computed — i.e.
 //! insertion invalidates *per predicate*, not globally: inserting into
 //! `s` leaves every cached query that never reads `s` warm.
+//!
+//! Growth is bounded by a [`CacheBudget`]: when either the entry count
+//! or the estimated byte footprint exceeds its budget, least-recently
+//! *used* entries are evicted (a recency index over monotone use ticks
+//! — hits refresh an entry's tick). The session charges the cache's
+//! byte estimate into the engine's [`ltg_storage::ResourceMeter`], so a
+//! memory-budgeted server observes cache growth exactly like reasoning
+//! growth.
 
 use crate::session::Answer;
 use ltg_datalog::fxhash::FxHashMap;
 use ltg_datalog::PredId;
 use ltg_storage::Database;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 /// One memoized query result.
@@ -22,6 +31,31 @@ struct CacheEntry {
     deps: Rc<[PredId]>,
     /// The rendered answers, sorted by answer text.
     answers: Rc<[Answer]>,
+    /// Estimated bytes this entry holds (key + answers + overhead).
+    bytes: usize,
+    /// Use tick of the most recent store/hit (recency-index key).
+    tick: u64,
+}
+
+/// Eviction budgets. An entry is never evicted *for* being stored — the
+/// newest entry survives even when it alone exceeds `max_bytes` (one
+/// oversized answer should not become uncacheable and recompute
+/// forever).
+#[derive(Clone, Copy, Debug)]
+pub struct CacheBudget {
+    /// Maximum live entries.
+    pub max_entries: usize,
+    /// Maximum estimated bytes across live entries.
+    pub max_bytes: usize,
+}
+
+impl Default for CacheBudget {
+    fn default() -> Self {
+        CacheBudget {
+            max_entries: 65_536,
+            max_bytes: 64 << 20,
+        }
+    }
 }
 
 /// Hit/miss counters of a [`QueryCache`].
@@ -33,23 +67,54 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries dropped because a dependency predicate was mutated.
     pub invalidations: u64,
+    /// Entries dropped by the LRU budget.
+    pub evictions: u64,
 }
 
-/// Epoch-aware memo table: query key → answers.
-#[derive(Default)]
+/// Epoch-aware memo table: query key → answers, with LRU budgets.
 pub struct QueryCache {
     entries: FxHashMap<String, CacheEntry>,
+    /// Recency index: use tick → key. Ticks are unique (one per
+    /// store/hit), so the first entry is always the LRU victim.
+    recency: BTreeMap<u64, String>,
+    tick: u64,
+    bytes: usize,
+    budget: CacheBudget,
     stats: CacheStats,
 }
 
+impl Default for QueryCache {
+    fn default() -> Self {
+        Self::with_budget(CacheBudget::default())
+    }
+}
+
 impl QueryCache {
-    /// Creates an empty cache.
+    /// An empty cache with the default budget.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// An empty cache with an explicit budget.
+    pub fn with_budget(budget: CacheBudget) -> Self {
+        QueryCache {
+            entries: FxHashMap::default(),
+            recency: BTreeMap::new(),
+            tick: 0,
+            bytes: 0,
+            budget,
+            stats: CacheStats::default(),
+        }
+    }
+
+    fn next_tick(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
     /// Looks `key` up; a stale entry (dependency mutated after
     /// `entry.epoch`) is evicted and counted as an invalidation + miss.
+    /// A hit refreshes the entry's recency.
     pub fn lookup(&mut self, key: &str, db: &Database) -> Option<Rc<[Answer]>> {
         let valid = match self.entries.get(key) {
             None => {
@@ -60,25 +125,59 @@ impl QueryCache {
         };
         if valid {
             self.stats.hits += 1;
-            Some(self.entries[key].answers.clone())
+            let tick = self.next_tick();
+            let entry = self.entries.get_mut(key).expect("checked above");
+            let key_owned = self.recency.remove(&entry.tick).expect("recency in sync");
+            entry.tick = tick;
+            let answers = entry.answers.clone();
+            self.recency.insert(tick, key_owned);
+            Some(answers)
         } else {
-            self.entries.remove(key);
+            self.remove(key);
             self.stats.invalidations += 1;
             self.stats.misses += 1;
             None
         }
     }
 
-    /// Stores the answers for `key` as of `db`'s current epoch.
+    /// Stores the answers for `key` as of `db`'s current epoch, then
+    /// enforces the budget (never evicting the entry just stored).
     pub fn store(&mut self, key: String, deps: Rc<[PredId]>, answers: Rc<[Answer]>, db: &Database) {
+        self.remove(&key);
+        let bytes = entry_bytes(&key, &deps, &answers);
+        let tick = self.next_tick();
+        self.recency.insert(tick, key.clone());
+        self.bytes += bytes;
         self.entries.insert(
             key,
             CacheEntry {
                 epoch: db.epoch(),
                 deps,
                 answers,
+                bytes,
+                tick,
             },
         );
+        while self.entries.len() > self.budget.max_entries
+            || (self.bytes > self.budget.max_bytes && self.entries.len() > 1)
+        {
+            let (&victim_tick, _) = self.recency.iter().next().expect("non-empty over budget");
+            if victim_tick == tick {
+                break; // never evict the entry just stored
+            }
+            let key = self.recency.remove(&victim_tick).expect("present");
+            let entry = self.entries.remove(&key).expect("recency in sync");
+            self.bytes -= entry.bytes;
+            self.stats.evictions += 1;
+        }
+    }
+
+    /// Drops one entry (internal: invalidation and overwrite paths).
+    fn remove(&mut self, key: &str) {
+        if let Some(entry) = self.entries.remove(key) {
+            self.recency.remove(&entry.tick);
+            self.bytes -= entry.bytes;
+        }
     }
 
     /// Number of live entries.
@@ -91,10 +190,28 @@ impl QueryCache {
         self.entries.is_empty()
     }
 
-    /// Hit/miss/invalidation counters.
+    /// Estimated bytes across live entries (reported to the session's
+    /// resource meter).
+    pub fn estimated_bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Hit/miss/invalidation/eviction counters.
     pub fn stats(&self) -> CacheStats {
         self.stats
     }
+}
+
+/// Estimated footprint of one entry: key (twice — map key and recency
+/// value), dependency list, rendered answers, map/node overhead.
+fn entry_bytes(key: &str, deps: &[PredId], answers: &[Answer]) -> usize {
+    2 * key.len()
+        + std::mem::size_of_val(deps)
+        + answers
+            .iter()
+            .map(|a| a.text.len() + std::mem::size_of::<Answer>())
+            .sum::<usize>()
+        + 128
 }
 
 #[cfg(test)]
@@ -133,6 +250,7 @@ mod tests {
         assert_eq!(s.hits, 2);
         assert_eq!(s.misses, 2);
         assert_eq!(s.invalidations, 1);
+        assert_eq!(s.evictions, 0);
         assert_eq!(cache.len(), 1);
     }
 
@@ -160,5 +278,76 @@ mod tests {
         assert!(cache.lookup("q", &db).is_none());
         cache.store("q".into(), Rc::from(vec![e]), answers(0.65), &db);
         assert!(cache.lookup("q", &db).is_some());
+    }
+
+    #[test]
+    fn entry_budget_evicts_least_recently_used() {
+        let prog = parse_program("0.5 :: e(a).").unwrap();
+        let db = Database::from_program(&prog);
+        let e = prog.preds.lookup("e", 1).unwrap();
+        let deps: Rc<[PredId]> = Rc::from(vec![e]);
+        let mut cache = QueryCache::with_budget(CacheBudget {
+            max_entries: 3,
+            max_bytes: usize::MAX,
+        });
+        for k in ["q1", "q2", "q3"] {
+            cache.store(k.into(), deps.clone(), answers(0.5), &db);
+        }
+        // Touch q1 so q2 becomes the LRU victim.
+        assert!(cache.lookup("q1", &db).is_some());
+        cache.store("q4".into(), deps.clone(), answers(0.5), &db);
+        assert_eq!(cache.len(), 3);
+        assert!(cache.lookup("q2", &db).is_none());
+        assert!(cache.lookup("q1", &db).is_some());
+        assert!(cache.lookup("q3", &db).is_some());
+        assert!(cache.lookup("q4", &db).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn byte_budget_evicts_but_never_starves_the_newest() {
+        let prog = parse_program("0.5 :: e(a).").unwrap();
+        let db = Database::from_program(&prog);
+        let e = prog.preds.lookup("e", 1).unwrap();
+        let deps: Rc<[PredId]> = Rc::from(vec![e]);
+        // Budget below one entry's footprint: each store evicts every
+        // *older* entry but keeps the newest.
+        let mut cache = QueryCache::with_budget(CacheBudget {
+            max_entries: 100,
+            max_bytes: 64,
+        });
+        cache.store("q1".into(), deps.clone(), answers(0.1), &db);
+        assert_eq!(cache.len(), 1);
+        cache.store("q2".into(), deps.clone(), answers(0.2), &db);
+        assert_eq!(cache.len(), 1);
+        assert!(cache.lookup("q1", &db).is_none());
+        assert!(cache.lookup("q2", &db).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+        assert!(cache.estimated_bytes() > 0);
+    }
+
+    #[test]
+    fn overwrite_does_not_leak_bytes_or_recency() {
+        let prog = parse_program("0.5 :: e(a).").unwrap();
+        let db = Database::from_program(&prog);
+        let e = prog.preds.lookup("e", 1).unwrap();
+        let deps: Rc<[PredId]> = Rc::from(vec![e]);
+        let mut cache = QueryCache::new();
+        cache.store("q".into(), deps.clone(), answers(0.1), &db);
+        let bytes = cache.estimated_bytes();
+        for _ in 0..10 {
+            cache.store("q".into(), deps.clone(), answers(0.2), &db);
+        }
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.estimated_bytes(), bytes);
+        // Invalidation releases the bytes entirely.
+        let mut db = db;
+        let mut syms = prog.symbols.clone();
+        let c = syms.intern("c");
+        let (_, out) = db.insert_edb(e, &[c], 0.9);
+        assert!(out.changed());
+        assert!(cache.lookup("q", &db).is_none());
+        assert_eq!(cache.estimated_bytes(), 0);
+        assert!(cache.is_empty());
     }
 }

@@ -20,18 +20,30 @@
 //!   over-deleted DRed-style and the survivors re-derived through the
 //!   same change-wave machinery.
 //!
+//! * with a data directory ([`session::DurabilityOptions`]), the
+//!   resident state is **durable**: committed mutations append to a
+//!   write-ahead log, checkpoints snapshot the full engine state
+//!   (`ltg-persist`), and a restarted server boots from
+//!   `snapshot + WAL tail` instead of re-reasoning — warm in
+//!   load-the-file time, bitwise-identical answers.
+//!
 //! [`server::Server`] puts a session behind a `TcpListener` speaking the
 //! line protocol of [`protocol`] (`QUERY` / `INSERT` / `UPDATE` /
-//! `DELETE` / `STATS` / `PING`), with one worker thread owning the session and one
-//! thread per connection doing socket I/O. See `docs/server.md` for the
-//! wire format and a `printf | nc` example session.
+//! `DELETE` / `SNAPSHOT` / `STATS` / `PING`), with one worker thread
+//! owning the session and one thread per connection doing socket I/O.
+//! See `docs/server.md` for the wire format and a `printf | nc` example
+//! session, and `docs/persistence.md` for the durability story.
 
 pub mod cache;
 pub mod protocol;
 pub mod server;
 pub mod session;
 
-pub use cache::QueryCache;
+pub use cache::{CacheBudget, QueryCache};
+pub use ltg_persist::{BootMode, BootReport};
 pub use protocol::Command;
 pub use server::Server;
-pub use session::{Answer, DeleteResponse, InsertResponse, Session, SessionError, SessionOptions};
+pub use session::{
+    Answer, BootError, DeleteResponse, DurabilityOptions, InsertResponse, Session, SessionError,
+    SessionOptions,
+};

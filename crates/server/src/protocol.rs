@@ -7,6 +7,9 @@
 //! INSERT 0.9 :: e(a, d).
 //! UPDATE 0.9 :: e(a, b).
 //! DELETE e(a, b).
+//! DELETE e(a, b); e(b, c).
+//! SNAPSHOT
+//! SNAPSHOT INFO
 //! STATS
 //! PING
 //! QUIT
@@ -38,12 +41,19 @@ pub enum Command {
         /// The ground atom text.
         atom: String,
     },
-    /// `DELETE <atom>.` — retract an extensional fact and prune its
-    /// derivation cone incrementally. Deleting an absent fact is a
-    /// reported no-op (`OK missing`).
+    /// `DELETE <atom>[; <atom>…].` — retract one or more extensional
+    /// facts and prune their derivation cones incrementally; a batch is
+    /// retracted through a single multi-victim pass. Deleting an absent
+    /// fact is a reported no-op (`OK missing`).
     Delete {
-        /// The ground atom text.
-        atom: String,
+        /// The ground atom texts (`;`-separated on the wire).
+        atoms: Vec<String>,
+    },
+    /// `SNAPSHOT` / `SNAPSHOT INFO` — write a durability checkpoint now
+    /// / report the durability status without writing anything.
+    Snapshot {
+        /// True for `SNAPSHOT INFO` (inspect only).
+        info: bool,
     },
     /// `STATS` — session / cache / engine counters.
     Stats,
@@ -77,21 +87,63 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
             Ok(Command::Update { prob, atom })
         }
         "DELETE" | "RETRACT" => {
-            if rest.is_empty() {
+            let atoms = split_batch(rest);
+            if atoms.is_empty() {
                 Err("DELETE needs a fact, e.g. DELETE e(a, b).".into())
             } else {
-                Ok(Command::Delete {
-                    atom: rest.to_string(),
-                })
+                Ok(Command::Delete { atoms })
             }
         }
+        "SNAPSHOT" => match rest.to_ascii_uppercase().as_str() {
+            "" => Ok(Command::Snapshot { info: false }),
+            "INFO" => Ok(Command::Snapshot { info: true }),
+            other => Err(format!(
+                "unknown SNAPSHOT argument '{other}' (expected nothing or INFO)"
+            )),
+        },
         "STATS" => Ok(Command::Stats),
         "PING" => Ok(Command::Ping),
         "QUIT" | "EXIT" | "BYE" => Ok(Command::Quit),
         other => Err(format!(
-            "unknown verb '{other}' (expected QUERY, INSERT, UPDATE, DELETE, STATS, PING or QUIT)"
+            "unknown verb '{other}' (expected QUERY, INSERT, UPDATE, DELETE, SNAPSHOT, STATS, \
+             PING or QUIT)"
         )),
     }
+}
+
+/// Splits a `;`-separated atom batch, ignoring separators inside
+/// quoted constants — the session's atom tokenizer accepts `'a;b'` as
+/// one constant, so the batch splitter must agree (an unterminated
+/// quote runs to the end of the text and is rejected later, by that
+/// same tokenizer).
+fn split_batch(rest: &str) -> Vec<String> {
+    let mut atoms = Vec::new();
+    let mut current = String::new();
+    let mut quote: Option<char> = None;
+    for c in rest.chars() {
+        match quote {
+            Some(q) => {
+                if c == q {
+                    quote = None;
+                }
+                current.push(c);
+            }
+            None => match c {
+                '\'' | '"' => {
+                    quote = Some(c);
+                    current.push(c);
+                }
+                ';' => atoms.push(std::mem::take(&mut current)),
+                _ => current.push(c),
+            },
+        }
+    }
+    atoms.push(current);
+    atoms
+        .into_iter()
+        .map(|a| a.trim().to_string())
+        .filter(|a| !a.is_empty())
+        .collect()
 }
 
 /// Splits `0.9 :: e(a, b).` into probability and atom text; the
@@ -146,16 +198,40 @@ mod tests {
         assert_eq!(
             parse_command("DELETE e(a, b)."),
             Ok(Command::Delete {
-                atom: "e(a, b).".into()
+                atoms: vec!["e(a, b).".into()]
             })
         );
         // RETRACT is an alias, matching the Datalog literature.
         assert_eq!(
             parse_command("retract e(a, b)."),
             Ok(Command::Delete {
-                atom: "e(a, b).".into()
+                atoms: vec!["e(a, b).".into()]
             })
         );
+        // A `;`-separated batch is retracted in one pass.
+        assert_eq!(
+            parse_command("DELETE e(a, b); e(b, c) ; e(c, d)."),
+            Ok(Command::Delete {
+                atoms: vec!["e(a, b)".into(), "e(b, c)".into(), "e(c, d).".into()]
+            })
+        );
+        // `;` inside a quoted constant is not a batch separator — the
+        // session tokenizer accepts such constants, so DELETE must too.
+        assert_eq!(
+            parse_command("DELETE e('a;b'); e(\"x;y\", c)."),
+            Ok(Command::Delete {
+                atoms: vec!["e('a;b')".into(), "e(\"x;y\", c).".into()]
+            })
+        );
+        assert_eq!(
+            parse_command("SNAPSHOT"),
+            Ok(Command::Snapshot { info: false })
+        );
+        assert_eq!(
+            parse_command("snapshot info"),
+            Ok(Command::Snapshot { info: true })
+        );
+        assert!(parse_command("SNAPSHOT now").is_err());
         assert_eq!(parse_command("STATS"), Ok(Command::Stats));
         assert_eq!(parse_command("  ping  "), Ok(Command::Ping));
         assert_eq!(parse_command("quit"), Ok(Command::Quit));

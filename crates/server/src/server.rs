@@ -46,8 +46,19 @@ impl Server {
         thread::Builder::new()
             .name("ltgs-session".into())
             .spawn(move || {
-                let mut session = match Session::new(&program, opts) {
-                    Ok(s) => {
+                let mut session = match Session::boot(&program, opts) {
+                    Ok((s, report)) => {
+                        // The boot story goes to stderr (the readiness
+                        // line on stdout stays machine-parseable).
+                        for note in &report.notes {
+                            eprintln!("ltgs: {note}");
+                        }
+                        if s.is_durable() {
+                            eprintln!(
+                                "ltgs: boot {:?} (snapshot epoch {:?}, {} WAL records replayed)",
+                                report.mode, report.snapshot_epoch, report.replayed
+                            );
+                        }
                         let _ = ready_tx.send(Ok(()));
                         s
                     }
@@ -60,6 +71,8 @@ impl Server {
                     let response = respond(&mut session, &job.line);
                     let _ = job.reply.send(response);
                 }
+                // Channel closed: graceful shutdown. Dropping the
+                // session syncs the WAL and writes the final snapshot.
             })?;
         match ready_rx.recv() {
             Ok(Ok(())) => Ok(Server { listener, jobs }),
@@ -182,11 +195,41 @@ pub fn respond(session: &mut Session, line: &str) -> String {
             ),
             Err(e) => format!("ERR {e}\n"),
         },
-        Command::Delete { atom } => match session.delete(&atom) {
+        Command::Delete { atoms } if atoms.len() == 1 => match session.delete(&atoms[0]) {
             Ok(DeleteResponse::Deleted { prob, epoch }) => {
                 format!("OK deleted p={prob:.6} epoch={epoch}\n")
             }
             Ok(DeleteResponse::Missing) => "OK missing\n".into(),
+            Err(e) => format!("ERR {e}\n"),
+        },
+        Command::Delete { atoms } => match session.delete_batch(&atoms) {
+            Ok(responses) => {
+                let mut out = format!("OK {}\n", responses.len());
+                for r in responses {
+                    match r {
+                        DeleteResponse::Deleted { prob, epoch } => {
+                            out.push_str(&format!("deleted p={prob:.6} epoch={epoch}\n"))
+                        }
+                        DeleteResponse::Missing => out.push_str("missing\n"),
+                    }
+                }
+                out
+            }
+            Err(e) => format!("ERR {e}\n"),
+        },
+        Command::Snapshot { info: true } => {
+            let lines = session.snapshot_info_lines();
+            let mut out = format!("OK {}\n", lines.len());
+            for (k, v) in lines {
+                out.push_str(k);
+                out.push(' ');
+                out.push_str(&v);
+                out.push('\n');
+            }
+            out
+        }
+        Command::Snapshot { info: false } => match session.checkpoint() {
+            Ok(info) => format!("OK snapshot epoch={} bytes={}\n", info.epoch, info.bytes),
             Err(e) => format!("ERR {e}\n"),
         },
     }

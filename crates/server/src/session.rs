@@ -13,14 +13,46 @@
 //! requests through one worker thread and keeps the socket I/O
 //! concurrent.
 
-use crate::cache::{CacheStats, QueryCache};
+use crate::cache::{CacheBudget, CacheStats, QueryCache};
 use ltg_core::{EngineConfig, EngineError, InsertError, LtgEngine};
 use ltg_datalog::fxhash::FxHashMap;
 use ltg_datalog::{Atom, DependencyGraph, PredId, Program, Sym, Term, Var};
+use ltg_persist::{
+    BootMode, BootReport, CheckpointInfo, PersistError, WalOp, WalRecord, WalWriter,
+};
 use ltg_storage::{DeleteOutcome, InsertOutcome};
 use ltg_wmc::{SolverKind, WmcSolver};
 use std::fmt;
+use std::path::PathBuf;
 use std::rc::Rc;
+
+/// Durability knobs: where the session's snapshot + write-ahead log
+/// live, and how eagerly they reach stable storage.
+#[derive(Clone, Debug)]
+pub struct DurabilityOptions {
+    /// Data directory (created if missing) holding the snapshot and the
+    /// WAL.
+    pub dir: PathBuf,
+    /// Fsync the WAL after this many appended records (1 = every
+    /// record; larger values batch the syncs and bound the mutations a
+    /// crash may forfeit).
+    pub fsync_every: usize,
+    /// Write a checkpoint automatically once the WAL holds this many
+    /// records (0 = only on the `SNAPSHOT` verb and shutdown).
+    pub snapshot_every: u64,
+}
+
+impl DurabilityOptions {
+    /// Defaults for a data directory: fsync every record, checkpoint
+    /// every 1024.
+    pub fn at(dir: impl Into<PathBuf>) -> Self {
+        DurabilityOptions {
+            dir: dir.into(),
+            fsync_every: 1,
+            snapshot_every: 1024,
+        }
+    }
+}
 
 /// Session construction knobs.
 #[derive(Clone, Debug)]
@@ -29,6 +61,11 @@ pub struct SessionOptions {
     pub config: EngineConfig,
     /// Exact WMC solver answering the queries.
     pub solver: SolverKind,
+    /// Query-cache eviction budget.
+    pub cache: CacheBudget,
+    /// Snapshot + WAL persistence (`None`: the session state dies with
+    /// the process).
+    pub durability: Option<DurabilityOptions>,
 }
 
 impl Default for SessionOptions {
@@ -36,6 +73,37 @@ impl Default for SessionOptions {
         SessionOptions {
             config: EngineConfig::default(),
             solver: SolverKind::Sdd,
+            cache: CacheBudget::default(),
+            durability: None,
+        }
+    }
+}
+
+/// Why a session failed to come up.
+#[derive(Debug)]
+pub enum BootError {
+    /// Initial (or replay) reasoning failed.
+    Engine(EngineError),
+    /// The data directory could not be set up (snapshot/WAL I/O).
+    Persist(PersistError),
+}
+
+impl fmt::Display for BootError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BootError::Engine(e) => write!(f, "{e}"),
+            BootError::Persist(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for BootError {}
+
+impl From<PersistError> for BootError {
+    fn from(e: PersistError) -> Self {
+        match e {
+            PersistError::Engine(e) => BootError::Engine(e),
+            other => BootError::Persist(other),
         }
     }
 }
@@ -112,6 +180,10 @@ pub enum SessionError {
     Engine(EngineError),
     /// The probability computation failed.
     Solver(String),
+    /// `SNAPSHOT` was requested but the session has no data directory.
+    NotDurable,
+    /// A checkpoint failed (snapshot/WAL I/O).
+    Persist(String),
 }
 
 impl fmt::Display for SessionError {
@@ -123,6 +195,10 @@ impl fmt::Display for SessionError {
             SessionError::Rejected(m) => write!(f, "rejected: {m}"),
             SessionError::Engine(e) => write!(f, "engine: {e}"),
             SessionError::Solver(m) => write!(f, "solver: {m}"),
+            SessionError::NotDurable => {
+                write!(f, "not durable: start the server with --data-dir")
+            }
+            SessionError::Persist(m) => write!(f, "persist: {m}"),
         }
     }
 }
@@ -148,7 +224,8 @@ pub struct SessionStats {
     pub deletes_missing: u64,
 }
 
-/// A resident engine + query cache answering requests.
+/// A resident engine + query cache answering requests, optionally
+/// durable (snapshot + WAL in a data directory).
 pub struct Session {
     engine: LtgEngine,
     solver: Box<dyn WmcSolver>,
@@ -157,24 +234,166 @@ pub struct Session {
     deps: DependencyGraph,
     dep_closures: FxHashMap<PredId, Rc<[PredId]>>,
     cache: QueryCache,
+    /// Cache bytes currently charged into the engine's resource meter.
+    cache_charged: usize,
     stats: SessionStats,
+    /// The open WAL (durable sessions only).
+    wal: Option<WalWriter>,
+    durability: Option<DurabilityOptions>,
+    /// How this session booted (`STATS boot`).
+    boot_mode: BootMode,
+    /// Epoch of the newest on-disk snapshot.
+    snapshot_epoch: Option<u64>,
+    /// Checkpoints written by this session.
+    snapshots: u64,
+    /// Set when a WAL append failed: the session keeps serving, but
+    /// durability is suspended and reported (`STATS wal_broken`).
+    wal_broken: bool,
 }
 
 impl Session {
     /// Builds a session and reasons the program to fixpoint (startup
-    /// cost; every later request is incremental).
-    pub fn new(program: &Program, opts: SessionOptions) -> Result<Self, EngineError> {
-        let mut engine = LtgEngine::with_config(program, opts.config);
-        engine.reason()?;
+    /// cost; every later request is incremental). With
+    /// [`SessionOptions::durability`] set, boots from `snapshot + WAL
+    /// tail` when possible instead of re-reasoning.
+    pub fn new(program: &Program, opts: SessionOptions) -> Result<Self, BootError> {
+        Self::boot(program, opts).map(|(session, _)| session)
+    }
+
+    /// [`Session::new`] plus the boot report (cold/warm, records
+    /// replayed, recovery notes).
+    pub fn boot(program: &Program, opts: SessionOptions) -> Result<(Self, BootReport), BootError> {
+        let (engine, wal, report) = match &opts.durability {
+            Some(d) => {
+                let durable =
+                    ltg_persist::boot(&d.dir, program, opts.config.clone(), d.fsync_every)?;
+                (durable.engine, Some(durable.wal), durable.report)
+            }
+            None => {
+                let mut engine = LtgEngine::with_config(program, opts.config.clone());
+                engine.reason().map_err(BootError::Engine)?;
+                let report = BootReport {
+                    mode: BootMode::Cold,
+                    snapshot_epoch: None,
+                    replayed: 0,
+                    notes: Vec::new(),
+                };
+                (engine, None, report)
+            }
+        };
         let deps = DependencyGraph::build(engine.program());
-        Ok(Session {
+        let mut session = Session {
             engine,
             solver: opts.solver.build(),
             deps,
             dep_closures: FxHashMap::default(),
-            cache: QueryCache::new(),
+            cache: QueryCache::with_budget(opts.cache),
+            cache_charged: 0,
             stats: SessionStats::default(),
-        })
+            wal,
+            durability: opts.durability,
+            boot_mode: report.mode,
+            snapshot_epoch: report.snapshot_epoch,
+            snapshots: 0,
+            wal_broken: false,
+        };
+        // A durable cold boot immediately establishes its snapshot:
+        // the very next restart is warm even if the process dies before
+        // any checkpoint interval elapses (and a WAL tail that was
+        // replayed onto a cold boot is folded in right away).
+        if session.wal.is_some() && (report.mode == BootMode::Cold || report.replayed > 0) {
+            session.checkpoint_inner()?;
+        }
+        Ok((session, report))
+    }
+
+    /// Writes a checkpoint now: snapshot to disk, WAL reset. The wire
+    /// entry point of the `SNAPSHOT` verb.
+    pub fn checkpoint(&mut self) -> Result<CheckpointInfo, SessionError> {
+        if self.wal.is_none() {
+            return Err(SessionError::NotDurable);
+        }
+        self.checkpoint_inner()
+            .map_err(|e| SessionError::Persist(e.to_string()))
+    }
+
+    fn checkpoint_inner(&mut self) -> Result<CheckpointInfo, PersistError> {
+        let (dir, wal) = match (&self.durability, &mut self.wal) {
+            (Some(d), Some(w)) => (&d.dir, w),
+            _ => unreachable!("checkpoint_inner requires a durable session"),
+        };
+        let info = ltg_persist::checkpoint(dir, &self.engine, wal)?;
+        self.snapshots += 1;
+        self.snapshot_epoch = Some(info.epoch);
+        // A successful checkpoint makes durability coherent again even
+        // after an earlier append failure: the snapshot covers every
+        // mutation (logged or not) and the WAL reset proved the file
+        // writable — resume logging instead of staying silently
+        // suspended.
+        self.wal_broken = false;
+        Ok(info)
+    }
+
+    /// Appends one committed mutation to the WAL and checkpoints when
+    /// the interval budget fills. Append failures suspend durability
+    /// (`wal_broken`) instead of failing the already-applied mutation;
+    /// auto-checkpoint failures are reported on stderr and retried at
+    /// the next interval.
+    fn log_mutation(&mut self, pred: PredId, args: &[Sym], op: WalOp) {
+        if self.wal_broken {
+            return;
+        }
+        let Some(wal) = &mut self.wal else {
+            return;
+        };
+        let record = WalRecord {
+            epoch: self.engine.db().epoch(),
+            pred,
+            args: args
+                .iter()
+                .map(|&s| self.engine.program().symbols.name(s).to_string())
+                .collect(),
+            op,
+        };
+        if let Err(e) = wal.append(&record) {
+            eprintln!("ltgs: WAL append failed ({e}); durability suspended");
+            self.wal_broken = true;
+        }
+    }
+
+    /// Auto-checkpoint once the WAL interval fills (called after the
+    /// reasoning pass of a mutation completed, so the engine is
+    /// flushed).
+    fn maybe_checkpoint(&mut self) {
+        let due = match (&self.durability, &self.wal) {
+            (Some(d), Some(w)) => {
+                !self.wal_broken && d.snapshot_every > 0 && w.records() >= d.snapshot_every
+            }
+            _ => false,
+        };
+        if due {
+            if let Err(e) = self.checkpoint_inner() {
+                eprintln!("ltgs: automatic checkpoint failed ({e}); will retry");
+            }
+        }
+    }
+
+    /// Re-charges the cache's byte estimate into the engine's resource
+    /// meter. `engine_refreshed` must be true when a reasoning pass ran
+    /// since the last sync (the pass re-baselines the meter absolutely,
+    /// wiping the previous cache charge).
+    fn resync_cache_meter(&mut self, engine_refreshed: bool) {
+        if engine_refreshed {
+            self.cache_charged = 0;
+        }
+        let now = self.cache.estimated_bytes();
+        let meter = self.engine.meter();
+        match now.cmp(&self.cache_charged) {
+            std::cmp::Ordering::Greater => meter.charge(now - self.cache_charged),
+            std::cmp::Ordering::Less => meter.release(self.cache_charged - now),
+            std::cmp::Ordering::Equal => {}
+        }
+        self.cache_charged = now;
     }
 
     /// The underlying engine (read-only).
@@ -237,6 +456,7 @@ impl Session {
         let deps = self.dep_closure(pred);
         self.cache
             .store(key, deps, answers.clone(), self.engine.db());
+        self.resync_cache_meter(false);
         Ok(answers)
     }
 
@@ -280,13 +500,20 @@ impl Session {
 
     /// Inserts `prob :: atom.` and propagates it through the trigger
     /// graph. Conflicting duplicates are refused (the stored probability
-    /// wins) — resolve with [`Session::update`].
+    /// wins) — resolve with [`Session::update`]. Committed inserts are
+    /// WAL-logged before the propagation pass: if the pass aborts
+    /// (OOM/timeout), the database has already changed and recovery
+    /// must replay the fact.
     pub fn insert(&mut self, prob: f64, atom_text: &str) -> Result<InsertResponse, SessionError> {
         let (pred, args) = self.resolve_ground(atom_text, true)?;
         match self.engine.insert_fact(pred, &args, prob) {
             Ok((_, InsertOutcome::Inserted)) => {
+                let sp = self.engine.storage_pred(pred);
+                self.log_mutation(sp, &args, WalOp::Insert { prob });
                 self.engine.reason_delta().map_err(SessionError::Engine)?;
                 self.stats.inserts += 1;
+                self.resync_cache_meter(true);
+                self.maybe_checkpoint();
                 Ok(InsertResponse::Inserted {
                     epoch: self.engine.db().epoch(),
                 })
@@ -310,37 +537,82 @@ impl Session {
     /// never-inserted tuple, an already-deleted one, or an atom naming
     /// constants the session has never seen — is an acknowledged no-op.
     pub fn delete(&mut self, atom_text: &str) -> Result<DeleteResponse, SessionError> {
-        // A previously-aborted retract pass leaves its cone pruning
-        // pending; flush it first so a retried DELETE can never be
-        // acknowledged as `Missing` while stale derivation trees of the
-        // earlier victim still answer queries.
+        Ok(self
+            .delete_batch(std::slice::from_ref(&atom_text))?
+            .pop()
+            .expect("one response per atom"))
+    }
+
+    /// Retracts a batch of facts through **one** multi-victim
+    /// retraction pass: every fact is removed from the database first
+    /// (accumulating in the engine's pending set), then a single
+    /// [`ltg_core::LtgEngine::reason_retract`] walks the union of the
+    /// cones — `prune_victims` is multi-victim by construction — and
+    /// re-derives the survivors once. A `DELETE`-heavy client pays one
+    /// cone walk for the whole batch instead of one per fact. The pass
+    /// also drains leftovers of an earlier aborted pass, so a retried
+    /// `DELETE` can never be acknowledged `Missing` while stale trees
+    /// of the earlier victim still answer queries.
+    ///
+    /// Atoms are validated up front: a malformed or derived-predicate
+    /// atom fails the whole batch *before* any retraction is queued.
+    pub fn delete_batch<S: AsRef<str>>(
+        &mut self,
+        atoms: &[S],
+    ) -> Result<Vec<DeleteResponse>, SessionError> {
+        enum Resolved {
+            /// Unknown constants cannot name an EDB fact: idempotent miss.
+            Miss,
+            Fact(PredId, Vec<Sym>),
+        }
+        let mut resolved = Vec::with_capacity(atoms.len());
+        for atom in atoms {
+            match self.resolve_ground(atom.as_ref(), false) {
+                Ok((pred, args)) => {
+                    if !self.engine.can_insert(pred) {
+                        return Err(self.rejected(InsertError::Intensional(pred)));
+                    }
+                    resolved.push(Resolved::Fact(pred, args));
+                }
+                Err(SessionError::UnknownFact(_)) => resolved.push(Resolved::Miss),
+                Err(e) => return Err(e),
+            }
+        }
+
+        let mut responses = Vec::with_capacity(resolved.len());
+        let mut deleted = 0u64;
+        for r in resolved {
+            let Resolved::Fact(pred, args) = r else {
+                self.stats.deletes_missing += 1;
+                responses.push(DeleteResponse::Missing);
+                continue;
+            };
+            match self.engine.retract_fact(pred, &args) {
+                Ok((_, DeleteOutcome::Deleted { prob })) => {
+                    let sp = self.engine.storage_pred(pred);
+                    self.log_mutation(sp, &args, WalOp::Delete);
+                    deleted += 1;
+                    responses.push(DeleteResponse::Deleted {
+                        prob,
+                        epoch: self.engine.db().epoch(),
+                    });
+                }
+                Ok((_, DeleteOutcome::Missing)) => {
+                    self.stats.deletes_missing += 1;
+                    responses.push(DeleteResponse::Missing);
+                }
+                Err(e) => return Err(self.rejected(e)),
+            }
+        }
         if self.engine.pending_retractions() > 0 {
             self.engine.reason_retract().map_err(SessionError::Engine)?;
+            self.resync_cache_meter(true);
         }
-        let (pred, args) = match self.resolve_ground(atom_text, false) {
-            Ok(resolved) => resolved,
-            // Unknown constants cannot name an EDB fact: idempotent miss.
-            Err(SessionError::UnknownFact(_)) => {
-                self.stats.deletes_missing += 1;
-                return Ok(DeleteResponse::Missing);
-            }
-            Err(e) => return Err(e),
-        };
-        match self.engine.retract_fact(pred, &args) {
-            Ok((_, DeleteOutcome::Deleted { prob })) => {
-                self.engine.reason_retract().map_err(SessionError::Engine)?;
-                self.stats.deletes += 1;
-                Ok(DeleteResponse::Deleted {
-                    prob,
-                    epoch: self.engine.db().epoch(),
-                })
-            }
-            Ok((_, DeleteOutcome::Missing)) => {
-                self.stats.deletes_missing += 1;
-                Ok(DeleteResponse::Missing)
-            }
-            Err(e) => Err(self.rejected(e)),
+        self.stats.deletes += deleted;
+        if deleted > 0 {
+            self.maybe_checkpoint();
         }
+        Ok(responses)
     }
 
     /// Sets `π(fact) = prob` in place — the resolution path for insert
@@ -358,7 +630,9 @@ impl Session {
             .ok_or_else(|| SessionError::UnknownFact(atom_text.trim().to_string()))?;
         match self.engine.update_prob(fact, prob) {
             Ok(Some(old)) => {
+                self.log_mutation(sp, &args, WalOp::Update { prob });
                 self.stats.updates += 1;
+                self.maybe_checkpoint();
                 Ok(UpdateResponse {
                     old,
                     new: prob,
@@ -375,12 +649,14 @@ impl Session {
         let cs = self.cache.stats();
         let es = self.engine.stats();
         let db = self.engine.db();
-        vec![
+        let mut lines = vec![
             ("queries", self.stats.queries.to_string()),
             ("cache_hits", cs.hits.to_string()),
             ("cache_misses", cs.misses.to_string()),
             ("cache_invalidations", cs.invalidations.to_string()),
+            ("cache_evictions", cs.evictions.to_string()),
             ("cache_entries", self.cache.len().to_string()),
+            ("cache_bytes", self.cache.estimated_bytes().to_string()),
             ("inserts", self.stats.inserts.to_string()),
             ("duplicates", self.stats.duplicates.to_string()),
             ("conflicts", self.stats.conflicts.to_string()),
@@ -403,6 +679,37 @@ impl Session {
                 "reasoning_ms",
                 format!("{:.3}", es.reasoning_time.as_secs_f64() * 1e3),
             ),
+        ];
+        lines.extend(self.snapshot_info_lines());
+        lines
+    }
+
+    /// Durability status: `(key, value)` lines shared by `STATS` and
+    /// `SNAPSHOT INFO`.
+    pub fn snapshot_info_lines(&self) -> Vec<(&'static str, String)> {
+        let (records, unsynced) = self
+            .wal
+            .as_ref()
+            .map_or((0, 0), |w| (w.records(), w.unsynced() as u64));
+        vec![
+            ("durable", u64::from(self.wal.is_some()).to_string()),
+            (
+                "boot",
+                match self.boot_mode {
+                    BootMode::Cold => "cold",
+                    BootMode::Warm => "warm",
+                }
+                .to_string(),
+            ),
+            (
+                "snapshot_epoch",
+                self.snapshot_epoch
+                    .map_or_else(|| "none".to_string(), |e| e.to_string()),
+            ),
+            ("snapshots", self.snapshots.to_string()),
+            ("wal_records", records.to_string()),
+            ("wal_unsynced", unsynced.to_string()),
+            ("wal_broken", u64::from(self.wal_broken).to_string()),
         ]
     }
 
@@ -443,6 +750,18 @@ impl Session {
         Ok((pred, syms))
     }
 
+    /// True when the session persists its state (`--data-dir`).
+    pub fn is_durable(&self) -> bool {
+        self.wal.is_some()
+    }
+
+    /// Simulates a WAL append failure (the suspension path is otherwise
+    /// only reachable through real I/O errors).
+    #[cfg(test)]
+    fn force_wal_broken(&mut self) {
+        self.wal_broken = true;
+    }
+
     /// Renders an engine-level rejection with human-readable names.
     fn rejected(&self, e: InsertError) -> SessionError {
         let msg = match e {
@@ -453,6 +772,22 @@ impl Session {
             other => other.to_string(),
         };
         SessionError::Rejected(msg)
+    }
+}
+
+impl Drop for Session {
+    /// Shutdown durability, best effort: force the WAL to disk, then
+    /// fold it into a final checkpoint so the next boot restores one
+    /// snapshot instead of replaying a tail. Failures are ignored — a
+    /// drop during unwinding must not panic, and the synced WAL already
+    /// guarantees recoverability.
+    fn drop(&mut self) {
+        if self.wal.is_some() && !self.wal_broken {
+            if let Some(wal) = &mut self.wal {
+                let _ = wal.sync();
+            }
+            let _ = self.checkpoint_inner();
+        }
     }
 }
 
@@ -744,6 +1079,229 @@ mod tests {
         );
         // The transient answer is gone entirely.
         assert!(s.query("p(a, d)").unwrap().is_empty());
+    }
+
+    #[test]
+    fn batched_delete_runs_one_retraction_pass() {
+        let mut s = session();
+        s.insert(0.9, "e(a, d)").unwrap();
+        s.insert(0.4, "e(d, b)").unwrap();
+        let passes_before = s.engine().stats().retract_passes;
+        let responses = s
+            .delete_batch(&["e(a, d)", "e(d, b)", "e(zz, q)", "e(a, d)"])
+            .unwrap();
+        assert_eq!(responses.len(), 4);
+        assert!(matches!(
+            responses[0],
+            DeleteResponse::Deleted { prob, .. } if prob == 0.9
+        ));
+        assert!(matches!(
+            responses[1],
+            DeleteResponse::Deleted { prob, .. } if prob == 0.4
+        ));
+        // Unknown constants and the duplicate victim are misses.
+        assert_eq!(responses[2], DeleteResponse::Missing);
+        assert_eq!(responses[3], DeleteResponse::Missing);
+        // The whole batch was drained by a single multi-victim pass.
+        assert_eq!(s.engine().stats().retract_passes, passes_before + 1);
+        let st = s.stats();
+        assert_eq!(st.deletes, 2);
+        assert_eq!(st.deletes_missing, 2);
+
+        // The batch result is indistinguishable from never inserting.
+        let mut scratch = session();
+        assert_eq!(
+            s.query("p(a, b)").unwrap()[0].prob.to_bits(),
+            scratch.query("p(a, b)").unwrap()[0].prob.to_bits()
+        );
+        assert!(s.query("p(a, d)").unwrap().is_empty());
+
+        // Validation failures reject the whole batch up front.
+        assert!(matches!(
+            s.delete_batch(&["e(a, b)", "p(a, b)"]),
+            Err(SessionError::Rejected(_))
+        ));
+        assert_eq!(s.stats().deletes, 2, "no retraction from the failed batch");
+    }
+
+    #[test]
+    fn cache_budget_and_meter_wiring() {
+        let program = parse_program(EXAMPLE1).unwrap();
+        let opts = SessionOptions {
+            cache: crate::cache::CacheBudget {
+                max_entries: 2,
+                max_bytes: usize::MAX,
+            },
+            ..SessionOptions::default()
+        };
+        let mut s = Session::new(&program, opts).unwrap();
+        let used0 = s.engine().meter().used();
+        s.query("p(a, b)").unwrap();
+        s.query("p(a, c)").unwrap();
+        let used2 = s.engine().meter().used();
+        assert!(used2 > used0, "cache bytes are charged into the meter");
+        // A third distinct query evicts the LRU entry (p(a, b)).
+        s.query("p(b, c)").unwrap();
+        assert_eq!(s.cache_stats().evictions, 1);
+        let lines = s.stats_lines();
+        let get = |k: &str| {
+            lines
+                .iter()
+                .find(|(key, _)| *key == k)
+                .map(|(_, v)| v.clone())
+                .unwrap()
+        };
+        assert_eq!(get("cache_evictions"), "1");
+        assert_eq!(get("cache_entries"), "2");
+        assert!(get("cache_bytes").parse::<u64>().unwrap() > 0);
+        // The evicted query recomputes (miss), not a stale hit.
+        let before = s.cache_stats().misses;
+        s.query("p(a, b)").unwrap();
+        assert_eq!(s.cache_stats().misses, before + 1);
+    }
+
+    fn temp_data_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "ltgs-session-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn durable_opts(dir: &std::path::Path) -> SessionOptions {
+        SessionOptions {
+            durability: Some(DurabilityOptions::at(dir)),
+            ..SessionOptions::default()
+        }
+    }
+
+    #[test]
+    fn durable_session_restarts_warm_with_bitwise_answers() {
+        let dir = temp_data_dir("warm");
+        let program = parse_program(EXAMPLE1).unwrap();
+
+        let (mut s, report) = Session::boot(&program, durable_opts(&dir)).unwrap();
+        assert_eq!(report.mode, BootMode::Cold);
+        s.insert(0.9, "e(a, d)").unwrap();
+        s.insert(0.4, "e(d, b)").unwrap();
+        s.delete("e(b, c)").unwrap();
+        s.update(0.65, "e(a, c)").unwrap();
+        let expected: Vec<(String, u64)> = s
+            .query("p(a, X)")
+            .unwrap()
+            .iter()
+            .map(|a| (a.text.clone(), a.prob.to_bits()))
+            .collect();
+        drop(s); // final checkpoint
+
+        let (mut s2, report) = Session::boot(&program, durable_opts(&dir)).unwrap();
+        assert_eq!(report.mode, BootMode::Warm);
+        // Shutdown folded the WAL into the snapshot: nothing to replay,
+        // and no batch reasoning ran in this process.
+        assert_eq!(report.replayed, 0);
+        assert_eq!(s2.engine().db().epoch(), 4);
+        let got: Vec<(String, u64)> = s2
+            .query("p(a, X)")
+            .unwrap()
+            .iter()
+            .map(|a| (a.text.clone(), a.prob.to_bits()))
+            .collect();
+        assert_eq!(got, expected);
+        // Mutations keep working (and keep being logged) after restore.
+        s2.insert(0.1, "e(c, a)").unwrap();
+        assert_eq!(s2.engine().db().epoch(), 5);
+        drop(s2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn kill_without_shutdown_replays_the_wal() {
+        let dir = temp_data_dir("kill");
+        let program = parse_program(EXAMPLE1).unwrap();
+        let (mut s, _) = Session::boot(&program, durable_opts(&dir)).unwrap();
+        s.insert(0.9, "e(a, d)").unwrap();
+        s.delete("e(a, b)").unwrap();
+        let expected = s.query("p(a, b)").unwrap()[0].prob.to_bits();
+        // Simulate a crash: leak the session so no shutdown checkpoint
+        // runs — the WAL (fsynced per record) is all that survives.
+        std::mem::forget(s);
+
+        let (mut s2, report) = Session::boot(&program, durable_opts(&dir)).unwrap();
+        assert_eq!(report.mode, BootMode::Warm);
+        assert_eq!(report.replayed, 2);
+        assert_eq!(s2.query("p(a, b)").unwrap()[0].prob.to_bits(), expected);
+        drop(s2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn explicit_checkpoint_and_info_lines() {
+        let dir = temp_data_dir("verb");
+        let program = parse_program(EXAMPLE1).unwrap();
+        let (mut s, _) = Session::boot(&program, durable_opts(&dir)).unwrap();
+        s.insert(0.9, "e(a, d)").unwrap();
+        let info = s.checkpoint().unwrap();
+        assert_eq!(info.epoch, 1);
+        assert!(info.bytes > 0);
+        let lines = s.snapshot_info_lines();
+        let get = |k: &str| {
+            lines
+                .iter()
+                .find(|(key, _)| *key == k)
+                .map(|(_, v)| v.clone())
+                .unwrap()
+        };
+        assert_eq!(get("durable"), "1");
+        assert_eq!(get("boot"), "cold");
+        assert_eq!(get("snapshot_epoch"), "1");
+        // Boot wrote the initial checkpoint, the verb the second.
+        assert_eq!(get("snapshots"), "2");
+        assert_eq!(get("wal_records"), "0");
+        assert_eq!(get("wal_broken"), "0");
+        drop(s);
+
+        // Non-durable sessions refuse the verb but still report status.
+        let mut plain = session();
+        assert!(matches!(plain.checkpoint(), Err(SessionError::NotDurable)));
+        let lines = plain.snapshot_info_lines();
+        assert!(lines.iter().any(|(k, v)| *k == "durable" && v == "0"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn explicit_checkpoint_heals_a_broken_wal() {
+        let dir = temp_data_dir("heal");
+        let program = parse_program(EXAMPLE1).unwrap();
+        let (mut s, _) = Session::boot(&program, durable_opts(&dir)).unwrap();
+        s.insert(0.9, "e(a, d)").unwrap();
+        // Simulate an append failure: the next mutation is applied but
+        // not logged, and durability reports itself suspended.
+        s.force_wal_broken();
+        s.insert(0.4, "e(d, b)").unwrap();
+        let lines = s.snapshot_info_lines();
+        assert!(lines.iter().any(|(k, v)| *k == "wal_broken" && v == "1"));
+
+        // An explicit checkpoint captures the unlogged mutation in the
+        // snapshot and, having proven the files writable, resumes
+        // logging.
+        let info = s.checkpoint().unwrap();
+        assert_eq!(info.epoch, 2);
+        let lines = s.snapshot_info_lines();
+        assert!(lines.iter().any(|(k, v)| *k == "wal_broken" && v == "0"));
+        s.insert(0.1, "e(c, a)").unwrap();
+        assert!(lines
+            .iter()
+            .any(|(k, v)| *k == "snapshot_epoch" && v == "2"));
+        drop(s);
+
+        // Nothing was lost across the whole episode.
+        let (s2, report) = Session::boot(&program, durable_opts(&dir)).unwrap();
+        assert_eq!(report.mode, BootMode::Warm);
+        assert_eq!(s2.engine().db().epoch(), 3);
+        drop(s2);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

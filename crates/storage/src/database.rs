@@ -56,6 +56,67 @@ impl DeleteOutcome {
     }
 }
 
+/// Why a [`Database::from_state`] restore was refused. The state came
+/// from a snapshot file, so every structural invariant is re-checked
+/// instead of trusted — a corrupt or version-skewed snapshot must fail
+/// the warm boot, not poison the session.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DbStateError {
+    /// `probs` and `facts` disagree in length.
+    ProbsLength {
+        /// Number of facts in the state.
+        facts: usize,
+        /// Number of probability slots in the state.
+        probs: usize,
+    },
+    /// Re-interning a fact tuple did not reproduce its id (duplicate or
+    /// out-of-order record).
+    FactOrder(usize),
+    /// An EDB relation references a fact id outside the store, or a fact
+    /// of a different predicate.
+    Relation {
+        /// The relation's predicate index.
+        pred: usize,
+    },
+}
+
+impl std::fmt::Display for DbStateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DbStateError::ProbsLength { facts, probs } => {
+                write!(f, "{facts} facts but {probs} probability slots")
+            }
+            DbStateError::FactOrder(i) => write!(f, "fact record {i} is duplicate or out of order"),
+            DbStateError::Relation { pred } => {
+                write!(
+                    f,
+                    "EDB relation of predicate {pred} references a foreign fact"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for DbStateError {}
+
+/// A flattened [`Database`]: everything needed to rebuild it with every
+/// [`FactId`] preserved. Facts are listed in interning order (so derived
+/// facts keep their ids too) and relations keep their insertion order
+/// (which downstream join iteration depends on).
+#[derive(Clone, Debug, PartialEq)]
+pub struct DatabaseState {
+    /// Every interned fact — extensional *and* derived — in id order.
+    pub facts: Vec<(PredId, Vec<Sym>)>,
+    /// `π(f)` per fact (`None` for derived facts), aligned with `facts`.
+    pub probs: Vec<Option<f64>>,
+    /// Extensional fact lists per predicate index, in insertion order.
+    pub edb: Vec<Vec<FactId>>,
+    /// Global mutation epoch.
+    pub epoch: u64,
+    /// Per-predicate mutation epochs.
+    pub pred_epochs: Vec<u64>,
+}
+
 /// A probabilistic database plus the scratch space engines share.
 pub struct Database {
     /// The global fact arena (extensional and derived facts).
@@ -266,6 +327,60 @@ impl Database {
         self.probs.iter().map(|p| p.unwrap_or(1.0)).collect()
     }
 
+    /// Flattens the database into a [`DatabaseState`] (see there for the
+    /// id-preservation guarantees). Lazily built relation indexes are
+    /// not exported — they rebuild on the first probe after a restore.
+    pub fn export_state(&self) -> DatabaseState {
+        DatabaseState {
+            facts: self
+                .store
+                .iter()
+                .map(|f| (self.store.pred(f), self.store.args(f).to_vec()))
+                .collect(),
+            probs: self.probs.clone(),
+            edb: self.edb.iter().map(|r| r.facts().to_vec()).collect(),
+            epoch: self.epoch,
+            pred_epochs: self.pred_epochs.clone(),
+        }
+    }
+
+    /// Rebuilds a database from a [`DatabaseState`], re-checking every
+    /// structural invariant (the state is snapshot input, not trusted
+    /// memory). Fact ids come out identical to the exported database.
+    pub fn from_state(state: DatabaseState) -> Result<Self, DbStateError> {
+        if state.probs.len() != state.facts.len() {
+            return Err(DbStateError::ProbsLength {
+                facts: state.facts.len(),
+                probs: state.probs.len(),
+            });
+        }
+        let mut store = FactStore::new();
+        for (i, (pred, args)) in state.facts.iter().enumerate() {
+            let (f, fresh) = store.intern(*pred, args);
+            if !fresh || f.index() != i {
+                return Err(DbStateError::FactOrder(i));
+            }
+        }
+        let mut edb = Vec::with_capacity(state.edb.len());
+        for (p, list) in state.edb.iter().enumerate() {
+            let mut rel = Relation::new();
+            for &f in list {
+                if f.index() >= store.len() || store.pred(f).index() != p {
+                    return Err(DbStateError::Relation { pred: p });
+                }
+                rel.push(f);
+            }
+            edb.push(rel);
+        }
+        Ok(Database {
+            store,
+            probs: state.probs,
+            edb,
+            epoch: state.epoch,
+            pred_epochs: state.pred_epochs,
+        })
+    }
+
     /// Estimated live bytes of the database proper.
     pub fn estimated_bytes(&self) -> usize {
         self.store.estimated_bytes()
@@ -448,6 +563,76 @@ mod tests {
         assert_eq!(w.len(), 2);
         assert_eq!(w[0], 0.25);
         assert_eq!(w[1], 1.0);
+    }
+
+    #[test]
+    fn state_roundtrip_preserves_ids_epochs_and_order() {
+        let p = parse_program("0.5 :: e(a,b). 0.6 :: e(b,c). q(X,Y) :- e(X,Y).").unwrap();
+        let mut db = Database::from_program(&p);
+        let e = p.preds.lookup("e", 2).unwrap();
+        let q = p.preds.lookup("q", 2).unwrap();
+        let (a, b) = (
+            p.symbols.lookup("a").unwrap(),
+            p.symbols.lookup("b").unwrap(),
+        );
+        // Mix in a derived fact, a delete, and an update so the state
+        // carries holes and non-zero epochs.
+        db.intern_derived(q, &[a, b]);
+        db.insert_edb(e, &[b, a], 0.9);
+        db.delete_edb(e, &[a, b]);
+        let f_ba = db.store.lookup(e, &[b, a]).unwrap();
+        db.update_prob(f_ba, 0.4);
+
+        let state = db.export_state();
+        let restored = Database::from_state(state.clone()).unwrap();
+        assert_eq!(restored.epoch(), db.epoch());
+        assert_eq!(restored.n_edb_facts(), db.n_edb_facts());
+        assert_eq!(restored.pred_epoch(e), db.pred_epoch(e));
+        for f in db.store.iter() {
+            assert_eq!(restored.store.pred(f), db.store.pred(f));
+            assert_eq!(restored.store.args(f), db.store.args(f));
+            assert_eq!(restored.prob(f), db.prob(f));
+        }
+        assert_eq!(restored.edb_facts(e), db.edb_facts(e));
+        // Exporting the restored database is a fixpoint.
+        assert_eq!(restored.export_state(), state);
+    }
+
+    #[test]
+    fn from_state_rejects_corrupt_states() {
+        let p = parse_program("0.5 :: e(a). 0.6 :: f(b).").unwrap();
+        let db = Database::from_program(&p);
+        let good = db.export_state();
+
+        let mut probs_short = good.clone();
+        probs_short.probs.pop();
+        assert!(matches!(
+            Database::from_state(probs_short),
+            Err(DbStateError::ProbsLength { .. })
+        ));
+
+        let mut duped = good.clone();
+        let first = duped.facts[0].clone();
+        duped.facts.push(first);
+        duped.probs.push(Some(0.1));
+        assert!(matches!(
+            Database::from_state(duped),
+            Err(DbStateError::FactOrder(2))
+        ));
+
+        let mut foreign = good.clone();
+        foreign.edb[0].push(FactId(1)); // f's fact inside e's relation
+        assert!(matches!(
+            Database::from_state(foreign),
+            Err(DbStateError::Relation { pred: 0 })
+        ));
+
+        let mut oob = good;
+        oob.edb[1].push(FactId(99));
+        assert!(matches!(
+            Database::from_state(oob),
+            Err(DbStateError::Relation { pred: 1 })
+        ));
     }
 
     #[test]

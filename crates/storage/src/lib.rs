@@ -18,7 +18,7 @@ pub mod fact;
 pub mod meter;
 pub mod relation;
 
-pub use database::{Database, DeleteOutcome, InsertOutcome};
+pub use database::{Database, DatabaseState, DbStateError, DeleteOutcome, InsertOutcome};
 pub use fact::{FactId, FactStore};
 pub use meter::{ResourceError, ResourceMeter};
 pub use relation::{Relation, TupleIndex};

@@ -16,6 +16,10 @@
 //!   probability **bitwise** against a from-scratch engine on the final
 //!   database and against the `ΔTcP` baseline — with a greedy shrinker
 //!   that minimizes failing scripts before they are reported;
+//! * [`recovery`] — the **crash-recovery harness**: run a script with a
+//!   snapshot at a chosen prefix and a WAL for the tail, mutilate the
+//!   WAL, reload, and check the recovered engine bitwise against a
+//!   from-scratch run on the surviving prefix;
 //! * [`net`] — spawn a real `ltgs serve` process and speak the line
 //!   protocol over a socket.
 
@@ -23,11 +27,13 @@ pub mod diff;
 pub mod edges;
 pub mod net;
 pub mod oracle;
+pub mod recovery;
 
 pub use diff::{arb_any_script, arb_script, run_script, shrink, Op, Script, RULE_PALETTE};
 pub use edges::{
     acyclic, arb_edges, dedup_edges, guard, intern_edge, prob_named, prob_of, program_src,
     program_src_with, EXAMPLE1, EXAMPLE1_EDB, TC_RULES,
 };
-pub use net::{connect, request, spawn_serve, stat, write_program, ServeGuard};
+pub use net::{connect, request, spawn_serve, spawn_serve_with, stat, write_program, ServeGuard};
 pub use oracle::possible_world_probability;
+pub use recovery::run_recovery_script;

@@ -26,6 +26,15 @@ pub struct ServeGuard {
     pub addr: String,
 }
 
+impl ServeGuard {
+    /// Kills the server immediately (no graceful shutdown, no final
+    /// checkpoint) — the crash the write-ahead log exists for.
+    pub fn kill(mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
 impl Drop for ServeGuard {
     fn drop(&mut self) {
         let _ = self.child.kill();
@@ -36,8 +45,15 @@ impl Drop for ServeGuard {
 /// Spawns `<bin> serve --port 0 <program>` and waits for its readiness
 /// line to learn the bound address.
 pub fn spawn_serve(bin: &str, program_path: &Path) -> ServeGuard {
+    spawn_serve_with(bin, program_path, &[])
+}
+
+/// [`spawn_serve`] with extra `serve` flags (e.g. `--data-dir DIR`).
+pub fn spawn_serve_with(bin: &str, program_path: &Path, extra_args: &[&str]) -> ServeGuard {
     let mut child = Command::new(bin)
-        .args(["serve", "--port", "0", program_path.to_str().unwrap()])
+        .args(["serve", "--port", "0"])
+        .args(extra_args)
+        .arg(program_path.to_str().unwrap())
         .stdout(Stdio::piped())
         .stderr(Stdio::null())
         .spawn()

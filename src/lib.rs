@@ -16,6 +16,8 @@
 //! * [`core`] — the LTG engine itself (`ltg-core`);
 //! * [`baselines`] — `TcP`, `ΔTcP`, top-k, circuits (`ltg-baselines`);
 //! * [`benchdata`] — the workload generators (`ltg-benchdata`);
+//! * [`persist`] — durable sessions: checksummed snapshots + a
+//!   write-ahead log so restarts boot warm (`ltg-persist`);
 //! * [`server`] — the resident query service: incremental sessions with
 //!   cached WMC behind a concurrent TCP front-end (`ltg-server`).
 //!
@@ -51,6 +53,7 @@ pub use ltg_benchdata as benchdata;
 pub use ltg_core as core;
 pub use ltg_datalog as datalog;
 pub use ltg_lineage as lineage;
+pub use ltg_persist as persist;
 pub use ltg_server as server;
 pub use ltg_storage as storage;
 pub use ltg_wmc as wmc;

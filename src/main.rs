@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! USAGE: ltgs [OPTIONS] <program.pl>
-//!        ltgs serve [--port N] [--host H] [--solver S] <program.pl>
+//!        ltgs serve [--port N] [--host H] [--solver S] [--data-dir DIR] <program.pl>
 //!
 //!   --engine <ltg|ltg-nocollapse|tcp|delta|topk=K|circuit>   (default: ltg)
 //!   --solver <sdd|bdd|dtree|c2d|karp-luby|dissociation|anytime>  (default: sdd)
@@ -223,13 +223,17 @@ fn run_one_query(
     Ok(())
 }
 
-/// `ltgs serve [--port N] [--host H] [--solver S] [--no-collapse] <program.pl>`
+/// `ltgs serve [--port N] [--host H] [--solver S] [--no-collapse]
+/// [--data-dir DIR [--fsync-every N] [--snapshot-every N]] <program.pl>`
 fn run_serve(args: &[String]) -> Result<(), String> {
     let mut port: u16 = 7474;
     let mut host = "127.0.0.1".to_string();
     let mut solver = ltgs::wmc::SolverKind::Sdd;
     let mut collapse = true;
     let mut max_depth: Option<u32> = None;
+    let mut data_dir: Option<String> = None;
+    let mut fsync_every: usize = 1;
+    let mut snapshot_every: u64 = 1024;
     let mut path = String::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -242,6 +246,24 @@ fn run_serve(args: &[String]) -> Result<(), String> {
                     .map_err(|_| "bad --port")?
             }
             "--host" => host = it.next().ok_or("--host needs a value")?.clone(),
+            "--data-dir" => data_dir = Some(it.next().ok_or("--data-dir needs a value")?.clone()),
+            "--fsync-every" => {
+                fsync_every = it
+                    .next()
+                    .ok_or("--fsync-every needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --fsync-every")?;
+                if fsync_every == 0 {
+                    return Err("--fsync-every must be at least 1".into());
+                }
+            }
+            "--snapshot-every" => {
+                snapshot_every = it
+                    .next()
+                    .ok_or("--snapshot-every needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --snapshot-every")?
+            }
             "--solver" => {
                 solver = match it.next().ok_or("--solver needs a value")?.as_str() {
                     "sdd" => ltgs::wmc::SolverKind::Sdd,
@@ -277,7 +299,18 @@ fn run_serve(args: &[String]) -> Result<(), String> {
         EngineConfig::without_collapse()
     };
     config.max_depth = max_depth;
-    let opts = ltgs::server::SessionOptions { config, solver };
+    let durability = data_dir.map(|dir| {
+        let mut d = ltgs::server::DurabilityOptions::at(dir);
+        d.fsync_every = fsync_every;
+        d.snapshot_every = snapshot_every;
+        d
+    });
+    let opts = ltgs::server::SessionOptions {
+        config,
+        solver,
+        durability,
+        ..Default::default()
+    };
     let server = ltgs::server::Server::start((host.as_str(), port), program, opts)
         .map_err(|e| e.to_string())?;
     let addr = server.local_addr().map_err(|e| e.to_string())?;
@@ -298,7 +331,8 @@ fn main() -> ExitCode {
                 eprintln!("error: {msg}");
                 eprintln!(
                     "usage: ltgs serve [--port N] [--host H] [--solver sdd|bdd|dtree|c2d] \
-                     [--no-collapse] [--max-depth N] <program.pl>"
+                     [--no-collapse] [--max-depth N] [--data-dir DIR] [--fsync-every N] \
+                     [--snapshot-every N] <program.pl>"
                 );
                 ExitCode::FAILURE
             }

@@ -274,3 +274,109 @@ fn concurrent_connections_share_one_session() {
     assert_eq!(stat(&stats, "queries"), 21);
     assert_eq!(stat(&stats, "cache_hits"), 20);
 }
+
+#[test]
+fn batched_delete_over_the_wire_runs_one_pass() {
+    let serve = serve("batch.pl", PROGRAM);
+    let (mut reader, mut writer) = connect(&serve.addr);
+
+    request(&mut reader, &mut writer, "INSERT 0.9 :: e(a, d).");
+    request(&mut reader, &mut writer, "INSERT 0.4 :: e(d, b).");
+    let resp = request(
+        &mut reader,
+        &mut writer,
+        "DELETE e(a, d); e(d, b); e(z, z).",
+    );
+    assert_eq!(resp[0], "OK 3");
+    assert!(resp[1].starts_with("deleted p=0.900000"), "{resp:?}");
+    assert!(resp[2].starts_with("deleted p=0.400000"), "{resp:?}");
+    assert_eq!(resp[3], "missing");
+    let stats = request(&mut reader, &mut writer, "STATS");
+    // One multi-victim pass for the whole batch.
+    assert_eq!(stat(&stats, "retract_passes"), 1);
+    assert_eq!(stat(&stats, "deletes"), 2);
+    assert_eq!(stat(&stats, "deletes_missing"), 1);
+    // The roundtrip restored the original answer.
+    assert_eq!(
+        request(&mut reader, &mut writer, "QUERY p(a, b)."),
+        vec!["OK 1", "0.780000\tp(a,b)"]
+    );
+}
+
+/// The tentpole acceptance test: kill a durable server mid-session and
+/// restart it from `snapshot + WAL` — the restarted process answers
+/// byte-identically over the wire without re-running batch reasoning.
+#[test]
+fn durable_serve_survives_a_kill_and_restarts_warm() {
+    let data_dir = std::env::temp_dir().join(format!("ltgs-e2e-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&data_dir);
+    let dir_arg = data_dir.to_str().unwrap().to_string();
+    let path = ltg_testkit::write_program("durable.pl", PROGRAM);
+    let bin = env!("CARGO_BIN_EXE_ltgs");
+
+    let serve1 = ltg_testkit::spawn_serve_with(bin, &path, &["--data-dir", &dir_arg]);
+    let (mut reader, mut writer) = connect(&serve1.addr);
+    // A mutation workload touching every verb.
+    assert_eq!(
+        request(&mut reader, &mut writer, "INSERT 0.9 :: e(a, d)."),
+        vec!["OK inserted epoch=1"]
+    );
+    assert_eq!(
+        request(&mut reader, &mut writer, "INSERT 0.4 :: e(d, b)."),
+        vec!["OK inserted epoch=2"]
+    );
+    assert!(request(&mut reader, &mut writer, "DELETE e(b, c).")[0].starts_with("OK deleted"));
+    assert!(request(&mut reader, &mut writer, "UPDATE 0.65 :: e(a, c).")[0].starts_with("OK"));
+    let before = request(&mut reader, &mut writer, "QUERY p(a, X).");
+    assert_eq!(before[0], "OK 3");
+    let info = request(&mut reader, &mut writer, "SNAPSHOT INFO");
+    assert_eq!(stat(&info, "durable"), 1);
+    assert_eq!(stat(&info, "wal_records"), 4);
+    // SIGKILL: no graceful shutdown, no final checkpoint — recovery
+    // must come from the initial snapshot plus the fsynced WAL.
+    serve1.kill();
+
+    let serve2 = ltg_testkit::spawn_serve_with(bin, &path, &["--data-dir", &dir_arg]);
+    let (mut reader, mut writer) = connect(&serve2.addr);
+    let stats = request(&mut reader, &mut writer, "STATS");
+    assert!(
+        stats.iter().any(|l| l == "boot warm"),
+        "restart must boot from the snapshot: {stats:?}"
+    );
+    // Byte-identical answers over the wire, no re-reasoning.
+    let after = request(&mut reader, &mut writer, "QUERY p(a, X).");
+    assert_eq!(after, before);
+    // Epoch continuity: the next mutation continues where the killed
+    // process stopped.
+    assert_eq!(
+        request(&mut reader, &mut writer, "INSERT 0.1 :: e(c, a)."),
+        vec!["OK inserted epoch=5"]
+    );
+    // The repeated query after the insert is recomputed, then cached.
+    request(&mut reader, &mut writer, "QUERY p(a, X).");
+    request(&mut reader, &mut writer, "QUERY p(a, X).");
+    let stats = request(&mut reader, &mut writer, "STATS");
+    assert_eq!(stat(&stats, "cache_hits"), 1);
+
+    // An explicit checkpoint folds the WAL into a fresh snapshot.
+    let snap = request(&mut reader, &mut writer, "SNAPSHOT");
+    assert!(snap[0].starts_with("OK snapshot epoch=5"), "{snap:?}");
+    let info = request(&mut reader, &mut writer, "SNAPSHOT INFO");
+    assert_eq!(stat(&info, "wal_records"), 0);
+    assert_eq!(stat(&info, "snapshot_epoch"), 5);
+    drop(serve2);
+    let _ = std::fs::remove_dir_all(&data_dir);
+}
+
+/// A non-durable server refuses SNAPSHOT but reports its status.
+#[test]
+fn snapshot_verb_requires_a_data_dir() {
+    let serve = serve("plain.pl", PROGRAM);
+    let (mut reader, mut writer) = connect(&serve.addr);
+    let resp = request(&mut reader, &mut writer, "SNAPSHOT");
+    assert!(resp[0].starts_with("ERR not durable"), "{resp:?}");
+    let info = request(&mut reader, &mut writer, "SNAPSHOT INFO");
+    assert_eq!(stat(&info, "durable"), 0);
+    let stats = request(&mut reader, &mut writer, "STATS");
+    assert!(stats.iter().any(|l| l == "boot cold"), "{stats:?}");
+}
