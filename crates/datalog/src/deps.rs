@@ -136,6 +136,50 @@ impl DependencyGraph {
         self.succ[pred.index()].iter().map(|&p| PredId(p))
     }
 
+    /// Undirected connected components of the rule graph. Two predicates
+    /// share a component when some rule mentions both (head or premise),
+    /// directly or transitively — i.e. exactly when they can ever
+    /// interact during reasoning. Predicates in different components
+    /// never join, never share lineage, and never invalidate each
+    /// other's query results, which is what shard planners partition on.
+    ///
+    /// Returns the component id per predicate plus the component count.
+    /// Ids are dense and assigned in order of each component's smallest
+    /// predicate id, so the numbering is stable under re-interning the
+    /// same program.
+    pub fn components(&self) -> (Vec<u32>, usize) {
+        const UNSET: u32 = u32::MAX;
+        // Undirected adjacency: successor edges plus their reversals.
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); self.n];
+        for u in 0..self.n {
+            for &v in &self.succ[u] {
+                adj[u].push(v);
+                adj[v as usize].push(u as u32);
+            }
+        }
+        let mut comp = vec![UNSET; self.n];
+        let mut count = 0u32;
+        let mut stack = Vec::new();
+        for root in 0..self.n {
+            if comp[root] != UNSET {
+                continue;
+            }
+            let id = count;
+            count += 1;
+            comp[root] = id;
+            stack.push(root as u32);
+            while let Some(u) = stack.pop() {
+                for &v in &adj[u as usize] {
+                    if comp[v as usize] == UNSET {
+                        comp[v as usize] = id;
+                        stack.push(v);
+                    }
+                }
+            }
+        }
+        (comp, count as usize)
+    }
+
     /// The set of predicates on which `targets` (transitively) depend,
     /// including the targets themselves. Used to restrict programs to the
     /// rules relevant to a query.
@@ -286,6 +330,44 @@ mod tests {
         let r = p.preds.lookup("r", 1).unwrap();
         assert!(seen[s.index()] && seen[q.index()] && seen[e.index()]);
         assert!(!seen[r.index()] && !seen[f.index()]);
+    }
+
+    #[test]
+    fn components_split_independent_rule_islands() {
+        // Two independent islands (e/q/s and f/r) plus an orphan fact
+        // predicate g that no rule touches.
+        let (p, g) = graph(
+            "e(a). f(b). g(c).
+             q(X) :- e(X). s(X) :- q(X), e(X).
+             r(X) :- f(X).",
+        );
+        let (comp, n) = g.components();
+        assert_eq!(n, 3);
+        let id = |name: &str| comp[p.preds.lookup(name, 1).unwrap().index()];
+        assert_eq!(id("e"), id("q"));
+        assert_eq!(id("e"), id("s"));
+        assert_eq!(id("f"), id("r"));
+        assert_ne!(id("e"), id("f"));
+        assert_ne!(id("g"), id("e"));
+        assert_ne!(id("g"), id("f"));
+        // Dense ids, numbered by smallest member PredId (e=0 interned
+        // first, then f, then g).
+        assert_eq!(id("e"), 0);
+        assert_eq!(id("f"), 1);
+        assert_eq!(id("g"), 2);
+    }
+
+    #[test]
+    fn body_siblings_share_a_component() {
+        // e and f never appear in the same position chain, but one rule
+        // joins them — they must colocate.
+        let (p, g) = graph("e(a). f(b). q(X) :- e(X), f(X).");
+        let (comp, n) = g.components();
+        assert_eq!(n, 1);
+        assert_eq!(
+            comp[p.preds.lookup("e", 1).unwrap().index()],
+            comp[p.preds.lookup("f", 1).unwrap().index()]
+        );
     }
 
     #[test]

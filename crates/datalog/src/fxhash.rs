@@ -79,6 +79,15 @@ impl Hasher for FxHasher {
     }
 }
 
+/// Hash a byte string with [`FxHasher`]. Deterministic across processes
+/// and builds (no random seeding) — shard planners rely on this for
+/// stable component-to-slot assignments.
+pub fn fx_hash_bytes(bytes: &[u8]) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(bytes);
+    h.finish()
+}
+
 /// Hash a single `u64` (the splitmix64 finalizer — full avalanche, used
 /// for the 64-bit Bloom-style fact signatures where every output bit must
 /// be well mixed).

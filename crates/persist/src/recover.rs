@@ -87,7 +87,7 @@ pub fn boot(
     dir: &Path,
     program: &Program,
     config: EngineConfig,
-    fsync_every: usize,
+    sync: wal::SyncPolicy,
 ) -> Result<Durable, PersistError> {
     std::fs::create_dir_all(dir)?;
     let fingerprint = ltg_core::fingerprint(&ltg_datalog::canonicalize(program).program);
@@ -144,11 +144,11 @@ pub fn boot(
             }
             let complete = replay(&mut engine, &c.records, &mut replayed, &mut notes)?;
             if complete {
-                WalWriter::open_appending(&wal_file, &c, fsync_every)?
+                WalWriter::open_appending(&wal_file, &c, sync)?
             } else {
                 // The prefix that applied is kept; the rest cannot be
                 // trusted. Restart the log from the recovered epoch.
-                WalWriter::create(&wal_file, fingerprint, engine.db().epoch(), fsync_every)?
+                WalWriter::create(&wal_file, fingerprint, engine.db().epoch(), sync)?
             }
         }
         Some(c) => {
@@ -163,9 +163,9 @@ pub fn boot(
                     c.records.len()
                 ));
             }
-            WalWriter::create(&wal_file, fingerprint, engine.db().epoch(), fsync_every)?
+            WalWriter::create(&wal_file, fingerprint, engine.db().epoch(), sync)?
         }
-        None => WalWriter::create(&wal_file, fingerprint, engine.db().epoch(), fsync_every)?,
+        None => WalWriter::create(&wal_file, fingerprint, engine.db().epoch(), sync)?,
     };
 
     Ok(Durable {
@@ -321,7 +321,7 @@ mod tests {
         let config = EngineConfig::default();
 
         // First boot: cold (empty dir), then checkpoint.
-        let mut d = boot(&dir, &program, config.clone(), 1).unwrap();
+        let mut d = boot(&dir, &program, config.clone(), wal::SyncPolicy::default()).unwrap();
         assert_eq!(d.report.mode, BootMode::Cold);
         assert!(d.report.notes.is_empty());
         checkpoint(&dir, &d.engine, &mut d.wal).unwrap();
@@ -355,7 +355,7 @@ mod tests {
         drop(d);
 
         // Second boot: snapshot + 2-record WAL tail.
-        let d2 = boot(&dir, &program, config, 1).unwrap();
+        let d2 = boot(&dir, &program, config, wal::SyncPolicy::default()).unwrap();
         assert_eq!(d2.report.mode, BootMode::Warm);
         assert_eq!(d2.report.snapshot_epoch, Some(0));
         assert_eq!(d2.report.replayed, 2);
@@ -376,7 +376,7 @@ mod tests {
         let dir = tmp_dir("fallback");
         let program = parse_program(EXAMPLE1).unwrap();
         let config = EngineConfig::default();
-        let mut d = boot(&dir, &program, config.clone(), 1).unwrap();
+        let mut d = boot(&dir, &program, config.clone(), wal::SyncPolicy::default()).unwrap();
         // One logged mutation, then a checkpoint so the WAL base moves
         // past the cold epoch.
         let (e, args) = edge(&mut d.engine, "a", "d");
@@ -415,7 +415,7 @@ mod tests {
         bytes[mid] ^= 1;
         std::fs::write(&snap, &bytes).unwrap();
 
-        let d2 = boot(&dir, &program, config, 1).unwrap();
+        let d2 = boot(&dir, &program, config, wal::SyncPolicy::default()).unwrap();
         assert_eq!(d2.report.mode, BootMode::Cold);
         assert_eq!(d2.report.replayed, 0);
         assert!(d2.report.notes.iter().any(|n| n.contains("snapshot")));
@@ -423,7 +423,13 @@ mod tests {
         // The discarded WAL was reset: a third boot is clean.
         assert_eq!(d2.engine.db().epoch(), 0);
         drop(d2);
-        let d3 = boot(&dir, &program, EngineConfig::default(), 1).unwrap();
+        let d3 = boot(
+            &dir,
+            &program,
+            EngineConfig::default(),
+            wal::SyncPolicy::default(),
+        )
+        .unwrap();
         assert_eq!(d3.report.replayed, 0);
         std::fs::remove_dir_all(&dir).unwrap();
     }
@@ -432,10 +438,22 @@ mod tests {
     fn config_change_rejects_the_snapshot() {
         let dir = tmp_dir("config");
         let program = parse_program(EXAMPLE1).unwrap();
-        let mut d = boot(&dir, &program, EngineConfig::default(), 1).unwrap();
+        let mut d = boot(
+            &dir,
+            &program,
+            EngineConfig::default(),
+            wal::SyncPolicy::default(),
+        )
+        .unwrap();
         checkpoint(&dir, &d.engine, &mut d.wal).unwrap();
         drop(d);
-        let d2 = boot(&dir, &program, EngineConfig::without_collapse(), 1).unwrap();
+        let d2 = boot(
+            &dir,
+            &program,
+            EngineConfig::without_collapse(),
+            wal::SyncPolicy::default(),
+        )
+        .unwrap();
         assert_eq!(d2.report.mode, BootMode::Cold);
         assert!(d2.report.notes.iter().any(|n| n.contains("configuration")));
         std::fs::remove_dir_all(&dir).unwrap();

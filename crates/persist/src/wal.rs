@@ -28,10 +28,14 @@
 //! record end; [`WalWriter::open_appending`] truncates the file there
 //! before appending anything new.
 //!
-//! Durability is batched: records are written immediately but fsynced
-//! every `fsync_every` appends (1 = every record). A crash forfeits at
-//! most the unsynced tail — the same contract as a lost in-flight
-//! request.
+//! Durability is batched by a [`SyncPolicy`]: records are written
+//! immediately but fsynced either every `every` appends (1 = every
+//! record) or — group commit — once the oldest unsynced record has
+//! waited `after` (whichever fires first). A crash forfeits at most the
+//! unsynced tail — the same contract as a lost in-flight request. The
+//! time-based deadline only triggers on the append path; an idle writer
+//! exposes the remaining window through [`WalWriter::sync_due_in`] so
+//! its owner can drive the flush from its own wait loop.
 
 use crate::codec::{Reader, Writer};
 use crate::crc::crc32;
@@ -40,11 +44,59 @@ use ltg_datalog::PredId;
 use std::fs::{File, OpenOptions};
 use std::io::{Read as _, Seek as _, SeekFrom, Write as _};
 use std::path::Path;
+use std::time::{Duration, Instant};
+
+/// When appended records are forced to stable storage. Both thresholds
+/// are armed at once; whichever fires first syncs the whole batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SyncPolicy {
+    /// Sync after this many unsynced appends (1 = every record;
+    /// `usize::MAX` effectively disables count-based syncing).
+    pub every: usize,
+    /// Sync once the *oldest* unsynced record has waited this long
+    /// (`None` disables the time-based group commit).
+    pub after: Option<Duration>,
+}
+
+impl SyncPolicy {
+    /// Count-only batching: sync every `n` appends.
+    pub fn every(n: usize) -> Self {
+        SyncPolicy {
+            every: n.max(1),
+            after: None,
+        }
+    }
+
+    /// Group commit: sync a batch once its oldest record has waited
+    /// `ms` milliseconds, with `every` as the count-based cap.
+    pub fn after_ms(every: usize, ms: u64) -> Self {
+        SyncPolicy {
+            every: every.max(1),
+            after: Some(Duration::from_millis(ms)),
+        }
+    }
+}
+
+impl Default for SyncPolicy {
+    /// Sync every record (the safest setting, and the previous
+    /// `fsync_every = 1` behavior).
+    fn default() -> Self {
+        SyncPolicy::every(1)
+    }
+}
 
 /// WAL file magic.
 pub const MAGIC: &[u8; 8] = b"LTGWAL01";
-/// Current WAL format version.
-pub const VERSION: u32 = 1;
+/// Current WAL format version. Version 2 marks the epoch-semantics
+/// change of the no-change-`UPDATE` fix: v1 logs could contain update
+/// records that occupy an epoch without changing anything, which the
+/// current engine no longer bumps for — replaying such a log would
+/// stop at the first one and *silently* drop the acknowledged tail
+/// behind it. Bumping the version turns that into a loud
+/// `wal version` rejection at boot (the snapshot still restores; only
+/// the tail of a crashed-before-upgrade v1 log is discarded, with a
+/// note).
+pub const VERSION: u32 = 2;
 const HEADER_LEN: u64 = 28;
 /// Upper bound on one record's payload — no legitimate mutation comes
 /// close; a larger claim is treated as a torn/corrupt tail.
@@ -201,8 +253,11 @@ pub fn read(path: &Path) -> Result<Option<WalContents>, PersistError> {
 /// An open WAL, appending records with batched fsync.
 pub struct WalWriter {
     file: File,
-    fsync_every: usize,
+    policy: SyncPolicy,
     unsynced: usize,
+    /// When the oldest unsynced record was appended (the group-commit
+    /// deadline anchor).
+    oldest_unsynced: Option<Instant>,
     records: u64,
     base_epoch: u64,
 }
@@ -213,7 +268,7 @@ impl WalWriter {
         path: &Path,
         fingerprint: u64,
         base_epoch: u64,
-        fsync_every: usize,
+        policy: SyncPolicy,
     ) -> Result<WalWriter, PersistError> {
         let mut file = OpenOptions::new()
             .read(true)
@@ -230,8 +285,9 @@ impl WalWriter {
         file.sync_all()?;
         Ok(WalWriter {
             file,
-            fsync_every: fsync_every.max(1),
+            policy,
             unsynced: 0,
+            oldest_unsynced: None,
             records: 0,
             base_epoch,
         })
@@ -243,7 +299,7 @@ impl WalWriter {
     pub fn open_appending(
         path: &Path,
         contents: &WalContents,
-        fsync_every: usize,
+        policy: SyncPolicy,
     ) -> Result<WalWriter, PersistError> {
         let file = OpenOptions::new().read(true).write(true).open(path)?;
         if contents.torn {
@@ -252,8 +308,9 @@ impl WalWriter {
         }
         let mut writer = WalWriter {
             file,
-            fsync_every: fsync_every.max(1),
+            policy,
             unsynced: 0,
+            oldest_unsynced: None,
             records: contents.records.len() as u64,
             base_epoch: contents.base_epoch,
         };
@@ -261,7 +318,8 @@ impl WalWriter {
         Ok(writer)
     }
 
-    /// Appends one record; fsyncs when the batch threshold is reached.
+    /// Appends one record; fsyncs when either [`SyncPolicy`] threshold
+    /// is reached.
     pub fn append(&mut self, record: &WalRecord) -> Result<(), PersistError> {
         let payload = encode_record(record);
         let mut framed = Vec::with_capacity(payload.len() + 8);
@@ -271,7 +329,13 @@ impl WalWriter {
         self.file.write_all(&framed)?;
         self.records += 1;
         self.unsynced += 1;
-        if self.unsynced >= self.fsync_every {
+        self.oldest_unsynced.get_or_insert_with(Instant::now);
+        let count_due = self.unsynced >= self.policy.every;
+        let time_due = match (self.policy.after, self.oldest_unsynced) {
+            (Some(window), Some(oldest)) => oldest.elapsed() >= window,
+            _ => false,
+        };
+        if count_due || time_due {
             self.sync()?;
         }
         Ok(())
@@ -282,8 +346,19 @@ impl WalWriter {
         if self.unsynced > 0 {
             self.file.sync_data()?;
             self.unsynced = 0;
+            self.oldest_unsynced = None;
         }
         Ok(())
+    }
+
+    /// Time remaining until the group-commit window of the oldest
+    /// unsynced record expires — `Some(0)` means a sync is overdue.
+    /// `None` when nothing is pending or the policy has no time window;
+    /// owners with a wait loop use this as their `recv_timeout`.
+    pub fn sync_due_in(&self) -> Option<Duration> {
+        let window = self.policy.after?;
+        let oldest = self.oldest_unsynced?;
+        Some(window.saturating_sub(oldest.elapsed()))
     }
 
     /// Truncates the log back to a fresh header extending `base_epoch` —
@@ -301,6 +376,7 @@ impl WalWriter {
         self.file.sync_all()?;
         self.records = 0;
         self.unsynced = 0;
+        self.oldest_unsynced = None;
         self.base_epoch = base_epoch;
         Ok(())
     }
@@ -343,7 +419,7 @@ mod tests {
     #[test]
     fn append_read_roundtrip() {
         let path = temp_path("roundtrip.wal");
-        let mut w = WalWriter::create(&path, 0xFEED, 3, 2).unwrap();
+        let mut w = WalWriter::create(&path, 0xFEED, 3, SyncPolicy::every(2)).unwrap();
         let records = vec![
             record(4, WalOp::Insert { prob: 0.5 }),
             record(5, WalOp::Delete),
@@ -369,7 +445,7 @@ mod tests {
     #[test]
     fn torn_tail_is_detected_and_truncated_on_reopen() {
         let path = temp_path("torn.wal");
-        let mut w = WalWriter::create(&path, 1, 0, 1).unwrap();
+        let mut w = WalWriter::create(&path, 1, 0, SyncPolicy::default()).unwrap();
         w.append(&record(1, WalOp::Insert { prob: 0.5 })).unwrap();
         w.append(&record(2, WalOp::Insert { prob: 0.9 })).unwrap();
         drop(w);
@@ -383,7 +459,7 @@ mod tests {
         assert!(contents.torn);
 
         // Reopening truncates the tear; the next append lands cleanly.
-        let mut w = WalWriter::open_appending(&path, &contents, 1).unwrap();
+        let mut w = WalWriter::open_appending(&path, &contents, SyncPolicy::default()).unwrap();
         assert_eq!(w.records(), 1);
         w.append(&record(2, WalOp::Delete)).unwrap();
         let contents = read(&path).unwrap().unwrap();
@@ -396,7 +472,7 @@ mod tests {
     #[test]
     fn corrupt_record_stops_parsing_mid_file() {
         let path = temp_path("corrupt.wal");
-        let mut w = WalWriter::create(&path, 1, 0, 1).unwrap();
+        let mut w = WalWriter::create(&path, 1, 0, SyncPolicy::default()).unwrap();
         for e in 1..=3 {
             w.append(&record(e, WalOp::Insert { prob: 0.5 })).unwrap();
         }
@@ -415,7 +491,7 @@ mod tests {
     #[test]
     fn reset_rewrites_the_header() {
         let path = temp_path("reset.wal");
-        let mut w = WalWriter::create(&path, 7, 0, 4).unwrap();
+        let mut w = WalWriter::create(&path, 7, 0, SyncPolicy::every(4)).unwrap();
         w.append(&record(1, WalOp::Insert { prob: 0.5 })).unwrap();
         w.reset(7, 9).unwrap();
         assert_eq!(w.records(), 0);
@@ -426,6 +502,30 @@ mod tests {
         assert_eq!(contents.base_epoch, 9);
         assert_eq!(contents.records.len(), 1);
         assert_eq!(contents.records[0].epoch, 10);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn group_commit_policy_batches_until_a_threshold_fires() {
+        let path = temp_path("groupcommit.wal");
+        // Long window, no count cap: appends accumulate unsynced.
+        let mut w =
+            WalWriter::create(&path, 1, 0, SyncPolicy::after_ms(usize::MAX, 60_000)).unwrap();
+        assert_eq!(w.sync_due_in(), None, "nothing pending yet");
+        w.append(&record(1, WalOp::Insert { prob: 0.5 })).unwrap();
+        w.append(&record(2, WalOp::Delete)).unwrap();
+        assert_eq!(w.unsynced(), 2);
+        let due = w.sync_due_in().expect("deadline armed by the append");
+        assert!(due <= Duration::from_secs(60));
+        w.sync().unwrap();
+        assert_eq!(w.unsynced(), 0);
+        assert_eq!(w.sync_due_in(), None);
+
+        // A zero-length window syncs on every append (time threshold
+        // fires immediately), independent of the count cap.
+        let mut w = WalWriter::create(&path, 1, 0, SyncPolicy::after_ms(usize::MAX, 0)).unwrap();
+        w.append(&record(1, WalOp::Insert { prob: 0.5 })).unwrap();
+        assert_eq!(w.unsynced(), 0);
         std::fs::remove_file(&path).unwrap();
     }
 

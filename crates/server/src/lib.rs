@@ -27,12 +27,16 @@
 //!   `snapshot + WAL tail` instead of re-reasoning — warm in
 //!   load-the-file time, bitwise-identical answers.
 //!
-//! [`server::Server`] puts a session behind a `TcpListener` speaking the
-//! line protocol of [`protocol`] (`QUERY` / `INSERT` / `UPDATE` /
-//! `DELETE` / `SNAPSHOT` / `STATS` / `PING`), with one worker thread
-//! owning the session and one thread per connection doing socket I/O.
-//! See `docs/server.md` for the wire format and a `printf | nc` example
-//! session, and `docs/persistence.md` for the durability story.
+//! [`server::Server`] puts a [`server::RequestHandler`] behind a
+//! `TcpListener` speaking the line protocol of [`protocol`] (`QUERY` /
+//! `INSERT` / `UPDATE` / `DELETE` / `SNAPSHOT` / `STATS` / `PING`),
+//! with one thread per connection doing socket I/O. The default handler
+//! is [`server::SessionHandle`] — one worker thread owning one session;
+//! `ltg-shard`'s `ShardedService` plugs a whole session pool into the
+//! same front-end (`ltgs serve --shards N`). See `docs/server.md` for
+//! the wire format and a `printf | nc` example session,
+//! `docs/persistence.md` for the durability story, and
+//! `docs/sharding.md` for the pool.
 
 pub mod cache;
 pub mod protocol;
@@ -42,8 +46,8 @@ pub mod session;
 pub use cache::{CacheBudget, QueryCache};
 pub use ltg_persist::{BootMode, BootReport};
 pub use protocol::Command;
-pub use server::Server;
+pub use server::{RequestHandler, Server, SessionHandle};
 pub use session::{
-    Answer, BootError, DeleteResponse, DurabilityOptions, InsertResponse, Session, SessionError,
-    SessionOptions,
+    atom_shape, Answer, AtomShape, BootError, DeleteResponse, DurabilityOptions, InsertResponse,
+    Session, SessionError, SessionOptions, UpdateResponse,
 };

@@ -14,33 +14,39 @@ use ltg_datalog::Program;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::mpsc;
+use std::sync::Arc;
 use std::thread;
+
+/// Anything that can answer one protocol line with one complete wire
+/// response. Connection threads call [`RequestHandler::handle`]
+/// concurrently; implementations serialize (or shard) the underlying
+/// engine access themselves. [`SessionHandle`] is the single-session
+/// implementation; `ltg-shard`'s `ShardedService` routes to a pool.
+pub trait RequestHandler: Send + Sync + 'static {
+    /// Answers one request line (newline-terminated response, `OK …` or
+    /// `ERR …`).
+    fn handle(&self, line: &str) -> String;
+}
 
 /// One forwarded request: a raw line plus the channel for the rendered
 /// response.
-struct Job {
+pub(crate) struct Job {
     line: String,
     reply: mpsc::Sender<String>,
 }
 
-/// A listening server whose session worker is already warm (the program
-/// is reasoned to fixpoint during [`Server::start`]).
-pub struct Server {
-    listener: TcpListener,
+/// A warm single-session worker behind a channel: the engine's lineage
+/// structures are `Rc`-shared, so the [`Session`] lives on one actor
+/// thread and [`RequestHandler::handle`] forwards lines to it.
+pub struct SessionHandle {
     jobs: mpsc::Sender<Job>,
 }
 
-impl Server {
-    /// Binds `addr`, spawns the session worker, and blocks until the
-    /// initial reasoning pass finishes (so the first request is served
-    /// warm). Port 0 picks a free port — read it back with
-    /// [`Server::local_addr`].
-    pub fn start(
-        addr: impl ToSocketAddrs,
-        program: Program,
-        opts: SessionOptions,
-    ) -> io::Result<Server> {
-        let listener = TcpListener::bind(addr)?;
+impl SessionHandle {
+    /// Boots a session on a fresh worker thread and blocks until its
+    /// initial reasoning pass (or snapshot restore) finishes. The boot
+    /// story is logged to stderr.
+    pub fn start(program: Program, opts: SessionOptions) -> io::Result<SessionHandle> {
         let (jobs, rx) = mpsc::channel::<Job>();
         let (ready_tx, ready_rx) = mpsc::channel::<Result<(), String>>();
         thread::Builder::new()
@@ -67,18 +73,113 @@ impl Server {
                         return;
                     }
                 };
-                while let Ok(job) = rx.recv() {
-                    let response = respond(&mut session, &job.line);
-                    let _ = job.reply.send(response);
-                }
+                session_worker(&mut session, &rx);
                 // Channel closed: graceful shutdown. Dropping the
                 // session syncs the WAL and writes the final snapshot.
             })?;
         match ready_rx.recv() {
-            Ok(Ok(())) => Ok(Server { listener, jobs }),
+            Ok(Ok(())) => Ok(SessionHandle { jobs }),
             Ok(Err(msg)) => Err(io::Error::other(format!("initial reasoning failed: {msg}"))),
             Err(_) => Err(io::Error::other("session worker died during startup")),
         }
+    }
+}
+
+impl RequestHandler for SessionHandle {
+    fn handle(&self, line: &str) -> String {
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let sent = self.jobs.send(Job {
+            line: line.to_string(),
+            reply: reply_tx,
+        });
+        match sent {
+            Ok(()) => reply_rx
+                .recv()
+                .unwrap_or_else(|_| "ERR session worker unavailable\n".to_string()),
+            Err(_) => "ERR session worker unavailable\n".to_string(),
+        }
+    }
+}
+
+/// The session actor loop: serve jobs until the channel closes, waking
+/// early to honor the WAL's group-commit window — with
+/// `--fsync-after-ms`, a mutation burst shares one fsync and the tail
+/// is flushed within the window even if no further request arrives.
+/// Generic over the job vocabulary so session pools (`ltg-shard`)
+/// drive their workers through the exact same flush discipline.
+pub fn drive_session<J>(
+    session: &mut Session,
+    rx: &mpsc::Receiver<J>,
+    mut handle: impl FnMut(&mut Session, J),
+) {
+    loop {
+        let job = match session.wal_flush_due_in() {
+            Some(due) => match rx.recv_timeout(due) {
+                Ok(job) => job,
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    session.flush_wal();
+                    continue;
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => return,
+            },
+            None => match rx.recv() {
+                Ok(job) => job,
+                Err(_) => return,
+            },
+        };
+        handle(session, job);
+    }
+}
+
+pub(crate) fn session_worker(session: &mut Session, rx: &mpsc::Receiver<Job>) {
+    drive_session(session, rx, |session, job: Job| {
+        let response = respond(session, &job.line);
+        let _ = job.reply.send(response);
+    });
+}
+
+/// A listening server whose request handler is already warm (engines
+/// are reasoned to fixpoint before [`Server::start`] /
+/// [`Server::with_handler`] return).
+pub struct Server {
+    listener: TcpListener,
+    handler: Arc<dyn RequestHandler>,
+}
+
+impl Server {
+    /// Binds `addr` and puts a single warm [`Session`] behind it (see
+    /// [`SessionHandle::start`]). The bind happens *first*, so an
+    /// occupied port fails in milliseconds instead of after the initial
+    /// reasoning pass. Port 0 picks a free port — read it back with
+    /// [`Server::local_addr`].
+    pub fn start(
+        addr: impl ToSocketAddrs,
+        program: Program,
+        opts: SessionOptions,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let handler = SessionHandle::start(program, opts)?;
+        Ok(Server {
+            listener,
+            handler: Arc::new(handler),
+        })
+    }
+
+    /// Binds `addr` in front of an arbitrary request handler (the
+    /// sharded service uses this). Callers that want bind-errors before
+    /// paying for an expensive handler boot should bind the listener
+    /// themselves and use [`Server::from_listener`].
+    pub fn with_handler(
+        addr: impl ToSocketAddrs,
+        handler: Arc<dyn RequestHandler>,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Server { listener, handler })
+    }
+
+    /// Puts a handler behind an already-bound listener.
+    pub fn from_listener(listener: TcpListener, handler: Arc<dyn RequestHandler>) -> Server {
+        Server { listener, handler }
     }
 
     /// The bound address (useful with port 0).
@@ -100,11 +201,11 @@ impl Server {
                     continue;
                 }
             };
-            let jobs = self.jobs.clone();
+            let handler = self.handler.clone();
             let _ = thread::Builder::new()
                 .name("ltgs-conn".into())
                 .spawn(move || {
-                    let _ = serve_connection(stream, jobs);
+                    let _ = serve_connection(stream, &*handler);
                 });
         }
         Ok(())
@@ -112,8 +213,8 @@ impl Server {
 }
 
 /// Reads request lines until EOF or `QUIT`, forwarding each to the
-/// session worker and writing the response back.
-fn serve_connection(stream: TcpStream, jobs: mpsc::Sender<Job>) -> io::Result<()> {
+/// handler and writing the response back.
+fn serve_connection(stream: TcpStream, handler: &dyn RequestHandler) -> io::Result<()> {
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
     let mut line = String::new();
@@ -130,17 +231,7 @@ fn serve_connection(stream: TcpStream, jobs: mpsc::Sender<Job>) -> io::Result<()
             writer.write_all(b"OK bye\n")?;
             return Ok(());
         }
-        let (reply_tx, reply_rx) = mpsc::channel();
-        let sent = jobs.send(Job {
-            line: trimmed.to_string(),
-            reply: reply_tx,
-        });
-        let response = match sent {
-            Ok(()) => reply_rx
-                .recv()
-                .unwrap_or_else(|_| "ERR session worker unavailable\n".to_string()),
-            Err(_) => "ERR session worker unavailable\n".to_string(),
-        };
+        let response = handler.handle(trimmed);
         writer.write_all(response.as_bytes())?;
         writer.flush()?;
     }
@@ -179,42 +270,19 @@ pub fn respond(session: &mut Session, line: &str) -> String {
             Err(e) => format!("ERR {e}\n"),
         },
         Command::Insert { prob, atom } => match session.insert(prob, &atom) {
-            Ok(InsertResponse::Inserted { epoch }) => format!("OK inserted epoch={epoch}\n"),
-            Ok(InsertResponse::Duplicate { prob }) => {
-                format!("OK duplicate p={prob:.6}\n")
-            }
-            Ok(InsertResponse::Conflict { existing }) => {
-                format!("ERR conflict: fact already has p={existing:.6}; use UPDATE to change it\n")
-            }
+            Ok(r) => render_insert(&r),
             Err(e) => format!("ERR {e}\n"),
         },
         Command::Update { prob, atom } => match session.update(prob, &atom) {
-            Ok(r) => format!(
-                "OK updated p={:.6} -> {:.6} epoch={}\n",
-                r.old, r.new, r.epoch
-            ),
+            Ok(r) => render_update(&r),
             Err(e) => format!("ERR {e}\n"),
         },
         Command::Delete { atoms } if atoms.len() == 1 => match session.delete(&atoms[0]) {
-            Ok(DeleteResponse::Deleted { prob, epoch }) => {
-                format!("OK deleted p={prob:.6} epoch={epoch}\n")
-            }
-            Ok(DeleteResponse::Missing) => "OK missing\n".into(),
+            Ok(r) => render_delete_single(&r),
             Err(e) => format!("ERR {e}\n"),
         },
         Command::Delete { atoms } => match session.delete_batch(&atoms) {
-            Ok(responses) => {
-                let mut out = format!("OK {}\n", responses.len());
-                for r in responses {
-                    match r {
-                        DeleteResponse::Deleted { prob, epoch } => {
-                            out.push_str(&format!("deleted p={prob:.6} epoch={epoch}\n"))
-                        }
-                        DeleteResponse::Missing => out.push_str("missing\n"),
-                    }
-                }
-                out
-            }
+            Ok(responses) => render_delete_batch(&responses),
             Err(e) => format!("ERR {e}\n"),
         },
         Command::Snapshot { info: true } => {
@@ -233,6 +301,53 @@ pub fn respond(session: &mut Session, line: &str) -> String {
             Err(e) => format!("ERR {e}\n"),
         },
     }
+}
+
+/// Renders an [`InsertResponse`] exactly as the wire expects. Shared
+/// with the sharded router, which substitutes a *global* epoch into the
+/// response before rendering — one copy of the format strings keeps the
+/// two services byte-compatible by construction.
+pub fn render_insert(r: &InsertResponse) -> String {
+    match r {
+        InsertResponse::Inserted { epoch } => format!("OK inserted epoch={epoch}\n"),
+        InsertResponse::Duplicate { prob } => format!("OK duplicate p={prob:.6}\n"),
+        InsertResponse::Conflict { existing } => {
+            format!("ERR conflict: fact already has p={existing:.6}; use UPDATE to change it\n")
+        }
+    }
+}
+
+/// Renders an [`UpdateResponse`] (see [`render_insert`] for why this is
+/// shared).
+pub fn render_update(r: &crate::session::UpdateResponse) -> String {
+    format!(
+        "OK updated p={:.6} -> {:.6} epoch={}\n",
+        r.old, r.new, r.epoch
+    )
+}
+
+/// Renders a single-atom `DELETE` response (see [`render_insert`]).
+pub fn render_delete_single(r: &DeleteResponse) -> String {
+    match r {
+        DeleteResponse::Deleted { prob, epoch } => {
+            format!("OK deleted p={prob:.6} epoch={epoch}\n")
+        }
+        DeleteResponse::Missing => "OK missing\n".into(),
+    }
+}
+
+/// Renders a multi-atom `DELETE` batch response (see [`render_insert`]).
+pub fn render_delete_batch(responses: &[DeleteResponse]) -> String {
+    let mut out = format!("OK {}\n", responses.len());
+    for r in responses {
+        match r {
+            DeleteResponse::Deleted { prob, epoch } => {
+                out.push_str(&format!("deleted p={prob:.6} epoch={epoch}\n"))
+            }
+            DeleteResponse::Missing => out.push_str("missing\n"),
+        }
+    }
+    out
 }
 
 #[cfg(test)]

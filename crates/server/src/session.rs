@@ -37,6 +37,12 @@ pub struct DurabilityOptions {
     /// record; larger values batch the syncs and bound the mutations a
     /// crash may forfeit).
     pub fsync_every: usize,
+    /// Time-based group commit: fsync once the oldest unsynced WAL
+    /// record has waited this many milliseconds, whichever of the two
+    /// thresholds fires first (`None`: count-based batching only). The
+    /// session worker drives the timer between requests, so a burst
+    /// shares one fsync and an idle tail is flushed within the window.
+    pub fsync_after_ms: Option<u64>,
     /// Write a checkpoint automatically once the WAL holds this many
     /// records (0 = only on the `SNAPSHOT` verb and shutdown).
     pub snapshot_every: u64,
@@ -49,7 +55,16 @@ impl DurabilityOptions {
         DurabilityOptions {
             dir: dir.into(),
             fsync_every: 1,
+            fsync_after_ms: None,
             snapshot_every: 1024,
+        }
+    }
+
+    /// The [`ltg_persist::SyncPolicy`] these options describe.
+    pub fn sync_policy(&self) -> ltg_persist::SyncPolicy {
+        match self.fsync_after_ms {
+            Some(ms) => ltg_persist::SyncPolicy::after_ms(self.fsync_every, ms),
+            None => ltg_persist::SyncPolicy::every(self.fsync_every),
         }
     }
 }
@@ -266,7 +281,7 @@ impl Session {
         let (engine, wal, report) = match &opts.durability {
             Some(d) => {
                 let durable =
-                    ltg_persist::boot(&d.dir, program, opts.config.clone(), d.fsync_every)?;
+                    ltg_persist::boot(&d.dir, program, opts.config.clone(), d.sync_policy())?;
                 (durable.engine, Some(durable.wal), durable.report)
             }
             None => {
@@ -630,7 +645,12 @@ impl Session {
             .ok_or_else(|| SessionError::UnknownFact(atom_text.trim().to_string()))?;
         match self.engine.update_prob(fact, prob) {
             Ok(Some(old)) => {
-                self.log_mutation(sp, &args, WalOp::Update { prob });
+                // A no-change update commits nothing: the database skips
+                // the epoch bump (dependent cache entries stay warm) and
+                // logging it would stamp a stale epoch into the WAL.
+                if old.to_bits() != prob.to_bits() {
+                    self.log_mutation(sp, &args, WalOp::Update { prob });
+                }
                 self.stats.updates += 1;
                 self.maybe_checkpoint();
                 Ok(UpdateResponse {
@@ -755,6 +775,32 @@ impl Session {
         self.wal.is_some()
     }
 
+    /// Time until the WAL's group-commit window expires (`Some(0)` =
+    /// overdue). `None` when nothing is pending or no time-based policy
+    /// is configured. The worker loop uses this as its `recv_timeout`
+    /// so idle tails are flushed within the window.
+    pub fn wal_flush_due_in(&self) -> Option<std::time::Duration> {
+        if self.wal_broken {
+            return None;
+        }
+        self.wal.as_ref().and_then(|w| w.sync_due_in())
+    }
+
+    /// Forces unsynced WAL records to disk now (the group-commit timer
+    /// path). A failure suspends durability exactly like a failed
+    /// append.
+    pub fn flush_wal(&mut self) {
+        if self.wal_broken {
+            return;
+        }
+        if let Some(wal) = &mut self.wal {
+            if let Err(e) = wal.sync() {
+                eprintln!("ltgs: WAL sync failed ({e}); durability suspended");
+                self.wal_broken = true;
+            }
+        }
+    }
+
     /// Simulates a WAL append failure (the suspension path is otherwise
     /// only reachable through real I/O errors).
     #[cfg(test)]
@@ -789,6 +835,44 @@ impl Drop for Session {
             let _ = self.checkpoint_inner();
         }
     }
+}
+
+/// The routing-relevant shape of an atom text: which predicate it
+/// names, and whether it is ground. Produced by [`atom_shape`] with the
+/// session's own tokenizer, so shape errors are bitwise-identical to
+/// what a [`Session`] would report for the same text.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AtomShape {
+    /// The predicate name.
+    pub name: String,
+    /// The argument count.
+    pub arity: usize,
+    /// The first variable argument (`None` for ground atoms) — routers
+    /// that must reject non-ground mutations up front reproduce the
+    /// session's `fact must be ground` message from it.
+    pub first_var: Option<String>,
+}
+
+impl AtomShape {
+    /// The `name/arity` key, as rendered in `unknown predicate` errors.
+    pub fn key(&self) -> String {
+        format!("{}/{}", self.name, self.arity)
+    }
+}
+
+/// Parses the predicate shape of an atom text without resolving it
+/// against any engine — the routing front half of the session's own
+/// ground-atom parser.
+pub fn atom_shape(text: &str) -> Result<AtomShape, SessionError> {
+    let (name, args) = parse_atom_text(text)?;
+    Ok(AtomShape {
+        name,
+        arity: args.len(),
+        first_var: args
+            .iter()
+            .find(|a| a.is_variable())
+            .map(|a| a.text.clone()),
+    })
 }
 
 /// One parsed argument token. Quoted tokens are always constants —
@@ -1301,6 +1385,127 @@ mod tests {
         assert_eq!(report.mode, BootMode::Warm);
         assert_eq!(s2.engine().db().epoch(), 3);
         drop(s2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn group_commit_batches_and_flushes_on_deadline() {
+        let dir = temp_data_dir("groupcommit");
+        let program = parse_program(EXAMPLE1).unwrap();
+        let opts = SessionOptions {
+            durability: Some(DurabilityOptions {
+                dir: dir.clone(),
+                fsync_every: usize::MAX,
+                fsync_after_ms: Some(30_000),
+                snapshot_every: 0,
+            }),
+            ..SessionOptions::default()
+        };
+        let (mut s, _) = Session::boot(&program, opts).unwrap();
+        // With a long window and no count threshold, appends batch.
+        s.insert(0.9, "e(a, d)").unwrap();
+        s.insert(0.4, "e(d, b)").unwrap();
+        let lines = s.snapshot_info_lines();
+        let unsynced: u64 = lines
+            .iter()
+            .find(|(k, _)| *k == "wal_unsynced")
+            .unwrap()
+            .1
+            .parse()
+            .unwrap();
+        assert_eq!(unsynced, 2, "a pending group-commit batch");
+        let due = s.wal_flush_due_in().expect("a flush deadline is armed");
+        assert!(due <= std::time::Duration::from_secs(30));
+        // The worker-loop flush path forces the batch to disk.
+        s.flush_wal();
+        assert_eq!(s.wal_flush_due_in(), None);
+        let lines = s.snapshot_info_lines();
+        assert!(lines.iter().any(|(k, v)| *k == "wal_unsynced" && v == "0"));
+        drop(s);
+
+        // Nothing was lost: the batch is in the snapshot/WAL history.
+        let (s2, report) = Session::boot(&program, durable_opts(&dir)).unwrap();
+        assert_eq!(report.mode, BootMode::Warm);
+        assert_eq!(s2.engine().db().epoch(), 2);
+        drop(s2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Two independent rule components in one session: mutating one
+    /// must leave the other's cached queries warm — the invalidation
+    /// granularity the sharded service's per-shard caches rely on when
+    /// several components hash onto the same shard.
+    #[test]
+    fn mutation_invalidates_only_its_own_component() {
+        let program = parse_program(
+            "0.5 :: e1(a, b). 0.6 :: e1(b, c).
+             0.7 :: e2(a, b). 0.8 :: e2(b, c).
+             p1(X, Y) :- e1(X, Y).
+             p1(X, Y) :- p1(X, Z), p1(Z, Y).
+             p2(X, Y) :- e2(X, Y).
+             p2(X, Y) :- p2(X, Z), p2(Z, Y).",
+        )
+        .unwrap();
+        let mut s = Session::new(&program, SessionOptions::default()).unwrap();
+        let warm1 = s.query("p1(a, X)").unwrap();
+        let warm2 = s.query("p2(a, X)").unwrap();
+        assert_eq!(s.cache_stats().misses, 2);
+
+        // Insert, delete and update in component 2 only.
+        s.insert(0.9, "e2(c, d)").unwrap();
+        s.delete("e2(c, d)").unwrap();
+        s.update(0.65, "e2(a, b)").unwrap();
+
+        // Component 1's entry is still warm (same Rc), component 2's
+        // was invalidated and recomputes.
+        let again1 = s.query("p1(a, X)").unwrap();
+        assert!(Rc::ptr_eq(&warm1, &again1), "component 1 stayed cached");
+        let again2 = s.query("p2(a, X)").unwrap();
+        assert!(!Rc::ptr_eq(&warm2, &again2), "component 2 recomputed");
+        let cs = s.cache_stats();
+        assert_eq!(cs.hits, 1);
+        assert_eq!(cs.invalidations, 1);
+    }
+
+    /// Re-`UPDATE`ing a fact to its stored probability commits nothing:
+    /// no epoch bump, no WAL record, and — the granularity fix — no
+    /// spurious invalidation of dependent cached queries.
+    #[test]
+    fn no_change_update_does_not_invalidate_or_log() {
+        let dir = temp_data_dir("nochange");
+        let program = parse_program(EXAMPLE1).unwrap();
+        let (mut s, _) = Session::boot(&program, durable_opts(&dir)).unwrap();
+        let warm = s.query("p(a, b)").unwrap();
+        let epoch_before = s.engine().db().epoch();
+        let wal_before = s
+            .snapshot_info_lines()
+            .iter()
+            .find(|(k, _)| *k == "wal_records")
+            .unwrap()
+            .1
+            .clone();
+
+        let resp = s.update(0.5, "e(a, b)").unwrap();
+        assert_eq!(resp.old, 0.5);
+        assert_eq!(resp.new, 0.5);
+        assert_eq!(resp.epoch, epoch_before, "no epoch bump");
+        let again = s.query("p(a, b)").unwrap();
+        assert!(Rc::ptr_eq(&warm, &again), "cache entry stayed warm");
+        assert_eq!(s.cache_stats().invalidations, 0);
+        let wal_after = s
+            .snapshot_info_lines()
+            .iter()
+            .find(|(k, _)| *k == "wal_records")
+            .unwrap()
+            .1
+            .clone();
+        assert_eq!(wal_before, wal_after, "nothing was logged");
+        // A *changing* update still invalidates.
+        s.update(0.9, "e(a, b)").unwrap();
+        assert_eq!(s.engine().db().epoch(), epoch_before + 1);
+        s.query("p(a, b)").unwrap();
+        assert_eq!(s.cache_stats().invalidations, 1);
+        drop(s);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

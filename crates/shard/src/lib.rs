@@ -1,0 +1,35 @@
+//! `ltg-shard` — the sharded session pool.
+//!
+//! The resident query service of `ltg-server` funnels every request
+//! through one worker thread owning one engine, because the engine's
+//! lineage structures are `Rc`-shared. This crate scales it across
+//! cores *without* making the engine concurrent: it partitions the
+//! **program** instead of the state.
+//!
+//! * [`plan::ShardPlan`] splits a program along the connected
+//!   components of its rule-dependency graph (predicates joined by any
+//!   rule colocate — see [`ltg_datalog::DependencyGraph::components`]),
+//!   hashes components onto `--shards N` slots deterministically, and
+//!   emits one order-preserving sub-program per slot. Components never
+//!   interact during reasoning, so the split is exact: no
+//!   approximation, no cross-shard joins, bitwise the single-session
+//!   answers.
+//! * [`service::ShardedService`] runs one [`ltg_server::Session`]
+//!   worker per slot (own engine, own query cache, own
+//!   `data-dir/shard-K/` snapshot + WAL) behind a stateless router that
+//!   connection threads call concurrently: requests are routed by
+//!   predicate, `STATS`/`SNAPSHOT` scatter-gather, and the global
+//!   mutation epoch is reconstructed as the sum of per-shard epochs.
+//!
+//! The locally-groundable observation this rests on is the same one
+//! ProPPR-style grounding and factor-graph databases exploit:
+//! independent fragments of a probabilistic program can be reasoned in
+//! parallel exactly. The differential harness in `ltg-testkit` checks
+//! the sharded service wire-for-wire against a single session over
+//! random multi-component programs and mutation scripts.
+
+pub mod plan;
+pub mod service;
+
+pub use plan::ShardPlan;
+pub use service::{ShardBootError, ShardedBootReport, ShardedOptions, ShardedService};

@@ -1,0 +1,290 @@
+//! The shard planner: partition a program into independent fragments.
+//!
+//! Predicates joined by any rule — in the head or anywhere in the
+//! premise, directly or transitively — must be reasoned together: their
+//! facts join, their lineages mix, their query results depend on each
+//! other. Predicates in *different* connected components of the
+//! (undirected) rule-dependency graph never interact at all. Splitting
+//! a program along those components is therefore **exact**: each
+//! fragment reasons independently and produces bitwise the answers the
+//! whole program would.
+//!
+//! The planner computes the components on the *canonical* program (the
+//! form the engine executes — `p@edb` shadows and `e@idb` aliases are
+//! linked to their originals by copy rules, so canonicalization never
+//! merges or splits components) and assigns each component to one of
+//! `n_shards` slots by hashing a stable key: the sorted `name/arity`
+//! strings of its member predicates. The assignment is deterministic
+//! across processes and restarts — a durable shard finds its own
+//! snapshot in `data-dir/shard-K/` again as long as the program and
+//! `--shards N` are unchanged (a changed `N` re-partitions; the
+//! per-shard program fingerprints then reject stale snapshots and the
+//! affected shards boot cold).
+//!
+//! Each slot gets a **sub-program**: the input program's rules, facts
+//! and queries filtered to the slot's components, *in their original
+//! order*, with the full symbol and predicate tables shared verbatim.
+//! Keeping the tables and the relative order intact means a fragment
+//! engine interns facts in the same relative sequence as a whole-program
+//! engine — the property the bitwise differential harness leans on —
+//! and a 1-shard plan's slot 0 is literally the input program.
+
+use ltg_datalog::fxhash::{fx_hash_bytes, FxHashMap};
+use ltg_datalog::{canonicalize, DependencyGraph, PredId, Program};
+
+/// A partition of a program onto `n_shards` session slots.
+pub struct ShardPlan {
+    n_shards: usize,
+    /// Input-program predicate table size (routing keys are resolved
+    /// against the input program).
+    pred_slot: Vec<usize>,
+    /// Routing table: `name/arity` → slot, for every input predicate.
+    by_key: FxHashMap<(String, usize), usize>,
+    /// Per-predicate: false when the predicate is derived by rules and
+    /// has no `@edb` shadow — i.e. INSERT/DELETE must be refused. The
+    /// router uses this to pre-validate batches that span shards.
+    insertable: Vec<bool>,
+    /// One sub-program per slot.
+    programs: Vec<Program>,
+    /// Component id per input predicate.
+    component_of: Vec<u32>,
+    /// Number of rule components in the input program.
+    n_components: usize,
+}
+
+impl ShardPlan {
+    /// Plans `program` onto `n_shards` slots (at least 1).
+    pub fn build(program: &Program, n_shards: usize) -> ShardPlan {
+        let n_shards = n_shards.max(1);
+        let canonical = canonicalize(program);
+        let deps = DependencyGraph::build(&canonical.program);
+        let (comp, n_components) = deps.components();
+
+        let n_input = program.preds.len();
+        // Canonicalization appends fresh predicates after the input
+        // ones; input ids are preserved, so the projection is a prefix.
+        let component_of: Vec<u32> = comp[..n_input].to_vec();
+
+        // Stable component keys: sorted `name/arity` of the *input*
+        // members (generated aliases would make the key depend on
+        // canonicalization internals).
+        let mut members: Vec<Vec<String>> = vec![Vec::new(); n_components];
+        for (i, &c) in component_of.iter().enumerate() {
+            let p = PredId(i as u32);
+            members[c as usize].push(format!(
+                "{}/{}",
+                program.preds.name(p),
+                program.preds.arity(p)
+            ));
+        }
+        let component_slot: Vec<usize> = members
+            .iter()
+            .map(|m| {
+                let mut key = m.clone();
+                key.sort();
+                (fx_hash_bytes(key.join(",").as_bytes()) % n_shards as u64) as usize
+            })
+            .collect();
+
+        let pred_slot: Vec<usize> = component_of
+            .iter()
+            .map(|&c| component_slot[c as usize])
+            .collect();
+        let by_key: FxHashMap<(String, usize), usize> = (0..n_input)
+            .map(|i| {
+                let p = PredId(i as u32);
+                (
+                    (program.preds.name(p).to_string(), program.preds.arity(p)),
+                    pred_slot[i],
+                )
+            })
+            .collect();
+
+        // INSERT/DELETE eligibility, mirroring `LtgEngine::can_insert`:
+        // extensional predicates and mixed predicates (facts moved to a
+        // `p@edb` shadow) accept mutations; pure-IDB predicates do not.
+        let idb = canonical.program.idb_mask();
+        let insertable: Vec<bool> = (0..n_input)
+            .map(|i| {
+                let p = PredId(i as u32);
+                !idb[p.index()] || canonical.edb_shadow.contains_key(&p)
+            })
+            .collect();
+
+        // Order-preserving sub-programs over the shared tables.
+        let programs: Vec<Program> = (0..n_shards)
+            .map(|slot| Program {
+                symbols: program.symbols.clone(),
+                preds: program.preds.clone(),
+                rules: program
+                    .rules
+                    .iter()
+                    .filter(|r| pred_slot[r.head.pred.index()] == slot)
+                    .cloned()
+                    .collect(),
+                facts: program
+                    .facts
+                    .iter()
+                    .filter(|(f, _)| pred_slot[f.pred.index()] == slot)
+                    .cloned()
+                    .collect(),
+                queries: program
+                    .queries
+                    .iter()
+                    .filter(|q| pred_slot[q.pred.index()] == slot)
+                    .cloned()
+                    .collect(),
+            })
+            .collect();
+
+        ShardPlan {
+            n_shards,
+            pred_slot,
+            by_key,
+            insertable,
+            programs,
+            component_of,
+            n_components,
+        }
+    }
+
+    /// Number of slots.
+    pub fn n_shards(&self) -> usize {
+        self.n_shards
+    }
+
+    /// Number of rule components in the input program.
+    pub fn n_components(&self) -> usize {
+        self.n_components
+    }
+
+    /// The slot owning `name/arity`, or `None` for a predicate the
+    /// program does not mention.
+    pub fn slot_of(&self, name: &str, arity: usize) -> Option<usize> {
+        self.by_key.get(&(name.to_string(), arity)).copied()
+    }
+
+    /// The slot owning an input-program predicate.
+    pub fn slot_of_pred(&self, pred: PredId) -> usize {
+        self.pred_slot[pred.index()]
+    }
+
+    /// The component of an input-program predicate.
+    pub fn component_of(&self, pred: PredId) -> u32 {
+        self.component_of[pred.index()]
+    }
+
+    /// True when the predicate accepts INSERT/DELETE (extensional or
+    /// mixed).
+    pub fn is_insertable(&self, pred: PredId) -> bool {
+        self.insertable[pred.index()]
+    }
+
+    /// The sub-program of a slot.
+    pub fn program(&self, slot: usize) -> &Program {
+        &self.programs[slot]
+    }
+
+    /// The sub-programs, slot order.
+    pub fn programs(&self) -> &[Program] {
+        &self.programs
+    }
+
+    /// Resolves an input-program predicate id by key.
+    pub fn lookup(&self, name: &str, arity: usize) -> Option<PredId> {
+        // Every slot shares the input predicate table; use slot 0.
+        self.programs[0].preds.lookup(name, arity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltg_datalog::parse_program;
+
+    const TWO_ISLANDS: &str = "
+        0.5 :: e1(a, b). 0.6 :: e1(b, c).
+        0.7 :: e2(a, b). 0.8 :: e2(b, c).
+        p1(X, Y) :- e1(X, Y).
+        p1(X, Y) :- p1(X, Z), p1(Z, Y).
+        p2(X, Y) :- e2(X, Y).
+        p2(X, Y) :- p2(X, Z), p2(Z, Y).
+    ";
+
+    #[test]
+    fn components_route_together_and_programs_partition() {
+        let program = parse_program(TWO_ISLANDS).unwrap();
+        let plan = ShardPlan::build(&program, 2);
+        assert_eq!(plan.n_components(), 2);
+        assert_eq!(plan.slot_of("e1", 2), plan.slot_of("p1", 2));
+        assert_eq!(plan.slot_of("e2", 2), plan.slot_of("p2", 2));
+        assert_eq!(plan.slot_of("nope", 2), None);
+
+        // Every rule and fact lands in exactly one slot, order kept.
+        let total_rules: usize = plan.programs().iter().map(|p| p.rules.len()).sum();
+        let total_facts: usize = plan.programs().iter().map(|p| p.facts.len()).sum();
+        assert_eq!(total_rules, program.rules.len());
+        assert_eq!(total_facts, program.facts.len());
+        for sub in plan.programs() {
+            // Shared tables: ids resolve identically in every slot.
+            assert_eq!(sub.preds.len(), program.preds.len());
+            assert_eq!(sub.symbols.len(), program.symbols.len());
+        }
+    }
+
+    #[test]
+    fn single_shard_slot_is_the_input_program() {
+        let program = parse_program(TWO_ISLANDS).unwrap();
+        let plan = ShardPlan::build(&program, 1);
+        assert_eq!(plan.n_shards(), 1);
+        let sub = plan.program(0);
+        assert_eq!(sub.rules, program.rules);
+        assert_eq!(
+            sub.facts
+                .iter()
+                .map(|(f, p)| (f.clone(), p.to_bits()))
+                .collect::<Vec<_>>(),
+            program
+                .facts
+                .iter()
+                .map(|(f, p)| (f.clone(), p.to_bits()))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn assignment_is_deterministic_and_count_stable() {
+        let program = parse_program(TWO_ISLANDS).unwrap();
+        for n in [1, 2, 3, 4, 7] {
+            let a = ShardPlan::build(&program, n);
+            let b = ShardPlan::build(&program, n);
+            for i in 0..program.preds.len() {
+                assert_eq!(
+                    a.slot_of_pred(PredId(i as u32)),
+                    b.slot_of_pred(PredId(i as u32)),
+                    "slot assignment must be deterministic at {n} shards"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_predicates_are_insertable_pure_idb_is_not() {
+        let program = parse_program(
+            "0.5 :: m(a). 0.6 :: e(b).
+             m(X) :- e(X).
+             q(X) :- m(X).",
+        )
+        .unwrap();
+        let plan = ShardPlan::build(&program, 2);
+        let m = plan.lookup("m", 1).unwrap();
+        let e = plan.lookup("e", 1).unwrap();
+        let q = plan.lookup("q", 1).unwrap();
+        assert!(plan.is_insertable(m), "mixed predicate takes inserts");
+        assert!(plan.is_insertable(e), "EDB predicate takes inserts");
+        assert!(!plan.is_insertable(q), "pure IDB predicate refuses them");
+        // All one component here.
+        assert_eq!(plan.n_components(), 1);
+        assert_eq!(plan.component_of(m), plan.component_of(q));
+    }
+}

@@ -1,0 +1,978 @@
+//! The sharded session pool and its request router.
+//!
+//! One worker thread per shard owns a full [`ltg_server::Session`]
+//! (engine + per-shard query cache + optional snapshot/WAL under
+//! `data-dir/shard-K/`). The router holds no engine state at all:
+//! connection threads call [`ShardedService::respond`] concurrently,
+//! each request is routed to the worker owning its predicate's
+//! component, and only a tiny epoch ledger is shared behind a mutex —
+//! so requests touching different shards execute in parallel while
+//! requests within one shard serialize exactly like the single-session
+//! service.
+//!
+//! **Wire compatibility.** The sharded service speaks the same line
+//! protocol and renders the same responses as a single session over the
+//! whole program. The one global piece of state in those responses is
+//! the mutation epoch; the router reconstructs it as the *sum* of the
+//! per-shard epochs (every committed mutation advances exactly one
+//! shard's epoch by one, so the sum advances exactly like the single
+//! session's counter). `DELETE` batches that span shards are
+//! re-numbered in atom order, which is the order a single session would
+//! have committed them in.
+//!
+//! `STATS` and `SNAPSHOT` scatter-gather: counters are summed across
+//! shards under the usual keys (plus `shards` and per-shard
+//! `shard.K.<key>` lines), `SNAPSHOT` checkpoints every durable shard.
+//!
+//! One deliberate validation difference, visible only on *multi-atom*
+//! `DELETE` batches: because a batch may span shards, the router
+//! pre-validates every atom (parse, predicate, groundness, derived
+//! predicates — in atom order, the order a session checks them) before
+//! dispatching anything, so an invalid atom still fails the batch
+//! atomically and identically at every shard count. The one observable
+//! consequence: a derived-predicate atom whose constants the program
+//! has never seen is rejected here, where a single session would have
+//! reported it `missing` (it resolves constants first). Single-atom
+//! deletes are forwarded verbatim and keep the session's exact
+//! precedence.
+
+use crate::plan::ShardPlan;
+use ltg_datalog::Program;
+use ltg_persist::{BootMode, BootReport, CheckpointInfo};
+use ltg_server::protocol::parse_command;
+use ltg_server::server::{
+    render_delete_batch, render_delete_single, render_insert, render_update, respond,
+};
+use ltg_server::{
+    atom_shape, Command, DeleteResponse, DurabilityOptions, InsertResponse, RequestHandler,
+    Session, SessionOptions, UpdateResponse,
+};
+use std::fmt;
+use std::sync::mpsc;
+use std::sync::Mutex;
+use std::thread::JoinHandle;
+
+/// Construction knobs of a [`ShardedService`].
+#[derive(Clone, Debug)]
+pub struct ShardedOptions {
+    /// Number of shard slots (`--shards N`, at least 1). Components are
+    /// hashed onto slots; slots can stay empty when the program has
+    /// fewer components than shards.
+    pub shards: usize,
+    /// Per-shard session template. With durability set, its `dir` is
+    /// the *root* data directory; shard `K` persists under
+    /// `dir/shard-K/`.
+    pub session: SessionOptions,
+}
+
+/// How the pool came up: per-shard boot reports plus the aggregate the
+/// operator cares about.
+#[derive(Clone, Debug)]
+pub struct ShardedBootReport {
+    /// `Warm` iff every shard booted warm.
+    pub mode: BootMode,
+    /// WAL records replayed, summed over shards.
+    pub replayed: u64,
+    /// The per-shard reports, slot order.
+    pub shards: Vec<BootReport>,
+}
+
+/// Why the pool failed to come up.
+#[derive(Debug)]
+pub struct ShardBootError {
+    /// The slot that failed.
+    pub shard: usize,
+    /// The boot failure, rendered.
+    pub message: String,
+}
+
+impl fmt::Display for ShardBootError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "shard {}: {}", self.shard, self.message)
+    }
+}
+
+impl std::error::Error for ShardBootError {}
+
+/// A request forwarded to one shard worker.
+enum ShardRequest {
+    /// A raw protocol line whose response carries no global state
+    /// (`QUERY`) — answered by the worker's own `respond`.
+    Raw(String),
+    /// `INSERT prob :: atom.`
+    Insert { prob: f64, atom: String },
+    /// `UPDATE prob :: atom.`
+    Update { prob: f64, atom: String },
+    /// The shard's slice of a `DELETE` batch, original order.
+    DeleteBatch { atoms: Vec<String> },
+    /// `STATS` scatter.
+    StatsLines,
+    /// `SNAPSHOT INFO` scatter.
+    SnapshotInfo,
+    /// `SNAPSHOT` scatter.
+    Checkpoint,
+}
+
+/// A worker's answer. Mutation replies carry the shard's epoch after
+/// the request (applied-but-failed passes included), which is what the
+/// router's ledger sums into the global epoch.
+enum ShardReply {
+    Rendered(String),
+    Insert {
+        result: Result<InsertResponse, String>,
+        epoch_after: u64,
+    },
+    Update {
+        result: Result<UpdateResponse, String>,
+        epoch_after: u64,
+    },
+    Delete {
+        result: Result<Vec<DeleteResponse>, String>,
+        epoch_after: u64,
+    },
+    Lines(Vec<(String, String)>),
+    Checkpoint(Result<CheckpointInfo, String>),
+}
+
+struct ShardJob {
+    req: ShardRequest,
+    reply: mpsc::Sender<ShardReply>,
+}
+
+/// The pool: a router in front of one resident session per shard.
+pub struct ShardedService {
+    plan: ShardPlan,
+    workers: Vec<mpsc::Sender<ShardJob>>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    /// Per-shard database epochs as last reported; the rendered global
+    /// epoch is their sum.
+    ledger: Mutex<Vec<u64>>,
+    durable: bool,
+    boot: ShardedBootReport,
+}
+
+impl ShardedService {
+    /// Plans the program, boots one session worker per shard (in
+    /// parallel — every shard reasons or restores concurrently), and
+    /// returns once all are warm.
+    pub fn boot(program: &Program, opts: ShardedOptions) -> Result<ShardedService, ShardBootError> {
+        let plan = ShardPlan::build(program, opts.shards);
+        let durable = opts.session.durability.is_some();
+        let n = plan.n_shards();
+
+        let mut workers = Vec::with_capacity(n);
+        let mut handles = Vec::with_capacity(n);
+        let mut readies = Vec::with_capacity(n);
+        for slot in 0..n {
+            let sub = plan.program(slot).clone();
+            let mut session_opts = opts.session.clone();
+            if let Some(d) = &mut session_opts.durability {
+                session_opts.durability = Some(DurabilityOptions {
+                    dir: d.dir.join(format!("shard-{slot}")),
+                    ..d.clone()
+                });
+            }
+            let (jobs_tx, jobs_rx) = mpsc::channel::<ShardJob>();
+            let (ready_tx, ready_rx) = mpsc::channel::<Result<(BootReport, u64), String>>();
+            let handle = std::thread::Builder::new()
+                .name(format!("ltgs-shard-{slot}"))
+                .spawn(move || {
+                    let mut session = match Session::boot(&sub, session_opts) {
+                        Ok((s, report)) => {
+                            let epoch = s.engine().db().epoch();
+                            let _ = ready_tx.send(Ok((report, epoch)));
+                            s
+                        }
+                        Err(e) => {
+                            let _ = ready_tx.send(Err(e.to_string()));
+                            return;
+                        }
+                    };
+                    shard_worker(&mut session, &jobs_rx);
+                    // Channel closed: graceful shutdown; dropping the
+                    // session flushes the WAL and checkpoints.
+                })
+                .map_err(|e| ShardBootError {
+                    shard: slot,
+                    message: e.to_string(),
+                })?;
+            workers.push(jobs_tx);
+            handles.push(handle);
+            readies.push(ready_rx);
+        }
+
+        let mut reports = Vec::with_capacity(n);
+        let mut epochs = Vec::with_capacity(n);
+        for (slot, ready) in readies.into_iter().enumerate() {
+            match ready.recv() {
+                Ok(Ok((report, epoch))) => {
+                    reports.push(report);
+                    epochs.push(epoch);
+                }
+                Ok(Err(message)) => {
+                    return Err(ShardBootError {
+                        shard: slot,
+                        message,
+                    })
+                }
+                Err(_) => {
+                    return Err(ShardBootError {
+                        shard: slot,
+                        message: "shard worker died during startup".into(),
+                    })
+                }
+            }
+        }
+
+        let boot = ShardedBootReport {
+            mode: if reports.iter().all(|r| r.mode == BootMode::Warm) {
+                BootMode::Warm
+            } else {
+                BootMode::Cold
+            },
+            replayed: reports.iter().map(|r| r.replayed).sum(),
+            shards: reports,
+        };
+        Ok(ShardedService {
+            plan,
+            workers,
+            handles: Mutex::new(handles),
+            ledger: Mutex::new(epochs),
+            durable,
+            boot,
+        })
+    }
+
+    /// The partition behind the pool.
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// How the pool booted.
+    pub fn boot_report(&self) -> &ShardedBootReport {
+        &self.boot
+    }
+
+    /// Number of shard slots.
+    pub fn shards(&self) -> usize {
+        self.plan.n_shards()
+    }
+
+    /// Answers one protocol line — the sharded counterpart of
+    /// [`ltg_server::server::respond`]. Safe to call from any number of
+    /// threads at once.
+    pub fn respond(&self, line: &str) -> String {
+        let command = match parse_command(line) {
+            Ok(c) => c,
+            Err(msg) => return format!("ERR {msg}\n"),
+        };
+        match command {
+            Command::Ping => "OK pong\n".into(),
+            Command::Quit => "OK bye\n".into(),
+            Command::Query(atom) => match self.route(&atom) {
+                Ok(slot) => match self.send(slot, ShardRequest::Raw(line.to_string())) {
+                    Some(ShardReply::Rendered(s)) => s,
+                    _ => unavailable(),
+                },
+                Err(err) => err,
+            },
+            Command::Insert { prob, atom } => self.insert(prob, &atom),
+            Command::Update { prob, atom } => self.update(prob, &atom),
+            Command::Delete { atoms } => self.delete(&atoms),
+            Command::Stats => self.gathered_lines(false),
+            Command::Snapshot { info: true } => self.gathered_lines(true),
+            Command::Snapshot { info: false } => self.checkpoint(),
+        }
+    }
+
+    /// Resolves the shard owning an atom's predicate, or the rendered
+    /// error line (same strings a session would produce).
+    fn route(&self, atom: &str) -> Result<usize, String> {
+        let shape = atom_shape(atom).map_err(|e| format!("ERR {e}\n"))?;
+        self.plan
+            .slot_of(&shape.name, shape.arity)
+            .ok_or_else(|| format!("ERR unknown predicate {}\n", shape.key()))
+    }
+
+    /// Round-trips one request to a shard worker.
+    fn send(&self, slot: usize, req: ShardRequest) -> Option<ShardReply> {
+        let (reply_tx, reply_rx) = mpsc::channel();
+        self.workers[slot]
+            .send(ShardJob {
+                req,
+                reply: reply_tx,
+            })
+            .ok()?;
+        reply_rx.recv().ok()
+    }
+
+    /// Dispatches every request before collecting any reply, so the
+    /// shard workers execute them concurrently (a scatter-gathered
+    /// checkpoint costs the *slowest* shard, not the sum). Replies come
+    /// back in request order.
+    fn scatter(&self, reqs: Vec<(usize, ShardRequest)>) -> Option<Vec<ShardReply>> {
+        let mut pending = Vec::with_capacity(reqs.len());
+        for (slot, req) in reqs {
+            let (reply_tx, reply_rx) = mpsc::channel();
+            self.workers[slot]
+                .send(ShardJob {
+                    req,
+                    reply: reply_tx,
+                })
+                .ok()?;
+            pending.push(reply_rx);
+        }
+        pending.into_iter().map(|rx| rx.recv().ok()).collect()
+    }
+
+    /// Folds a shard's post-request epoch into the ledger and returns
+    /// the global epoch *as of that request*: the other slots' current
+    /// epochs plus this request's own `epoch_after`. Two concurrent
+    /// mutations on one shard thus render distinct, ordered epochs even
+    /// when their router threads race; the ledger itself is max-folded
+    /// so an older reply never rolls a newer one back.
+    fn commit(&self, slot: usize, epoch_after: u64) -> u64 {
+        let mut ledger = self.ledger.lock().expect("ledger poisoned");
+        ledger[slot] = ledger[slot].max(epoch_after);
+        let others: u64 = ledger
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != slot)
+            .map(|(_, &e)| e)
+            .sum();
+        others + epoch_after
+    }
+
+    fn insert(&self, prob: f64, atom: &str) -> String {
+        let slot = match self.route(atom) {
+            Ok(s) => s,
+            Err(e) => return e,
+        };
+        match self.send(
+            slot,
+            ShardRequest::Insert {
+                prob,
+                atom: atom.to_string(),
+            },
+        ) {
+            Some(ShardReply::Insert {
+                result,
+                epoch_after,
+            }) => {
+                let global = self.commit(slot, epoch_after);
+                match result {
+                    Ok(InsertResponse::Inserted { .. }) => {
+                        render_insert(&InsertResponse::Inserted { epoch: global })
+                    }
+                    Ok(r) => render_insert(&r),
+                    Err(msg) => format!("ERR {msg}\n"),
+                }
+            }
+            _ => unavailable(),
+        }
+    }
+
+    fn update(&self, prob: f64, atom: &str) -> String {
+        let slot = match self.route(atom) {
+            Ok(s) => s,
+            Err(e) => return e,
+        };
+        match self.send(
+            slot,
+            ShardRequest::Update {
+                prob,
+                atom: atom.to_string(),
+            },
+        ) {
+            Some(ShardReply::Update {
+                result,
+                epoch_after,
+            }) => {
+                let global = self.commit(slot, epoch_after);
+                match result {
+                    Ok(r) => render_update(&UpdateResponse { epoch: global, ..r }),
+                    Err(msg) => format!("ERR {msg}\n"),
+                }
+            }
+            _ => unavailable(),
+        }
+    }
+
+    fn delete(&self, atoms: &[String]) -> String {
+        // Validate every atom *in atom order* with the checks a session
+        // performs in that same order — parse, predicate lookup, then
+        // (for multi-atom batches, which may span shards and therefore
+        // cannot lean on one session's up-front validation for
+        // atomicity) groundness and the derived-predicate rejection.
+        // An invalid atom fails the whole batch before anything is
+        // dispatched. Single-atom deletes skip the router-side
+        // groundness/derived checks: forwarding them verbatim keeps the
+        // session's exact error precedence, unknown constants included.
+        let multi = atoms.len() > 1;
+        let mut slots = Vec::with_capacity(atoms.len());
+        for atom in atoms {
+            let shape = match atom_shape(atom) {
+                Ok(s) => s,
+                Err(e) => return format!("ERR {e}\n"),
+            };
+            let Some(slot) = self.plan.slot_of(&shape.name, shape.arity) else {
+                return format!("ERR unknown predicate {}\n", shape.key());
+            };
+            if multi {
+                if let Some(var) = &shape.first_var {
+                    return format!("ERR parse: fact must be ground; '{var}' is a variable\n");
+                }
+                let pred = self
+                    .plan
+                    .lookup(&shape.name, shape.arity)
+                    .expect("routed predicates resolve");
+                if !self.plan.is_insertable(pred) {
+                    return format!(
+                        "ERR rejected: predicate {} is derived by rules; only extensional \
+                         facts can be inserted or deleted\n",
+                        shape.name
+                    );
+                }
+            }
+            slots.push(slot);
+        }
+
+        // Dispatch each shard's slice (original order within the
+        // slice), all slices in flight at once.
+        let mut touched: Vec<usize> = slots.clone();
+        touched.sort_unstable();
+        touched.dedup();
+        let reqs: Vec<(usize, ShardRequest)> = touched
+            .iter()
+            .map(|&slot| {
+                let slice: Vec<String> = atoms
+                    .iter()
+                    .zip(&slots)
+                    .filter(|(_, &s)| s == slot)
+                    .map(|(a, _)| a.clone())
+                    .collect();
+                (slot, ShardRequest::DeleteBatch { atoms: slice })
+            })
+            .collect();
+        let Some(replies) = self.scatter(reqs) else {
+            return unavailable();
+        };
+        let mut results: Vec<(usize, Vec<DeleteResponse>, u64)> = Vec::with_capacity(replies.len());
+        let mut failure: Option<String> = None;
+        for (&slot, reply) in touched.iter().zip(replies) {
+            match reply {
+                ShardReply::Delete {
+                    result,
+                    epoch_after,
+                } => match result {
+                    Ok(responses) => results.push((slot, responses, epoch_after)),
+                    Err(msg) => {
+                        self.commit(slot, epoch_after);
+                        // Keep draining the remaining replies' epochs.
+                        failure.get_or_insert(format!("ERR {msg}\n"));
+                    }
+                },
+                _ => {
+                    failure.get_or_insert(unavailable());
+                }
+            }
+        }
+        if let Some(err) = failure {
+            for &(slot, _, epoch_after) in &results {
+                self.commit(slot, epoch_after);
+            }
+            return err;
+        }
+
+        // Re-number the committed deletions in original atom order under
+        // the ledger lock: the global epoch each would have received
+        // from a single session processing the same batch. The base is
+        // computed from this batch's *own* pre-batch shard epochs
+        // (`epoch_after − its deleted count` per touched slot), not the
+        // ledger values, so a racing reply for the same shard cannot
+        // shift this batch's numbering; the ledger itself is max-folded.
+        let mut ledger = self.ledger.lock().expect("ledger poisoned");
+        let mut global: u64 = ledger
+            .iter()
+            .enumerate()
+            .filter(|(slot, _)| !touched.contains(slot))
+            .map(|(_, &e)| e)
+            .sum();
+        for &(slot, ref responses, epoch_after) in &results {
+            let deleted = responses
+                .iter()
+                .filter(|r| matches!(r, DeleteResponse::Deleted { .. }))
+                .count() as u64;
+            global += epoch_after - deleted;
+            ledger[slot] = ledger[slot].max(epoch_after);
+        }
+        let mut cursors: Vec<(usize, std::vec::IntoIter<DeleteResponse>)> = results
+            .into_iter()
+            .map(|(slot, responses, _)| (slot, responses.into_iter()))
+            .collect();
+        let mut ordered = Vec::with_capacity(atoms.len());
+        for &slot in &slots {
+            let (_, cursor) = cursors
+                .iter_mut()
+                .find(|(s, _)| *s == slot)
+                .expect("every slot was dispatched");
+            let response = cursor.next().expect("one response per atom");
+            let response = match response {
+                DeleteResponse::Deleted { prob, .. } => {
+                    global += 1;
+                    DeleteResponse::Deleted {
+                        prob,
+                        epoch: global,
+                    }
+                }
+                DeleteResponse::Missing => DeleteResponse::Missing,
+            };
+            ordered.push(response);
+        }
+        drop(ledger);
+
+        if atoms.len() == 1 {
+            return render_delete_single(&ordered[0]);
+        }
+        render_delete_batch(&ordered)
+    }
+
+    /// Scatter-gathers per-shard `(key, value)` lines (`STATS` /
+    /// `SNAPSHOT INFO`): shared keys are aggregated under their usual
+    /// names, then `shards`, then every shard's own lines under
+    /// `shard.K.<key>`.
+    fn gathered_lines(&self, info: bool) -> String {
+        let req = |_| {
+            if info {
+                ShardRequest::SnapshotInfo
+            } else {
+                ShardRequest::StatsLines
+            }
+        };
+        let reqs: Vec<(usize, ShardRequest)> = (0..self.workers.len())
+            .map(|slot| (slot, req(slot)))
+            .collect();
+        let Some(replies) = self.scatter(reqs) else {
+            return unavailable();
+        };
+        let mut per_shard: Vec<Vec<(String, String)>> = Vec::with_capacity(self.workers.len());
+        for reply in replies {
+            match reply {
+                ShardReply::Lines(lines) => per_shard.push(lines),
+                _ => return unavailable(),
+            }
+        }
+        let mut out_lines: Vec<(String, String)> = Vec::new();
+        for (key, _) in &per_shard[0] {
+            let values: Vec<&str> = per_shard
+                .iter()
+                .map(|lines| {
+                    lines
+                        .iter()
+                        .find(|(k, _)| k == key)
+                        .map(|(_, v)| v.as_str())
+                        .unwrap_or("0")
+                })
+                .collect();
+            out_lines.push((key.clone(), aggregate(key, &values)));
+        }
+        out_lines.push(("shards".into(), self.workers.len().to_string()));
+        out_lines.push(("components".into(), self.plan.n_components().to_string()));
+        for (slot, lines) in per_shard.iter().enumerate() {
+            for (k, v) in lines {
+                out_lines.push((format!("shard.{slot}.{k}"), v.clone()));
+            }
+        }
+        let mut out = format!("OK {}\n", out_lines.len());
+        for (k, v) in out_lines {
+            out.push_str(&k);
+            out.push(' ');
+            out.push_str(&v);
+            out.push('\n');
+        }
+        out
+    }
+
+    fn checkpoint(&self) -> String {
+        if !self.durable {
+            return "ERR not durable: start the server with --data-dir\n".into();
+        }
+        let reqs: Vec<(usize, ShardRequest)> = (0..self.workers.len())
+            .map(|slot| (slot, ShardRequest::Checkpoint))
+            .collect();
+        let Some(replies) = self.scatter(reqs) else {
+            return unavailable();
+        };
+        let mut epoch = 0u64;
+        let mut bytes = 0u64;
+        for reply in replies {
+            match reply {
+                ShardReply::Checkpoint(Ok(info)) => {
+                    epoch += info.epoch;
+                    bytes += info.bytes;
+                }
+                ShardReply::Checkpoint(Err(msg)) => return format!("ERR {msg}\n"),
+                _ => return unavailable(),
+            }
+        }
+        format!("OK snapshot epoch={epoch} bytes={bytes}\n")
+    }
+}
+
+impl RequestHandler for ShardedService {
+    fn handle(&self, line: &str) -> String {
+        self.respond(line)
+    }
+}
+
+impl Drop for ShardedService {
+    /// Graceful shutdown: closing the job channels ends the worker
+    /// loops, dropping each session (final WAL sync + checkpoint); the
+    /// join makes sure that finished before the data directory is
+    /// considered quiescent.
+    fn drop(&mut self) {
+        self.workers.clear();
+        if let Ok(mut handles) = self.handles.lock() {
+            for handle in handles.drain(..) {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+/// Aggregates one `STATS` key across shards. Most counters sum; the
+/// status-flavoured keys combine the way an operator reads them.
+fn aggregate(key: &str, values: &[&str]) -> String {
+    match key {
+        "boot" => {
+            if values.iter().all(|v| *v == "warm") {
+                "warm".into()
+            } else {
+                "cold".into()
+            }
+        }
+        "durable" => {
+            if values.iter().all(|v| *v == "1") {
+                "1".into()
+            } else {
+                "0".into()
+            }
+        }
+        "wal_broken" => {
+            if values.contains(&"1") {
+                "1".into()
+            } else {
+                "0".into()
+            }
+        }
+        "snapshot_epoch" => {
+            let nums: Vec<u64> = values.iter().filter_map(|v| v.parse().ok()).collect();
+            if nums.is_empty() {
+                "none".into()
+            } else {
+                nums.iter().sum::<u64>().to_string()
+            }
+        }
+        _ => {
+            if let Some(sum) = values
+                .iter()
+                .map(|v| v.parse::<u64>().ok())
+                .collect::<Option<Vec<u64>>>()
+                .map(|v| v.iter().sum::<u64>())
+            {
+                sum.to_string()
+            } else if let Some(sum) = values
+                .iter()
+                .map(|v| v.parse::<f64>().ok())
+                .collect::<Option<Vec<f64>>>()
+                .map(|v| v.iter().sum::<f64>())
+            {
+                format!("{sum:.3}")
+            } else {
+                values[0].to_string()
+            }
+        }
+    }
+}
+
+fn unavailable() -> String {
+    "ERR shard worker unavailable\n".to_string()
+}
+
+/// The shard worker loop: one session, jobs until the channel closes,
+/// waking early to flush the WAL's group-commit window (each shard
+/// honours `--fsync-after-ms` independently) — the server's own worker
+/// driver, with the shard request vocabulary plugged in.
+fn shard_worker(session: &mut Session, rx: &mpsc::Receiver<ShardJob>) {
+    ltg_server::server::drive_session(session, rx, |session, job: ShardJob| {
+        let reply = handle_request(session, job.req);
+        let _ = job.reply.send(reply);
+    });
+}
+
+fn handle_request(session: &mut Session, req: ShardRequest) -> ShardReply {
+    match req {
+        ShardRequest::Raw(line) => ShardReply::Rendered(respond(session, &line)),
+        ShardRequest::Insert { prob, atom } => {
+            let result = session.insert(prob, &atom).map_err(|e| e.to_string());
+            ShardReply::Insert {
+                result,
+                epoch_after: session.engine().db().epoch(),
+            }
+        }
+        ShardRequest::Update { prob, atom } => {
+            let result = session.update(prob, &atom).map_err(|e| e.to_string());
+            ShardReply::Update {
+                result,
+                epoch_after: session.engine().db().epoch(),
+            }
+        }
+        ShardRequest::DeleteBatch { atoms } => {
+            let result = session.delete_batch(&atoms).map_err(|e| e.to_string());
+            ShardReply::Delete {
+                result,
+                epoch_after: session.engine().db().epoch(),
+            }
+        }
+        ShardRequest::StatsLines => ShardReply::Lines(
+            session
+                .stats_lines()
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        ),
+        ShardRequest::SnapshotInfo => ShardReply::Lines(
+            session
+                .snapshot_info_lines()
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        ),
+        ShardRequest::Checkpoint => {
+            ShardReply::Checkpoint(session.checkpoint().map_err(|e| e.to_string()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltg_datalog::parse_program;
+
+    const TWO_ISLANDS: &str = "
+        0.5 :: e1(a, b). 0.6 :: e1(b, c). 0.7 :: e1(a, c). 0.8 :: e1(c, b).
+        0.5 :: e2(a, b). 0.6 :: e2(b, c).
+        p1(X, Y) :- e1(X, Y).
+        p1(X, Y) :- p1(X, Z), p1(Z, Y).
+        p2(X, Y) :- e2(X, Y).
+        p2(X, Y) :- p2(X, Z), p2(Z, Y).
+    ";
+
+    fn service(shards: usize) -> ShardedService {
+        let program = parse_program(TWO_ISLANDS).unwrap();
+        ShardedService::boot(
+            &program,
+            ShardedOptions {
+                shards,
+                session: SessionOptions::default(),
+            },
+        )
+        .unwrap()
+    }
+
+    fn single() -> Session {
+        let program = parse_program(TWO_ISLANDS).unwrap();
+        Session::new(&program, SessionOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn queries_match_the_single_session_bitwise() {
+        let mut session = single();
+        for shards in [1, 2, 4] {
+            let service = service(shards);
+            for q in [
+                "QUERY p1(a, b).",
+                "QUERY p1(a, X).",
+                "QUERY p2(a, X).",
+                "QUERY e1(a, b).",
+                "QUERY p1(zz, X).",
+                "QUERY nope(a).",
+                "QUERY p1(a",
+                "PING",
+            ] {
+                assert_eq!(
+                    service.respond(q),
+                    respond(&mut session, q),
+                    "{q} at {shards} shards"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mutations_render_the_global_epoch() {
+        let mut session = single();
+        let service = service(2);
+        // Interleave mutations across both components; every response
+        // (including the rendered epochs) must match the single session.
+        let script = [
+            "INSERT 0.9 :: e1(a, d).",
+            "INSERT 0.4 :: e2(c, d).",
+            "INSERT 0.4 :: e2(c, d).", // duplicate
+            "INSERT 0.7 :: e2(c, d).", // conflict
+            "UPDATE 0.7 :: e2(c, d).",
+            "UPDATE 0.7 :: e2(c, d).", // no-change update
+            "QUERY p1(a, d).",
+            "QUERY p2(c, d).",
+            "DELETE e1(a, d).",
+            "DELETE e1(a, d).",         // missing
+            "INSERT 0.5 :: p1(a, b).",  // derived: rejected
+            "UPDATE 0.5 :: e1(zz, q).", // unknown fact
+        ];
+        for line in script {
+            assert_eq!(service.respond(line), respond(&mut session, line), "{line}");
+        }
+    }
+
+    #[test]
+    fn cross_shard_delete_batches_renumber_in_atom_order() {
+        let mut session = single();
+        let service = service(2);
+        // Make sure the two components really are on different shards;
+        // if the hash ever co-locates them this test still passes (the
+        // renumbering is the identity then).
+        for line in [
+            "INSERT 0.9 :: e1(a, d).",
+            "INSERT 0.4 :: e2(c, d).",
+            "INSERT 0.3 :: e1(d, b).",
+        ] {
+            assert_eq!(service.respond(line), respond(&mut session, line), "{line}");
+        }
+        let batch = "DELETE e1(a, d); e2(c, d); e2(zz, zz); e1(d, b).";
+        assert_eq!(service.respond(batch), respond(&mut session, batch));
+        // Post-batch epochs keep matching.
+        let line = "INSERT 0.2 :: e2(d, a).";
+        assert_eq!(service.respond(line), respond(&mut session, line));
+    }
+
+    #[test]
+    fn batch_validation_failures_report_in_atom_order() {
+        let mut session = single();
+        let service = service(2);
+        // A non-ground atom earlier in the batch wins over a later
+        // unknown predicate / derived predicate — the order a single
+        // session validates in.
+        for batch in [
+            "DELETE e1(X, a); nope(a).",
+            "DELETE e1(X, a); p2(a, b).",
+            "DELETE nope(a); e1(X, a).",
+            "DELETE e1(a, b); e2(.",
+        ] {
+            assert_eq!(
+                service.respond(batch),
+                respond(&mut session, batch),
+                "{batch}"
+            );
+        }
+    }
+
+    #[test]
+    fn cross_shard_batch_with_derived_atom_is_rejected_atomically() {
+        let service = service(2);
+        let resp = service.respond("DELETE e1(a, b); p2(a, b).");
+        assert_eq!(
+            resp,
+            "ERR rejected: predicate p2 is derived by rules; only extensional facts can be \
+             inserted or deleted\n"
+        );
+        // Nothing was deleted on the e1 shard.
+        assert_eq!(
+            service.respond("QUERY e1(a, b)."),
+            "OK 1\n0.500000\te1(a,b)\n"
+        );
+    }
+
+    #[test]
+    fn stats_aggregate_and_expose_per_shard_lines() {
+        let service = service(2);
+        service.respond("QUERY p1(a, b).");
+        service.respond("QUERY p1(a, b).");
+        service.respond("INSERT 0.9 :: e2(c, d).");
+        let stats = service.respond("STATS");
+        let get = |k: &str| {
+            stats
+                .lines()
+                .find_map(|l| l.strip_prefix(&format!("{k} ")))
+                .unwrap_or_else(|| panic!("{k} missing in {stats}"))
+                .to_string()
+        };
+        assert_eq!(get("queries"), "2");
+        assert_eq!(get("cache_hits"), "1");
+        assert_eq!(get("inserts"), "1");
+        assert_eq!(get("epoch"), "1");
+        assert_eq!(get("shards"), "2");
+        assert_eq!(get("components"), "2");
+        assert_eq!(get("boot"), "cold");
+        assert_eq!(get("durable"), "0");
+        // Per-shard lines exist for both slots.
+        assert!(stats.contains("shard.0.queries "));
+        assert!(stats.contains("shard.1.queries "));
+        // The per-shard query counters sum to the aggregate.
+        let s0: u64 = get("shard.0.queries").parse().unwrap();
+        let s1: u64 = get("shard.1.queries").parse().unwrap();
+        assert_eq!(s0 + s1, 2);
+    }
+
+    #[test]
+    fn snapshot_requires_durability() {
+        let service = service(2);
+        assert_eq!(
+            service.respond("SNAPSHOT"),
+            "ERR not durable: start the server with --data-dir\n"
+        );
+        let info = service.respond("SNAPSHOT INFO");
+        assert!(info.contains("durable 0"), "{info}");
+    }
+
+    #[test]
+    fn durable_pool_restarts_warm_per_shard() {
+        let dir = std::env::temp_dir().join(format!(
+            "ltgs-shard-restart-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let program = parse_program(TWO_ISLANDS).unwrap();
+        let opts = || ShardedOptions {
+            shards: 2,
+            session: SessionOptions {
+                durability: Some(DurabilityOptions::at(&dir)),
+                ..SessionOptions::default()
+            },
+        };
+        let service = ShardedService::boot(&program, opts()).unwrap();
+        assert_eq!(service.boot_report().mode, BootMode::Cold);
+        service.respond("INSERT 0.9 :: e1(a, d).");
+        service.respond("INSERT 0.4 :: e2(c, d).");
+        let expect1 = service.respond("QUERY p1(a, X).");
+        let expect2 = service.respond("QUERY p2(c, X).");
+        drop(service); // per-shard final checkpoints
+
+        // Both shard directories exist and carry snapshots.
+        assert!(dir.join("shard-0").join("state.ltgsnap").exists());
+        assert!(dir.join("shard-1").join("state.ltgsnap").exists());
+
+        let service = ShardedService::boot(&program, opts()).unwrap();
+        let report = service.boot_report();
+        assert_eq!(report.mode, BootMode::Warm);
+        assert!(report.shards.iter().all(|r| r.mode == BootMode::Warm));
+        assert_eq!(service.respond("QUERY p1(a, X)."), expect1);
+        assert_eq!(service.respond("QUERY p2(c, X)."), expect2);
+        // The global epoch survives the restart (sum of shard epochs).
+        let stats = service.respond("STATS");
+        assert!(stats.contains("\nepoch 2\n"), "{stats}");
+        assert!(stats.contains("boot warm"), "{stats}");
+        drop(service);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -220,6 +220,13 @@ impl Database {
     /// facts.
     pub fn update_prob(&mut self, f: FactId, prob: f64) -> Option<f64> {
         let old = self.probs[f.index()]?;
+        // A no-change update is not a mutation: without this early-out
+        // every repeated `UPDATE` to the stored value would bump the
+        // epochs and spuriously invalidate all cached results depending
+        // on the fact's predicate.
+        if old.to_bits() == prob.to_bits() {
+            return Some(old);
+        }
         self.probs[f.index()] = Some(prob);
         self.bump(self.store.pred(f));
         Some(old)

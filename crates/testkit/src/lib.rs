@@ -20,6 +20,10 @@
 //!   snapshot at a chosen prefix and a WAL for the tail, mutilate the
 //!   WAL, reload, and check the recovered engine bitwise against a
 //!   from-scratch run on the surviving prefix;
+//! * [`sharded`] — the **sharding harness**: random multi-component
+//!   programs and request scripts driven through a single session and
+//!   through `ltg-shard`'s `ShardedService` at 1/2/4 shards, every wire
+//!   response compared byte-for-byte, failures shrunk;
 //! * [`net`] — spawn a real `ltgs serve` process and speak the line
 //!   protocol over a socket.
 
@@ -28,6 +32,7 @@ pub mod edges;
 pub mod net;
 pub mod oracle;
 pub mod recovery;
+pub mod sharded;
 
 pub use diff::{arb_any_script, arb_script, run_script, shrink, Op, Script, RULE_PALETTE};
 pub use edges::{
@@ -37,3 +42,7 @@ pub use edges::{
 pub use net::{connect, request, spawn_serve, spawn_serve_with, stat, write_program, ServeGuard};
 pub use oracle::possible_world_probability;
 pub use recovery::run_recovery_script;
+pub use sharded::{
+    arb_shard_script, run_shard_script, shard_program_src, shrink_shard_script, ShardComponent,
+    ShardOp, ShardScript,
+};

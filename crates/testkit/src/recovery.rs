@@ -23,7 +23,9 @@ use crate::diff::{Op, Script};
 use crate::edges::{intern_edge, prob_named, program_src_with};
 use ltg_core::{EngineConfig, LtgEngine};
 use ltg_datalog::parse_program;
-use ltg_persist::{snapshot, snapshot_path, wal_path, BootMode, WalOp, WalRecord, WalWriter};
+use ltg_persist::{
+    snapshot, snapshot_path, wal_path, BootMode, SyncPolicy, WalOp, WalRecord, WalWriter,
+};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Applies one mutation to a resident engine (reasoning incrementally
@@ -133,8 +135,13 @@ fn run_in_dir(
     let take_snapshot = |engine: &LtgEngine| -> Result<WalWriter, String> {
         let state = engine.export_state().map_err(|e| e.to_string())?;
         snapshot::write_atomic(&snapshot_path(dir), &state).map_err(|e| e.to_string())?;
-        WalWriter::create(&wal_path(dir), engine.fingerprint(), engine.db().epoch(), 1)
-            .map_err(|e| e.to_string())
+        WalWriter::create(
+            &wal_path(dir),
+            engine.fingerprint(),
+            engine.db().epoch(),
+            SyncPolicy::default(),
+        )
+        .map_err(|e| e.to_string())
     };
     if snapshot_after == 0 {
         wal = Some(take_snapshot(&resident)?);
@@ -187,7 +194,8 @@ fn run_in_dir(
     }
 
     // Recovery.
-    let durable = ltg_persist::boot(dir, &program, config.clone(), 1).map_err(|e| e.to_string())?;
+    let durable = ltg_persist::boot(dir, &program, config.clone(), SyncPolicy::default())
+        .map_err(|e| e.to_string())?;
     let recovered = durable.engine;
     if durable.report.mode != BootMode::Warm {
         return Err(format!(

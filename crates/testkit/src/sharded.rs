@@ -1,0 +1,315 @@
+//! The differential **sharding** harness: sharded service ≡ single
+//! session, wire-for-wire.
+//!
+//! A [`ShardScript`] is a random *multi-component* program (1–3
+//! independent islands, each drawn from [`crate::RULE_PALETTE`] with
+//! its predicates renamed `e → eK`, `p → pK`, `q → qK`) plus a request
+//! script mixing INSERT / DELETE / UPDATE / QUERY — including
+//! cross-component `DELETE` batches, the one verb whose response a
+//! router must actively re-number.
+//!
+//! The harness drives the whole script through a single
+//! [`ltg_server::Session`] (via [`ltg_server::server::respond`], the
+//! exact wire path), recording every response byte-for-byte, then
+//! replays the identical lines against a fresh
+//! [`ltg_shard::ShardedService`] at 1, 2 and 4 shards. **Every wire
+//! response must match exactly** — answer sets, probabilities down to
+//! the bit, rendered epochs, error strings — followed by a final query
+//! sweep over every predicate of every component. A failing script is
+//! greedily shrunk (ops first, then initial edges) before being
+//! reported.
+
+use crate::diff::RULE_PALETTE;
+use ltg_datalog::parse_program;
+use ltg_server::server::respond;
+use ltg_server::{Session, SessionOptions};
+use ltg_shard::{ShardedOptions, ShardedService};
+use proptest::prelude::*;
+
+/// One component of a sharded test program.
+#[derive(Clone, Debug)]
+pub struct ShardComponent {
+    /// Index into [`RULE_PALETTE`].
+    pub rules: usize,
+    /// Initial EDB edges of this component, deduplicated by `(x, y)`.
+    pub initial: Vec<(u8, u8, f64)>,
+}
+
+/// One scripted request (`c` indexes the component).
+#[derive(Clone, Debug, PartialEq)]
+pub enum ShardOp {
+    /// `INSERT p :: eC(nx, ny).`
+    Insert(u8, u8, u8, f64),
+    /// `DELETE eC(nx, ny).`
+    Delete(u8, u8, u8),
+    /// `UPDATE p :: eC(nx, ny).`
+    Update(u8, u8, u8, f64),
+    /// `DELETE eC(nx, ny); eC'(ny, nx).` — a batch spanning components
+    /// (and usually shards), exercising the router's epoch renumbering.
+    DeleteBatch(Vec<(u8, u8, u8)>),
+    /// `QUERY pC(nx, X).`
+    QueryOpen(u8, u8),
+    /// `QUERY pC(nx, ny).`
+    QueryGround(u8, u8, u8),
+}
+
+/// A sharding differential test case.
+#[derive(Clone, Debug)]
+pub struct ShardScript {
+    /// The independent islands (at least one).
+    pub components: Vec<ShardComponent>,
+    /// The request script.
+    pub ops: Vec<ShardOp>,
+}
+
+/// Renames a [`RULE_PALETTE`] block's `e`/`p`/`q` to `eK`/`pK`/`qK`.
+fn rename_rules(rules: &str, c: usize) -> String {
+    rules
+        .replace("p(", &format!("p{c}("))
+        .replace("q(", &format!("q{c}("))
+        .replace("e(", &format!("e{c}("))
+}
+
+/// Renders the combined program source: every component's facts, then
+/// every component's (renamed) rule block.
+pub fn shard_program_src(script: &ShardScript) -> String {
+    let mut src = String::new();
+    for (c, comp) in script.components.iter().enumerate() {
+        for &(x, y, p) in &comp.initial {
+            src.push_str(&format!("{p} :: e{c}(n{x}, n{y}).\n"));
+        }
+    }
+    for (c, comp) in script.components.iter().enumerate() {
+        src.push_str(&rename_rules(RULE_PALETTE[comp.rules], c));
+    }
+    src
+}
+
+/// The wire line of one op.
+fn render_op(op: &ShardOp) -> String {
+    match op {
+        ShardOp::Insert(c, x, y, p) => format!("INSERT {p} :: e{c}(n{x}, n{y})."),
+        ShardOp::Delete(c, x, y) => format!("DELETE e{c}(n{x}, n{y})."),
+        ShardOp::Update(c, x, y, p) => format!("UPDATE {p} :: e{c}(n{x}, n{y})."),
+        ShardOp::DeleteBatch(atoms) => {
+            let rendered: Vec<String> = atoms
+                .iter()
+                .map(|(c, x, y)| format!("e{c}(n{x}, n{y})"))
+                .collect();
+            format!("DELETE {}.", rendered.join("; "))
+        }
+        ShardOp::QueryOpen(c, x) => format!("QUERY p{c}(n{x}, X)."),
+        ShardOp::QueryGround(c, x, y) => format!("QUERY p{c}(n{x}, n{y})."),
+    }
+}
+
+/// The request lines of a script: the ops, then a sweep querying every
+/// predicate of every component (including `qK`, which only some
+/// palette blocks define — the resulting `unknown predicate` errors
+/// must match wire-for-wire too).
+pub fn script_lines(script: &ShardScript) -> Vec<String> {
+    let mut lines: Vec<String> = script.ops.iter().map(render_op).collect();
+    for c in 0..script.components.len() {
+        for pred in ["e", "p", "q"] {
+            for x in 0..4 {
+                lines.push(format!("QUERY {pred}{c}(n{x}, X)."));
+            }
+        }
+    }
+    lines
+}
+
+/// Runs the script through a single session and the sharded service at
+/// 1, 2 and 4 shards, comparing every wire response byte-for-byte. The
+/// `Err` payload names the first divergence.
+pub fn run_shard_script(script: &ShardScript) -> Result<(), String> {
+    let src = shard_program_src(script);
+    let program = parse_program(&src).map_err(|e| e.to_string())?;
+    let lines = script_lines(script);
+
+    let mut single =
+        Session::new(&program, SessionOptions::default()).map_err(|e| e.to_string())?;
+    let expected: Vec<String> = lines.iter().map(|l| respond(&mut single, l)).collect();
+
+    for shards in [1usize, 2, 4] {
+        let service = ShardedService::boot(
+            &program,
+            ShardedOptions {
+                shards,
+                session: SessionOptions::default(),
+            },
+        )
+        .map_err(|e| e.to_string())?;
+        for (line, want) in lines.iter().zip(&expected) {
+            let got = service.respond(line);
+            if got != *want {
+                return Err(format!(
+                    "at {shards} shards, `{line}` diverged:\n  sharded: {got:?}\n  single:  {want:?}"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Greedily minimizes a failing shard script: drop ops (last-first),
+/// then initial edges of each component, to fixpoint. Components are
+/// kept (op indices reference them).
+pub fn shrink_shard_script<F: Fn(&ShardScript) -> bool>(
+    mut script: ShardScript,
+    still_fails: F,
+) -> ShardScript {
+    loop {
+        let mut reduced = false;
+        let mut i = script.ops.len();
+        while i > 0 {
+            i -= 1;
+            let mut cand = script.clone();
+            cand.ops.remove(i);
+            if still_fails(&cand) {
+                script = cand;
+                reduced = true;
+            }
+        }
+        for c in 0..script.components.len() {
+            let mut i = script.components[c].initial.len();
+            while i > 0 {
+                i -= 1;
+                let mut cand = script.clone();
+                cand.components[c].initial.remove(i);
+                if still_fails(&cand) {
+                    script = cand;
+                    reduced = true;
+                }
+            }
+        }
+        if !reduced {
+            return script;
+        }
+    }
+}
+
+/// Strategy over one component: a palette block plus up to 5 initial
+/// edges (deduplicated).
+fn arb_component() -> impl Strategy<Value = ShardComponent> {
+    (
+        0..RULE_PALETTE.len(),
+        prop::collection::vec(
+            (0u8..4, 0u8..4, prop::sample::select(vec![0.3f64, 0.5, 0.8])),
+            0..=5,
+        ),
+    )
+        .prop_map(|(rules, initial)| ShardComponent {
+            rules,
+            initial: crate::edges::dedup_edges(&initial),
+        })
+}
+
+/// Strategy over one op against `ncomp` components.
+fn arb_op(ncomp: u8) -> impl Strategy<Value = ShardOp> {
+    (
+        0u8..8,
+        0..ncomp,
+        0u8..4,
+        0u8..4,
+        prop::sample::select(vec![0.2f64, 0.5, 0.9]),
+    )
+        .prop_map(move |(kind, c, x, y, p)| match kind {
+            0 | 1 => ShardOp::Insert(c, x, y, p),
+            2 => ShardOp::Delete(c, x, y),
+            3 => ShardOp::Update(c, x, y, p),
+            4 => ShardOp::QueryOpen(c, x),
+            5 => ShardOp::QueryGround(c, x, y),
+            6 => ShardOp::Insert(c, x, y, p),
+            // A two-atom batch reaching into the *next* component: on
+            // multi-component programs this routinely spans shards.
+            _ => ShardOp::DeleteBatch(vec![(c, x, y), ((c + 1) % ncomp, y, x)]),
+        })
+}
+
+/// Strategy over whole sharding scripts: 1–3 components, 1–14 ops.
+pub fn arb_shard_script() -> impl Strategy<Value = ShardScript> {
+    (1usize..=3).prop_flat_map(|ncomp| {
+        (
+            prop::collection::vec(arb_component(), ncomp..=ncomp),
+            prop::collection::vec(arb_op(ncomp as u8), 1..=14),
+        )
+            .prop_map(|(components, ops)| ShardScript { components, ops })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scripted_two_island_case_passes() {
+        let script = ShardScript {
+            components: vec![
+                ShardComponent {
+                    rules: 0,
+                    initial: vec![(0, 1, 0.5), (1, 2, 0.6), (0, 2, 0.7), (2, 1, 0.8)],
+                },
+                ShardComponent {
+                    rules: 2,
+                    initial: vec![(0, 1, 0.3), (1, 0, 0.8)],
+                },
+            ],
+            ops: vec![
+                ShardOp::QueryOpen(0, 0),
+                ShardOp::Insert(0, 0, 3, 0.9),
+                ShardOp::Insert(1, 2, 0, 0.5),
+                ShardOp::QueryGround(0, 0, 3),
+                ShardOp::Update(1, 0, 1, 0.9),
+                ShardOp::Update(1, 0, 1, 0.9), // no-change update
+                ShardOp::DeleteBatch(vec![(0, 0, 3), (1, 2, 0), (1, 3, 3)]),
+                ShardOp::QueryOpen(1, 0),
+                ShardOp::Delete(0, 0, 1),
+            ],
+        };
+        run_shard_script(&script).unwrap();
+    }
+
+    #[test]
+    fn every_palette_block_survives_sharding_solo_and_paired() {
+        for rules in 0..RULE_PALETTE.len() {
+            let script = ShardScript {
+                components: vec![
+                    ShardComponent {
+                        rules,
+                        initial: vec![(0, 1, 0.5), (1, 0, 0.8), (1, 2, 0.3)],
+                    },
+                    ShardComponent {
+                        rules: (rules + 1) % RULE_PALETTE.len(),
+                        initial: vec![(0, 1, 0.3)],
+                    },
+                ],
+                ops: vec![
+                    ShardOp::Delete(0, 1, 0),
+                    ShardOp::Insert(1, 2, 0, 0.9),
+                    ShardOp::QueryOpen(0, 1),
+                    ShardOp::Delete(0, 0, 1),
+                ],
+            };
+            run_shard_script(&script).unwrap_or_else(|e| panic!("palette {rules}: {e}"));
+        }
+    }
+
+    #[test]
+    fn shard_shrinker_minimizes_against_a_synthetic_predicate() {
+        let script = ShardScript {
+            components: vec![ShardComponent {
+                rules: 0,
+                initial: vec![(0, 1, 0.5), (1, 2, 0.6)],
+            }],
+            ops: vec![
+                ShardOp::Insert(0, 3, 0, 0.9),
+                ShardOp::Delete(0, 1, 2),
+                ShardOp::QueryOpen(0, 0),
+            ],
+        };
+        let minimal = shrink_shard_script(script, |s| s.ops.contains(&ShardOp::Delete(0, 1, 2)));
+        assert_eq!(minimal.ops, vec![ShardOp::Delete(0, 1, 2)]);
+        assert!(minimal.components[0].initial.is_empty());
+    }
+}

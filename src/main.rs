@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! USAGE: ltgs [OPTIONS] <program.pl>
-//!        ltgs serve [--port N] [--host H] [--solver S] [--data-dir DIR] <program.pl>
+//!        ltgs serve [--port N] [--host H] [--solver S] [--shards N] [--data-dir DIR] <program.pl>
 //!
 //!   --engine <ltg|ltg-nocollapse|tcp|delta|topk=K|circuit>   (default: ltg)
 //!   --solver <sdd|bdd|dtree|c2d|karp-luby|dissociation|anytime>  (default: sdd)
@@ -224,7 +224,8 @@ fn run_one_query(
 }
 
 /// `ltgs serve [--port N] [--host H] [--solver S] [--no-collapse]
-/// [--data-dir DIR [--fsync-every N] [--snapshot-every N]] <program.pl>`
+/// [--shards N] [--data-dir DIR [--fsync-every N] [--fsync-after-ms T]
+/// [--snapshot-every N]] <program.pl>`
 fn run_serve(args: &[String]) -> Result<(), String> {
     let mut port: u16 = 7474;
     let mut host = "127.0.0.1".to_string();
@@ -232,7 +233,9 @@ fn run_serve(args: &[String]) -> Result<(), String> {
     let mut collapse = true;
     let mut max_depth: Option<u32> = None;
     let mut data_dir: Option<String> = None;
-    let mut fsync_every: usize = 1;
+    let mut fsync_every: Option<usize> = None;
+    let mut fsync_after_ms: Option<u64> = None;
+    let mut shards: Option<usize> = None;
     let mut snapshot_every: u64 = 1024;
     let mut path = String::new();
     let mut it = args.iter();
@@ -247,15 +250,35 @@ fn run_serve(args: &[String]) -> Result<(), String> {
             }
             "--host" => host = it.next().ok_or("--host needs a value")?.clone(),
             "--data-dir" => data_dir = Some(it.next().ok_or("--data-dir needs a value")?.clone()),
+            "--shards" => {
+                let n: usize = it
+                    .next()
+                    .ok_or("--shards needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --shards")?;
+                if n == 0 {
+                    return Err("--shards must be at least 1".into());
+                }
+                shards = Some(n);
+            }
             "--fsync-every" => {
-                fsync_every = it
+                let n: usize = it
                     .next()
                     .ok_or("--fsync-every needs a value")?
                     .parse()
                     .map_err(|_| "bad --fsync-every")?;
-                if fsync_every == 0 {
+                if n == 0 {
                     return Err("--fsync-every must be at least 1".into());
                 }
+                fsync_every = Some(n);
+            }
+            "--fsync-after-ms" => {
+                fsync_after_ms = Some(
+                    it.next()
+                        .ok_or("--fsync-after-ms needs a value")?
+                        .parse()
+                        .map_err(|_| "bad --fsync-after-ms")?,
+                )
             }
             "--snapshot-every" => {
                 snapshot_every = it
@@ -301,7 +324,14 @@ fn run_serve(args: &[String]) -> Result<(), String> {
     config.max_depth = max_depth;
     let durability = data_dir.map(|dir| {
         let mut d = ltgs::server::DurabilityOptions::at(dir);
-        d.fsync_every = fsync_every;
+        // With only a time window given, let the window drive the syncs
+        // instead of defaulting to sync-every-record underneath it.
+        d.fsync_every = fsync_every.unwrap_or(if fsync_after_ms.is_some() {
+            usize::MAX
+        } else {
+            1
+        });
+        d.fsync_after_ms = fsync_after_ms;
         d.snapshot_every = snapshot_every;
         d
     });
@@ -311,11 +341,42 @@ fn run_serve(args: &[String]) -> Result<(), String> {
         durability,
         ..Default::default()
     };
-    let server = ltgs::server::Server::start((host.as_str(), port), program, opts)
-        .map_err(|e| e.to_string())?;
+    let server = match shards {
+        Some(n) => {
+            // Bind before booting the pool: an occupied port fails in
+            // milliseconds, not after N shards reasoned to fixpoint.
+            let listener = std::net::TcpListener::bind((host.as_str(), port))
+                .map_err(|e| format!("cannot bind {host}:{port}: {e}"))?;
+            let service = ltg_shard::ShardedService::boot(
+                &program,
+                ltg_shard::ShardedOptions {
+                    shards: n,
+                    session: opts,
+                },
+            )
+            .map_err(|e| e.to_string())?;
+            let report = service.boot_report();
+            for (slot, r) in report.shards.iter().enumerate() {
+                for note in &r.notes {
+                    eprintln!("ltgs: shard {slot}: {note}");
+                }
+            }
+            eprintln!(
+                "ltgs: {} shards over {} components, boot {:?} ({} WAL records replayed)",
+                service.shards(),
+                service.plan().n_components(),
+                report.mode,
+                report.replayed
+            );
+            ltgs::server::Server::from_listener(listener, std::sync::Arc::new(service))
+        }
+        None => ltgs::server::Server::start((host.as_str(), port), program, opts)
+            .map_err(|e| e.to_string())?,
+    };
     let addr = server.local_addr().map_err(|e| e.to_string())?;
     // Readiness line (stdout, flushed): scripts wait for it before
-    // connecting; the session behind it is already reasoned to fixpoint.
+    // connecting; the session (or shard pool) behind it is already
+    // reasoned to fixpoint.
     println!("ltgs: serving {path} on {addr}");
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
@@ -331,8 +392,8 @@ fn main() -> ExitCode {
                 eprintln!("error: {msg}");
                 eprintln!(
                     "usage: ltgs serve [--port N] [--host H] [--solver sdd|bdd|dtree|c2d] \
-                     [--no-collapse] [--max-depth N] [--data-dir DIR] [--fsync-every N] \
-                     [--snapshot-every N] <program.pl>"
+                     [--no-collapse] [--max-depth N] [--shards N] [--data-dir DIR] \
+                     [--fsync-every N] [--fsync-after-ms T] [--snapshot-every N] <program.pl>"
                 );
                 ExitCode::FAILURE
             }

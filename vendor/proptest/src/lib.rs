@@ -91,6 +91,38 @@ pub trait Strategy {
     {
         Map { inner: self, f }
     }
+
+    /// Derives a second strategy from each generated value and draws
+    /// from it (dependent generation — e.g. "pick a size, then pick
+    /// that many elements").
+    fn prop_flat_map<U, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+        U: Strategy,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_flat_map`].
+#[derive(Clone, Debug)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+    U: Strategy,
+{
+    type Value = U::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> U::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
 }
 
 /// Strategy returned by [`Strategy::prop_map`].
