@@ -1,0 +1,256 @@
+//! **Mutation soak** — churn latency and graph size over a long life.
+//!
+//! The resident session's incremental passes are only worth their
+//! complexity if they hold up over time: per-mutation latency must stay
+//! flat (semi-naive delta joins keep pass cost proportional to the
+//! change, not to how much history the graph carries) and the
+//! execution-graph arena must stay bounded by the live state (dead-combo
+//! compaction reclaims what churn leaves behind — before it existed,
+//! the arena grew linearly with mutation count on exactly this
+//! workload). See `docs/engine.md`.
+//!
+//! The workload is the 4×8 layered DAG of `serve_throughput` /
+//! `persist_restart` under a deterministic churn loop: per 200
+//! mutations, two *deep* ones (insert a sink edge out of the last layer
+//! — every path through the DAG extends onto it — then delete it again;
+//! these are the expensive cone-sized passes that exposed the dead-combo
+//! leak), 98 *local* ones (insert/delete pairs of disconnected fresh
+//! edges — the common case a long-lived session mostly sees), and 100
+//! weight updates (no reasoning at all). The state returns to the
+//! baseline at every 100-op group boundary, so any growth across
+//! buckets is pure leakage.
+//!
+//! Usage: `cargo run --release -p ltg-bench --bin mutation_soak
+//! [width] [layers] [total_ops]`
+//!
+//! Emits a human table on stdout and machine-readable `BENCH_soak.json`
+//! in the working directory (gated in CI: flat latency, bounded arena).
+
+use ltg_core::{EngineConfig, LtgEngine};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// The layered probabilistic DAG of `serve_throughput` (kept in sync so
+/// the benches describe the same workload).
+fn layered_program(width: usize, layers: usize) -> String {
+    let mut src = String::new();
+    let mut prob = 0.35;
+    for l in 0..layers.saturating_sub(1) {
+        for a in 0..width {
+            for b in 0..width {
+                let _ = writeln!(src, "{prob:.2} :: e(n{l}_{a}, n{}_{b}).", l + 1);
+                prob = if prob > 0.9 { 0.35 } else { prob + 0.07 };
+            }
+        }
+    }
+    src.push_str("p(X, Y) :- e(X, Y).\np(X, Y) :- p(X, Z), p(Z, Y).\n");
+    src
+}
+
+/// Per-bucket aggregates: latency sum/max over the bucket's ops, and
+/// the graph shape sampled at the bucket boundary (post-compaction).
+struct Bucket {
+    ops: u64,
+    sum_us: f64,
+    max_us: f64,
+    graph_nodes: usize,
+    live_trees: usize,
+}
+
+fn live_trees(engine: &LtgEngine) -> usize {
+    engine.graph().nodes.iter().map(|n| n.tree_count()).sum()
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let width: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(4);
+    let layers: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(8);
+    let total: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(100_000);
+    let total = total.max(100) - (total.max(100) % 100); // whole groups only
+    let buckets_n = 20.min(total / 100).max(1);
+    let per_bucket = total / buckets_n;
+
+    let src = layered_program(width, layers);
+    let program = ltg_datalog::parse_program(&src).unwrap();
+    let n_facts = program.facts.len();
+
+    let t0 = Instant::now();
+    let mut engine = LtgEngine::with_config(&program, EngineConfig::default());
+    engine.reason().unwrap();
+    let batch_s = t0.elapsed().as_secs_f64();
+    let baseline_nodes = engine.graph().nodes.len();
+    let baseline_trees = live_trees(&engine);
+
+    let e = engine.program().preds.lookup("e", 2).unwrap();
+    // The deep-churn pool: `width` sink edges out of the last layer into
+    // fresh constants, cycled insert → delete forever. Every path
+    // through the DAG extends onto a sink edge, so these passes touch
+    // the whole derivation cone.
+    let deep_pool: Vec<[ltg_datalog::Sym; 2]> = (0..width)
+        .map(|w| {
+            [
+                engine.intern_symbol(&format!("n{}_{w}", layers - 1)),
+                engine.intern_symbol(&format!("fresh_{w}")),
+            ]
+        })
+        .collect();
+    // The local-churn pool: disconnected fresh → fresh edges, the cheap
+    // common case. 8 slots, each cycled insert → delete.
+    let local_pool: Vec<[ltg_datalog::Sym; 2]> = (0..8)
+        .map(|k| {
+            [
+                engine.intern_symbol(&format!("iso_a{k}")),
+                engine.intern_symbol(&format!("iso_b{k}")),
+            ]
+        })
+        .collect();
+    // Two base-layer edges whose weights the update ops flip.
+    let upd_a = [engine.intern_symbol("n0_0"), engine.intern_symbol("n1_0")];
+    let upd_b = [engine.intern_symbol("n0_1"), engine.intern_symbol("n1_1")];
+
+    let mut buckets: Vec<Bucket> = Vec::new();
+    let mut cur = Bucket {
+        ops: 0,
+        sum_us: 0.0,
+        max_us: 0.0,
+        graph_nodes: 0,
+        live_trees: 0,
+    };
+    let (mut inserts, mut deletes, mut updates) = (0u64, 0u64, 0u64);
+    let mut local_seq = 0usize; // cheap ops issued; even = insert, odd = delete
+    let run_t0 = Instant::now();
+    for i in 0..total {
+        let group = i / 100;
+        let phase = i % 100;
+        let t = Instant::now();
+        if (phase == 0 || phase == 50) && group % 2 == 0 {
+            // The deep mutations (every other group): a sink edge in at
+            // op 0, out at op 50.
+            let slot = &deep_pool[(group / 2) % deep_pool.len()];
+            if phase == 0 {
+                let (_, outcome) = engine.insert_fact(e, slot, 0.5).unwrap();
+                assert!(outcome.changed(), "op {i}: sink edge must be fresh");
+                engine.reason_delta().unwrap();
+                inserts += 1;
+            } else {
+                let (_, outcome) = engine.retract_fact(e, slot).unwrap();
+                assert!(outcome.changed(), "op {i}: sink edge must be present");
+                engine.reason_retract().unwrap();
+                deletes += 1;
+            }
+        } else if phase % 2 == 1 {
+            // Weight flips: no reasoning, the floor of the latency mix.
+            let args = if phase % 4 == 1 { &upd_a } else { &upd_b };
+            let p = if group % 2 == 0 { 0.4 } else { 0.6 };
+            let sp = engine.storage_pred(e);
+            let f = engine.db().store.lookup(sp, args).unwrap();
+            engine.update_prob(f, p).unwrap();
+            updates += 1;
+        } else {
+            // Local churn: disconnected pairs in and out again.
+            let slot = &local_pool[(local_seq / 2) % local_pool.len()];
+            if local_seq % 2 == 0 {
+                let (_, outcome) = engine.insert_fact(e, slot, 0.7).unwrap();
+                assert!(outcome.changed(), "op {i}: local edge must be fresh");
+                engine.reason_delta().unwrap();
+                inserts += 1;
+            } else {
+                let (_, outcome) = engine.retract_fact(e, slot).unwrap();
+                assert!(outcome.changed(), "op {i}: local edge must be present");
+                engine.reason_retract().unwrap();
+                deletes += 1;
+            }
+            local_seq += 1;
+        }
+        let us = t.elapsed().as_secs_f64() * 1e6;
+        cur.ops += 1;
+        cur.sum_us += us;
+        cur.max_us = cur.max_us.max(us);
+        if cur.ops as usize >= per_bucket && buckets.len() + 1 < buckets_n {
+            cur.graph_nodes = engine.graph().nodes.len();
+            cur.live_trees = live_trees(&engine);
+            buckets.push(cur);
+            cur = Bucket {
+                ops: 0,
+                sum_us: 0.0,
+                max_us: 0.0,
+                graph_nodes: 0,
+                live_trees: 0,
+            };
+        }
+    }
+    cur.graph_nodes = engine.graph().nodes.len();
+    cur.live_trees = live_trees(&engine);
+    buckets.push(cur);
+    let run_s = run_t0.elapsed().as_secs_f64();
+
+    let stats = engine.stats();
+    let final_nodes = engine.graph().nodes.len();
+    let final_trees = live_trees(&engine);
+    let first_mean = buckets[0].sum_us / buckets[0].ops as f64;
+    let last = buckets.last().unwrap();
+    let last_mean = last.sum_us / last.ops as f64;
+    let latency_ratio = last_mean / first_mean;
+    let max_bucket_nodes = buckets.iter().map(|b| b.graph_nodes).max().unwrap();
+
+    println!(
+        "# mutation_soak — width={width} layers={layers} ({n_facts} facts, {total} mutations)"
+    );
+    println!(
+        "batch reasoning: {:.1} ms, baseline {baseline_nodes} nodes / {baseline_trees} trees",
+        batch_s * 1e3
+    );
+    println!(
+        "churn: {inserts} inserts, {deletes} deletes, {updates} updates in {:.1} s \
+         ({:.1} ops/s)",
+        run_s,
+        total as f64 / run_s
+    );
+    println!(
+        "latency: first bucket {first_mean:.1} us/op, last bucket {last_mean:.1} us/op \
+         (ratio {latency_ratio:.2})"
+    );
+    println!(
+        "graph: final {final_nodes} nodes / {final_trees} live trees, \
+         hiwater {}, {} compacted, {} combos pruned",
+        stats.graph_nodes_hiwater, stats.nodes_compacted, stats.combos_pruned
+    );
+    println!(
+        "semi-naive: {} delta probes, {} delta trees over {} delta + {} retract passes",
+        stats.delta_join_probes, stats.delta_new_trees, stats.delta_passes, stats.retract_passes
+    );
+
+    let mut bucket_json = String::new();
+    for (i, b) in buckets.iter().enumerate() {
+        let _ = write!(
+            bucket_json,
+            "{}    {{\"ops\": {}, \"mean_us\": {:.2}, \"max_us\": {:.2}, \
+             \"graph_nodes\": {}, \"live_trees\": {}}}",
+            if i == 0 { "" } else { ",\n" },
+            b.ops,
+            b.sum_us / b.ops as f64,
+            b.max_us,
+            b.graph_nodes,
+            b.live_trees
+        );
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"mutation_soak\",\n  \"width\": {width},\n  \"layers\": {layers},\n  \
+         \"facts\": {n_facts},\n  \"total_mutations\": {total},\n  \"inserts\": {inserts},\n  \
+         \"deletes\": {deletes},\n  \"updates\": {updates},\n  \"churn_s\": {run_s:.3},\n  \
+         \"baseline_graph_nodes\": {baseline_nodes},\n  \
+         \"final_graph_nodes\": {final_nodes},\n  \"final_live_trees\": {final_trees},\n  \
+         \"max_bucket_graph_nodes\": {max_bucket_nodes},\n  \
+         \"graph_nodes_hiwater\": {},\n  \"nodes_compacted\": {},\n  \
+         \"combos_pruned\": {},\n  \"delta_join_probes\": {},\n  \"delta_new_trees\": {},\n  \
+         \"first_bucket_mean_us\": {first_mean:.2},\n  \"last_bucket_mean_us\": {last_mean:.2},\n  \
+         \"latency_ratio\": {latency_ratio:.3},\n  \"buckets\": [\n{bucket_json}\n  ]\n}}\n",
+        stats.graph_nodes_hiwater,
+        stats.nodes_compacted,
+        stats.combos_pruned,
+        stats.delta_join_probes,
+        stats.delta_new_trees,
+    );
+    std::fs::write("BENCH_soak.json", json).unwrap();
+    println!("wrote BENCH_soak.json");
+}

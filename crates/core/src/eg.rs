@@ -37,8 +37,9 @@ pub struct EgNode {
     pub store: Relation,
     /// `tset(v, F)`: derivation trees grouped by root fact.
     pub tset: FxHashMap<FactId, Vec<TreeId>>,
-    /// Dead nodes (empty tset) are removed from producer lists but kept in
-    /// the arena so `NodeId`s stay stable.
+    /// Dead nodes (empty tset) are removed from producer lists; they sit
+    /// in the arena until the next [`ExecutionGraph::compact`] sweep
+    /// reclaims the ones nothing references.
     pub alive: bool,
 }
 
@@ -153,6 +154,52 @@ impl ExecutionGraph {
         self.nodes.iter().filter(|n| n.alive).count()
     }
 
+    /// Drops every node with `keep[i] == false`, renumbering the
+    /// survivors **order-preservingly** (the `TreeId` analogue of the
+    /// snapshot forest compaction). The caller guarantees closure:
+    /// every parent of a kept node is itself kept — parents have
+    /// smaller indices, so the renumbered `parents` arrays still point
+    /// backwards and restore's parents-before-node check keeps holding.
+    /// Producer lists are filtered in place with their registration
+    /// order intact (delta-wave planning iterates them, so the order is
+    /// part of the engine's deterministic state). Returns the remap:
+    /// old index → new index, `u32::MAX` for dropped nodes.
+    pub fn compact(&mut self, keep: &[bool]) -> Vec<u32> {
+        debug_assert_eq!(keep.len(), self.nodes.len());
+        let mut remap = vec![u32::MAX; self.nodes.len()];
+        let mut next = 0u32;
+        for (i, &k) in keep.iter().enumerate() {
+            if k {
+                remap[i] = next;
+                next += 1;
+            }
+        }
+        let old = std::mem::take(&mut self.nodes);
+        self.nodes = old
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| keep[*i])
+            .map(|(_, mut n)| {
+                n.parents = n
+                    .parents
+                    .iter()
+                    .map(|p| {
+                        debug_assert_ne!(remap[p.index()], u32::MAX, "parent of kept node swept");
+                        NodeId(remap[p.index()])
+                    })
+                    .collect();
+                n
+            })
+            .collect();
+        for list in self.producers.values_mut() {
+            list.retain(|n| remap[n.index()] != u32::MAX);
+            for n in list.iter_mut() {
+                *n = NodeId(remap[n.index()]);
+            }
+        }
+        remap
+    }
+
     /// Estimated live bytes across alive nodes.
     pub fn estimated_bytes(&self) -> usize {
         self.nodes
@@ -226,6 +273,28 @@ mod tests {
         assert_eq!(h.producers(3), &[b, a]);
         assert_eq!(h.producers(1), &[a]);
         assert_eq!(h.export_producers(), exported);
+    }
+
+    #[test]
+    fn compact_renumbers_order_preservingly() {
+        let mut g = ExecutionGraph::new();
+        let a = g.push_node(RuleId(0), Box::from([]), 1);
+        let b = g.push_node(RuleId(1), Box::from([a]), 2); // swept
+        let c = g.push_node(RuleId(2), Box::from([a]), 2);
+        let d = g.push_node(RuleId(3), Box::from([c, a]), 3);
+        g.register_producer(5, a);
+        g.register_producer(7, b);
+        g.register_producer(7, d);
+        g.register_producer(7, c);
+        let keep = vec![true, false, true, true];
+        let remap = g.compact(&keep);
+        assert_eq!(remap, vec![0, u32::MAX, 1, 2]);
+        assert_eq!(g.nodes.len(), 3);
+        assert_eq!(g.nodes[1].parents.as_ref(), &[NodeId(0)]);
+        assert_eq!(g.nodes[2].parents.as_ref(), &[NodeId(1), NodeId(0)]);
+        // b dropped from producers; d/c keep their registration order.
+        assert_eq!(g.producers(5), &[NodeId(0)]);
+        assert_eq!(g.producers(7), &[NodeId(2), NodeId(1)]);
     }
 
     #[test]

@@ -24,7 +24,7 @@
 use crate::config::EngineConfig;
 use crate::eg::{ExecutionGraph, NodeId};
 use crate::error::EngineError;
-use crate::join::{binding_masks, join, JoinRow};
+use crate::join::{binding_masks, join, join_delta, JoinRow, PosSpec};
 use crate::state::{EngineState, ExportError, NodeState, RestoreError};
 use ltg_datalog::fxhash::{FxHashMap, FxHashSet};
 use ltg_datalog::{
@@ -70,6 +70,20 @@ pub struct ReasonStats {
     /// Derivation trees removed by retraction passes (the DRed
     /// over-deletion, before re-derivation).
     pub retracted_trees: u64,
+    /// Candidate facts examined by semi-naive delta joins (incremental
+    /// passes only — batch rounds run full joins).
+    pub delta_join_probes: u64,
+    /// Fresh derivation trees stored by incremental (delta/retract)
+    /// passes.
+    pub delta_new_trees: u64,
+    /// Planned `(rule, parents)` registry entries reclaimed because
+    /// their node was swept by compaction.
+    pub combos_pruned: u64,
+    /// Execution-graph nodes swept by compaction.
+    pub nodes_compacted: u64,
+    /// High-water mark of the execution-graph arena (all nodes ever
+    /// resident at once, dead ones included).
+    pub graph_nodes_hiwater: u64,
 }
 
 /// Why [`LtgEngine::insert_fact`] rejected a fact before it reached
@@ -109,6 +123,16 @@ impl std::fmt::Display for InsertError {
 
 impl std::error::Error for InsertError {}
 
+/// What one [`LtgEngine::build_trees`] call actually stored: the root
+/// facts that gained trees (ascending fact order — the group order of
+/// the build) and how many trees survived filtering. Feeds the
+/// semi-naive frontier.
+#[derive(Debug, Default)]
+struct BuildOutcome {
+    fresh_facts: Vec<FactId>,
+    fresh_trees: u64,
+}
+
 /// The Lineage-Trigger-Graph engine.
 pub struct LtgEngine {
     canonical: CanonicalProgram,
@@ -140,6 +164,21 @@ pub struct LtgEngine {
     /// Canonical EDB predicates with facts inserted since the last
     /// (delta-)reasoning pass.
     dirty_edb: FxHashSet<PredId>,
+    /// The facts behind `dirty_edb`, per predicate: the wave-0 delta of
+    /// the semi-naive join. Cleared together with `dirty_edb`, i.e. only
+    /// once the pass propagating them completed.
+    edb_delta: FxHashMap<PredId, Vec<FactId>>,
+    /// Semi-naive frontier `F`: per node, the root facts that gained
+    /// trees in the last completed wave and whose consumers have not
+    /// been re-joined yet. Survives an aborted (OOM/TO) pass so a retry
+    /// resumes the propagation instead of losing it — the dedup filters
+    /// make re-planning idempotent, but only the frontier remembers
+    /// *what* still needs planning.
+    delta_frontier: FxHashMap<NodeId, Vec<FactId>>,
+    /// Semi-naive accumulator `P`: facts that gained trees during the
+    /// wave currently executing; promoted to `delta_frontier` when the
+    /// wave completes.
+    delta_next: FxHashMap<NodeId, Vec<FactId>>,
     /// EDB facts deleted since the last retraction pass (already gone
     /// from the database; their derivation trees still await pruning).
     pending_retract: FxHashSet<FactId>,
@@ -188,6 +227,9 @@ impl LtgEngine {
             combos: FxHashMap::default(),
             idb_mask,
             dirty_edb: FxHashSet::default(),
+            edb_delta: FxHashMap::default(),
+            delta_frontier: FxHashMap::default(),
+            delta_next: FxHashMap::default(),
             pending_retract: FxHashSet::default(),
             retract_nodes: FxHashSet::default(),
             config,
@@ -305,6 +347,9 @@ impl LtgEngine {
         if !grew || self.config.max_depth.is_some_and(|d| k >= d) {
             self.finished = true;
             self.stats.nodes_alive = self.graph.alive_count() as u64;
+            // Batch rounds plan eagerly and kill non-survivors; sweep
+            // the corpses once the fixpoint is reached.
+            self.compact_graph();
         }
         self.refresh_meter();
         self.stats.reasoning_time += t0.elapsed();
@@ -383,6 +428,7 @@ impl LtgEngine {
         let (fact, outcome) = self.db.insert_edb(sp, args, prob);
         if outcome.changed() {
             self.dirty_edb.insert(sp);
+            self.edb_delta.entry(sp).or_default().push(fact);
         }
         Ok((fact, outcome))
     }
@@ -438,24 +484,29 @@ impl LtgEngine {
     }
 
     /// Incremental maintenance: pushes the facts inserted since the last
-    /// pass through the *existing* execution graph, re-running only the
-    /// affected nodes (deletions are handled separately by
-    /// [`LtgEngine::reason_retract`]). Wave 0 re-instantiates the source
-    /// nodes whose premise
-    /// reads a dirty EDB relation; wave `k` re-instantiates (or creates,
-    /// or revives) every node with at least one parent that stored new
-    /// trees in wave `k − 1` — Definition 6's "one parent from the
-    /// previous round", with rounds replaced by change waves. The pass
-    /// ends when a wave changes nothing. Explanation dedup guarantees
-    /// re-executed joins only store genuinely new derivation trees, so
-    /// the fixpoint lineage is equivalent to a from-scratch run over the
-    /// grown EDB.
+    /// pass through the *existing* execution graph with **semi-naive
+    /// delta joins** (deletions are handled separately by
+    /// [`LtgEngine::reason_retract`]). Wave 0 joins the source nodes
+    /// whose premise reads a dirty EDB relation against the *inserted*
+    /// facts only; wave `k` plans every parent combination with at least
+    /// one parent that stored new trees in wave `k − 1` (Definition 6's
+    /// "one parent from the previous round", with rounds replaced by
+    /// change waves) and evaluates, per combination, the sum of
+    /// per-position delta joins over those parents' changed root facts —
+    /// so pass cost tracks the delta, not the relations. Nodes for
+    /// combinations are only materialized when their delta join derives
+    /// a surviving tree (see [`LtgEngine::delta_wave`]); the pass ends
+    /// when a wave changes nothing, and the graph is compacted. The
+    /// fixpoint lineage is equivalent to a from-scratch run over the
+    /// grown EDB (asserted bitwise by the `ltg-testkit` differential
+    /// harnesses).
     pub fn reason_delta(&mut self) -> Result<&ReasonStats, EngineError> {
         if !self.finished {
             if self.round == 0 {
                 // Nothing instantiated yet: the batch algorithm's joins
                 // see the inserted facts directly.
                 self.dirty_edb.clear();
+                self.edb_delta.clear();
             }
             self.reason()?;
             // Facts inserted *between* anytime steps were missed by the
@@ -463,18 +514,20 @@ impl LtgEngine {
             // that the graph is at fixpoint.
             return self.reason_delta();
         }
-        if self.dirty_edb.is_empty() {
+        if self.dirty_edb.is_empty() && self.delta_frontier.is_empty() && self.delta_next.is_empty()
+        {
             return Ok(&self.stats);
         }
         let t0 = Instant::now();
         // Cleared only after the pass completes: an abort (OOM/TO) keeps
-        // the predicates dirty so a later pass retries the propagation —
-        // re-instantiation is idempotent, partial progress is kept.
+        // the predicates dirty (and the frontier populated) so a later
+        // pass retries the propagation — the dedup filters make
+        // re-planning idempotent, partial progress is kept.
         let dirty = self.dirty_edb.clone();
         self.stats.delta_passes += 1;
 
-        // Wave 0: source nodes reading a dirty relation.
-        let mut changed: FxHashSet<NodeId> = FxHashSet::default();
+        // Wave 0: source nodes reading a dirty relation, delta-joined
+        // against the inserted facts.
         let base = self.canonical.base_rules.clone();
         for rid in base {
             let affected = self.canonical.program.rules[rid.index()]
@@ -485,17 +538,11 @@ impl LtgEngine {
                 continue;
             }
             let node = self.combos[&(rid, Box::from([]) as Box<[NodeId]>)];
-            if self.reinstantiate(node, rid)? {
-                changed.insert(node);
-            }
-        }
-
-        while !changed.is_empty() {
-            self.stats.delta_waves += 1;
-            changed = self.delta_wave(&changed)?;
-            self.refresh_meter();
+            let rows = self.collect_source_delta(node, &dirty)?;
+            self.store_delta_rows(node, rid, rows)?;
             self.meter.check()?;
         }
+        self.run_delta_waves()?;
 
         self.refresh_meter();
         self.stats.nodes_alive = self.graph.alive_count() as u64;
@@ -504,8 +551,29 @@ impl LtgEngine {
         self.meter.check()?;
         for p in &dirty {
             self.dirty_edb.remove(p);
+            self.edb_delta.remove(p);
         }
+        self.compact_graph();
         Ok(&self.stats)
+    }
+
+    /// Drains the semi-naive frontier: promotes the pending wave delta
+    /// and runs propagation waves until a wave stores nothing new.
+    fn run_delta_waves(&mut self) -> Result<(), EngineError> {
+        // A non-empty frontier means a previous pass aborted mid-wave:
+        // finish propagating it first, the freshly seeded `delta_next`
+        // is promoted after.
+        if self.delta_frontier.is_empty() {
+            self.delta_frontier = std::mem::take(&mut self.delta_next);
+        }
+        while !self.delta_frontier.is_empty() {
+            self.stats.delta_waves += 1;
+            self.delta_wave()?;
+            self.delta_frontier = std::mem::take(&mut self.delta_next);
+            self.refresh_meter();
+            self.meter.check()?;
+        }
+        Ok(())
     }
 
     /// Retraction maintenance (ΔTcP/DRed-style, at tree granularity):
@@ -560,23 +628,19 @@ impl LtgEngine {
         }
 
         // Re-derivation: pruned nodes bottom-up (a node's parents have
-        // strictly smaller depth), then the standard propagation waves.
+        // strictly smaller depth) with *full* joins — pruning dropped
+        // arbitrary trees, so there is no delta to join against — then
+        // the standard semi-naive propagation waves over the facts that
+        // regained trees.
         let mut order: Vec<NodeId> = self.retract_nodes.iter().copied().collect();
         order.sort_unstable_by_key(|n| (self.graph.nodes[n.index()].depth, n.0));
-        let mut changed: FxHashSet<NodeId> = FxHashSet::default();
         for node in order {
             let rid = self.graph.nodes[node.index()].rule;
-            if self.reinstantiate(node, rid)? {
-                changed.insert(node);
-            }
+            let fresh = self.reinstantiate(node, rid)?;
+            self.merge_delta_next(node, fresh);
             self.meter.check()?;
         }
-        while !changed.is_empty() {
-            self.stats.delta_waves += 1;
-            changed = self.delta_wave(&changed)?;
-            self.refresh_meter();
-            self.meter.check()?;
-        }
+        self.run_delta_waves()?;
 
         self.refresh_meter();
         self.stats.nodes_alive = self.graph.alive_count() as u64;
@@ -590,6 +654,7 @@ impl LtgEngine {
             self.pending_retract.remove(&f);
         }
         self.retract_nodes.clear();
+        self.compact_graph();
         Ok(&self.stats)
     }
 
@@ -688,29 +753,208 @@ impl LtgEngine {
         }
     }
 
-    /// Re-executes a node against its (grown) inputs; registers it as a
-    /// producer on its first survival. Returns whether any *new* tree
-    /// was stored.
-    fn reinstantiate(&mut self, node: NodeId, rid: RuleId) -> Result<bool, EngineError> {
+    /// Re-executes a node's *full* join against its (grown) inputs;
+    /// registers it as a producer on its first survival. Returns the
+    /// root facts that gained trees. Used by the retraction re-derive
+    /// (no delta exists after pruning) — the incremental insert path
+    /// goes through [`LtgEngine::store_delta_rows`] instead.
+    fn reinstantiate(&mut self, node: NodeId, rid: RuleId) -> Result<Vec<FactId>, EngineError> {
         let was_alive = self.graph.nodes[node.index()].alive;
-        let grew = self.instantiate(node)?;
-        if grew && !was_alive {
+        let matches = self.collect_matches(node)?;
+        let built = if matches.is_empty() {
+            BuildOutcome::default()
+        } else {
+            self.build_trees(node, matches)?
+        };
+        self.stats.delta_new_trees += built.fresh_trees;
+        if !built.fresh_facts.is_empty() && !was_alive {
             self.graph.nodes[node.index()].alive = true;
             let head = self.canonical.program.rules[rid.index()].head.pred;
             self.graph.register_producer(head.0, node);
         }
-        Ok(grew)
+        Ok(built.fresh_facts)
+    }
+
+    /// Records `fresh` facts of `node` into the pending wave delta.
+    fn merge_delta_next(&mut self, node: NodeId, fresh: Vec<FactId>) {
+        if fresh.is_empty() {
+            return;
+        }
+        let entry = self.delta_next.entry(node).or_default();
+        for f in fresh {
+            if !entry.contains(&f) {
+                entry.push(f);
+            }
+        }
+    }
+
+    /// Builds the trees of pre-computed (delta) join rows into `node`,
+    /// reviving it on its first surviving tree and feeding the facts
+    /// that gained trees into the pending wave delta.
+    fn store_delta_rows(
+        &mut self,
+        node: NodeId,
+        rid: RuleId,
+        rows: Vec<JoinRow>,
+    ) -> Result<(), EngineError> {
+        if rows.is_empty() {
+            return Ok(());
+        }
+        let was_alive = self.graph.nodes[node.index()].alive;
+        let built = self.build_trees(node, rows)?;
+        self.stats.delta_new_trees += built.fresh_trees;
+        if built.fresh_facts.is_empty() {
+            return Ok(());
+        }
+        if !was_alive {
+            self.graph.nodes[node.index()].alive = true;
+            let head = self.canonical.program.rules[rid.index()].head.pred;
+            self.graph.register_producer(head.0, node);
+        }
+        self.merge_delta_next(node, built.fresh_facts);
+        Ok(())
+    }
+
+    /// Wave 0 of a delta pass: the semi-naive join of a source node,
+    /// restricted to the facts inserted into its dirty relations.
+    fn collect_source_delta(
+        &mut self,
+        node: NodeId,
+        dirty: &FxHashSet<PredId>,
+    ) -> Result<Vec<JoinRow>, EngineError> {
+        let rid = self.graph.nodes[node.index()].rule;
+        let rule = self.canonical.program.rules[rid.index()].clone();
+        let masks = binding_masks(&rule);
+        for (j, atom) in rule.body.iter().enumerate() {
+            self.db.ensure_edb_index(atom.pred, masks[j]);
+        }
+        let delta_sets: Vec<Option<FxHashSet<FactId>>> = rule
+            .body
+            .iter()
+            .map(|a| {
+                if dirty.contains(&a.pred) {
+                    Some(
+                        self.edb_delta
+                            .get(&a.pred)
+                            .map(|v| v.iter().copied().collect())
+                            .unwrap_or_default(),
+                    )
+                } else {
+                    None
+                }
+            })
+            .collect();
+        let store = &self.db.store;
+        let rels: Vec<&Relation> = rule
+            .body
+            .iter()
+            .map(|a| self.db.edb_relation_ref(a.pred))
+            .collect();
+        let mut out = Vec::new();
+        let mut probes = 0u64;
+        for q in 0..rule.body.len() {
+            if delta_sets[q].is_none() {
+                continue;
+            }
+            let specs: Vec<PosSpec<'_>> = delta_sets
+                .iter()
+                .enumerate()
+                .map(|(j, s)| match s {
+                    None => PosSpec::Full,
+                    Some(set) => match j.cmp(&q) {
+                        std::cmp::Ordering::Less => PosSpec::Except(set),
+                        std::cmp::Ordering::Equal => PosSpec::Delta(set),
+                        std::cmp::Ordering::Greater => PosSpec::Full,
+                    },
+                })
+                .collect();
+            join_delta(
+                &rule,
+                &masks,
+                &rels,
+                &specs,
+                store,
+                &self.meter,
+                &mut out,
+                &mut probes,
+            )?;
+        }
+        self.stats.delta_join_probes += probes;
+        Ok(out)
+    }
+
+    /// The semi-naive join of one planned combination: per changed
+    /// parent position, one delta join over that parent's changed root
+    /// facts, with earlier changed positions restricted to their old
+    /// facts — every row with at least one changed fact, exactly once.
+    fn collect_delta_matches(
+        &mut self,
+        rid: RuleId,
+        parents: &[NodeId],
+        delta_sets: &FxHashMap<NodeId, FxHashSet<FactId>>,
+    ) -> Result<Vec<JoinRow>, EngineError> {
+        let rule = self.canonical.program.rules[rid.index()].clone();
+        let masks = binding_masks(&rule);
+        for (j, &p) in parents.iter().enumerate() {
+            self.graph.nodes[p.index()]
+                .store
+                .ensure_index(masks[j], &self.db.store);
+        }
+        let store = &self.db.store;
+        let rels: Vec<&Relation> = parents
+            .iter()
+            .map(|p| &self.graph.nodes[p.index()].store)
+            .collect();
+        let mut out = Vec::new();
+        let mut probes = 0u64;
+        for q in 0..parents.len() {
+            if !delta_sets.contains_key(&parents[q]) {
+                continue;
+            }
+            let specs: Vec<PosSpec<'_>> = parents
+                .iter()
+                .enumerate()
+                .map(|(j, p)| match delta_sets.get(p) {
+                    None => PosSpec::Full,
+                    Some(set) => match j.cmp(&q) {
+                        std::cmp::Ordering::Less => PosSpec::Except(set),
+                        std::cmp::Ordering::Equal => PosSpec::Delta(set),
+                        std::cmp::Ordering::Greater => PosSpec::Full,
+                    },
+                })
+                .collect();
+            join_delta(
+                &rule,
+                &masks,
+                &rels,
+                &specs,
+                store,
+                &self.meter,
+                &mut out,
+                &mut probes,
+            )?;
+        }
+        self.stats.delta_join_probes += probes;
+        Ok(out)
     }
 
     /// One propagation wave: plans every parent combination with at
-    /// least one parent in `changed` (each combination exactly once via
-    /// the pivot discipline: positions before the pivot draw unchanged
-    /// producers only), then re-instantiates existing nodes and creates
-    /// the missing ones. Returns the nodes that stored new trees.
-    fn delta_wave(
-        &mut self,
-        changed: &FxHashSet<NodeId>,
-    ) -> Result<FxHashSet<NodeId>, EngineError> {
+    /// least one parent in the frontier (each combination exactly once
+    /// via the pivot discipline: positions before the pivot draw
+    /// unchanged producers only), evaluates its semi-naive delta join,
+    /// and stores the surviving trees. Nodes are created **lazily**:
+    /// a combination only enters the arena (and the combo registry)
+    /// when its delta join produced rows — planned-but-barren
+    /// combinations used to be pushed dead into the arena forever,
+    /// which is exactly the graph blowup this rewrite removes. Facts
+    /// that gained trees accumulate in `delta_next`.
+    fn delta_wave(&mut self) -> Result<(), EngineError> {
+        let changed: FxHashSet<NodeId> = self.delta_frontier.keys().copied().collect();
+        let delta_sets: FxHashMap<NodeId, FxHashSet<FactId>> = self
+            .delta_frontier
+            .iter()
+            .map(|(&n, v)| (n, v.iter().copied().collect()))
+            .collect();
         let mut planned: Vec<(RuleId, Box<[NodeId]>)> = Vec::new();
         let nonbase = self.canonical.nonbase_rules.clone();
         for &rid in &nonbase {
@@ -773,35 +1017,91 @@ impl LtgEngine {
             }
         }
 
-        let mut next: FxHashSet<NodeId> = FxHashSet::default();
         for (rid, parents) in planned {
+            let depth = parents
+                .iter()
+                .map(|p| self.graph.nodes[p.index()].depth)
+                .max()
+                .expect("nonbase combos have parents")
+                + 1;
+            if self.config.max_depth.is_some_and(|d| depth > d) {
+                continue;
+            }
+            let rows = self.collect_delta_matches(rid, &parents, &delta_sets)?;
+            if rows.is_empty() {
+                self.meter.check()?;
+                continue;
+            }
             let node = match self.combos.get(&(rid, parents.clone())) {
                 Some(&n) => n,
                 None => {
-                    let depth = parents
-                        .iter()
-                        .map(|p| self.graph.nodes[p.index()].depth)
-                        .max()
-                        .unwrap()
-                        + 1;
-                    if self.config.max_depth.is_some_and(|d| depth > d) {
-                        continue;
-                    }
                     let n = self.graph.push_node(rid, parents.clone(), depth);
                     self.stats.nodes_created += 1;
                     self.combos.insert((rid, parents), n);
-                    // Fresh nodes start unregistered: `reinstantiate`
+                    // Fresh nodes start unregistered: `store_delta_rows`
                     // revives them on their first surviving tree.
                     self.graph.nodes[n.index()].alive = false;
                     n
                 }
             };
-            if self.reinstantiate(node, rid)? {
-                next.insert(node);
-            }
+            self.store_delta_rows(node, rid, rows)?;
             self.meter.check()?;
         }
-        Ok(next)
+        Ok(())
+    }
+
+    /// Mark-sweep reclamation of dead combos. A node is kept iff it is
+    /// alive, a source node (wave 0 indexes `combos[(rid, [])]`
+    /// unconditionally), or an ancestor-of-a-kept-node (parents must
+    /// outlive children so `NodeId`s in `parents` stay resolvable).
+    /// Everything else — combinations that were planned, joined empty
+    /// (or lost every tree to a retraction) and will be lazily
+    /// re-created by a future delta wave if their join ever produces
+    /// rows — is swept, with an **order-preserving** `NodeId` remap (the
+    /// `TreeId` analogue `export_state` already ships). Refused while
+    /// any mutation is mid-flight: pending sets and the semi-naive
+    /// frontier hold `NodeId`s/`FactId`s the sweep would orphan.
+    fn compact_graph(&mut self) {
+        if !self.dirty_edb.is_empty()
+            || !self.pending_retract.is_empty()
+            || !self.retract_nodes.is_empty()
+            || !self.delta_frontier.is_empty()
+            || !self.delta_next.is_empty()
+        {
+            return;
+        }
+        let n = self.graph.nodes.len();
+        self.stats.graph_nodes_hiwater = self.stats.graph_nodes_hiwater.max(n as u64);
+        let mut keep = vec![false; n];
+        for (i, node) in self.graph.nodes.iter().enumerate() {
+            if node.alive || node.parents.is_empty() {
+                keep[i] = true;
+            }
+        }
+        // Parents have smaller indices, so one descending pass closes
+        // the kept set over ancestry.
+        for i in (0..n).rev() {
+            if keep[i] {
+                for p in self.graph.nodes[i].parents.iter() {
+                    keep[p.index()] = true;
+                }
+            }
+        }
+        let swept = keep.iter().filter(|&&k| !k).count();
+        if swept == 0 {
+            return;
+        }
+        self.graph.compact(&keep);
+        self.stats.nodes_compacted += swept as u64;
+        // The combo registry is a pure index of `graph.nodes`; rebuild
+        // it from the survivors. Every dropped entry is a pruned combo.
+        let before = self.combos.len();
+        self.combos.clear();
+        for (i, node) in self.graph.nodes.iter().enumerate() {
+            self.combos
+                .insert((node.rule, node.parents.clone()), NodeId(i as u32));
+        }
+        self.stats.combos_pruned += (before - self.combos.len()) as u64;
     }
 
     /// Round 1: one source node per base rule.
@@ -908,7 +1208,8 @@ impl LtgEngine {
         if matches.is_empty() {
             return Ok(false);
         }
-        self.build_trees(node, matches)
+        let built = self.build_trees(node, matches)?;
+        Ok(!built.fresh_facts.is_empty())
     }
 
     /// Phase 1 of instantiation: the join. Computes every term mapping of
@@ -954,8 +1255,14 @@ impl LtgEngine {
     }
 
     /// Phase 2 of instantiation: derivation-tree construction, collapsing
-    /// decision, redundancy filtering, tset population.
-    fn build_trees(&mut self, node: NodeId, matches: Vec<JoinRow>) -> Result<bool, EngineError> {
+    /// decision, redundancy filtering, tset population. Returns the root
+    /// facts that gained trees (in ascending fact order) and the number
+    /// of trees actually stored.
+    fn build_trees(
+        &mut self,
+        node: NodeId,
+        matches: Vec<JoinRow>,
+    ) -> Result<BuildOutcome, EngineError> {
         let rid = self.graph.nodes[node.index()].rule;
         let head_pred = self.canonical.program.rules[rid.index()].head.pred;
         let parents = self.graph.nodes[node.index()].parents.clone();
@@ -1024,7 +1331,7 @@ impl LtgEngine {
             && !groups.is_empty()
             && total_trees >= groups.len() * self.config.collapse_threshold;
 
-        let mut survived = false;
+        let mut outcome = BuildOutcome::default();
         let mut group_list: Vec<(FactId, Vec<TreeId>)> = groups.into_iter().collect();
         group_list.sort_unstable_by_key(|(f, _)| *f);
         for (fact, mut trees) in group_list {
@@ -1094,14 +1401,15 @@ impl LtgEngine {
             if fresh.is_empty() {
                 continue;
             }
+            outcome.fresh_trees += fresh.len() as u64;
             entry.extend(fresh.iter().copied());
             if first_time {
                 n.store.push(fact);
             }
             self.derived.entry(fact).or_default().extend(fresh);
-            survived = true;
+            outcome.fresh_facts.push(fact);
         }
-        Ok(survived)
+        Ok(outcome)
     }
 
     // ------------------------------------------------------------------
@@ -1138,6 +1446,8 @@ impl LtgEngine {
         if !self.dirty_edb.is_empty()
             || !self.pending_retract.is_empty()
             || !self.retract_nodes.is_empty()
+            || !self.delta_frontier.is_empty()
+            || !self.delta_next.is_empty()
         {
             return Err(ExportError::PendingMutations);
         }
@@ -1365,6 +1675,9 @@ impl LtgEngine {
             combos,
             idb_mask,
             dirty_edb: FxHashSet::default(),
+            edb_delta: FxHashMap::default(),
+            delta_frontier: FxHashMap::default(),
+            delta_next: FxHashMap::default(),
             pending_retract: FxHashSet::default(),
             retract_nodes: FxHashSet::default(),
             config,

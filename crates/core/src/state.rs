@@ -11,16 +11,22 @@
 //!
 //! Three id spaces must survive a roundtrip for restored sessions to
 //! keep answering (and mutating) exactly like the original process:
-//! `FactId` (lineage leaves and WMC weight indexes) and `NodeId`
-//! (producer-list order drives delta-wave planning) are preserved
-//! *verbatim* — the snapshot dumps those arenas whole, dead graph
-//! nodes included. `TreeId`s are preserved *up to an order-preserving
-//! compaction*: the forest arena accumulates every candidate
-//! derivation ever interned (most discarded by redundancy filtering
-//! and explanation dedup), and only the trees reachable from a tset or
-//! the derived registry are exported, renumbered in id order. Every
-//! downstream consumer depends on tree id *order* and *structure*,
-//! never absolute values, so the compaction is invisible — see
+//! `FactId` (lineage leaves and WMC weight indexes) is preserved
+//! *verbatim* — the snapshot dumps that arena whole. `NodeId` and
+//! `TreeId` are preserved *up to order-preserving compactions* that
+//! the resident engine itself performs at deterministic points: the
+//! forest arena accumulates every candidate derivation ever interned
+//! (most discarded by redundancy filtering and explanation dedup) and
+//! only the trees reachable from a tset or the derived registry are
+//! exported, renumbered in id order; the graph arena is mark-swept by
+//! [`crate::LtgEngine`]'s dead-combo compaction after every completed
+//! (delta-)reasoning pass, so a snapshot only ever sees the already-
+//! compacted arena and dumps it whole. Every downstream consumer
+//! depends on id *order* (producer-list order drives delta-wave
+//! planning) and *structure*, never absolute values, so both
+//! compactions are invisible: a restored engine evolves in bitwise
+//! lockstep with the original because original and replica sweep the
+//! same nodes at the same points — see
 //! [`crate::LtgEngine::export_state`]. Memoized registries that merely
 //! cache these structures (leaf sets, the explanation-dedup table, the
 //! combo registry) are *rebuilt* on restore, which also reconstructs
@@ -45,7 +51,8 @@ pub struct NodeState {
     pub parents: Vec<NodeId>,
     /// Longest-path depth (source nodes: 1).
     pub depth: u32,
-    /// Liveness (dead nodes stay in the arena so ids are stable).
+    /// Liveness (dead nodes an alive node still references — sources,
+    /// shared ancestors — stay in the arena between compaction sweeps).
     pub alive: bool,
     /// Distinct root facts in first-derivation order.
     pub store: Vec<FactId>,

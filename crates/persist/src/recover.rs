@@ -13,8 +13,12 @@
 //! * records are replayed in strict epoch order, one incremental
 //!   reasoning pass per record — exactly the sequence the original
 //!   session executed, which the differential harness proves equivalent
-//!   to from-scratch reasoning; records the snapshot already covers
-//!   (`epoch <= restored`) are skipped, which closes the
+//!   to from-scratch reasoning; each record re-enacts `ltg-server`'s
+//!   `Session::apply` pipeline as a one-mutation batch (validate was
+//!   done before logging, so replay goes straight to the engine pass —
+//!   the crate layering runs persist ← server, so the mirror is
+//!   mechanical rather than a call); records the snapshot already
+//!   covers (`epoch <= restored`) are skipped, which closes the
 //!   crash-between-snapshot-write-and-WAL-truncate window;
 //! * any divergence mid-replay (epoch gap, unexpected outcome) stops
 //!   the replay and resets the log at the recovered epoch, keeping the

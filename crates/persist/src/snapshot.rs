@@ -31,7 +31,10 @@ use std::time::Duration;
 /// File magic, also serving as the major format id.
 pub const MAGIC: &[u8; 8] = b"LTGSNAP1";
 /// Current format version. Bump on any payload layout change.
-pub const VERSION: u32 = 1;
+/// v2: the delta-path stats (`delta_join_probes`, `delta_new_trees`,
+/// `combos_pruned`, `nodes_compacted`, `graph_nodes_hiwater`) joined
+/// the stats block. v1 snapshots fall back to a cold boot.
+pub const VERSION: u32 = 2;
 
 /// Encodes a full engine state into the snapshot payload (header and
 /// CRC are added by [`write_atomic`]).
@@ -303,6 +306,11 @@ fn encode_stats(w: &mut Writer, s: &ReasonStats) {
     w.put_u64(s.delta_waves);
     w.put_u64(s.retract_passes);
     w.put_u64(s.retracted_trees);
+    w.put_u64(s.delta_join_probes);
+    w.put_u64(s.delta_new_trees);
+    w.put_u64(s.combos_pruned);
+    w.put_u64(s.nodes_compacted);
+    w.put_u64(s.graph_nodes_hiwater);
 }
 
 fn decode_stats(r: &mut Reader<'_>) -> Result<ReasonStats, DecodeError> {
@@ -320,6 +328,11 @@ fn decode_stats(r: &mut Reader<'_>) -> Result<ReasonStats, DecodeError> {
         delta_waves: r.get_u64("stats delta waves")?,
         retract_passes: r.get_u64("stats retract passes")?,
         retracted_trees: r.get_u64("stats retracted trees")?,
+        delta_join_probes: r.get_u64("stats delta join probes")?,
+        delta_new_trees: r.get_u64("stats delta new trees")?,
+        combos_pruned: r.get_u64("stats combos pruned")?,
+        nodes_compacted: r.get_u64("stats nodes compacted")?,
+        graph_nodes_hiwater: r.get_u64("stats graph hiwater")?,
     })
 }
 

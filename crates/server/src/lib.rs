@@ -27,6 +27,14 @@
 //!   `snapshot + WAL tail` instead of re-reasoning — warm in
 //!   load-the-file time, bitwise-identical answers.
 //!
+//! The wire verbs `INSERT` / `UPDATE` / `DELETE` all parse into one
+//! typed shape — [`protocol::Request::Mutate`], a
+//! [`session::MutationBatch`] — and every front end funnels them
+//! through the single [`Session::apply`] pipeline (validate → WAL-log →
+//! engine pass → cache invalidate). Replies are encoded by the matching
+//! [`protocol::Response::render`], the one copy of the wire format
+//! strings.
+//!
 //! [`server::Server`] puts a [`server::RequestHandler`] behind a
 //! `TcpListener` speaking the line protocol of [`protocol`] (`QUERY` /
 //! `INSERT` / `UPDATE` / `DELETE` / `SNAPSHOT` / `STATS` / `PING`),
@@ -45,9 +53,12 @@ pub mod session;
 
 pub use cache::{CacheBudget, QueryCache};
 pub use ltg_persist::{BootMode, BootReport};
+#[allow(deprecated)]
 pub use protocol::Command;
-pub use server::{RequestHandler, Server, SessionHandle};
+pub use protocol::{Request, Response};
+pub use server::{execute, respond, RequestHandler, Server, SessionHandle};
 pub use session::{
     atom_shape, Answer, AtomShape, BootError, DeleteResponse, DurabilityOptions, InsertResponse,
-    Session, SessionError, SessionOptions, UpdateResponse,
+    Mutation, MutationBatch, MutationResponse, Session, SessionError, SessionOptions,
+    UpdateResponse,
 };

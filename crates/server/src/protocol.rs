@@ -19,8 +19,237 @@
 //! lines (query answers as `<prob>\t<atom>`, stats as `<key> <value>`);
 //! single-line responses inline their message after `OK`. See
 //! `docs/server.md` for the full wire format.
+//!
+//! The protocol is a single typed codec pair: [`Request::parse`]
+//! decodes a line, [`Response::render`] encodes the reply. Every wire
+//! byte the server ever writes comes out of that one `render` — the
+//! single-process server and the sharded router both encode through it,
+//! which keeps the two byte-compatible by construction (a property the
+//! sharded differential harness then checks end to end).
 
-/// A parsed request line.
+use crate::session::{Answer, Mutation, MutationBatch, MutationResponse};
+use crate::session::{DeleteResponse, InsertResponse, UpdateResponse};
+
+/// A typed request line — the decode half of the protocol. The three
+/// mutation verbs all parse into [`Request::Mutate`], so every front
+/// end funnels mutations into the one
+/// [`crate::Session::apply`] pipeline.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// `QUERY <atom>.` — answer a (possibly open) query atom.
+    Query(String),
+    /// `INSERT [<p> ::] <atom>.` / `UPDATE [<p> ::] <atom>.` /
+    /// `DELETE <atom>[; <atom>…].` — a typed mutation batch.
+    Mutate {
+        /// The mutations, in wire order. `INSERT`/`UPDATE` produce one;
+        /// `DELETE` produces one per `;`-separated atom.
+        mutations: MutationBatch,
+        /// True when the wire form was a multi-atom `DELETE` batch,
+        /// which renders with `OK <n>` framing; single mutations render
+        /// inline (see [`Response::Mutated`]).
+        batch: bool,
+    },
+    /// `SNAPSHOT` / `SNAPSHOT INFO` — write a durability checkpoint now
+    /// / report the durability status without writing anything.
+    Snapshot {
+        /// True for `SNAPSHOT INFO` (inspect only).
+        info: bool,
+    },
+    /// `STATS` — session / cache / engine counters.
+    Stats,
+    /// `PING` — liveness check.
+    Ping,
+    /// `QUIT` — close the connection.
+    Quit,
+}
+
+impl Request {
+    /// Parses one request line. Verbs are case-insensitive; `RETRACT`
+    /// aliases `DELETE` and `EXIT`/`BYE` alias `QUIT`.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let line = line.trim();
+        let (verb, rest) = match line.split_once(char::is_whitespace) {
+            Some((v, r)) => (v, r.trim()),
+            None => (line, ""),
+        };
+        match verb.to_ascii_uppercase().as_str() {
+            "QUERY" => {
+                if rest.is_empty() {
+                    Err("QUERY needs an atom, e.g. QUERY p(a, X).".into())
+                } else {
+                    Ok(Request::Query(rest.to_string()))
+                }
+            }
+            "INSERT" => {
+                let (prob, atom) = parse_weighted(rest, "INSERT")?;
+                Ok(Request::Mutate {
+                    mutations: vec![Mutation::Insert { prob, atom }],
+                    batch: false,
+                })
+            }
+            "UPDATE" => {
+                let (prob, atom) = parse_weighted(rest, "UPDATE")?;
+                Ok(Request::Mutate {
+                    mutations: vec![Mutation::Update { prob, atom }],
+                    batch: false,
+                })
+            }
+            "DELETE" | "RETRACT" => {
+                let atoms = split_batch(rest);
+                if atoms.is_empty() {
+                    Err("DELETE needs a fact, e.g. DELETE e(a, b).".into())
+                } else {
+                    Ok(Request::Mutate {
+                        batch: atoms.len() > 1,
+                        mutations: atoms
+                            .into_iter()
+                            .map(|atom| Mutation::Delete { atom })
+                            .collect(),
+                    })
+                }
+            }
+            "SNAPSHOT" => match rest.to_ascii_uppercase().as_str() {
+                "" => Ok(Request::Snapshot { info: false }),
+                "INFO" => Ok(Request::Snapshot { info: true }),
+                other => Err(format!(
+                    "unknown SNAPSHOT argument '{other}' (expected nothing or INFO)"
+                )),
+            },
+            "STATS" => Ok(Request::Stats),
+            "PING" => Ok(Request::Ping),
+            "QUIT" | "EXIT" | "BYE" => Ok(Request::Quit),
+            other => Err(format!(
+                "unknown verb '{other}' (expected QUERY, INSERT, UPDATE, DELETE, SNAPSHOT, STATS, \
+                 PING or QUIT)"
+            )),
+        }
+    }
+}
+
+/// A typed response — the encode half of the protocol. Everything the
+/// server writes to a socket is one of these, rendered byte-exactly by
+/// [`Response::render`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// `OK pong`
+    Pong,
+    /// `OK bye`
+    Bye,
+    /// `ERR <message>`
+    Error(String),
+    /// Query answers: `OK <n>` plus one `<prob>\t<atom>` line each.
+    Answers(Vec<Answer>),
+    /// `STATS` / `SNAPSHOT INFO` payload: `OK <n>` plus `<key> <value>`
+    /// lines.
+    Lines(Vec<(String, String)>),
+    /// Mutation outcomes, one per mutation in request order. `batch`
+    /// mirrors [`Request::Mutate`]: a lone non-batch outcome renders
+    /// inline (`OK inserted epoch=3`), anything else renders with
+    /// `OK <n>` framing and one payload line per outcome.
+    Mutated {
+        /// One outcome per mutation, input order.
+        responses: Vec<MutationResponse>,
+        /// `OK <n>` framing (multi-atom `DELETE`).
+        batch: bool,
+    },
+    /// `OK snapshot epoch=<e> bytes=<b>`
+    SnapshotWritten {
+        /// Database epoch the snapshot captures.
+        epoch: u64,
+        /// Snapshot size in bytes.
+        bytes: u64,
+    },
+}
+
+impl Response {
+    /// Renders the complete, newline-terminated wire response.
+    pub fn render(&self) -> String {
+        match self {
+            Response::Pong => "OK pong\n".into(),
+            Response::Bye => "OK bye\n".into(),
+            Response::Error(msg) => format!("ERR {msg}\n"),
+            Response::Answers(answers) => {
+                let mut out = format!("OK {}\n", answers.len());
+                for a in answers {
+                    out.push_str(&format!("{:.6}\t{}\n", a.prob, a.text));
+                }
+                out
+            }
+            Response::Lines(lines) => {
+                let mut out = format!("OK {}\n", lines.len());
+                for (k, v) in lines {
+                    out.push_str(k);
+                    out.push(' ');
+                    out.push_str(v);
+                    out.push('\n');
+                }
+                out
+            }
+            Response::Mutated { responses, batch } => {
+                if let (false, [r]) = (*batch, &responses[..]) {
+                    return render_mutation_inline(r);
+                }
+                let mut out = format!("OK {}\n", responses.len());
+                for r in responses {
+                    out.push_str(&render_mutation_line(r));
+                }
+                out
+            }
+            Response::SnapshotWritten { epoch, bytes } => {
+                format!("OK snapshot epoch={epoch} bytes={bytes}\n")
+            }
+        }
+    }
+}
+
+/// Renders a single mutation outcome as a full inline response line.
+fn render_mutation_inline(r: &MutationResponse) -> String {
+    match r {
+        MutationResponse::Insert(InsertResponse::Inserted { epoch }) => {
+            format!("OK inserted epoch={epoch}\n")
+        }
+        MutationResponse::Insert(InsertResponse::Duplicate { prob }) => {
+            format!("OK duplicate p={prob:.6}\n")
+        }
+        MutationResponse::Insert(InsertResponse::Conflict { existing }) => {
+            format!("ERR conflict: fact already has p={existing:.6}; use UPDATE to change it\n")
+        }
+        MutationResponse::Delete(DeleteResponse::Deleted { prob, epoch }) => {
+            format!("OK deleted p={prob:.6} epoch={epoch}\n")
+        }
+        MutationResponse::Delete(DeleteResponse::Missing) => "OK missing\n".into(),
+        MutationResponse::Update(UpdateResponse { old, new, epoch }) => {
+            format!("OK updated p={old:.6} -> {new:.6} epoch={epoch}\n")
+        }
+    }
+}
+
+/// Renders a single mutation outcome as one `OK <n>`-framed payload
+/// line.
+fn render_mutation_line(r: &MutationResponse) -> String {
+    match r {
+        MutationResponse::Insert(InsertResponse::Inserted { epoch }) => {
+            format!("inserted epoch={epoch}\n")
+        }
+        MutationResponse::Insert(InsertResponse::Duplicate { prob }) => {
+            format!("duplicate p={prob:.6}\n")
+        }
+        MutationResponse::Insert(InsertResponse::Conflict { existing }) => {
+            format!("conflict p={existing:.6}\n")
+        }
+        MutationResponse::Delete(DeleteResponse::Deleted { prob, epoch }) => {
+            format!("deleted p={prob:.6} epoch={epoch}\n")
+        }
+        MutationResponse::Delete(DeleteResponse::Missing) => "missing\n".into(),
+        MutationResponse::Update(UpdateResponse { old, new, epoch }) => {
+            format!("updated p={old:.6} -> {new:.6} epoch={epoch}\n")
+        }
+    }
+}
+
+/// A parsed request line (the pre-[`Request`] shape, one variant per
+/// mutation verb).
+#[deprecated(note = "parse into the typed Request enum with Request::parse")]
 #[derive(Clone, Debug, PartialEq)]
 pub enum Command {
     /// `QUERY <atom>.` — answer a (possibly open) query atom.
@@ -42,15 +271,12 @@ pub enum Command {
         atom: String,
     },
     /// `DELETE <atom>[; <atom>…].` — retract one or more extensional
-    /// facts and prune their derivation cones incrementally; a batch is
-    /// retracted through a single multi-victim pass. Deleting an absent
-    /// fact is a reported no-op (`OK missing`).
+    /// facts; a batch is retracted through a single multi-victim pass.
     Delete {
         /// The ground atom texts (`;`-separated on the wire).
         atoms: Vec<String>,
     },
-    /// `SNAPSHOT` / `SNAPSHOT INFO` — write a durability checkpoint now
-    /// / report the durability status without writing anything.
+    /// `SNAPSHOT` / `SNAPSHOT INFO`.
     Snapshot {
         /// True for `SNAPSHOT INFO` (inspect only).
         info: bool,
@@ -64,51 +290,37 @@ pub enum Command {
 }
 
 /// Parses one request line (the verb is case-insensitive).
+#[deprecated(note = "parse into the typed Request enum with Request::parse")]
+#[allow(deprecated)]
 pub fn parse_command(line: &str) -> Result<Command, String> {
-    let line = line.trim();
-    let (verb, rest) = match line.split_once(char::is_whitespace) {
-        Some((v, r)) => (v, r.trim()),
-        None => (line, ""),
-    };
-    match verb.to_ascii_uppercase().as_str() {
-        "QUERY" => {
-            if rest.is_empty() {
-                Err("QUERY needs an atom, e.g. QUERY p(a, X).".into())
-            } else {
-                Ok(Command::Query(rest.to_string()))
-            }
-        }
-        "INSERT" => {
-            let (prob, atom) = parse_weighted(rest, "INSERT")?;
-            Ok(Command::Insert { prob, atom })
-        }
-        "UPDATE" => {
-            let (prob, atom) = parse_weighted(rest, "UPDATE")?;
-            Ok(Command::Update { prob, atom })
-        }
-        "DELETE" | "RETRACT" => {
-            let atoms = split_batch(rest);
-            if atoms.is_empty() {
-                Err("DELETE needs a fact, e.g. DELETE e(a, b).".into())
-            } else {
-                Ok(Command::Delete { atoms })
-            }
-        }
-        "SNAPSHOT" => match rest.to_ascii_uppercase().as_str() {
-            "" => Ok(Command::Snapshot { info: false }),
-            "INFO" => Ok(Command::Snapshot { info: true }),
-            other => Err(format!(
-                "unknown SNAPSHOT argument '{other}' (expected nothing or INFO)"
-            )),
+    Ok(match Request::parse(line)? {
+        Request::Query(atom) => Command::Query(atom),
+        // The wire grammar only ever produces homogeneous batches: one
+        // insert, one update, or all deletes.
+        Request::Mutate { mut mutations, .. } => match &mut mutations[..] {
+            [Mutation::Insert { prob, atom }] => Command::Insert {
+                prob: *prob,
+                atom: std::mem::take(atom),
+            },
+            [Mutation::Update { prob, atom }] => Command::Update {
+                prob: *prob,
+                atom: std::mem::take(atom),
+            },
+            _ => Command::Delete {
+                atoms: mutations
+                    .into_iter()
+                    .map(|m| match m {
+                        Mutation::Delete { atom } => atom,
+                        _ => unreachable!("wire mutation batches are all-delete"),
+                    })
+                    .collect(),
+            },
         },
-        "STATS" => Ok(Command::Stats),
-        "PING" => Ok(Command::Ping),
-        "QUIT" | "EXIT" | "BYE" => Ok(Command::Quit),
-        other => Err(format!(
-            "unknown verb '{other}' (expected QUERY, INSERT, UPDATE, DELETE, SNAPSHOT, STATS, \
-             PING or QUIT)"
-        )),
-    }
+        Request::Snapshot { info } => Command::Snapshot { info },
+        Request::Stats => Command::Stats,
+        Request::Ping => Command::Ping,
+        Request::Quit => Command::Quit,
+    })
 }
 
 /// Splits a `;`-separated atom batch, ignoring separators inside
@@ -166,14 +378,197 @@ fn parse_weighted(rest: &str, verb: &str) -> Result<(f64, String), String> {
 
 #[cfg(test)]
 mod tests {
+    // parse_command stays covered until the Command shim is removed.
+    #![allow(deprecated)]
     use super::*;
 
     #[test]
     fn verbs_parse() {
         assert_eq!(
-            parse_command("QUERY p(a, X)."),
-            Ok(Command::Query("p(a, X).".into()))
+            Request::parse("QUERY p(a, X)."),
+            Ok(Request::Query("p(a, X).".into()))
         );
+        assert_eq!(
+            Request::parse("insert 0.9 :: e(a, d)."),
+            Ok(Request::Mutate {
+                mutations: vec![Mutation::Insert {
+                    prob: 0.9,
+                    atom: "e(a, d).".into()
+                }],
+                batch: false,
+            })
+        );
+        assert_eq!(
+            Request::parse("INSERT e(a, d)."),
+            Ok(Request::Mutate {
+                mutations: vec![Mutation::Insert {
+                    prob: 1.0,
+                    atom: "e(a, d).".into()
+                }],
+                batch: false,
+            })
+        );
+        assert_eq!(
+            Request::parse("UPDATE 0.4 :: e(a, b)."),
+            Ok(Request::Mutate {
+                mutations: vec![Mutation::Update {
+                    prob: 0.4,
+                    atom: "e(a, b).".into()
+                }],
+                batch: false,
+            })
+        );
+        // RETRACT is an alias, matching the Datalog literature. A lone
+        // delete is not a batch: it renders inline.
+        for line in ["DELETE e(a, b).", "retract e(a, b)."] {
+            assert_eq!(
+                Request::parse(line),
+                Ok(Request::Mutate {
+                    mutations: vec![Mutation::Delete {
+                        atom: "e(a, b).".into()
+                    }],
+                    batch: false,
+                })
+            );
+        }
+        // A `;`-separated batch is retracted in one pass and renders
+        // with `OK <n>` framing.
+        assert_eq!(
+            Request::parse("DELETE e(a, b); e(b, c) ; e(c, d)."),
+            Ok(Request::Mutate {
+                mutations: vec![
+                    Mutation::Delete {
+                        atom: "e(a, b)".into()
+                    },
+                    Mutation::Delete {
+                        atom: "e(b, c)".into()
+                    },
+                    Mutation::Delete {
+                        atom: "e(c, d).".into()
+                    },
+                ],
+                batch: true,
+            })
+        );
+        // `;` inside a quoted constant is not a batch separator — the
+        // session tokenizer accepts such constants, so DELETE must too.
+        assert_eq!(
+            Request::parse("DELETE e('a;b'); e(\"x;y\", c)."),
+            Ok(Request::Mutate {
+                mutations: vec![
+                    Mutation::Delete {
+                        atom: "e('a;b')".into()
+                    },
+                    Mutation::Delete {
+                        atom: "e(\"x;y\", c).".into()
+                    },
+                ],
+                batch: true,
+            })
+        );
+        assert_eq!(
+            Request::parse("SNAPSHOT"),
+            Ok(Request::Snapshot { info: false })
+        );
+        assert_eq!(
+            Request::parse("snapshot info"),
+            Ok(Request::Snapshot { info: true })
+        );
+        assert!(Request::parse("SNAPSHOT now").is_err());
+        assert_eq!(Request::parse("STATS"), Ok(Request::Stats));
+        assert_eq!(Request::parse("  ping  "), Ok(Request::Ping));
+        assert_eq!(Request::parse("quit"), Ok(Request::Quit));
+    }
+
+    #[test]
+    fn bad_lines_are_rejected() {
+        assert!(Request::parse("QUERY").is_err());
+        assert!(Request::parse("INSERT").is_err());
+        assert!(Request::parse("INSERT zz :: e(a).").is_err());
+        assert!(Request::parse("DELETE").is_err());
+        assert!(Request::parse("FROBNICATE x").is_err());
+    }
+
+    #[test]
+    fn responses_render_the_wire_format() {
+        assert_eq!(Response::Pong.render(), "OK pong\n");
+        assert_eq!(Response::Bye.render(), "OK bye\n");
+        assert_eq!(
+            Response::Error("unknown predicate q/1".into()).render(),
+            "ERR unknown predicate q/1\n"
+        );
+        assert_eq!(
+            Response::Answers(vec![Answer {
+                text: "p(a,b)".into(),
+                prob: 0.78,
+            }])
+            .render(),
+            "OK 1\n0.780000\tp(a,b)\n"
+        );
+        assert_eq!(
+            Response::Lines(vec![("queries".into(), "2".into())]).render(),
+            "OK 1\nqueries 2\n"
+        );
+        assert_eq!(
+            Response::SnapshotWritten {
+                epoch: 4,
+                bytes: 1024,
+            }
+            .render(),
+            "OK snapshot epoch=4 bytes=1024\n"
+        );
+        // Single mutations render inline…
+        assert_eq!(
+            Response::Mutated {
+                responses: vec![MutationResponse::Insert(InsertResponse::Inserted {
+                    epoch: 3
+                })],
+                batch: false,
+            }
+            .render(),
+            "OK inserted epoch=3\n"
+        );
+        assert_eq!(
+            Response::Mutated {
+                responses: vec![MutationResponse::Insert(InsertResponse::Conflict {
+                    existing: 0.5
+                })],
+                batch: false,
+            }
+            .render(),
+            "ERR conflict: fact already has p=0.500000; use UPDATE to change it\n"
+        );
+        assert_eq!(
+            Response::Mutated {
+                responses: vec![MutationResponse::Update(UpdateResponse {
+                    old: 0.5,
+                    new: 0.9,
+                    epoch: 7,
+                })],
+                batch: false,
+            }
+            .render(),
+            "OK updated p=0.500000 -> 0.900000 epoch=7\n"
+        );
+        // …while batches get `OK <n>` framing, one line per outcome.
+        assert_eq!(
+            Response::Mutated {
+                responses: vec![
+                    MutationResponse::Delete(DeleteResponse::Deleted {
+                        prob: 0.5,
+                        epoch: 2,
+                    }),
+                    MutationResponse::Delete(DeleteResponse::Missing),
+                ],
+                batch: true,
+            }
+            .render(),
+            "OK 2\ndeleted p=0.500000 epoch=2\nmissing\n"
+        );
+    }
+
+    #[test]
+    fn command_shim_still_parses() {
         assert_eq!(
             parse_command("insert 0.9 :: e(a, d)."),
             Ok(Command::Insert {
@@ -182,67 +577,12 @@ mod tests {
             })
         );
         assert_eq!(
-            parse_command("INSERT e(a, d)."),
-            Ok(Command::Insert {
-                prob: 1.0,
-                atom: "e(a, d).".into()
-            })
-        );
-        assert_eq!(
-            parse_command("UPDATE 0.4 :: e(a, b)."),
-            Ok(Command::Update {
-                prob: 0.4,
-                atom: "e(a, b).".into()
-            })
-        );
-        assert_eq!(
-            parse_command("DELETE e(a, b)."),
+            parse_command("DELETE e(a, b); e(b, c)."),
             Ok(Command::Delete {
-                atoms: vec!["e(a, b).".into()]
+                atoms: vec!["e(a, b)".into(), "e(b, c).".into()]
             })
         );
-        // RETRACT is an alias, matching the Datalog literature.
-        assert_eq!(
-            parse_command("retract e(a, b)."),
-            Ok(Command::Delete {
-                atoms: vec!["e(a, b).".into()]
-            })
-        );
-        // A `;`-separated batch is retracted in one pass.
-        assert_eq!(
-            parse_command("DELETE e(a, b); e(b, c) ; e(c, d)."),
-            Ok(Command::Delete {
-                atoms: vec!["e(a, b)".into(), "e(b, c)".into(), "e(c, d).".into()]
-            })
-        );
-        // `;` inside a quoted constant is not a batch separator — the
-        // session tokenizer accepts such constants, so DELETE must too.
-        assert_eq!(
-            parse_command("DELETE e('a;b'); e(\"x;y\", c)."),
-            Ok(Command::Delete {
-                atoms: vec!["e('a;b')".into(), "e(\"x;y\", c).".into()]
-            })
-        );
-        assert_eq!(
-            parse_command("SNAPSHOT"),
-            Ok(Command::Snapshot { info: false })
-        );
-        assert_eq!(
-            parse_command("snapshot info"),
-            Ok(Command::Snapshot { info: true })
-        );
-        assert!(parse_command("SNAPSHOT now").is_err());
-        assert_eq!(parse_command("STATS"), Ok(Command::Stats));
-        assert_eq!(parse_command("  ping  "), Ok(Command::Ping));
         assert_eq!(parse_command("quit"), Ok(Command::Quit));
-    }
-
-    #[test]
-    fn bad_lines_are_rejected() {
-        assert!(parse_command("QUERY").is_err());
-        assert!(parse_command("INSERT").is_err());
-        assert!(parse_command("INSERT zz :: e(a).").is_err());
-        assert!(parse_command("DELETE").is_err());
         assert!(parse_command("FROBNICATE x").is_err());
     }
 }

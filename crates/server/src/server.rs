@@ -8,8 +8,10 @@
 //! and inserts mutate the graph — while accepting and reading any
 //! number of connections concurrently.
 
-use crate::protocol::{parse_command, Command};
-use crate::session::{DeleteResponse, InsertResponse, Session, SessionOptions};
+use crate::protocol::{Request, Response};
+use crate::session::{
+    DeleteResponse, InsertResponse, MutationResponse, Session, SessionOptions, UpdateResponse,
+};
 use ltg_datalog::Program;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -227,7 +229,7 @@ fn serve_connection(stream: TcpStream, handler: &dyn RequestHandler) -> io::Resu
         if trimmed.is_empty() {
             continue;
         }
-        if matches!(parse_command(trimmed), Ok(Command::Quit)) {
+        if matches!(Request::parse(trimmed), Ok(Request::Quit)) {
             writer.write_all(b"OK bye\n")?;
             return Ok(());
         }
@@ -239,115 +241,89 @@ fn serve_connection(stream: TcpStream, handler: &dyn RequestHandler) -> io::Resu
 
 /// Handles one request line against a session, returning the complete
 /// wire response (newline-terminated). Exposed so benches and tests can
-/// drive a session without a socket.
+/// drive a session without a socket. This is `Request::parse` →
+/// [`execute`] → `Response::render` and nothing else.
 pub fn respond(session: &mut Session, line: &str) -> String {
-    let command = match parse_command(line) {
-        Ok(c) => c,
-        Err(msg) => return format!("ERR {msg}\n"),
-    };
-    match command {
-        Command::Ping => "OK pong\n".into(),
-        Command::Quit => "OK bye\n".into(),
-        Command::Stats => {
-            let lines = session.stats_lines();
-            let mut out = format!("OK {}\n", lines.len());
-            for (k, v) in lines {
-                out.push_str(k);
-                out.push(' ');
-                out.push_str(&v);
-                out.push('\n');
-            }
-            out
+    match Request::parse(line) {
+        Ok(request) => execute(session, request).render(),
+        Err(msg) => Response::Error(msg).render(),
+    }
+}
+
+/// Executes one typed [`Request`] against a session — the decode →
+/// execute → encode pipeline behind [`respond`]. Mutations of every
+/// kind flow through the one [`Session::apply`] pipeline.
+pub fn execute(session: &mut Session, request: Request) -> Response {
+    match request {
+        Request::Ping => Response::Pong,
+        Request::Quit => Response::Bye,
+        Request::Stats => Response::Lines(owned_lines(session.stats_lines())),
+        Request::Query(atom) => match session.query(&atom) {
+            Ok(answers) => Response::Answers(answers.to_vec()),
+            Err(e) => Response::Error(e.to_string()),
+        },
+        Request::Mutate { mutations, batch } => match session.apply(mutations) {
+            Ok(responses) => Response::Mutated { responses, batch },
+            Err(e) => Response::Error(e.to_string()),
+        },
+        Request::Snapshot { info: true } => {
+            Response::Lines(owned_lines(session.snapshot_info_lines()))
         }
-        Command::Query(atom) => match session.query(&atom) {
-            Ok(answers) => {
-                let mut out = format!("OK {}\n", answers.len());
-                for a in answers.iter() {
-                    out.push_str(&format!("{:.6}\t{}\n", a.prob, a.text));
-                }
-                out
-            }
-            Err(e) => format!("ERR {e}\n"),
-        },
-        Command::Insert { prob, atom } => match session.insert(prob, &atom) {
-            Ok(r) => render_insert(&r),
-            Err(e) => format!("ERR {e}\n"),
-        },
-        Command::Update { prob, atom } => match session.update(prob, &atom) {
-            Ok(r) => render_update(&r),
-            Err(e) => format!("ERR {e}\n"),
-        },
-        Command::Delete { atoms } if atoms.len() == 1 => match session.delete(&atoms[0]) {
-            Ok(r) => render_delete_single(&r),
-            Err(e) => format!("ERR {e}\n"),
-        },
-        Command::Delete { atoms } => match session.delete_batch(&atoms) {
-            Ok(responses) => render_delete_batch(&responses),
-            Err(e) => format!("ERR {e}\n"),
-        },
-        Command::Snapshot { info: true } => {
-            let lines = session.snapshot_info_lines();
-            let mut out = format!("OK {}\n", lines.len());
-            for (k, v) in lines {
-                out.push_str(k);
-                out.push(' ');
-                out.push_str(&v);
-                out.push('\n');
-            }
-            out
-        }
-        Command::Snapshot { info: false } => match session.checkpoint() {
-            Ok(info) => format!("OK snapshot epoch={} bytes={}\n", info.epoch, info.bytes),
-            Err(e) => format!("ERR {e}\n"),
+        Request::Snapshot { info: false } => match session.checkpoint() {
+            Ok(info) => Response::SnapshotWritten {
+                epoch: info.epoch,
+                bytes: info.bytes,
+            },
+            Err(e) => Response::Error(e.to_string()),
         },
     }
 }
 
-/// Renders an [`InsertResponse`] exactly as the wire expects. Shared
-/// with the sharded router, which substitutes a *global* epoch into the
-/// response before rendering — one copy of the format strings keeps the
-/// two services byte-compatible by construction.
+fn owned_lines(lines: Vec<(&'static str, String)>) -> Vec<(String, String)> {
+    lines.into_iter().map(|(k, v)| (k.to_string(), v)).collect()
+}
+
+/// Renders an [`InsertResponse`] exactly as the wire expects.
+#[deprecated(note = "render through protocol::Response::Mutated")]
 pub fn render_insert(r: &InsertResponse) -> String {
-    match r {
-        InsertResponse::Inserted { epoch } => format!("OK inserted epoch={epoch}\n"),
-        InsertResponse::Duplicate { prob } => format!("OK duplicate p={prob:.6}\n"),
-        InsertResponse::Conflict { existing } => {
-            format!("ERR conflict: fact already has p={existing:.6}; use UPDATE to change it\n")
-        }
+    Response::Mutated {
+        responses: vec![MutationResponse::Insert(*r)],
+        batch: false,
     }
+    .render()
 }
 
-/// Renders an [`UpdateResponse`] (see [`render_insert`] for why this is
-/// shared).
-pub fn render_update(r: &crate::session::UpdateResponse) -> String {
-    format!(
-        "OK updated p={:.6} -> {:.6} epoch={}\n",
-        r.old, r.new, r.epoch
-    )
+/// Renders an [`UpdateResponse`] exactly as the wire expects.
+#[deprecated(note = "render through protocol::Response::Mutated")]
+pub fn render_update(r: &UpdateResponse) -> String {
+    Response::Mutated {
+        responses: vec![MutationResponse::Update(*r)],
+        batch: false,
+    }
+    .render()
 }
 
-/// Renders a single-atom `DELETE` response (see [`render_insert`]).
+/// Renders a single-atom `DELETE` response.
+#[deprecated(note = "render through protocol::Response::Mutated")]
 pub fn render_delete_single(r: &DeleteResponse) -> String {
-    match r {
-        DeleteResponse::Deleted { prob, epoch } => {
-            format!("OK deleted p={prob:.6} epoch={epoch}\n")
-        }
-        DeleteResponse::Missing => "OK missing\n".into(),
+    Response::Mutated {
+        responses: vec![MutationResponse::Delete(*r)],
+        batch: false,
     }
+    .render()
 }
 
-/// Renders a multi-atom `DELETE` batch response (see [`render_insert`]).
+/// Renders a multi-atom `DELETE` batch response.
+#[deprecated(note = "render through protocol::Response::Mutated")]
 pub fn render_delete_batch(responses: &[DeleteResponse]) -> String {
-    let mut out = format!("OK {}\n", responses.len());
-    for r in responses {
-        match r {
-            DeleteResponse::Deleted { prob, epoch } => {
-                out.push_str(&format!("deleted p={prob:.6} epoch={epoch}\n"))
-            }
-            DeleteResponse::Missing => out.push_str("missing\n"),
-        }
+    Response::Mutated {
+        responses: responses
+            .iter()
+            .map(|r| MutationResponse::Delete(*r))
+            .collect(),
+        batch: true,
     }
-    out
+    .render()
 }
 
 #[cfg(test)]

@@ -39,13 +39,10 @@
 use crate::plan::ShardPlan;
 use ltg_datalog::Program;
 use ltg_persist::{BootMode, BootReport, CheckpointInfo};
-use ltg_server::protocol::parse_command;
-use ltg_server::server::{
-    render_delete_batch, render_delete_single, render_insert, render_update, respond,
-};
 use ltg_server::{
-    atom_shape, Command, DeleteResponse, DurabilityOptions, InsertResponse, RequestHandler,
-    Session, SessionOptions, UpdateResponse,
+    atom_shape, respond, DeleteResponse, DurabilityOptions, InsertResponse, Mutation,
+    MutationBatch, MutationResponse, Request, RequestHandler, Response, Session, SessionOptions,
+    UpdateResponse,
 };
 use std::fmt;
 use std::sync::mpsc;
@@ -99,12 +96,10 @@ enum ShardRequest {
     /// A raw protocol line whose response carries no global state
     /// (`QUERY`) — answered by the worker's own `respond`.
     Raw(String),
-    /// `INSERT prob :: atom.`
-    Insert { prob: f64, atom: String },
-    /// `UPDATE prob :: atom.`
-    Update { prob: f64, atom: String },
-    /// The shard's slice of a `DELETE` batch, original order.
-    DeleteBatch { atoms: Vec<String> },
+    /// A typed mutation batch for the worker's `Session::apply` — a
+    /// whole `INSERT`/`UPDATE`, or the shard's slice of a `DELETE`
+    /// batch, original order.
+    Apply(MutationBatch),
     /// `STATS` scatter.
     StatsLines,
     /// `SNAPSHOT INFO` scatter.
@@ -118,16 +113,8 @@ enum ShardRequest {
 /// router's ledger sums into the global epoch.
 enum ShardReply {
     Rendered(String),
-    Insert {
-        result: Result<InsertResponse, String>,
-        epoch_after: u64,
-    },
-    Update {
-        result: Result<UpdateResponse, String>,
-        epoch_after: u64,
-    },
-    Delete {
-        result: Result<Vec<DeleteResponse>, String>,
+    Applied {
+        result: Result<Vec<MutationResponse>, String>,
         epoch_after: u64,
     },
     Lines(Vec<(String, String)>),
@@ -262,27 +249,56 @@ impl ShardedService {
     /// [`ltg_server::server::respond`]. Safe to call from any number of
     /// threads at once.
     pub fn respond(&self, line: &str) -> String {
-        let command = match parse_command(line) {
-            Ok(c) => c,
-            Err(msg) => return format!("ERR {msg}\n"),
+        let request = match Request::parse(line) {
+            Ok(r) => r,
+            Err(msg) => return Response::Error(msg).render(),
         };
-        match command {
-            Command::Ping => "OK pong\n".into(),
-            Command::Quit => "OK bye\n".into(),
-            Command::Query(atom) => match self.route(&atom) {
+        match request {
+            Request::Ping => Response::Pong.render(),
+            Request::Quit => Response::Bye.render(),
+            Request::Query(atom) => match self.route(&atom) {
                 Ok(slot) => match self.send(slot, ShardRequest::Raw(line.to_string())) {
                     Some(ShardReply::Rendered(s)) => s,
                     _ => unavailable(),
                 },
                 Err(err) => err,
             },
-            Command::Insert { prob, atom } => self.insert(prob, &atom),
-            Command::Update { prob, atom } => self.update(prob, &atom),
-            Command::Delete { atoms } => self.delete(&atoms),
-            Command::Stats => self.gathered_lines(false),
-            Command::Snapshot { info: true } => self.gathered_lines(true),
-            Command::Snapshot { info: false } => self.checkpoint(),
+            Request::Mutate { mutations, .. } => self.mutate(mutations),
+            Request::Stats => self.gathered_lines(false),
+            Request::Snapshot { info: true } => self.gathered_lines(true),
+            Request::Snapshot { info: false } => self.checkpoint(),
         }
+    }
+
+    /// Routes a typed mutation batch. Wire batches are homogeneous —
+    /// `INSERT`/`UPDATE` arrive as a single mutation forwarded to its
+    /// predicate's shard, and multi-mutation batches are `DELETE`s,
+    /// which scatter with cross-shard renumbering (see
+    /// [`ShardedService::delete`]). A programmatic mixed batch cannot
+    /// be routed atomically across shards, so it is refused.
+    fn mutate(&self, mutations: MutationBatch) -> String {
+        if mutations.len() == 1 {
+            return match mutations.into_iter().next().expect("one mutation") {
+                Mutation::Insert { prob, atom } => self.insert(prob, &atom),
+                Mutation::Update { prob, atom } => self.update(prob, &atom),
+                Mutation::Delete { atom } => self.delete(std::slice::from_ref(&atom)),
+            };
+        }
+        let mut atoms = Vec::with_capacity(mutations.len());
+        for m in mutations {
+            match m {
+                Mutation::Delete { atom } => atoms.push(atom),
+                _ => {
+                    return Response::Error(
+                        "mixed mutation batches are not routable; issue one request per \
+                         insert or update"
+                            .into(),
+                    )
+                    .render()
+                }
+            }
+        }
+        self.delete(&atoms)
     }
 
     /// Resolves the shard owning an atom's predicate, or the rendered
@@ -348,24 +364,29 @@ impl ShardedService {
             Ok(s) => s,
             Err(e) => return e,
         };
-        match self.send(
-            slot,
-            ShardRequest::Insert {
-                prob,
-                atom: atom.to_string(),
-            },
-        ) {
-            Some(ShardReply::Insert {
+        let batch = vec![Mutation::Insert {
+            prob,
+            atom: atom.to_string(),
+        }];
+        match self.send(slot, ShardRequest::Apply(batch)) {
+            Some(ShardReply::Applied {
                 result,
                 epoch_after,
             }) => {
                 let global = self.commit(slot, epoch_after);
                 match result {
-                    Ok(InsertResponse::Inserted { .. }) => {
-                        render_insert(&InsertResponse::Inserted { epoch: global })
-                    }
-                    Ok(r) => render_insert(&r),
-                    Err(msg) => format!("ERR {msg}\n"),
+                    Ok(responses) => match responses[..] {
+                        // The shard's local epoch is replaced by the
+                        // reconstructed global one before rendering.
+                        [MutationResponse::Insert(InsertResponse::Inserted { .. })] => {
+                            render_single(MutationResponse::Insert(InsertResponse::Inserted {
+                                epoch: global,
+                            }))
+                        }
+                        [r] => render_single(r),
+                        _ => unavailable(),
+                    },
+                    Err(msg) => Response::Error(msg).render(),
                 }
             }
             _ => unavailable(),
@@ -377,21 +398,27 @@ impl ShardedService {
             Ok(s) => s,
             Err(e) => return e,
         };
-        match self.send(
-            slot,
-            ShardRequest::Update {
-                prob,
-                atom: atom.to_string(),
-            },
-        ) {
-            Some(ShardReply::Update {
+        let batch = vec![Mutation::Update {
+            prob,
+            atom: atom.to_string(),
+        }];
+        match self.send(slot, ShardRequest::Apply(batch)) {
+            Some(ShardReply::Applied {
                 result,
                 epoch_after,
             }) => {
                 let global = self.commit(slot, epoch_after);
                 match result {
-                    Ok(r) => render_update(&UpdateResponse { epoch: global, ..r }),
-                    Err(msg) => format!("ERR {msg}\n"),
+                    Ok(responses) => match responses[..] {
+                        [MutationResponse::Update(r)] => {
+                            render_single(MutationResponse::Update(UpdateResponse {
+                                epoch: global,
+                                ..r
+                            }))
+                        }
+                        _ => unavailable(),
+                    },
+                    Err(msg) => Response::Error(msg).render(),
                 }
             }
             _ => unavailable(),
@@ -445,13 +472,13 @@ impl ShardedService {
         let reqs: Vec<(usize, ShardRequest)> = touched
             .iter()
             .map(|&slot| {
-                let slice: Vec<String> = atoms
+                let slice: Vec<Mutation> = atoms
                     .iter()
                     .zip(&slots)
                     .filter(|(_, &s)| s == slot)
-                    .map(|(a, _)| a.clone())
+                    .map(|(a, _)| Mutation::Delete { atom: a.clone() })
                     .collect();
-                (slot, ShardRequest::DeleteBatch { atoms: slice })
+                (slot, ShardRequest::Apply(slice))
             })
             .collect();
         let Some(replies) = self.scatter(reqs) else {
@@ -461,15 +488,30 @@ impl ShardedService {
         let mut failure: Option<String> = None;
         for (&slot, reply) in touched.iter().zip(replies) {
             match reply {
-                ShardReply::Delete {
+                ShardReply::Applied {
                     result,
                     epoch_after,
                 } => match result {
-                    Ok(responses) => results.push((slot, responses, epoch_after)),
+                    Ok(responses) => {
+                        let deletes: Option<Vec<DeleteResponse>> = responses
+                            .into_iter()
+                            .map(|r| match r {
+                                MutationResponse::Delete(d) => Some(d),
+                                _ => None,
+                            })
+                            .collect();
+                        match deletes {
+                            Some(responses) => results.push((slot, responses, epoch_after)),
+                            None => {
+                                self.commit(slot, epoch_after);
+                                failure.get_or_insert(unavailable());
+                            }
+                        }
+                    }
                     Err(msg) => {
                         self.commit(slot, epoch_after);
                         // Keep draining the remaining replies' epochs.
-                        failure.get_or_insert(format!("ERR {msg}\n"));
+                        failure.get_or_insert(Response::Error(msg).render());
                     }
                 },
                 _ => {
@@ -531,10 +573,11 @@ impl ShardedService {
         }
         drop(ledger);
 
-        if atoms.len() == 1 {
-            return render_delete_single(&ordered[0]);
+        Response::Mutated {
+            batch: ordered.len() > 1,
+            responses: ordered.into_iter().map(MutationResponse::Delete).collect(),
         }
-        render_delete_batch(&ordered)
+        .render()
     }
 
     /// Scatter-gathers per-shard `(key, value)` lines (`STATS` /
@@ -611,11 +654,11 @@ impl ShardedService {
                     epoch += info.epoch;
                     bytes += info.bytes;
                 }
-                ShardReply::Checkpoint(Err(msg)) => return format!("ERR {msg}\n"),
+                ShardReply::Checkpoint(Err(msg)) => return Response::Error(msg).render(),
                 _ => return unavailable(),
             }
         }
-        format!("OK snapshot epoch={epoch} bytes={bytes}\n")
+        Response::SnapshotWritten { epoch, bytes }.render()
     }
 }
 
@@ -699,6 +742,18 @@ fn unavailable() -> String {
     "ERR shard worker unavailable\n".to_string()
 }
 
+/// Renders one mutation outcome inline, through the same
+/// [`Response::Mutated`] encoder the single-session server uses — one
+/// copy of the wire format strings keeps the two services
+/// byte-compatible by construction.
+fn render_single(r: MutationResponse) -> String {
+    Response::Mutated {
+        responses: vec![r],
+        batch: false,
+    }
+    .render()
+}
+
 /// The shard worker loop: one session, jobs until the channel closes,
 /// waking early to flush the WAL's group-commit window (each shard
 /// honours `--fsync-after-ms` independently) — the server's own worker
@@ -713,23 +768,9 @@ fn shard_worker(session: &mut Session, rx: &mpsc::Receiver<ShardJob>) {
 fn handle_request(session: &mut Session, req: ShardRequest) -> ShardReply {
     match req {
         ShardRequest::Raw(line) => ShardReply::Rendered(respond(session, &line)),
-        ShardRequest::Insert { prob, atom } => {
-            let result = session.insert(prob, &atom).map_err(|e| e.to_string());
-            ShardReply::Insert {
-                result,
-                epoch_after: session.engine().db().epoch(),
-            }
-        }
-        ShardRequest::Update { prob, atom } => {
-            let result = session.update(prob, &atom).map_err(|e| e.to_string());
-            ShardReply::Update {
-                result,
-                epoch_after: session.engine().db().epoch(),
-            }
-        }
-        ShardRequest::DeleteBatch { atoms } => {
-            let result = session.delete_batch(&atoms).map_err(|e| e.to_string());
-            ShardReply::Delete {
+        ShardRequest::Apply(mutations) => {
+            let result = session.apply(mutations).map_err(|e| e.to_string());
+            ShardReply::Applied {
                 result,
                 epoch_after: session.engine().db().epoch(),
             }

@@ -20,6 +20,10 @@
 //!   snapshot at a chosen prefix and a WAL for the tail, mutilate the
 //!   WAL, reload, and check the recovered engine bitwise against a
 //!   from-scratch run on the surviving prefix;
+//! * [`soak`] — the **soak harness**: churn-heavy scripts checked under
+//!   the differential property *plus* the graph-bound invariant (the
+//!   node arena stays bounded by live trees — dead-combo compaction
+//!   works, see `docs/engine.md`);
 //! * [`sharded`] — the **sharding harness**: random multi-component
 //!   programs and request scripts driven through a single session and
 //!   through `ltg-shard`'s `ShardedService` at 1/2/4 shards, every wire
@@ -33,6 +37,7 @@ pub mod net;
 pub mod oracle;
 pub mod recovery;
 pub mod sharded;
+pub mod soak;
 
 pub use diff::{arb_any_script, arb_script, run_script, shrink, Op, Script, RULE_PALETTE};
 pub use edges::{
@@ -46,3 +51,4 @@ pub use sharded::{
     arb_shard_script, run_shard_script, shard_program_src, shrink_shard_script, ShardComponent,
     ShardOp, ShardScript,
 };
+pub use soak::{arb_soak_script, graph_bound, live_trees, replay_resident, run_soak_script};

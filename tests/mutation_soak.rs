@@ -1,0 +1,168 @@
+//! Soak tests of long-lived mutation churn: **the graph must not age**.
+//!
+//! The retraction suite proves any mutation interleaving *answers*
+//! bitwise like a from-scratch run; this suite adds the resource half
+//! of the resident-session contract. For churn-heavy random scripts
+//! (16–48 mutations, mostly insert/delete cycles over the same small
+//! key domain) the resident engine must
+//!
+//! 1. still pass the full bitwise differential + ΔTcP check
+//!    (`ltg_testkit::run_script`), and
+//! 2. satisfy the **graph-bound invariant**: after the final
+//!    incremental pass, the execution-graph arena holds at most the
+//!    alive nodes plus the source skeleton — bounded by *live trees*,
+//!    never by mutation count (`ltg_testkit::graph_bound`; see
+//!    `docs/engine.md` for the dead-combo compaction that enforces it).
+//!
+//! The deterministic tests pin the original blowup: sink-edge inserts
+//! on the 4×8 layered workload of the persistence benchmark used to
+//! leak arena slots per insert; post-compaction the arena stays within
+//! 2× the live trees, and a long scripted churn loop leaves the arena
+//! exactly where one cycle leaves it. `PROPTEST_CASES` raises the
+//! random case counts in CI.
+
+use ltg_testkit::{arb_soak_script, graph_bound, live_trees, replay_resident, run_soak_script};
+use ltg_testkit::{shrink, Op, Script, RULE_PALETTE};
+use ltgs::prelude::*;
+use proptest::prelude::*;
+use std::fmt::Write as _;
+
+/// The configurations churn scripts are soaked under (the cyclic-safe
+/// set of the retraction suite).
+fn configs() -> Vec<EngineConfig> {
+    vec![
+        EngineConfig::with_collapse(),
+        EngineConfig::without_collapse(),
+        EngineConfig::with_collapse().max_depth(3),
+    ]
+}
+
+/// Runs the soak property under one configuration; on failure, shrinks
+/// the script first so the reported counterexample is minimal.
+fn check(script: &Script, config: &EngineConfig) -> Result<(), TestCaseError> {
+    if let Err(msg) = run_soak_script(script, config) {
+        let minimal = shrink(script.clone(), |s| run_soak_script(s, config).is_err());
+        let minimal_msg = run_soak_script(&minimal, config).unwrap_err();
+        return Err(TestCaseError::fail(format!(
+            "config {config:?}: {msg}\n  shrunk to: {minimal:?}\n  which fails with: {minimal_msg}"
+        )));
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The soak property on random churn-heavy scripts: bitwise
+    /// differential agreement *and* a mutation-count-independent graph
+    /// arena, under each cyclic-safe configuration.
+    #[test]
+    fn churn_scripts_stay_correct_and_bounded(
+        script in arb_soak_script(),
+        cfg in 0usize..3,
+    ) {
+        check(&script, &configs()[cfg])?;
+    }
+}
+
+/// The layered probabilistic DAG of the serve/persist benchmarks (kept
+/// in the same shape so the numbers line up with `BENCH_soak.json`).
+fn layered_program_src(width: usize, layers: usize) -> String {
+    let mut src = String::new();
+    let mut prob = 0.35;
+    for l in 0..layers.saturating_sub(1) {
+        for a in 0..width {
+            for b in 0..width {
+                let _ = writeln!(src, "{prob:.2} :: e(n{l}_{a}, n{}_{b}).", l + 1);
+                prob = if prob > 0.9 { 0.35 } else { prob + 0.07 };
+            }
+        }
+    }
+    src.push_str("p(X, Y) :- e(X, Y).\np(X, Y) :- p(X, Z), p(Z, Y).\n");
+    src
+}
+
+/// Inserts the `w` sink edges `e(n{layers-1}_w, fresh_w)` — the exact
+/// mutation burst of the persistence benchmark that exposed the
+/// dead-combo leak.
+fn insert_sink_edges(engine: &mut LtgEngine, width: usize, layers: usize) {
+    let e = engine.program().preds.lookup("e", 2).unwrap();
+    for w in 0..width {
+        let args = [
+            engine.intern_symbol(&format!("n{}_{w}", layers - 1)),
+            engine.intern_symbol(&format!("fresh_{w}")),
+        ];
+        let (_, outcome) = engine.insert_fact(e, &args, 0.5).unwrap();
+        assert!(outcome.changed(), "sink edge {w} must be fresh");
+        engine.reason_delta().unwrap();
+    }
+}
+
+/// The acceptance pin for the historical blowup: four sink-edge inserts
+/// on the 4×8 layered workload. Each insert's delta pass plans many
+/// parent combinations whose joins come up empty; post-compaction the
+/// arena must sit within 2× the live trees — and within a few slots of
+/// where batch reasoning over the *grown* EDB would put it.
+#[test]
+fn layered_sink_inserts_stay_within_twice_live_trees() {
+    let (width, layers) = (4, 8);
+    let program = parse_program(&layered_program_src(width, layers)).unwrap();
+    let mut resident = LtgEngine::new(&program);
+    resident.reason().unwrap();
+    let baseline_nodes = resident.graph().nodes.len();
+
+    insert_sink_edges(&mut resident, width, layers);
+
+    let arena = resident.graph().nodes.len();
+    let live = live_trees(&resident);
+    assert!(
+        arena <= 2 * live,
+        "arena {arena} exceeds 2x live trees {live} after sink inserts \
+         (batch baseline was {baseline_nodes} nodes)"
+    );
+    graph_bound(&resident).unwrap();
+    let hiwater = resident.stats().graph_nodes_hiwater;
+    assert!(
+        hiwater >= arena as u64,
+        "hiwater {hiwater} must cover the current arena {arena}"
+    );
+    assert!(
+        resident.stats().nodes_compacted > 0,
+        "the sink-insert burst must have swept dead combos"
+    );
+}
+
+/// Endurance: 64 insert/delete cycles over the same two edges. The
+/// arena after cycle 64 must equal the arena after cycle 1 — churn is
+/// fully reclaimed, nothing ages.
+#[test]
+fn repeated_churn_cycles_do_not_grow_the_arena() {
+    let one_cycle = vec![
+        Op::Insert(0, 3, 0.9),
+        Op::Insert(3, 1, 0.4),
+        Op::Delete(0, 3),
+        Op::Delete(3, 1),
+    ];
+    let base = Script {
+        rules: RULE_PALETTE[0],
+        initial: vec![(0, 1, 0.5), (1, 2, 0.6)],
+        ops: one_cycle.clone(),
+    };
+    let mut long = base.clone();
+    for _ in 1..64 {
+        long.ops.extend(one_cycle.iter().copied());
+    }
+    let config = EngineConfig::with_collapse();
+    let short_engine = replay_resident(&base, &config).unwrap();
+    let long_engine = replay_resident(&long, &config).unwrap();
+    assert_eq!(
+        short_engine.graph().nodes.len(),
+        long_engine.graph().nodes.len(),
+        "64 churn cycles must leave the arena exactly where 1 cycle does"
+    );
+    graph_bound(&long_engine).unwrap();
+    assert!(
+        long_engine.stats().nodes_compacted >= short_engine.stats().nodes_compacted,
+        "longer churn sweeps at least as much"
+    );
+}
