@@ -84,6 +84,35 @@ pub struct ReasonStats {
     /// High-water mark of the execution-graph arena (all nodes ever
     /// resident at once, dead ones included).
     pub graph_nodes_hiwater: u64,
+    /// Time spent inside (semi-naive and full) join evaluation —
+    /// [`LtgEngine::collect_source_delta`]/[`collect_delta_matches`]
+    /// and the full joins of retraction re-instantiation.
+    pub delta_join_time: Duration,
+    /// Time spent inside [`LtgEngine::build_trees`] (tree construction,
+    /// collapse decisions, redundancy filtering; includes
+    /// `collapse_time`).
+    pub tree_build_time: Duration,
+    /// Time spent inside [`LtgEngine::compact_graph`].
+    pub compact_time: Duration,
+}
+
+/// Per-pass phase latency histograms (whole microseconds) of the
+/// incremental passes: each completed [`LtgEngine::reason_delta`] /
+/// [`LtgEngine::reason_retract`] records one sample per phase — the
+/// delta-join probing, tree building (collapse excluded), collapsing,
+/// and graph compaction it performed. Ephemeral observability state:
+/// not part of [`EngineState`](crate::state::EngineState), reset on
+/// restore.
+#[derive(Clone, Debug, Default)]
+pub struct PhaseMetrics {
+    /// Semi-naive join evaluation per pass.
+    pub delta_join_us: ltg_obs::Histogram,
+    /// Derivation-tree construction per pass (collapse time excluded).
+    pub tree_build_us: ltg_obs::Histogram,
+    /// Collapse operations per pass.
+    pub collapse_us: ltg_obs::Histogram,
+    /// Dead-combo graph compaction per pass.
+    pub compact_us: ltg_obs::Histogram,
 }
 
 /// Why [`LtgEngine::insert_fact`] rejected a fact before it reached
@@ -190,6 +219,7 @@ pub struct LtgEngine {
     config: EngineConfig,
     meter: ResourceMeter,
     stats: ReasonStats,
+    phases: PhaseMetrics,
     round: u32,
     finished: bool,
 }
@@ -235,6 +265,7 @@ impl LtgEngine {
             config,
             meter,
             stats: ReasonStats::default(),
+            phases: PhaseMetrics::default(),
             round: 0,
             finished: false,
         }
@@ -294,6 +325,11 @@ impl LtgEngine {
     /// Statistics of the run so far.
     pub fn stats(&self) -> &ReasonStats {
         &self.stats
+    }
+
+    /// Per-pass phase latency histograms of the incremental passes.
+    pub fn phase_metrics(&self) -> &PhaseMetrics {
+        &self.phases
     }
 
     /// The resource meter.
@@ -519,6 +555,7 @@ impl LtgEngine {
             return Ok(&self.stats);
         }
         let t0 = Instant::now();
+        let phases0 = self.phase_snapshot();
         // Cleared only after the pass completes: an abort (OOM/TO) keeps
         // the predicates dirty (and the frontier populated) so a later
         // pass retries the propagation — the dedup filters make
@@ -554,7 +591,38 @@ impl LtgEngine {
             self.edb_delta.remove(p);
         }
         self.compact_graph();
+        self.record_phase_sample(phases0);
         Ok(&self.stats)
+    }
+
+    /// Snapshot of the cumulative phase durations, taken when an
+    /// incremental pass starts; [`LtgEngine::record_phase_sample`]
+    /// turns the diff into one histogram sample per phase.
+    fn phase_snapshot(&self) -> [Duration; 4] {
+        [
+            self.stats.delta_join_time,
+            self.stats.tree_build_time,
+            self.stats.collapse_time,
+            self.stats.compact_time,
+        ]
+    }
+
+    /// Records what one completed incremental pass spent per phase.
+    /// Collapse happens inside `build_trees`, so its share is carved
+    /// out of the tree-build sample to keep the breakdown disjoint.
+    fn record_phase_sample(&mut self, before: [Duration; 4]) {
+        let join = self.stats.delta_join_time.saturating_sub(before[0]);
+        let collapse = self.stats.collapse_time.saturating_sub(before[2]);
+        let build = self
+            .stats
+            .tree_build_time
+            .saturating_sub(before[1])
+            .saturating_sub(collapse);
+        let compact = self.stats.compact_time.saturating_sub(before[3]);
+        self.phases.delta_join_us.record_duration(join);
+        self.phases.tree_build_us.record_duration(build);
+        self.phases.collapse_us.record_duration(collapse);
+        self.phases.compact_us.record_duration(compact);
     }
 
     /// Drains the semi-naive frontier: promotes the pending wave delta
@@ -619,6 +687,7 @@ impl LtgEngine {
             self.reason()?;
         }
         let t0 = Instant::now();
+        let phases0 = self.phase_snapshot();
         self.stats.retract_passes += 1;
 
         let mut victims: Vec<FactId> = self.pending_retract.iter().copied().collect();
@@ -655,6 +724,7 @@ impl LtgEngine {
         }
         self.retract_nodes.clear();
         self.compact_graph();
+        self.record_phase_sample(phases0);
         Ok(&self.stats)
     }
 
@@ -822,6 +892,7 @@ impl LtgEngine {
         node: NodeId,
         dirty: &FxHashSet<PredId>,
     ) -> Result<Vec<JoinRow>, EngineError> {
+        let t0 = Instant::now();
         let rid = self.graph.nodes[node.index()].rule;
         let rule = self.canonical.program.rules[rid.index()].clone();
         let masks = binding_masks(&rule);
@@ -880,6 +951,7 @@ impl LtgEngine {
             )?;
         }
         self.stats.delta_join_probes += probes;
+        self.stats.delta_join_time += t0.elapsed();
         Ok(out)
     }
 
@@ -893,6 +965,7 @@ impl LtgEngine {
         parents: &[NodeId],
         delta_sets: &FxHashMap<NodeId, FxHashSet<FactId>>,
     ) -> Result<Vec<JoinRow>, EngineError> {
+        let t0 = Instant::now();
         let rule = self.canonical.program.rules[rid.index()].clone();
         let masks = binding_masks(&rule);
         for (j, &p) in parents.iter().enumerate() {
@@ -935,6 +1008,7 @@ impl LtgEngine {
             )?;
         }
         self.stats.delta_join_probes += probes;
+        self.stats.delta_join_time += t0.elapsed();
         Ok(out)
     }
 
@@ -1062,6 +1136,12 @@ impl LtgEngine {
     /// any mutation is mid-flight: pending sets and the semi-naive
     /// frontier hold `NodeId`s/`FactId`s the sweep would orphan.
     fn compact_graph(&mut self) {
+        let t0 = Instant::now();
+        self.compact_graph_inner();
+        self.stats.compact_time += t0.elapsed();
+    }
+
+    fn compact_graph_inner(&mut self) {
         if !self.dirty_edb.is_empty()
             || !self.pending_retract.is_empty()
             || !self.retract_nodes.is_empty()
@@ -1216,6 +1296,7 @@ impl LtgEngine {
     /// the rule over the node's inputs (EDB relations for source nodes,
     /// the parents' stored facts otherwise).
     fn collect_matches(&mut self, node: NodeId) -> Result<Vec<JoinRow>, EngineError> {
+        let t0 = Instant::now();
         let rid = self.graph.nodes[node.index()].rule;
         let parents = self.graph.nodes[node.index()].parents.clone();
         let rule = self.canonical.program.rules[rid.index()].clone();
@@ -1250,7 +1331,9 @@ impl LtgEngine {
         };
 
         let mut out = Vec::new();
-        join(&rule, &masks, &rels, store, &self.meter, &mut out)?;
+        let joined = join(&rule, &masks, &rels, store, &self.meter, &mut out);
+        self.stats.delta_join_time += t0.elapsed();
+        joined?;
         Ok(out)
     }
 
@@ -1259,6 +1342,17 @@ impl LtgEngine {
     /// facts that gained trees (in ascending fact order) and the number
     /// of trees actually stored.
     fn build_trees(
+        &mut self,
+        node: NodeId,
+        matches: Vec<JoinRow>,
+    ) -> Result<BuildOutcome, EngineError> {
+        let t0 = Instant::now();
+        let outcome = self.build_trees_inner(node, matches);
+        self.stats.tree_build_time += t0.elapsed();
+        outcome
+    }
+
+    fn build_trees_inner(
         &mut self,
         node: NodeId,
         matches: Vec<JoinRow>,
@@ -1683,6 +1777,7 @@ impl LtgEngine {
             config,
             meter: ResourceMeter::unlimited(),
             stats: state.stats,
+            phases: PhaseMetrics::default(),
             round: state.round,
             finished: state.finished,
         };

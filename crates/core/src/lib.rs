@@ -47,7 +47,7 @@ pub mod state;
 
 pub use config::EngineConfig;
 pub use eg::{EgNode, ExecutionGraph, NodeId};
-pub use engine::{InsertError, LtgEngine, ReasonStats};
+pub use engine::{InsertError, LtgEngine, PhaseMetrics, ReasonStats};
 pub use error::EngineError;
 pub use materialize::{TgMaterializer, TgStats};
 pub use state::{fingerprint, EngineState, ExportError, NodeState, RestoreError};

@@ -1,0 +1,465 @@
+//! **ltg-obs** — the metrics core for the LTG service.
+//!
+//! Everything here is dependency-free and cheap enough to leave on in
+//! production: recording into a [`Histogram`] is two subtractions and
+//! an array increment, and a disabled [`PhaseTimer`] never reads the
+//! clock at all. The pieces:
+//!
+//! - [`Counter`] / [`Gauge`] — monotonic and instantaneous values.
+//! - [`Histogram`] — log2-bucketed latency distribution (one bucket per
+//!   bit length, so ~64 buckets cover the full `u64` range) with exact
+//!   `count`/`sum`/`max` and quantile estimates guaranteed to land in
+//!   the same bucket as the exact order statistic (within a factor of
+//!   two below 2× the true value).
+//! - [`PhaseTimer`] — a scoped stopwatch that is free when disabled and
+//!   records elapsed microseconds into a histogram when not.
+//! - [`expose_value`] / [`expose_histogram`] — Prometheus-style text
+//!   exposition (`name{label="v",...} value` lines). Histograms emit a
+//!   fixed series set (`quantile="0.5|0.95|0.99"`, `_count`, `_sum`,
+//!   `_max`) even when empty, so the label scheme is stable from the
+//!   first scrape.
+//!
+//! Units are **microseconds** throughout; metric names carry a `_us`
+//! suffix by convention (see `docs/observability.md`).
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// A monotonically increasing count.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+}
+
+/// An instantaneous value (arena sizes, cache entries, ...).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Gauge(u64);
+
+impl Gauge {
+    pub fn set(&mut self, v: u64) {
+        self.0 = v;
+    }
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Buckets: index 0 holds zeros, index `i >= 1` holds values of bit
+/// length `i`, i.e. the range `[2^(i-1), 2^i - 1]`. Index 64 is the top
+/// bucket (bit length 64).
+const BUCKETS: usize = 65;
+
+/// A log2-bucketed distribution of `u64` samples (microseconds by
+/// convention). Bucket boundaries are powers of two, so a quantile
+/// estimate — the upper bound of the bucket holding the target rank,
+/// clamped to the exact observed max — always lands in the same bucket
+/// as the exact order statistic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+/// The bucket a value falls into: its bit length (0 for 0).
+fn bucket_index(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// The largest value bucket `i` can hold.
+fn bucket_upper_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Records a duration as whole microseconds.
+    pub fn record_duration(&mut self, d: Duration) {
+        self.record(duration_us(d));
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Exact maximum sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Estimated `q`-quantile (`0 < q <= 1`): the upper bound of the
+    /// bucket holding rank `ceil(q * count)`, clamped to the observed
+    /// max. Lands in the same bucket as the exact order statistic; 0
+    /// when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Folds another histogram into this one (for cross-shard or
+    /// cross-verb aggregation).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Whole microseconds of a duration, saturating. Stays in u64
+/// arithmetic: `Duration::as_micros` divides a u128, which costs a
+/// library call on the nanosecond-scale hot paths this crate times.
+#[inline]
+pub fn duration_us(d: Duration) -> u64 {
+    d.as_secs()
+        .saturating_mul(1_000_000)
+        .saturating_add(u64::from(d.subsec_micros()))
+}
+
+/// A scoped stopwatch. `start(false)` never touches the clock, so the
+/// disabled path costs one branch; `observe` records the elapsed whole
+/// microseconds into a histogram and returns them for reuse (slow-log
+/// thresholds read the same measurement they record).
+#[derive(Debug, Clone, Copy)]
+pub struct PhaseTimer(Option<Instant>);
+
+impl PhaseTimer {
+    pub fn start(enabled: bool) -> PhaseTimer {
+        PhaseTimer(enabled.then(Instant::now))
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Elapsed whole microseconds, `None` when disabled.
+    pub fn elapsed_us(&self) -> Option<u64> {
+        self.0.map(|t| duration_us(t.elapsed()))
+    }
+
+    /// Records the elapsed time into `h` and returns it (`None` when
+    /// disabled — nothing is recorded).
+    pub fn observe(&self, h: &mut Histogram) -> Option<u64> {
+        let us = self.elapsed_us()?;
+        h.record(us);
+        Some(us)
+    }
+}
+
+/// Renders a label set as `{k1="v1",k2="v2"}` (empty string for no
+/// labels). Label values are used verbatim — callers pass identifiers,
+/// not arbitrary text.
+fn fmt_labels(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}=\"{v}\"");
+    }
+    out.push('}');
+    out
+}
+
+/// Emits one exposition line: `name{labels} value`.
+pub fn expose_value(out: &mut Vec<String>, name: &str, labels: &[(&str, &str)], value: u64) {
+    out.push(format!("{name}{} {value}", fmt_labels(labels)));
+}
+
+/// Emits the fixed series set for a histogram: three quantile lines
+/// (`quantile="0.5"`, `"0.95"`, `"0.99"` appended after `labels`), then
+/// `name_count`, `name_sum`, `name_max`. Always emits all six lines —
+/// an idle histogram still advertises its label scheme.
+pub fn expose_histogram(out: &mut Vec<String>, name: &str, labels: &[(&str, &str)], h: &Histogram) {
+    for (q, v) in [("0.5", h.p50()), ("0.95", h.p95()), ("0.99", h.p99())] {
+        let mut with_q = labels.to_vec();
+        with_q.push(("quantile", q));
+        expose_value(out, name, &with_q, v);
+    }
+    expose_value(out, &format!("{name}_count"), labels, h.count());
+    expose_value(out, &format!("{name}_sum"), labels, h.sum());
+    expose_value(out, &format!("{name}_max"), labels, h.max());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn counters_and_gauges() {
+        let mut c = Counter::default();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let mut g = Gauge::default();
+        g.set(17);
+        assert_eq!(g.get(), 17);
+        g.set(3);
+        assert_eq!(g.get(), 3);
+    }
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_upper_bound(0), 0);
+        assert_eq!(bucket_upper_bound(1), 1);
+        assert_eq!(bucket_upper_bound(2), 3);
+        assert_eq!(bucket_upper_bound(64), u64::MAX);
+        for v in [0u64, 1, 2, 3, 4, 7, 8, 1023, 1024, u64::MAX] {
+            let i = bucket_index(v);
+            assert!(v <= bucket_upper_bound(i));
+            if i > 0 {
+                assert!(v > bucket_upper_bound(i - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!((h.count(), h.sum(), h.max()), (0, 0, 0));
+        assert_eq!((h.p50(), h.p95(), h.p99()), (0, 0, 0));
+    }
+
+    #[test]
+    fn single_sample_quantiles_are_exact() {
+        let mut h = Histogram::new();
+        h.record(1000);
+        assert_eq!(h.p50(), 1000);
+        assert_eq!(h.p99(), 1000);
+        assert_eq!(h.max(), 1000);
+        assert_eq!(h.sum(), 1000);
+    }
+
+    #[test]
+    fn quantiles_clamp_to_observed_max() {
+        let mut h = Histogram::new();
+        // 100 samples of 600 (bucket [512, 1023]): the estimate must be
+        // the max, not the bucket ceiling 1023.
+        for _ in 0..100 {
+            h.record(600);
+        }
+        assert_eq!(h.p50(), 600);
+        assert_eq!(h.p99(), 600);
+    }
+
+    #[test]
+    fn p99_separates_a_bimodal_mix() {
+        let mut h = Histogram::new();
+        // 99 fast (2 us) + 1 slow (500_000 us): p50 stays fast, p99 is
+        // at the boundary (rank 99 of 100 = the last fast sample), max
+        // sees the spike.
+        for _ in 0..99 {
+            h.record(2);
+        }
+        h.record(500_000);
+        assert!(
+            h.p50() <= 3,
+            "p50 {} should stay in the fast bucket",
+            h.p50()
+        );
+        assert!(
+            h.p99() <= 3,
+            "p99 {} should stay in the fast bucket",
+            h.p99()
+        );
+        assert_eq!(h.max(), 500_000);
+        assert!(h.quantile(1.0) >= 262_144); // same bucket as 500_000
+    }
+
+    #[test]
+    fn merge_is_the_union() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in [1u64, 10, 100] {
+            a.record(v);
+        }
+        for v in [1000u64, 10_000] {
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 5);
+        assert_eq!(a.sum(), 11_111);
+        assert_eq!(a.max(), 10_000);
+        assert_eq!(a.quantile(1.0), a.max());
+    }
+
+    #[test]
+    fn exposition_format_is_stable() {
+        let mut h = Histogram::new();
+        h.record(3);
+        h.record(90);
+        let mut out = Vec::new();
+        expose_value(&mut out, "ltg_up", &[("shard", "0")], 1);
+        expose_histogram(
+            &mut out,
+            "ltg_query_us",
+            &[("shard", "0"), ("cache", "hit")],
+            &h,
+        );
+        assert_eq!(
+            out,
+            vec![
+                "ltg_up{shard=\"0\"} 1".to_string(),
+                "ltg_query_us{shard=\"0\",cache=\"hit\",quantile=\"0.5\"} 3".to_string(),
+                "ltg_query_us{shard=\"0\",cache=\"hit\",quantile=\"0.95\"} 90".to_string(),
+                "ltg_query_us{shard=\"0\",cache=\"hit\",quantile=\"0.99\"} 90".to_string(),
+                "ltg_query_us_count{shard=\"0\",cache=\"hit\"} 2".to_string(),
+                "ltg_query_us_sum{shard=\"0\",cache=\"hit\"} 93".to_string(),
+                "ltg_query_us_max{shard=\"0\",cache=\"hit\"} 90".to_string(),
+            ]
+        );
+        // No labels at all: bare name.
+        let mut bare = Vec::new();
+        expose_value(&mut bare, "ltg_up", &[], 1);
+        assert_eq!(bare, vec!["ltg_up 1".to_string()]);
+    }
+
+    #[test]
+    fn phase_timer_disabled_is_inert() {
+        let t = PhaseTimer::start(false);
+        assert!(!t.enabled());
+        assert_eq!(t.elapsed_us(), None);
+        let mut h = Histogram::new();
+        assert_eq!(t.observe(&mut h), None);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn phase_timer_records_when_enabled() {
+        let t = PhaseTimer::start(true);
+        let mut h = Histogram::new();
+        let us = t.observe(&mut h).unwrap();
+        assert_eq!(h.count(), 1);
+        assert!(h.max() >= us || h.max() == us);
+    }
+
+    /// The exact `q`-quantile of a sorted sample set under the same
+    /// rank convention the histogram uses.
+    fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    proptest! {
+        /// The estimated quantile always lands in the same log2 bucket
+        /// as the exact order statistic — "within one bucket of exact".
+        #[test]
+        fn quantile_within_one_bucket_of_exact(
+            values in proptest::collection::vec(0u64..2_000_000, 1..400),
+            q in 1u32..=100u32,
+        ) {
+            let q = q as f64 / 100.0;
+            let mut h = Histogram::new();
+            for &v in &values {
+                h.record(v);
+            }
+            let mut values = values;
+            values.sort_unstable();
+            let exact = exact_quantile(&values, q);
+            let est = h.quantile(q);
+            prop_assert_eq!(
+                bucket_index(est), bucket_index(exact),
+                "estimate {} vs exact {} at q={}", est, exact, q
+            );
+            prop_assert!(est >= exact);
+            prop_assert!(est <= h.max());
+        }
+
+        /// Merging two histograms gives the same quantile estimates as
+        /// recording everything into one.
+        #[test]
+        fn merge_matches_single_recording(
+            a in proptest::collection::vec(0u64..1_000_000, 0..200),
+            b in proptest::collection::vec(0u64..1_000_000, 0..200),
+        ) {
+            let mut ha = Histogram::new();
+            let mut hb = Histogram::new();
+            let mut hall = Histogram::new();
+            for &v in &a { ha.record(v); hall.record(v); }
+            for &v in &b { hb.record(v); hall.record(v); }
+            ha.merge(&hb);
+            prop_assert_eq!(ha, hall);
+        }
+    }
+}

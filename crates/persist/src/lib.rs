@@ -30,7 +30,7 @@ pub mod wal;
 pub use recover::{
     boot, checkpoint, snapshot_path, wal_path, BootMode, BootReport, CheckpointInfo, Durable,
 };
-pub use wal::{SyncPolicy, WalOp, WalRecord, WalWriter};
+pub use wal::{SyncPolicy, WalMetrics, WalOp, WalRecord, WalWriter};
 
 use codec::DecodeError;
 use ltg_core::{EngineError, ExportError};

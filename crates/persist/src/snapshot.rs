@@ -333,6 +333,10 @@ fn decode_stats(r: &mut Reader<'_>) -> Result<ReasonStats, DecodeError> {
         combos_pruned: r.get_u64("stats combos pruned")?,
         nodes_compacted: r.get_u64("stats nodes compacted")?,
         graph_nodes_hiwater: r.get_u64("stats graph hiwater")?,
+        // Phase-time accumulators are ephemeral observability state:
+        // never encoded, zeroed on restore (like the per-pass phase
+        // histograms they feed).
+        ..ReasonStats::default()
     })
 }
 

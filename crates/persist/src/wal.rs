@@ -250,6 +250,18 @@ pub fn read(path: &Path) -> Result<Option<WalContents>, PersistError> {
     }))
 }
 
+/// Latency distributions of an open WAL: every buffered append and
+/// every fsync records one sample (whole microseconds). Ephemeral —
+/// reset when the writer is reopened.
+#[derive(Clone, Debug, Default)]
+pub struct WalMetrics {
+    /// One sample per [`WalWriter::append`] (the buffered write only —
+    /// a sync triggered by the append is timed separately).
+    pub append_us: ltg_obs::Histogram,
+    /// One sample per actual fsync inside [`WalWriter::sync`].
+    pub fsync_us: ltg_obs::Histogram,
+}
+
 /// An open WAL, appending records with batched fsync.
 pub struct WalWriter {
     file: File,
@@ -260,6 +272,7 @@ pub struct WalWriter {
     oldest_unsynced: Option<Instant>,
     records: u64,
     base_epoch: u64,
+    metrics: WalMetrics,
 }
 
 impl WalWriter {
@@ -290,6 +303,7 @@ impl WalWriter {
             oldest_unsynced: None,
             records: 0,
             base_epoch,
+            metrics: WalMetrics::default(),
         })
     }
 
@@ -313,6 +327,7 @@ impl WalWriter {
             oldest_unsynced: None,
             records: contents.records.len() as u64,
             base_epoch: contents.base_epoch,
+            metrics: WalMetrics::default(),
         };
         writer.file.seek(SeekFrom::End(0))?;
         Ok(writer)
@@ -321,12 +336,14 @@ impl WalWriter {
     /// Appends one record; fsyncs when either [`SyncPolicy`] threshold
     /// is reached.
     pub fn append(&mut self, record: &WalRecord) -> Result<(), PersistError> {
+        let t0 = Instant::now();
         let payload = encode_record(record);
         let mut framed = Vec::with_capacity(payload.len() + 8);
         framed.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         framed.extend_from_slice(&crc32(&payload).to_le_bytes());
         framed.extend_from_slice(&payload);
         self.file.write_all(&framed)?;
+        self.metrics.append_us.record_duration(t0.elapsed());
         self.records += 1;
         self.unsynced += 1;
         self.oldest_unsynced.get_or_insert_with(Instant::now);
@@ -344,7 +361,9 @@ impl WalWriter {
     /// Forces everything appended so far to stable storage.
     pub fn sync(&mut self) -> Result<(), PersistError> {
         if self.unsynced > 0 {
+            let t0 = Instant::now();
             self.file.sync_data()?;
+            self.metrics.fsync_us.record_duration(t0.elapsed());
             self.unsynced = 0;
             self.oldest_unsynced = None;
         }
@@ -394,6 +413,11 @@ impl WalWriter {
     /// Appends not yet forced to disk.
     pub fn unsynced(&self) -> usize {
         self.unsynced
+    }
+
+    /// Latency distributions of this writer's appends and fsyncs.
+    pub fn metrics(&self) -> &WalMetrics {
+        &self.metrics
     }
 }
 

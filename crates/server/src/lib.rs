@@ -37,7 +37,8 @@
 //!
 //! [`server::Server`] puts a [`server::RequestHandler`] behind a
 //! `TcpListener` speaking the line protocol of [`protocol`] (`QUERY` /
-//! `INSERT` / `UPDATE` / `DELETE` / `SNAPSHOT` / `STATS` / `PING`),
+//! `INSERT` / `UPDATE` / `DELETE` / `SNAPSHOT` / `STATS` / `METRICS` /
+//! `PING`),
 //! with one thread per connection doing socket I/O. The default handler
 //! is [`server::SessionHandle`] — one worker thread owning one session;
 //! `ltg-shard`'s `ShardedService` plugs a whole session pool into the
@@ -53,8 +54,6 @@ pub mod session;
 
 pub use cache::{CacheBudget, QueryCache};
 pub use ltg_persist::{BootMode, BootReport};
-#[allow(deprecated)]
-pub use protocol::Command;
 pub use protocol::{Request, Response};
 pub use server::{execute, respond, RequestHandler, Server, SessionHandle};
 pub use session::{

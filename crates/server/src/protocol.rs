@@ -11,6 +11,7 @@
 //! SNAPSHOT
 //! SNAPSHOT INFO
 //! STATS
+//! METRICS
 //! PING
 //! QUIT
 //! ```
@@ -57,6 +58,9 @@ pub enum Request {
     },
     /// `STATS` — session / cache / engine counters.
     Stats,
+    /// `METRICS` — Prometheus-style text exposition of the latency
+    /// histograms and phase timings (see `docs/observability.md`).
+    Metrics,
     /// `PING` — liveness check.
     Ping,
     /// `QUIT` — close the connection.
@@ -116,11 +120,12 @@ impl Request {
                 )),
             },
             "STATS" => Ok(Request::Stats),
+            "METRICS" => Ok(Request::Metrics),
             "PING" => Ok(Request::Ping),
             "QUIT" | "EXIT" | "BYE" => Ok(Request::Quit),
             other => Err(format!(
                 "unknown verb '{other}' (expected QUERY, INSERT, UPDATE, DELETE, SNAPSHOT, STATS, \
-                 PING or QUIT)"
+                 METRICS, PING or QUIT)"
             )),
         }
     }
@@ -142,6 +147,9 @@ pub enum Response {
     /// `STATS` / `SNAPSHOT INFO` payload: `OK <n>` plus `<key> <value>`
     /// lines.
     Lines(Vec<(String, String)>),
+    /// `METRICS` payload: `OK <n>` plus one exposition line each
+    /// (`name{label="v",...} value`).
+    Metrics(Vec<String>),
     /// Mutation outcomes, one per mutation in request order. `batch`
     /// mirrors [`Request::Mutate`]: a lone non-batch outcome renders
     /// inline (`OK inserted epoch=3`), anything else renders with
@@ -181,6 +189,14 @@ impl Response {
                     out.push_str(k);
                     out.push(' ');
                     out.push_str(v);
+                    out.push('\n');
+                }
+                out
+            }
+            Response::Metrics(lines) => {
+                let mut out = format!("OK {}\n", lines.len());
+                for l in lines {
+                    out.push_str(l);
                     out.push('\n');
                 }
                 out
@@ -247,82 +263,6 @@ fn render_mutation_line(r: &MutationResponse) -> String {
     }
 }
 
-/// A parsed request line (the pre-[`Request`] shape, one variant per
-/// mutation verb).
-#[deprecated(note = "parse into the typed Request enum with Request::parse")]
-#[derive(Clone, Debug, PartialEq)]
-pub enum Command {
-    /// `QUERY <atom>.` — answer a (possibly open) query atom.
-    Query(String),
-    /// `INSERT [<p> ::] <atom>.` — add an extensional fact (`p`
-    /// defaults to 1.0) and propagate it incrementally.
-    Insert {
-        /// The probability annotation.
-        prob: f64,
-        /// The ground atom text.
-        atom: String,
-    },
-    /// `UPDATE [<p> ::] <atom>.` — overwrite the probability of an
-    /// existing extensional fact.
-    Update {
-        /// The new probability.
-        prob: f64,
-        /// The ground atom text.
-        atom: String,
-    },
-    /// `DELETE <atom>[; <atom>…].` — retract one or more extensional
-    /// facts; a batch is retracted through a single multi-victim pass.
-    Delete {
-        /// The ground atom texts (`;`-separated on the wire).
-        atoms: Vec<String>,
-    },
-    /// `SNAPSHOT` / `SNAPSHOT INFO`.
-    Snapshot {
-        /// True for `SNAPSHOT INFO` (inspect only).
-        info: bool,
-    },
-    /// `STATS` — session / cache / engine counters.
-    Stats,
-    /// `PING` — liveness check.
-    Ping,
-    /// `QUIT` — close the connection.
-    Quit,
-}
-
-/// Parses one request line (the verb is case-insensitive).
-#[deprecated(note = "parse into the typed Request enum with Request::parse")]
-#[allow(deprecated)]
-pub fn parse_command(line: &str) -> Result<Command, String> {
-    Ok(match Request::parse(line)? {
-        Request::Query(atom) => Command::Query(atom),
-        // The wire grammar only ever produces homogeneous batches: one
-        // insert, one update, or all deletes.
-        Request::Mutate { mut mutations, .. } => match &mut mutations[..] {
-            [Mutation::Insert { prob, atom }] => Command::Insert {
-                prob: *prob,
-                atom: std::mem::take(atom),
-            },
-            [Mutation::Update { prob, atom }] => Command::Update {
-                prob: *prob,
-                atom: std::mem::take(atom),
-            },
-            _ => Command::Delete {
-                atoms: mutations
-                    .into_iter()
-                    .map(|m| match m {
-                        Mutation::Delete { atom } => atom,
-                        _ => unreachable!("wire mutation batches are all-delete"),
-                    })
-                    .collect(),
-            },
-        },
-        Request::Snapshot { info } => Command::Snapshot { info },
-        Request::Stats => Command::Stats,
-        Request::Ping => Command::Ping,
-        Request::Quit => Command::Quit,
-    })
-}
-
 /// Splits a `;`-separated atom batch, ignoring separators inside
 /// quoted constants — the session's atom tokenizer accepts `'a;b'` as
 /// one constant, so the batch splitter must agree (an unterminated
@@ -378,8 +318,6 @@ fn parse_weighted(rest: &str, verb: &str) -> Result<(f64, String), String> {
 
 #[cfg(test)]
 mod tests {
-    // parse_command stays covered until the Command shim is removed.
-    #![allow(deprecated)]
     use super::*;
 
     #[test]
@@ -476,6 +414,7 @@ mod tests {
         );
         assert!(Request::parse("SNAPSHOT now").is_err());
         assert_eq!(Request::parse("STATS"), Ok(Request::Stats));
+        assert_eq!(Request::parse("metrics"), Ok(Request::Metrics));
         assert_eq!(Request::parse("  ping  "), Ok(Request::Ping));
         assert_eq!(Request::parse("quit"), Ok(Request::Quit));
     }
@@ -508,6 +447,15 @@ mod tests {
         assert_eq!(
             Response::Lines(vec![("queries".into(), "2".into())]).render(),
             "OK 1\nqueries 2\n"
+        );
+        assert_eq!(
+            Response::Metrics(vec![
+                "ltg_query_us{shard=\"0\",cache=\"hit\",quantile=\"0.5\"} 3".into(),
+                "ltg_graph_nodes{shard=\"0\"} 197".into(),
+            ])
+            .render(),
+            "OK 2\nltg_query_us{shard=\"0\",cache=\"hit\",quantile=\"0.5\"} 3\n\
+             ltg_graph_nodes{shard=\"0\"} 197\n"
         );
         assert_eq!(
             Response::SnapshotWritten {
@@ -565,24 +513,5 @@ mod tests {
             .render(),
             "OK 2\ndeleted p=0.500000 epoch=2\nmissing\n"
         );
-    }
-
-    #[test]
-    fn command_shim_still_parses() {
-        assert_eq!(
-            parse_command("insert 0.9 :: e(a, d)."),
-            Ok(Command::Insert {
-                prob: 0.9,
-                atom: "e(a, d).".into()
-            })
-        );
-        assert_eq!(
-            parse_command("DELETE e(a, b); e(b, c)."),
-            Ok(Command::Delete {
-                atoms: vec!["e(a, b)".into(), "e(b, c).".into()]
-            })
-        );
-        assert_eq!(parse_command("quit"), Ok(Command::Quit));
-        assert!(parse_command("FROBNICATE x").is_err());
     }
 }

@@ -9,9 +9,7 @@
 //! number of connections concurrently.
 
 use crate::protocol::{Request, Response};
-use crate::session::{
-    DeleteResponse, InsertResponse, MutationResponse, Session, SessionOptions, UpdateResponse,
-};
+use crate::session::{Session, SessionOptions};
 use ltg_datalog::Program;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -258,6 +256,7 @@ pub fn execute(session: &mut Session, request: Request) -> Response {
         Request::Ping => Response::Pong,
         Request::Quit => Response::Bye,
         Request::Stats => Response::Lines(owned_lines(session.stats_lines())),
+        Request::Metrics => Response::Metrics(session.metrics_lines(0)),
         Request::Query(atom) => match session.query(&atom) {
             Ok(answers) => Response::Answers(answers.to_vec()),
             Err(e) => Response::Error(e.to_string()),
@@ -281,49 +280,6 @@ pub fn execute(session: &mut Session, request: Request) -> Response {
 
 fn owned_lines(lines: Vec<(&'static str, String)>) -> Vec<(String, String)> {
     lines.into_iter().map(|(k, v)| (k.to_string(), v)).collect()
-}
-
-/// Renders an [`InsertResponse`] exactly as the wire expects.
-#[deprecated(note = "render through protocol::Response::Mutated")]
-pub fn render_insert(r: &InsertResponse) -> String {
-    Response::Mutated {
-        responses: vec![MutationResponse::Insert(*r)],
-        batch: false,
-    }
-    .render()
-}
-
-/// Renders an [`UpdateResponse`] exactly as the wire expects.
-#[deprecated(note = "render through protocol::Response::Mutated")]
-pub fn render_update(r: &UpdateResponse) -> String {
-    Response::Mutated {
-        responses: vec![MutationResponse::Update(*r)],
-        batch: false,
-    }
-    .render()
-}
-
-/// Renders a single-atom `DELETE` response.
-#[deprecated(note = "render through protocol::Response::Mutated")]
-pub fn render_delete_single(r: &DeleteResponse) -> String {
-    Response::Mutated {
-        responses: vec![MutationResponse::Delete(*r)],
-        batch: false,
-    }
-    .render()
-}
-
-/// Renders a multi-atom `DELETE` batch response.
-#[deprecated(note = "render through protocol::Response::Mutated")]
-pub fn render_delete_batch(responses: &[DeleteResponse]) -> String {
-    Response::Mutated {
-        responses: responses
-            .iter()
-            .map(|r| MutationResponse::Delete(*r))
-            .collect(),
-        batch: true,
-    }
-    .render()
 }
 
 #[cfg(test)]

@@ -17,8 +17,9 @@ use crate::cache::{CacheBudget, CacheStats, QueryCache};
 use ltg_core::{EngineConfig, EngineError, InsertError, LtgEngine};
 use ltg_datalog::fxhash::FxHashMap;
 use ltg_datalog::{Atom, DependencyGraph, PredId, Program, Sym, Term, Var};
+use ltg_obs::{expose_histogram, expose_value, Histogram, PhaseTimer};
 use ltg_persist::{
-    BootMode, BootReport, CheckpointInfo, PersistError, WalOp, WalRecord, WalWriter,
+    BootMode, BootReport, CheckpointInfo, PersistError, WalMetrics, WalOp, WalRecord, WalWriter,
 };
 use ltg_storage::{DeleteOutcome, InsertOutcome};
 use ltg_wmc::{SolverKind, WmcSolver};
@@ -81,6 +82,14 @@ pub struct SessionOptions {
     /// Snapshot + WAL persistence (`None`: the session state dies with
     /// the process).
     pub durability: Option<DurabilityOptions>,
+    /// Record latency histograms (`METRICS` verb, `*_p99_us` STATS
+    /// keys). On by default; disabling skips every clock read on the
+    /// request path (the `metrics_overhead` bench measures the gap).
+    pub metrics: bool,
+    /// Slow-request log threshold: any request slower than this many
+    /// milliseconds writes one structured `key=value` line to stderr
+    /// with its phase breakdown (`None`: off).
+    pub slow_ms: Option<u64>,
 }
 
 impl Default for SessionOptions {
@@ -90,6 +99,8 @@ impl Default for SessionOptions {
             solver: SolverKind::Sdd,
             cache: CacheBudget::default(),
             durability: None,
+            metrics: true,
+            slow_ms: None,
         }
     }
 }
@@ -326,6 +337,34 @@ pub struct Session {
     /// Set when a WAL append failed: the session keeps serving, but
     /// durability is suspended and reported (`STATS wal_broken`).
     wal_broken: bool,
+    /// Latency histograms ([`SessionOptions::metrics`]).
+    metrics: SessionMetrics,
+    /// Histogram recording enabled.
+    metrics_on: bool,
+    /// Slow-request log threshold in microseconds.
+    slow_us: Option<u64>,
+    /// WMC solve time of the last cache-missing query (for its slow-log
+    /// line).
+    last_wmc_us: u64,
+}
+
+/// Per-verb latency distributions of one session (whole microseconds).
+#[derive(Debug, Default)]
+struct SessionMetrics {
+    /// `QUERY` answered from the cache.
+    query_hit_us: Histogram,
+    /// `QUERY` computed (lineage + WMC).
+    query_miss_us: Histogram,
+    /// WMC solve time per computed query (all answers of the query).
+    wmc_us: Histogram,
+    /// `INSERT` (validate + WAL + delta pass + invalidation).
+    insert_us: Histogram,
+    /// One sample per `DELETE` run (consecutive deletes share a pass).
+    delete_us: Histogram,
+    /// `UPDATE` (weight write + WAL).
+    update_us: Histogram,
+    /// Checkpoint writes (snapshot + WAL reset).
+    snapshot_write_us: Histogram,
 }
 
 impl Session {
@@ -373,6 +412,10 @@ impl Session {
             snapshot_epoch: report.snapshot_epoch,
             snapshots: 0,
             wal_broken: false,
+            metrics: SessionMetrics::default(),
+            metrics_on: opts.metrics,
+            slow_us: opts.slow_ms.map(|ms| ms.saturating_mul(1000)),
+            last_wmc_us: 0,
         };
         // A durable cold boot immediately establishes its snapshot:
         // the very next restart is warm even if the process dies before
@@ -399,7 +442,9 @@ impl Session {
             (Some(d), Some(w)) => (&d.dir, w),
             _ => unreachable!("checkpoint_inner requires a durable session"),
         };
+        let timer = PhaseTimer::start(self.metrics_on);
         let info = ltg_persist::checkpoint(dir, &self.engine, wal)?;
+        timer.observe(&mut self.metrics.snapshot_write_us);
         self.snapshots += 1;
         self.snapshot_epoch = Some(info.epoch);
         // A successful checkpoint makes durability coherent again even
@@ -493,6 +538,7 @@ impl Session {
     /// are memoized until a dependency predicate is mutated.
     pub fn query(&mut self, atom_text: &str) -> Result<Rc<[Answer]>, SessionError> {
         self.stats.queries += 1;
+        let timer = PhaseTimer::start(self.metrics_on || self.slow_us.is_some());
         let (name, args) = parse_atom_text(atom_text)?;
         let pred = self
             .engine
@@ -527,20 +573,60 @@ impl Session {
         let atom = Atom::new(pred, terms);
         let key = cache_key(&atom);
         if let Some(hit) = self.cache.lookup(&key, self.engine.db()) {
+            if let Some(us) = timer.elapsed_us() {
+                if self.metrics_on {
+                    self.metrics.query_hit_us.record(us);
+                }
+                self.log_slow(us, &[("verb", "query"), ("cache", "hit")], &[]);
+            }
             return Ok(hit);
         }
+        self.last_wmc_us = 0;
         let answers = self.compute(&atom)?;
         let deps = self.dep_closure(pred);
         self.cache
             .store(key, deps, answers.clone(), self.engine.db());
         self.resync_cache_meter(false);
+        if let Some(us) = timer.elapsed_us() {
+            if self.metrics_on {
+                self.metrics.query_miss_us.record(us);
+            }
+            self.log_slow(
+                us,
+                &[("verb", "query"), ("cache", "miss")],
+                &[
+                    ("wmc_us", self.last_wmc_us),
+                    ("answers", answers.len() as u64),
+                ],
+            );
+        }
         Ok(answers)
+    }
+
+    /// Writes the structured slow-request line when `us` crosses the
+    /// `--slow-ms` threshold: one parseable `key=value` record on
+    /// stderr with the request's phase breakdown.
+    fn log_slow(&self, us: u64, tags: &[(&str, &str)], extra: &[(&str, u64)]) {
+        let Some(slow) = self.slow_us else { return };
+        if us < slow {
+            return;
+        }
+        let mut line = String::from("ltgs: slow_request");
+        for (k, v) in tags {
+            line.push_str(&format!(" {k}={v}"));
+        }
+        line.push_str(&format!(" us={us}"));
+        for (k, v) in extra {
+            line.push_str(&format!(" {k}={v}"));
+        }
+        eprintln!("{line}");
     }
 
     /// Computes (lineage + WMC) the answers of a resolved atom.
     fn compute(&mut self, atom: &Atom) -> Result<Rc<[Answer]>, SessionError> {
         let results = self.engine.answer(atom).map_err(SessionError::Engine)?;
         let weights = self.engine.db().weights();
+        let wmc_timer = PhaseTimer::start(self.metrics_on || self.slow_us.is_some());
         let mut answers = Vec::with_capacity(results.len());
         for (f, d) in results {
             let prob = self
@@ -554,6 +640,12 @@ impl Session {
                 .store
                 .display(f, &program.preds, &program.symbols);
             answers.push(Answer { text, prob });
+        }
+        if let Some(us) = wmc_timer.elapsed_us() {
+            if self.metrics_on {
+                self.metrics.wmc_us.record(us);
+            }
+            self.last_wmc_us = us;
         }
         answers.sort_by(|a, b| a.text.cmp(&b.text));
         Ok(Rc::from(answers))
@@ -613,12 +705,16 @@ impl Session {
         let mut responses = Vec::with_capacity(planned.len());
         let mut queue = planned.into_iter().peekable();
         while let Some(p) = queue.next() {
-            match p {
+            let timer = PhaseTimer::start(self.metrics_on || self.slow_us.is_some());
+            let phases0 = timer.enabled().then(|| self.phase_breakdown());
+            let kind = match p {
                 Planned::Insert { prob, atom } => {
                     responses.push(MutationResponse::Insert(self.apply_insert(prob, &atom)?));
+                    "insert"
                 }
                 Planned::Update { prob, atom } => {
                     responses.push(MutationResponse::Update(self.apply_update(prob, &atom)?));
+                    "update"
                 }
                 Planned::Delete { atom } => {
                     let mut run = vec![atom];
@@ -630,10 +726,54 @@ impl Session {
                     }
                     let deleted = self.apply_delete_run(&run)?;
                     responses.extend(deleted.into_iter().map(MutationResponse::Delete));
+                    "delete"
                 }
+            };
+            if let Some(us) = timer.elapsed_us() {
+                if self.metrics_on {
+                    match kind {
+                        "insert" => self.metrics.insert_us.record(us),
+                        "update" => self.metrics.update_us.record(us),
+                        _ => self.metrics.delete_us.record(us),
+                    }
+                }
+                let before = phases0.unwrap_or_default();
+                let after = self.phase_breakdown();
+                // Collapse runs inside tree building; carve it out so
+                // the logged phases are disjoint (the histograms make
+                // the same split).
+                let collapse = after[2].saturating_sub(before[2]);
+                self.log_slow(
+                    us,
+                    &[("verb", kind)],
+                    &[
+                        ("delta_join_us", after[0].saturating_sub(before[0])),
+                        (
+                            "tree_build_us",
+                            after[1].saturating_sub(before[1]).saturating_sub(collapse),
+                        ),
+                        ("collapse_us", collapse),
+                        ("compact_us", after[3].saturating_sub(before[3])),
+                        ("probes", after[4].saturating_sub(before[4])),
+                    ],
+                );
             }
         }
         Ok(responses)
+    }
+
+    /// Cumulative engine phase costs `[delta_join_us, tree_build_us,
+    /// collapse_us, compact_us, delta_join_probes]` — diffed around one
+    /// mutation for its slow-log phase breakdown.
+    fn phase_breakdown(&self) -> [u64; 5] {
+        let es = self.engine.stats();
+        [
+            es.delta_join_time.as_micros() as u64,
+            es.tree_build_time.as_micros() as u64,
+            es.collapse_time.as_micros() as u64,
+            es.compact_time.as_micros() as u64,
+            es.delta_join_probes,
+        ]
     }
 
     /// Phase-1 validation of one mutation (see [`Session::apply`]).
@@ -816,70 +956,6 @@ impl Session {
         }
     }
 
-    /// Inserts `prob :: atom.` — a single-mutation [`Session::apply`].
-    #[deprecated(note = "apply a MutationBatch with Session::apply")]
-    pub fn insert(&mut self, prob: f64, atom_text: &str) -> Result<InsertResponse, SessionError> {
-        match self.apply(vec![Mutation::Insert {
-            prob,
-            atom: atom_text.to_string(),
-        }])?[..]
-        {
-            [MutationResponse::Insert(r)] => Ok(r),
-            _ => unreachable!("one insert yields one insert response"),
-        }
-    }
-
-    /// Retracts `atom.` — a single-mutation [`Session::apply`].
-    /// Deleting an absent fact — a never-inserted tuple, an
-    /// already-deleted one, or an atom naming constants the session has
-    /// never seen — is an acknowledged no-op.
-    #[deprecated(note = "apply a MutationBatch with Session::apply")]
-    pub fn delete(&mut self, atom_text: &str) -> Result<DeleteResponse, SessionError> {
-        match self.apply(vec![Mutation::Delete {
-            atom: atom_text.to_string(),
-        }])?[..]
-        {
-            [MutationResponse::Delete(r)] => Ok(r),
-            _ => unreachable!("one delete yields one delete response"),
-        }
-    }
-
-    /// Retracts a batch of facts — an all-delete [`Session::apply`],
-    /// which shares one multi-victim retraction pass across the batch.
-    #[deprecated(note = "apply a MutationBatch with Session::apply")]
-    pub fn delete_batch<S: AsRef<str>>(
-        &mut self,
-        atoms: &[S],
-    ) -> Result<Vec<DeleteResponse>, SessionError> {
-        let batch = atoms
-            .iter()
-            .map(|a| Mutation::Delete {
-                atom: a.as_ref().to_string(),
-            })
-            .collect();
-        Ok(self
-            .apply(batch)?
-            .into_iter()
-            .map(|r| match r {
-                MutationResponse::Delete(d) => d,
-                _ => unreachable!("deletes yield delete responses"),
-            })
-            .collect())
-    }
-
-    /// Sets `π(fact) = prob` — a single-mutation [`Session::apply`].
-    #[deprecated(note = "apply a MutationBatch with Session::apply")]
-    pub fn update(&mut self, prob: f64, atom_text: &str) -> Result<UpdateResponse, SessionError> {
-        match self.apply(vec![Mutation::Update {
-            prob,
-            atom: atom_text.to_string(),
-        }])?[..]
-        {
-            [MutationResponse::Update(r)] => Ok(r),
-            _ => unreachable!("one update yields one update response"),
-        }
-    }
-
     /// `STATS` payload: `(key, value)` lines in a fixed order.
     pub fn stats_lines(&self) -> Vec<(&'static str, String)> {
         let cs = self.cache.stats();
@@ -921,8 +997,113 @@ impl Session {
                 format!("{:.3}", es.reasoning_time.as_secs_f64() * 1e3),
             ),
         ];
+        // Latency quantiles over all queries (hits + misses) and all
+        // mutations. Sharded STATS folds these with max, not sum.
+        let mut query = self.metrics.query_hit_us.clone();
+        query.merge(&self.metrics.query_miss_us);
+        let mut mutation = self.metrics.insert_us.clone();
+        mutation.merge(&self.metrics.delete_us);
+        mutation.merge(&self.metrics.update_us);
+        lines.extend([
+            ("query_p50_us", query.p50().to_string()),
+            ("query_p95_us", query.p95().to_string()),
+            ("query_p99_us", query.p99().to_string()),
+            ("query_max_us", query.max().to_string()),
+            ("mutation_p50_us", mutation.p50().to_string()),
+            ("mutation_p95_us", mutation.p95().to_string()),
+            ("mutation_p99_us", mutation.p99().to_string()),
+            ("mutation_max_us", mutation.max().to_string()),
+        ]);
         lines.extend(self.snapshot_info_lines());
         lines
+    }
+
+    /// `METRICS` payload: Prometheus-style text exposition of every
+    /// histogram, counter and gauge this session owns, all labeled
+    /// `shard="<shard>"` (an unsharded session is shard 0, so the label
+    /// scheme is identical with and without `--shards`). Series are
+    /// emitted in a fixed order and even when empty — the scheme is
+    /// stable from the first scrape. See `docs/observability.md`.
+    pub fn metrics_lines(&self, shard: usize) -> Vec<String> {
+        let shard = shard.to_string();
+        let s = shard.as_str();
+        let m = &self.metrics;
+        let mut out = Vec::new();
+        expose_histogram(
+            &mut out,
+            "ltg_query_us",
+            &[("shard", s), ("cache", "hit")],
+            &m.query_hit_us,
+        );
+        expose_histogram(
+            &mut out,
+            "ltg_query_us",
+            &[("shard", s), ("cache", "miss")],
+            &m.query_miss_us,
+        );
+        expose_histogram(&mut out, "ltg_wmc_us", &[("shard", s)], &m.wmc_us);
+        for (kind, h) in [
+            ("insert", &m.insert_us),
+            ("delete", &m.delete_us),
+            ("update", &m.update_us),
+        ] {
+            expose_histogram(
+                &mut out,
+                "ltg_mutation_us",
+                &[("shard", s), ("kind", kind)],
+                h,
+            );
+        }
+        let ph = self.engine.phase_metrics();
+        for (phase, h) in [
+            ("delta_join", &ph.delta_join_us),
+            ("tree_build", &ph.tree_build_us),
+            ("collapse", &ph.collapse_us),
+            ("compact", &ph.compact_us),
+        ] {
+            expose_histogram(
+                &mut out,
+                "ltg_engine_phase_us",
+                &[("shard", s), ("phase", phase)],
+                h,
+            );
+        }
+        // WAL and snapshot series are present even on a non-durable
+        // session (idle histograms) — the label scheme must not depend
+        // on configuration.
+        let idle = WalMetrics::default();
+        let wm = self.wal.as_ref().map_or(&idle, |w| w.metrics());
+        expose_histogram(
+            &mut out,
+            "ltg_wal_us",
+            &[("shard", s), ("op", "append")],
+            &wm.append_us,
+        );
+        expose_histogram(
+            &mut out,
+            "ltg_wal_us",
+            &[("shard", s), ("op", "fsync")],
+            &wm.fsync_us,
+        );
+        expose_histogram(
+            &mut out,
+            "ltg_snapshot_write_us",
+            &[("shard", s)],
+            &m.snapshot_write_us,
+        );
+        expose_value(
+            &mut out,
+            "ltg_graph_nodes",
+            &[("shard", s)],
+            self.engine.graph().nodes.len() as u64,
+        );
+        expose_value(
+            &mut out,
+            "ltg_cache_entries",
+            &[("shard", s)],
+            self.cache.len() as u64,
+        );
+        out
     }
 
     /// Durability status: `(key, value)` lines shared by `STATS` and
@@ -1231,8 +1412,6 @@ fn cache_key(atom: &Atom) -> String {
 
 #[cfg(test)]
 mod tests {
-    // The per-verb entry points stay covered until they are removed.
-    #![allow(deprecated)]
     use super::*;
     use ltg_datalog::parse_program;
 
@@ -1245,6 +1424,60 @@ mod tests {
     fn session() -> Session {
         let program = parse_program(EXAMPLE1).unwrap();
         Session::new(&program, SessionOptions::default()).unwrap()
+    }
+
+    /// Single-mutation conveniences: every call below funnels through
+    /// the one [`Session::apply`] pipeline, exactly like the wire verbs.
+    trait ApplyOne {
+        fn insert(&mut self, prob: f64, atom: &str) -> Result<InsertResponse, SessionError>;
+        fn update(&mut self, prob: f64, atom: &str) -> Result<UpdateResponse, SessionError>;
+        fn delete(&mut self, atom: &str) -> Result<DeleteResponse, SessionError>;
+        fn delete_batch(&mut self, atoms: &[&str]) -> Result<Vec<DeleteResponse>, SessionError>;
+    }
+
+    impl ApplyOne for Session {
+        fn insert(&mut self, prob: f64, atom: &str) -> Result<InsertResponse, SessionError> {
+            match self.apply(vec![Mutation::Insert {
+                prob,
+                atom: atom.into(),
+            }])?[0]
+            {
+                MutationResponse::Insert(r) => Ok(r),
+                ref other => panic!("expected an insert response, got {other:?}"),
+            }
+        }
+
+        fn update(&mut self, prob: f64, atom: &str) -> Result<UpdateResponse, SessionError> {
+            match self.apply(vec![Mutation::Update {
+                prob,
+                atom: atom.into(),
+            }])?[0]
+            {
+                MutationResponse::Update(r) => Ok(r),
+                ref other => panic!("expected an update response, got {other:?}"),
+            }
+        }
+
+        fn delete(&mut self, atom: &str) -> Result<DeleteResponse, SessionError> {
+            Ok(self.delete_batch(&[atom])?[0])
+        }
+
+        fn delete_batch(&mut self, atoms: &[&str]) -> Result<Vec<DeleteResponse>, SessionError> {
+            self.apply(
+                atoms
+                    .iter()
+                    .map(|a| Mutation::Delete {
+                        atom: (*a).to_string(),
+                    })
+                    .collect(),
+            )?
+            .into_iter()
+            .map(|r| match r {
+                MutationResponse::Delete(d) => Ok(d),
+                other => panic!("expected a delete response, got {other:?}"),
+            })
+            .collect()
+        }
     }
 
     #[test]

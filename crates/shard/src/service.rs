@@ -20,9 +20,12 @@
 //! re-numbered in atom order, which is the order a single session would
 //! have committed them in.
 //!
-//! `STATS` and `SNAPSHOT` scatter-gather: counters are summed across
-//! shards under the usual keys (plus `shards` and per-shard
-//! `shard.K.<key>` lines), `SNAPSHOT` checkpoints every durable shard.
+//! `STATS`, `METRICS` and `SNAPSHOT` scatter-gather: counters are
+//! summed across shards under the usual keys (latency quantiles are
+//! max-folded — a p99 of sums would be meaningless), `METRICS`
+//! concatenates every shard's exposition series (each carries its own
+//! `shard="K"` label) plus the router's own scatter-gather latency, and
+//! `SNAPSHOT` checkpoints every durable shard.
 //!
 //! One deliberate validation difference, visible only on *multi-atom*
 //! `DELETE` batches: because a batch may span shards, the router
@@ -38,6 +41,7 @@
 
 use crate::plan::ShardPlan;
 use ltg_datalog::Program;
+use ltg_obs::{expose_histogram, Histogram};
 use ltg_persist::{BootMode, BootReport, CheckpointInfo};
 use ltg_server::{
     atom_shape, respond, DeleteResponse, DurabilityOptions, InsertResponse, Mutation,
@@ -48,6 +52,7 @@ use std::fmt;
 use std::sync::mpsc;
 use std::sync::Mutex;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Construction knobs of a [`ShardedService`].
 #[derive(Clone, Debug)]
@@ -102,6 +107,9 @@ enum ShardRequest {
     Apply(MutationBatch),
     /// `STATS` scatter.
     StatsLines,
+    /// `METRICS` scatter: the worker renders its exposition series
+    /// under its own slot's `shard` label.
+    Metrics { shard: usize },
     /// `SNAPSHOT INFO` scatter.
     SnapshotInfo,
     /// `SNAPSHOT` scatter.
@@ -118,6 +126,7 @@ enum ShardReply {
         epoch_after: u64,
     },
     Lines(Vec<(String, String)>),
+    Metrics(Vec<String>),
     Checkpoint(Result<CheckpointInfo, String>),
 }
 
@@ -134,6 +143,9 @@ pub struct ShardedService {
     /// Per-shard database epochs as last reported; the rendered global
     /// epoch is their sum.
     ledger: Mutex<Vec<u64>>,
+    /// Wall-clock latency of each scatter-gather round (dispatch to
+    /// last reply), exposed as `ltg_router_scatter_us` under `METRICS`.
+    scatter_us: Mutex<Histogram>,
     durable: bool,
     boot: ShardedBootReport,
 }
@@ -225,6 +237,7 @@ impl ShardedService {
             workers,
             handles: Mutex::new(handles),
             ledger: Mutex::new(epochs),
+            scatter_us: Mutex::new(Histogram::default()),
             durable,
             boot,
         })
@@ -265,6 +278,7 @@ impl ShardedService {
             },
             Request::Mutate { mutations, .. } => self.mutate(mutations),
             Request::Stats => self.gathered_lines(false),
+            Request::Metrics => self.gathered_metrics(),
             Request::Snapshot { info: true } => self.gathered_lines(true),
             Request::Snapshot { info: false } => self.checkpoint(),
         }
@@ -327,6 +341,7 @@ impl ShardedService {
     /// checkpoint costs the *slowest* shard, not the sum). Replies come
     /// back in request order.
     fn scatter(&self, reqs: Vec<(usize, ShardRequest)>) -> Option<Vec<ShardReply>> {
+        let t0 = Instant::now();
         let mut pending = Vec::with_capacity(reqs.len());
         for (slot, req) in reqs {
             let (reply_tx, reply_rx) = mpsc::channel();
@@ -338,7 +353,11 @@ impl ShardedService {
                 .ok()?;
             pending.push(reply_rx);
         }
-        pending.into_iter().map(|rx| rx.recv().ok()).collect()
+        let replies = pending.into_iter().map(|rx| rx.recv().ok()).collect();
+        if let Ok(mut h) = self.scatter_us.lock() {
+            h.record_duration(t0.elapsed());
+        }
+        replies
     }
 
     /// Folds a shard's post-request epoch into the ledger and returns
@@ -636,6 +655,31 @@ impl ShardedService {
         out
     }
 
+    /// Scatter-gathers the `METRICS` exposition: every shard's series
+    /// (each already labeled `shard="K"`) concatenated in slot order,
+    /// then the router's own scatter-gather latency histogram. The
+    /// label scheme is identical at every shard count — one shard just
+    /// means every series says `shard="0"`.
+    fn gathered_metrics(&self) -> String {
+        let reqs: Vec<(usize, ShardRequest)> = (0..self.workers.len())
+            .map(|slot| (slot, ShardRequest::Metrics { shard: slot }))
+            .collect();
+        let Some(replies) = self.scatter(reqs) else {
+            return unavailable();
+        };
+        let mut lines: Vec<String> = Vec::new();
+        for reply in replies {
+            match reply {
+                ShardReply::Metrics(shard_lines) => lines.extend(shard_lines),
+                _ => return unavailable(),
+            }
+        }
+        if let Ok(h) = self.scatter_us.lock() {
+            expose_histogram(&mut lines, "ltg_router_scatter_us", &[], &h);
+        }
+        Response::Metrics(lines).render()
+    }
+
     fn checkpoint(&self) -> String {
         if !self.durable {
             return "ERR not durable: start the server with --data-dir\n".into();
@@ -716,6 +760,21 @@ fn aggregate(key: &str, values: &[&str]) -> String {
                 nums.iter().sum::<u64>().to_string()
             }
         }
+        // Latency quantiles don't sum: the pool-wide p99 is bounded by
+        // the worst shard's, so max-fold them (a conservative and
+        // operator-meaningful aggregate).
+        _ if key.ends_with("_p50_us")
+            || key.ends_with("_p95_us")
+            || key.ends_with("_p99_us")
+            || key.ends_with("_max_us") =>
+        {
+            values
+                .iter()
+                .filter_map(|v| v.parse::<u64>().ok())
+                .max()
+                .unwrap_or(0)
+                .to_string()
+        }
         _ => {
             if let Some(sum) = values
                 .iter()
@@ -782,6 +841,7 @@ fn handle_request(session: &mut Session, req: ShardRequest) -> ShardReply {
                 .map(|(k, v)| (k.to_string(), v))
                 .collect(),
         ),
+        ShardRequest::Metrics { shard } => ShardReply::Metrics(session.metrics_lines(shard)),
         ShardRequest::SnapshotInfo => ShardReply::Lines(
             session
                 .snapshot_info_lines()
@@ -962,6 +1022,53 @@ mod tests {
         let s0: u64 = get("shard.0.queries").parse().unwrap();
         let s1: u64 = get("shard.1.queries").parse().unwrap();
         assert_eq!(s0 + s1, 2);
+    }
+
+    #[test]
+    fn metrics_concatenate_per_shard_series_with_stable_labels() {
+        // The exposition label scheme must not depend on the shard
+        // count: the same metric names appear at 1 and 2 shards, only
+        // the set of `shard="K"` label values differs.
+        let series_names = |resp: &str| -> Vec<String> {
+            let mut names: Vec<String> = resp
+                .lines()
+                .skip(1) // OK <n>
+                .map(|l| {
+                    let name = l.split(['{', ' ']).next().unwrap_or(l);
+                    let quantile = if l.contains("quantile=") { "+q" } else { "" };
+                    format!("{name}{quantile}")
+                })
+                .collect();
+            names.sort();
+            names.dedup();
+            names
+        };
+        let mut schemes = Vec::new();
+        for shards in [1, 2] {
+            let service = service(shards);
+            service.respond("QUERY p1(a, b).");
+            service.respond("QUERY p1(a, b).");
+            service.respond("INSERT 0.9 :: e2(c, d).");
+            let resp = service.respond("METRICS");
+            assert!(resp.starts_with("OK "), "{resp}");
+            for slot in 0..shards {
+                assert!(
+                    resp.contains(&format!("ltg_query_us{{shard=\"{slot}\"")),
+                    "shard {slot} series missing at {shards} shards: {resp}"
+                );
+            }
+            // The query actually landed in a histogram somewhere.
+            let counted: u64 = resp
+                .lines()
+                .filter_map(|l| l.strip_prefix("ltg_query_us"))
+                .filter(|l| l.contains("_count"))
+                .filter_map(|l| l.rsplit(' ').next()?.parse::<u64>().ok())
+                .sum();
+            assert_eq!(counted, 2, "{resp}");
+            assert!(resp.contains("ltg_router_scatter_us"), "{resp}");
+            schemes.push(series_names(&resp));
+        }
+        assert_eq!(schemes[0], schemes[1], "label scheme differs by shards");
     }
 
     #[test]

@@ -225,7 +225,7 @@ fn run_one_query(
 
 /// `ltgs serve [--port N] [--host H] [--solver S] [--no-collapse]
 /// [--shards N] [--data-dir DIR [--fsync-every N] [--fsync-after-ms T]
-/// [--snapshot-every N]] <program.pl>`
+/// [--snapshot-every N]] [--slow-ms N] <program.pl>`
 fn run_serve(args: &[String]) -> Result<(), String> {
     let mut port: u16 = 7474;
     let mut host = "127.0.0.1".to_string();
@@ -237,6 +237,7 @@ fn run_serve(args: &[String]) -> Result<(), String> {
     let mut fsync_after_ms: Option<u64> = None;
     let mut shards: Option<usize> = None;
     let mut snapshot_every: u64 = 1024;
+    let mut slow_ms: Option<u64> = None;
     let mut path = String::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -278,6 +279,14 @@ fn run_serve(args: &[String]) -> Result<(), String> {
                         .ok_or("--fsync-after-ms needs a value")?
                         .parse()
                         .map_err(|_| "bad --fsync-after-ms")?,
+                )
+            }
+            "--slow-ms" => {
+                slow_ms = Some(
+                    it.next()
+                        .ok_or("--slow-ms needs a value")?
+                        .parse()
+                        .map_err(|_| "bad --slow-ms")?,
                 )
             }
             "--snapshot-every" => {
@@ -339,6 +348,7 @@ fn run_serve(args: &[String]) -> Result<(), String> {
         config,
         solver,
         durability,
+        slow_ms,
         ..Default::default()
     };
     let server = match shards {
@@ -393,7 +403,8 @@ fn main() -> ExitCode {
                 eprintln!(
                     "usage: ltgs serve [--port N] [--host H] [--solver sdd|bdd|dtree|c2d] \
                      [--no-collapse] [--max-depth N] [--shards N] [--data-dir DIR] \
-                     [--fsync-every N] [--fsync-after-ms T] [--snapshot-every N] <program.pl>"
+                     [--fsync-every N] [--fsync-after-ms T] [--snapshot-every N] \
+                     [--slow-ms N] <program.pl>"
                 );
                 ExitCode::FAILURE
             }

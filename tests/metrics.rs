@@ -1,0 +1,212 @@
+//! Acceptance tests of the observability layer: the `METRICS`
+//! exposition is golden (stable series names and label scheme), the
+//! verb works over a real socket at one and two shards with identical
+//! label schemes, and the quantile keys surface in `STATS`.
+//!
+//! The histogram estimator itself is property-tested in `ltg-obs`
+//! (quantile estimates land in the same bucket as the exact order
+//! statistic); here we pin the *wire surface* those histograms are
+//! exposed through.
+
+use ltg_testkit::{connect, request, spawn_serve_with, stat, write_program};
+use ltgs::server::{respond, Session, SessionOptions};
+
+const PROGRAM: &str = "0.5 :: e(a, b). 0.6 :: e(b, c). 0.7 :: e(a, c). 0.8 :: e(c, b).
+p(X, Y) :- e(X, Y).
+p(X, Y) :- p(X, Z), p(Z, Y).
+";
+
+/// Strips the sample value, keeping `name{labels}` — the part of the
+/// exposition that must stay stable across releases.
+fn series_of(line: &str) -> &str {
+    line.rsplit_once(' ').map(|(s, _)| s).unwrap_or(line)
+}
+
+#[test]
+fn metrics_exposition_is_golden() {
+    let program = ltgs::datalog::parse_program(PROGRAM).unwrap();
+    let mut s = Session::new(&program, SessionOptions::default()).unwrap();
+    assert!(respond(&mut s, "QUERY p(a, b).").starts_with("OK 1"));
+    assert!(respond(&mut s, "QUERY p(a, b).").starts_with("OK 1")); // hit
+    assert!(respond(&mut s, "INSERT 0.9 :: e(a, d).").starts_with("OK inserted"));
+
+    let lines = s.metrics_lines(0);
+    // The full golden series list: every histogram emits its three
+    // quantiles then _count/_sum/_max, and the scheme is identical
+    // whether or not the session is durable or saw traffic.
+    let mut expect = Vec::new();
+    let histo = |expect: &mut Vec<String>, name: &str, labels: &str| {
+        for q in ["0.5", "0.95", "0.99"] {
+            expect.push(format!("{name}{{{labels},quantile=\"{q}\"}}"));
+        }
+        for suffix in ["count", "sum", "max"] {
+            expect.push(format!("{name}_{suffix}{{{labels}}}"));
+        }
+    };
+    histo(&mut expect, "ltg_query_us", "shard=\"0\",cache=\"hit\"");
+    histo(&mut expect, "ltg_query_us", "shard=\"0\",cache=\"miss\"");
+    histo(&mut expect, "ltg_wmc_us", "shard=\"0\"");
+    for kind in ["insert", "delete", "update"] {
+        histo(
+            &mut expect,
+            "ltg_mutation_us",
+            &format!("shard=\"0\",kind=\"{kind}\""),
+        );
+    }
+    for phase in ["delta_join", "tree_build", "collapse", "compact"] {
+        histo(
+            &mut expect,
+            "ltg_engine_phase_us",
+            &format!("shard=\"0\",phase=\"{phase}\""),
+        );
+    }
+    for op in ["append", "fsync"] {
+        histo(
+            &mut expect,
+            "ltg_wal_us",
+            &format!("shard=\"0\",op=\"{op}\""),
+        );
+    }
+    histo(&mut expect, "ltg_snapshot_write_us", "shard=\"0\"");
+    expect.push("ltg_graph_nodes{shard=\"0\"}".into());
+    expect.push("ltg_cache_entries{shard=\"0\"}".into());
+
+    let got: Vec<&str> = lines.iter().map(|l| series_of(l)).collect();
+    assert_eq!(got, expect, "exposition series drifted");
+
+    // The traffic above landed where it should.
+    let value = |series: &str| -> u64 {
+        lines
+            .iter()
+            .find(|l| series_of(l) == series)
+            .and_then(|l| l.rsplit(' ').next()?.parse().ok())
+            .unwrap_or_else(|| panic!("{series} missing"))
+    };
+    assert_eq!(value("ltg_query_us_count{shard=\"0\",cache=\"hit\"}"), 1);
+    assert_eq!(value("ltg_query_us_count{shard=\"0\",cache=\"miss\"}"), 1);
+    assert_eq!(value("ltg_wmc_us_count{shard=\"0\"}"), 1);
+    assert_eq!(
+        value("ltg_mutation_us_count{shard=\"0\",kind=\"insert\"}"),
+        1
+    );
+    // The insert ran a delta pass, so every engine phase sampled once.
+    assert_eq!(
+        value("ltg_engine_phase_us_count{shard=\"0\",phase=\"delta_join\"}"),
+        1
+    );
+    assert!(value("ltg_graph_nodes{shard=\"0\"}") > 0);
+    assert_eq!(value("ltg_cache_entries{shard=\"0\"}"), 1);
+}
+
+#[test]
+fn stats_report_latency_quantiles() {
+    let program = ltgs::datalog::parse_program(PROGRAM).unwrap();
+    let mut s = Session::new(&program, SessionOptions::default()).unwrap();
+    respond(&mut s, "QUERY p(a, b).");
+    respond(&mut s, "INSERT 0.9 :: e(a, d).");
+    let stats = respond(&mut s, "STATS");
+    for key in [
+        "query_p50_us",
+        "query_p95_us",
+        "query_p99_us",
+        "query_max_us",
+        "mutation_p50_us",
+        "mutation_p95_us",
+        "mutation_p99_us",
+        "mutation_max_us",
+    ] {
+        assert!(
+            stats.lines().any(|l| l.starts_with(&format!("{key} "))),
+            "{key} missing in {stats}"
+        );
+    }
+}
+
+#[test]
+fn metrics_disabled_serves_an_empty_but_well_formed_exposition() {
+    let program = ltgs::datalog::parse_program(PROGRAM).unwrap();
+    let opts = SessionOptions {
+        metrics: false,
+        ..SessionOptions::default()
+    };
+    let mut s = Session::new(&program, opts).unwrap();
+    respond(&mut s, "QUERY p(a, b).");
+    let lines = s.metrics_lines(0);
+    // Same label scheme, no request samples (gauges still live).
+    assert!(
+        lines
+            .iter()
+            .filter(|l| l.contains("_count"))
+            .all(|l| l.ends_with(" 0")),
+        "{lines:?}"
+    );
+    assert!(lines
+        .iter()
+        .any(|l| series_of(l) == "ltg_graph_nodes{shard=\"0\"}"));
+}
+
+/// `METRICS` over a real socket, single-session and sharded: well
+/// formed, nonzero query histogram, and the same series scheme at every
+/// shard count (only the `shard="K"` values differ).
+#[test]
+fn metrics_verb_over_tcp_at_one_and_two_shards() {
+    let path = write_program("metrics_e2e.pl", PROGRAM);
+    let mut schemes: Vec<Vec<String>> = Vec::new();
+    for shards in ["1", "2"] {
+        let serve = spawn_serve_with(
+            env!("CARGO_BIN_EXE_ltgs"),
+            &path,
+            &["--shards", shards, "--slow-ms", "10000"],
+        );
+        let (mut reader, mut writer) = connect(&serve.addr);
+        request(&mut reader, &mut writer, "QUERY p(a, b).");
+        request(&mut reader, &mut writer, "QUERY p(a, b).");
+
+        let resp = request(&mut reader, &mut writer, "METRICS");
+        let n: usize = resp[0]
+            .strip_prefix("OK ")
+            .and_then(|n| n.parse().ok())
+            .unwrap_or_else(|| panic!("malformed head: {:?}", resp[0]));
+        assert_eq!(resp.len(), n + 1, "line count mismatch: {resp:?}");
+        for line in &resp[1..] {
+            let (series, value) = line.rsplit_once(' ').expect("series and value");
+            assert!(value.parse::<u64>().is_ok(), "non-numeric value: {line}");
+            assert!(
+                series
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_ascii_lowercase()),
+                "bad series name: {line}"
+            );
+        }
+        let hits: u64 = resp[1..]
+            .iter()
+            .filter(|l| l.starts_with("ltg_query_us_count"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap())
+            .sum();
+        assert_eq!(hits, 2, "query samples missing: {resp:?}");
+
+        // STATS carries the quantile keys through aggregation too.
+        let stats = request(&mut reader, &mut writer, "STATS");
+        assert!(stat(&stats, "query_p99_us") >= stat(&stats, "query_p50_us"));
+
+        let mut scheme: Vec<String> = resp[1..]
+            .iter()
+            .map(|l| {
+                let series = series_of(l);
+                series
+                    .split("shard=\"")
+                    .next()
+                    .unwrap_or(series)
+                    .to_string()
+            })
+            .collect();
+        scheme.sort();
+        scheme.dedup();
+        schemes.push(scheme);
+    }
+    assert_eq!(
+        schemes[0], schemes[1],
+        "label scheme differs between shard counts"
+    );
+}
