@@ -32,9 +32,11 @@ use ltg_datalog::{
 };
 use ltg_lineage::extract::DnfCache;
 use ltg_lineage::forest::fact_sig;
-use ltg_lineage::{is_redundant, trees_dnf, Dnf, Forest, Label, OccCache, TreeId};
+use ltg_lineage::{
+    is_redundant, summarize, trees_dnf, Dnf, Forest, Label, LeafSummary, OccCache, SummaryCache,
+    TreeId,
+};
 use ltg_storage::{Database, DeleteOutcome, FactId, InsertOutcome, Relation, ResourceMeter};
-use std::rc::Rc;
 use std::time::{Duration, Instant};
 
 /// Counters and timings of one reasoning run (feeds Tables 3–7 and
@@ -84,6 +86,16 @@ pub struct ReasonStats {
     /// High-water mark of the execution-graph arena (all nodes ever
     /// resident at once, dead ones included).
     pub graph_nodes_hiwater: u64,
+    /// Dedup hits the historical OR-free leafset registry could not
+    /// catch: candidate trees standing for *several* explanations
+    /// (collapsed bundles and trees built over them) dropped because
+    /// their leafset summary was already stored for the root fact.
+    pub leafset_dedup_hits: u64,
+    /// Collapsed OR bundles rebuilt *in place* by retraction passes:
+    /// only the alternatives containing a retracted fact were dropped,
+    /// the surviving siblings were re-collapsed instead of over-deleting
+    /// the bundle wholesale.
+    pub bundle_rebuilds: u64,
     /// Time spent inside (semi-naive and full) join evaluation —
     /// [`LtgEngine::collect_source_delta`]/[`collect_delta_matches`]
     /// and the full joins of retraction re-instantiation.
@@ -170,16 +182,33 @@ pub struct LtgEngine {
     graph: ExecutionGraph,
     /// Global registry: root fact → every stored tree with that root.
     derived: FxHashMap<FactId, Vec<TreeId>>,
-    /// Memoized leaf-fact sets per tree (`None` once an OR node is
-    /// involved — a collapsed tree stands for many explanations).
-    leafsets: FxHashMap<TreeId, Option<Rc<[FactId]>>>,
-    /// Explanation-dedup registry: root fact → leaf sets already stored.
-    /// By Lemma 1 the lineage of a fact is the *disjunction* of its
-    /// trees' leaf conjunctions, so a second tree with the same leaf set
-    /// contributes an identical disjunct; storing it would only breed
+    /// Memoized leafset summaries per tree (see `ltg_lineage::summary`):
+    /// the canonical antichain of the tree's explanation leaf sets, or a
+    /// digest once it outgrows the exact cutoff. Covers collapsed (OR)
+    /// trees, which the historical OR-free leafset memo could not.
+    summaries: SummaryCache,
+    /// Explanation-dedup registry: root fact → summary → number of live
+    /// stored trees (occurrences in `derived`) carrying it. By Lemma 1
+    /// the lineage of a fact is the *disjunction* of its trees'
+    /// explanations, so a tree whose summary is already registered
+    /// repeats lineage the fact already has; storing it would only breed
     /// further structurally-distinct-but-equivalent derivations (on
-    /// cyclic magic-sets programs this breeding is super-exponential).
-    expl_seen: FxHashMap<FactId, FxHashSet<Rc<[FactId]>>>,
+    /// cyclic or orientation-reversing programs this breeding is
+    /// super-exponential — the collapse OOM). Counted rather than a set:
+    /// in-place bundle rebuilds during retraction can leave two live
+    /// trees sharing one summary, and restore rebuilds the registry from
+    /// the live trees, so exact occurrence counts are what keeps a
+    /// restored engine in bitwise lockstep.
+    expl_seen: FxHashMap<FactId, FxHashMap<LeafSummary, u32>>,
+    /// Lazy cache: root fact → minimized union of its registered exact
+    /// summaries (`None` = some registered summary is a digest, so the
+    /// union is unknown and subsumption dedup is disabled for the
+    /// fact). An absent entry is rebuilt on demand; entries are
+    /// invalidated whenever the fact's summary key set changes. The
+    /// minimized union is a canonical form, so the cache's value never
+    /// depends on registration order — lazy rebuilds on a restored
+    /// engine reproduce it exactly.
+    expl_union: FxHashMap<FactId, Option<Dnf>>,
     /// Estimated bytes held by the dedup registry.
     expl_bytes: usize,
     /// Every `(rule, parents)` combination ever instantiated → its node.
@@ -251,8 +280,9 @@ impl LtgEngine {
             forest: Forest::new(),
             graph: ExecutionGraph::new(),
             derived: FxHashMap::default(),
-            leafsets: FxHashMap::default(),
+            summaries: SummaryCache::default(),
             expl_seen: FxHashMap::default(),
+            expl_union: FxHashMap::default(),
             expl_bytes: 0,
             combos: FxHashMap::default(),
             idb_mask,
@@ -271,40 +301,85 @@ impl LtgEngine {
         }
     }
 
-    /// The leaf-fact set of a tree (its single lineage conjunct), or
-    /// `None` when the tree contains an OR node and therefore stands
-    /// for several explanations. Memoized across the run.
-    fn leafset(&mut self, t: TreeId) -> Option<Rc<[FactId]>> {
-        if let Some(v) = self.leafsets.get(&t) {
-            return v.clone();
+    /// The leafset summary of a tree — one value standing for *all* its
+    /// explanation leaf sets, collapsed (OR) trees included. Memoized
+    /// across the run; a pure function of the forest, so restored
+    /// engines recompute identical summaries.
+    fn summary(&mut self, t: TreeId) -> LeafSummary {
+        summarize(&self.forest, t, &mut self.summaries)
+    }
+
+    /// Registers one live-tree occurrence of summary `s` for `fact`.
+    /// The count tracks occurrences in `derived`, so register exactly
+    /// when a tree enters the registry (and unregister when it leaves).
+    fn register_summary(&mut self, fact: FactId, s: LeafSummary) {
+        let bytes = 16 + s.estimated_bytes();
+        let count = self
+            .expl_seen
+            .entry(fact)
+            .or_default()
+            .entry(s)
+            .or_insert(0);
+        *count += 1;
+        if *count == 1 {
+            self.expl_bytes += bytes;
+            self.expl_union.remove(&fact);
         }
-        let result = if self.forest.is_leaf(t) {
-            Some(Rc::from(vec![self.forest.fact(t)].into_boxed_slice()))
-        } else if self.forest.label(t) == Label::Or {
-            None
-        } else {
-            let children = self.forest.children(t).to_vec();
-            let mut merged: Vec<FactId> = Vec::new();
-            let mut ok = true;
-            for c in children {
-                match self.leafset(c) {
-                    Some(ls) => merged.extend_from_slice(&ls),
-                    None => {
-                        ok = false;
-                        break;
+    }
+
+    /// Drops one live-tree occurrence of summary `s` for `fact`; the
+    /// summary stops deduplicating once its last carrier is gone (after
+    /// a re-insert of a retracted fact the same lineage becomes
+    /// derivable again and must be storable).
+    fn unregister_summary(&mut self, fact: FactId, s: &LeafSummary) {
+        let Some(seen) = self.expl_seen.get_mut(&fact) else {
+            return;
+        };
+        let Some(count) = seen.get_mut(s) else {
+            return;
+        };
+        *count -= 1;
+        if *count == 0 {
+            seen.remove(s);
+            self.expl_bytes = self.expl_bytes.saturating_sub(16 + s.estimated_bytes());
+            if seen.is_empty() {
+                self.expl_seen.remove(&fact);
+            }
+            self.expl_union.remove(&fact);
+        }
+    }
+
+    /// Whether `fact`'s stored lineage already absorbs candidate
+    /// summary `s` — i.e. every explanation the candidate stands for is
+    /// a superset of one the fact already has, so by monotone-DNF
+    /// absorption storing it cannot change any query answer. Only exact
+    /// summaries participate (a digest's conjuncts are unknown on
+    /// either side).
+    fn union_absorbs(&mut self, fact: FactId, s: &LeafSummary) -> bool {
+        let LeafSummary::Exact(d) = s else {
+            return false;
+        };
+        if d.is_empty() {
+            return false;
+        }
+        if !self.expl_union.contains_key(&fact) {
+            let rebuilt = self.expl_seen.get(&fact).map(|seen| {
+                let mut u = Dnf::ff();
+                for key in seen.keys() {
+                    match key {
+                        LeafSummary::Exact(kd) => u.or_with(kd),
+                        LeafSummary::Digest(_) => return None,
                     }
                 }
-            }
-            if ok {
-                merged.sort_unstable();
-                merged.dedup();
-                Some(Rc::from(merged.into_boxed_slice()))
-            } else {
-                None
-            }
-        };
-        self.leafsets.insert(t, result.clone());
-        result
+                u.minimize();
+                Some(u)
+            });
+            self.expl_union.insert(fact, rebuilt.flatten());
+        }
+        match &self.expl_union[&fact] {
+            Some(u) => u.absorbs(d),
+            None => false,
+        }
     }
 
     /// The probabilistic database (shared fact arena + π).
@@ -402,7 +477,7 @@ impl LtgEngine {
             + self.graph.estimated_bytes()
             + derived_bytes
             + self.expl_bytes
-            + self.leafsets.len() * 24
+            + self.summaries.len() * 48
             + self.combos.len() * 48;
         self.meter.set_used(bytes);
     }
@@ -648,17 +723,20 @@ impl LtgEngine {
     /// makes the graph, forest registries and query surface equivalent
     /// to a from-scratch run over the shrunk EDB.
     ///
-    /// 1. **Over-delete.** Every stored derivation tree in which a
-    ///    retracted fact occurs as a leaf is removed from its node's
-    ///    `tset` and from the global registries (`derived`, the
-    ///    explanation-dedup leafsets). Occurrence is decided by a
-    ///    signature-prefiltered walk of the shared forest, so the check
-    ///    is transitive: a tree depending on a dead subtree is itself
-    ///    removed. For plain AND trees this deletion is *exact* — the
-    ///    tree is one dead lineage conjunct. The over-deletion is the
-    ///    collapsed (OR) trees: one dead alternative kills the whole
-    ///    bundle, including its surviving siblings, and every downstream
-    ///    tree built on top of the bundle.
+    /// 1. **Prune, rebuilding bundles in place.** Every stored
+    ///    derivation tree in which a retracted fact occurs as a leaf is
+    ///    removed from its node's `tset` and from the global registries
+    ///    (`derived`, the explanation-dedup summaries). Occurrence is
+    ///    decided by a signature-prefiltered walk of the shared forest,
+    ///    so the check is transitive: a tree depending on a dead subtree
+    ///    is itself removed. For plain AND trees this deletion is
+    ///    *exact* — the tree is one dead lineage conjunct. A collapsed
+    ///    (OR) bundle with a dead alternative is rebuilt *in place*:
+    ///    only alternatives mentioning a victim are dropped and the
+    ///    survivors are re-collapsed into a replacement bundle, so
+    ///    surviving sibling lineage stays resident instead of being
+    ///    deleted wholesale. Downstream trees built on top of the old
+    ///    bundle id are still over-deleted and regenerate in step 2.
     /// 2. **Re-derive.** Each pruned node is re-instantiated bottom-up
     ///    (parents strictly precede children in depth order); surviving
     ///    alternatives regenerate — possibly re-collapsed into fresh
@@ -729,9 +807,19 @@ impl LtgEngine {
     }
 
     /// The over-deletion of [`LtgEngine::reason_retract`]: removes every
-    /// stored tree mentioning a victim as a leaf, fixes the global
+    /// stored tree mentioning a victim as a leaf, rebuilds collapsed OR
+    /// bundles **in place** where alternatives survive, fixes the global
     /// registries, rebuilds the pruned nodes' root-fact stores, and
     /// kills nodes left without trees.
+    ///
+    /// In-place rebuild: a doomed OR bundle is not dropped wholesale —
+    /// each alternative is checked individually (same exact,
+    /// signature-prefiltered walk; summaries never decide a drop, so a
+    /// digest false positive cannot lose live lineage) and the
+    /// survivors are re-collapsed into a replacement bundle that keeps
+    /// the node's surviving lineage resident through the pass. The node
+    /// still queues for re-derivation, which regenerates whatever the
+    /// wholesale path would have.
     #[allow(clippy::type_complexity)]
     fn prune_victims(&mut self, victims: &[FactId]) {
         let vset: FxHashSet<FactId> = victims.iter().copied().collect();
@@ -739,29 +827,60 @@ impl LtgEngine {
         let mut memo: FxHashMap<TreeId, bool> = FxHashMap::default();
 
         // Stage 1: collect doomed trees per node (deterministic order:
-        // node index, then root fact).
-        let mut node_removals: Vec<(NodeId, Vec<(FactId, Vec<TreeId>)>)> = Vec::new();
+        // node index, then root fact), and build the in-place
+        // replacement bundle for every doomed OR bundle with surviving
+        // alternatives.
+        let mut node_removals: Vec<(NodeId, Vec<(FactId, Vec<TreeId>, Vec<TreeId>)>)> = Vec::new();
         let mut dead_by_fact: FxHashMap<FactId, FxHashSet<TreeId>> = FxHashMap::default();
+        let mut repl_by_fact: FxHashMap<FactId, Vec<TreeId>> = FxHashMap::default();
         for idx in 0..self.graph.nodes.len() {
-            let node = &self.graph.nodes[idx];
-            if node.tset.is_empty() {
+            if self.graph.nodes[idx].tset.is_empty() {
                 continue;
             }
-            let mut roots: Vec<FactId> = node.tset.keys().copied().collect();
+            let mut roots: Vec<FactId> = self.graph.nodes[idx].tset.keys().copied().collect();
             roots.sort_unstable();
-            let mut removals: Vec<(FactId, Vec<TreeId>)> = Vec::new();
+            let mut removals: Vec<(FactId, Vec<TreeId>, Vec<TreeId>)> = Vec::new();
             for fact in roots {
-                let dead: Vec<TreeId> = node.tset[&fact]
-                    .iter()
-                    .copied()
-                    .filter(|&t| tree_mentions(&self.forest, t, &vset, vsig, &mut memo))
-                    .collect();
+                let trees: Vec<TreeId> = self.graph.nodes[idx].tset[&fact].clone();
+                let mut dead: Vec<TreeId> = Vec::new();
+                let mut repl: Vec<TreeId> = Vec::new();
+                for t in trees {
+                    if !tree_mentions(&self.forest, t, &vset, vsig, &mut memo) {
+                        continue;
+                    }
+                    dead.push(t);
+                    if self.forest.label(t) != Label::Or {
+                        continue;
+                    }
+                    // Per-alternative filtering: the exact walk decides,
+                    // one alternative at a time.
+                    let survivors: Vec<TreeId> = self
+                        .forest
+                        .children(t)
+                        .iter()
+                        .copied()
+                        .filter(|&c| !tree_mentions(&self.forest, c, &vset, vsig, &mut memo))
+                        .collect();
+                    if survivors.is_empty() {
+                        continue;
+                    }
+                    // `collapse` returns a lone survivor bare.
+                    let rebuilt = self.forest.collapse(&survivors);
+                    self.stats.bundle_rebuilds += 1;
+                    if !repl.contains(&rebuilt) {
+                        repl.push(rebuilt);
+                    }
+                    let global = repl_by_fact.entry(fact).or_default();
+                    if !global.contains(&rebuilt) {
+                        global.push(rebuilt);
+                    }
+                }
                 if !dead.is_empty() {
                     dead_by_fact
                         .entry(fact)
                         .or_default()
                         .extend(dead.iter().copied());
-                    removals.push((fact, dead));
+                    removals.push((fact, dead, repl));
                 }
             }
             if !removals.is_empty() {
@@ -769,9 +888,10 @@ impl LtgEngine {
             }
         }
 
-        // Stage 2: global registries. The explanation-dedup entry of a
-        // removed tree must go too: after a re-insert of the victim the
-        // same conjunct becomes derivable again and must be storable.
+        // Stage 2: global registries. The explanation-dedup count of a
+        // removed tree must drop too: after a re-insert of the victim
+        // the same lineage becomes derivable again and must be storable.
+        // Replacement bundles register like freshly stored trees.
         let mut facts: Vec<FactId> = dead_by_fact.keys().copied().collect();
         facts.sort_unstable();
         for fact in facts {
@@ -779,29 +899,40 @@ impl LtgEngine {
             dead.sort_unstable();
             self.stats.retracted_trees += dead.len() as u64;
             for &t in &dead {
-                if let Some(ls) = self.leafset(t) {
-                    if let Some(seen) = self.expl_seen.get_mut(&fact) {
-                        if seen.remove(&ls) {
-                            self.expl_bytes = self.expl_bytes.saturating_sub(16 + ls.len() * 4);
-                        }
-                    }
-                }
+                let s = self.summary(t);
+                self.unregister_summary(fact, &s);
             }
             let dead_set = &dead_by_fact[&fact];
             if let Some(trees) = self.derived.get_mut(&fact) {
                 trees.retain(|t| !dead_set.contains(t));
-                if trees.is_empty() {
-                    self.derived.remove(&fact);
+            }
+            let mut repls = repl_by_fact.remove(&fact).unwrap_or_default();
+            repls.sort_unstable();
+            for r in repls {
+                let present = self.derived.get(&fact).is_some_and(|v| v.contains(&r));
+                if present {
+                    continue;
                 }
+                let s = self.summary(r);
+                self.register_summary(fact, s);
+                self.derived.entry(fact).or_default().push(r);
+            }
+            if self.derived.get(&fact).is_some_and(Vec::is_empty) {
+                self.derived.remove(&fact);
             }
         }
 
         // Stage 3: per-node tsets, root-fact stores, liveness.
         for (node, removals) in node_removals {
-            for (fact, dead) in &removals {
+            for (fact, dead, repl) in &removals {
                 let n = &mut self.graph.nodes[node.index()];
                 let entry = n.tset.get_mut(fact).expect("pruned fact has an entry");
                 entry.retain(|t| !dead.contains(t));
+                for &r in repl {
+                    if !entry.contains(&r) {
+                        entry.push(r);
+                    }
+                }
                 if entry.is_empty() {
                     n.tset.remove(fact);
                 }
@@ -1467,27 +1598,46 @@ impl LtgEngine {
                 if is_redundant(&self.forest, t, &mut occ) {
                     continue;
                 }
-                // Explanation dedup: a plain (OR-free) tree whose leaf
-                // set is already stored for this fact repeats a lineage
-                // disjunct verbatim — Lemma 1 makes dropping it safe,
-                // and keeping it breeds equivalent derivations forever
-                // on cyclic (e.g. magic-sets) programs.
-                if let Some(ls) = self.leafset(t) {
-                    let bytes = 16 + ls.len() * 4;
-                    if !self.expl_seen.entry(fact).or_default().insert(ls) {
-                        self.stats.deduped += 1;
-                        continue;
+                // Explanation dedup: a tree whose leafset summary is
+                // already stored for this fact repeats lineage the fact
+                // already has — Lemma 1 makes dropping it safe, and
+                // keeping it breeds equivalent derivations forever on
+                // cyclic (e.g. magic-sets or orientation-reversing)
+                // programs. Summaries cover collapsed (OR) trees too,
+                // which is what stops the breeding under aggressive
+                // collapse.
+                let s = self.summary(t);
+                let equal_seen = self
+                    .expl_seen
+                    .get(&fact)
+                    .is_some_and(|m| m.contains_key(&s));
+                // Subsumption: a candidate whose every explanation is
+                // absorbed by the fact's stored explanation union adds
+                // nothing either (it is redundant in the paper's
+                // Section 5.2 sense — removal does not change the
+                // lineage). Equality keeps the breeding *finite*;
+                // absorption is what makes the transient *short* on
+                // orientation-reversing programs.
+                let absorbed = !equal_seen && self.union_absorbs(fact, &s);
+                if equal_seen || absorbed {
+                    self.stats.deduped += 1;
+                    if absorbed || !matches!(&s, LeafSummary::Exact(d) if d.len() == 1) {
+                        // Multi-explanation summary: only the summary
+                        // registry can catch these (the historical
+                        // OR-free leafset dedup was blind here).
+                        self.stats.leafset_dedup_hits += 1;
                     }
-                    self.expl_bytes += bytes;
+                    continue;
                 }
+                self.register_summary(fact, s);
                 stored.push(t);
             }
             if stored.is_empty() {
                 continue;
             }
             // Merge, don't replace: delta re-instantiation regenerates
-            // trees the node already stores (collapsed trees carry no
-            // leafset to dedup on), and the old trees must survive.
+            // trees the node already stores, and the old trees must
+            // survive.
             let n = &mut self.graph.nodes[node.index()];
             let entry = n.tset.entry(fact).or_default();
             let first_time = entry.is_empty();
@@ -1763,8 +1913,9 @@ impl LtgEngine {
             forest,
             graph,
             derived,
-            leafsets: FxHashMap::default(),
+            summaries: SummaryCache::default(),
             expl_seen: FxHashMap::default(),
+            expl_union: FxHashMap::default(),
             expl_bytes: 0,
             combos,
             idb_mask,
@@ -1782,18 +1933,16 @@ impl LtgEngine {
             finished: state.finished,
         };
         // Rebuild the explanation-dedup registry exactly as incremental
-        // storing would have: one leafset entry per stored OR-free tree.
+        // storing would have: summaries are a pure function of the
+        // forest, so reconstructing them (one refcount per stored tree)
+        // reproduces the pre-snapshot registry bit for bit.
         let mut facts: Vec<FactId> = engine.derived.keys().copied().collect();
         facts.sort_unstable();
         for fact in facts {
             let trees = engine.derived[&fact].clone();
             for t in trees {
-                if let Some(ls) = engine.leafset(t) {
-                    let bytes = 16 + ls.len() * 4;
-                    if engine.expl_seen.entry(fact).or_default().insert(ls) {
-                        engine.expl_bytes += bytes;
-                    }
-                }
+                let s = engine.summary(t);
+                engine.register_summary(fact, s);
             }
         }
         engine.refresh_meter();

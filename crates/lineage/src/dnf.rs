@@ -155,6 +155,21 @@ impl Dnf {
         self.conjuncts.sort_unstable();
     }
 
+    /// Whether this (monotone) DNF absorbs `other`: every conjunct of
+    /// `other` is a superset of some conjunct of `self`, so
+    /// `self ∨ other ≡ self`. Signature-prefiltered like
+    /// [`Dnf::minimize`]'s absorption pass.
+    pub fn absorbs(&self, other: &Dnf) -> bool {
+        let sigs: Vec<u64> = self.conjuncts.iter().map(|c| conjunct_sig(c)).collect();
+        other.conjuncts.iter().all(|oc| {
+            let osig = conjunct_sig(oc);
+            self.conjuncts
+                .iter()
+                .zip(&sigs)
+                .any(|(c, &sig)| sig & !osig == 0 && is_subset(c, oc))
+        })
+    }
+
     /// Logical equivalence for monotone DNFs: equality of minimized forms.
     pub fn equivalent(&self, other: &Dnf) -> bool {
         let mut a = self.clone();
@@ -315,6 +330,22 @@ mod tests {
         assert!(a.equivalent(&b));
         let c = Dnf::var(fid(1));
         assert!(!a.equivalent(&c));
+    }
+
+    #[test]
+    fn absorbs_matches_absorption_semantics() {
+        // a ∨ bc absorbs ab ∨ abc ∨ bcd, but not d.
+        let mut u = Dnf::var(fid(1));
+        u.push(vec![fid(2), fid(3)]);
+        let mut covered = Dnf::unit(vec![fid(1), fid(2)]);
+        covered.push(vec![fid(1), fid(2), fid(3)]);
+        covered.push(vec![fid(2), fid(3), fid(4)]);
+        assert!(u.absorbs(&covered));
+        assert!(!u.absorbs(&Dnf::var(fid(4))));
+        // ff is absorbed by anything; nothing non-trivial absorbs into ff.
+        assert!(u.absorbs(&Dnf::ff()));
+        assert!(Dnf::ff().absorbs(&Dnf::ff()));
+        assert!(!Dnf::ff().absorbs(&u));
     }
 
     #[test]

@@ -119,15 +119,27 @@ impl Forest {
     }
 
     /// Collapses several trees with the same root fact into one OR-labeled
-    /// tree (Definition 4). Panics in debug builds if roots disagree.
+    /// tree (Definition 4). Duplicate alternatives are dropped (keeping
+    /// first-occurrence order); a single distinct survivor is returned
+    /// bare instead of wrapped in a 1-way OR. Panics in debug builds if
+    /// roots disagree.
     pub fn collapse(&mut self, trees: &[TreeId]) -> TreeId {
-        debug_assert!(trees.len() > 1, "collapse requires at least two trees");
+        debug_assert!(!trees.is_empty(), "collapse requires at least one tree");
         let fact = self.fact(trees[0]);
         debug_assert!(
             trees.iter().all(|&t| self.fact(t) == fact),
             "collapse requires a common root fact"
         );
-        self.node(Label::Or, fact, trees)
+        let mut distinct: Vec<TreeId> = Vec::with_capacity(trees.len());
+        for &t in trees {
+            if !distinct.contains(&t) {
+                distinct.push(t);
+            }
+        }
+        if distinct.len() == 1 {
+            return distinct[0];
+        }
+        self.node(Label::Or, fact, &distinct)
     }
 
     /// Root fact of a tree.
@@ -311,6 +323,26 @@ mod tests {
         assert_eq!(f.label(c), Label::Or);
         assert_eq!(f.fact(c), fid(10));
         assert_eq!(f.children(c), &[t1, t2]);
+    }
+
+    #[test]
+    fn collapse_dedups_identical_alternatives() {
+        let mut f = Forest::new();
+        let l1 = f.leaf(fid(1));
+        let l2 = f.leaf(fid(2));
+        let t1 = f.node(Label::And, fid(10), &[l1]);
+        let t2 = f.node(Label::And, fid(10), &[l2]);
+        // All-duplicate input: no OR node is built, the tree comes back bare.
+        let before = f.len();
+        assert_eq!(f.collapse(&[t1, t1]), t1);
+        assert_eq!(f.len(), before);
+        // Mixed duplicates: the OR keeps one copy of each alternative, in
+        // first-occurrence order.
+        let c = f.collapse(&[t1, t2, t1, t2]);
+        assert_eq!(f.label(c), Label::Or);
+        assert_eq!(f.children(c), &[t1, t2]);
+        // And the deduped bundle hash-conses with the clean one.
+        assert_eq!(f.collapse(&[t1, t2]), c);
     }
 
     #[test]

@@ -11,6 +11,8 @@
 //! * redundancy checks for plain and collapsed trees ([`redundancy`]),
 //! * `unfold` per Definition 5 ([`unfold`]),
 //! * lineage DNF with absorption-based minimization ([`dnf`]),
+//! * compact leafset summaries for explanation dedup under collapse
+//!   ([`summary`]),
 //! * the Tseitin DNF→CNF transformation used by the c2d-style solver
 //!   ([`cnf`]).
 
@@ -23,6 +25,7 @@ pub mod dnf;
 pub mod extract;
 pub mod forest;
 pub mod redundancy;
+pub mod summary;
 pub mod unfold;
 
 pub use cnf::{tseitin, Cnf};
@@ -30,4 +33,5 @@ pub use dnf::{Dnf, LineageTooLarge};
 pub use extract::{tree_dnf, trees_dnf, DnfCache};
 pub use forest::{Forest, Label, TreeId};
 pub use redundancy::{is_redundant, min_occ, OccCache};
+pub use summary::{summarize, LeafSummary, SummaryCache, EXACT_CONJUNCT_CUTOFF};
 pub use unfold::{unfold, MaterialTree};

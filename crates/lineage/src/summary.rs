@@ -1,0 +1,319 @@
+//! Leafset summaries for derivation trees, collapsed OR bundles included.
+//!
+//! Explanation dedup needs to answer "do these two trees stand for the
+//! same set of explanations?" without materializing the unfoldings. For
+//! OR-free trees the answer is the sorted leaf multiset — the engine's
+//! historical `leafset` — but collapsed bundles have *many* leafsets,
+//! one per unfolding, and carrying none at all leaves dedup blind under
+//! collapse (the dense-cyclic OOM pinned in `tests/regressions.rs`).
+//!
+//! A [`LeafSummary`] closes that gap with a two-tier representation:
+//!
+//! * **`Exact`** — the minimized DNF of the tree's leaf sets (the
+//!   canonical antichain of minimal explanations; see [`crate::dnf`]).
+//!   Monotone-DNF minimization is canonical, so two trees are
+//!   `Exact`-equal iff their lineages are logically equivalent — zero
+//!   false positives, zero false negatives. Kept while the antichain
+//!   stays small (≤ [`EXACT_CONJUNCT_CUTOFF`] conjuncts).
+//! * **`Digest`** — a 128-bit hash. When the exact antichain was
+//!   computable but too large to keep, the digest is taken over the
+//!   *canonical* form, so leaf-identical trees still collide
+//!   (dedup keeps working; a false positive requires a 128-bit hash
+//!   collision). When even computing the antichain would blow the work
+//!   cap, the digest degrades to a compositional hash of the children's
+//!   digests (sorted, so alternative order is immaterial) — still
+//!   deterministic, merely blind to deep structural rearrangements.
+//!
+//! Summaries are a pure function of the forest, so a restored engine
+//! recomputes bit-identical summaries from the snapshot's trees — no
+//! bytes on disk, no drift.
+
+use crate::dnf::Dnf;
+use crate::forest::{Forest, Label, TreeId};
+use ltg_datalog::fxhash::{hash_u64, FxHashMap};
+
+/// Largest canonical antichain kept exactly; bigger summaries degrade to
+/// a digest over the canonical form. The bar is set by *transient*
+/// per-tree antichains, not final per-fact lineages: on a dense cyclic
+/// EDB a single collapsed bundle legitimately carries hundreds of
+/// not-yet-globally-minimal explanations even when the fact's minimized
+/// lineage stays under a hundred conjuncts — and once one bundle
+/// degrades to a digest, absorption dedup shuts off downstream and the
+/// leaf-identical breeding the summaries exist to stop resumes (a
+/// threshold-10 batch run on an 11-edge orientation-reversing EDB never
+/// terminated at a cutoff of 128). 1024 keeps that whole family exact;
+/// a genuinely exponential lineage still degrades.
+pub const EXACT_CONJUNCT_CUTOFF: usize = 1024;
+
+/// Work cap on intermediate antichain products. Exceeding it abandons the
+/// exact computation for this subtree and switches to compositional
+/// digests. Must sit well above the cutoff squared's minimized size:
+/// AND-products of two near-cutoff bundle antichains are exactly the
+/// summaries absorption needs to see.
+pub const EXACT_WORK_CAP: usize = 65536;
+
+/// A compact, order-insensitive summary of the explanation set of one
+/// derivation tree. Equal summaries ⇒ logically equivalent lineages
+/// (exactly for `Exact`, modulo a 128-bit collision for `Digest`).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum LeafSummary {
+    /// The minimized (canonical) antichain of explanation leaf sets.
+    Exact(Dnf),
+    /// 128-bit hash: of the canonical antichain when it was computable,
+    /// else compositional over child digests.
+    Digest(u128),
+}
+
+impl LeafSummary {
+    /// True when the summary is the exact canonical antichain.
+    pub fn is_exact(&self) -> bool {
+        matches!(self, LeafSummary::Exact(_))
+    }
+
+    /// Estimated live bytes (for resource metering).
+    pub fn estimated_bytes(&self) -> usize {
+        match self {
+            LeafSummary::Exact(d) => 16 + d.estimated_bytes(),
+            LeafSummary::Digest(_) => 16,
+        }
+    }
+}
+
+/// Memo table for [`summarize`]; valid per forest.
+pub type SummaryCache = FxHashMap<TreeId, LeafSummary>;
+
+fn digest_of_dnf(d: &Dnf) -> u128 {
+    // Two decorrelated 64-bit streams over the canonical conjunct list.
+    let (mut lo, mut hi) = (0x9e37_79b9_7f4a_7c15u64, 0xc2b2_ae3d_27d4_eb4fu64);
+    for c in d.conjuncts() {
+        lo = hash_u64(lo ^ c.len() as u64);
+        hi = hash_u64(hi.wrapping_add(0x165667b19e3779f9 ^ c.len() as u64));
+        for f in c {
+            lo = hash_u64(lo ^ f.0 as u64);
+            hi = hash_u64(hi.wrapping_mul(0x1000_0000_01b3) ^ f.0 as u64);
+        }
+    }
+    ((hi as u128) << 64) | lo as u128
+}
+
+fn digest_of_summary(s: &LeafSummary) -> u128 {
+    match s {
+        LeafSummary::Exact(d) => digest_of_dnf(d),
+        LeafSummary::Digest(d) => *d,
+    }
+}
+
+fn compose_digest(tag: u64, parts: &mut [u128]) -> u128 {
+    // Sorted, so the digest is insensitive to alternative/premise order —
+    // matching the order-insensitivity of the exact antichain.
+    parts.sort_unstable();
+    let (mut lo, mut hi) = (hash_u64(tag), hash_u64(tag ^ 0xdead_beef_cafe_f00d));
+    for p in parts.iter() {
+        lo = hash_u64(lo ^ (*p as u64));
+        hi = hash_u64(hi ^ ((*p >> 64) as u64));
+    }
+    ((hi as u128) << 64) | lo as u128
+}
+
+/// Computes (memoized) the [`LeafSummary`] of `tree`.
+///
+/// Structural recursion over the shared forest: a leaf is its own
+/// single-fact explanation, an AND node the capped pairwise product of
+/// its children's antichains, an OR node their union; every exact result
+/// is minimized to the canonical antichain before use. Degradation to
+/// digests is size-triggered and deterministic, so the summary is a pure
+/// function of the tree's structure.
+pub fn summarize(forest: &Forest, tree: TreeId, cache: &mut SummaryCache) -> LeafSummary {
+    if let Some(hit) = cache.get(&tree) {
+        return hit.clone();
+    }
+    let children = forest.children(tree);
+    let mut exact: Option<Dnf> = None;
+    let mut kids: Vec<LeafSummary> = Vec::with_capacity(children.len());
+    for &c in children {
+        kids.push(summarize(forest, c, cache));
+    }
+    match forest.label(tree) {
+        Label::And => {
+            if children.is_empty() {
+                exact = Some(Dnf::var(forest.fact(tree)));
+            } else {
+                let mut acc = Some(Dnf::tt());
+                for k in &kids {
+                    let (Some(a), LeafSummary::Exact(d)) = (acc.take(), k) else {
+                        break;
+                    };
+                    if let Ok(mut prod) = a.and(d, EXACT_WORK_CAP) {
+                        prod.minimize();
+                        if prod.len() <= EXACT_WORK_CAP {
+                            acc = Some(prod);
+                        }
+                    }
+                }
+                exact = acc;
+            }
+        }
+        Label::Or => {
+            let mut acc = Some(Dnf::ff());
+            for k in &kids {
+                let (Some(mut a), LeafSummary::Exact(d)) = (acc.take(), k) else {
+                    break;
+                };
+                a.or_with(d);
+                if a.len() <= EXACT_WORK_CAP {
+                    acc = Some(a);
+                }
+            }
+            if let Some(mut a) = acc {
+                a.minimize();
+                exact = Some(a);
+            }
+        }
+    }
+    let result = match exact {
+        Some(d) if d.len() <= EXACT_CONJUNCT_CUTOFF => LeafSummary::Exact(d),
+        Some(d) => LeafSummary::Digest(digest_of_dnf(&d)),
+        None => {
+            let tag = match forest.label(tree) {
+                Label::And => 0xA17D ^ forest.fact(tree).0 as u64,
+                Label::Or => 0x0B5E,
+            };
+            let mut parts: Vec<u128> = kids.iter().map(digest_of_summary).collect();
+            LeafSummary::Digest(compose_digest(tag, &mut parts))
+        }
+    };
+    cache.insert(tree, result.clone());
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltg_storage::FactId;
+
+    fn fid(i: u32) -> FactId {
+        FactId(i)
+    }
+
+    #[test]
+    fn leaf_summary_is_the_fact() {
+        let mut f = Forest::new();
+        let l = f.leaf(fid(1));
+        let mut cache = SummaryCache::default();
+        assert_eq!(
+            summarize(&f, l, &mut cache),
+            LeafSummary::Exact(Dnf::var(fid(1)))
+        );
+    }
+
+    #[test]
+    fn or_free_summary_equals_the_leafset() {
+        let mut f = Forest::new();
+        let a = f.leaf(fid(1));
+        let b = f.leaf(fid(2));
+        let inner = f.node(Label::And, fid(10), &[a, b]);
+        let t = f.node(Label::And, fid(11), &[inner, a]);
+        let mut cache = SummaryCache::default();
+        let s = summarize(&f, t, &mut cache);
+        // One conjunct: the sorted, deduped leaves.
+        assert_eq!(s, LeafSummary::Exact(Dnf::unit(vec![fid(1), fid(2)])));
+    }
+
+    #[test]
+    fn structurally_distinct_bundles_with_equal_leafsets_summarize_equal() {
+        let mut f = Forest::new();
+        let a = f.leaf(fid(1));
+        let b = f.leaf(fid(2));
+        let via_a = f.node(Label::And, fid(10), &[a]);
+        let via_b = f.node(Label::And, fid(10), &[b]);
+        let or1 = f.collapse(&[via_a, via_b]);
+        // Same alternatives, opposite order, plus a nested re-bundling.
+        let or2 = f.collapse(&[via_b, via_a]);
+        let or3 = f.collapse(&[via_a, or2]);
+        let mut cache = SummaryCache::default();
+        let s1 = summarize(&f, or1, &mut cache);
+        let s2 = summarize(&f, or2, &mut cache);
+        let s3 = summarize(&f, or3, &mut cache);
+        assert!(s1.is_exact());
+        assert_eq!(s1, s2);
+        assert_eq!(s1, s3);
+    }
+
+    #[test]
+    fn absorbed_alternatives_do_not_distinguish_summaries() {
+        let mut f = Forest::new();
+        let a = f.leaf(fid(1));
+        let b = f.leaf(fid(2));
+        let via_a = f.node(Label::And, fid(10), &[a]);
+        let via_ab = f.node(Label::And, fid(10), &[a, b]);
+        let or = f.collapse(&[via_a, via_ab]);
+        let mut cache = SummaryCache::default();
+        // {a} absorbs {a,b}: the bundle summarizes identically to via_a.
+        assert_eq!(
+            summarize(&f, or, &mut cache),
+            summarize(&f, via_a, &mut cache)
+        );
+    }
+
+    #[test]
+    fn and_over_bundle_distributes() {
+        let mut f = Forest::new();
+        let a = f.leaf(fid(1));
+        let b = f.leaf(fid(2));
+        let c = f.leaf(fid(3));
+        let via_a = f.node(Label::And, fid(10), &[a]);
+        let via_b = f.node(Label::And, fid(10), &[b]);
+        let or = f.collapse(&[via_a, via_b]);
+        let root = f.node(Label::And, fid(20), &[or, c]);
+        let mut cache = SummaryCache::default();
+        let mut expect = Dnf::ff();
+        expect.push(vec![fid(1), fid(3)]);
+        expect.push(vec![fid(2), fid(3)]);
+        expect.minimize();
+        assert_eq!(summarize(&f, root, &mut cache), LeafSummary::Exact(expect));
+    }
+
+    #[test]
+    fn oversized_antichains_degrade_to_equal_digests() {
+        // Build two structurally different trees with the same (large)
+        // explanation antichain: an OR of > CUTOFF incomparable 2-fact
+        // alternatives, assembled in different orders.
+        let build = |f: &mut Forest, rev: bool| {
+            let n = EXACT_CONJUNCT_CUTOFF as u32 + 8;
+            let mut alts = Vec::new();
+            for i in 0..n {
+                let l1 = f.leaf(fid(1000 + 2 * i));
+                let l2 = f.leaf(fid(1001 + 2 * i));
+                alts.push(f.node(Label::And, fid(7), &[l1, l2]));
+            }
+            if rev {
+                alts.reverse();
+            }
+            f.collapse(&alts)
+        };
+        let mut f = Forest::new();
+        let t1 = build(&mut f, false);
+        let t2 = build(&mut f, true);
+        assert_ne!(t1, t2);
+        let mut cache = SummaryCache::default();
+        let s1 = summarize(&f, t1, &mut cache);
+        let s2 = summarize(&f, t2, &mut cache);
+        assert!(!s1.is_exact(), "antichain above cutoff must degrade");
+        assert_eq!(s1, s2, "digest over the canonical form is order-blind");
+    }
+
+    #[test]
+    fn summaries_are_deterministic_across_forest_rebuilds() {
+        let mut f = Forest::new();
+        let a = f.leaf(fid(1));
+        let b = f.leaf(fid(2));
+        let t1 = f.node(Label::And, fid(10), &[a, b]);
+        let t2 = f.node(Label::And, fid(10), &[b]);
+        let or = f.collapse(&[t1, t2]);
+        let root = f.node(Label::And, fid(11), &[or, a]);
+        let g = Forest::from_records(&f.export_records()).unwrap();
+        let mut c1 = SummaryCache::default();
+        let mut c2 = SummaryCache::default();
+        assert_eq!(summarize(&f, root, &mut c1), summarize(&g, root, &mut c2));
+    }
+}

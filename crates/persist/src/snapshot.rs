@@ -34,7 +34,15 @@ pub const MAGIC: &[u8; 8] = b"LTGSNAP1";
 /// v2: the delta-path stats (`delta_join_probes`, `delta_new_trees`,
 /// `combos_pruned`, `nodes_compacted`, `graph_nodes_hiwater`) joined
 /// the stats block. v1 snapshots fall back to a cold boot.
-pub const VERSION: u32 = 2;
+/// v3: the collapse-dedup stats (`leafset_dedup_hits`,
+/// `bundle_rebuilds`) joined the stats block. v2 snapshots still load —
+/// the two counters decode as zero; leafset summaries themselves are
+/// never persisted (they are a pure function of the forest and are
+/// reconstructed on restore).
+pub const VERSION: u32 = 3;
+/// Oldest version [`load`] still accepts (older payloads differ only by
+/// trailing stats fields, so decoding is a strict prefix read).
+pub const MIN_VERSION: u32 = 2;
 
 /// Encodes a full engine state into the snapshot payload (header and
 /// CRC are added by [`write_atomic`]).
@@ -111,10 +119,17 @@ pub fn encode(state: &EngineState) -> Vec<u8> {
     w.into_bytes()
 }
 
-/// Decodes a snapshot payload back into an [`EngineState`]. Structural
-/// cross-references (fact/tree/node ids) are *not* validated here —
-/// [`ltg_core::LtgEngine::restore`] re-checks them all.
+/// Decodes a current-version snapshot payload back into an
+/// [`EngineState`]. Structural cross-references (fact/tree/node ids)
+/// are *not* validated here — [`ltg_core::LtgEngine::restore`]
+/// re-checks them all.
 pub fn decode(payload: &[u8]) -> Result<EngineState, DecodeError> {
+    decode_versioned(payload, VERSION)
+}
+
+/// Decodes a snapshot payload written at `version` (any accepted
+/// version; older ones differ only by absent trailing stats fields).
+pub fn decode_versioned(payload: &[u8], version: u32) -> Result<EngineState, DecodeError> {
     let mut r = Reader::new(payload);
     let fingerprint = r.get_u64("fingerprint")?;
     let config = decode_config(&mut r)?;
@@ -245,7 +260,7 @@ pub fn decode(payload: &[u8]) -> Result<EngineState, DecodeError> {
 
     let round = r.get_u32("round")?;
     let finished = r.get_bool("finished")?;
-    let stats = decode_stats(&mut r)?;
+    let stats = decode_stats(&mut r, version)?;
     r.finish()?;
     Ok(EngineState {
         fingerprint,
@@ -311,9 +326,11 @@ fn encode_stats(w: &mut Writer, s: &ReasonStats) {
     w.put_u64(s.combos_pruned);
     w.put_u64(s.nodes_compacted);
     w.put_u64(s.graph_nodes_hiwater);
+    w.put_u64(s.leafset_dedup_hits);
+    w.put_u64(s.bundle_rebuilds);
 }
 
-fn decode_stats(r: &mut Reader<'_>) -> Result<ReasonStats, DecodeError> {
+fn decode_stats(r: &mut Reader<'_>, version: u32) -> Result<ReasonStats, DecodeError> {
     Ok(ReasonStats {
         rounds: r.get_u32("stats rounds")?,
         derivations: r.get_u64("stats derivations")?,
@@ -333,6 +350,18 @@ fn decode_stats(r: &mut Reader<'_>) -> Result<ReasonStats, DecodeError> {
         combos_pruned: r.get_u64("stats combos pruned")?,
         nodes_compacted: r.get_u64("stats nodes compacted")?,
         graph_nodes_hiwater: r.get_u64("stats graph hiwater")?,
+        // v2 payloads end here: the collapse-dedup counters restart
+        // from zero, matching a warm boot taken before they existed.
+        leafset_dedup_hits: if version >= 3 {
+            r.get_u64("stats leafset dedup hits")?
+        } else {
+            0
+        },
+        bundle_rebuilds: if version >= 3 {
+            r.get_u64("stats bundle rebuilds")?
+        } else {
+            0
+        },
         // Phase-time accumulators are ephemeral observability state:
         // never encoded, zeroed on restore (like the per-pass phase
         // histograms they feed).
@@ -386,7 +415,7 @@ pub fn load(path: &Path) -> Result<Option<EngineState>, PersistError> {
         return Err(PersistError::Corrupt("snapshot magic"));
     }
     let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
-    if version != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&version) {
         return Err(PersistError::Corrupt("snapshot version"));
     }
     let len = u64::from_le_bytes(bytes[12..20].try_into().unwrap()) as usize;
@@ -398,7 +427,7 @@ pub fn load(path: &Path) -> Result<Option<EngineState>, PersistError> {
     if crc32(payload) != stored_crc {
         return Err(PersistError::Corrupt("snapshot checksum"));
     }
-    Ok(Some(decode(payload)?))
+    Ok(Some(decode_versioned(payload, version)?))
 }
 
 #[cfg(test)]
@@ -439,6 +468,45 @@ mod tests {
         assert_eq!(decoded.stats.derivations, state.stats.derivations);
         // Re-encoding the decoded state is byte-identical.
         assert_eq!(encode(&decoded), encode(&state));
+    }
+
+    #[test]
+    fn v2_snapshots_still_load_with_zeroed_dedup_counters() {
+        let mut state = example_state();
+        state.stats.leafset_dedup_hits = 7;
+        state.stats.bundle_rebuilds = 3;
+
+        // A v2 payload is the v3 encoding minus the two trailing
+        // counter fields (the stats block ends the payload).
+        let mut payload = encode(&state);
+        payload.truncate(payload.len() - 16);
+
+        let dir = std::env::temp_dir().join(format!("ltg-snap-v2-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state.ltgsnap");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&2u32.to_le_bytes());
+        bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        bytes.extend_from_slice(&crc32(&payload).to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+
+        let loaded = load(&path).unwrap().unwrap();
+        assert_eq!(loaded.stats.leafset_dedup_hits, 0);
+        assert_eq!(loaded.stats.bundle_rebuilds, 0);
+        assert_eq!(loaded.stats.derivations, state.stats.derivations);
+        assert_eq!(loaded.forest, state.forest);
+        assert_eq!(loaded.derived, state.derived);
+
+        // An unknown future version is still rejected.
+        bytes[8..12].copy_from_slice(&4u32.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            load(&path),
+            Err(PersistError::Corrupt("snapshot version"))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

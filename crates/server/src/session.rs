@@ -992,6 +992,8 @@ impl Session {
             ("combos_pruned", es.combos_pruned.to_string()),
             ("nodes_compacted", es.nodes_compacted.to_string()),
             ("graph_nodes_hiwater", es.graph_nodes_hiwater.to_string()),
+            ("leafset_dedup_hits", es.leafset_dedup_hits.to_string()),
+            ("bundle_rebuilds", es.bundle_rebuilds.to_string()),
             (
                 "reasoning_ms",
                 format!("{:.3}", es.reasoning_time.as_secs_f64() * 1e3),
@@ -1102,6 +1104,18 @@ impl Session {
             "ltg_cache_entries",
             &[("shard", s)],
             self.cache.len() as u64,
+        );
+        expose_value(
+            &mut out,
+            "ltg_leafset_dedup_hits",
+            &[("shard", s)],
+            self.engine.stats().leafset_dedup_hits,
+        );
+        expose_value(
+            &mut out,
+            "ltg_bundle_rebuilds",
+            &[("shard", s)],
+            self.engine.stats().bundle_rebuilds,
         );
         out
     }
@@ -2106,13 +2120,16 @@ mod tests {
         assert_eq!(get("inserts"), "1");
         assert_eq!(get("epoch"), "1");
         assert_eq!(get("delta_passes"), "1");
-        // Semi-naive / compaction instrumentation is exported too.
+        // Semi-naive / compaction / collapse-dedup instrumentation is
+        // exported too.
         for key in [
             "delta_join_probes",
             "delta_new_trees",
             "combos_pruned",
             "nodes_compacted",
             "graph_nodes_hiwater",
+            "leafset_dedup_hits",
+            "bundle_rebuilds",
         ] {
             get(key).parse::<u64>().unwrap();
         }

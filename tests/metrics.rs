@@ -70,6 +70,8 @@ fn metrics_exposition_is_golden() {
     histo(&mut expect, "ltg_snapshot_write_us", "shard=\"0\"");
     expect.push("ltg_graph_nodes{shard=\"0\"}".into());
     expect.push("ltg_cache_entries{shard=\"0\"}".into());
+    expect.push("ltg_leafset_dedup_hits{shard=\"0\"}".into());
+    expect.push("ltg_bundle_rebuilds{shard=\"0\"}".into());
 
     let got: Vec<&str> = lines.iter().map(|l| series_of(l)).collect();
     assert_eq!(got, expect, "exposition series drifted");

@@ -48,83 +48,89 @@ fn magic_rewriting_of_cyclic_program_terminates_quickly() {
     }
 }
 
-/// Pins the documented blowup (ROADMAP: "Aggressive collapsing on
-/// cyclic programs"): batch reasoning with `collapse_threshold` ≪
-/// default explodes on dense cyclic graphs, because collapsed trees
-/// carry no leaf set and so defeat the explanation dedup that tames
-/// cyclic breeding. Reproduced on the seed commit; the incremental
-/// property suites therefore only exercise aggressive collapsing on
-/// DAGs. This test *asserts the failure* under a small memory budget —
-/// when a principled fix lands (leafset summaries for OR trees?), it
-/// will fail, and should be flipped into a plain "terminates quickly"
-/// regression test.
-///
-/// `#[ignore]`d because it deliberately burns ~64 MB re-deriving the
-/// blowup; run with `cargo test -- --ignored`.
+/// The formerly-pinned collapse blowup (ROADMAP: "Aggressive collapsing
+/// on cyclic programs"), now fixed: collapsed OR bundles used to carry
+/// no leaf set, so they defeated the explanation dedup that tames
+/// cyclic breeding — threshold-2 collapsing exhausted a 64 MB budget on
+/// a 7-edge dense cyclic graph, and orientation-reversing recursion
+/// (the q-swap program below, shrunk by the ltg-testkit differential
+/// harness) OOMed 512 MB at the *default* threshold. Leafset summaries
+/// dedup leaf-identical bundles, so both programs must now terminate
+/// quickly with bounded node counts at the default *and* the aggressive
+/// `collapse_threshold: 2` config. (This test's prior incarnation,
+/// `#[ignore]`d, asserted the OOM instead.)
 #[test]
-#[ignore = "pins a known failure mode (see ROADMAP: aggressive collapsing on cyclic programs)"]
-fn aggressive_collapse_on_dense_cyclic_programs_still_blows_up() {
-    // 7 edges over 4 nodes, two overlapping cycles with a chord: the
-    // smallest probed shape where the contrast is stark — the default
-    // threshold finishes in ~10 ms with ~1.1k derivations, threshold 2
-    // exhausts a 64 MB budget.
-    let src = "0.5 :: e(n0, n1). 0.5 :: e(n1, n2). 0.5 :: e(n2, n0). 0.5 :: e(n0, n2).
+fn aggressive_collapse_on_dense_cyclic_programs_terminates_quickly() {
+    // Pin 1: 7 edges over 4 nodes, two overlapping cycles with a chord
+    // — the smallest probed shape where threshold 2 used to explode.
+    let dense_cyclic = "0.5 :: e(n0, n1). 0.5 :: e(n1, n2). 0.5 :: e(n2, n0). 0.5 :: e(n0, n2).
          0.5 :: e(n2, n1). 0.5 :: e(n1, n3). 0.5 :: e(n3, n0).
          p(X, Y) :- e(X, Y).
          p(X, Y) :- p(X, Z), p(Z, Y).";
-    let program = parse_program(src).unwrap();
-    let config = EngineConfig {
-        collapse: true,
-        collapse_threshold: 2,
-        ..EngineConfig::default()
-    };
-    let budget = 64 << 20;
-    let deadline = Some(std::time::Duration::from_secs(60));
-    let meter = ResourceMeter::with_limits(budget, deadline);
-    let mut engine = LtgEngine::with_config_and_meter(&program, config, meter);
-    let err = engine
-        .reason()
-        .expect_err("threshold-2 collapsing on a dense cyclic graph is expected to blow up");
-    assert!(
-        err.tag() == "OOM" || err.tag() == "TO",
-        "unexpected abort reason: {err}"
-    );
-    // The same budget is comfortable for the paper-default threshold —
-    // the blowup is the aggressive threshold, not the input.
-    let meter = ResourceMeter::with_limits(budget, deadline);
-    let mut engine =
-        LtgEngine::with_config_and_meter(&program, EngineConfig::with_collapse(), meter);
-    engine.reason().expect("default threshold must stay small");
-
-    // Orientation-reversing recursion escalates the blowup to the
-    // *default* threshold: this 6-fact program (shrunk from a random
-    // counterexample by the ltg-testkit differential harness) OOMs a
-    // 512 MB budget with collapsing on, yet finishes in milliseconds
-    // with collapsing off. The q-swap breeds ≥ threshold trees per root
-    // early, collapsing kicks in, and collapsed trees carry no leaf
-    // set — defeating the explanation dedup entirely.
-    let src = "0.3 :: e(n1, n0). 0.8 :: e(n2, n2). 0.5 :: e(n3, n1).
+    // Pin 2: the q-swap 6-fact program (PR 3's discovery) — the
+    // orientation-reversing recursion that escalated the blowup to the
+    // default threshold.
+    let q_swap = "0.3 :: e(n1, n0). 0.8 :: e(n2, n2). 0.5 :: e(n3, n1).
          0.5 :: e(n0, n2). 0.3 :: e(n3, n0). 0.5 :: e(n0, n0).
          p(X, Y) :- e(X, Y).
          q(X, Y) :- p(X, Z), p(Z, Y).
          p(X, Y) :- q(Y, X).";
-    let program = parse_program(src).unwrap();
-    let meter = ResourceMeter::with_limits(budget, deadline);
-    let mut engine =
-        LtgEngine::with_config_and_meter(&program, EngineConfig::with_collapse(), meter);
-    let err = engine.reason().expect_err(
-        "default-threshold collapsing under orientation-reversing recursion is expected to blow up",
-    );
-    assert!(
-        err.tag() == "OOM" || err.tag() == "TO",
-        "unexpected abort reason: {err}"
-    );
-    let meter = ResourceMeter::with_limits(budget, deadline);
-    let mut engine =
-        LtgEngine::with_config_and_meter(&program, EngineConfig::without_collapse(), meter);
-    engine
-        .reason()
-        .expect("collapsing off handles the q-swap program easily");
+    let budget = 64 << 20;
+    let deadline = Some(std::time::Duration::from_secs(10));
+    for (label, src) in [("dense-cyclic", dense_cyclic), ("q-swap", q_swap)] {
+        let program = parse_program(src).unwrap();
+        let aggressive = EngineConfig {
+            collapse: true,
+            collapse_threshold: 2,
+            ..EngineConfig::default()
+        };
+        for (cfg_label, config) in [
+            ("default", EngineConfig::with_collapse()),
+            ("threshold-2", aggressive),
+        ] {
+            let t0 = Instant::now();
+            let meter = ResourceMeter::with_limits(budget, deadline);
+            let mut engine = LtgEngine::with_config_and_meter(&program, config, meter);
+            engine
+                .reason()
+                .unwrap_or_else(|e| panic!("{label}/{cfg_label}: collapse blowup resurfaced: {e}"));
+            assert!(
+                t0.elapsed().as_secs() < 10,
+                "{label}/{cfg_label}: must terminate promptly"
+            );
+            assert!(
+                engine.stats().nodes_created < 10_000,
+                "{label}/{cfg_label}: node breeding resurfaced: {} nodes",
+                engine.stats().nodes_created
+            );
+            assert!(
+                engine.stats().deduped > 0,
+                "{label}/{cfg_label}: dedup should have fired"
+            );
+        }
+        // Summaries must not change the semantics: collapsing on and
+        // off agree bitwise on every derived fact.
+        let mut on = LtgEngine::with_config(&program, EngineConfig::with_collapse());
+        let mut off = LtgEngine::with_config(&program, EngineConfig::without_collapse());
+        on.reason().unwrap();
+        off.reason().unwrap();
+        let facts_on = on.derived_facts();
+        let facts_off = off.derived_facts();
+        assert_eq!(facts_on, facts_off, "{label}: derived facts diverge");
+        let weights = on.db().weights();
+        for &f in &facts_on {
+            let mut l_on = on.lineage_of(f).unwrap();
+            let mut l_off = off.lineage_of(f).unwrap();
+            l_on.minimize();
+            l_off.minimize();
+            let p_on = NaiveWmc::default().probability(&l_on, &weights).unwrap();
+            let p_off = NaiveWmc::default().probability(&l_off, &weights).unwrap();
+            assert!(
+                p_on == p_off,
+                "{label}: probability diverges on fact {f:?}: {p_on} vs {p_off}"
+            );
+        }
+    }
 }
 
 /// The WebKG generator once made the property-tree roots transitive:

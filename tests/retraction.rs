@@ -12,34 +12,36 @@
 //! and the vendored proptest persists the failing seed under
 //! `proptest-regressions/` so it is replayed forever.
 //!
-//! The interleaving test runs 256 cases, each under one of three
-//! cyclic-safe engine configurations (paper-default collapsing, no
-//! collapsing, depth-capped); aggressive threshold-2 collapsing gets
-//! its own DAG-restricted suite, because on dense cyclic inputs it
-//! blows up already in batch mode — the pre-existing trait pinned by
-//! the `#[ignore]`d regression in `tests/regressions.rs`.
-//! `PROPTEST_CASES` raises the case counts further in CI.
+//! The interleaving test runs 256 cases, each under one of four
+//! engine configurations (paper-default collapsing, no collapsing,
+//! depth-capped, aggressive threshold-2 collapsing). Aggressive
+//! collapsing used to be DAG-only — on dense cyclic inputs it bred
+//! leaf-identical bundles until OOM — but leafset-summary dedup fixed
+//! that (regression pinned in `tests/regressions.rs`), so it now runs
+//! on arbitrary cyclic scripts like the rest; a focused DAG suite
+//! keeps the bundle-rebuild path under extra load. `PROPTEST_CASES`
+//! raises the case counts further in CI.
 
 use ltg_testkit::{arb_any_script, arb_script, run_script, shrink, Op, Script, RULE_PALETTE};
 use ltgs::prelude::*;
 use proptest::prelude::*;
 
 /// The configurations random (possibly cyclic) scripts are checked
-/// under. Aggressive threshold-2 collapsing is exercised separately on
-/// DAG-restricted scripts: on dense cyclic inputs it blows up already
-/// in *batch* mode — the pre-existing engine trait pinned by the
-/// `#[ignore]`d regression in `tests/regressions.rs`, not a retraction
-/// artifact.
+/// under. Aggressive threshold-2 collapsing used to be excluded here
+/// (it bred leaf-identical bundles on dense cyclic inputs until OOM —
+/// the collapse regression pinned in `tests/regressions.rs`); leafset
+/// summaries dedup those bundles now, so it runs on cyclic scripts
+/// with the rest.
 fn configs() -> Vec<EngineConfig> {
     vec![
         EngineConfig::with_collapse(),
         EngineConfig::without_collapse(),
         EngineConfig::with_collapse().max_depth(3),
+        aggressive(),
     ]
 }
 
-/// The aggressive-collapse configuration (OR bundles everywhere), safe
-/// on DAGs only.
+/// The aggressive-collapse configuration: OR bundles everywhere.
 fn aggressive() -> EngineConfig {
     EngineConfig {
         collapse: true,
@@ -94,13 +96,12 @@ proptest! {
     /// The acceptance criterion: any interleaving of INSERT / DELETE /
     /// UPDATE over a random program is bitwise-identical to reasoning
     /// from scratch over the final database (and, for depth-uncapped
-    /// configurations, ΔTcP agrees). Each case draws one of the three
-    /// cyclic-safe configurations, so all are exercised ~85 times per
-    /// run.
+    /// configurations, ΔTcP agrees). Each case draws one of the four
+    /// configurations, so all are exercised ~64 times per run.
     #[test]
     fn random_mutation_interleavings_match_scratch(
         script in arb_any_script(),
-        cfg in 0usize..3,
+        cfg in 0usize..4,
     ) {
         check(&script, &configs()[cfg])?;
     }
@@ -110,14 +111,14 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
     /// Aggressive threshold-2 collapsing on DAG-restricted scripts: OR
-    /// bundles appear everywhere, so over-deletion removes whole
-    /// bundles and the re-derivation must rebuild them from the
+    /// bundles appear everywhere, so a deletion hits collapsed bundles
+    /// almost every time and the in-place rebuild must recover the
     /// surviving alternatives — still bitwise-identical to scratch.
-    /// (An earlier palette carried an orientation-reversing rule block
-    /// whose *derived* graph is cyclic even over forward-only edges;
-    /// this very suite discovered the resulting batch blowup, now
-    /// pinned in `tests/regressions.rs` and excluded from the palette
-    /// itself — see `RULE_PALETTE`'s docs.)
+    /// (This very suite once discovered the collapse blowup on the
+    /// orientation-reversing palette blocks, now fixed by leafset
+    /// summaries and pinned in `tests/regressions.rs`; the config also
+    /// runs unrestricted in `random_mutation_interleavings_match_scratch`,
+    /// this suite just concentrates the bundle-rebuild load.)
     #[test]
     fn aggressive_collapse_on_dags_matches_scratch(script in arb_any_script()) {
         check(&acyclic_script(script), &aggressive())?;
@@ -133,7 +134,7 @@ proptest! {
     #[test]
     fn delete_everything_empties_the_model(
         script in arb_script(RULE_PALETTE[0]),
-        cfg in 0usize..3,
+        cfg in 0usize..4,
     ) {
         let mut script = script;
         let mut doom: Vec<Op> = Vec::new();
