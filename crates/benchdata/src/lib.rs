@@ -31,6 +31,10 @@ pub mod scenario;
 pub mod smokers;
 pub mod vqar;
 pub mod webkg;
+pub mod wire;
 
 pub use io::{parse_triples_tsv, triples_program, Triple, TripleParseError};
 pub use scenario::Scenario;
+pub use wire::{
+    render_ground, render_program, render_query, ScriptConfig, TrafficMix, Verb, WireError, WireOp,
+};

@@ -139,8 +139,19 @@ pub fn generate(program: &mut Program, config: &QueryGenConfig) -> Result<Vec<At
         // Head vars: up to max_free distinct variables of the body.
         let mut head_vars: Vec<Var> = (0..draft.n_vars as u32).map(Var).collect();
         head_vars.truncate(config.max_free.max(1));
-        let qname = format!("q{}", queries.len());
-        let qpred = program.preds.fresh(&qname, head_vars.len());
+        // Skip taken (name, arity) pairs instead of PredTable::fresh —
+        // fresh disambiguates with a `#` suffix, which the program
+        // grammar cannot spell, and query predicates must stay
+        // expressible as text (rejected drafts leave their name
+        // interned, so plain `q{queries.len()}` would collide).
+        let mut qn = queries.len();
+        let qpred = loop {
+            let qname = format!("q{qn}");
+            if program.preds.lookup(&qname, head_vars.len()).is_none() {
+                break program.preds.intern(&qname, head_vars.len());
+            }
+            qn += 1;
+        };
         let head = Atom::new(qpred, head_vars.iter().map(|&v| Term::Var(v)).collect());
         let rule = Rule::new(head.clone(), draft.body.clone());
         if rule.validate().is_err() {

@@ -1,0 +1,550 @@
+//! Wire-script emission: turn a [`Scenario`] into server protocol
+//! traffic.
+//!
+//! The generators in this crate build [`ltg_datalog::Program`]s in
+//! memory; the traffic harness (`ltg-traffic`) replays them against a
+//! live `ltgs serve` instance over the line protocol. This module is
+//! the bridge:
+//!
+//! * [`render_program`] — the scenario's program as `.pl` source a
+//!   served instance can load (fails for programs whose interned names
+//!   cannot be written in the grammar — kgmine's `@mconf` rule-weight
+//!   predicates are the known case);
+//! * [`render_ground`] / [`render_query`] — single atoms as wire text;
+//! * [`scripts`] — seeded per-connection op scripts with a configurable
+//!   `QUERY`/`INSERT`/`DELETE`/`UPDATE` mix. Same seed ⇒ byte-identical
+//!   scripts. Each connection owns a *disjoint* slice of the EDB fact
+//!   pool and tracks its own inserts/deletes, so a well-formed script
+//!   never provokes `ERR conflict` / `ERR unknown fact` no matter how
+//!   connections interleave — every `ERR` the harness sees is a real
+//!   server defect, which is what makes "zero protocol errors" a
+//!   gateable assertion.
+
+use crate::scenario::{random_prob, Scenario};
+use ltg_datalog::{Atom, GroundAtom, Program, Term};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::fmt;
+
+/// Why a scenario cannot be rendered as wire/program text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// The offending interned name.
+    pub name: String,
+    /// What it is (predicate, constant).
+    pub what: &'static str,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {:?} cannot be written in the program grammar",
+            self.what, self.name
+        )
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// True when `name` lexes as one bare lowercase identifier token.
+fn bare_ident(name: &str) -> bool {
+    let mut chars = name.chars();
+    chars
+        .next()
+        .is_some_and(|c| c.is_ascii_lowercase() && c.is_ascii_alphabetic())
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Renders one constant: bare when it lexes as an identifier, quoted
+/// otherwise, `None` when even quoting cannot express it.
+fn render_const(name: &str) -> Option<String> {
+    if bare_ident(name) {
+        Some(name.to_string())
+    } else if !name.contains('\'') && !name.contains('\n') {
+        Some(format!("'{name}'"))
+    } else {
+        None
+    }
+}
+
+/// Renders a ground atom (`p(c1,...,cn)`, bare `p` at arity 0) as wire
+/// text; `None` when the predicate or a constant is unprintable.
+pub fn render_ground(program: &Program, atom: &GroundAtom) -> Option<String> {
+    let pred = program.preds.name(atom.pred);
+    if !bare_ident(pred) {
+        return None;
+    }
+    if atom.args.is_empty() {
+        return Some(pred.to_string());
+    }
+    let mut out = format!("{pred}(");
+    for (i, &arg) in atom.args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&render_const(program.symbols.name(arg))?);
+    }
+    out.push(')');
+    Some(out)
+}
+
+/// Renders a (possibly non-ground) query atom as wire text, variables
+/// as `V0`, `V1`, … — the spelling the parser reads back as variables.
+pub fn render_query(program: &Program, atom: &Atom) -> Option<String> {
+    let pred = program.preds.name(atom.pred);
+    if !bare_ident(pred) {
+        return None;
+    }
+    if atom.terms.is_empty() {
+        return Some(pred.to_string());
+    }
+    let mut out = format!("{pred}(");
+    for (i, t) in atom.terms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        match t {
+            Term::Const(c) => out.push_str(&render_const(program.symbols.name(*c))?),
+            Term::Var(v) => out.push_str(&format!("V{}", v.0)),
+        }
+    }
+    out.push(')');
+    Some(out)
+}
+
+/// Renders the whole program as `.pl` source (`prob :: fact.` lines,
+/// rules, `query` lines) that `parse_program` — and therefore `ltgs
+/// serve <file>` — reads back. Errors on the first name the grammar
+/// cannot express instead of silently dropping clauses: a served
+/// program must be the *whole* program or reasoning diverges from the
+/// in-memory scenario.
+pub fn render_program(program: &Program) -> Result<String, WireError> {
+    let mut out = String::new();
+    for rule in &program.rules {
+        let mut clause = String::new();
+        for (i, atom) in std::iter::once(&rule.head)
+            .chain(rule.body.iter())
+            .enumerate()
+        {
+            let text = render_query(program, atom).ok_or_else(|| WireError {
+                name: program.preds.name(atom.pred).to_string(),
+                what: "predicate",
+            })?;
+            match i {
+                0 => clause.push_str(&text),
+                1 => {
+                    clause.push_str(" :- ");
+                    clause.push_str(&text);
+                }
+                _ => {
+                    clause.push_str(", ");
+                    clause.push_str(&text);
+                }
+            }
+        }
+        out.push_str(&clause);
+        out.push_str(".\n");
+    }
+    for (atom, prob) in &program.facts {
+        let text = render_ground(program, atom).ok_or_else(|| WireError {
+            name: program.preds.name(atom.pred).to_string(),
+            what: "predicate",
+        })?;
+        out.push_str(&format!("{prob} :: {text}.\n"));
+    }
+    for query in &program.queries {
+        let text = render_query(program, query).ok_or_else(|| WireError {
+            name: program.preds.name(query.pred).to_string(),
+            what: "predicate",
+        })?;
+        out.push_str(&format!("query {text}.\n"));
+    }
+    Ok(out)
+}
+
+/// One scripted request: the wire line plus its verb (the driver
+/// buckets latencies per verb).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireOp {
+    pub verb: Verb,
+    pub line: String,
+}
+
+/// The request classes of a traffic mix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Verb {
+    Query,
+    Insert,
+    Delete,
+    Update,
+}
+
+impl Verb {
+    /// Stable lowercase name (report keys, labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            Verb::Query => "query",
+            Verb::Insert => "insert",
+            Verb::Delete => "delete",
+            Verb::Update => "update",
+        }
+    }
+
+    /// All verbs, report order.
+    pub fn all() -> [Verb; 4] {
+        [Verb::Query, Verb::Insert, Verb::Delete, Verb::Update]
+    }
+}
+
+/// Relative weights of the verb mix (zero disables a verb).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrafficMix {
+    pub query: u32,
+    pub insert: u32,
+    pub delete: u32,
+    pub update: u32,
+}
+
+impl Default for TrafficMix {
+    /// A read-heavy serving mix: 80% queries, 20% mutations.
+    fn default() -> Self {
+        TrafficMix {
+            query: 80,
+            insert: 8,
+            delete: 6,
+            update: 6,
+        }
+    }
+}
+
+impl TrafficMix {
+    fn total(&self) -> u32 {
+        self.query + self.insert + self.delete + self.update
+    }
+}
+
+/// Knobs of [`scripts`].
+#[derive(Debug, Clone)]
+pub struct ScriptConfig {
+    /// Master seed; same seed (and same scenario) ⇒ identical scripts.
+    pub seed: u64,
+    /// Number of concurrent connections (one script each).
+    pub connections: usize,
+    /// Requests per connection.
+    pub ops_per_connection: usize,
+    /// Verb weights.
+    pub mix: TrafficMix,
+}
+
+/// Builds one deterministic op script per connection.
+///
+/// Connection `i` owns the EDB facts at indices `≡ i (mod connections)`
+/// (of those the wire can express and the server will accept mutations
+/// on — extensional, printable) plus everything it inserts itself, and
+/// only ever `DELETE`s/`UPDATE`s facts it owns and believes live.
+/// Inserted facts use globally fresh constants (`w<conn>_<k>_<pos>`),
+/// so they collide with nothing. Queries draw from the scenario's query
+/// set. Verbs with no eligible target fall back (mutation → insert →
+/// query), so every script has exactly `ops_per_connection` lines.
+pub fn scripts(scenario: &Scenario, config: &ScriptConfig) -> Result<Vec<Vec<WireOp>>, WireError> {
+    let program = &scenario.program;
+    let queries: Vec<String> = scenario
+        .queries
+        .iter()
+        .filter_map(|q| render_query(program, q))
+        .map(|text| format!("QUERY {text}."))
+        .collect();
+
+    // The mutable pool: extensional, printable, positive-arity (a fresh
+    // zero-arity fact cannot be generated, and deleting the original
+    // then reinserting it would race with the scenario's own weight).
+    // Deduplicated — a fact listed twice must not get two owners.
+    let idb = program.idb_mask();
+    let mut seen = std::collections::HashSet::new();
+    let mutable: Vec<String> = program
+        .facts
+        .iter()
+        .filter(|(atom, _)| !idb[atom.pred.index()] && !atom.args.is_empty())
+        .filter_map(|(atom, _)| render_ground(program, atom))
+        .filter(|text| seen.insert(text.clone()))
+        .collect();
+    // Predicates fresh inserts can target, with their arities.
+    let mut insert_preds: Vec<(String, usize)> = Vec::new();
+    for pred in program.preds.iter() {
+        let name = program.preds.name(pred);
+        let arity = program.preds.arity(pred);
+        if arity > 0 && !idb[pred.index()] && bare_ident(name) {
+            insert_preds.push((name.to_string(), arity));
+        }
+    }
+
+    if queries.is_empty() && insert_preds.is_empty() {
+        return Err(WireError {
+            name: scenario.name.clone(),
+            what: "scenario (no expressible queries or extensional predicates)",
+        });
+    }
+
+    let mut out = Vec::with_capacity(config.connections);
+    for conn in 0..config.connections {
+        // Distinct, seed-derived stream per connection (splitmix-style
+        // spacing keeps neighbouring connections uncorrelated).
+        let mut rng = StdRng::seed_from_u64(
+            config
+                .seed
+                .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(conn as u64 + 1)),
+        );
+        // This connection's live facts (owned slice of the EDB pool).
+        let mut live: Vec<String> = mutable
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % config.connections == conn)
+            .map(|(_, f)| f.clone())
+            .collect();
+        let mut fresh = 0u64;
+        let mut ops = Vec::with_capacity(config.ops_per_connection);
+        let total = config.mix.total().max(1);
+        for _ in 0..config.ops_per_connection {
+            let roll = rng.random_range(0..total);
+            let mut verb = if roll < config.mix.query {
+                Verb::Query
+            } else if roll < config.mix.query + config.mix.insert {
+                Verb::Insert
+            } else if roll < config.mix.query + config.mix.insert + config.mix.delete {
+                Verb::Delete
+            } else {
+                Verb::Update
+            };
+            // Fallback chain keeps scripts full-length even when a verb
+            // has no target: mutations degrade to inserts, everything
+            // degrades to queries.
+            if matches!(verb, Verb::Delete | Verb::Update) && live.is_empty() {
+                verb = Verb::Insert;
+            }
+            if verb == Verb::Insert && insert_preds.is_empty() {
+                verb = Verb::Query;
+            }
+            if verb == Verb::Query && queries.is_empty() {
+                verb = Verb::Insert;
+            }
+            let op = match verb {
+                Verb::Query => {
+                    let q = &queries[rng.random_range(0..queries.len())];
+                    WireOp {
+                        verb,
+                        line: q.clone(),
+                    }
+                }
+                Verb::Insert => {
+                    let (name, arity) = &insert_preds[rng.random_range(0..insert_preds.len())];
+                    let args: Vec<String> = (0..*arity)
+                        .map(|p| format!("w{conn}_{fresh}_{p}"))
+                        .collect();
+                    fresh += 1;
+                    let atom = format!("{name}({})", args.join(","));
+                    let prob = random_prob(&mut rng).max(1e-6);
+                    live.push(atom.clone());
+                    WireOp {
+                        verb,
+                        line: format!("INSERT {prob:.6} :: {atom}."),
+                    }
+                }
+                Verb::Delete => {
+                    let atom = live.swap_remove(rng.random_range(0..live.len()));
+                    WireOp {
+                        verb,
+                        line: format!("DELETE {atom}."),
+                    }
+                }
+                Verb::Update => {
+                    let atom = &live[rng.random_range(0..live.len())];
+                    let prob = random_prob(&mut rng).max(1e-6);
+                    WireOp {
+                        verb,
+                        line: format!("UPDATE {prob:.6} :: {atom}."),
+                    }
+                }
+            };
+            ops.push(op);
+        }
+        out.push(ops);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{kgmine, lubm, smokers, vqar, webkg};
+
+    fn tiny_lubm() -> Scenario {
+        lubm::generate(
+            "lubm-tiny",
+            &lubm::LubmConfig {
+                universities: 1,
+                departments: 2,
+                faculty: 2,
+                undergrads: 4,
+                grads: 2,
+                courses: 3,
+                class_chain: 3,
+                target_rules: 12,
+                seed: 11,
+            },
+        )
+    }
+
+    #[test]
+    fn lubm_round_trips_through_program_text() {
+        let s = tiny_lubm();
+        let text = render_program(&s.program).unwrap();
+        let parsed = ltg_datalog::parse_program(&text).unwrap();
+        assert_eq!(parsed.rules.len(), s.program.rules.len());
+        assert_eq!(parsed.facts.len(), s.program.facts.len());
+        assert_eq!(parsed.queries.len(), s.program.queries.len());
+    }
+
+    #[test]
+    fn kgmine_program_text_is_refused_not_mangled() {
+        let s = kgmine::generate("kg-tiny", &kgmine::KgMineConfig::yago(3));
+        let err = render_program(&s.program).unwrap_err();
+        assert!(err.name.starts_with('@'), "{err}");
+    }
+
+    #[test]
+    fn scripts_are_deterministic_and_full_length() {
+        let s = tiny_lubm();
+        let cfg = ScriptConfig {
+            seed: 42,
+            connections: 3,
+            ops_per_connection: 50,
+            mix: TrafficMix::default(),
+        };
+        let a = scripts(&s, &cfg).unwrap();
+        let b = scripts(&s, &cfg).unwrap();
+        assert_eq!(a, b, "same seed must give identical scripts");
+        assert_eq!(a.len(), 3);
+        assert!(a.iter().all(|ops| ops.len() == 50));
+        let other = scripts(
+            &s,
+            &ScriptConfig {
+                seed: 43,
+                ..cfg.clone()
+            },
+        )
+        .unwrap();
+        assert_ne!(a, other, "different seeds must differ");
+    }
+
+    /// The no-protocol-error guarantee rests on ownership: no fact text
+    /// may ever be mutated from two different connections.
+    #[test]
+    fn mutation_targets_are_connection_disjoint() {
+        let s = tiny_lubm();
+        let cfg = ScriptConfig {
+            seed: 7,
+            connections: 4,
+            ops_per_connection: 120,
+            mix: TrafficMix {
+                query: 10,
+                insert: 30,
+                delete: 30,
+                update: 30,
+            },
+        };
+        let scripts = scripts(&s, &cfg).unwrap();
+        let mut owner: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+        for (conn, ops) in scripts.iter().enumerate() {
+            for op in ops {
+                let atom = match op.verb {
+                    Verb::Delete => op.line.trim_start_matches("DELETE "),
+                    Verb::Update | Verb::Insert => {
+                        op.line.split(" :: ").nth(1).expect("prob :: atom")
+                    }
+                    Verb::Query => continue,
+                };
+                let prev = owner.insert(atom.to_string(), conn);
+                assert!(
+                    prev.is_none() || prev == Some(conn),
+                    "{atom} touched by connections {prev:?} and {conn}"
+                );
+            }
+        }
+    }
+
+    /// Scripted mutation state is consistent: a connection never
+    /// deletes a fact twice without reinserting, never updates a
+    /// deleted fact.
+    #[test]
+    fn scripts_track_liveness() {
+        let s = tiny_lubm();
+        let cfg = ScriptConfig {
+            seed: 3,
+            connections: 2,
+            ops_per_connection: 200,
+            mix: TrafficMix {
+                query: 1,
+                insert: 20,
+                delete: 60,
+                update: 19,
+            },
+        };
+        for ops in scripts(&s, &cfg).unwrap() {
+            let mut live: std::collections::HashSet<String> = std::collections::HashSet::new();
+            // Original pool facts are live until first touched; collect
+            // them lazily — first touch of an unseen atom must not be
+            // preceded by its deletion.
+            let mut dead: std::collections::HashSet<String> = std::collections::HashSet::new();
+            for op in &ops {
+                match op.verb {
+                    Verb::Insert => {
+                        let atom = op.line.split(" :: ").nth(1).unwrap().trim_end_matches('.');
+                        assert!(!live.contains(atom) && !dead.contains(atom), "{}", op.line);
+                        live.insert(atom.to_string());
+                    }
+                    Verb::Delete => {
+                        let atom = op.line.trim_start_matches("DELETE ").trim_end_matches('.');
+                        assert!(!dead.contains(atom), "double delete: {}", op.line);
+                        live.remove(atom);
+                        dead.insert(atom.to_string());
+                    }
+                    Verb::Update => {
+                        let atom = op.line.split(" :: ").nth(1).unwrap().trim_end_matches('.');
+                        assert!(!dead.contains(atom), "update after delete: {}", op.line);
+                    }
+                    Verb::Query => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_world_yields_scripts() {
+        let cfg = ScriptConfig {
+            seed: 5,
+            connections: 2,
+            ops_per_connection: 20,
+            mix: TrafficMix::default(),
+        };
+        let mut worlds: Vec<Scenario> = vec![
+            tiny_lubm(),
+            smokers::generate(&smokers::SmokersConfig {
+                min_n: 4,
+                max_n: 6,
+                queries: 4,
+                max_depth: 3,
+                seed: 9,
+            }),
+            webkg::tiny(13),
+            kgmine::generate("kg-tiny", &kgmine::KgMineConfig::yago(3)),
+            vqar::scene(0, &vqar::VqarConfig::default()),
+        ];
+        for world in &mut worlds {
+            let scripts =
+                scripts(world, &cfg).unwrap_or_else(|e| panic!("{}: no scripts: {e}", world.name));
+            assert_eq!(scripts.len(), 2, "{}", world.name);
+            assert!(scripts.iter().all(|ops| ops.len() == 20), "{}", world.name);
+        }
+    }
+}

@@ -15,12 +15,21 @@
 //!   records elapsed microseconds into a histogram when not.
 //! - [`expose_value`] / [`expose_histogram`] — Prometheus-style text
 //!   exposition (`name{label="v",...} value` lines). Histograms emit a
-//!   fixed series set (`quantile="0.5|0.95|0.99"`, `_count`, `_sum`,
-//!   `_max`) even when empty, so the label scheme is stable from the
-//!   first scrape.
+//!   fixed series set (`quantile="0.5|0.95|0.99|0.999"`, `_count`,
+//!   `_sum`, `_max`) even when empty, so the label scheme is stable from
+//!   the first scrape, plus one cumulative `_bucket{le="..."}` line per
+//!   *non-empty* bucket — enough for [`scrape::parse_exposition`] to
+//!   reconstruct the histogram bit-exactly on the other side of the
+//!   wire.
+//! - [`scrape`] — the inverse direction: parse an exposition back into
+//!   values and histograms and merge them across label sets (the
+//!   traffic harness cross-checks its client-side histograms against
+//!   the server's `METRICS` this way).
 //!
 //! Units are **microseconds** throughout; metric names carry a `_us`
 //! suffix by convention (see `docs/observability.md`).
+
+pub mod scrape;
 
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
@@ -164,6 +173,51 @@ impl Histogram {
         self.quantile(0.99)
     }
 
+    /// The p99.9 estimate — the SLO quantile of an open-loop load test,
+    /// where one stalled request in a thousand is exactly the event a
+    /// tail budget exists to catch.
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+
+    /// The non-empty buckets as `(upper_bound, count)` pairs in
+    /// ascending bucket order (the exposition's `_bucket` lines).
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (bucket_upper_bound(i), n))
+    }
+
+    /// Rebuilds a histogram from scraped parts. Fails (returns `None`)
+    /// when an upper bound is not a bucket boundary or the bucket
+    /// counts do not add up to `count`.
+    pub(crate) fn from_raw(
+        bucket_counts: &[(u64, u64)],
+        count: u64,
+        sum: u64,
+        max: u64,
+    ) -> Option<Histogram> {
+        let mut h = Histogram::new();
+        let mut total = 0u64;
+        for &(upper, n) in bucket_counts {
+            let i = bucket_index(upper);
+            if bucket_upper_bound(i) != upper {
+                return None;
+            }
+            h.buckets[i] = h.buckets[i].checked_add(n)?;
+            total = total.checked_add(n)?;
+        }
+        if total != count {
+            return None;
+        }
+        h.count = count;
+        h.sum = sum;
+        h.max = max;
+        Some(h)
+    }
+
     /// Folds another histogram into this one (for cross-shard or
     /// cross-verb aggregation).
     pub fn merge(&mut self, other: &Histogram) {
@@ -239,15 +293,32 @@ pub fn expose_value(out: &mut Vec<String>, name: &str, labels: &[(&str, &str)], 
     out.push(format!("{name}{} {value}", fmt_labels(labels)));
 }
 
-/// Emits the fixed series set for a histogram: three quantile lines
-/// (`quantile="0.5"`, `"0.95"`, `"0.99"` appended after `labels`), then
-/// `name_count`, `name_sum`, `name_max`. Always emits all six lines —
-/// an idle histogram still advertises its label scheme.
+/// Emits the series set for a histogram: four quantile lines
+/// (`quantile="0.5"`, `"0.95"`, `"0.99"`, `"0.999"` appended after
+/// `labels`), one *cumulative* `name_bucket{le="<upper>"}` line per
+/// non-empty bucket (omitted entirely for an idle histogram, so the
+/// fixed part of the scheme stays fixed), then `name_count`,
+/// `name_sum`, `name_max`. The bucket lines carry the full
+/// distribution: [`scrape::parse_exposition`] reconstructs a histogram
+/// bit-identical to `h` from them.
 pub fn expose_histogram(out: &mut Vec<String>, name: &str, labels: &[(&str, &str)], h: &Histogram) {
-    for (q, v) in [("0.5", h.p50()), ("0.95", h.p95()), ("0.99", h.p99())] {
+    for (q, v) in [
+        ("0.5", h.p50()),
+        ("0.95", h.p95()),
+        ("0.99", h.p99()),
+        ("0.999", h.p999()),
+    ] {
         let mut with_q = labels.to_vec();
         with_q.push(("quantile", q));
         expose_value(out, name, &with_q, v);
+    }
+    let mut cumulative = 0u64;
+    for (upper, n) in h.nonzero_buckets() {
+        cumulative += n;
+        let le = upper.to_string();
+        let mut with_le = labels.to_vec();
+        with_le.push(("le", le.as_str()));
+        expose_value(out, &format!("{name}_bucket"), &with_le, cumulative);
     }
     expose_value(out, &format!("{name}_count"), labels, h.count());
     expose_value(out, &format!("{name}_sum"), labels, h.sum());
@@ -384,6 +455,9 @@ mod tests {
                 "ltg_query_us{shard=\"0\",cache=\"hit\",quantile=\"0.5\"} 3".to_string(),
                 "ltg_query_us{shard=\"0\",cache=\"hit\",quantile=\"0.95\"} 90".to_string(),
                 "ltg_query_us{shard=\"0\",cache=\"hit\",quantile=\"0.99\"} 90".to_string(),
+                "ltg_query_us{shard=\"0\",cache=\"hit\",quantile=\"0.999\"} 90".to_string(),
+                "ltg_query_us_bucket{shard=\"0\",cache=\"hit\",le=\"3\"} 1".to_string(),
+                "ltg_query_us_bucket{shard=\"0\",cache=\"hit\",le=\"127\"} 2".to_string(),
                 "ltg_query_us_count{shard=\"0\",cache=\"hit\"} 2".to_string(),
                 "ltg_query_us_sum{shard=\"0\",cache=\"hit\"} 93".to_string(),
                 "ltg_query_us_max{shard=\"0\",cache=\"hit\"} 90".to_string(),
@@ -424,12 +498,14 @@ mod tests {
     proptest! {
         /// The estimated quantile always lands in the same log2 bucket
         /// as the exact order statistic — "within one bucket of exact".
+        /// Per-mille granularity so the p99.9 tail estimate is covered,
+        /// not just the percentile grid.
         #[test]
         fn quantile_within_one_bucket_of_exact(
             values in proptest::collection::vec(0u64..2_000_000, 1..400),
-            q in 1u32..=100u32,
+            q in 1u32..=1000u32,
         ) {
-            let q = q as f64 / 100.0;
+            let q = q as f64 / 1000.0;
             let mut h = Histogram::new();
             for &v in &values {
                 h.record(v);

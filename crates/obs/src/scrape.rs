@@ -1,0 +1,417 @@
+//! Parse a `METRICS`-style exposition back into values and histograms.
+//!
+//! [`expose_value`](crate::expose_value) and
+//! [`expose_histogram`](crate::expose_histogram) render the wire side;
+//! this module is the inverse. The traffic harness uses it to
+//! cross-check its client-side histograms against the server's own
+//! `METRICS` exposition: expose → [`parse_exposition`] →
+//! [`Scrape::histogram`] reconstructs a [`Histogram`] bit-identical to
+//! the original (the cumulative `_bucket{le="..."}` lines carry the
+//! full distribution), and [`Scrape::merged`] folds the per-shard label
+//! sets of one metric into a single histogram exactly as
+//! [`Histogram::merge`] would.
+//!
+//! Parsing is strict: any line that does not match
+//! `name{k="v",...} value` (labels optional, value a decimal `u64`)
+//! is an error with its line number, not silently skipped — the
+//! concurrent-scrape tests rely on that to prove the exposition stays
+//! well-formed under load.
+
+use crate::Histogram;
+use std::fmt;
+
+/// A parse or reconstruction failure. `line` is 1-based for parse
+/// errors and 0 for reconstruction errors not tied to one line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScrapeError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for ScrapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "line {}: {}", self.line, self.message)
+        } else {
+            write!(f, "{}", self.message)
+        }
+    }
+}
+
+impl std::error::Error for ScrapeError {}
+
+fn err(line: usize, message: impl Into<String>) -> ScrapeError {
+    ScrapeError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// One exposition line, parsed: `name{labels} value`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Series {
+    pub name: String,
+    pub labels: Vec<(String, String)>,
+    pub value: u64,
+}
+
+impl Series {
+    /// Label-set equality, order-insensitive (keys are unique in our
+    /// scheme, so multiset == set comparison).
+    fn labels_equal(&self, want: &[(&str, &str)]) -> bool {
+        self.labels.len() == want.len() && self.labels_contain(want)
+    }
+
+    /// True when every `(k, v)` in `want` appears in this series'
+    /// labels (the series may carry more, e.g. `shard`).
+    fn labels_contain(&self, want: &[(&str, &str)]) -> bool {
+        want.iter()
+            .all(|(k, v)| self.labels.iter().any(|(sk, sv)| sk == k && sv == v))
+    }
+
+    fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The labels minus one key (used to strip `le` off `_bucket`
+    /// series and `shard` when merging).
+    fn labels_without(&self, key: &str) -> Vec<(String, String)> {
+        self.labels
+            .iter()
+            .filter(|(k, _)| k != key)
+            .cloned()
+            .collect()
+    }
+}
+
+/// A parsed exposition: every line as a [`Series`], in input order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Scrape {
+    series: Vec<Series>,
+}
+
+/// Parses one exposition line. Grammar:
+/// `name` `[` `{` `k="v"` (`,` `k="v"`)* `}` `]` ` ` `u64`.
+fn parse_line(lineno: usize, line: &str) -> Result<Series, ScrapeError> {
+    let line = line.trim_end_matches(['\r', '\n']);
+    if line.is_empty() {
+        return Err(err(lineno, "empty line"));
+    }
+    let name_end = line
+        .find(['{', ' '])
+        .ok_or_else(|| err(lineno, format!("no value separator in {line:?}")))?;
+    let name = &line[..name_end];
+    if name.is_empty()
+        || !name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    {
+        return Err(err(lineno, format!("bad metric name in {line:?}")));
+    }
+    let mut labels = Vec::new();
+    let rest = if line.as_bytes()[name_end] == b'{' {
+        let body_and_rest = &line[name_end + 1..];
+        let close = body_and_rest
+            .find('}')
+            .ok_or_else(|| err(lineno, format!("unterminated label block in {line:?}")))?;
+        let body = &body_and_rest[..close];
+        if !body.is_empty() {
+            for pair in body.split(',') {
+                let (k, v) = pair
+                    .split_once('=')
+                    .ok_or_else(|| err(lineno, format!("bad label pair {pair:?}")))?;
+                let v = v
+                    .strip_prefix('"')
+                    .and_then(|v| v.strip_suffix('"'))
+                    .ok_or_else(|| err(lineno, format!("unquoted label value {pair:?}")))?;
+                if k.is_empty() || v.contains('"') {
+                    return Err(err(lineno, format!("bad label pair {pair:?}")));
+                }
+                labels.push((k.to_string(), v.to_string()));
+            }
+        }
+        &body_and_rest[close + 1..]
+    } else {
+        &line[name_end..]
+    };
+    let value_str = rest
+        .strip_prefix(' ')
+        .ok_or_else(|| err(lineno, format!("expected space before value in {line:?}")))?;
+    let value = value_str
+        .parse::<u64>()
+        .map_err(|_| err(lineno, format!("bad value {value_str:?}")))?;
+    Ok(Series {
+        name: name.to_string(),
+        labels,
+        value,
+    })
+}
+
+/// Parses a full exposition (e.g. the payload lines of a `METRICS`
+/// response). Strict: the first malformed line fails the whole parse.
+pub fn parse_exposition<S: AsRef<str>>(lines: &[S]) -> Result<Scrape, ScrapeError> {
+    let mut series = Vec::with_capacity(lines.len());
+    for (i, line) in lines.iter().enumerate() {
+        series.push(parse_line(i + 1, line.as_ref())?);
+    }
+    Ok(Scrape { series })
+}
+
+impl Scrape {
+    /// All parsed series, in input order.
+    pub fn series(&self) -> &[Series] {
+        &self.series
+    }
+
+    /// The value of the series with exactly this name and label set
+    /// (order-insensitive); `None` when absent.
+    pub fn value(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        self.series
+            .iter()
+            .find(|s| s.name == name && s.labels_equal(labels))
+            .map(|s| s.value)
+    }
+
+    /// All values of series with this name whose labels contain
+    /// `required` (they may carry more, e.g. different `shard`s).
+    pub fn values_containing(&self, name: &str, required: &[(&str, &str)]) -> Vec<u64> {
+        self.series
+            .iter()
+            .filter(|s| s.name == name && s.labels_contain(required))
+            .map(|s| s.value)
+            .collect()
+    }
+
+    /// Reconstructs the histogram exposed as `name` with exactly this
+    /// base label set: reads the cumulative `name_bucket{le=...}`
+    /// series plus `name_count`/`name_sum`/`name_max`, validates that
+    /// the cumulative counts are monotone, that every `le` is a real
+    /// bucket boundary, and that the buckets sum to `count`.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Result<Histogram, ScrapeError> {
+        let part = |suffix: &str| -> Result<u64, ScrapeError> {
+            self.value(&format!("{name}{suffix}"), labels)
+                .ok_or_else(|| err(0, format!("missing {name}{suffix} for labels {labels:?}")))
+        };
+        let count = part("_count")?;
+        let sum = part("_sum")?;
+        let max = part("_max")?;
+        let bucket_name = format!("{name}_bucket");
+        let mut cumulative: Vec<(u64, u64)> = Vec::new();
+        for s in &self.series {
+            if s.name != bucket_name {
+                continue;
+            }
+            let Some(le) = s.label("le") else {
+                return Err(err(0, format!("{bucket_name} series without le label")));
+            };
+            let base: Vec<(String, String)> = s.labels_without("le");
+            let base_refs: Vec<(&str, &str)> =
+                base.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+            if !(base_refs.len() == labels.len()
+                && labels
+                    .iter()
+                    .all(|(k, v)| base_refs.iter().any(|(bk, bv)| bk == k && bv == v)))
+            {
+                continue;
+            }
+            let upper = le
+                .parse::<u64>()
+                .map_err(|_| err(0, format!("bad le value {le:?} on {bucket_name}")))?;
+            cumulative.push((upper, s.value));
+        }
+        cumulative.sort_by_key(|&(upper, _)| upper);
+        let mut buckets: Vec<(u64, u64)> = Vec::with_capacity(cumulative.len());
+        let mut prev = 0u64;
+        for &(upper, cum) in &cumulative {
+            if cum < prev {
+                return Err(err(
+                    0,
+                    format!("{bucket_name} cumulative counts not monotone at le={upper}"),
+                ));
+            }
+            buckets.push((upper, cum - prev));
+            prev = cum;
+        }
+        if prev != count {
+            return Err(err(
+                0,
+                format!("{bucket_name} total {prev} does not match {name}_count {count}"),
+            ));
+        }
+        Histogram::from_raw(&buckets, count, sum, max)
+            .ok_or_else(|| err(0, format!("inconsistent bucket boundaries for {name}")))
+    }
+
+    /// Merges every label-set variant of histogram `name` whose labels
+    /// contain `required` — e.g. `merged("ltg_query_us", &[("cache",
+    /// "hit")])` folds the `shard="0"`/`shard="1"` series into one
+    /// histogram, exactly as [`Histogram::merge`] over the originals
+    /// would. Errors when no matching series exists.
+    pub fn merged(&self, name: &str, required: &[(&str, &str)]) -> Result<Histogram, ScrapeError> {
+        let count_name = format!("{name}_count");
+        let mut label_sets: Vec<Vec<(String, String)>> = Vec::new();
+        for s in &self.series {
+            if s.name == count_name && s.labels_contain(required) {
+                let set = s.labels.clone();
+                if !label_sets.contains(&set) {
+                    label_sets.push(set);
+                }
+            }
+        }
+        if label_sets.is_empty() {
+            return Err(err(
+                0,
+                format!("no {count_name} series with labels containing {required:?}"),
+            ));
+        }
+        let mut merged = Histogram::new();
+        for set in &label_sets {
+            let refs: Vec<(&str, &str)> =
+                set.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+            let h = self.histogram(name, &refs)?;
+            merged.merge(&h);
+        }
+        Ok(merged)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{expose_histogram, expose_value};
+    use proptest::prelude::*;
+
+    #[test]
+    fn parses_bare_and_labeled_lines() {
+        let lines = vec![
+            "ltg_up 1".to_string(),
+            "ltg_query_us_count{shard=\"0\",cache=\"hit\"} 42".to_string(),
+        ];
+        let scrape = parse_exposition(&lines).unwrap();
+        assert_eq!(scrape.value("ltg_up", &[]), Some(1));
+        assert_eq!(
+            scrape.value("ltg_query_us_count", &[("cache", "hit"), ("shard", "0")]),
+            Some(42),
+        );
+        assert_eq!(scrape.value("ltg_query_us_count", &[("shard", "0")]), None);
+        assert_eq!(scrape.value("missing", &[]), None);
+    }
+
+    #[test]
+    fn rejects_malformed_lines_with_line_numbers() {
+        for (bad, what) in [
+            ("", "empty"),
+            ("noval", "no separator"),
+            ("name{k=\"v\" 3", "unterminated labels"),
+            ("name{k=v} 3", "unquoted value"),
+            ("name{=\"v\"} 3", "empty key"),
+            ("name 3.5", "non-integer value"),
+            ("name  3", "double space"),
+            ("na me 3", "space in name"),
+        ] {
+            let lines = vec!["ltg_up 1".to_string(), bad.to_string()];
+            let e = parse_exposition(&lines).unwrap_err();
+            assert_eq!(e.line, 2, "{what}: expected failure on line 2, got {e}");
+        }
+    }
+
+    #[test]
+    fn empty_histogram_round_trips() {
+        let h = Histogram::new();
+        let mut out = Vec::new();
+        expose_histogram(&mut out, "ltg_idle_us", &[("shard", "0")], &h);
+        let scrape = parse_exposition(&out).unwrap();
+        let back = scrape.histogram("ltg_idle_us", &[("shard", "0")]).unwrap();
+        assert_eq!(back, h);
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn histogram_reconstruction_validates_totals() {
+        // _bucket lines whose total disagrees with _count must fail.
+        let lines = vec![
+            "h_bucket{le=\"1\"} 1".to_string(),
+            "h_count 2".to_string(),
+            "h_sum 1".to_string(),
+            "h_max 1".to_string(),
+        ];
+        let scrape = parse_exposition(&lines).unwrap();
+        assert!(scrape.histogram("h", &[]).is_err());
+        // A non-boundary le must fail.
+        let lines = vec![
+            "h_bucket{le=\"2\"} 1".to_string(),
+            "h_count 1".to_string(),
+            "h_sum 2".to_string(),
+            "h_max 2".to_string(),
+        ];
+        let scrape = parse_exposition(&lines).unwrap();
+        assert!(scrape.histogram("h", &[]).is_err());
+    }
+
+    #[test]
+    fn merged_requires_a_match() {
+        let scrape = parse_exposition(&["ltg_up 1".to_string()]).unwrap();
+        assert!(scrape.merged("ltg_query_us", &[]).is_err());
+    }
+
+    fn hist_of(values: &[u64]) -> Histogram {
+        let mut h = Histogram::new();
+        for &v in values {
+            h.record(v);
+        }
+        h
+    }
+
+    proptest! {
+        /// expose → parse → reconstruct is the identity on histograms.
+        #[test]
+        fn round_trip_is_identity(
+            values in proptest::collection::vec(0u64..5_000_000, 0..300),
+        ) {
+            let h = hist_of(&values);
+            let mut out = Vec::new();
+            expose_value(&mut out, "ltg_up", &[("shard", "0")], 1);
+            expose_histogram(&mut out, "ltg_query_us", &[("shard", "0"), ("cache", "hit")], &h);
+            let scrape = parse_exposition(&out).unwrap();
+            let back = scrape
+                .histogram("ltg_query_us", &[("shard", "0"), ("cache", "hit")])
+                .unwrap();
+            prop_assert_eq!(back, h);
+        }
+
+        /// Merging scraped per-shard histograms equals merging the
+        /// originals — the cross-check the traffic harness performs
+        /// against a sharded server.
+        #[test]
+        fn multi_shard_merge_matches_originals(
+            a in proptest::collection::vec(0u64..1_000_000, 0..150),
+            b in proptest::collection::vec(0u64..1_000_000, 0..150),
+            c in proptest::collection::vec(0u64..1_000_000, 0..150),
+        ) {
+            let shards = [hist_of(&a), hist_of(&b), hist_of(&c)];
+            let mut out = Vec::new();
+            for (i, h) in shards.iter().enumerate() {
+                let shard = i.to_string();
+                expose_histogram(&mut out, "ltg_query_us", &[("shard", shard.as_str())], h);
+                // A decoy metric with the same labels must not leak in.
+                expose_histogram(&mut out, "ltg_wmc_us", &[("shard", shard.as_str())], &hist_of(&[7, 7]));
+            }
+            let scrape = parse_exposition(&out).unwrap();
+            let merged = scrape.merged("ltg_query_us", &[]).unwrap();
+            let mut want = Histogram::new();
+            for h in &shards {
+                want.merge(h);
+            }
+            prop_assert_eq!(merged, want);
+            // Per-shard reconstruction still works under the merged view.
+            for (i, h) in shards.iter().enumerate() {
+                let shard = i.to_string();
+                let one = scrape.histogram("ltg_query_us", &[("shard", shard.as_str())]).unwrap();
+                prop_assert_eq!(one, h.clone());
+            }
+        }
+    }
+}

@@ -55,9 +55,9 @@ pub mod session;
 pub use cache::{CacheBudget, QueryCache};
 pub use ltg_persist::{BootMode, BootReport};
 pub use protocol::{Request, Response};
-pub use server::{execute, respond, RequestHandler, Server, SessionHandle};
+pub use server::{execute, respond, ConnectionStats, RequestHandler, Server, SessionHandle};
 pub use session::{
     atom_shape, Answer, AtomShape, BootError, DeleteResponse, DurabilityOptions, InsertResponse,
-    Mutation, MutationBatch, MutationResponse, Session, SessionError, SessionOptions,
-    UpdateResponse,
+    Mutation, MutationBatch, MutationResponse, RequestOrigin, Session, SessionError,
+    SessionOptions, UpdateResponse,
 };

@@ -9,10 +9,11 @@
 //! number of connections concurrently.
 
 use crate::protocol::{Request, Response};
-use crate::session::{Session, SessionOptions};
+use crate::session::{RequestOrigin, Session, SessionOptions};
 use ltg_datalog::Program;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread;
@@ -24,14 +25,62 @@ use std::thread;
 /// implementation; `ltg-shard`'s `ShardedService` routes to a pool.
 pub trait RequestHandler: Send + Sync + 'static {
     /// Answers one request line (newline-terminated response, `OK …` or
-    /// `ERR …`).
-    fn handle(&self, line: &str) -> String;
+    /// `ERR …`). `origin` identifies the sending connection and the
+    /// request's sequence number on it (for slow-log correlation);
+    /// in-process callers pass [`RequestOrigin::default`].
+    fn handle(&self, line: &str, origin: RequestOrigin) -> String;
+}
+
+/// Connection accounting of the TCP front-end: how many connections are
+/// open right now and how many were ever accepted. Exposed as the
+/// `ltg_connections_active` gauge / `ltg_connections_total` counter in
+/// `METRICS` and the `connections` / `connections_total` STATS keys —
+/// the traffic harness reads these to confirm it really held N
+/// connections open. The running total also hands out the 1-based
+/// connection ids that slow-log lines carry (`conn=<id>`).
+#[derive(Debug, Default)]
+pub struct ConnectionStats {
+    active: AtomicU64,
+    total: AtomicU64,
+}
+
+impl ConnectionStats {
+    /// Registers an accepted connection and returns its 1-based id.
+    fn opened(&self) -> u64 {
+        self.active.fetch_add(1, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    fn closed(&self) {
+        self.active.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Connections open right now.
+    pub fn active(&self) -> u64 {
+        self.active.load(Ordering::Relaxed)
+    }
+
+    /// Connections ever accepted.
+    pub fn total(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+}
+
+/// Decrements the active-connection gauge however the connection ends
+/// (EOF, `QUIT`, or an I/O error unwinding `serve_connection`).
+struct ConnectionGuard<'a>(&'a ConnectionStats);
+
+impl Drop for ConnectionGuard<'_> {
+    fn drop(&mut self) {
+        self.0.closed();
+    }
 }
 
 /// One forwarded request: a raw line plus the channel for the rendered
 /// response.
 pub(crate) struct Job {
     line: String,
+    origin: RequestOrigin,
     reply: mpsc::Sender<String>,
 }
 
@@ -86,10 +135,11 @@ impl SessionHandle {
 }
 
 impl RequestHandler for SessionHandle {
-    fn handle(&self, line: &str) -> String {
+    fn handle(&self, line: &str, origin: RequestOrigin) -> String {
         let (reply_tx, reply_rx) = mpsc::channel();
         let sent = self.jobs.send(Job {
             line: line.to_string(),
+            origin,
             reply: reply_tx,
         });
         match sent {
@@ -133,6 +183,7 @@ pub fn drive_session<J>(
 
 pub(crate) fn session_worker(session: &mut Session, rx: &mpsc::Receiver<Job>) {
     drive_session(session, rx, |session, job: Job| {
+        session.set_origin(job.origin);
         let response = respond(session, &job.line);
         let _ = job.reply.send(response);
     });
@@ -144,6 +195,7 @@ pub(crate) fn session_worker(session: &mut Session, rx: &mpsc::Receiver<Job>) {
 pub struct Server {
     listener: TcpListener,
     handler: Arc<dyn RequestHandler>,
+    conns: Arc<ConnectionStats>,
 }
 
 impl Server {
@@ -162,6 +214,7 @@ impl Server {
         Ok(Server {
             listener,
             handler: Arc::new(handler),
+            conns: Arc::new(ConnectionStats::default()),
         })
     }
 
@@ -174,17 +227,31 @@ impl Server {
         handler: Arc<dyn RequestHandler>,
     ) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
-        Ok(Server { listener, handler })
+        Ok(Server {
+            listener,
+            handler,
+            conns: Arc::new(ConnectionStats::default()),
+        })
     }
 
     /// Puts a handler behind an already-bound listener.
     pub fn from_listener(listener: TcpListener, handler: Arc<dyn RequestHandler>) -> Server {
-        Server { listener, handler }
+        Server {
+            listener,
+            handler,
+            conns: Arc::new(ConnectionStats::default()),
+        }
     }
 
     /// The bound address (useful with port 0).
     pub fn local_addr(&self) -> io::Result<SocketAddr> {
         self.listener.local_addr()
+    }
+
+    /// The front-end's connection accounting (shared with every
+    /// connection thread; see [`ConnectionStats`]).
+    pub fn connection_stats(&self) -> Arc<ConnectionStats> {
+        self.conns.clone()
     }
 
     /// Accept loop: one I/O thread per connection, forever.
@@ -201,23 +268,61 @@ impl Server {
                     continue;
                 }
             };
+            // Request/response turnarounds are latency-bound, not
+            // bandwidth-bound: never let Nagle hold a response's tail
+            // segment hostage to the client's delayed ACK.
+            let _ = stream.set_nodelay(true);
             let handler = self.handler.clone();
+            let conns = self.conns.clone();
             let _ = thread::Builder::new()
                 .name("ltgs-conn".into())
                 .spawn(move || {
-                    let _ = serve_connection(stream, &*handler);
+                    let _ = serve_connection(stream, &*handler, &conns);
                 });
         }
         Ok(())
     }
 }
 
+/// Appends extra payload lines to a well-formed `OK <n>`-framed
+/// response, rewriting the header count. Anything else (`ERR …`, bare
+/// `OK …` statuses) passes through untouched.
+fn append_ok_lines(response: String, extra: &[String]) -> String {
+    let Some(rest) = response.strip_prefix("OK ") else {
+        return response;
+    };
+    let Some((head, body)) = rest.split_once('\n') else {
+        return response;
+    };
+    let Ok(n) = head.trim().parse::<usize>() else {
+        return response;
+    };
+    let mut out = format!("OK {}\n", n + extra.len());
+    out.push_str(body);
+    for line in extra {
+        out.push_str(line);
+        out.push('\n');
+    }
+    out
+}
+
 /// Reads request lines until EOF or `QUIT`, forwarding each to the
-/// handler and writing the response back.
-fn serve_connection(stream: TcpStream, handler: &dyn RequestHandler) -> io::Result<()> {
+/// handler (stamped with this connection's id and a per-connection
+/// sequence number) and writing the response back. The front-end owns
+/// the connection counters, so `STATS` and `METRICS` responses are
+/// augmented here — identically at every shard count — with the
+/// connection series the sessions cannot see.
+fn serve_connection(
+    stream: TcpStream,
+    handler: &dyn RequestHandler,
+    conns: &ConnectionStats,
+) -> io::Result<()> {
+    let conn_id = conns.opened();
+    let _guard = ConnectionGuard(conns);
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
     let mut line = String::new();
+    let mut seq = 0u64;
     loop {
         line.clear();
         if reader.read_line(&mut line)? == 0 {
@@ -227,11 +332,31 @@ fn serve_connection(stream: TcpStream, handler: &dyn RequestHandler) -> io::Resu
         if trimmed.is_empty() {
             continue;
         }
-        if matches!(Request::parse(trimmed), Ok(Request::Quit)) {
+        seq += 1;
+        let request = Request::parse(trimmed);
+        if matches!(request, Ok(Request::Quit)) {
             writer.write_all(b"OK bye\n")?;
             return Ok(());
         }
-        let response = handler.handle(trimmed);
+        let origin = RequestOrigin { conn: conn_id, seq };
+        let mut response = handler.handle(trimmed, origin);
+        response = match request {
+            Ok(Request::Stats) => append_ok_lines(
+                response,
+                &[
+                    format!("connections {}", conns.active()),
+                    format!("connections_total {}", conns.total()),
+                ],
+            ),
+            Ok(Request::Metrics) => append_ok_lines(
+                response,
+                &[
+                    format!("ltg_connections_active {}", conns.active()),
+                    format!("ltg_connections_total {}", conns.total()),
+                ],
+            ),
+            _ => response,
+        };
         writer.write_all(response.as_bytes())?;
         writer.flush()?;
     }
@@ -373,6 +498,26 @@ mod tests {
         assert!(
             stats.iter().any(|l| l == "cache_hits 1"),
             "stats: {stats:?}"
+        );
+        // The front-end's connection accounting rides on STATS and
+        // METRICS: both connections are open right now.
+        assert!(
+            stats.iter().any(|l| l == "connections 2"),
+            "stats: {stats:?}"
+        );
+        assert!(
+            stats.iter().any(|l| l == "connections_total 2"),
+            "stats: {stats:?}"
+        );
+        writer2.write_all(b"METRICS\n").unwrap();
+        let metrics = read_response(&mut reader2);
+        assert!(
+            metrics.iter().any(|l| l == "ltg_connections_active 2"),
+            "metrics: {metrics:?}"
+        );
+        assert!(
+            metrics.iter().any(|l| l == "ltg_connections_total 2"),
+            "metrics: {metrics:?}"
         );
 
         // Insert on one connection, observe on the other.

@@ -105,6 +105,21 @@ impl Default for SessionOptions {
     }
 }
 
+/// Where a request came from: the front-end connection id and the
+/// request's sequence number on that connection. Stamped on slow-log
+/// lines (`conn=<id> seq=<n>`) so a server-side outlier can be matched
+/// to the client-side tail sample the traffic harness recorded for the
+/// same request. `conn=0` means unattributed (an in-process caller —
+/// benches, tests — rather than a TCP connection; real connection ids
+/// start at 1).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RequestOrigin {
+    /// 1-based connection id from the accept path (0: in-process).
+    pub conn: u64,
+    /// 1-based request index within the connection (0: in-process).
+    pub seq: u64,
+}
+
 /// Why a session failed to come up.
 #[derive(Debug)]
 pub enum BootError {
@@ -346,6 +361,8 @@ pub struct Session {
     /// WMC solve time of the last cache-missing query (for its slow-log
     /// line).
     last_wmc_us: u64,
+    /// Who sent the request currently executing (slow-log correlation).
+    origin: RequestOrigin,
 }
 
 /// Per-verb latency distributions of one session (whole microseconds).
@@ -416,6 +433,7 @@ impl Session {
             metrics_on: opts.metrics,
             slow_us: opts.slow_ms.map(|ms| ms.saturating_mul(1000)),
             last_wmc_us: 0,
+            origin: RequestOrigin::default(),
         };
         // A durable cold boot immediately establishes its snapshot:
         // the very next restart is warm even if the process dies before
@@ -603,9 +621,16 @@ impl Session {
         Ok(answers)
     }
 
+    /// Stamps the origin of the next requests (the front-end sets this
+    /// before each forwarded request; see [`RequestOrigin`]).
+    pub fn set_origin(&mut self, origin: RequestOrigin) {
+        self.origin = origin;
+    }
+
     /// Writes the structured slow-request line when `us` crosses the
     /// `--slow-ms` threshold: one parseable `key=value` record on
-    /// stderr with the request's phase breakdown.
+    /// stderr with the request's phase breakdown and the `conn`/`seq`
+    /// correlation ids of [`RequestOrigin`].
     fn log_slow(&self, us: u64, tags: &[(&str, &str)], extra: &[(&str, u64)]) {
         let Some(slow) = self.slow_us else { return };
         if us < slow {
@@ -615,7 +640,10 @@ impl Session {
         for (k, v) in tags {
             line.push_str(&format!(" {k}={v}"));
         }
-        line.push_str(&format!(" us={us}"));
+        line.push_str(&format!(
+            " conn={} seq={} us={us}",
+            self.origin.conn, self.origin.seq
+        ));
         for (k, v) in extra {
             line.push_str(&format!(" {k}={v}"));
         }
@@ -1010,10 +1038,12 @@ impl Session {
             ("query_p50_us", query.p50().to_string()),
             ("query_p95_us", query.p95().to_string()),
             ("query_p99_us", query.p99().to_string()),
+            ("query_p999_us", query.p999().to_string()),
             ("query_max_us", query.max().to_string()),
             ("mutation_p50_us", mutation.p50().to_string()),
             ("mutation_p95_us", mutation.p95().to_string()),
             ("mutation_p99_us", mutation.p99().to_string()),
+            ("mutation_p999_us", mutation.p999().to_string()),
             ("mutation_max_us", mutation.max().to_string()),
         ]);
         lines.extend(self.snapshot_info_lines());

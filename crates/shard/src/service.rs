@@ -45,8 +45,8 @@ use ltg_obs::{expose_histogram, Histogram};
 use ltg_persist::{BootMode, BootReport, CheckpointInfo};
 use ltg_server::{
     atom_shape, respond, DeleteResponse, DurabilityOptions, InsertResponse, Mutation,
-    MutationBatch, MutationResponse, Request, RequestHandler, Response, Session, SessionOptions,
-    UpdateResponse,
+    MutationBatch, MutationResponse, Request, RequestHandler, RequestOrigin, Response, Session,
+    SessionOptions, UpdateResponse,
 };
 use std::fmt;
 use std::sync::mpsc;
@@ -100,11 +100,14 @@ impl std::error::Error for ShardBootError {}
 enum ShardRequest {
     /// A raw protocol line whose response carries no global state
     /// (`QUERY`) — answered by the worker's own `respond`.
-    Raw(String),
+    Raw { line: String, origin: RequestOrigin },
     /// A typed mutation batch for the worker's `Session::apply` — a
     /// whole `INSERT`/`UPDATE`, or the shard's slice of a `DELETE`
     /// batch, original order.
-    Apply(MutationBatch),
+    Apply {
+        mutations: MutationBatch,
+        origin: RequestOrigin,
+    },
     /// `STATS` scatter.
     StatsLines,
     /// `METRICS` scatter: the worker renders its exposition series
@@ -260,8 +263,17 @@ impl ShardedService {
 
     /// Answers one protocol line — the sharded counterpart of
     /// [`ltg_server::server::respond`]. Safe to call from any number of
-    /// threads at once.
+    /// threads at once. In-process callers get an unattributed origin;
+    /// the TCP front-end goes through [`RequestHandler::handle`] with
+    /// the real connection id.
     pub fn respond(&self, line: &str) -> String {
+        self.respond_from(line, RequestOrigin::default())
+    }
+
+    /// [`ShardedService::respond`] with the request's origin attached
+    /// (forwarded to the owning shard's session for slow-log
+    /// `conn=`/`seq=` correlation).
+    pub fn respond_from(&self, line: &str, origin: RequestOrigin) -> String {
         let request = match Request::parse(line) {
             Ok(r) => r,
             Err(msg) => return Response::Error(msg).render(),
@@ -270,13 +282,19 @@ impl ShardedService {
             Request::Ping => Response::Pong.render(),
             Request::Quit => Response::Bye.render(),
             Request::Query(atom) => match self.route(&atom) {
-                Ok(slot) => match self.send(slot, ShardRequest::Raw(line.to_string())) {
+                Ok(slot) => match self.send(
+                    slot,
+                    ShardRequest::Raw {
+                        line: line.to_string(),
+                        origin,
+                    },
+                ) {
                     Some(ShardReply::Rendered(s)) => s,
                     _ => unavailable(),
                 },
                 Err(err) => err,
             },
-            Request::Mutate { mutations, .. } => self.mutate(mutations),
+            Request::Mutate { mutations, .. } => self.mutate(mutations, origin),
             Request::Stats => self.gathered_lines(false),
             Request::Metrics => self.gathered_metrics(),
             Request::Snapshot { info: true } => self.gathered_lines(true),
@@ -290,12 +308,12 @@ impl ShardedService {
     /// which scatter with cross-shard renumbering (see
     /// [`ShardedService::delete`]). A programmatic mixed batch cannot
     /// be routed atomically across shards, so it is refused.
-    fn mutate(&self, mutations: MutationBatch) -> String {
+    fn mutate(&self, mutations: MutationBatch, origin: RequestOrigin) -> String {
         if mutations.len() == 1 {
             return match mutations.into_iter().next().expect("one mutation") {
-                Mutation::Insert { prob, atom } => self.insert(prob, &atom),
-                Mutation::Update { prob, atom } => self.update(prob, &atom),
-                Mutation::Delete { atom } => self.delete(std::slice::from_ref(&atom)),
+                Mutation::Insert { prob, atom } => self.insert(prob, &atom, origin),
+                Mutation::Update { prob, atom } => self.update(prob, &atom, origin),
+                Mutation::Delete { atom } => self.delete(std::slice::from_ref(&atom), origin),
             };
         }
         let mut atoms = Vec::with_capacity(mutations.len());
@@ -312,7 +330,7 @@ impl ShardedService {
                 }
             }
         }
-        self.delete(&atoms)
+        self.delete(&atoms, origin)
     }
 
     /// Resolves the shard owning an atom's predicate, or the rendered
@@ -378,7 +396,7 @@ impl ShardedService {
         others + epoch_after
     }
 
-    fn insert(&self, prob: f64, atom: &str) -> String {
+    fn insert(&self, prob: f64, atom: &str, origin: RequestOrigin) -> String {
         let slot = match self.route(atom) {
             Ok(s) => s,
             Err(e) => return e,
@@ -387,7 +405,13 @@ impl ShardedService {
             prob,
             atom: atom.to_string(),
         }];
-        match self.send(slot, ShardRequest::Apply(batch)) {
+        match self.send(
+            slot,
+            ShardRequest::Apply {
+                mutations: batch,
+                origin,
+            },
+        ) {
             Some(ShardReply::Applied {
                 result,
                 epoch_after,
@@ -412,7 +436,7 @@ impl ShardedService {
         }
     }
 
-    fn update(&self, prob: f64, atom: &str) -> String {
+    fn update(&self, prob: f64, atom: &str, origin: RequestOrigin) -> String {
         let slot = match self.route(atom) {
             Ok(s) => s,
             Err(e) => return e,
@@ -421,7 +445,13 @@ impl ShardedService {
             prob,
             atom: atom.to_string(),
         }];
-        match self.send(slot, ShardRequest::Apply(batch)) {
+        match self.send(
+            slot,
+            ShardRequest::Apply {
+                mutations: batch,
+                origin,
+            },
+        ) {
             Some(ShardReply::Applied {
                 result,
                 epoch_after,
@@ -444,7 +474,7 @@ impl ShardedService {
         }
     }
 
-    fn delete(&self, atoms: &[String]) -> String {
+    fn delete(&self, atoms: &[String], origin: RequestOrigin) -> String {
         // Validate every atom *in atom order* with the checks a session
         // performs in that same order — parse, predicate lookup, then
         // (for multi-atom batches, which may span shards and therefore
@@ -497,7 +527,13 @@ impl ShardedService {
                     .filter(|(_, &s)| s == slot)
                     .map(|(a, _)| Mutation::Delete { atom: a.clone() })
                     .collect();
-                (slot, ShardRequest::Apply(slice))
+                (
+                    slot,
+                    ShardRequest::Apply {
+                        mutations: slice,
+                        origin,
+                    },
+                )
             })
             .collect();
         let Some(replies) = self.scatter(reqs) else {
@@ -707,8 +743,8 @@ impl ShardedService {
 }
 
 impl RequestHandler for ShardedService {
-    fn handle(&self, line: &str) -> String {
-        self.respond(line)
+    fn handle(&self, line: &str, origin: RequestOrigin) -> String {
+        self.respond_from(line, origin)
     }
 }
 
@@ -766,6 +802,7 @@ fn aggregate(key: &str, values: &[&str]) -> String {
         _ if key.ends_with("_p50_us")
             || key.ends_with("_p95_us")
             || key.ends_with("_p99_us")
+            || key.ends_with("_p999_us")
             || key.ends_with("_max_us") =>
         {
             values
@@ -826,8 +863,12 @@ fn shard_worker(session: &mut Session, rx: &mpsc::Receiver<ShardJob>) {
 
 fn handle_request(session: &mut Session, req: ShardRequest) -> ShardReply {
     match req {
-        ShardRequest::Raw(line) => ShardReply::Rendered(respond(session, &line)),
-        ShardRequest::Apply(mutations) => {
+        ShardRequest::Raw { line, origin } => {
+            session.set_origin(origin);
+            ShardReply::Rendered(respond(session, &line))
+        }
+        ShardRequest::Apply { mutations, origin } => {
+            session.set_origin(origin);
             let result = session.apply(mutations).map_err(|e| e.to_string());
             ShardReply::Applied {
                 result,

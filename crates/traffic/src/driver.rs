@@ -1,0 +1,398 @@
+//! The open-loop driver: scheduled sends, measured-from-schedule
+//! latencies, and the client/server count cross-check.
+
+use ltg_benchdata::wire::{scripts, ScriptConfig, TrafficMix, Verb, WireError, WireOp};
+use ltg_benchdata::Scenario;
+use ltg_obs::scrape::parse_exposition;
+use ltg_obs::{duration_us, Histogram};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::{Arc, Barrier, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Everything that can go wrong while driving traffic.
+#[derive(Debug)]
+pub enum TrafficError {
+    /// The scenario cannot be turned into wire scripts.
+    Wire(WireError),
+    /// Socket-level failure (connect, send, read).
+    Io(String),
+    /// The server answered, but not in the shape the protocol promises.
+    Protocol(String),
+    /// Client-side and server-side request accounting disagree.
+    CrossCheck(String),
+}
+
+impl std::fmt::Display for TrafficError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrafficError::Wire(e) => write!(f, "script generation: {e}"),
+            TrafficError::Io(e) => write!(f, "io: {e}"),
+            TrafficError::Protocol(e) => write!(f, "protocol: {e}"),
+            TrafficError::CrossCheck(e) => write!(f, "cross-check: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TrafficError {}
+
+impl From<WireError> for TrafficError {
+    fn from(e: WireError) -> Self {
+        TrafficError::Wire(e)
+    }
+}
+
+/// Driver knobs. `rate` is *per connection*, so the offered load on the
+/// server is `connections * rate` requests per second.
+#[derive(Debug, Clone)]
+pub struct DriverConfig {
+    pub connections: usize,
+    pub ops_per_connection: usize,
+    /// Offered arrival rate per connection, requests/second.
+    pub rate: f64,
+    pub seed: u64,
+    pub mix: TrafficMix,
+}
+
+impl Default for DriverConfig {
+    fn default() -> Self {
+        DriverConfig {
+            connections: 4,
+            ops_per_connection: 200,
+            rate: 200.0,
+            seed: 0x7AFF1C,
+            mix: TrafficMix::default(),
+        }
+    }
+}
+
+/// Per-verb client-side measurement.
+#[derive(Debug, Clone, Default)]
+pub struct VerbStats {
+    /// Latency from *scheduled* send time to response, microseconds.
+    pub latency: Histogram,
+    /// Requests sent (== latency.count()).
+    pub sent: u64,
+    /// `ERR` responses among them.
+    pub errors: u64,
+    /// The first error line seen, for diagnosis.
+    pub first_error: Option<String>,
+}
+
+impl VerbStats {
+    fn absorb(&mut self, other: &VerbStats) {
+        self.latency.merge(&other.latency);
+        self.sent += other.sent;
+        self.errors += other.errors;
+        if self.first_error.is_none() {
+            self.first_error = other.first_error.clone();
+        }
+    }
+}
+
+/// The result of one drive: merged per-verb stats plus throughput.
+#[derive(Debug, Clone)]
+pub struct DriveOutcome {
+    /// Indexed like [`Verb::all()`]: query, insert, delete, update.
+    pub verbs: [VerbStats; 4],
+    /// From the synchronized start to the last response.
+    pub wall: Duration,
+    /// `connections * rate`.
+    pub offered_rate: f64,
+    /// Total requests / wall.
+    pub achieved_rate: f64,
+}
+
+impl DriveOutcome {
+    /// Stats for one verb.
+    pub fn verb(&self, v: Verb) -> &VerbStats {
+        &self.verbs[verb_index(v)]
+    }
+
+    /// Total requests sent across verbs.
+    pub fn total_sent(&self) -> u64 {
+        self.verbs.iter().map(|v| v.sent).sum()
+    }
+
+    /// Total `ERR` responses across verbs.
+    pub fn total_errors(&self) -> u64 {
+        self.verbs.iter().map(|v| v.errors).sum()
+    }
+}
+
+fn verb_index(v: Verb) -> usize {
+    match v {
+        Verb::Query => 0,
+        Verb::Insert => 1,
+        Verb::Delete => 2,
+        Verb::Update => 3,
+    }
+}
+
+/// Sends one request line and reads the complete response (an `OK <n>`
+/// header pulls `n` payload lines; anything else is a single line).
+fn request(
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut TcpStream,
+    line: &str,
+) -> Result<Vec<String>, TrafficError> {
+    // One write per request: a separate write for the newline leaves a
+    // tiny segment behind Nagle waiting on the delayed ACK of the first
+    // — a flat ~40ms tax on every request that has nothing to do with
+    // the server (set_nodelay on connect is the belt to this suspender).
+    let mut framed = String::with_capacity(line.len() + 1);
+    framed.push_str(line);
+    framed.push('\n');
+    writer
+        .write_all(framed.as_bytes())
+        .and_then(|()| writer.flush())
+        .map_err(|e| TrafficError::Io(format!("send {line:?}: {e}")))?;
+    let mut head = String::new();
+    let n = reader
+        .read_line(&mut head)
+        .map_err(|e| TrafficError::Io(format!("read response to {line:?}: {e}")))?;
+    if n == 0 {
+        return Err(TrafficError::Protocol(format!(
+            "connection closed before responding to {line:?}"
+        )));
+    }
+    let mut out = vec![head.trim_end().to_string()];
+    if let Some(rest) = out[0].strip_prefix("OK ") {
+        if let Ok(count) = rest.trim().parse::<usize>() {
+            for _ in 0..count {
+                let mut payload = String::new();
+                reader
+                    .read_line(&mut payload)
+                    .map_err(|e| TrafficError::Io(format!("read payload of {line:?}: {e}")))?;
+                out.push(payload.trim_end().to_string());
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// One connection's work: replay `ops` open-loop at `interval` per op.
+fn run_connection(
+    addr: &str,
+    ops: Vec<WireOp>,
+    interval: Duration,
+    barrier: &Barrier,
+    start: &OnceLock<Instant>,
+) -> Result<([VerbStats; 4], Duration), TrafficError> {
+    let stream =
+        TcpStream::connect(addr).map_err(|e| TrafficError::Io(format!("connect {addr}: {e}")))?;
+    stream
+        .set_nodelay(true)
+        .map_err(|e| TrafficError::Io(format!("nodelay: {e}")))?;
+    let mut reader = BufReader::new(
+        stream
+            .try_clone()
+            .map_err(|e| TrafficError::Io(e.to_string()))?,
+    );
+    let mut writer = stream;
+    let mut stats: [VerbStats; 4] = Default::default();
+    // All connections are established before anyone sends; the first
+    // thread through the barrier stamps the common schedule origin.
+    barrier.wait();
+    let start = *start.get_or_init(Instant::now);
+    let mut last_done = Duration::ZERO;
+    for (i, op) in ops.iter().enumerate() {
+        // Open loop: request i is *due* at start + i*interval. Sleep
+        // until the due time if early; if late (the server is slower
+        // than the offered rate), send immediately — the lateness then
+        // shows up in this and every queued request's latency, which is
+        // the coordinated-omission-resistant accounting.
+        let due = start + interval.mul_f64(i as f64);
+        let now = Instant::now();
+        if let Some(wait) = due.checked_duration_since(now) {
+            std::thread::sleep(wait);
+        }
+        let response = request(&mut reader, &mut writer, &op.line)?;
+        let done = Instant::now();
+        let s = &mut stats[verb_index(op.verb)];
+        s.latency
+            .record(duration_us(done.saturating_duration_since(due)));
+        s.sent += 1;
+        if response[0].starts_with("ERR") {
+            s.errors += 1;
+            if s.first_error.is_none() {
+                s.first_error = Some(format!("{} -> {}", op.line, response[0]));
+            }
+        }
+        last_done = done.saturating_duration_since(start);
+    }
+    let bye = request(&mut reader, &mut writer, "QUIT")?;
+    if bye[0] != "OK bye" {
+        return Err(TrafficError::Protocol(format!(
+            "QUIT answered {:?}",
+            bye[0]
+        )));
+    }
+    Ok((stats, last_done))
+}
+
+/// Drives the scenario's scripted traffic against a live server.
+pub fn drive(
+    addr: &str,
+    scenario: &Scenario,
+    config: &DriverConfig,
+) -> Result<DriveOutcome, TrafficError> {
+    assert!(config.rate > 0.0, "rate must be positive");
+    assert!(config.connections > 0, "need at least one connection");
+    let scripts = scripts(
+        scenario,
+        &ScriptConfig {
+            seed: config.seed,
+            connections: config.connections,
+            ops_per_connection: config.ops_per_connection,
+            mix: config.mix,
+        },
+    )?;
+    let interval = Duration::from_secs_f64(1.0 / config.rate);
+    let barrier = Arc::new(Barrier::new(config.connections));
+    let start: Arc<OnceLock<Instant>> = Arc::new(OnceLock::new());
+    let workers: Vec<_> = scripts
+        .into_iter()
+        .map(|ops| {
+            let addr = addr.to_string();
+            let barrier = Arc::clone(&barrier);
+            let start = Arc::clone(&start);
+            std::thread::spawn(move || run_connection(&addr, ops, interval, &barrier, &start))
+        })
+        .collect();
+    let mut verbs: [VerbStats; 4] = Default::default();
+    let mut wall = Duration::ZERO;
+    for worker in workers {
+        let (stats, last_done) = worker
+            .join()
+            .map_err(|_| TrafficError::Io("driver thread panicked".into()))??;
+        for (into, from) in verbs.iter_mut().zip(stats.iter()) {
+            into.absorb(from);
+        }
+        wall = wall.max(last_done);
+    }
+    let total: u64 = verbs.iter().map(|v| v.sent).sum();
+    let offered_rate = config.rate * config.connections as f64;
+    let achieved_rate = if wall.is_zero() {
+        0.0
+    } else {
+        total as f64 / wall.as_secs_f64()
+    };
+    Ok(DriveOutcome {
+        verbs,
+        wall,
+        offered_rate,
+        achieved_rate,
+    })
+}
+
+/// Server-side request accounting, reconstructed from one `METRICS`
+/// scrape (histogram counts merged across shards).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerCounts {
+    pub query: u64,
+    pub insert: u64,
+    pub delete: u64,
+    pub update: u64,
+    pub connections_total: u64,
+}
+
+impl ServerCounts {
+    fn of(verb: Verb, counts: &ServerCounts) -> u64 {
+        match verb {
+            Verb::Query => counts.query,
+            Verb::Insert => counts.insert,
+            Verb::Delete => counts.delete,
+            Verb::Update => counts.update,
+        }
+    }
+}
+
+/// Scrapes `METRICS` over a fresh connection and reconstructs the
+/// per-verb request counts the server believes it handled.
+pub fn scrape_counts(addr: &str) -> Result<ServerCounts, TrafficError> {
+    let stream =
+        TcpStream::connect(addr).map_err(|e| TrafficError::Io(format!("connect {addr}: {e}")))?;
+    stream
+        .set_nodelay(true)
+        .map_err(|e| TrafficError::Io(format!("nodelay: {e}")))?;
+    let mut reader = BufReader::new(
+        stream
+            .try_clone()
+            .map_err(|e| TrafficError::Io(e.to_string()))?,
+    );
+    let mut writer = stream;
+    let response = request(&mut reader, &mut writer, "METRICS")?;
+    if !response[0].starts_with("OK ") {
+        return Err(TrafficError::Protocol(format!(
+            "METRICS answered {:?}",
+            response[0]
+        )));
+    }
+    let scrape = parse_exposition(&response[1..])
+        .map_err(|e| TrafficError::Protocol(format!("METRICS exposition: {e}")))?;
+    let merged_count = |name: &str, required: &[(&str, &str)]| {
+        scrape
+            .merged(name, required)
+            .map(|h| h.count())
+            .map_err(|e| TrafficError::Protocol(format!("reconstructing {name}: {e}")))
+    };
+    Ok(ServerCounts {
+        query: merged_count("ltg_query_us", &[])?,
+        insert: merged_count("ltg_mutation_us", &[("kind", "insert")])?,
+        delete: merged_count("ltg_mutation_us", &[("kind", "delete")])?,
+        update: merged_count("ltg_mutation_us", &[("kind", "update")])?,
+        connections_total: scrape
+            .value("ltg_connections_total", &[])
+            .ok_or_else(|| TrafficError::Protocol("ltg_connections_total missing".into()))?,
+    })
+}
+
+/// Verifies that the server's accounting moved by exactly what the
+/// client sent: per-verb histogram-count deltas must equal the client's
+/// send counts, and the connection counter must have grown by at least
+/// the driver's connection count. Requires an error-free drive — an
+/// `ERR`'d mutation never reaches the latency histograms, so counts
+/// could not be expected to match.
+pub fn cross_check(
+    before: &ServerCounts,
+    after: &ServerCounts,
+    outcome: &DriveOutcome,
+    connections: usize,
+) -> Result<(), TrafficError> {
+    if outcome.total_errors() > 0 {
+        let first = outcome
+            .verbs
+            .iter()
+            .find_map(|v| v.first_error.clone())
+            .unwrap_or_default();
+        return Err(TrafficError::CrossCheck(format!(
+            "{} protocol errors (first: {first})",
+            outcome.total_errors()
+        )));
+    }
+    for verb in Verb::all() {
+        let server = ServerCounts::of(verb, after)
+            .checked_sub(ServerCounts::of(verb, before))
+            .ok_or_else(|| {
+                TrafficError::CrossCheck(format!("{} count went backwards", verb.name()))
+            })?;
+        let client = outcome.verb(verb).sent;
+        if server != client {
+            return Err(TrafficError::CrossCheck(format!(
+                "{}: client sent {client}, server recorded {server}",
+                verb.name()
+            )));
+        }
+    }
+    let conns = after
+        .connections_total
+        .checked_sub(before.connections_total)
+        .ok_or_else(|| TrafficError::CrossCheck("connection counter went backwards".into()))?;
+    if conns < connections as u64 {
+        return Err(TrafficError::CrossCheck(format!(
+            "expected >= {connections} new connections, server saw {conns}"
+        )));
+    }
+    Ok(())
+}

@@ -1,0 +1,34 @@
+//! `ltg-traffic` — the traffic observatory's client side.
+//!
+//! An **open-loop** workload driver: seeded, reproducible mixed traffic
+//! (`QUERY`/`INSERT`/`DELETE`/`UPDATE`, configurable mix and arrival
+//! rate, N concurrent TCP connections) generated from the five
+//! benchmark worlds and replayed against a live `ltgs serve` instance.
+//!
+//! Open-loop means requests are *scheduled*: request `i` of a
+//! connection is due at `start + i/rate`, and its latency is measured
+//! from that due time — not from when the client got around to sending
+//! it. A server that stalls therefore pays for every request queued
+//! behind the stall (the coordinated-omission correction of
+//! wrk2/HdrHistogram lineage), instead of the closed-loop fiction where
+//! a stalled client stops charging the server.
+//!
+//! The driver ends with a *cross-check*: the client-side histograms
+//! must agree with the server's own `METRICS` exposition (scraped and
+//! reconstructed via [`ltg_obs::scrape`]) on how many requests of each
+//! verb were handled. A disagreement means dropped or double-counted
+//! requests on one side — exactly the kind of defect a latency report
+//! silently absorbs.
+//!
+//! * [`worlds`] — the five traffic-scale world configurations;
+//! * [`driver`] — connections, scheduling, measurement, cross-check;
+//! * [`report`] — the SLO report (`BENCH_traffic.json`) and budgets.
+
+pub mod driver;
+pub mod report;
+pub mod worlds;
+
+pub use driver::{
+    drive, scrape_counts, DriveOutcome, DriverConfig, ServerCounts, TrafficError, VerbStats,
+};
+pub use report::{parse_budgets, TrafficReport, VerbReport, WorldRun};

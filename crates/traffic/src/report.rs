@@ -1,0 +1,363 @@
+//! The SLO report (`BENCH_traffic.json`) and its CI budget gate.
+//!
+//! The report is plain JSON written by hand (the workspace carries no
+//! serialization dependency); budgets are a *flat* JSON object mapping
+//! `"<world>.<verb>.p99_us"` keys to microsecond ceilings, which a
+//! 40-line scanner parses without needing a general JSON reader.
+//! Budgets are absolute and deliberately generous: the gate exists to
+//! catch order-of-magnitude latency regressions and any protocol
+//! errors, not to flake on a noisy CI machine.
+
+use crate::driver::{DriveOutcome, DriverConfig};
+use ltg_benchdata::wire::Verb;
+
+/// Per-verb latency summary, microseconds, measured from the scheduled
+/// send time.
+#[derive(Debug, Clone)]
+pub struct VerbReport {
+    pub verb: &'static str,
+    pub sent: u64,
+    pub errors: u64,
+    pub p50_us: u64,
+    pub p95_us: u64,
+    pub p99_us: u64,
+    pub p999_us: u64,
+    pub max_us: u64,
+}
+
+/// One (world, shard count) drive.
+#[derive(Debug, Clone)]
+pub struct WorldRun {
+    pub world: String,
+    pub shards: usize,
+    pub connections: usize,
+    pub ops_per_connection: usize,
+    /// Requests/second the schedule offered (all connections).
+    pub offered_rate: f64,
+    /// Requests/second actually completed.
+    pub achieved_rate: f64,
+    pub wall_ms: u64,
+    pub verbs: Vec<VerbReport>,
+}
+
+impl WorldRun {
+    /// Summarizes a drive outcome into a report row.
+    pub fn from_outcome(
+        world: &str,
+        shards: usize,
+        config: &DriverConfig,
+        outcome: &DriveOutcome,
+    ) -> WorldRun {
+        let verbs = Verb::all()
+            .iter()
+            .map(|&v| {
+                let s = outcome.verb(v);
+                VerbReport {
+                    verb: v.name(),
+                    sent: s.sent,
+                    errors: s.errors,
+                    p50_us: s.latency.p50(),
+                    p95_us: s.latency.p95(),
+                    p99_us: s.latency.p99(),
+                    p999_us: s.latency.p999(),
+                    max_us: s.latency.max(),
+                }
+            })
+            .collect();
+        WorldRun {
+            world: world.to_string(),
+            shards,
+            connections: config.connections,
+            ops_per_connection: config.ops_per_connection,
+            offered_rate: outcome.offered_rate,
+            achieved_rate: outcome.achieved_rate,
+            wall_ms: outcome.wall.as_millis() as u64,
+            verbs,
+        }
+    }
+}
+
+/// The full harness output: every (world, shards) run of one invocation.
+#[derive(Debug, Clone, Default)]
+pub struct TrafficReport {
+    pub seed: u64,
+    pub runs: Vec<WorldRun>,
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl TrafficReport {
+    /// Renders the report as pretty-printed JSON (stable key order).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"seed\": {},\n", self.seed));
+        out.push_str("  \"runs\": [\n");
+        for (i, run) in self.runs.iter().enumerate() {
+            out.push_str("    {\n");
+            out.push_str(&format!(
+                "      \"world\": \"{}\",\n",
+                json_escape(&run.world)
+            ));
+            out.push_str(&format!("      \"shards\": {},\n", run.shards));
+            out.push_str(&format!("      \"connections\": {},\n", run.connections));
+            out.push_str(&format!(
+                "      \"ops_per_connection\": {},\n",
+                run.ops_per_connection
+            ));
+            out.push_str(&format!(
+                "      \"offered_rate\": {:.1},\n",
+                run.offered_rate
+            ));
+            out.push_str(&format!(
+                "      \"achieved_rate\": {:.1},\n",
+                run.achieved_rate
+            ));
+            out.push_str(&format!("      \"wall_ms\": {},\n", run.wall_ms));
+            out.push_str("      \"verbs\": [\n");
+            for (j, v) in run.verbs.iter().enumerate() {
+                out.push_str(&format!(
+                    "        {{\"verb\": \"{}\", \"sent\": {}, \"errors\": {}, \
+                     \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}, \
+                     \"p999_us\": {}, \"max_us\": {}}}{}\n",
+                    v.verb,
+                    v.sent,
+                    v.errors,
+                    v.p50_us,
+                    v.p95_us,
+                    v.p99_us,
+                    v.p999_us,
+                    v.max_us,
+                    if j + 1 < run.verbs.len() { "," } else { "" }
+                ));
+            }
+            out.push_str("      ]\n");
+            out.push_str(&format!(
+                "    }}{}\n",
+                if i + 1 < self.runs.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Checks the report against budgets (see [`parse_budgets`]).
+    /// Returns every violation: protocol errors, non-monotone quantiles
+    /// (impossible from a real histogram — catches report corruption),
+    /// and budget keys whose p99 ceiling is exceeded at *any* shard
+    /// count. A budget key that matches no run is also a violation: a
+    /// gate that silently stops gating is the worst kind of green.
+    pub fn violations(&self, budgets: &[(String, u64)]) -> Vec<String> {
+        let mut out = Vec::new();
+        for run in &self.runs {
+            for v in &run.verbs {
+                if v.errors > 0 {
+                    out.push(format!(
+                        "{}@{}sh {}: {} protocol errors",
+                        run.world, run.shards, v.verb, v.errors
+                    ));
+                }
+                if !(v.p50_us <= v.p95_us
+                    && v.p95_us <= v.p99_us
+                    && v.p99_us <= v.p999_us
+                    && v.p999_us <= v.max_us)
+                {
+                    out.push(format!(
+                        "{}@{}sh {}: non-monotone quantiles {}/{}/{}/{}/{}",
+                        run.world,
+                        run.shards,
+                        v.verb,
+                        v.p50_us,
+                        v.p95_us,
+                        v.p99_us,
+                        v.p999_us,
+                        v.max_us
+                    ));
+                }
+            }
+        }
+        for (key, budget) in budgets {
+            let mut matched = false;
+            for run in &self.runs {
+                for v in &run.verbs {
+                    if *key != format!("{}.{}.p99_us", run.world, v.verb) {
+                        continue;
+                    }
+                    matched = true;
+                    if v.sent > 0 && v.p99_us > *budget {
+                        out.push(format!(
+                            "{}@{}sh {}: p99 {}us over budget {}us",
+                            run.world, run.shards, v.verb, v.p99_us, budget
+                        ));
+                    }
+                }
+            }
+            if !matched {
+                out.push(format!("budget key {key:?} matched no run"));
+            }
+        }
+        out
+    }
+}
+
+/// Parses a budgets file: one flat JSON object of `"key": integer`
+/// pairs (`{"lubm.query.p99_us": 250000, ...}`). Strict — anything the
+/// scanner does not recognize is an error naming the offending text.
+pub fn parse_budgets(text: &str) -> Result<Vec<(String, u64)>, String> {
+    let mut rest = text.trim();
+    rest = rest
+        .strip_prefix('{')
+        .ok_or("budgets must be a JSON object")?
+        .trim_end();
+    rest = rest.strip_suffix('}').ok_or("unterminated object")?.trim();
+    let mut out = Vec::new();
+    while !rest.is_empty() {
+        rest = rest
+            .strip_prefix('"')
+            .ok_or_else(|| format!("expected a quoted key at {:?}", head(rest)))?;
+        let close = rest
+            .find('"')
+            .ok_or_else(|| format!("unterminated key at {:?}", head(rest)))?;
+        let key = rest[..close].to_string();
+        rest = rest[close + 1..].trim_start();
+        rest = rest
+            .strip_prefix(':')
+            .ok_or_else(|| format!("expected ':' after {key:?}"))?
+            .trim_start();
+        let end = rest
+            .find(|c: char| !c.is_ascii_digit())
+            .unwrap_or(rest.len());
+        let value: u64 = rest[..end]
+            .parse()
+            .map_err(|_| format!("expected an integer value for {key:?}"))?;
+        rest = rest[end..].trim_start();
+        if let Some(after) = rest.strip_prefix(',') {
+            rest = after.trim_start();
+            if rest.is_empty() {
+                return Err("trailing comma".into());
+            }
+        } else if !rest.is_empty() {
+            return Err(format!(
+                "expected ',' or end after {key:?}, got {:?}",
+                head(rest)
+            ));
+        }
+        out.push((key, value));
+    }
+    Ok(out)
+}
+
+fn head(s: &str) -> &str {
+    &s[..s.len().min(20)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TrafficReport {
+        TrafficReport {
+            seed: 7,
+            runs: vec![WorldRun {
+                world: "lubm".into(),
+                shards: 2,
+                connections: 4,
+                ops_per_connection: 100,
+                offered_rate: 800.0,
+                achieved_rate: 791.3,
+                wall_ms: 505,
+                verbs: vec![
+                    VerbReport {
+                        verb: "query",
+                        sent: 320,
+                        errors: 0,
+                        p50_us: 120,
+                        p95_us: 400,
+                        p99_us: 900,
+                        p999_us: 1500,
+                        max_us: 1600,
+                    },
+                    VerbReport {
+                        verb: "insert",
+                        sent: 0,
+                        errors: 0,
+                        p50_us: 0,
+                        p95_us: 0,
+                        p99_us: 0,
+                        p999_us: 0,
+                        max_us: 0,
+                    },
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn json_is_stable_and_contains_the_slo_fields() {
+        let json = sample().to_json();
+        for needle in [
+            "\"world\": \"lubm\"",
+            "\"shards\": 2",
+            "\"offered_rate\": 800.0",
+            "\"achieved_rate\": 791.3",
+            "\"p999_us\": 1500",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+    }
+
+    #[test]
+    fn budgets_parse_and_gate() {
+        let budgets =
+            parse_budgets("{\n  \"lubm.query.p99_us\": 1000,\n  \"lubm.insert.p99_us\": 5\n}")
+                .unwrap();
+        assert_eq!(budgets.len(), 2);
+        // Under budget, zero errors, empty insert ignored: clean.
+        assert!(sample().violations(&budgets).is_empty());
+        // Tighten the query budget below the measured p99: violation.
+        let tight = vec![("lubm.query.p99_us".to_string(), 100u64)];
+        let v = sample().violations(&tight);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("over budget"), "{v:?}");
+        // A key that matches nothing must fail loudly.
+        let stray = vec![("nope.query.p99_us".to_string(), 1u64)];
+        assert!(sample().violations(&stray)[0].contains("matched no run"));
+    }
+
+    #[test]
+    fn budget_parser_rejects_malformed_input() {
+        for bad in [
+            "[]",
+            "{\"a\": }",
+            "{\"a\": 1,}",
+            "{\"a\" 1}",
+            "{a: 1}",
+            "{\"a\": 1 \"b\": 2}",
+            "{\"a\": -1}",
+        ] {
+            assert!(parse_budgets(bad).is_err(), "accepted {bad:?}");
+        }
+        assert_eq!(parse_budgets("{}").unwrap(), vec![]);
+    }
+
+    #[test]
+    fn error_and_monotonicity_violations_are_reported() {
+        let mut r = sample();
+        r.runs[0].verbs[0].errors = 3;
+        r.runs[0].verbs[0].p95_us = 5_000_000;
+        let v = r.violations(&[]);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v[0].contains("protocol errors"));
+        assert!(v[1].contains("non-monotone"));
+    }
+}

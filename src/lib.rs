@@ -53,9 +53,12 @@ pub use ltg_benchdata as benchdata;
 pub use ltg_core as core;
 pub use ltg_datalog as datalog;
 pub use ltg_lineage as lineage;
+pub use ltg_obs as obs;
 pub use ltg_persist as persist;
 pub use ltg_server as server;
+pub use ltg_shard as shard;
 pub use ltg_storage as storage;
+pub use ltg_traffic as traffic;
 pub use ltg_wmc as wmc;
 
 /// The most common imports in one place.

@@ -393,8 +393,239 @@ fn run_serve(args: &[String]) -> Result<(), String> {
     server.run().map_err(|e| e.to_string())
 }
 
+/// `ltgs traffic [--worlds A,B|--all] [--shards 1,2,4] [--addr H:P]
+/// [--connections N] [--ops N] [--rate R] [--seed S] [--mix q,i,d,u]
+/// [--out FILE] [--budgets FILE] [--emit-program WORLD FILE]`
+///
+/// The traffic observatory: open-loop mixed workloads from the
+/// benchmark worlds against a live server (in-process boot per shard
+/// count by default, or an external `--addr`), ending in an SLO report
+/// and an optional budget gate. See `docs/observability.md`.
+fn run_traffic(args: &[String]) -> Result<(), String> {
+    let mut worlds: Vec<String> = Vec::new();
+    let mut shard_list: Vec<usize> = vec![1];
+    let mut addr: Option<String> = None;
+    let mut driver = ltgs::traffic::DriverConfig::default();
+    let mut out: Option<String> = None;
+    let mut budgets_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--worlds" => {
+                worlds = it
+                    .next()
+                    .ok_or("--worlds needs a comma-separated list")?
+                    .split(',')
+                    .map(str::to_string)
+                    .collect()
+            }
+            "--all" => {
+                worlds = ltgs::traffic::worlds::WORLD_NAMES
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect()
+            }
+            "--shards" => {
+                shard_list = it
+                    .next()
+                    .ok_or("--shards needs a comma-separated list")?
+                    .split(',')
+                    .map(|s| {
+                        s.parse::<usize>()
+                            .map_err(|_| format!("bad shard count {s:?}"))
+                    })
+                    .collect::<Result<_, _>>()?;
+                if shard_list.contains(&0) {
+                    return Err("shard counts must be at least 1".into());
+                }
+            }
+            "--addr" => addr = Some(it.next().ok_or("--addr needs host:port")?.clone()),
+            "--connections" => {
+                driver.connections = it
+                    .next()
+                    .ok_or("--connections needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --connections")?;
+                if driver.connections == 0 {
+                    return Err("--connections must be at least 1".into());
+                }
+            }
+            "--ops" => {
+                driver.ops_per_connection = it
+                    .next()
+                    .ok_or("--ops needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --ops")?
+            }
+            "--rate" => {
+                driver.rate = it
+                    .next()
+                    .ok_or("--rate needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --rate")?;
+                // NaN must be rejected too, hence not `rate <= 0.0`.
+                if driver.rate.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+                    return Err("--rate must be positive".into());
+                }
+            }
+            "--seed" => {
+                driver.seed = it
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --seed")?
+            }
+            "--mix" => {
+                let parts: Vec<u32> = it
+                    .next()
+                    .ok_or("--mix needs query,insert,delete,update weights")?
+                    .split(',')
+                    .map(|s| s.parse().map_err(|_| format!("bad mix weight {s:?}")))
+                    .collect::<Result<_, _>>()?;
+                if parts.len() != 4 || parts.iter().sum::<u32>() == 0 {
+                    return Err("--mix needs four weights, not all zero".into());
+                }
+                driver.mix = ltgs::benchdata::wire::TrafficMix {
+                    query: parts[0],
+                    insert: parts[1],
+                    delete: parts[2],
+                    update: parts[3],
+                };
+            }
+            "--out" => out = Some(it.next().ok_or("--out needs a file")?.clone()),
+            "--budgets" => budgets_path = Some(it.next().ok_or("--budgets needs a file")?.clone()),
+            "--emit-program" => {
+                // Writes a world's program as text for an external
+                // `ltgs serve`, then exits: `--emit-program WORLD FILE`.
+                let world = it.next().ok_or("--emit-program needs WORLD FILE")?;
+                let file = it.next().ok_or("--emit-program needs WORLD FILE")?;
+                let scenario = ltgs::traffic::worlds::build(world)
+                    .ok_or_else(|| format!("unknown world {world:?}"))?;
+                let text = ltgs::benchdata::wire::render_program(&scenario.program)
+                    .map_err(|e| format!("{world}: {e}"))?;
+                std::fs::write(file, text).map_err(|e| format!("write {file}: {e}"))?;
+                eprintln!("traffic: wrote {world} program to {file}");
+                return Ok(());
+            }
+            other => return Err(format!("unknown traffic option '{other}'")),
+        }
+    }
+    if worlds.is_empty() {
+        worlds = ltgs::traffic::worlds::WORLD_NAMES
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+    }
+    if addr.is_some() && (worlds.len() != 1 || shard_list.len() != 1) {
+        return Err("--addr drives one world at one (label) shard count".into());
+    }
+
+    let mut report = ltgs::traffic::TrafficReport {
+        seed: driver.seed,
+        ..Default::default()
+    };
+    for world in &worlds {
+        let scenario = ltgs::traffic::worlds::build(world).ok_or_else(|| {
+            format!(
+                "unknown world {world:?} (have: {:?})",
+                ltgs::traffic::worlds::WORLD_NAMES
+            )
+        })?;
+        for &shards in &shard_list {
+            let target = match &addr {
+                Some(a) => a.clone(),
+                None => {
+                    // In-process boot: bind an ephemeral port, reason the
+                    // shard pool to fixpoint, serve from a background
+                    // thread. The thread (blocked in accept) dies with
+                    // the process — each run leaks one listener, bounded
+                    // by worlds × shard counts.
+                    let mut config = EngineConfig::with_collapse();
+                    config.max_depth = scenario.max_depth;
+                    let opts = ltgs::server::SessionOptions {
+                        config,
+                        ..Default::default()
+                    };
+                    let listener = std::net::TcpListener::bind(("127.0.0.1", 0))
+                        .map_err(|e| format!("bind: {e}"))?;
+                    let service = ltg_shard::ShardedService::boot(
+                        &scenario.program,
+                        ltg_shard::ShardedOptions {
+                            shards,
+                            session: opts,
+                        },
+                    )
+                    .map_err(|e| format!("{world}: boot: {e}"))?;
+                    let server =
+                        ltgs::server::Server::from_listener(listener, std::sync::Arc::new(service));
+                    let bound = server.local_addr().map_err(|e| e.to_string())?;
+                    std::thread::spawn(move || server.run());
+                    bound.to_string()
+                }
+            };
+            let before = ltgs::traffic::scrape_counts(&target).map_err(|e| e.to_string())?;
+            let outcome =
+                ltgs::traffic::drive(&target, &scenario, &driver).map_err(|e| e.to_string())?;
+            let after = ltgs::traffic::scrape_counts(&target).map_err(|e| e.to_string())?;
+            ltgs::traffic::driver::cross_check(&before, &after, &outcome, driver.connections)
+                .map_err(|e| format!("{world} @ {shards} shards: {e}"))?;
+            let run = ltgs::traffic::WorldRun::from_outcome(world, shards, &driver, &outcome);
+            let q = outcome.verb(ltgs::benchdata::wire::Verb::Query);
+            eprintln!(
+                "traffic: {world} shards={shards} offered={:.0}/s achieved={:.0}/s \
+                 query p50={}us p99={}us p99.9={}us ({} ops, {} errors)",
+                run.offered_rate,
+                run.achieved_rate,
+                q.latency.p50(),
+                q.latency.p99(),
+                q.latency.p999(),
+                outcome.total_sent(),
+                outcome.total_errors(),
+            );
+            report.runs.push(run);
+        }
+    }
+
+    let json = report.to_json();
+    match &out {
+        Some(path) => {
+            std::fs::write(path, &json).map_err(|e| format!("write {path}: {e}"))?;
+            eprintln!("traffic: wrote {path}");
+        }
+        None => print!("{json}"),
+    }
+    if let Some(path) = budgets_path {
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let budgets = ltgs::traffic::parse_budgets(&text).map_err(|e| format!("{path}: {e}"))?;
+        let violations = report.violations(&budgets);
+        for v in &violations {
+            eprintln!("traffic: SLO VIOLATION: {v}");
+        }
+        if !violations.is_empty() {
+            return Err(format!("{} SLO violation(s)", violations.len()));
+        }
+        eprintln!("traffic: all {} budget(s) met", budgets.len());
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("traffic") {
+        return match run_traffic(&argv[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                eprintln!(
+                    "usage: ltgs traffic [--worlds A,B | --all] [--shards 1,2,4] \
+                     [--addr HOST:PORT] [--connections N] [--ops N] [--rate R] [--seed S] \
+                     [--mix q,i,d,u] [--out FILE] [--budgets FILE] [--emit-program WORLD FILE]"
+                );
+                ExitCode::FAILURE
+            }
+        };
+    }
     if argv.first().map(String::as_str) == Some("serve") {
         return match run_serve(&argv[1..]) {
             Ok(()) => ExitCode::SUCCESS,

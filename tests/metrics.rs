@@ -31,12 +31,16 @@ fn metrics_exposition_is_golden() {
     assert!(respond(&mut s, "INSERT 0.9 :: e(a, d).").starts_with("OK inserted"));
 
     let lines = s.metrics_lines(0);
-    // The full golden series list: every histogram emits its three
+    // The full golden series list: every histogram emits its four
     // quantiles then _count/_sum/_max, and the scheme is identical
-    // whether or not the session is durable or saw traffic.
+    // whether or not the session is durable or saw traffic. The
+    // cumulative `_bucket{le="..."}` lines are traffic-dependent (one
+    // per non-empty bucket, and which bucket a sample lands in depends
+    // on machine latency), so they are checked separately below via the
+    // scrape round-trip, not pinned here.
     let mut expect = Vec::new();
     let histo = |expect: &mut Vec<String>, name: &str, labels: &str| {
-        for q in ["0.5", "0.95", "0.99"] {
+        for q in ["0.5", "0.95", "0.99", "0.999"] {
             expect.push(format!("{name}{{{labels},quantile=\"{q}\"}}"));
         }
         for suffix in ["count", "sum", "max"] {
@@ -73,8 +77,26 @@ fn metrics_exposition_is_golden() {
     expect.push("ltg_leafset_dedup_hits{shard=\"0\"}".into());
     expect.push("ltg_bundle_rebuilds{shard=\"0\"}".into());
 
-    let got: Vec<&str> = lines.iter().map(|l| series_of(l)).collect();
+    let got: Vec<&str> = lines
+        .iter()
+        .map(|l| series_of(l))
+        .filter(|s| !s.contains("_bucket{"))
+        .collect();
     assert_eq!(got, expect, "exposition series drifted");
+
+    // The bucket lines carry the full distributions: the scrape parser
+    // must accept the whole exposition and reconstruct every recorded
+    // histogram consistently (counts match, quantiles agree).
+    let scrape = ltgs::obs::scrape::parse_exposition(&lines).expect("well-formed exposition");
+    let hit = scrape
+        .histogram("ltg_query_us", &[("shard", "0"), ("cache", "hit")])
+        .expect("query-hit histogram reconstructs");
+    assert_eq!(hit.count(), 1);
+    let both = scrape
+        .merged("ltg_query_us", &[("shard", "0")])
+        .expect("hit+miss merge");
+    assert_eq!(both.count(), 2);
+    assert_eq!(both.p999(), both.max());
 
     // The traffic above landed where it should.
     let value = |series: &str| -> u64 {
@@ -111,10 +133,12 @@ fn stats_report_latency_quantiles() {
         "query_p50_us",
         "query_p95_us",
         "query_p99_us",
+        "query_p999_us",
         "query_max_us",
         "mutation_p50_us",
         "mutation_p95_us",
         "mutation_p99_us",
+        "mutation_p999_us",
         "mutation_max_us",
     ] {
         assert!(
@@ -196,6 +220,10 @@ fn metrics_verb_over_tcp_at_one_and_two_shards() {
             .iter()
             .map(|l| {
                 let series = series_of(l);
+                // Normalize the traffic-dependent label values away:
+                // `le="…"` bucket boundaries depend on observed latency
+                // and `shard="K"` on the pool size.
+                let series = series.split("le=\"").next().unwrap_or(series);
                 series
                     .split("shard=\"")
                     .next()
@@ -210,5 +238,86 @@ fn metrics_verb_over_tcp_at_one_and_two_shards() {
     assert_eq!(
         schemes[0], schemes[1],
         "label scheme differs between shard counts"
+    );
+}
+
+/// Satellite of the traffic observatory: M clients hammer `QUERY`
+/// while another connection scrapes `METRICS` — every scrape must stay
+/// strictly well-formed (the scrape parser rejects any malformed line),
+/// the query counters must be monotone across scrapes, and the
+/// front-end's connection gauge must account for all open connections.
+#[test]
+fn concurrent_queries_keep_metrics_well_formed_and_monotone() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    const CLIENTS: usize = 4;
+    const QUERIES_PER_CLIENT: usize = 100;
+
+    let path = write_program("metrics_concurrent.pl", PROGRAM);
+    let serve = spawn_serve_with(env!("CARGO_BIN_EXE_ltgs"), &path, &["--shards", "2"]);
+
+    let done = Arc::new(AtomicBool::new(false));
+    let addr = serve.addr.clone();
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let (mut reader, mut writer) = connect(&addr);
+                for _ in 0..QUERIES_PER_CLIENT {
+                    let resp = request(&mut reader, &mut writer, "QUERY p(a, b).");
+                    assert!(resp[0].starts_with("OK "), "{resp:?}");
+                }
+                request(&mut reader, &mut writer, "QUIT");
+            })
+        })
+        .collect();
+
+    // Scrape concurrently until the workers finish, then once more for
+    // the settled totals.
+    let (mut reader, mut writer) = connect(&serve.addr);
+    let mut last_count = 0u64;
+    let mut scrapes = 0usize;
+    loop {
+        let finished = done.load(Ordering::Relaxed);
+        let resp = request(&mut reader, &mut writer, "METRICS");
+        assert!(resp[0].starts_with("OK "), "{:?}", resp[0]);
+        let scrape = ltgs::obs::scrape::parse_exposition(&resp[1..])
+            .expect("exposition stays well-formed under concurrent load");
+        let queries = scrape
+            .merged("ltg_query_us", &[])
+            .expect("query histogram present");
+        assert!(
+            queries.count() >= last_count,
+            "query counter went backwards: {} -> {}",
+            last_count,
+            queries.count()
+        );
+        last_count = queries.count();
+        // The scraper itself plus any still-open worker connections.
+        let active = scrape
+            .value("ltg_connections_active", &[])
+            .expect("connection gauge exposed");
+        assert!(active >= 1, "scraper connection not counted");
+        let total = scrape
+            .value("ltg_connections_total", &[])
+            .expect("connection counter exposed");
+        assert!(total >= active, "total below active");
+        scrapes += 1;
+        if finished {
+            break;
+        }
+        if workers.iter().all(|w| w.is_finished()) {
+            done.store(true, Ordering::Relaxed);
+        }
+    }
+    for w in workers {
+        w.join().unwrap();
+    }
+    assert!(scrapes >= 2, "expected at least two scrapes");
+    assert_eq!(
+        last_count,
+        (CLIENTS * QUERIES_PER_CLIENT) as u64,
+        "every query accounted for in the final scrape"
     );
 }

@@ -1,0 +1,231 @@
+//! End-to-end tests of the traffic observatory: the `ltgs traffic`
+//! subcommand, the open-loop driver against an externally spawned
+//! `ltgs serve`, and the `conn=`/`seq=` slow-log correlation ids the
+//! harness relies on to match server-side outliers to client samples.
+
+use ltg_testkit::{connect, request, spawn_serve_with, write_program};
+use std::io::{BufRead, BufReader, Read};
+use std::process::{Command, Stdio};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_ltgs")
+}
+
+fn temp_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("ltgs-traffic-{name}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The CLI smoke path CI runs: a short seeded drive at two shard
+/// counts producing a well-formed SLO report, gated by budgets — once
+/// generous (passes) and once impossible (fails with a violation).
+#[test]
+fn cli_report_and_budget_gate() {
+    let dir = temp_dir("cli");
+    let report = dir.join("report.json");
+    let budgets = dir.join("budgets.json");
+    std::fs::write(
+        &budgets,
+        "{\"lubm.query.p99_us\": 60000000, \"lubm.insert.p99_us\": 60000000}",
+    )
+    .unwrap();
+    let out = Command::new(bin())
+        .args([
+            "traffic",
+            "--worlds",
+            "lubm",
+            "--shards",
+            "1,2",
+            "--connections",
+            "2",
+            "--ops",
+            "30",
+            "--rate",
+            "300",
+            "--seed",
+            "5",
+            "--out",
+            report.to_str().unwrap(),
+            "--budgets",
+            budgets.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "traffic failed:\n{stderr}");
+    assert!(stderr.contains("all 2 budget(s) met"), "{stderr}");
+
+    let json = std::fs::read_to_string(&report).unwrap();
+    for needle in [
+        "\"world\": \"lubm\"",
+        "\"shards\": 1",
+        "\"shards\": 2",
+        "\"offered_rate\": 600.0",
+        "\"achieved_rate\"",
+        "\"verb\": \"query\"",
+        "\"verb\": \"insert\"",
+        "\"verb\": \"delete\"",
+        "\"verb\": \"update\"",
+        "\"p50_us\"",
+        "\"p95_us\"",
+        "\"p99_us\"",
+        "\"p999_us\"",
+    ] {
+        assert!(json.contains(needle), "report missing {needle}:\n{json}");
+    }
+    // Zero protocol errors, and every verb of the mix was exercised.
+    assert!(!json.contains("\"errors\": 1"), "{json}");
+    assert!(
+        !json.contains("\"sent\": 0"),
+        "some verb never fired:\n{json}"
+    );
+
+    // The same run under an impossible budget must fail the gate.
+    std::fs::write(&budgets, "{\"lubm.query.p99_us\": 1}").unwrap();
+    let out = Command::new(bin())
+        .args([
+            "traffic",
+            "--worlds",
+            "lubm",
+            "--shards",
+            "1",
+            "--connections",
+            "2",
+            "--ops",
+            "10",
+            "--rate",
+            "300",
+            "--out",
+            report.to_str().unwrap(),
+            "--budgets",
+            budgets.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!out.status.success(), "impossible budget passed:\n{stderr}");
+    assert!(stderr.contains("SLO VIOLATION"), "{stderr}");
+}
+
+/// The external-server path: `--emit-program` writes a world as `.pl`
+/// text, a real `ltgs serve --shards 2` process loads it, and the
+/// library driver replays scripted traffic open-loop over TCP. The
+/// client-side histograms must agree with the scraped METRICS deltas
+/// (the tentpole's cross-check) and the quantile chain must be
+/// monotone.
+#[test]
+fn external_server_cross_check() {
+    let dir = temp_dir("external");
+    let program = dir.join("lubm.pl");
+    let out = Command::new(bin())
+        .args([
+            "traffic",
+            "--emit-program",
+            "lubm",
+            program.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let server = spawn_serve_with(bin(), &program, &["--shards", "2"]);
+    let scenario = ltgs::traffic::worlds::build("lubm").unwrap();
+    let config = ltgs::traffic::DriverConfig {
+        connections: 3,
+        ops_per_connection: 40,
+        rate: 300.0,
+        seed: 11,
+        ..Default::default()
+    };
+    let before = ltgs::traffic::scrape_counts(&server.addr).unwrap();
+    let outcome = ltgs::traffic::drive(&server.addr, &scenario, &config).unwrap();
+    let after = ltgs::traffic::scrape_counts(&server.addr).unwrap();
+    ltgs::traffic::driver::cross_check(&before, &after, &outcome, config.connections).unwrap();
+
+    assert_eq!(outcome.total_sent(), 120);
+    assert_eq!(outcome.total_errors(), 0);
+    for v in &outcome.verbs {
+        let h = &v.latency;
+        assert_eq!(h.count(), v.sent);
+        assert!(h.p50() <= h.p95() && h.p95() <= h.p99(), "{h:?}");
+        assert!(h.p99() <= h.p999() && h.p999() <= h.max(), "{h:?}");
+    }
+    // Open-loop accounting: offered is the schedule, achieved is what
+    // the wall clock saw; both are positive and finite.
+    assert_eq!(outcome.offered_rate, 900.0);
+    assert!(outcome.achieved_rate > 0.0);
+}
+
+/// kgmine's mined-rule weight predicates (`@mconf…`) are not
+/// expressible in the program grammar: `--emit-program` must refuse
+/// loudly instead of writing a program that silently drops rules.
+#[test]
+fn emit_program_refuses_unrenderable_world() {
+    let dir = temp_dir("emit");
+    let path = dir.join("kgmine.pl");
+    let out = Command::new(bin())
+        .args([
+            "traffic",
+            "--emit-program",
+            "kgmine",
+            path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cannot be written"), "{stderr}");
+    assert!(!path.exists(), "refused emission must not leave a file");
+}
+
+/// `--slow-ms 0` logs every request; each record must carry the
+/// `conn=<id> seq=<n>` correlation ids so a server-side outlier can be
+/// matched to the exact client connection and request that saw it.
+#[test]
+fn slow_log_carries_conn_and_seq_ids() {
+    let program = write_program(
+        "traffic-slowlog.pl",
+        "0.5 :: e(a, b). 0.6 :: e(b, c).\n p(X, Y) :- e(X, Y).\n query p(a, b).",
+    );
+    let mut child = Command::new(bin())
+        .args(["serve", "--port", "0", "--slow-ms", "0"])
+        .arg(program.to_str().unwrap())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    let mut ready = String::new();
+    BufReader::new(child.stdout.take().unwrap())
+        .read_line(&mut ready)
+        .unwrap();
+    let addr = ready.trim().rsplit_once(" on ").unwrap().1.to_string();
+
+    let (mut reader, mut writer) = connect(&addr);
+    let first = request(&mut reader, &mut writer, "QUERY p(a, b).");
+    assert!(first[0].starts_with("OK "), "{first:?}");
+    let second = request(&mut reader, &mut writer, "QUERY p(a, b).");
+    assert!(second[0].starts_with("OK "), "{second:?}");
+    request(&mut reader, &mut writer, "QUIT");
+    drop(reader);
+    drop(writer);
+
+    let mut stderr_pipe = child.stderr.take().unwrap();
+    child.kill().unwrap();
+    child.wait().unwrap();
+    let mut stderr = String::new();
+    stderr_pipe.read_to_string(&mut stderr).unwrap();
+    let slow: Vec<&str> = stderr
+        .lines()
+        .filter(|l| l.contains("slow_request") && l.contains("verb=query"))
+        .collect();
+    assert!(slow.len() >= 2, "expected 2 slow query records:\n{stderr}");
+    // Same connection (the accept path hands out 1-based ids), ordered
+    // per-request sequence numbers, and the latency field after them.
+    assert!(slow[0].contains(" conn=1 seq=1 us="), "{}", slow[0]);
+    assert!(slow[1].contains(" conn=1 seq=2 us="), "{}", slow[1]);
+}
