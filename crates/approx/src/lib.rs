@@ -1,0 +1,356 @@
+//! `ltg-approx` — the approximate query tier behind `EPSILON` and
+//! `DEADLINE`.
+//!
+//! The paper's Section 6.3 leaves post-collection approximation as the
+//! integration point for anytime techniques; `ltg-wmc` ships the
+//! machinery (budgeted exact solving, anytime prefix bounds,
+//! dissociation bounds, Karp–Luby sampling) and this crate owns the
+//! *policy*: which rung of the escalation ladder answers a query, under
+//! which work budget, and when the per-query deadline clock cuts
+//! refinement short.
+//!
+//! The ladder ([`TierPlanner::solve`]):
+//!
+//! 1. **exact under budget** — [`AnytimeWmc`] with a small node budget;
+//!    when the prefix covers the whole lineage the interval collapses
+//!    to a point and the answer is [`Tier::Exact`];
+//! 2. **bounds refinement** — a larger anytime budget, intersected with
+//!    the budget-independent [`DissociationWmc`] oblivious bounds
+//!    ([`Tier::Anytime`]);
+//! 3. **seeded sampling** — [`KarpLubyWmc`] with a per-query seed, its
+//!    Hoeffding confidence interval intersected with the sound
+//!    envelope carried down from the earlier rungs ([`Tier::Sampled`]).
+//!
+//! Every rung threads the same wall-clock deadline through the solver
+//! loops, so a worker always publishes the best interval it has instead
+//! of stalling on one pathological lineage. Soundness invariant: rungs
+//! 1–2 produce intervals guaranteed to contain the exact probability;
+//! rung 3 narrows that envelope with a δ = 1e-9 confidence interval and
+//! never leaves it, so the published interval excludes the truth with
+//! probability at most δ.
+
+use ltg_lineage::Dnf;
+use ltg_wmc::{AnytimeWmc, BddWmc, Bounds, DissociationWmc, KarpLubyWmc};
+
+/// Which rung of the escalation ladder produced an answer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Tier {
+    /// The exact probability (point interval) under the work budget.
+    Exact,
+    /// Guaranteed anytime/dissociation bounds.
+    Anytime,
+    /// Karp–Luby sampling narrowed the guaranteed envelope.
+    Sampled,
+}
+
+impl Tier {
+    /// The metrics/slow-log label of the tier.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Tier::Exact => "exact",
+            Tier::Anytime => "anytime",
+            Tier::Sampled => "sampled",
+        }
+    }
+}
+
+/// One interval answer with its provenance.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TierOutcome {
+    /// Guaranteed lower bound (modulo the sampled rung's δ).
+    pub lower: f64,
+    /// Guaranteed upper bound (modulo the sampled rung's δ).
+    pub upper: f64,
+    /// The rung that produced the interval.
+    pub tier: Tier,
+    /// Rungs climbed beyond the first (0 = the budgeted exact attempt
+    /// settled it).
+    pub escalations: u32,
+    /// Monte-Carlo samples drawn (sampled tier only; 0 otherwise).
+    pub samples_run: usize,
+}
+
+impl TierOutcome {
+    /// Interval width.
+    pub fn gap(&self) -> f64 {
+        self.upper - self.lower
+    }
+}
+
+/// Confidence parameter of the sampled rung: the Hoeffding interval
+/// excludes the exact probability with probability at most δ = 1e-9.
+const SAMPLE_DELTA: f64 = 1e-9;
+
+/// The tier planner: work budgets for each rung of the ladder.
+#[derive(Clone, Copy, Debug)]
+pub struct TierPlanner {
+    /// BDD node budget of the rung-1 exact attempt.
+    pub exact_budget: usize,
+    /// BDD node budget of the rung-2 anytime refinement.
+    pub anytime_budget: usize,
+    /// Karp–Luby samples of the rung-3 estimator.
+    pub samples: usize,
+}
+
+impl Default for TierPlanner {
+    fn default() -> Self {
+        TierPlanner {
+            exact_budget: 50_000,
+            anytime_budget: 400_000,
+            samples: 50_000,
+        }
+    }
+}
+
+impl TierPlanner {
+    /// Runs the ladder for one answer's lineage. `epsilon` is the
+    /// acceptable interval width (`None` = refine until exact or the
+    /// deadline passes); `deadline` is the absolute wall-clock cutoff
+    /// (`None` = work-budget-bounded only); `seed` makes the sampled
+    /// rung deterministic per query.
+    pub fn solve(
+        &self,
+        dnf: &Dnf,
+        weights: &[f64],
+        epsilon: Option<f64>,
+        deadline: Option<std::time::Instant>,
+        seed: u64,
+    ) -> TierOutcome {
+        let target = epsilon.unwrap_or(0.0);
+        let done = |b: &Bounds| b.gap() <= target + 1e-12;
+        let expired = || deadline.is_some_and(|d| std::time::Instant::now() >= d);
+
+        // Rung 1: exact WMC under a small work budget. The anytime
+        // solver *is* the budgeted exact solver — when the budget
+        // suffices the interval is a point.
+        let rung1 = AnytimeWmc {
+            inner: BddWmc::default(),
+            max_nodes: self.exact_budget,
+        };
+        let mut envelope = rung1.bounds_before(dnf, weights, deadline);
+        if envelope.is_exact() {
+            return TierOutcome {
+                lower: envelope.lower,
+                upper: envelope.upper,
+                tier: Tier::Exact,
+                escalations: 0,
+                samples_run: 0,
+            };
+        }
+        // The dissociation bounds are budget-independent and cheap
+        // relative to the rungs around them; intersect them into the
+        // envelope before deciding whether to escalate.
+        if let Ok(diss) = DissociationWmc::default().bounds(dnf, weights) {
+            envelope = intersect(envelope, diss.lower, diss.upper);
+        }
+        if envelope.is_exact() {
+            // Small lineages the dissociation solver handles exactly
+            // (few enough variables that nothing is dissociated).
+            return outcome(envelope, Tier::Exact, 0, 0);
+        }
+        if done(&envelope) || expired() {
+            return outcome(envelope, Tier::Anytime, 0, 0);
+        }
+
+        // Rung 2: a larger anytime budget refines the exact prefix.
+        let rung2 = AnytimeWmc {
+            inner: BddWmc::default(),
+            max_nodes: self.anytime_budget,
+        };
+        let refined = rung2.bounds_before(dnf, weights, deadline);
+        envelope = intersect(envelope, refined.lower, refined.upper);
+        if envelope.is_exact() {
+            return outcome(envelope, Tier::Exact, 1, 0);
+        }
+        if done(&envelope) || expired() {
+            return outcome(envelope, Tier::Anytime, 1, 0);
+        }
+
+        // Rung 3: seeded sampling. The Hoeffding interval at δ narrows
+        // the envelope; it never widens it, and if the two are disjoint
+        // (probability ≤ δ) the sound envelope wins.
+        let sampler = KarpLubyWmc {
+            samples: self.samples,
+            seed,
+        };
+        let est = sampler.estimate(dnf, weights, deadline);
+        if est.samples_run == 0 {
+            return outcome(envelope, Tier::Anytime, 1, 0);
+        }
+        let half = est.total * ((2.0 / SAMPLE_DELTA).ln() / (2.0 * est.samples_run as f64)).sqrt();
+        let narrowed = intersect(envelope, est.estimate - half, est.estimate + half);
+        outcome(narrowed, Tier::Sampled, 2, est.samples_run)
+    }
+}
+
+/// Intersects the envelope with `[lo, hi]`, clamping to `[0, 1]`. A
+/// (float-noise or δ-tail) disjoint intersection falls back to the
+/// envelope — the guaranteed interval always wins.
+fn intersect(envelope: Bounds, lo: f64, hi: f64) -> Bounds {
+    let lower = envelope.lower.max(lo).clamp(0.0, 1.0);
+    let upper = envelope.upper.min(hi).clamp(0.0, 1.0);
+    if lower > upper {
+        return envelope;
+    }
+    Bounds {
+        lower,
+        upper,
+        used_conjuncts: envelope.used_conjuncts,
+    }
+}
+
+fn outcome(b: Bounds, tier: Tier, escalations: u32, samples_run: usize) -> TierOutcome {
+    TierOutcome {
+        lower: b.lower,
+        upper: b.upper,
+        tier,
+        escalations,
+        samples_run,
+    }
+}
+
+/// Derives the deterministic per-query sampling seed from the session
+/// seed, the database epoch at solve time, and the query text
+/// (satellite: approximate responses are reproducible run-to-run and
+/// testable differentially). splitmix64 finalization over an FNV-style
+/// fold of the text.
+pub fn mix_seed(session_seed: u64, epoch: u64, query_text: &str) -> u64 {
+    let mut h = session_seed ^ epoch.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    for b in query_text.bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    // splitmix64 finalizer.
+    h = h.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^ (h >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltg_storage::FactId;
+    use ltg_wmc::{NaiveWmc, WmcSolver};
+
+    fn fid(i: u32) -> FactId {
+        FactId(i)
+    }
+
+    /// EXAMPLE1's p(a,b) lineage: e(a,b) ∨ (e(a,c) ∧ e(c,b)).
+    fn example1() -> (Dnf, Vec<f64>) {
+        let mut d = Dnf::var(fid(0));
+        d.push(vec![fid(1), fid(2)]);
+        (d, vec![0.5, 0.7, 0.8])
+    }
+
+    /// A chain DNF large enough to blow a tiny node budget.
+    fn chain(n: u32) -> (Dnf, Vec<f64>) {
+        let mut d = Dnf::ff();
+        for i in 0..n {
+            d.push(vec![fid(i), fid(i + 1), fid(i + 2)]);
+        }
+        let w: Vec<f64> = (0..n + 2).map(|i| 0.15 + 0.02 * f64::from(i)).collect();
+        (d, w)
+    }
+
+    #[test]
+    fn small_lineage_settles_exact() {
+        let (d, w) = example1();
+        let out = TierPlanner::default().solve(&d, &w, Some(0.01), None, 7);
+        assert_eq!(out.tier, Tier::Exact);
+        assert_eq!(out.escalations, 0);
+        assert!((out.lower - 0.78).abs() < 1e-9);
+        assert!(out.gap() < 1e-12);
+    }
+
+    #[test]
+    fn every_tier_brackets_the_exact_probability() {
+        let (d, w) = chain(12);
+        let exact = NaiveWmc::default().probability(&d, &w).unwrap();
+        for planner in [
+            TierPlanner::default(),
+            // Tiny budgets force escalation through every rung.
+            TierPlanner {
+                exact_budget: 8,
+                anytime_budget: 16,
+                samples: 30_000,
+            },
+        ] {
+            for eps in [None, Some(0.5), Some(0.05), Some(0.0)] {
+                let out = planner.solve(&d, &w, eps, None, 42);
+                assert!(
+                    out.lower <= exact + 1e-9 && exact <= out.upper + 1e-9,
+                    "tier {:?} eps {eps:?}: [{}, {}] misses {exact}",
+                    out.tier,
+                    out.lower,
+                    out.upper
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_budgets_escalate_to_sampling_deterministically() {
+        // 22 variables: wide enough that the dissociation rung can't
+        // solve it exactly (its default exact-variable cutoff is 16).
+        let (d, w) = chain(20);
+        let planner = TierPlanner {
+            exact_budget: 8,
+            anytime_budget: 16,
+            samples: 20_000,
+        };
+        let a = planner.solve(&d, &w, Some(0.0), None, 99);
+        assert_eq!(a.tier, Tier::Sampled);
+        assert_eq!(a.escalations, 2);
+        assert_eq!(a.samples_run, 20_000);
+        // Same seed → bitwise-identical interval; different seed → a
+        // different (still sound) one.
+        let b = planner.solve(&d, &w, Some(0.0), None, 99);
+        assert_eq!(a, b);
+        let c = planner.solve(&d, &w, Some(0.0), None, 100);
+        assert_ne!((a.lower, a.upper), (c.lower, c.upper));
+    }
+
+    #[test]
+    fn loose_epsilon_stops_at_the_anytime_rung() {
+        let (d, w) = chain(20);
+        let planner = TierPlanner {
+            exact_budget: 8,
+            anytime_budget: 16,
+            samples: 20_000,
+        };
+        let out = planner.solve(&d, &w, Some(1.0), None, 1);
+        assert_eq!(out.tier, Tier::Anytime);
+        assert_eq!(out.samples_run, 0);
+        assert!(out.gap() <= 1.0);
+    }
+
+    #[test]
+    fn expired_deadline_publishes_the_envelope() {
+        let (d, w) = chain(12);
+        let exact = NaiveWmc::default().probability(&d, &w).unwrap();
+        let past = std::time::Instant::now() - std::time::Duration::from_millis(1);
+        let out = TierPlanner::default().solve(&d, &w, None, Some(past), 3);
+        assert!(out.lower <= exact + 1e-9 && exact <= out.upper + 1e-9);
+    }
+
+    #[test]
+    fn terminal_lineages() {
+        let p = TierPlanner::default();
+        let empty = p.solve(&Dnf::ff(), &[], Some(0.0), None, 0);
+        assert_eq!((empty.lower, empty.upper), (0.0, 0.0));
+        assert_eq!(empty.tier, Tier::Exact);
+        let taut = p.solve(&Dnf::tt(), &[], Some(0.0), None, 0);
+        assert_eq!((taut.lower, taut.upper), (1.0, 1.0));
+        assert_eq!(taut.tier, Tier::Exact);
+    }
+
+    #[test]
+    fn mix_seed_separates_its_inputs() {
+        let a = mix_seed(1, 1, "p(a, b)");
+        assert_eq!(a, mix_seed(1, 1, "p(a, b)"));
+        assert_ne!(a, mix_seed(2, 1, "p(a, b)"));
+        assert_ne!(a, mix_seed(1, 2, "p(a, b)"));
+        assert_ne!(a, mix_seed(1, 1, "p(a, c)"));
+    }
+}

@@ -178,6 +178,8 @@ pub enum Verb {
     Insert,
     Delete,
     Update,
+    /// `QUERY … EPSILON/DEADLINE` — the approximate tier.
+    QueryApprox,
 }
 
 impl Verb {
@@ -188,12 +190,19 @@ impl Verb {
             Verb::Insert => "insert",
             Verb::Delete => "delete",
             Verb::Update => "update",
+            Verb::QueryApprox => "query_approx",
         }
     }
 
     /// All verbs, report order.
-    pub fn all() -> [Verb; 4] {
-        [Verb::Query, Verb::Insert, Verb::Delete, Verb::Update]
+    pub fn all() -> [Verb; 5] {
+        [
+            Verb::Query,
+            Verb::Insert,
+            Verb::Delete,
+            Verb::Update,
+            Verb::QueryApprox,
+        ]
     }
 }
 
@@ -204,6 +213,10 @@ pub struct TrafficMix {
     pub insert: u32,
     pub delete: u32,
     pub update: u32,
+    /// Approximate queries (`EPSILON`/`DEADLINE` modifiers). Zero by
+    /// default — the weight sits *last* in the roll order, so legacy
+    /// four-weight mixes generate byte-identical scripts.
+    pub query_approx: u32,
 }
 
 impl Default for TrafficMix {
@@ -214,13 +227,14 @@ impl Default for TrafficMix {
             insert: 8,
             delete: 6,
             update: 6,
+            query_approx: 0,
         }
     }
 }
 
 impl TrafficMix {
     fn total(&self) -> u32 {
-        self.query + self.insert + self.delete + self.update
+        self.query + self.insert + self.delete + self.update + self.query_approx
     }
 }
 
@@ -313,8 +327,12 @@ pub fn scripts(scenario: &Scenario, config: &ScriptConfig) -> Result<Vec<Vec<Wir
                 Verb::Insert
             } else if roll < config.mix.query + config.mix.insert + config.mix.delete {
                 Verb::Delete
-            } else {
+            } else if roll
+                < config.mix.query + config.mix.insert + config.mix.delete + config.mix.update
+            {
                 Verb::Update
+            } else {
+                Verb::QueryApprox
             };
             // Fallback chain keeps scripts full-length even when a verb
             // has no target: mutations degrade to inserts, everything
@@ -325,7 +343,7 @@ pub fn scripts(scenario: &Scenario, config: &ScriptConfig) -> Result<Vec<Vec<Wir
             if verb == Verb::Insert && insert_preds.is_empty() {
                 verb = Verb::Query;
             }
-            if verb == Verb::Query && queries.is_empty() {
+            if matches!(verb, Verb::Query | Verb::QueryApprox) && queries.is_empty() {
                 verb = Verb::Insert;
             }
             let op = match verb {
@@ -335,6 +353,18 @@ pub fn scripts(scenario: &Scenario, config: &ScriptConfig) -> Result<Vec<Vec<Wir
                         verb,
                         line: q.clone(),
                     }
+                }
+                Verb::QueryApprox => {
+                    // Alternate the two modifiers over the scenario's
+                    // query pool: a loose ε that the anytime rungs can
+                    // usually meet, and a tight per-request deadline.
+                    let q = &queries[rng.random_range(0..queries.len())];
+                    let line = if rng.random_range(0..2u32) == 0 {
+                        format!("{q} EPSILON 0.05")
+                    } else {
+                        format!("{q} DEADLINE 5")
+                    };
+                    WireOp { verb, line }
                 }
                 Verb::Insert => {
                     let (name, arity) = &insert_preds[rng.random_range(0..insert_preds.len())];
@@ -451,6 +481,7 @@ mod tests {
                 insert: 30,
                 delete: 30,
                 update: 30,
+                query_approx: 0,
             },
         };
         let scripts = scripts(&s, &cfg).unwrap();
@@ -462,7 +493,7 @@ mod tests {
                     Verb::Update | Verb::Insert => {
                         op.line.split(" :: ").nth(1).expect("prob :: atom")
                     }
-                    Verb::Query => continue,
+                    Verb::Query | Verb::QueryApprox => continue,
                 };
                 let prev = owner.insert(atom.to_string(), conn);
                 assert!(
@@ -488,6 +519,7 @@ mod tests {
                 insert: 20,
                 delete: 60,
                 update: 19,
+                query_approx: 0,
             },
         };
         for ops in scripts(&s, &cfg).unwrap() {
@@ -513,9 +545,44 @@ mod tests {
                         let atom = op.line.split(" :: ").nth(1).unwrap().trim_end_matches('.');
                         assert!(!dead.contains(atom), "update after delete: {}", op.line);
                     }
-                    Verb::Query => {}
+                    Verb::Query | Verb::QueryApprox => {}
                 }
             }
+        }
+    }
+
+    #[test]
+    fn approx_weight_emits_modifier_lines_and_zero_weight_none() {
+        let s = tiny_lubm();
+        let legacy = ScriptConfig {
+            seed: 21,
+            connections: 2,
+            ops_per_connection: 60,
+            mix: TrafficMix::default(),
+        };
+        let a = scripts(&s, &legacy).unwrap();
+        assert!(a.iter().flatten().all(|op| op.verb != Verb::QueryApprox));
+        let mixed = ScriptConfig {
+            mix: TrafficMix {
+                query_approx: 40,
+                ..TrafficMix::default()
+            },
+            ..legacy
+        };
+        let b = scripts(&s, &mixed).unwrap();
+        let approx: Vec<_> = b
+            .iter()
+            .flatten()
+            .filter(|op| op.verb == Verb::QueryApprox)
+            .collect();
+        assert!(!approx.is_empty());
+        for op in approx {
+            assert!(
+                op.line.starts_with("QUERY ")
+                    && (op.line.ends_with(" EPSILON 0.05") || op.line.ends_with(" DEADLINE 5")),
+                "{}",
+                op.line
+            );
         }
     }
 

@@ -15,12 +15,47 @@
 //! memory-budgeted server observes cache growth exactly like reasoning
 //! growth.
 
-use crate::session::Answer;
+use crate::session::{Answer, BoundedAnswer};
+use ltg_approx::Tier;
 use ltg_datalog::fxhash::FxHashMap;
 use ltg_datalog::PredId;
 use ltg_storage::Database;
 use std::collections::BTreeMap;
 use std::rc::Rc;
+
+/// A memoized query result: exact answers, or tier-stamped interval
+/// answers. Exact and approximate results live under *disjoint* keys
+/// (the session suffixes approximate keys with their modifiers), so an
+/// approximate interval can never poison an exact entry or vice versa;
+/// the enum keeps the type system honest about which is which.
+#[derive(Clone)]
+pub enum CachedAnswers {
+    /// Exact per-answer probabilities (the plain `QUERY` path).
+    Exact(Rc<[Answer]>),
+    /// Interval answers of an approximate-tier query.
+    Bounded {
+        /// The rendered interval answers, sorted by answer text.
+        answers: Rc<[BoundedAnswer]>,
+        /// The highest escalation rung used across the answers.
+        tier: Tier,
+    },
+}
+
+impl CachedAnswers {
+    /// Estimated payload bytes (answer texts + per-answer overhead).
+    fn payload_bytes(&self) -> usize {
+        match self {
+            CachedAnswers::Exact(answers) => answers
+                .iter()
+                .map(|a| a.text.len() + std::mem::size_of::<Answer>())
+                .sum(),
+            CachedAnswers::Bounded { answers, .. } => answers
+                .iter()
+                .map(|a| a.text.len() + std::mem::size_of::<BoundedAnswer>())
+                .sum(),
+        }
+    }
+}
 
 /// One memoized query result.
 struct CacheEntry {
@@ -29,8 +64,8 @@ struct CacheEntry {
     /// Predicates the query transitively depends on (closure over rule
     /// bodies, including the query predicate itself).
     deps: Rc<[PredId]>,
-    /// The rendered answers, sorted by answer text.
-    answers: Rc<[Answer]>,
+    /// The cached value (exact or interval answers).
+    answers: CachedAnswers,
     /// Estimated bytes this entry holds (key + answers + overhead).
     bytes: usize,
     /// Use tick of the most recent store/hit (recency-index key).
@@ -115,7 +150,7 @@ impl QueryCache {
     /// Looks `key` up; a stale entry (dependency mutated after
     /// `entry.epoch`) is evicted and counted as an invalidation + miss.
     /// A hit refreshes the entry's recency.
-    pub fn lookup(&mut self, key: &str, db: &Database) -> Option<Rc<[Answer]>> {
+    pub fn lookup(&mut self, key: &str, db: &Database) -> Option<CachedAnswers> {
         let valid = match self.entries.get(key) {
             None => {
                 self.stats.misses += 1;
@@ -140,9 +175,27 @@ impl QueryCache {
         }
     }
 
+    /// Checks `key` without touching the counters or recency — the
+    /// approximate tier's opportunistic probe of the exact entry (a
+    /// probe that usually misses must not skew the hit-rate the cache
+    /// reports for real lookups).
+    pub fn peek(&self, key: &str, db: &Database) -> Option<&CachedAnswers> {
+        let e = self.entries.get(key)?;
+        e.deps
+            .iter()
+            .all(|&p| db.pred_epoch(p) <= e.epoch)
+            .then_some(&e.answers)
+    }
+
     /// Stores the answers for `key` as of `db`'s current epoch, then
     /// enforces the budget (never evicting the entry just stored).
-    pub fn store(&mut self, key: String, deps: Rc<[PredId]>, answers: Rc<[Answer]>, db: &Database) {
+    pub fn store(
+        &mut self,
+        key: String,
+        deps: Rc<[PredId]>,
+        answers: CachedAnswers,
+        db: &Database,
+    ) {
         self.remove(&key);
         let bytes = entry_bytes(&key, &deps, &answers);
         let tick = self.next_tick();
@@ -204,14 +257,8 @@ impl QueryCache {
 
 /// Estimated footprint of one entry: key (twice — map key and recency
 /// value), dependency list, rendered answers, map/node overhead.
-fn entry_bytes(key: &str, deps: &[PredId], answers: &[Answer]) -> usize {
-    2 * key.len()
-        + std::mem::size_of_val(deps)
-        + answers
-            .iter()
-            .map(|a| a.text.len() + std::mem::size_of::<Answer>())
-            .sum::<usize>()
-        + 128
+fn entry_bytes(key: &str, deps: &[PredId], answers: &CachedAnswers) -> usize {
+    2 * key.len() + std::mem::size_of_val(deps) + answers.payload_bytes() + 128
 }
 
 #[cfg(test)]
@@ -219,11 +266,11 @@ mod tests {
     use super::*;
     use ltg_datalog::parse_program;
 
-    fn answers(p: f64) -> Rc<[Answer]> {
-        Rc::from(vec![Answer {
+    fn answers(p: f64) -> CachedAnswers {
+        CachedAnswers::Exact(Rc::from(vec![Answer {
             text: "p(a,b)".into(),
             prob: p,
-        }])
+        }]))
     }
 
     #[test]

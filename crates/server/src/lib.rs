@@ -52,12 +52,13 @@ pub mod protocol;
 pub mod server;
 pub mod session;
 
-pub use cache::{CacheBudget, QueryCache};
+pub use cache::{CacheBudget, CachedAnswers, QueryCache};
+pub use ltg_approx::{Tier, TierOutcome, TierPlanner};
 pub use ltg_persist::{BootMode, BootReport};
 pub use protocol::{Request, Response};
 pub use server::{execute, respond, ConnectionStats, RequestHandler, Server, SessionHandle};
 pub use session::{
-    atom_shape, Answer, AtomShape, BootError, DeleteResponse, DurabilityOptions, InsertResponse,
-    Mutation, MutationBatch, MutationResponse, RequestOrigin, Session, SessionError,
-    SessionOptions, UpdateResponse,
+    atom_shape, Answer, AtomShape, BootError, BoundedAnswer, DeleteResponse, DurabilityOptions,
+    InsertResponse, Mutation, MutationBatch, MutationResponse, RequestOrigin, Session,
+    SessionError, SessionOptions, UpdateResponse,
 };

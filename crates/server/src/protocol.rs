@@ -28,7 +28,7 @@
 //! which keeps the two byte-compatible by construction (a property the
 //! sharded differential harness then checks end to end).
 
-use crate::session::{Answer, Mutation, MutationBatch, MutationResponse};
+use crate::session::{Answer, BoundedAnswer, Mutation, MutationBatch, MutationResponse};
 use crate::session::{DeleteResponse, InsertResponse, UpdateResponse};
 
 /// A typed request line — the decode half of the protocol. The three
@@ -39,6 +39,23 @@ use crate::session::{DeleteResponse, InsertResponse, UpdateResponse};
 pub enum Request {
     /// `QUERY <atom>.` — answer a (possibly open) query atom.
     Query(String),
+    /// `QUERY <atom>. EPSILON <ε>` / `QUERY <atom>. DEADLINE <ms>` —
+    /// an approximate-tier query answered with `[lower, upper]`
+    /// interval answers. The two modifiers compose in either order;
+    /// `EPSILON 0` with no `DEADLINE` parses as a plain
+    /// [`Request::Query`] so it stays bitwise-identical to the exact
+    /// path.
+    QueryApprox {
+        /// The query atom text, verbatim as written before the first
+        /// modifier keyword.
+        atom: String,
+        /// Acceptable interval width in `[0, 1]` (`None`: refine until
+        /// exact or the deadline cuts in).
+        epsilon: Option<f64>,
+        /// Wall-clock budget in milliseconds (`None`: work budgets
+        /// only).
+        deadline_ms: Option<u64>,
+    },
     /// `INSERT [<p> ::] <atom>.` / `UPDATE [<p> ::] <atom>.` /
     /// `DELETE <atom>[; <atom>…].` — a typed mutation batch.
     Mutate {
@@ -81,7 +98,7 @@ impl Request {
                 if rest.is_empty() {
                     Err("QUERY needs an atom, e.g. QUERY p(a, X).".into())
                 } else {
-                    Ok(Request::Query(rest.to_string()))
+                    parse_query(rest)
                 }
             }
             "INSERT" => {
@@ -144,6 +161,9 @@ pub enum Response {
     Error(String),
     /// Query answers: `OK <n>` plus one `<prob>\t<atom>` line each.
     Answers(Vec<Answer>),
+    /// Approximate-tier answers: `OK <n>` plus one
+    /// `[<lower>, <upper>]\t<atom>` line each.
+    Bounds(Vec<BoundedAnswer>),
     /// `STATS` / `SNAPSHOT INFO` payload: `OK <n>` plus `<key> <value>`
     /// lines.
     Lines(Vec<(String, String)>),
@@ -180,6 +200,13 @@ impl Response {
                 let mut out = format!("OK {}\n", answers.len());
                 for a in answers {
                     out.push_str(&format!("{:.6}\t{}\n", a.prob, a.text));
+                }
+                out
+            }
+            Response::Bounds(answers) => {
+                let mut out = format!("OK {}\n", answers.len());
+                for a in answers {
+                    out.push_str(&format!("[{:.6}, {:.6}]\t{}\n", a.lower, a.upper, a.text));
                 }
                 out
             }
@@ -261,6 +288,112 @@ fn render_mutation_line(r: &MutationResponse) -> String {
             format!("updated p={old:.6} -> {new:.6} epoch={epoch}\n")
         }
     }
+}
+
+/// Parses a `QUERY` body: the atom text runs up to the first
+/// `EPSILON`/`DEADLINE` keyword token (case-insensitive, outside quoted
+/// constants); the tail is alternating `<keyword> <value>` pairs, each
+/// keyword at most once, in either order. No keyword — or `EPSILON 0`
+/// alone, which requests the exact answer — parses as a plain
+/// [`Request::Query`], so those lines stay bitwise-identical to the
+/// exact path.
+fn parse_query(rest: &str) -> Result<Request, String> {
+    let tokens = query_tokens(rest);
+    let Some(first) = tokens
+        .iter()
+        .position(|(_, t)| matches!(t.to_ascii_uppercase().as_str(), "EPSILON" | "DEADLINE"))
+    else {
+        return Ok(Request::Query(rest.to_string()));
+    };
+    let atom = rest[..tokens[first].0].trim_end();
+    if atom.is_empty() {
+        return Err("QUERY needs an atom before EPSILON/DEADLINE, e.g. \
+                    QUERY p(a, X). EPSILON 0.01"
+            .into());
+    }
+    let mut epsilon: Option<f64> = None;
+    let mut deadline_ms: Option<u64> = None;
+    let mut rest_tokens = tokens[first..].iter().map(|(_, t)| *t);
+    while let Some(keyword) = rest_tokens.next() {
+        match keyword.to_ascii_uppercase().as_str() {
+            "EPSILON" => {
+                if epsilon.is_some() {
+                    return Err("duplicate EPSILON modifier".into());
+                }
+                let value = rest_tokens
+                    .next()
+                    .ok_or("EPSILON needs a value, e.g. QUERY p(a, X). EPSILON 0.01")?;
+                let eps: f64 = value
+                    .parse()
+                    .map_err(|_| format!("bad EPSILON value '{value}'"))?;
+                if !eps.is_finite() || !(0.0..=1.0).contains(&eps) {
+                    return Err(format!("EPSILON must be in [0, 1], got '{value}'"));
+                }
+                epsilon = Some(eps);
+            }
+            "DEADLINE" => {
+                if deadline_ms.is_some() {
+                    return Err("duplicate DEADLINE modifier".into());
+                }
+                let value = rest_tokens
+                    .next()
+                    .ok_or("DEADLINE needs a millisecond budget, e.g. QUERY p(a, X). DEADLINE 5")?;
+                let ms: u64 = value
+                    .parse()
+                    .map_err(|_| format!("bad DEADLINE value '{value}' (whole milliseconds)"))?;
+                deadline_ms = Some(ms);
+            }
+            other => {
+                return Err(format!(
+                    "unknown QUERY modifier '{other}' (expected EPSILON or DEADLINE)"
+                ))
+            }
+        }
+    }
+    // `EPSILON 0` with no deadline asks for the exact answer: route it
+    // through the exact path so the response bytes are identical.
+    if epsilon == Some(0.0) && deadline_ms.is_none() {
+        return Ok(Request::Query(atom.to_string()));
+    }
+    Ok(Request::QueryApprox {
+        atom: atom.to_string(),
+        epsilon,
+        deadline_ms,
+    })
+}
+
+/// Whitespace-separated tokens of a `QUERY` body with their byte
+/// offsets, treating quoted constants as opaque — `p('EPSILON x')` is
+/// one token and never a modifier keyword.
+fn query_tokens(rest: &str) -> Vec<(usize, &str)> {
+    let mut tokens = Vec::new();
+    let mut quote: Option<char> = None;
+    let mut start: Option<usize> = None;
+    for (i, c) in rest.char_indices() {
+        match quote {
+            Some(q) => {
+                if c == q {
+                    quote = None;
+                }
+            }
+            None => {
+                if c == '\'' || c == '"' {
+                    quote = Some(c);
+                    start.get_or_insert(i);
+                } else if c.is_whitespace() {
+                    if let Some(s) = start.take() {
+                        tokens.push((s, &rest[s..i]));
+                    }
+                } else {
+                    start.get_or_insert(i);
+                }
+            }
+        }
+    }
+    if let Some(s) = start {
+        tokens.push((s, &rest[s..]));
+    }
+    tokens
 }
 
 /// Splits a `;`-separated atom batch, ignoring separators inside
@@ -420,6 +553,64 @@ mod tests {
     }
 
     #[test]
+    fn query_modifiers_parse() {
+        assert_eq!(
+            Request::parse("QUERY p(a, b). EPSILON 0.01"),
+            Ok(Request::QueryApprox {
+                atom: "p(a, b).".into(),
+                epsilon: Some(0.01),
+                deadline_ms: None,
+            })
+        );
+        assert_eq!(
+            Request::parse("query p(a, b) deadline 5"),
+            Ok(Request::QueryApprox {
+                atom: "p(a, b)".into(),
+                epsilon: None,
+                deadline_ms: Some(5),
+            })
+        );
+        // Both modifiers compose, in either order.
+        assert_eq!(
+            Request::parse("QUERY p(a, X). DEADLINE 5 EPSILON 0.1"),
+            Ok(Request::QueryApprox {
+                atom: "p(a, X).".into(),
+                epsilon: Some(0.1),
+                deadline_ms: Some(5),
+            })
+        );
+        // EPSILON 0 alone is the exact path, byte-identical.
+        assert_eq!(
+            Request::parse("QUERY p(a, b). EPSILON 0"),
+            Ok(Request::Query("p(a, b).".into()))
+        );
+        assert_eq!(
+            Request::parse("QUERY p(a, b). EPSILON 0.0 DEADLINE 5"),
+            Ok(Request::QueryApprox {
+                atom: "p(a, b).".into(),
+                epsilon: Some(0.0),
+                deadline_ms: Some(5),
+            })
+        );
+        // A keyword inside a quoted constant is not a modifier.
+        assert_eq!(
+            Request::parse("QUERY e('EPSILON 9', X)."),
+            Ok(Request::Query("e('EPSILON 9', X).".into()))
+        );
+        // Malformed modifiers are rejected.
+        assert!(Request::parse("QUERY p(a, b). EPSILON").is_err());
+        assert!(Request::parse("QUERY p(a, b). EPSILON zz").is_err());
+        assert!(Request::parse("QUERY p(a, b). EPSILON 1.5").is_err());
+        assert!(Request::parse("QUERY p(a, b). EPSILON -0.1").is_err());
+        assert!(Request::parse("QUERY p(a, b). DEADLINE").is_err());
+        assert!(Request::parse("QUERY p(a, b). DEADLINE 2.5").is_err());
+        assert!(Request::parse("QUERY p(a, b). EPSILON 0.1 EPSILON 0.2").is_err());
+        assert!(Request::parse("QUERY p(a, b). DEADLINE 5 DEADLINE 6").is_err());
+        assert!(Request::parse("QUERY p(a, b). EPSILON 0.1 BOGUS 2").is_err());
+        assert!(Request::parse("QUERY EPSILON 0.1").is_err());
+    }
+
+    #[test]
     fn bad_lines_are_rejected() {
         assert!(Request::parse("QUERY").is_err());
         assert!(Request::parse("INSERT").is_err());
@@ -443,6 +634,15 @@ mod tests {
             }])
             .render(),
             "OK 1\n0.780000\tp(a,b)\n"
+        );
+        assert_eq!(
+            Response::Bounds(vec![BoundedAnswer {
+                text: "p(a,b)".into(),
+                lower: 0.7,
+                upper: 0.85,
+            }])
+            .render(),
+            "OK 1\n[0.700000, 0.850000]\tp(a,b)\n"
         );
         assert_eq!(
             Response::Lines(vec![("queries".into(), "2".into())]).render(),

@@ -386,6 +386,14 @@ pub fn execute(session: &mut Session, request: Request) -> Response {
             Ok(answers) => Response::Answers(answers.to_vec()),
             Err(e) => Response::Error(e.to_string()),
         },
+        Request::QueryApprox {
+            atom,
+            epsilon,
+            deadline_ms,
+        } => match session.query_approx(&atom, epsilon, deadline_ms) {
+            Ok(answers) => Response::Bounds(answers.to_vec()),
+            Err(e) => Response::Error(e.to_string()),
+        },
         Request::Mutate { mutations, batch } => match session.apply(mutations) {
             Ok(responses) => Response::Mutated { responses, batch },
             Err(e) => Response::Error(e.to_string()),

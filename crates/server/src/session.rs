@@ -13,7 +13,8 @@
 //! requests through one worker thread and keeps the socket I/O
 //! concurrent.
 
-use crate::cache::{CacheBudget, CacheStats, QueryCache};
+use crate::cache::{CacheBudget, CacheStats, CachedAnswers, QueryCache};
+use ltg_approx::{mix_seed, Tier, TierPlanner};
 use ltg_core::{EngineConfig, EngineError, InsertError, LtgEngine};
 use ltg_datalog::fxhash::FxHashMap;
 use ltg_datalog::{Atom, DependencyGraph, PredId, Program, Sym, Term, Var};
@@ -90,7 +91,17 @@ pub struct SessionOptions {
     /// milliseconds writes one structured `key=value` line to stderr
     /// with its phase breakdown (`None`: off).
     pub slow_ms: Option<u64>,
+    /// Session seed for the sampled approximation tier. Every
+    /// `QUERY … EPSILON/DEADLINE` request derives its sampler seed from
+    /// `(seed, database epoch, query text)`, so a given session replays
+    /// bit-identical intervals while distinct queries (and re-runs after
+    /// mutations) draw independent streams.
+    pub seed: u64,
 }
+
+/// Default [`SessionOptions::seed`] — any fixed value works; this one
+/// spells "ltgs" in hex-ish leetspeak so seeded runs are recognizable.
+pub const DEFAULT_SESSION_SEED: u64 = 0x1765;
 
 impl Default for SessionOptions {
     fn default() -> Self {
@@ -101,6 +112,7 @@ impl Default for SessionOptions {
             durability: None,
             metrics: true,
             slow_ms: None,
+            seed: DEFAULT_SESSION_SEED,
         }
     }
 }
@@ -156,6 +168,18 @@ pub struct Answer {
     pub text: String,
     /// Its marginal probability.
     pub prob: f64,
+}
+
+/// One rendered answer of an approximate (`EPSILON` / `DEADLINE`)
+/// query: a sound `[lower, upper]` interval around the exact marginal.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BoundedAnswer {
+    /// The answer atom, e.g. `p(a,b)`.
+    pub text: String,
+    /// Lower bound on the marginal probability.
+    pub lower: f64,
+    /// Upper bound on the marginal probability.
+    pub upper: f64,
 }
 
 /// Outcome of [`Session::insert`].
@@ -325,6 +349,21 @@ pub struct SessionStats {
     pub deletes: u64,
     /// Deletes of facts that were not in the EDB (acknowledged no-ops).
     pub deletes_missing: u64,
+    /// `QUERY … EPSILON/DEADLINE` requests served (subset of nothing —
+    /// counted separately from `queries`).
+    pub queries_approx: u64,
+    /// Approximate queries whose escalation ladder settled with a point
+    /// interval (budgeted-exact rung converged).
+    pub approx_tier_exact: u64,
+    /// Approximate queries answered from anytime/dissociation bounds.
+    pub approx_tier_anytime: u64,
+    /// Approximate queries that escalated to Karp–Luby sampling.
+    pub approx_tier_sampled: u64,
+    /// Total escalation steps taken across approximate queries.
+    pub approx_escalations: u64,
+    /// `DEADLINE` queries whose wall time exceeded their budget (the
+    /// best-so-far bounds were still published).
+    pub approx_deadline_overruns: u64,
 }
 
 /// A resident engine + query cache answering requests, optionally
@@ -363,6 +402,8 @@ pub struct Session {
     last_wmc_us: u64,
     /// Who sent the request currently executing (slow-log correlation).
     origin: RequestOrigin,
+    /// Sampler seed base ([`SessionOptions::seed`]).
+    seed: u64,
 }
 
 /// Per-verb latency distributions of one session (whole microseconds).
@@ -372,6 +413,16 @@ struct SessionMetrics {
     query_hit_us: Histogram,
     /// `QUERY` computed (lineage + WMC).
     query_miss_us: Histogram,
+    /// Approximate queries that settled at the budgeted-exact rung.
+    tier_exact_us: Histogram,
+    /// Approximate queries answered from anytime/dissociation bounds.
+    tier_anytime_us: Histogram,
+    /// Approximate queries that escalated to Karp–Luby sampling.
+    tier_sampled_us: Histogram,
+    /// Interval width (`upper - lower`) of each published approximate
+    /// answer, in parts-per-million (an integer histogram can't hold
+    /// fractions; 1e6 ppm = a vacuous [0,1] interval).
+    bounds_gap_ppm: Histogram,
     /// WMC solve time per computed query (all answers of the query).
     wmc_us: Histogram,
     /// `INSERT` (validate + WAL + delta pass + invalidation).
@@ -434,6 +485,7 @@ impl Session {
             slow_us: opts.slow_ms.map(|ms| ms.saturating_mul(1000)),
             last_wmc_us: 0,
             origin: RequestOrigin::default(),
+            seed: opts.seed,
         };
         // A durable cold boot immediately establishes its snapshot:
         // the very next restart is warm even if the process dies before
@@ -557,6 +609,193 @@ impl Session {
     pub fn query(&mut self, atom_text: &str) -> Result<Rc<[Answer]>, SessionError> {
         self.stats.queries += 1;
         let timer = PhaseTimer::start(self.metrics_on || self.slow_us.is_some());
+        let Some(atom) = self.resolve_atom(atom_text)? else {
+            return Ok(Rc::from(Vec::new()));
+        };
+        let key = cache_key(&atom);
+        if let Some(CachedAnswers::Exact(hit)) = self.cache.lookup(&key, self.engine.db()) {
+            if let Some(us) = timer.elapsed_us() {
+                if self.metrics_on {
+                    self.metrics.query_hit_us.record(us);
+                }
+                self.log_slow(
+                    us,
+                    &[("verb", "query"), ("cache", "hit"), ("tier", "exact")],
+                    &[],
+                );
+            }
+            return Ok(hit);
+        }
+        self.last_wmc_us = 0;
+        let answers = self.compute(&atom)?;
+        let deps = self.dep_closure(atom.pred);
+        self.cache.store(
+            key,
+            deps,
+            CachedAnswers::Exact(answers.clone()),
+            self.engine.db(),
+        );
+        self.resync_cache_meter(false);
+        if let Some(us) = timer.elapsed_us() {
+            if self.metrics_on {
+                self.metrics.query_miss_us.record(us);
+            }
+            self.log_slow(
+                us,
+                &[("verb", "query"), ("cache", "miss"), ("tier", "exact")],
+                &[
+                    ("wmc_us", self.last_wmc_us),
+                    ("answers", answers.len() as u64),
+                ],
+            );
+        }
+        Ok(answers)
+    }
+
+    /// Answers a query atom with sound `[lower, upper]` probability
+    /// intervals under an accuracy target (`EPSILON ε`: stop once every
+    /// answer's interval is at most ε wide) and/or a wall-clock budget
+    /// (`DEADLINE ms`: publish the best bounds held when the clock
+    /// expires). The [`ltg_approx::TierPlanner`] escalation ladder does
+    /// the work; this method resolves the atom, keys the cache by
+    /// `(atom, ε, deadline)` so approximate entries never shadow exact
+    /// ones, and records the tier/gap observability surface.
+    pub fn query_approx(
+        &mut self,
+        atom_text: &str,
+        epsilon: Option<f64>,
+        deadline_ms: Option<u64>,
+    ) -> Result<Rc<[BoundedAnswer]>, SessionError> {
+        self.stats.queries_approx += 1;
+        let timer = PhaseTimer::start(self.metrics_on || self.slow_us.is_some());
+        let deadline =
+            deadline_ms.map(|ms| std::time::Instant::now() + std::time::Duration::from_millis(ms));
+        let Some(atom) = self.resolve_atom(atom_text)? else {
+            // Unknown constant: provably empty, a point answer.
+            self.finish_approx(timer, Tier::Exact, deadline_ms, true);
+            return Ok(Rc::from(Vec::new()));
+        };
+        let exact_key = cache_key(&atom);
+        // A warm exact entry already holds the true marginals — serve
+        // point intervals from it; any ε/deadline is trivially met. The
+        // probe is stats-neutral (`peek`) so approximate traffic does
+        // not skew the exact cache's hit/miss counters.
+        if let Some(CachedAnswers::Exact(hit)) = self.cache.peek(&exact_key, self.engine.db()) {
+            let answers: Rc<[BoundedAnswer]> = hit
+                .iter()
+                .map(|a| BoundedAnswer {
+                    text: a.text.clone(),
+                    lower: a.prob,
+                    upper: a.prob,
+                })
+                .collect();
+            if self.metrics_on {
+                self.metrics.bounds_gap_ppm.record(0);
+            }
+            self.finish_approx(timer, Tier::Exact, deadline_ms, true);
+            return Ok(answers);
+        }
+        let key = approx_cache_key(&exact_key, epsilon, deadline_ms);
+        if let Some(CachedAnswers::Bounded { answers, tier }) =
+            self.cache.lookup(&key, self.engine.db())
+        {
+            self.finish_approx(timer, tier, deadline_ms, true);
+            return Ok(answers);
+        }
+        // Compute: lineage per answer, then the escalation ladder. The
+        // sampler seed mixes (session seed, epoch, query text) so a
+        // session replays bit-identically while mutations re-roll.
+        let results = self.engine.answer(&atom).map_err(SessionError::Engine)?;
+        let weights = self.engine.db().weights();
+        let query_seed = mix_seed(self.seed, self.engine.db().epoch(), atom_text.trim());
+        let planner = TierPlanner::default();
+        let mut tier = Tier::Exact;
+        let mut answers = Vec::with_capacity(results.len());
+        for (i, (f, d)) in results.into_iter().enumerate() {
+            let seed = query_seed.wrapping_add((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let outcome = planner.solve(&d, &weights, epsilon, deadline, seed);
+            tier = tier.max(outcome.tier);
+            self.stats.approx_escalations += u64::from(outcome.escalations);
+            if self.metrics_on {
+                let ppm = (outcome.gap().clamp(0.0, 1.0) * 1e6).round() as u64;
+                self.metrics.bounds_gap_ppm.record(ppm);
+            }
+            let program = self.engine.program();
+            let text = self
+                .engine
+                .db()
+                .store
+                .display(f, &program.preds, &program.symbols);
+            answers.push(BoundedAnswer {
+                text,
+                lower: outcome.lower,
+                upper: outcome.upper,
+            });
+        }
+        answers.sort_by(|a, b| a.text.cmp(&b.text));
+        let answers: Rc<[BoundedAnswer]> = Rc::from(answers);
+        let deps = self.dep_closure(atom.pred);
+        self.cache.store(
+            key,
+            deps,
+            CachedAnswers::Bounded {
+                answers: answers.clone(),
+                tier,
+            },
+            self.engine.db(),
+        );
+        self.resync_cache_meter(false);
+        self.finish_approx(timer, tier, deadline_ms, false);
+        Ok(answers)
+    }
+
+    /// Records the latency/tier observability of one approximate query:
+    /// per-tier histogram sample, deadline verdict, and the slow-log
+    /// line.
+    fn finish_approx(
+        &mut self,
+        timer: PhaseTimer,
+        tier: Tier,
+        deadline_ms: Option<u64>,
+        hit: bool,
+    ) {
+        let Some(us) = timer.elapsed_us() else { return };
+        match tier {
+            Tier::Exact => self.stats.approx_tier_exact += 1,
+            Tier::Anytime => self.stats.approx_tier_anytime += 1,
+            Tier::Sampled => self.stats.approx_tier_sampled += 1,
+        }
+        let verdict = deadline_ms.map(|ms| {
+            if us <= ms.saturating_mul(1000) {
+                "met"
+            } else {
+                self.stats.approx_deadline_overruns += 1;
+                "overrun"
+            }
+        });
+        if self.metrics_on {
+            match tier {
+                Tier::Exact => self.metrics.tier_exact_us.record(us),
+                Tier::Anytime => self.metrics.tier_anytime_us.record(us),
+                Tier::Sampled => self.metrics.tier_sampled_us.record(us),
+            }
+        }
+        let mut tags = vec![
+            ("verb", "query"),
+            ("cache", if hit { "hit" } else { "miss" }),
+            ("tier", tier.name()),
+        ];
+        if let Some(v) = verdict {
+            tags.push(("deadline", v));
+        }
+        self.log_slow(us, &tags, &[]);
+    }
+
+    /// Resolves a query atom's text against the program: predicate
+    /// lookup, variable scoping (`_` stays anonymous), constant
+    /// interning. `Ok(None)` means a constant the program has never
+    /// seen — the query is provably empty and nothing is cached.
+    fn resolve_atom(&self, atom_text: &str) -> Result<Option<Atom>, SessionError> {
         let (name, args) = parse_atom_text(atom_text)?;
         let pred = self
             .engine
@@ -564,9 +803,6 @@ impl Session {
             .preds
             .lookup(&name, args.len())
             .ok_or_else(|| SessionError::UnknownPredicate(format!("{name}/{}", args.len())))?;
-
-        // Resolve terms; a constant the program has never seen makes the
-        // query provably empty (nothing to cache — it is answered here).
         let mut scope: Vec<String> = Vec::new();
         let mut terms: Vec<Term> = Vec::with_capacity(args.len());
         for a in &args {
@@ -584,41 +820,11 @@ impl Session {
             } else {
                 match self.engine.program().symbols.lookup(&a.text) {
                     Some(s) => terms.push(Term::Const(s)),
-                    None => return Ok(Rc::from(Vec::new())),
+                    None => return Ok(None),
                 }
             }
         }
-        let atom = Atom::new(pred, terms);
-        let key = cache_key(&atom);
-        if let Some(hit) = self.cache.lookup(&key, self.engine.db()) {
-            if let Some(us) = timer.elapsed_us() {
-                if self.metrics_on {
-                    self.metrics.query_hit_us.record(us);
-                }
-                self.log_slow(us, &[("verb", "query"), ("cache", "hit")], &[]);
-            }
-            return Ok(hit);
-        }
-        self.last_wmc_us = 0;
-        let answers = self.compute(&atom)?;
-        let deps = self.dep_closure(pred);
-        self.cache
-            .store(key, deps, answers.clone(), self.engine.db());
-        self.resync_cache_meter(false);
-        if let Some(us) = timer.elapsed_us() {
-            if self.metrics_on {
-                self.metrics.query_miss_us.record(us);
-            }
-            self.log_slow(
-                us,
-                &[("verb", "query"), ("cache", "miss")],
-                &[
-                    ("wmc_us", self.last_wmc_us),
-                    ("answers", answers.len() as u64),
-                ],
-            );
-        }
-        Ok(answers)
+        Ok(Some(Atom::new(pred, terms)))
     }
 
     /// Stamps the origin of the next requests (the front-end sets this
@@ -991,6 +1197,7 @@ impl Session {
         let db = self.engine.db();
         let mut lines = vec![
             ("queries", self.stats.queries.to_string()),
+            ("queries_approx", self.stats.queries_approx.to_string()),
             ("cache_hits", cs.hits.to_string()),
             ("cache_misses", cs.misses.to_string()),
             ("cache_invalidations", cs.invalidations.to_string()),
@@ -1003,6 +1210,26 @@ impl Session {
             ("updates", self.stats.updates.to_string()),
             ("deletes", self.stats.deletes.to_string()),
             ("deletes_missing", self.stats.deletes_missing.to_string()),
+            (
+                "approx_tier_exact",
+                self.stats.approx_tier_exact.to_string(),
+            ),
+            (
+                "approx_tier_anytime",
+                self.stats.approx_tier_anytime.to_string(),
+            ),
+            (
+                "approx_tier_sampled",
+                self.stats.approx_tier_sampled.to_string(),
+            ),
+            (
+                "approx_escalations",
+                self.stats.approx_escalations.to_string(),
+            ),
+            (
+                "approx_deadline_overruns",
+                self.stats.approx_deadline_overruns.to_string(),
+            ),
             ("epoch", db.epoch().to_string()),
             ("edb_facts", db.n_edb_facts().to_string()),
             (
@@ -1034,6 +1261,9 @@ impl Session {
         let mut mutation = self.metrics.insert_us.clone();
         mutation.merge(&self.metrics.delete_us);
         mutation.merge(&self.metrics.update_us);
+        let mut approx = self.metrics.tier_exact_us.clone();
+        approx.merge(&self.metrics.tier_anytime_us);
+        approx.merge(&self.metrics.tier_sampled_us);
         lines.extend([
             ("query_p50_us", query.p50().to_string()),
             ("query_p95_us", query.p95().to_string()),
@@ -1045,6 +1275,11 @@ impl Session {
             ("mutation_p99_us", mutation.p99().to_string()),
             ("mutation_p999_us", mutation.p999().to_string()),
             ("mutation_max_us", mutation.max().to_string()),
+            ("query_approx_p50_us", approx.p50().to_string()),
+            ("query_approx_p95_us", approx.p95().to_string()),
+            ("query_approx_p99_us", approx.p99().to_string()),
+            ("query_approx_p999_us", approx.p999().to_string()),
+            ("query_approx_max_us", approx.max().to_string()),
         ]);
         lines.extend(self.snapshot_info_lines());
         lines
@@ -1072,6 +1307,19 @@ impl Session {
             "ltg_query_us",
             &[("shard", s), ("cache", "miss")],
             &m.query_miss_us,
+        );
+        for (tier, h) in [
+            ("exact", &m.tier_exact_us),
+            ("anytime", &m.tier_anytime_us),
+            ("sampled", &m.tier_sampled_us),
+        ] {
+            expose_histogram(&mut out, "ltg_query_us", &[("shard", s), ("tier", tier)], h);
+        }
+        expose_histogram(
+            &mut out,
+            "ltg_query_bounds_gap",
+            &[("shard", s)],
+            &m.bounds_gap_ppm,
         );
         expose_histogram(&mut out, "ltg_wmc_us", &[("shard", s)], &m.wmc_us);
         for (kind, h) in [
@@ -1146,6 +1394,18 @@ impl Session {
             "ltg_bundle_rebuilds",
             &[("shard", s)],
             self.engine.stats().bundle_rebuilds,
+        );
+        expose_value(
+            &mut out,
+            "ltg_approx_escalations",
+            &[("shard", s)],
+            self.stats.approx_escalations,
+        );
+        expose_value(
+            &mut out,
+            "ltg_approx_deadline_overruns",
+            &[("shard", s)],
+            self.stats.approx_deadline_overruns,
         );
         out
     }
@@ -1454,6 +1714,17 @@ fn cache_key(atom: &Atom) -> String {
     key
 }
 
+/// Cache key of an approximate query: the exact key plus the request
+/// modifiers. Exact keys always end in `)`, so the `#`-suffixed
+/// namespace is disjoint from them by construction — an approximate
+/// entry can never shadow an exact one (or vice versa), and different
+/// ε/deadline combinations never share an interval.
+fn approx_cache_key(exact_key: &str, epsilon: Option<f64>, deadline_ms: Option<u64>) -> String {
+    let eps = epsilon.map_or_else(|| "-".to_string(), |e| format!("{:x}", e.to_bits()));
+    let dl = deadline_ms.map_or_else(|| "-".to_string(), |ms| ms.to_string());
+    format!("{exact_key}#eps={eps}#dl={dl}")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1538,6 +1809,72 @@ mod tests {
         assert_eq!(cs.hits, 1);
         assert_eq!(cs.misses, 1);
         assert_eq!(s.stats().queries, 2);
+    }
+
+    #[test]
+    fn approx_query_brackets_and_caches_separately() {
+        let mut s = session();
+        // Cold approximate ask: the interval must contain the exact
+        // probability and the entry lands under the approx key.
+        let a = s.query_approx("p(a, b)", Some(0.5), None).unwrap();
+        assert_eq!(a.len(), 1);
+        assert_eq!(a[0].text, "p(a,b)");
+        assert!(a[0].lower <= 0.78 + 1e-9 && 0.78 <= a[0].upper + 1e-9);
+        assert_eq!(s.cache_stats().misses, 1);
+        // Second identical ask: a cache hit on the approx entry.
+        let b = s.query_approx("p(a, b)", Some(0.5), None).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(s.cache_stats().hits, 1);
+        // A different ε is a different entry — no cross-poisoning.
+        s.query_approx("p(a, b)", Some(0.9), None).unwrap();
+        assert_eq!(s.cache_stats().misses, 2);
+        // The exact path never sees the approximate entries.
+        let exact = s.query("p(a, b)").unwrap();
+        assert!((exact[0].prob - 0.78).abs() < 1e-9);
+        assert_eq!(s.cache_stats().misses, 3);
+        assert_eq!(s.stats().queries, 1);
+        assert_eq!(s.stats().queries_approx, 3);
+    }
+
+    #[test]
+    fn approx_query_reuses_a_warm_exact_entry() {
+        let mut s = session();
+        s.query("p(a, b)").unwrap();
+        let before = s.cache_stats();
+        let a = s.query_approx("p(a, b)", Some(0.01), Some(50)).unwrap();
+        assert_eq!(a[0].lower, a[0].upper);
+        assert!((a[0].lower - 0.78).abs() < 1e-9);
+        // The probe is stats-neutral: no extra hit or miss recorded.
+        let after = s.cache_stats();
+        assert_eq!((before.hits, before.misses), (after.hits, after.misses));
+        assert_eq!(s.stats().approx_tier_exact, 1);
+    }
+
+    #[test]
+    fn approx_query_is_deterministic_across_sessions() {
+        let mut a = session();
+        let mut b = session();
+        let ra = a.query_approx("p(a, X)", Some(0.2), None).unwrap();
+        let rb = b.query_approx("p(a, X)", Some(0.2), None).unwrap();
+        assert_eq!(ra, rb);
+        let texts: Vec<&str> = ra.iter().map(|x| x.text.as_str()).collect();
+        assert_eq!(texts, vec!["p(a,b)", "p(a,c)"]);
+    }
+
+    #[test]
+    fn approx_query_counts_deadline_overruns() {
+        let mut s = session();
+        // A 0 ms deadline always overruns; the answer is still a sound
+        // (possibly vacuous) interval.
+        let a = s.query_approx("p(a, b)", None, Some(0)).unwrap();
+        assert!(a[0].lower <= 0.78 + 1e-9 && 0.78 <= a[0].upper + 1e-9);
+        assert_eq!(s.stats().approx_deadline_overruns, 1);
+        assert_eq!(s.stats().queries_approx, 1);
+        // Unknown constants stay provably empty under modifiers.
+        assert!(s
+            .query_approx("p(zzz, b)", Some(0.1), None)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

@@ -281,7 +281,7 @@ impl ShardedService {
         match request {
             Request::Ping => Response::Pong.render(),
             Request::Quit => Response::Bye.render(),
-            Request::Query(atom) => match self.route(&atom) {
+            Request::Query(atom) | Request::QueryApprox { atom, .. } => match self.route(&atom) {
                 Ok(slot) => match self.send(
                     slot,
                     ShardRequest::Raw {
@@ -940,6 +940,13 @@ mod tests {
                 "QUERY p1(zz, X).",
                 "QUERY nope(a).",
                 "QUERY p1(a",
+                "QUERY p1(a, b) EPSILON 0.1",
+                "QUERY p1(a, X) EPSILON 0.000001",
+                "QUERY p2(a, X) DEADLINE 50",
+                "QUERY p1(a, b) EPSILON 0.05 DEADLINE 50",
+                "QUERY p1(a, b) EPSILON 0",
+                "QUERY p1(zz, X) EPSILON 0.1",
+                "QUERY p1(a, b) EPSILON bad",
                 "PING",
             ] {
                 assert_eq!(

@@ -93,8 +93,9 @@ impl VerbStats {
 /// The result of one drive: merged per-verb stats plus throughput.
 #[derive(Debug, Clone)]
 pub struct DriveOutcome {
-    /// Indexed like [`Verb::all()`]: query, insert, delete, update.
-    pub verbs: [VerbStats; 4],
+    /// Indexed like [`Verb::all()`]: query, insert, delete, update,
+    /// query_approx.
+    pub verbs: [VerbStats; 5],
     /// From the synchronized start to the last response.
     pub wall: Duration,
     /// `connections * rate`.
@@ -126,6 +127,7 @@ fn verb_index(v: Verb) -> usize {
         Verb::Insert => 1,
         Verb::Delete => 2,
         Verb::Update => 3,
+        Verb::QueryApprox => 4,
     }
 }
 
@@ -178,7 +180,7 @@ fn run_connection(
     interval: Duration,
     barrier: &Barrier,
     start: &OnceLock<Instant>,
-) -> Result<([VerbStats; 4], Duration), TrafficError> {
+) -> Result<([VerbStats; 5], Duration), TrafficError> {
     let stream =
         TcpStream::connect(addr).map_err(|e| TrafficError::Io(format!("connect {addr}: {e}")))?;
     stream
@@ -190,7 +192,7 @@ fn run_connection(
             .map_err(|e| TrafficError::Io(e.to_string()))?,
     );
     let mut writer = stream;
-    let mut stats: [VerbStats; 4] = Default::default();
+    let mut stats: [VerbStats; 5] = Default::default();
     // All connections are established before anyone sends; the first
     // thread through the barrier stamps the common schedule origin.
     barrier.wait();
@@ -260,7 +262,7 @@ pub fn drive(
             std::thread::spawn(move || run_connection(&addr, ops, interval, &barrier, &start))
         })
         .collect();
-    let mut verbs: [VerbStats; 4] = Default::default();
+    let mut verbs: [VerbStats; 5] = Default::default();
     let mut wall = Duration::ZERO;
     for worker in workers {
         let (stats, last_done) = worker
@@ -294,6 +296,8 @@ pub struct ServerCounts {
     pub insert: u64,
     pub delete: u64,
     pub update: u64,
+    /// Approximate-tier queries (`ltg_query_us` tier-labeled series).
+    pub query_approx: u64,
     pub connections_total: u64,
 }
 
@@ -304,6 +308,7 @@ impl ServerCounts {
             Verb::Insert => counts.insert,
             Verb::Delete => counts.delete,
             Verb::Update => counts.update,
+            Verb::QueryApprox => counts.query_approx,
         }
     }
 }
@@ -337,11 +342,18 @@ pub fn scrape_counts(addr: &str) -> Result<ServerCounts, TrafficError> {
             .map(|h| h.count())
             .map_err(|e| TrafficError::Protocol(format!("reconstructing {name}: {e}")))
     };
+    // Exact queries live in the cache-labeled `ltg_query_us` series,
+    // approximate queries in its tier-labeled series; the label scoping
+    // keeps the two accountings disjoint.
     Ok(ServerCounts {
-        query: merged_count("ltg_query_us", &[])?,
+        query: merged_count("ltg_query_us", &[("cache", "hit")])?
+            + merged_count("ltg_query_us", &[("cache", "miss")])?,
         insert: merged_count("ltg_mutation_us", &[("kind", "insert")])?,
         delete: merged_count("ltg_mutation_us", &[("kind", "delete")])?,
         update: merged_count("ltg_mutation_us", &[("kind", "update")])?,
+        query_approx: merged_count("ltg_query_us", &[("tier", "exact")])?
+            + merged_count("ltg_query_us", &[("tier", "anytime")])?
+            + merged_count("ltg_query_us", &[("tier", "sampled")])?,
         connections_total: scrape
             .value("ltg_connections_total", &[])
             .ok_or_else(|| TrafficError::Protocol("ltg_connections_total missing".into()))?,

@@ -64,6 +64,20 @@ impl Default for AnytimeWmc {
 impl AnytimeWmc {
     /// Computes guaranteed bounds for the DNF under the node budget.
     pub fn bounds(&self, dnf: &Dnf, weights: &[f64]) -> Bounds {
+        self.bounds_before(dnf, weights, None)
+    }
+
+    /// [`AnytimeWmc::bounds`] with a wall-clock cutoff: the prefix loop
+    /// checks `deadline` before each exact solve and returns the best
+    /// interval achieved so far once it has passed. The returned bounds
+    /// are always sound — an expired deadline only stops refinement, it
+    /// never widens or invalidates what was already proven.
+    pub fn bounds_before(
+        &self,
+        dnf: &Dnf,
+        weights: &[f64],
+        deadline: Option<std::time::Instant>,
+    ) -> Bounds {
         if dnf.is_empty() {
             return Bounds {
                 lower: 0.0,
@@ -101,6 +115,9 @@ impl AnytimeWmc {
         };
         let mut j = 1usize;
         loop {
+            if deadline.is_some_and(|d| std::time::Instant::now() >= d) {
+                return best;
+            }
             let j_cur = j.min(conjuncts.len());
             let mut prefix = Dnf::ff();
             for (_, c) in conjuncts.iter().take(j_cur) {
@@ -212,6 +229,26 @@ mod tests {
         assert_eq!((b.lower, b.upper), (0.0, 0.0));
         let b = a.bounds(&Dnf::tt(), &[]);
         assert_eq!((b.lower, b.upper), (1.0, 1.0));
+    }
+
+    #[test]
+    fn expired_deadline_still_returns_sound_bounds() {
+        let mut d = Dnf::ff();
+        for i in 0..10u32 {
+            d.push(vec![fid(i), fid(i + 1)]);
+        }
+        let w = vec![0.5; 11];
+        let exact = NaiveWmc::default().probability(&d, &w).unwrap();
+        // A deadline already in the past: no prefix solve runs, but the
+        // union-bound envelope is still a valid interval.
+        let past = std::time::Instant::now() - std::time::Duration::from_millis(1);
+        let b = AnytimeWmc::default().bounds_before(&d, &w, Some(past));
+        assert!(b.lower <= exact + 1e-9 && exact <= b.upper + 1e-9);
+        // A generous deadline matches the deadline-free result.
+        let far = std::time::Instant::now() + std::time::Duration::from_secs(60);
+        let timed = AnytimeWmc::default().bounds_before(&d, &w, Some(far));
+        let free = AnytimeWmc::default().bounds(&d, &w);
+        assert_eq!((timed.lower, timed.upper), (free.lower, free.upper));
     }
 
     #[test]

@@ -36,17 +36,49 @@ impl Default for KarpLubyWmc {
     }
 }
 
-impl WmcSolver for KarpLubyWmc {
-    fn name(&self) -> &'static str {
-        "karp-luby"
-    }
+/// Outcome of [`KarpLubyWmc::estimate`]: the point estimate plus the
+/// accounting a caller needs to put a confidence interval around it.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SampleEstimate {
+    /// The Monte-Carlo estimate (deterministic per seed and sample
+    /// count).
+    pub estimate: f64,
+    /// Samples actually drawn (less than requested when the deadline
+    /// expired mid-run).
+    pub samples_run: usize,
+    /// `Σ P(conjunct)` — the estimator's scale; the estimate always
+    /// lies in `[0, total]`.
+    pub total: f64,
+}
 
-    fn probability(&self, dnf: &Dnf, weights: &[f64]) -> Result<f64, WmcError> {
+/// Deadline checks happen once per chunk, so the per-sample cost stays
+/// one RNG draw and a hash probe, not a clock read.
+const DEADLINE_CHUNK: usize = 4096;
+
+impl KarpLubyWmc {
+    /// Runs the estimator, stopping early when `deadline` passes (the
+    /// check happens every [`DEADLINE_CHUNK`] samples). The estimate is
+    /// deterministic per (seed, samples drawn): two runs that complete
+    /// the same number of samples agree bitwise.
+    pub fn estimate(
+        &self,
+        dnf: &Dnf,
+        weights: &[f64],
+        deadline: Option<std::time::Instant>,
+    ) -> SampleEstimate {
         if dnf.is_empty() {
-            return Ok(0.0);
+            return SampleEstimate {
+                estimate: 0.0,
+                samples_run: 0,
+                total: 0.0,
+            };
         }
         if dnf.conjuncts().any(|c| c.is_empty()) {
-            return Ok(1.0);
+            return SampleEstimate {
+                estimate: 1.0,
+                samples_run: 0,
+                total: 1.0,
+            };
         }
         let conjuncts: Vec<&[FactId]> = dnf.conjuncts().collect();
         // Conjunct probabilities and their prefix sums.
@@ -56,7 +88,11 @@ impl WmcSolver for KarpLubyWmc {
             .collect();
         let total: f64 = probs.iter().sum();
         if total == 0.0 {
-            return Ok(0.0);
+            return SampleEstimate {
+                estimate: 0.0,
+                samples_run: 0,
+                total: 0.0,
+            };
         }
         let mut prefix = Vec::with_capacity(probs.len());
         let mut acc = 0.0;
@@ -69,30 +105,59 @@ impl WmcSolver for KarpLubyWmc {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut world: ltg_datalog::FxHashMap<FactId, bool> = ltg_datalog::FxHashMap::default();
         let mut successes = 0usize;
-        for _ in 0..self.samples {
-            // Pick conjunct i proportional to its probability.
-            let u: f64 = rng.random::<f64>() * total;
-            let i = prefix.partition_point(|&s| s <= u).min(conjuncts.len() - 1);
-            // Sample a world conditioned on conjunct i true.
-            world.clear();
-            for &f in conjuncts[i] {
-                world.insert(f, true);
+        let mut drawn = 0usize;
+        while drawn < self.samples {
+            if deadline.is_some_and(|d| std::time::Instant::now() >= d) {
+                break;
             }
-            for &f in &vars {
-                world
-                    .entry(f)
-                    .or_insert_with(|| rng.random::<f64>() < weights[f.index()]);
+            let chunk = DEADLINE_CHUNK.min(self.samples - drawn);
+            for _ in 0..chunk {
+                // Pick conjunct i proportional to its probability.
+                let u: f64 = rng.random::<f64>() * total;
+                let i = prefix.partition_point(|&s| s <= u).min(conjuncts.len() - 1);
+                // Sample a world conditioned on conjunct i true.
+                world.clear();
+                for &f in conjuncts[i] {
+                    world.insert(f, true);
+                }
+                for &f in &vars {
+                    world
+                        .entry(f)
+                        .or_insert_with(|| rng.random::<f64>() < weights[f.index()]);
+                }
+                // Success iff i is the first satisfied conjunct.
+                let first = conjuncts
+                    .iter()
+                    .position(|c| c.iter().all(|f| world[f]))
+                    .expect("conjunct i is satisfied by construction");
+                if first == i {
+                    successes += 1;
+                }
             }
-            // Success iff i is the first satisfied conjunct.
-            let first = conjuncts
-                .iter()
-                .position(|c| c.iter().all(|f| world[f]))
-                .expect("conjunct i is satisfied by construction");
-            if first == i {
-                successes += 1;
-            }
+            drawn += chunk;
         }
-        Ok(total * successes as f64 / self.samples as f64)
+        let estimate = if drawn == 0 {
+            // No sample completed before the deadline: report the scale
+            // midpoint so callers still get a value inside [0, total].
+            total.min(1.0) / 2.0
+        } else {
+            total * successes as f64 / drawn as f64
+        };
+        SampleEstimate {
+            estimate,
+            samples_run: drawn,
+            total,
+        }
+    }
+}
+
+impl WmcSolver for KarpLubyWmc {
+    fn name(&self) -> &'static str {
+        "karp-luby"
+    }
+
+    fn probability(&self, dnf: &Dnf, weights: &[f64]) -> Result<f64, WmcError> {
+        Ok(self.estimate(dnf, weights, None).estimate)
     }
 }
 
@@ -161,6 +226,29 @@ mod tests {
         .unwrap();
         // Different seed: almost surely a different estimate.
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn estimate_reports_accounting_and_honors_deadlines() {
+        let mut d = Dnf::var(fid(0));
+        d.push(vec![fid(1), fid(2)]);
+        let w = [0.5, 0.7, 0.8];
+        let s = KarpLubyWmc {
+            samples: 20_000,
+            seed: 7,
+        };
+        let full = s.estimate(&d, &w, None);
+        assert_eq!(full.samples_run, 20_000);
+        assert!((full.total - 1.06).abs() < 1e-12);
+        assert!(full.estimate >= 0.0 && full.estimate <= full.total);
+        // Deterministic per (seed, samples drawn).
+        assert_eq!(full, s.estimate(&d, &w, None));
+        // An expired deadline stops before any sample; the fallback
+        // value still lies inside [0, min(total, 1)].
+        let past = std::time::Instant::now() - std::time::Duration::from_millis(1);
+        let cut = s.estimate(&d, &w, Some(past));
+        assert_eq!(cut.samples_run, 0);
+        assert!(cut.estimate >= 0.0 && cut.estimate <= 1.0);
     }
 
     #[test]

@@ -39,7 +39,7 @@ pub use bdd::{BddWmc, VarOrder};
 pub use cnfcount::CnfWmc;
 pub use dissociation::{DissBounds, DissociationWmc};
 pub use dtree::DtreeWmc;
-pub use karp_luby::KarpLubyWmc;
+pub use karp_luby::{KarpLubyWmc, SampleEstimate};
 pub use naive::NaiveWmc;
 pub use sdd::SddWmc;
 pub use solver::{SolverKind, WmcError, WmcSolver};

@@ -48,6 +48,7 @@
 // doc comments; they are not intra-doc links.
 #![allow(rustdoc::broken_intra_doc_links)]
 
+pub use ltg_approx as approx;
 pub use ltg_baselines as baselines;
 pub use ltg_benchdata as benchdata;
 pub use ltg_core as core;
@@ -63,6 +64,7 @@ pub use ltg_wmc as wmc;
 
 /// The most common imports in one place.
 pub mod prelude {
+    pub use ltg_approx::{Tier, TierOutcome, TierPlanner};
     pub use ltg_baselines::{
         CircuitEngine, DeltaTcpEngine, ProbEngine, SldConfig, SldEngine, TcpEngine, TopKEngine,
     };

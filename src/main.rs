@@ -238,6 +238,7 @@ fn run_serve(args: &[String]) -> Result<(), String> {
     let mut shards: Option<usize> = None;
     let mut snapshot_every: u64 = 1024;
     let mut slow_ms: Option<u64> = None;
+    let mut seed: Option<u64> = None;
     let mut path = String::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -287,6 +288,14 @@ fn run_serve(args: &[String]) -> Result<(), String> {
                         .ok_or("--slow-ms needs a value")?
                         .parse()
                         .map_err(|_| "bad --slow-ms")?,
+                )
+            }
+            "--seed" => {
+                seed = Some(
+                    it.next()
+                        .ok_or("--seed needs a value")?
+                        .parse()
+                        .map_err(|_| "bad --seed")?,
                 )
             }
             "--snapshot-every" => {
@@ -344,13 +353,16 @@ fn run_serve(args: &[String]) -> Result<(), String> {
         d.snapshot_every = snapshot_every;
         d
     });
-    let opts = ltgs::server::SessionOptions {
+    let mut opts = ltgs::server::SessionOptions {
         config,
         solver,
         durability,
         slow_ms,
         ..Default::default()
     };
+    if let Some(seed) = seed {
+        opts.seed = seed;
+    }
     let server = match shards {
         Some(n) => {
             // Bind before booting the pool: an occupied port fails in
@@ -394,7 +406,7 @@ fn run_serve(args: &[String]) -> Result<(), String> {
 }
 
 /// `ltgs traffic [--worlds A,B|--all] [--shards 1,2,4] [--addr H:P]
-/// [--connections N] [--ops N] [--rate R] [--seed S] [--mix q,i,d,u]
+/// [--connections N] [--ops N] [--rate R] [--seed S] [--mix q,i,d,u[,qa]]
 /// [--out FILE] [--budgets FILE] [--emit-program WORLD FILE]`
 ///
 /// The traffic observatory: open-loop mixed workloads from the
@@ -478,18 +490,19 @@ fn run_traffic(args: &[String]) -> Result<(), String> {
             "--mix" => {
                 let parts: Vec<u32> = it
                     .next()
-                    .ok_or("--mix needs query,insert,delete,update weights")?
+                    .ok_or("--mix needs query,insert,delete,update[,query_approx] weights")?
                     .split(',')
                     .map(|s| s.parse().map_err(|_| format!("bad mix weight {s:?}")))
                     .collect::<Result<_, _>>()?;
-                if parts.len() != 4 || parts.iter().sum::<u32>() == 0 {
-                    return Err("--mix needs four weights, not all zero".into());
+                if !(parts.len() == 4 || parts.len() == 5) || parts.iter().sum::<u32>() == 0 {
+                    return Err("--mix needs four or five weights, not all zero".into());
                 }
                 driver.mix = ltgs::benchdata::wire::TrafficMix {
                     query: parts[0],
                     insert: parts[1],
                     delete: parts[2],
                     update: parts[3],
+                    query_approx: parts.get(4).copied().unwrap_or(0),
                 };
             }
             "--out" => out = Some(it.next().ok_or("--out needs a file")?.clone()),
@@ -620,7 +633,8 @@ fn main() -> ExitCode {
                 eprintln!(
                     "usage: ltgs traffic [--worlds A,B | --all] [--shards 1,2,4] \
                      [--addr HOST:PORT] [--connections N] [--ops N] [--rate R] [--seed S] \
-                     [--mix q,i,d,u] [--out FILE] [--budgets FILE] [--emit-program WORLD FILE]"
+                     [--mix q,i,d,u[,qa]] [--out FILE] [--budgets FILE] \
+                     [--emit-program WORLD FILE]"
                 );
                 ExitCode::FAILURE
             }
@@ -635,7 +649,7 @@ fn main() -> ExitCode {
                     "usage: ltgs serve [--port N] [--host H] [--solver sdd|bdd|dtree|c2d] \
                      [--no-collapse] [--max-depth N] [--shards N] [--data-dir DIR] \
                      [--fsync-every N] [--fsync-after-ms T] [--snapshot-every N] \
-                     [--slow-ms N] <program.pl>"
+                     [--slow-ms N] [--seed S] <program.pl>"
                 );
                 ExitCode::FAILURE
             }

@@ -28,6 +28,8 @@ fn metrics_exposition_is_golden() {
     let mut s = Session::new(&program, SessionOptions::default()).unwrap();
     assert!(respond(&mut s, "QUERY p(a, b).").starts_with("OK 1"));
     assert!(respond(&mut s, "QUERY p(a, b).").starts_with("OK 1")); // hit
+                                                                    // Approximate tier: the warm exact entry serves a point interval.
+    assert!(respond(&mut s, "QUERY p(a, b) EPSILON 0.5").starts_with("OK 1"));
     assert!(respond(&mut s, "INSERT 0.9 :: e(a, d).").starts_with("OK inserted"));
 
     let lines = s.metrics_lines(0);
@@ -49,6 +51,14 @@ fn metrics_exposition_is_golden() {
     };
     histo(&mut expect, "ltg_query_us", "shard=\"0\",cache=\"hit\"");
     histo(&mut expect, "ltg_query_us", "shard=\"0\",cache=\"miss\"");
+    for tier in ["exact", "anytime", "sampled"] {
+        histo(
+            &mut expect,
+            "ltg_query_us",
+            &format!("shard=\"0\",tier=\"{tier}\""),
+        );
+    }
+    histo(&mut expect, "ltg_query_bounds_gap", "shard=\"0\"");
     histo(&mut expect, "ltg_wmc_us", "shard=\"0\"");
     for kind in ["insert", "delete", "update"] {
         histo(
@@ -76,6 +86,8 @@ fn metrics_exposition_is_golden() {
     expect.push("ltg_cache_entries{shard=\"0\"}".into());
     expect.push("ltg_leafset_dedup_hits{shard=\"0\"}".into());
     expect.push("ltg_bundle_rebuilds{shard=\"0\"}".into());
+    expect.push("ltg_approx_escalations{shard=\"0\"}".into());
+    expect.push("ltg_approx_deadline_overruns{shard=\"0\"}".into());
 
     let got: Vec<&str> = lines
         .iter()
@@ -95,7 +107,8 @@ fn metrics_exposition_is_golden() {
     let both = scrape
         .merged("ltg_query_us", &[("shard", "0")])
         .expect("hit+miss merge");
-    assert_eq!(both.count(), 2);
+    // hit + miss + the approximate (tier="exact") sample.
+    assert_eq!(both.count(), 3);
     assert_eq!(both.p999(), both.max());
 
     // The traffic above landed where it should.
@@ -108,6 +121,13 @@ fn metrics_exposition_is_golden() {
     };
     assert_eq!(value("ltg_query_us_count{shard=\"0\",cache=\"hit\"}"), 1);
     assert_eq!(value("ltg_query_us_count{shard=\"0\",cache=\"miss\"}"), 1);
+    assert_eq!(value("ltg_query_us_count{shard=\"0\",tier=\"exact\"}"), 1);
+    assert_eq!(value("ltg_query_us_count{shard=\"0\",tier=\"sampled\"}"), 0);
+    // The point-interval answer recorded a zero bounds gap.
+    assert_eq!(value("ltg_query_bounds_gap_count{shard=\"0\"}"), 1);
+    assert_eq!(value("ltg_query_bounds_gap_max{shard=\"0\"}"), 0);
+    assert_eq!(value("ltg_approx_escalations{shard=\"0\"}"), 0);
+    assert_eq!(value("ltg_approx_deadline_overruns{shard=\"0\"}"), 0);
     assert_eq!(value("ltg_wmc_us_count{shard=\"0\"}"), 1);
     assert_eq!(
         value("ltg_mutation_us_count{shard=\"0\",kind=\"insert\"}"),
@@ -127,6 +147,7 @@ fn stats_report_latency_quantiles() {
     let program = ltgs::datalog::parse_program(PROGRAM).unwrap();
     let mut s = Session::new(&program, SessionOptions::default()).unwrap();
     respond(&mut s, "QUERY p(a, b).");
+    respond(&mut s, "QUERY p(a, b) EPSILON 0.5");
     respond(&mut s, "INSERT 0.9 :: e(a, d).");
     let stats = respond(&mut s, "STATS");
     for key in [
@@ -135,6 +156,11 @@ fn stats_report_latency_quantiles() {
         "query_p99_us",
         "query_p999_us",
         "query_max_us",
+        "query_approx_p50_us",
+        "query_approx_p95_us",
+        "query_approx_p99_us",
+        "query_approx_p999_us",
+        "query_approx_max_us",
         "mutation_p50_us",
         "mutation_p95_us",
         "mutation_p99_us",

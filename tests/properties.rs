@@ -4,7 +4,9 @@
 //! * DNF minimization preserves semantics and is idempotent;
 //! * the LTG engine (with and without collapsing) matches brute-force
 //!   possible-world enumeration on random reachability programs;
-//! * the Tseitin CNF preserves weighted counts.
+//! * the Tseitin CNF preserves weighted counts;
+//! * the approximate tier's escalation ladder always brackets the exact
+//!   probability, and anytime bounds tighten monotonically with budget.
 
 use ltgs::baselines::least_model;
 use ltgs::lineage::{tseitin, Dnf};
@@ -365,5 +367,124 @@ proptest! {
             .map(|(_, d)| BddWmc::default().probability(d, &w).unwrap())
             .unwrap_or(0.0);
         prop_assert!((p - expected).abs() < 1e-9, "sld {p} vs oracle {expected}");
+    }
+}
+
+// ----------------------------------------------------------------------
+// The approximate tier: interval soundness + monotone refinement.
+// ----------------------------------------------------------------------
+
+use ltg_testkit::RULE_PALETTE;
+use ltgs::wmc::AnytimeWmc;
+
+/// Materializes a palette program over the given EDB and returns every
+/// derived `p`-lineage plus the fact weights.
+fn palette_lineages(rule_idx: usize, edges: &[(u8, u8, f64)]) -> (Vec<Dnf>, Vec<f64>) {
+    let src =
+        ltg_testkit::program_src_with(&ltg_testkit::dedup_edges(edges), RULE_PALETTE[rule_idx]);
+    let program = parse_program(&src).unwrap();
+    let mut engine = LtgEngine::with_config(&program, EngineConfig::default());
+    engine.reason().unwrap();
+    let weights = engine.db().weights();
+    let Some(pid) = engine.program().preds.lookup("p", 2) else {
+        return (Vec::new(), weights);
+    };
+    let mut lineages = Vec::new();
+    for x in 0..4u8 {
+        for y in 0..4u8 {
+            let (Some(xs), Some(ys)) = (
+                engine.program().symbols.lookup(&format!("n{x}")),
+                engine.program().symbols.lookup(&format!("n{y}")),
+            ) else {
+                continue;
+            };
+            if let Some(f) = engine.db().store.lookup(pid, &[xs, ys]) {
+                lineages.push(engine.lineage_of(f).unwrap());
+            }
+        }
+    }
+    (lineages, weights)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every rung of the escalation ladder brackets the enumeration
+    /// oracle on lineages drawn from every `RULE_PALETTE` block, at
+    /// every budget and epsilon — the soundness invariant behind the
+    /// `[lower, upper]` wire responses.
+    #[test]
+    fn tier_ladder_is_sound_on_palette_programs(
+        rule_idx in 0..RULE_PALETTE.len(),
+        edges in ltg_testkit::arb_edges(),
+        seed in 0u64..u64::MAX,
+    ) {
+        let (lineages, weights) = palette_lineages(rule_idx, &edges);
+        for dnf in &lineages {
+            let exact = NaiveWmc::default().probability(dnf, &weights).unwrap();
+            for planner in [
+                TierPlanner::default(),
+                // Tiny budgets force escalation through every rung.
+                TierPlanner { exact_budget: 8, anytime_budget: 16, samples: 2_000 },
+            ] {
+                for eps in [None, Some(0.25), Some(0.0)] {
+                    let out = planner.solve(dnf, &weights, eps, None, seed);
+                    prop_assert!(
+                        out.lower <= exact + 1e-9 && exact <= out.upper + 1e-9,
+                        "tier {:?} eps {eps:?}: [{}, {}] misses {exact}",
+                        out.tier, out.lower, out.upper
+                    );
+                    prop_assert!(out.lower >= -1e-12 && out.upper <= 1.0 + 1e-12);
+                }
+            }
+        }
+    }
+
+    /// On wide lineages (more variables than the dissociation rung's
+    /// exact cutoff) the tiny-budget planner genuinely runs the anytime
+    /// and sampled rungs; the interval must still bracket the exact
+    /// probability (BDD oracle — enumeration is too slow at this
+    /// width).
+    #[test]
+    fn tier_ladder_is_sound_on_wide_dnfs(
+        dnf in arb_dnf(20, 10),
+        weights in arb_weights(20),
+        seed in 0u64..u64::MAX,
+    ) {
+        let exact = BddWmc::default().probability(&dnf, &weights).unwrap();
+        for planner in [
+            TierPlanner { exact_budget: 8, anytime_budget: 16, samples: 2_000 },
+            // samples = 0 exercises the zero-draw fallback: the rung-2
+            // envelope is published unchanged.
+            TierPlanner { exact_budget: 8, anytime_budget: 16, samples: 0 },
+        ] {
+            let out = planner.solve(&dnf, &weights, Some(0.0), None, seed);
+            prop_assert!(
+                out.lower <= exact + 1e-9 && exact <= out.upper + 1e-9,
+                "tier {:?}: [{}, {}] misses {exact}",
+                out.tier, out.lower, out.upper
+            );
+        }
+    }
+
+    /// Growing the anytime budget never widens the bound gap: the
+    /// sorted-prefix refinement is monotone, so `EPSILON` escalation
+    /// only ever tightens published intervals.
+    #[test]
+    fn anytime_gap_shrinks_as_the_budget_grows(
+        dnf in arb_dnf(20, 10),
+        weights in arb_weights(20),
+    ) {
+        let mut prev = f64::INFINITY;
+        for budget in [8usize, 32, 128, 1024, 100_000] {
+            let b = AnytimeWmc { inner: BddWmc::default(), max_nodes: budget }
+                .bounds(&dnf, &weights);
+            prop_assert!(
+                b.gap() <= prev + 1e-12,
+                "budget {budget}: gap {} wider than {prev}",
+                b.gap()
+            );
+            prev = b.gap();
+        }
     }
 }

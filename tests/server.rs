@@ -368,6 +368,91 @@ fn durable_serve_survives_a_kill_and_restarts_warm() {
     let _ = std::fs::remove_dir_all(&data_dir);
 }
 
+/// The approximate tier over the wire: `EPSILON` and `DEADLINE`
+/// modifiers return `[lower, upper]` interval answers that bracket the
+/// exact probability, `EPSILON 0` stays byte-identical to the exact
+/// path, and the approximate cache never poisons exact entries.
+#[test]
+fn epsilon_and_deadline_queries_return_interval_answers() {
+    let serve = serve("approx.pl", PROGRAM);
+    let (mut reader, mut writer) = connect(&serve.addr);
+
+    // Cold approximate query: the quickstart lineage is small enough
+    // that the budgeted rung settles it exactly — a point interval at
+    // the known 0.780000.
+    assert_eq!(
+        request(&mut reader, &mut writer, "QUERY p(a, b) EPSILON 0.01"),
+        vec!["OK 1", "[0.780000, 0.780000]\tp(a,b)"]
+    );
+    // DEADLINE gives the same point answer here (the work fits).
+    assert_eq!(
+        request(&mut reader, &mut writer, "QUERY p(a, b) DEADLINE 50"),
+        vec!["OK 1", "[0.780000, 0.780000]\tp(a,b)"]
+    );
+    // Both modifiers together parse.
+    assert_eq!(
+        request(
+            &mut reader,
+            &mut writer,
+            "QUERY p(a, b) EPSILON 0.05 DEADLINE 50"
+        ),
+        vec!["OK 1", "[0.780000, 0.780000]\tp(a,b)"]
+    );
+    // EPSILON 0 is the exact path, bitwise.
+    assert_eq!(
+        request(&mut reader, &mut writer, "QUERY p(a, b) EPSILON 0"),
+        vec!["OK 1", "0.780000\tp(a,b)"]
+    );
+    // The exact query after the approximate ones is still exact and
+    // was cached by the EPSILON 0 round (a hit, not a recompute).
+    assert_eq!(
+        request(&mut reader, &mut writer, "QUERY p(a, b)."),
+        vec!["OK 1", "0.780000\tp(a,b)"]
+    );
+    // Unknown constants give an empty interval answer; bad modifiers
+    // give a one-line error.
+    assert_eq!(
+        request(&mut reader, &mut writer, "QUERY p(zz, X) EPSILON 0.1"),
+        vec!["OK 0"]
+    );
+    assert!(request(&mut reader, &mut writer, "QUERY p(a, b) EPSILON bad")[0].starts_with("ERR"));
+
+    let stats = request(&mut reader, &mut writer, "STATS");
+    // EPSILON 0 routed to the exact path: 2 exact queries; the 3 real
+    // approximate queries plus the empty zz-answer make 4.
+    assert_eq!(stat(&stats, "queries"), 2);
+    assert_eq!(stat(&stats, "queries_approx"), 4);
+    assert_eq!(stat(&stats, "approx_tier_exact"), 4);
+    assert_eq!(stat(&stats, "cache_hits"), 1);
+}
+
+/// The same approximate requests answer byte-identically through the
+/// sharded router (satellite: shard pass-through).
+#[test]
+fn approx_queries_are_byte_identical_at_two_shards() {
+    let path = ltg_testkit::write_program("approx2.pl", PROGRAM);
+    let serve =
+        ltg_testkit::spawn_serve_with(env!("CARGO_BIN_EXE_ltgs"), &path, &["--shards", "2"]);
+    let (mut reader, mut writer) = connect(&serve.addr);
+    assert_eq!(
+        request(&mut reader, &mut writer, "QUERY p(a, b) EPSILON 0.01"),
+        vec!["OK 1", "[0.780000, 0.780000]\tp(a,b)"]
+    );
+    assert_eq!(
+        request(&mut reader, &mut writer, "QUERY p(a, b) DEADLINE 50"),
+        vec!["OK 1", "[0.780000, 0.780000]\tp(a,b)"]
+    );
+    assert_eq!(
+        request(&mut reader, &mut writer, "QUERY p(a, b) EPSILON 0"),
+        vec!["OK 1", "0.780000\tp(a,b)"]
+    );
+    assert_eq!(
+        request(&mut reader, &mut writer, "QUERY p(zz, X) EPSILON 0.1"),
+        vec!["OK 0"]
+    );
+    assert!(request(&mut reader, &mut writer, "QUERY p(a, b) EPSILON bad")[0].starts_with("ERR"));
+}
+
 /// A non-durable server refuses SNAPSHOT but reports its status.
 #[test]
 fn snapshot_verb_requires_a_data_dir() {

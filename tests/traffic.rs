@@ -45,6 +45,10 @@ fn cli_report_and_budget_gate() {
             "300",
             "--seed",
             "5",
+            // Five weights: the trailing one sends ε/deadline queries so
+            // the query_approx row below is exercised, not just present.
+            "--mix",
+            "56,16,12,8,8",
             "--out",
             report.to_str().unwrap(),
             "--budgets",
@@ -67,6 +71,7 @@ fn cli_report_and_budget_gate() {
         "\"verb\": \"insert\"",
         "\"verb\": \"delete\"",
         "\"verb\": \"update\"",
+        "\"verb\": \"query_approx\"",
         "\"p50_us\"",
         "\"p95_us\"",
         "\"p99_us\"",
